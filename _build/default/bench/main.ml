@@ -1,0 +1,477 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5).
+
+   Usage:
+     dune exec bench/main.exe                    -- all experiments, scaled
+     dune exec bench/main.exe -- --full          -- paper-scale workloads
+     dune exec bench/main.exe -- --only fig3,table1
+     dune exec bench/main.exe -- --scale 0.25    -- override the default scale
+
+   Each experiment prints the paper's reported numbers (where the text
+   gives them) next to measured values.  Absolute times differ — the
+   paper ran HElib/C++ on a 4-core Xeon; this is a from-scratch OCaml
+   stack — the claim under reproduction is the *shape*: linearity in n,
+   d and k, one communication round vs O(k), and the ours-vs-baseline
+   gap. *)
+
+module Rng = Util.Rng
+
+let say fmt = Format.printf fmt
+
+let hr title =
+  say "@.==================================================================@.";
+  say "%s@." title;
+  say "==================================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Scaling                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type opts = {
+  full : bool;
+  scale : float option;
+  only : string list option; (* experiment ids *)
+  seed : int;
+}
+
+let scaled opts ~default_scale n =
+  if opts.full then n
+  else begin
+    let s = Option.value ~default:default_scale opts.scale in
+    Stdlib.max 4 (int_of_float (float_of_int n *. s))
+  end
+
+let wants opts id = match opts.only with None -> true | Some l -> List.mem id l
+
+let pp_paper ppf = function
+  | None -> Format.fprintf ppf "%8s" "-"
+  | Some s -> Format.fprintf ppf "%7.0fs" s
+
+(* Linear interpolation of the paper's reported anchors, for the rows
+   the text does not spell out. *)
+let interp anchors x =
+  let rec go = function
+    | (x0, y0) :: ((x1, y1) :: _ as rest) ->
+      if x <= x0 then Some y0
+      else if x <= x1 then
+        Some (y0 +. ((y1 -. y0) *. (float_of_int (x - x0) /. float_of_int (x1 - x0))))
+      else go rest
+    | [ (_, y) ] -> Some y
+    | [] -> None
+  in
+  go anchors
+
+(* ------------------------------------------------------------------ *)
+(* Figure runners                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_query_series ~config ~db ~queries_k ~rng =
+  let dep = Protocol.deploy ~rng config ~db in
+  List.map
+    (fun k ->
+      let q = Synthetic.query_like rng db in
+      let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+      let ok = Protocol.exact dep ~db ~query:q r in
+      (k, s, ok, r))
+    queries_k
+
+let check_linear ~name xs ys =
+  (* Shape check: least-squares slope positive and fit roughly linear. *)
+  let n = float_of_int (List.length xs) in
+  let xs = List.map float_of_int xs in
+  let mean l = List.fold_left ( +. ) 0.0 l /. n in
+  let mx = mean xs and my = mean ys in
+  let cov = List.fold_left2 (fun a x y -> a +. ((x -. mx) *. (y -. my))) 0.0 xs ys in
+  let var = List.fold_left (fun a x -> a +. ((x -. mx) ** 2.0)) 0.0 xs in
+  let slope = cov /. var in
+  let r2 =
+    let vy = List.fold_left (fun a y -> a +. ((y -. my) ** 2.0)) 0.0 ys in
+    if vy = 0.0 then 1.0 else cov *. cov /. (var *. vy)
+  in
+  say "  shape: %s slope %+.4f s/unit, linear fit R^2 = %.3f %s@." name slope r2
+    (if slope > 0.0 && r2 > 0.9 then "[linear: OK]" else "[check]")
+
+let k_dependent_seconds (r : Protocol.result) =
+  (* The phases whose work grows with k: Party B's indicator vectors and
+     Party A's Return-kNN inner products (plus the result decryption). *)
+  List.fold_left
+    (fun acc (name, s) ->
+      match name with
+      | "find-neighbours" | "return-knn" | "decrypt-result" -> acc +. s
+      | _ -> acc)
+    0.0 r.Protocol.phase_seconds
+
+let fig_k_sweep ~id ~title ~dataset_name ~db ~config ~paper_anchors opts =
+  hr (Printf.sprintf "%s — %s" id title);
+  let n = Array.length db and d = Array.length db.(0) in
+  say "dataset: %s, n=%d, d=%d, layout=%s%s@." dataset_name n d
+    (Config.layout_name config.Config.layout)
+    (if opts.full then "" else " (scaled; --full for paper scale)");
+  let ks = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
+  let rng = Rng.of_int opts.seed in
+  let rows = run_query_series ~config ~db ~queries_k:ks ~rng in
+  say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
+  List.iter
+    (fun (k, s, ok, r) ->
+      say "%6d %a %9.2fs %9.2fs %7b@." k pp_paper (interp paper_anchors k) s
+        (k_dependent_seconds r) ok)
+    rows;
+  check_linear ~name:"total time vs k" (List.map (fun (k, _, _, _) -> k) rows)
+    (List.map (fun (_, s, _, _) -> s) rows);
+  check_linear ~name:"k-dependent phases vs k" (List.map (fun (k, _, _, _) -> k) rows)
+    (List.map (fun (_, _, _, r) -> k_dependent_seconds r) rows)
+
+let fig3 opts =
+  let rng = Rng.of_int (opts.seed + 3) in
+  let n = scaled opts ~default_scale:0.5 858 in
+  let db =
+    Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng)
+  in
+  fig_k_sweep ~id:"fig3" ~title:"running time vs k, cervical-cancer data (858 x 32)"
+    ~dataset_name:"cervical-cancer (UCI-shaped)" ~db ~config:(Config.standard ())
+    ~paper_anchors:[ (2, 45.0); (8, 165.0); (16, 328.0); (20, 410.0) ]
+    opts
+
+let fig4 opts =
+  let rng = Rng.of_int (opts.seed + 4) in
+  let n = scaled opts ~default_scale:0.1 30000 in
+  let db = Preprocess.scale_to_max ~max_value:255 (Uci_like.credit_default ~n rng) in
+  fig_k_sweep ~id:"fig4" ~title:"running time vs k, credit-card data (30000 x 23)"
+    ~dataset_name:"credit-default (UCI-shaped)" ~db ~config:(Config.fast ())
+    ~paper_anchors:[ (2, 115.0); (8, 373.0); (20, 860.0) ]
+    opts
+
+let fig5 opts =
+  hr "fig5 — running time vs n (d = 2, k = 5)";
+  let config = Config.fast () in
+  let ns = List.map (fun n -> scaled opts ~default_scale:0.1 n)
+      [ 20000; 40000; 60000; 80000; 100000; 120000; 140000; 160000; 180000; 200000 ] in
+  say "layout=%s%s@." (Config.layout_name config.Config.layout)
+    (if opts.full then "" else " (scaled)");
+  let paper = [ (20000, 23.0); (200000, 180.0) ] in
+  say "@.%8s %10s %10s %7s@." "n" "paper" "measured" "exact";
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Rng.of_int (opts.seed + 5 + n) in
+        let db = Synthetic.uniform rng ~n ~d:2 ~max_value:255 in
+        let dep = Protocol.deploy ~rng config ~db in
+        let q = Synthetic.query_like rng db in
+        let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:5) in
+        let ok = Protocol.exact dep ~db ~query:q r in
+        let paper_n = if opts.full then n else int_of_float (float_of_int n /. Option.value ~default:0.1 opts.scale) in
+        say "%8d %a %9.2fs %7b@." n pp_paper (interp paper paper_n) s ok;
+        (n, s))
+      ns
+  in
+  check_linear ~name:"time vs n" (List.map fst rows) (List.map snd rows)
+
+let fig6 opts =
+  hr "fig6 — running time vs d (n = 200000, k = 2)";
+  (* Per-coordinate layout: its distance phase does d homomorphic
+     squarings per point, which is the linear-in-d behaviour the paper
+     measures.  (The dot-product layout is d-independent here — see the
+     ablation section.) *)
+  (* Affine mask without intermediate rescaling so the d-proportional
+     distance computation dominates the profile, as it does in the
+     paper's implementation. *)
+  let config =
+    Config.with_rescale_distances false (Config.with_mask_degree 1 (Config.standard ()))
+  in
+  let n = scaled opts ~default_scale:0.04 200000 in
+  say "n=%d, layout=%s%s@." n (Config.layout_name config.Config.layout)
+    (if opts.full then "" else " (scaled)");
+  let paper = [ (1, 137.0); (10, 530.0) ] in
+  say "@.%6s %10s %10s %10s %7s@." "d" "paper" "measured" "dist-phase" "exact";
+  let rows =
+    List.map
+      (fun d ->
+        let rng = Rng.of_int (opts.seed + 6 + d) in
+        let db = Synthetic.uniform rng ~n ~d ~max_value:255 in
+        let dep = Protocol.deploy ~rng config ~db in
+        let q = Synthetic.query_like rng db in
+        let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:2) in
+        let ok = Protocol.exact dep ~db ~query:q r in
+        let dist_s = List.assoc "compute-distances" r.Protocol.phase_seconds in
+        say "%6d %a %9.2fs %9.2fs %7b@." d pp_paper (interp paper d) s dist_s ok;
+        (d, s, dist_s))
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  check_linear ~name:"total time vs d" (List.map (fun (d, s, _) -> ignore s; d) rows)
+    (List.map (fun (_, s, _) -> s) rows);
+  check_linear ~name:"distance phase vs d" (List.map (fun (d, _, _) -> d) rows)
+    (List.map (fun (_, _, s) -> s) rows)
+
+let fig7 opts =
+  hr "fig7 — running time vs k (n = 200000, d = 2)";
+  let config = Config.fast () in
+  let n = scaled opts ~default_scale:0.05 200000 in
+  say "n=%d, layout=%s%s@." n (Config.layout_name config.Config.layout)
+    (if opts.full then "" else " (scaled)");
+  let rng = Rng.of_int (opts.seed + 7) in
+  let db = Synthetic.uniform rng ~n ~d:2 ~max_value:255 in
+  let paper = [ (1, 115.0); (20, 480.0) ] in
+  let ks = [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
+  let rows = run_query_series ~config ~db ~queries_k:ks ~rng in
+  say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
+  List.iter
+    (fun (k, s, ok, r) ->
+      say "%6d %a %9.2fs %9.2fs %7b@." k pp_paper (interp paper k) s
+        (k_dependent_seconds r) ok)
+    rows;
+  check_linear ~name:"total time vs k" (List.map (fun (k, _, _, _) -> k) rows)
+    (List.map (fun (_, s, _, _) -> s) rows);
+  check_linear ~name:"k-dependent phases vs k" (List.map (fun (k, _, _, _) -> k) rows)
+    (List.map (fun (_, _, _, r) -> k_dependent_seconds r) rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: computational overheads, predicted and measured            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 opts =
+  hr "Table 1 — computational overheads: ours vs Yousef et al.";
+  let n = scaled opts ~default_scale:0.2 500 in
+  let d = 6 and k = 5 in
+  let rng = Rng.of_int (opts.seed + 1) in
+  let db = Synthetic.uniform rng ~n ~d ~max_value:100 in
+  let q = Synthetic.query_like rng db in
+  (* Ours, measured. *)
+  let config = Config.standard () in
+  let dep = Protocol.deploy ~rng config ~db in
+  let r = Protocol.query dep ~query:q ~k in
+  let ours_measured = Cost.measured r in
+  let ours_predicted = Cost.ours ~n ~d ~k ~mask_degree:config.Config.mask_degree in
+  (* Baseline, measured on a further-scaled instance (it is the slow
+     one). *)
+  let nb = Stdlib.max 8 (n / 5) in
+  let dbb = Array.sub db 0 nb in
+  let dep_b = Sknn_m.deploy ~rng:(Rng.split rng) ~modulus_bits:128 ~db:dbb () in
+  let rb = Sknn_m.query dep_b ~query:q ~k in
+  let l = Sknn_m.bit_length dep_b in
+  let yousef_predicted = Cost.yousef ~n:nb ~d ~k ~l in
+  let hom c = Util.Counters.hom_total c in
+  say "@.instance: n=%d (baseline run at n=%d), d=%d, k=%d, l=%d@." n nb d k l;
+  say "@.%-28s %14s %14s | %14s %14s@." "" "ours(pred)" "ours(meas)" "yousef(pred)"
+    "yousef(meas)";
+  let row name op om yp ym = say "%-28s %14s %14s | %14s %14s@." name op om yp ym in
+  row "homomorphic operations"
+    (string_of_int ours_predicted.Cost.hom_ops)
+    (string_of_int ours_measured.Cost.hom_ops)
+    (string_of_int yousef_predicted.Cost.hom_ops)
+    (string_of_int (hom rb.Sknn_m.counters_c1 + hom rb.Sknn_m.counters_c2));
+  row "encryptions"
+    (string_of_int ours_predicted.Cost.encryptions)
+    (string_of_int ours_measured.Cost.encryptions)
+    (string_of_int yousef_predicted.Cost.encryptions)
+    (string_of_int
+       (Util.Counters.encryptions rb.Sknn_m.counters_c1
+        + Util.Counters.encryptions rb.Sknn_m.counters_c2));
+  row "decryptions (key holder)"
+    (string_of_int ours_predicted.Cost.decryptions)
+    (string_of_int ours_measured.Cost.decryptions)
+    (string_of_int yousef_predicted.Cost.decryptions)
+    (string_of_int (Util.Counters.decryptions rb.Sknn_m.counters_c2));
+  row "rounds (A<->B)" "1"
+    (string_of_int ours_measured.Cost.rounds)
+    (Printf.sprintf "O(k)=%d+" k)
+    (string_of_int rb.Sknn_m.interactions);
+  row "bytes A<->B" "-"
+    (string_of_int ours_measured.Cost.bytes)
+    "-"
+    (string_of_int
+       (Transcript.bytes_between rb.Sknn_m.transcript Transcript.Party_a Transcript.Party_b));
+  say "@.paper's asymptotic rows: ours O(n(k+d+D)) hom, O(nk) enc, O(n) dec, 1 round;@.";
+  say "                         yousef O(n(2kl+d)) hom, O(nkl) enc, O(n(kl+d)) dec, O(k) rounds@.";
+  say "exactness: ours=%b baseline=%b@."
+    (Protocol.exact dep ~db ~query:q r)
+    (Sknn_m.exact dep_b ~db:dbb ~query:q rb)
+
+(* ------------------------------------------------------------------ *)
+(* §5.2 head-to-head                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let headtohead opts =
+  hr "§5.2 head-to-head — n=2000, d=6, k=25: ours vs Yousef et al.";
+  let n = scaled opts ~default_scale:0.075 2000 in
+  let k = if opts.full then 25 else 10 in
+  let d = 6 in
+  let rng = Rng.of_int (opts.seed + 8) in
+  let db = Synthetic.uniform rng ~n ~d ~max_value:100 in
+  let q = Synthetic.query_like rng db in
+  say "instance: n=%d, d=%d, k=%d%s@." n d k
+    (if opts.full then "" else " (scaled; --full for n=2000, k=25)");
+  let dep = Protocol.deploy ~rng (Config.standard ()) ~db in
+  let r, ours_s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  say "ours:           %a (paper: 1 min 37 s)  exact=%b@." Util.Timer.pp_duration ours_s
+    (Protocol.exact dep ~db ~query:q r);
+  let dep_b = Sknn_m.deploy ~rng:(Rng.split rng) ~modulus_bits:128 ~db () in
+  let rb, base_s = Util.Timer.time (fun () -> Sknn_m.query dep_b ~query:q ~k) in
+  say "yousef et al.:  %a (paper: 55 min 39 s)  exact=%b@." Util.Timer.pp_duration base_s
+    (Sknn_m.exact dep_b ~db ~query:q rb);
+  say "speedup: %.1fx (paper: %.1fx)@." (base_s /. ours_s) (3339.0 /. 97.0);
+  say "rounds: ours=%d, baseline C1<->C2 interactions=%d@."
+    (Transcript.rounds r.Protocol.transcript Transcript.Party_a Transcript.Party_b)
+    rb.Sknn_m.interactions
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation opts =
+  hr "ablations — design-choice sensitivity (DESIGN.md §4)";
+  let rng = Rng.of_int (opts.seed + 9) in
+  let n = scaled opts ~default_scale:0.5 400 in
+  let db = Synthetic.uniform rng ~n ~d:4 ~max_value:255 in
+  let q = Synthetic.query_like rng db in
+  let run name config =
+    match Config.validate config ~d:4 with
+    | Error e -> say "%-34s skipped (%s)@." name e
+    | Ok () ->
+      let dep = Protocol.deploy ~rng:(Rng.of_int opts.seed) config ~db in
+      let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:5) in
+      let bytes =
+        Transcript.bytes_between r.Protocol.transcript Transcript.Party_a Transcript.Party_b
+      in
+      say "%-34s %8.2fs  %9d B A<->B  exact=%b@." name s bytes
+        (Protocol.exact dep ~db ~query:q r)
+  in
+  say "n=%d, d=4, k=5@.@." n;
+  run "per-coordinate, mask deg 1" (Config.with_mask_degree 1 (Config.standard ()));
+  run "per-coordinate, mask deg 2" (Config.standard ());
+  run "per-coordinate, mask deg 3" (Config.with_mask_degree 3 (Config.standard ()));
+  run "per-coordinate, deg 2 + relin" (Config.with_relin true (Config.standard ()));
+  run "dot-product, affine mask" (Config.fast ());
+  say "@.(relinearisation shrinks the A->B ciphertexts at extra compute; the@.";
+  say " dot-product layout trades mask degree for one multiplication per point)@."
+
+(* ------------------------------------------------------------------ *)
+(* §7 extensions: secure k-means and secure Apriori                    *)
+(* ------------------------------------------------------------------ *)
+
+let extensions opts =
+  hr "extensions — the paper's §7 future work: k-means and Apriori";
+  let rng = Rng.of_int (opts.seed + 10) in
+  (* k-means *)
+  let n = scaled opts ~default_scale:0.5 1000 in
+  let db = Synthetic.clustered rng ~n ~d:4 ~clusters:4 ~spread:10.0 ~max_value:250 in
+  let init = Array.init 4 (fun i -> db.(i * (n / 4))) in
+  let dep = Kmeans.deploy ~rng (Config.fast ()) ~db in
+  let r = Kmeans.run ~rng dep ~init in
+  let plain, plain_s = Util.Timer.time (fun () -> Kmeans_plain.lloyd ~init db) in
+  say "k-means: n=%d d=4 k=4: secure %.2fs (%d iters) vs plaintext %.4fs; identical=%b@." n
+    r.Kmeans.seconds r.Kmeans.iterations plain_s
+    (plain.Kmeans_plain.centroids = r.Kmeans.centroids);
+  (* Apriori *)
+  let nt = scaled opts ~default_scale:0.5 2000 in
+  let tx =
+    Array.init nt (fun _ ->
+        let row = Array.init 20 (fun _ -> if Rng.float rng < 0.1 then 1 else 0) in
+        if Rng.float rng < 0.3 then begin
+          row.(0) <- 1; row.(1) <- 1; row.(2) <- 1
+        end;
+        row)
+  in
+  let minsup = nt / 5 in
+  let adep = Apriori.deploy ~rng (Config.standard ()) ~transactions:tx in
+  let ar = Apriori.mine ~rng adep ~minsup in
+  let _, ap_s =
+    Util.Timer.time (fun () -> Apriori_plain.frequent_itemsets ~minsup tx)
+  in
+  say "apriori: %d transactions x 20 items, minsup=%d: secure %.2fs vs plaintext %.4fs;        identical=%b (%d itemsets, %d hom muls total)@."
+    nt minsup ar.Apriori.seconds ap_s
+    (Apriori.matches_plaintext ~transactions:tx ~minsup ar)
+    (List.length ar.Apriori.frequent)
+    (Util.Counters.hom_muls ar.Apriori.counters_a)
+
+(* ------------------------------------------------------------------ *)
+(* Primitive micro-benchmarks (bechamel)                               *)
+(* ------------------------------------------------------------------ *)
+
+let micro _opts =
+  hr "micro — primitive operation costs (bechamel OLS estimates)";
+  let open Bechamel in
+  let p = Config.standard () in
+  let bgv = p.Config.bgv in
+  let rng = Rng.of_int 5150 in
+  let keys = Bgv.keygen rng bgv in
+  let pt = Plaintext.constant bgv 123L in
+  let ct = Bgv.encrypt rng keys.Bgv.pk pt in
+  let sk_p, pk_p = Paillier.keygen ~modulus_bits:512 rng in
+  let pct = Paillier.encrypt_int rng pk_p 12345 in
+  let tests =
+    [ Test.make ~name:"bgv.encrypt" (Staged.stage (fun () -> Bgv.encrypt rng keys.Bgv.pk pt));
+      Test.make ~name:"bgv.add" (Staged.stage (fun () -> Bgv.add ct ct));
+      Test.make ~name:"bgv.mul_no_relin" (Staged.stage (fun () -> Bgv.mul ~rescale:false ct ct));
+      Test.make ~name:"bgv.mul_relin_rescale"
+        (Staged.stage (fun () -> Bgv.mul ~rlk:keys.Bgv.rlk ct ct));
+      Test.make ~name:"bgv.decrypt" (Staged.stage (fun () -> Bgv.decrypt keys.Bgv.sk ct));
+      Test.make ~name:"bgv.decrypt_coeff0"
+        (Staged.stage (fun () -> Bgv.decrypt_coeff0 keys.Bgv.sk ct));
+      (let bp = Params.create ~name:"bfv-micro" ~n:64 ~plain_bits:30 ~prime_bits:30 ~chain_len:6 () in
+       let bkeys = Bfv.keygen rng bp in
+       let bct = Bfv.encrypt rng bkeys.Bfv.pk (Plaintext.constant bp 123L) in
+       Test.make ~name:"bfv.mul_relin"
+         (Staged.stage (fun () -> Bfv.mul ~rlk:bkeys.Bfv.rlk bct bct)));
+      Test.make ~name:"paillier.encrypt_512"
+        (Staged.stage (fun () -> Paillier.encrypt_int rng pk_p 7));
+      Test.make ~name:"paillier.decrypt_512"
+        (Staged.stage (fun () -> Paillier.decrypt_int sk_p pct));
+      Test.make ~name:"paillier.mul_plain_512"
+        (Staged.stage (fun () -> Paillier.mul_plain pk_p pct (Zint.of_int 123456789))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> say "%-28s %12.1f ns/op (%8.3f ms)@." name ns (ns /. 1e6)
+          | _ -> say "%-28s (no estimate)@." name)
+        analysed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("table1", table1); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
+    ("fig7", fig7); ("headtohead", headtohead); ("ablation", ablation);
+    ("extensions", extensions); ("micro", micro) ]
+
+let run opts =
+  say "secure k-NN benchmark harness (seed %d, %s)@." opts.seed
+    (if opts.full then "FULL paper scale" else "scaled-down default");
+  List.iter (fun (id, f) -> if wants opts id then f opts) experiments;
+  say "@.done.@."
+
+open Cmdliner
+
+let full_t =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run at the paper's full workload sizes.")
+
+let scale_t =
+  Arg.(value & opt (some float) None
+       & info [ "scale" ] ~doc:"Override the default scale factor.")
+
+let only_t =
+  Arg.(value & opt (some string) None
+       & info [ "only" ]
+           ~doc:"Comma-separated experiment ids (table1, fig3..fig7, headtohead, ablation, extensions, micro).")
+
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
+
+let main full scale only seed =
+  let only = Option.map (String.split_on_char ',') only in
+  run { full; scale; only; seed }
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const main $ full_t $ scale_t $ only_t $ seed_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,209 @@
+(* sknn — command-line front end for the secure k-NN library.
+
+   Subcommands:
+     gen       generate a synthetic or UCI-shaped integer CSV dataset
+     query     run the full secure protocol on a CSV database
+     baseline  run the Yousef et al. Paillier baseline on a CSV database
+     kmeans    secure k-means clustering (§7 extension)
+     apriori   secure frequent-itemset mining (§7 extension)
+     info      print the parameter presets and their security estimates *)
+
+open Cmdliner
+
+let read_db path = Csv_io.read ~has_header:false path
+
+let parse_query s =
+  String.split_on_char ',' s
+  |> List.map (fun f -> int_of_string (String.trim f))
+  |> Array.of_list
+
+let config_of_layout = function
+  | "per-coordinate" -> Config.standard ()
+  | "dot-product" -> Config.fast ()
+  | "secure" -> Config.secure ()
+  | other -> invalid_arg (Printf.sprintf "unknown layout %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen dataset rows dims max_value seed out =
+  let rng = Util.Rng.of_int seed in
+  let db =
+    match dataset with
+    | "uniform" -> Synthetic.uniform rng ~n:rows ~d:dims ~max_value
+    | "clustered" ->
+      Synthetic.clustered rng ~n:rows ~d:dims ~clusters:5
+        ~spread:(float_of_int max_value /. 20.0) ~max_value
+    | "cervical" ->
+      Preprocess.scale_to_max ~max_value (Uci_like.cervical_cancer ~n:rows rng)
+    | "credit" -> Preprocess.scale_to_max ~max_value (Uci_like.credit_default ~n:rows rng)
+    | other -> invalid_arg (Printf.sprintf "unknown dataset %S" other)
+  in
+  Csv_io.write out db;
+  Format.printf "wrote %d x %d integers to %s@." (Array.length db)
+    (Array.length db.(0)) out;
+  0
+
+let gen_cmd =
+  let dataset =
+    Arg.(value & opt string "uniform"
+         & info [ "dataset" ] ~doc:"uniform | clustered | cervical | credit")
+  in
+  let rows = Arg.(value & opt int 500 & info [ "rows"; "n" ] ~doc:"Row count.") in
+  let dims = Arg.(value & opt int 4 & info [ "dims"; "d" ] ~doc:"Dimensions (uniform/clustered).") in
+  let max_value = Arg.(value & opt int 255 & info [ "max" ] ~doc:"Largest coordinate.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT.csv") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate an integer CSV dataset")
+    Term.(const gen $ dataset $ rows $ dims $ max_value $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query_run data query_s k layout seed verbose =
+  let db = read_db data in
+  let q = parse_query query_s in
+  let config = config_of_layout layout in
+  (match Config.validate config ~d:(Array.length q) with
+   | Ok () -> ()
+   | Error e ->
+     Format.eprintf "configuration unsound for this data: %s@." e;
+     exit 2);
+  let rng = Util.Rng.of_int seed in
+  let dep, setup_s = Util.Timer.time (fun () -> Protocol.deploy ~rng config ~db) in
+  let r, query_s' = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  Format.printf "neighbours:@.";
+  Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
+  Format.printf "exact: %b@." (Protocol.exact dep ~db ~query:q r);
+  Format.printf "setup %a, query %a@." Util.Timer.pp_duration setup_s Util.Timer.pp_duration
+    query_s';
+  if verbose then begin
+    List.iter
+      (fun (name, s) -> Format.printf "  %-20s %a@." name Util.Timer.pp_duration s)
+      r.Protocol.phase_seconds;
+    Format.printf "party A: %a@." Util.Counters.pp r.Protocol.counters_a;
+    Format.printf "party B: %a@." Util.Counters.pp r.Protocol.counters_b;
+    Format.printf "%a@." Transcript.pp r.Protocol.transcript
+  end;
+  0
+
+let data_t = Arg.(required & opt (some file) None & info [ "data" ] ~doc:"Integer CSV database.")
+let query_t =
+  Arg.(required & opt (some string) None
+       & info [ "query" ] ~doc:"Comma-separated query coordinates.")
+let k_t = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of neighbours.")
+let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print counters and transcript.")
+
+let query_cmd =
+  let layout =
+    Arg.(value & opt string "per-coordinate"
+         & info [ "layout" ] ~doc:"per-coordinate | dot-product | secure")
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
+    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ verbose_t)
+
+(* ------------------------------------------------------------------ *)
+(* baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_run data query_s k modulus_bits seed =
+  let db = read_db data in
+  let q = parse_query query_s in
+  let rng = Util.Rng.of_int seed in
+  let dep, setup_s =
+    Util.Timer.time (fun () -> Sknn_m.deploy ~rng ~modulus_bits ~db ())
+  in
+  let r, qs = Util.Timer.time (fun () -> Sknn_m.query dep ~query:q ~k) in
+  Format.printf "neighbours:@.";
+  Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Sknn_m.neighbours;
+  Format.printf "exact: %b@." (Sknn_m.exact dep ~db ~query:q r);
+  Format.printf "setup %a, query %a, C1<->C2 interactions %d@." Util.Timer.pp_duration setup_s
+    Util.Timer.pp_duration qs r.Sknn_m.interactions;
+  0
+
+let baseline_cmd =
+  let modulus =
+    Arg.(value & opt int 256 & info [ "modulus-bits" ] ~doc:"Paillier modulus size.")
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run the Yousef et al. Paillier baseline (slow by design)")
+    Term.(const baseline_run $ data_t $ query_t $ k_t $ modulus $ seed_t)
+
+(* ------------------------------------------------------------------ *)
+(* kmeans                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let kmeans_run data k max_iters seed =
+  let db = read_db data in
+  if k < 1 || k > Array.length db then begin
+    Format.eprintf "k out of range@.";
+    exit 2
+  end;
+  let rng = Util.Rng.of_int seed in
+  let init = Array.init k (fun i -> db.(i * (Array.length db / k))) in
+  let dep = Kmeans.deploy ~rng (Config.fast ()) ~db in
+  let r = Kmeans.run ~rng ~max_iters dep ~init in
+  Format.printf "converged=%b after %d iterations (%a)@." r.Kmeans.converged
+    r.Kmeans.iterations Util.Timer.pp_duration r.Kmeans.seconds;
+  Array.iteri
+    (fun i c -> Format.printf "  cluster %d (%d points): %a@." (i + 1) r.Kmeans.sizes.(i)
+        Point.pp c)
+    r.Kmeans.centroids;
+  Format.printf "identical to plaintext Lloyd: %b@."
+    (Kmeans.matches_plaintext ~db ~init ~max_iters r);
+  0
+
+let kmeans_cmd =
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"Cluster count.") in
+  let iters = Arg.(value & opt int 25 & info [ "max-iters" ] ~doc:"Iteration cap.") in
+  Cmd.v (Cmd.info "kmeans" ~doc:"Secure k-means clustering over an encrypted CSV database")
+    Term.(const kmeans_run $ data_t $ k $ iters $ seed_t)
+
+(* ------------------------------------------------------------------ *)
+(* apriori                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let apriori_run data minsup max_size seed =
+  let tx = read_db data in
+  let rng = Util.Rng.of_int seed in
+  let dep = Apriori.deploy ~rng (Config.standard ()) ~transactions:tx in
+  let r = Apriori.mine ~rng ~max_size dep ~minsup in
+  Format.printf "%d frequent itemsets (support >= %d) in %a:@."
+    (List.length r.Apriori.frequent) minsup Util.Timer.pp_duration r.Apriori.seconds;
+  List.iter
+    (fun s -> Format.printf "  {%s}@." (String.concat ", " (List.map string_of_int s)))
+    r.Apriori.frequent;
+  Format.printf "identical to plaintext Apriori: %b@."
+    (Apriori.matches_plaintext ~transactions:tx ~minsup ~max_size r);
+  0
+
+let apriori_cmd =
+  let minsup = Arg.(value & opt int 10 & info [ "minsup" ] ~doc:"Support threshold.") in
+  let max_size = Arg.(value & opt int 4 & info [ "max-size" ] ~doc:"Largest itemset.") in
+  Cmd.v
+    (Cmd.info "apriori" ~doc:"Secure frequent-itemset mining over encrypted 0/1 transactions")
+    Term.(const apriori_run $ data_t $ minsup $ max_size $ seed_t)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_run () =
+  List.iter
+    (fun (name, c) ->
+      Format.printf "--- %s ---@.%a@.@." name Config.pp c)
+    [ ("per-coordinate (standard)", Config.standard ());
+      ("dot-product (fast)", Config.fast ());
+      ("secure (128-bit ring)", Config.secure ()) ];
+  0
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Show parameter presets and security estimates")
+    Term.(const info_run $ const ())
+
+let () =
+  let doc = "Secure k-nearest neighbours over encrypted data (EDBT 2018 reproduction)" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "sknn" ~doc) [ gen_cmd; query_cmd; baseline_cmd; kmeans_cmd; apriori_cmd; info_cmd ]))

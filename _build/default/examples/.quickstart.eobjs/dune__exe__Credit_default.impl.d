@@ -1,0 +1,1 @@
+examples/credit_default.ml: Array Config Format List Preprocess Protocol Synthetic Sys Transcript Uci_like Util

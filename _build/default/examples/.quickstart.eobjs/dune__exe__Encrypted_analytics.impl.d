@@ -1,0 +1,1 @@
+examples/encrypted_analytics.ml: Apriori Apriori_plain Array Config Format Kmeans List Point String Synthetic Util

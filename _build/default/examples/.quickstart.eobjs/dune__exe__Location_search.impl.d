@@ -1,0 +1,1 @@
+examples/location_search.ml: Array Config Distance Format Leakage Point Protocol Sknn_m Synthetic Util

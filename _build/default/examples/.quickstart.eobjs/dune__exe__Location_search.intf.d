@@ -1,0 +1,1 @@
+examples/location_search.mli:

@@ -1,0 +1,1 @@
+examples/medical_records.ml: Array Config Csv_io Distance Format Leakage List Preprocess Protocol Synthetic Sys Transcript Uci_like Util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Format Leakage List Plain_knn Point Protocol Transcript Util

@@ -1,0 +1,52 @@
+(* Quickstart: the whole secure k-NN pipeline on a database small enough
+   to read by eye.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let db =
+  [| [| 10; 10 |]; [| 12; 11 |]; [| 200; 180 |]; [| 13; 9 |]; [| 100; 100 |];
+     [| 210; 190 |]; [| 11; 14 |]; [| 95; 105 |] |]
+
+let query = [| 12; 12 |]
+let k = 3
+
+let () =
+  let config = Config.standard () in
+  Format.printf "Configuration:@.  %a@.@." Config.pp config;
+
+  (* Setup: the data owner generates keys, encrypts the database and
+     hands the pieces to the two cloud parties. *)
+  let deployment = Protocol.deploy ~rng:(Util.Rng.of_int 2024) config ~db in
+  Format.printf "Database: %d points, %d dimensions, encrypted and stored at Party A@."
+    (Protocol.db_size deployment) (Protocol.dimension deployment);
+
+  (* One query. *)
+  let result = Protocol.query deployment ~query ~k in
+  Format.printf "@.Query %a, k = %d@." Point.pp query k;
+  Format.printf "Encrypted protocol answered with:@.";
+  Array.iter (fun p -> Format.printf "  %a@." Point.pp p) result.Protocol.neighbours;
+
+  (* Check against the plaintext oracle. *)
+  let truth = Plain_knn.knn ~k ~query db in
+  Format.printf "@.Plaintext k-NN ground truth: ";
+  Array.iter (fun i -> Format.printf "%a " Point.pp db.(i)) truth;
+  Format.printf "@.Exact match (distance multiset): %b@."
+    (Protocol.exact deployment ~db ~query result);
+
+  (* What did it cost? *)
+  Format.printf "@.Per-phase wall-clock:@.";
+  List.iter
+    (fun (name, s) -> Format.printf "  %-20s %a@." name Util.Timer.pp_duration s)
+    result.Protocol.phase_seconds;
+  Format.printf "@.Party A ops: %a@." Util.Counters.pp result.Protocol.counters_a;
+  Format.printf "Party B ops: %a@." Util.Counters.pp result.Protocol.counters_b;
+  Format.printf "@.Communication (one A<->B round, as the paper claims):@.%a@."
+    Transcript.pp result.Protocol.transcript;
+
+  (* What does the key-holding party actually see? *)
+  Format.printf "@.Party B's view (masked, permuted distances):@.  ";
+  Array.iter (fun v -> Format.printf "%Ld " v) (Leakage.view_multiset result.Protocol.view_b);
+  Format.printf
+    "@.True squared distances (never visible to either cloud):@.  ";
+  Array.iter (fun d -> Format.printf "%d " d) (Plain_knn.distances ~query db);
+  Format.printf "@."

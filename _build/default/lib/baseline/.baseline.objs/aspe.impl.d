@@ -1,0 +1,1 @@
+lib/baseline/aspe.ml: Array Float Printf Util

@@ -1,0 +1,1 @@
+lib/baseline/sknn_m.ml: Array Distance List Option Paillier Plain_knn Printf Smc Stdlib Transcript Util Zint

@@ -1,0 +1,1 @@
+lib/baseline/sknn_m.mli: Transcript Util

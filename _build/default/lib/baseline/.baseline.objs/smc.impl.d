@@ -1,0 +1,1 @@
+lib/baseline/smc.ml: Array Option Paillier Printf Transcript Util Zint

@@ -1,0 +1,1 @@
+lib/baseline/smc.mli: Paillier Transcript Util Zint

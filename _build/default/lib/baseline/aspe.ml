@@ -1,0 +1,59 @@
+module Matf = Util.Matf
+
+type key = { d : int; m_t : Matf.t; m_inv : Matf.t }
+
+let keygen rng ~d =
+  if d < 1 then invalid_arg "Aspe.keygen: d < 1";
+  let m = Matf.random rng (d + 1) in
+  { d; m_t = Matf.transpose m; m_inv = Matf.inverse m }
+
+let dimension k = k.d
+
+type enc_point = float array
+type enc_query = float array
+
+let extend_point p =
+  let d = Array.length p in
+  let norm2 = Array.fold_left (fun acc v -> acc +. (float_of_int v ** 2.0)) 0.0 p in
+  Array.init (d + 1) (fun i ->
+      if i < d then float_of_int p.(i) else -0.5 *. norm2)
+
+let encrypt_point key p =
+  if Array.length p <> key.d then invalid_arg "Aspe.encrypt_point: dimension mismatch";
+  Matf.mul_vec key.m_t (extend_point p)
+
+let encrypt_query rng key q =
+  if Array.length q <> key.d then invalid_arg "Aspe.encrypt_query: dimension mismatch";
+  let r = 0.5 +. Util.Rng.float rng in
+  let extended = Array.init (key.d + 1) (fun i -> if i < key.d then float_of_int q.(i) else 1.0) in
+  Array.map (fun v -> r *. v) (Matf.mul_vec key.m_inv extended)
+
+let score p q = Matf.dot p q
+
+let knn ~db ~query ~k =
+  let n = Array.length db in
+  if k < 1 || k > n then invalid_arg "Aspe.knn: k out of range";
+  let order = Array.init n (fun i -> i) in
+  let s = Array.map (fun p -> score p query) db in
+  Array.sort
+    (fun i j -> if s.(i) <> s.(j) then compare s.(j) s.(i) else compare i j)
+    order;
+  Array.sub order 0 k
+
+let known_plaintext_attack ~pairs =
+  let count = Array.length pairs in
+  if count < 1 then invalid_arg "Aspe.known_plaintext_attack: no pairs";
+  let d = Array.length (fst pairs.(0)) in
+  if count < d + 1 then
+    invalid_arg
+      (Printf.sprintf "Aspe.known_plaintext_attack: need %d pairs, got %d" (d + 1) count);
+  (* Each pair gives a row of P·Mᵀᵀ = Ĉ with P the extended plaintexts:
+     recover T = Mᵀ as P⁻¹·Ĉ, then decrypt via ĉ·T⁻¹. *)
+  let p_rows = Array.init (d + 1) (fun i -> extend_point (fst pairs.(i))) in
+  let c_rows = Array.init (d + 1) (fun i -> Array.copy (snd pairs.(i))) in
+  let p_inv = Matf.inverse p_rows in
+  let t = Matf.mul p_inv c_rows in
+  let t_inv = Matf.inverse t in
+  fun ct ->
+    let extended = Matf.vec_mul ct t_inv in
+    Array.init d (fun i -> int_of_float (Float.round extended.(i)))

@@ -1,0 +1,45 @@
+(** ASPE — Asymmetric Scalar-Product-preserving Encryption (Wong et al.,
+    SIGMOD 2009), the second comparator in the paper's related work.
+
+    The scheme hides points behind a secret invertible matrix [M]:
+
+      point:  p̂ = Mᵀ · (p₁, …, p_d, −½‖p‖²)
+      query:  q̂ = r · M⁻¹ · (q₁, …, q_d, 1),  r > 0 fresh per query
+
+    so that [p̂ · q̂ = r·(p·q − ½‖p‖²)], whose order over the database
+    equals the (reversed) order of squared Euclidean distances to [q] —
+    the server can run k-NN on "encrypted" data with plain dot
+    products, no homomorphic operations and no second party.
+
+    The paper (citing Yao et al., ICDE 2013) dismisses ASPE as
+    vulnerable to known-plaintext attacks; {!known_plaintext_attack}
+    makes that executable: [d + 1] known (plaintext, ciphertext) pairs
+    recover the whole transform and decrypt every stored point.  The
+    tests run both the functionality and the break. *)
+
+type key
+
+val keygen : Util.Rng.t -> d:int -> key
+(** Key for [d]-dimensional data (a random invertible (d+1)×(d+1)
+    matrix). *)
+
+val dimension : key -> int
+
+type enc_point = float array
+type enc_query = float array
+
+val encrypt_point : key -> int array -> enc_point
+val encrypt_query : Util.Rng.t -> key -> int array -> enc_query
+
+val score : enc_point -> enc_query -> float
+(** Larger score = closer to the query. *)
+
+val knn : db:enc_point array -> query:enc_query -> k:int -> int array
+(** Server-side k-NN: indices of the k largest scores (ties to the
+    lower index), sorted by rank. *)
+
+val known_plaintext_attack :
+  pairs:(int array * enc_point) array -> (enc_point -> int array)
+(** Given [d + 1] linearly independent known pairs, returns a decryption
+    oracle for arbitrary point ciphertexts (coordinates rounded back to
+    integers). @raise Failure if the pairs are not independent. *)

@@ -1,0 +1,156 @@
+module Z = Zint
+module Rng = Util.Rng
+
+type deployment = {
+  ctx : Smc.ctx;
+  rng : Rng.t;
+  enc_points : Paillier.ct array array; (* n x d *)
+  n : int;
+  d : int;
+}
+
+let bits_needed v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let deploy ?rng ?(modulus_bits = 512) ?l ~db () =
+  let rng = match rng with Some r -> r | None -> Rng.of_int 0xe1cde in
+  let n = Array.length db in
+  if n = 0 then invalid_arg "Sknn_m.deploy: empty database";
+  let d = Array.length db.(0) in
+  let max_coord =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc v ->
+            if v < 0 then invalid_arg "Sknn_m.deploy: negative coordinate";
+            Stdlib.max acc v)
+          acc row)
+      0 db
+  in
+  let l =
+    match l with
+    | Some l -> l
+    | None -> 1 + bits_needed (Distance.max_squared_euclidean ~d ~max_value:max_coord)
+  in
+  let sk, pk = Paillier.keygen ~modulus_bits (Rng.split rng) in
+  let ctx = Smc.create ~rng:(Rng.split rng) ~sk ~pk ~l () in
+  let enc_points =
+    Array.map (fun row -> Array.map (fun v -> Smc.encrypt_value ctx v) row) db
+  in
+  { ctx; rng; enc_points; n; d }
+
+let db_size t = t.n
+let dimension t = t.d
+let bit_length t = Smc.bit_length t.ctx
+
+type result = {
+  neighbours : int array array;
+  k : int;
+  seconds : float;
+  counters_c1 : Util.Counters.t;
+  counters_c2 : Util.Counters.t;
+  transcript : Transcript.t;
+  interactions : int;
+}
+
+let query t ~query ~k =
+  if Array.length query <> t.d then invalid_arg "Sknn_m.query: dimension mismatch";
+  if k < 1 || k > t.n then invalid_arg "Sknn_m.query: k out of range";
+  let ctx = t.ctx in
+  let pk = Smc.pk ctx in
+  let nmod = Paillier.modulus pk in
+  Smc.reset_stats ctx;
+  let tr = Smc.transcript ctx in
+  let base_rounds = Transcript.rounds tr Transcript.Party_a Transcript.Party_b in
+  let t0 = Util.Timer.now () in
+  let c1 = Smc.counters_c1 ctx and c2 = Smc.counters_c2 ctx in
+  (* Client sends E(q); C1 computes every encrypted squared distance. *)
+  let eq = Array.map (fun v -> Smc.encrypt_value ctx v) query in
+  let dists = Array.map (fun p -> Smc.ssed ctx p eq) t.enc_points in
+  (* Bit-decompose every distance (batched: l interaction rounds). *)
+  let bits = ref (Smc.sbd ctx dists) in
+  let dists = Array.copy dists in
+  let l = Smc.bit_length ctx in
+  let maxval = Z.pred (Z.shift_left Z.one l) in
+  (* A "trivial" encryption of the max value for the distance updates. *)
+  let emax = Smc.encrypt_value ctx 0 |> fun e0 -> Paillier.add_plain ~counters:c1 pk e0 maxval in
+  let results = ref [] in
+  for j = 1 to k do
+    (* Encrypted global minimum of the surviving distances. *)
+    let min_bits = Smc.smin_n ctx !bits in
+    let emin = Smc.bits_to_value ctx min_bits in
+    (* C1 masks and permutes the differences d_i - dmin. *)
+    let perm = Util.Perm.random t.rng t.n in
+    let masked =
+      Array.map
+        (fun di ->
+          let diff = Paillier.sub ~counters:c1 pk di emin in
+          let r = Z.add Z.two (Z.random_below t.rng (Z.sub nmod Z.two)) in
+          Paillier.mul_plain ~counters:c1 pk diff r)
+        dists
+    in
+    let shuffled = Util.Perm.apply perm masked in
+    Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+      ~label:(Printf.sprintf "iteration %d: masked differences" j)
+      ~bytes:(t.n * Paillier.byte_size pk);
+    (* C2: decrypts, marks the first zero with an encrypted 1. *)
+    let zeros = Array.map (fun c -> Z.is_zero (Smc.decrypt_zint_c2 ctx c)) shuffled in
+    let sel =
+      let rec first i =
+        if i >= t.n then invalid_arg "Sknn_m.query: no minimum found (internal)"
+        else if zeros.(i) then i
+        else first (i + 1)
+      in
+      first 0
+    in
+    let indicator_shuffled =
+      Array.init t.n (fun i -> Smc.encrypt_value_c2 ctx (if i = sel then 1 else 0))
+    in
+    Transcript.send tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
+      ~label:(Printf.sprintf "iteration %d: indicator vector" j)
+      ~bytes:(t.n * Paillier.byte_size pk);
+    (* C1: undo the permutation (shuffled.(perm i) = masked.(i)). *)
+    let u = Array.init t.n (fun i -> indicator_shuffled.(Util.Perm.apply_index perm i)) in
+    (* Oblivious extraction of the selected point, coordinate by
+       coordinate: E(p*_c) = sum_i SM(U_i, E(p_i_c)). *)
+    let point =
+      Array.init t.d (fun c ->
+          let acc = ref None in
+          for i = 0 to t.n - 1 do
+            let term = Smc.sm ctx u.(i) t.enc_points.(i).(c) in
+            acc := Some (match !acc with None -> term | Some a -> Paillier.add ~counters:c1 pk a term)
+          done;
+          Option.get !acc)
+    in
+    results := point :: !results;
+    if j < k then begin
+      (* Push the found distance to MAX so it never wins again, then
+         refresh the bit decompositions. *)
+      for i = 0 to t.n - 1 do
+        let delta = Smc.sm ctx u.(i) (Paillier.sub ~counters:c1 pk emax dists.(i)) in
+        dists.(i) <- Paillier.add ~counters:c1 pk dists.(i) delta
+      done;
+      bits := Smc.sbd ctx dists
+    end
+  done;
+  (* The client decrypts the k encrypted points. *)
+  let neighbours =
+    List.rev_map (fun point -> Array.map (fun c -> Smc.decrypt_value ctx c) point) !results
+    |> Array.of_list
+  in
+  let seconds = Util.Timer.now () -. t0 in
+  { neighbours;
+    k;
+    seconds;
+    counters_c1 = c1;
+    counters_c2 = c2;
+    transcript = tr;
+    interactions = Transcript.rounds tr Transcript.Party_a Transcript.Party_b - base_rounds }
+
+let exact t ~db ~query:q r =
+  ignore t;
+  let expected = Plain_knn.kth_smallest_distances ~k:r.k ~query:q db in
+  let got = Array.map (fun p -> Distance.squared_euclidean q p) r.neighbours in
+  Array.sort compare got;
+  expected = got

@@ -1,0 +1,45 @@
+(** The Yousef/Elmehdwi et al. SkNN_m protocol — the state-of-the-art
+    comparator of Table 1 and the §5.2 head-to-head timing.
+
+    Structure (faithful to ICDE 2014): C1 stores the Paillier-encrypted
+    database; the client sends an encrypted query; C1 and C2 jointly
+    compute all squared distances (SSED), bit-decompose them (SBD), and
+    then iterate k times: find the encrypted global minimum (SMIN_n),
+    let C2 locate it behind a fresh permutation and multiplicative
+    masks, obliviously extract the corresponding encrypted point, and
+    push that distance to the maximum before the next round.  Each of
+    the k iterations requires fresh interaction — the O(k) rounds our
+    protocol eliminates. *)
+
+type deployment
+
+val deploy :
+  ?rng:Util.Rng.t -> ?modulus_bits:int -> ?l:int -> db:int array array -> unit ->
+  deployment
+(** Key generation and database encryption.  [l] is the value bit-length
+    (default: enough for the largest possible squared distance of the
+    given data); [modulus_bits] defaults to 512.
+    @raise Invalid_argument if any coordinate is negative or distances
+    cannot fit in [l] bits under the modulus. *)
+
+val db_size : deployment -> int
+val dimension : deployment -> int
+val bit_length : deployment -> int
+
+type result = {
+  neighbours : int array array;
+  k : int;
+  seconds : float;
+  counters_c1 : Util.Counters.t;
+  counters_c2 : Util.Counters.t;
+  transcript : Transcript.t;
+  interactions : int; (** distinct C1↔C2 interaction phases, grows with k *)
+}
+
+val query : deployment -> query:int array -> k:int -> result
+(** Runs a full SkNN_m query.  Counters and transcript report this query
+    only. *)
+
+val exact : deployment -> db:int array array -> query:int array -> result -> bool
+(** Ground-truth check (distance-multiset equality, as for the main
+    protocol). *)

@@ -1,0 +1,219 @@
+module Z = Zint
+module Rng = Util.Rng
+module Counters = Util.Counters
+
+type ctx = {
+  pk : Paillier.public_key;
+  sk : Paillier.secret_key;
+  rng : Rng.t;
+  l : int;
+  c1 : Counters.t;
+  c2 : Counters.t;
+  tr : Transcript.t;
+}
+
+let create ?rng ~sk ~pk ~l () =
+  let rng = match rng with Some r -> r | None -> Rng.of_int 0xba5e in
+  if Z.compare (Z.shift_left Z.one (l + 2)) (Paillier.modulus pk) >= 0 then
+    invalid_arg "Smc.create: 2^(l+2) must stay below the Paillier modulus";
+  { pk; sk; rng; l; c1 = Counters.create (); c2 = Counters.create (); tr = Transcript.create () }
+
+let pk ctx = ctx.pk
+let bit_length ctx = ctx.l
+let counters_c1 ctx = ctx.c1
+let counters_c2 ctx = ctx.c2
+let transcript ctx = ctx.tr
+
+let reset_stats ctx =
+  Counters.reset ctx.c1;
+  Counters.reset ctx.c2
+
+let ct_bytes ctx = Paillier.byte_size ctx.pk
+
+let send_c1_to_c2 ctx ~label ~count =
+  Transcript.send ctx.tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b ~label
+    ~bytes:(count * ct_bytes ctx)
+
+let send_c2_to_c1 ctx ~label ~count =
+  Transcript.send ctx.tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a ~label
+    ~bytes:(count * ct_bytes ctx)
+
+let encrypt_value ctx v = Paillier.encrypt_int ~counters:ctx.c1 ctx.rng ctx.pk v
+let encrypt_value_c2 ctx v = Paillier.encrypt_int ~counters:ctx.c2 ctx.rng ctx.pk v
+let decrypt_value ctx c = Paillier.decrypt_int ~counters:ctx.c2 ctx.sk c
+let decrypt_zint_c2 ctx c = Paillier.decrypt ~counters:ctx.c2 ctx.sk c
+
+let random_mask ctx = Z.random_below ctx.rng (Paillier.modulus ctx.pk)
+
+(* Secure multiplication: C1 additively masks both operands; C2 decrypts
+   the masked values and returns the encryption of their product; C1
+   strips the cross terms homomorphically:
+   (a+ra)(b+rb) - ra·b - rb·a - ra·rb = a·b. *)
+let sm ctx ea eb =
+  let pk = ctx.pk in
+  let n = Paillier.modulus pk in
+  (* C1 *)
+  let ra = random_mask ctx and rb = random_mask ctx in
+  let a' = Paillier.add ~counters:ctx.c1 pk ea (Paillier.encrypt ~counters:ctx.c1 ctx.rng pk ra) in
+  let b' = Paillier.add ~counters:ctx.c1 pk eb (Paillier.encrypt ~counters:ctx.c1 ctx.rng pk rb) in
+  send_c1_to_c2 ctx ~label:"SM masks" ~count:2;
+  (* C2 *)
+  let ha = Paillier.decrypt ~counters:ctx.c2 ctx.sk a' in
+  let hb = Paillier.decrypt ~counters:ctx.c2 ctx.sk b' in
+  let eh = Paillier.encrypt ~counters:ctx.c2 ctx.rng pk (Z.erem (Z.mul ha hb) n) in
+  send_c2_to_c1 ctx ~label:"SM product" ~count:1;
+  (* C1 *)
+  let s = Paillier.sub ~counters:ctx.c1 pk eh (Paillier.mul_plain ~counters:ctx.c1 pk eb ra) in
+  let s = Paillier.sub ~counters:ctx.c1 pk s (Paillier.mul_plain ~counters:ctx.c1 pk ea rb) in
+  Paillier.add_plain ~counters:ctx.c1 pk s (Z.neg (Z.mul ra rb))
+
+let ssed ctx p q =
+  if Array.length p <> Array.length q then invalid_arg "Smc.ssed: dimension mismatch";
+  let pk = ctx.pk in
+  let acc = ref None in
+  Array.iteri
+    (fun j pj ->
+      let diff = Paillier.sub ~counters:ctx.c1 pk pj q.(j) in
+      let sq = sm ctx diff diff in
+      acc := Some (match !acc with None -> sq | Some a -> Paillier.add ~counters:ctx.c1 pk a sq))
+    p;
+  Option.get !acc
+
+(* Secure bit decomposition (Samanthula–Jiang style): one interaction
+   per bit position, batched over the whole input array.  For each bit:
+   C1 masks x with a random r < n/4 (no wrap since x < 2^l << n/4), C2
+   returns the encrypted LSB of the masked value, C1 corrects by its
+   known LSB of r and strips the bit off homomorphically. *)
+let sbd ctx xs =
+  let pk = ctx.pk in
+  let n = Paillier.modulus pk in
+  let quarter = Z.shift_right n 2 in
+  let inv2 = Z.modinv Z.two n in
+  let count = Array.length xs in
+  let cur = Array.copy xs in
+  let bits = Array.make_matrix count ctx.l (Z.of_int 0) in
+  for bit = 0 to ctx.l - 1 do
+    (* C1: mask every current value. *)
+    let rs = Array.init count (fun _ -> Z.random_below ctx.rng quarter) in
+    let masked =
+      Array.mapi
+        (fun i c ->
+          Paillier.add ~counters:ctx.c1 pk c
+            (Paillier.encrypt ~counters:ctx.c1 ctx.rng pk rs.(i)))
+        cur
+    in
+    send_c1_to_c2 ctx ~label:(Printf.sprintf "SBD bit %d masks" bit) ~count;
+    (* C2: decrypt and return each masked LSB. *)
+    let y0s =
+      Array.map
+        (fun c ->
+          let y = Paillier.decrypt ~counters:ctx.c2 ctx.sk c in
+          Paillier.encrypt ~counters:ctx.c2 ctx.rng pk (if Z.is_even y then Z.zero else Z.one))
+        masked
+    in
+    send_c2_to_c1 ctx ~label:(Printf.sprintf "SBD bit %d lsbs" bit) ~count;
+    (* C1: x_0 = y_0 xor r_0 (r_0 is known plaintext), then shift. *)
+    for i = 0 to count - 1 do
+      let x0 =
+        if Z.is_even rs.(i) then y0s.(i)
+        else begin
+          (* E(1 - y0) *)
+          let neg = Paillier.mul_plain ~counters:ctx.c1 pk y0s.(i) (Z.pred n) in
+          Paillier.add_plain ~counters:ctx.c1 pk neg Z.one
+        end
+      in
+      bits.(i).(bit) <- x0;
+      let stripped = Paillier.sub ~counters:ctx.c1 pk cur.(i) x0 in
+      cur.(i) <- Paillier.mul_plain ~counters:ctx.c1 pk stripped inv2
+    done
+  done;
+  bits
+
+let bits_to_value ctx bits =
+  let pk = ctx.pk in
+  let acc = ref None in
+  Array.iteri
+    (fun i b ->
+      let term = Paillier.mul_plain ~counters:ctx.c1 pk b (Z.shift_left Z.one i) in
+      acc := Some (match !acc with None -> term | Some a -> Paillier.add ~counters:ctx.c1 pk a term))
+    bits;
+  Option.get !acc
+
+(* Secure minimum of two bit-decomposed values.  C1 computes, per bit
+   position i (MSB downward),
+     W_i = a_i(1-b_i)            ("a wins at bit i")
+     G_i = a_i xor b_i           ("bits differ at i")
+     L_i = W_i + r·prefix_i + r'·(1-G_i)
+   where prefix_i counts differing bits above i.  Exactly at the most
+   significant differing position L = W in {0,1}; everywhere else L is
+   uniformly random.  C2 decrypts the (position-permuted) L values and
+   returns E(alpha) with alpha = [a > b] (or 0 when a = b).  A random
+   swap of the operands hides from C2 which input won.  C1 then selects
+   min_i = a_i + alpha·(b_i - a_i) bit-wise. *)
+let smin ctx ubits vbits =
+  let pk = ctx.pk in
+  let n = Paillier.modulus pk in
+  let l = ctx.l in
+  if Array.length ubits <> l || Array.length vbits <> l then
+    invalid_arg "Smc.smin: bit-length mismatch";
+  (* C1: random swap. *)
+  let a, b = if Rng.bool ctx.rng then (vbits, ubits) else (ubits, vbits) in
+  let s = Array.init l (fun i -> sm ctx a.(i) b.(i)) in
+  let w = Array.init l (fun i -> Paillier.sub ~counters:ctx.c1 pk a.(i) s.(i)) in
+  let g =
+    Array.init l (fun i ->
+        let sum = Paillier.add ~counters:ctx.c1 pk a.(i) b.(i) in
+        Paillier.sub ~counters:ctx.c1 pk sum (Paillier.mul_plain ~counters:ctx.c1 pk s.(i) Z.two))
+  in
+  (* prefix_i = sum of G_j for j > i, computed MSB-down. *)
+  let prefix = Array.make l (Paillier.encrypt ~counters:ctx.c1 ctx.rng pk Z.zero) in
+  for i = l - 2 downto 0 do
+    prefix.(i) <- Paillier.add ~counters:ctx.c1 pk prefix.(i + 1) g.(i + 1)
+  done;
+  (* Masks in [2, n): never 0 (which would unmask) nor 1 (which could
+     fake the 0/1 sentinel C2 looks for). *)
+  let nonzero_mask () =
+    Z.add Z.two (Z.random_below ctx.rng (Z.sub n Z.two))
+  in
+  let masked =
+    Array.init l (fun i ->
+        let term1 = Paillier.mul_plain ~counters:ctx.c1 pk prefix.(i) (nonzero_mask ()) in
+        let one_minus_g =
+          Paillier.add_plain ~counters:ctx.c1 pk
+            (Paillier.mul_plain ~counters:ctx.c1 pk g.(i) (Z.pred n))
+            Z.one
+        in
+        let term2 = Paillier.mul_plain ~counters:ctx.c1 pk one_minus_g (nonzero_mask ()) in
+        Paillier.add ~counters:ctx.c1 pk w.(i) (Paillier.add ~counters:ctx.c1 pk term1 term2))
+  in
+  let pos_perm = Util.Perm.random ctx.rng l in
+  let shuffled = Util.Perm.apply pos_perm masked in
+  send_c1_to_c2 ctx ~label:"SMIN masked bits" ~count:l;
+  (* C2: the single 0/1 among uniformly random values is alpha. *)
+  let alpha = ref Z.zero in
+  Array.iter
+    (fun c ->
+      let v = Paillier.decrypt ~counters:ctx.c2 ctx.sk c in
+      if Z.is_zero v || Z.is_one v then alpha := v)
+    shuffled;
+  let ealpha = Paillier.encrypt ~counters:ctx.c2 ctx.rng pk !alpha in
+  send_c2_to_c1 ctx ~label:"SMIN alpha" ~count:1;
+  (* C1: min = a + alpha*(b - a), bit-wise; the swap needs no undoing
+     because min(a,b) = min(u,v). *)
+  Array.init l (fun i ->
+      let diff = Paillier.sub ~counters:ctx.c1 pk b.(i) a.(i) in
+      let sel = sm ctx ealpha diff in
+      Paillier.add ~counters:ctx.c1 pk a.(i) sel)
+
+let rec smin_n ctx values =
+  match Array.length values with
+  | 0 -> invalid_arg "Smc.smin_n: empty"
+  | 1 -> values.(0)
+  | len ->
+    let half = len / 2 in
+    let next =
+      Array.init (half + (len mod 2)) (fun i ->
+          if (2 * i) + 1 < len then smin ctx values.(2 * i) values.((2 * i) + 1)
+          else values.(2 * i))
+    in
+    smin_n ctx next

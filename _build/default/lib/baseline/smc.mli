@@ -1,0 +1,71 @@
+(** The secure two-party computation toolbox of Yousef/Elmehdwi et al.
+    (ICDE 2014), rebuilt over Paillier — the baseline the paper compares
+    against in Table 1 and §5.2.
+
+    Party C1 holds the encrypted data and the public key; Party C2 holds
+    the secret key.  Every sub-protocol exchanges masked values so that
+    C2's decryptions reveal only uniformly random-looking data:
+
+    - [sm]: secure multiplication E(a), E(b) → E(ab) (one C1→C2→C1
+      interaction with additive masks);
+    - [ssed]: secure squared Euclidean distance (d multiplications);
+    - [sbd]: secure bit decomposition E(x) → E(x_0)…E(x_{l-1}), one
+      interaction per bit, batched across an array of inputs;
+    - [smin]: secure minimum of two bit-decomposed values via the
+      masked most-significant-differing-bit technique (C2 sees, for a
+      random coin and random masks, a single 0/1 at an unknown
+      position);
+    - [smin_n]: tournament of [smin] over n values.
+
+    All values must stay below [2^l] with [2^{l+2} < n] so the additive
+    masks never wrap the Paillier modulus. *)
+
+type ctx
+(** Shared state of the two simulated parties: keys, RNG, per-party
+    counters, and the communication transcript (C1 = [Party_a],
+    C2 = [Party_b]). *)
+
+val create :
+  ?rng:Util.Rng.t -> sk:Paillier.secret_key -> pk:Paillier.public_key -> l:int ->
+  unit -> ctx
+(** @raise Invalid_argument unless [2^(l+2)] fits under the modulus. *)
+
+val pk : ctx -> Paillier.public_key
+val bit_length : ctx -> int
+val counters_c1 : ctx -> Util.Counters.t
+val counters_c2 : ctx -> Util.Counters.t
+val transcript : ctx -> Transcript.t
+val reset_stats : ctx -> unit
+
+val encrypt_value : ctx -> int -> Paillier.ct
+(** Fresh encryption by C1 (convenience for tests and setup). *)
+
+val encrypt_value_c2 : ctx -> int -> Paillier.ct
+(** Fresh encryption charged to C2 (indicator vectors etc.). *)
+
+val decrypt_value : ctx -> Paillier.ct -> int
+(** C2-side decryption (protocol steps where C2 legitimately decrypts,
+    and the test oracle). *)
+
+val decrypt_zint_c2 : ctx -> Paillier.ct -> Zint.t
+(** C2-side decryption without the native-int range restriction. *)
+
+val sm : ctx -> Paillier.ct -> Paillier.ct -> Paillier.ct
+(** [sm ctx E(a) E(b) = E(a·b mod n)]. *)
+
+val ssed : ctx -> Paillier.ct array -> Paillier.ct array -> Paillier.ct
+(** Squared Euclidean distance of two encrypted coordinate vectors. *)
+
+val sbd : ctx -> Paillier.ct array -> Paillier.ct array array
+(** [sbd ctx xs] returns, for each encrypted value, its [l] encrypted
+    bits (least significant first).  Values must be in [\[0, 2^l)];
+    interaction is batched so the whole array costs [l] rounds. *)
+
+val bits_to_value : ctx -> Paillier.ct array -> Paillier.ct
+(** Local recombination [Σ 2^i · E(x_i)]. *)
+
+val smin : ctx -> Paillier.ct array -> Paillier.ct array -> Paillier.ct array
+(** Minimum of two bit-decomposed values, as encrypted bits. *)
+
+val smin_n : ctx -> Paillier.ct array array -> Paillier.ct array
+(** Tournament minimum of n bit-decomposed values. *)

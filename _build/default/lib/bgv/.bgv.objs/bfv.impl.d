@@ -1,0 +1,1 @@
+lib/bgv/bfv.ml: Array Format Int64 Params Plaintext Rq Sampler Stdlib Util Zint

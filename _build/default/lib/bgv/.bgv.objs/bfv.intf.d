@@ -1,0 +1,1 @@
+lib/bgv/bfv.mli: Format Params Plaintext Util

@@ -1,0 +1,1 @@
+lib/bgv/bgv.ml: Array Buffer Bytes Crt Float Format Int32 Int64 List Mod64 Option Params Plaintext Printf Rq Sampler Stdlib Util Zint

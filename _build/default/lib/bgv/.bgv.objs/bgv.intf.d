@@ -1,0 +1,1 @@
+lib/bgv/bgv.mli: Format Params Plaintext Stdlib Util

@@ -1,0 +1,1 @@
+lib/bgv/params.ml: Array Format Int64 List Ntt64 Prime64 Rq

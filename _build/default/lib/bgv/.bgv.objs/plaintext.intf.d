@@ -1,0 +1,1 @@
+lib/bgv/plaintext.mli: Format Params

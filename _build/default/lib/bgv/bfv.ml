@@ -1,0 +1,238 @@
+module Rng = Util.Rng
+module Counters = Util.Counters
+module Z = Zint
+
+type secret_key = { sk_params : Params.t; s_coeffs : int array }
+type public_key = { pk_params : Params.t; pk_b : Rq.t; pk_a : Rq.t }
+
+type relin_key = {
+  rk_params : Params.t;
+  rk_digit_bits : int;
+  rk_rows : (Rq.t * Rq.t) array; (* b_j + a_j s = e_j + 2^{jw} s^2 *)
+}
+
+type keys = { sk : secret_key; pk : public_key; rlk : relin_key }
+
+type ct = { params : Params.t; comps : Rq.t array (* Eval, full chain *) }
+
+let record c e = match c with None -> () | Some c -> Counters.record c e
+
+let full p = Array.length p.Params.moduli
+let big_q p = Rq.modulus p.Params.ring ~nprimes:(full p)
+let delta p = Z.div (big_q p) (Z.of_int64 p.Params.t_plain)
+
+let degree ct = Array.length ct.comps - 1
+let byte_size ct = ((degree ct + 1) * full ct.params * ct.params.Params.n * 4) + 40
+
+let pp_ct ppf ct = Format.fprintf ppf "<bfv ct deg=%d n=%d>" (degree ct) ct.params.Params.n
+
+(* ------------------------------------------------------------------ *)
+
+let keygen ?counters rng (p : Params.t) =
+  ignore counters;
+  let ring = p.Params.ring in
+  let nprimes = full p in
+  let n = p.Params.n in
+  let s_coeffs = Sampler.ternary_coeffs rng ~n in
+  let s = Rq.of_small_coeffs ring ~nprimes Rq.Eval s_coeffs in
+  let rlwe_pair ~extra =
+    (* (b, a) with b + a·s = e + extra — note: no t factor, unlike BGV. *)
+    let a = Sampler.uniform rng ring ~nprimes in
+    let e =
+      Rq.of_small_coeffs ring ~nprimes Rq.Eval (Sampler.cbd_coeffs rng ~n ~eta:p.Params.eta)
+    in
+    let b = Rq.add (Rq.neg (Rq.mul a s)) e in
+    let b = match extra with None -> b | Some x -> Rq.add b x in
+    (b, a)
+  in
+  let pk_b, pk_a = rlwe_pair ~extra:None in
+  let s2 = Rq.mul s s in
+  let w = p.Params.relin_digit_bits in
+  let ndigits = (Z.numbits (big_q p) + w - 1) / w in
+  let rk_rows =
+    Array.init ndigits (fun j ->
+        rlwe_pair ~extra:(Some (Rq.mul_scalar_zint s2 (Z.shift_left Z.one (j * w)))))
+  in
+  { sk = { sk_params = p; s_coeffs };
+    pk = { pk_params = p; pk_b; pk_a };
+    rlk = { rk_params = p; rk_digit_bits = w; rk_rows } }
+
+(* ------------------------------------------------------------------ *)
+
+let encrypt ?counters rng pk pt =
+  record counters Counters.Encrypt;
+  let p = pk.pk_params in
+  if Plaintext.params pt != p then invalid_arg "Bfv.encrypt: parameter mismatch";
+  let ring = p.Params.ring in
+  let nprimes = full p in
+  let n = p.Params.n in
+  let u = Rq.of_small_coeffs ring ~nprimes Rq.Eval (Sampler.ternary_coeffs rng ~n) in
+  let noise () =
+    Rq.of_small_coeffs ring ~nprimes Rq.Eval (Sampler.cbd_coeffs rng ~n ~eta:p.Params.eta)
+  in
+  (* Message in the high bits: Δ·m. *)
+  let m = Rq.of_int64_coeffs ring ~nprimes Rq.Eval (Plaintext.to_coeffs pt) in
+  let dm = Rq.mul_scalar_zint m (delta p) in
+  let c0 = Rq.add (Rq.add (Rq.mul pk.pk_b u) (noise ())) dm in
+  let c1 = Rq.add (Rq.mul pk.pk_a u) (noise ()) in
+  { params = p; comps = [| c0; c1 |] }
+
+(* round(num · t / q), for centered num of either sign. *)
+let scale_round ~t ~q num =
+  let twice = Z.add (Z.mul (Z.mul num t) Z.two) q in
+  fst (Z.ediv_rem twice (Z.mul q Z.two))
+
+let decrypt ?counters sk ct =
+  record counters Counters.Decrypt;
+  let p = sk.sk_params in
+  let ring = p.Params.ring in
+  let nprimes = full p in
+  let s = Rq.of_small_coeffs ring ~nprimes Rq.Eval sk.s_coeffs in
+  let acc = ref ct.comps.(0) in
+  let spow = ref s in
+  for i = 1 to degree ct do
+    if i > 1 then spow := Rq.mul !spow s;
+    acc := Rq.add !acc (Rq.mul ct.comps.(i) !spow)
+  done;
+  let q = big_q p in
+  let t = Z.of_int64 p.Params.t_plain in
+  let out =
+    Array.map
+      (fun v -> Z.to_int_exn (Z.erem (scale_round ~t ~q v) t) |> Int64.of_int)
+      (Rq.to_zint_coeffs !acc)
+  in
+  Plaintext.of_coeffs p out
+
+(* ------------------------------------------------------------------ *)
+
+let check_pair a b op = if a.params != b.params then invalid_arg (op ^ ": parameter mismatch")
+
+let zip_pad f a b =
+  let ring = a.params.Params.ring and nprimes = full a.params in
+  let k = Stdlib.max (Array.length a.comps) (Array.length b.comps) in
+  let get c i = if i < Array.length c.comps then c.comps.(i) else Rq.zero ring ~nprimes Rq.Eval in
+  { a with comps = Array.init k (fun i -> f (get a i) (get b i)) }
+
+let add ?counters a b =
+  record counters Counters.Hom_add;
+  check_pair a b "Bfv.add";
+  zip_pad Rq.add a b
+
+let sub ?counters a b =
+  record counters Counters.Hom_add;
+  check_pair a b "Bfv.sub";
+  zip_pad Rq.sub a b
+
+let neg ct = { ct with comps = Array.map Rq.neg ct.comps }
+
+let plain_rq ct pt =
+  Rq.of_int64_coeffs ct.params.Params.ring ~nprimes:(full ct.params) Rq.Eval
+    (Plaintext.to_coeffs pt)
+
+let add_plain ?counters ct pt =
+  record counters Counters.Hom_add;
+  if Plaintext.params pt != ct.params then invalid_arg "Bfv.add_plain: parameter mismatch";
+  let dm = Rq.mul_scalar_zint (plain_rq ct pt) (delta ct.params) in
+  let comps = Array.copy ct.comps in
+  comps.(0) <- Rq.add comps.(0) dm;
+  { ct with comps }
+
+let add_const ?counters ct v = add_plain ?counters ct (Plaintext.constant ct.params v)
+
+let mul_plain ?counters ct pt =
+  record counters Counters.Hom_mul_plain;
+  if Plaintext.params pt != ct.params then invalid_arg "Bfv.mul_plain: parameter mismatch";
+  let m = plain_rq ct pt in
+  { ct with comps = Array.map (fun c -> Rq.mul c m) ct.comps }
+
+let mul_scalar ?counters ct v =
+  record counters Counters.Hom_mul_plain;
+  { ct with comps = Array.map (fun c -> Rq.mul_scalar c v) ct.comps }
+
+(* Exact negacyclic product over the integers of two centered-lifted
+   polynomials — the tensor step must happen before reduction so the
+   t/Q rescale can round correctly. *)
+let negacyclic_exact n a b =
+  let out = Array.make n Z.zero in
+  for i = 0 to n - 1 do
+    if not (Z.is_zero a.(i)) then
+      for j = 0 to n - 1 do
+        let prod = Z.mul a.(i) b.(j) in
+        let k = i + j in
+        if k < n then out.(k) <- Z.add out.(k) prod
+        else out.(k - n) <- Z.sub out.(k - n) prod
+      done
+  done;
+  out
+
+let relinearize ?counters rlk ct =
+  record counters Counters.Hom_relin;
+  if degree ct <> 2 then invalid_arg "Bfv.relinearize: degree <> 2";
+  if rlk.rk_params != ct.params then invalid_arg "Bfv.relinearize: parameter mismatch";
+  let p = ct.params in
+  let ring = p.Params.ring in
+  let nprimes = full p in
+  let n = p.Params.n in
+  let w = rlk.rk_digit_bits in
+  let ndigits = (Z.numbits (big_q p) + w - 1) / w in
+  let c2 = Rq.to_zint_coeffs ct.comps.(2) in
+  let digit_mask = Z.pred (Z.shift_left Z.one w) in
+  let c0 = ref ct.comps.(0) and c1 = ref ct.comps.(1) in
+  for j = 0 to ndigits - 1 do
+    let digits =
+      Array.init n (fun idx ->
+          let v = c2.(idx) in
+          let m = Z.shift_right (Z.abs v) (j * w) in
+          let d = Z.to_int_exn (Z.erem m (Z.succ digit_mask)) in
+          if Z.sign v < 0 then -d else d)
+    in
+    let dpoly = Rq.of_small_coeffs ring ~nprimes Rq.Eval digits in
+    let b_j, a_j = rlk.rk_rows.(j) in
+    c0 := Rq.add !c0 (Rq.mul dpoly b_j);
+    c1 := Rq.add !c1 (Rq.mul dpoly a_j)
+  done;
+  { ct with comps = [| !c0; !c1 |] }
+
+let mul ?counters ?rlk a b =
+  record counters Counters.Hom_mul;
+  check_pair a b "Bfv.mul";
+  let p = a.params in
+  let ring = p.Params.ring in
+  let nprimes = full p in
+  let n = p.Params.n in
+  let q = big_q p in
+  let t = Z.of_int64 p.Params.t_plain in
+  let la = Array.map Rq.to_zint_coeffs a.comps in
+  let lb = Array.map Rq.to_zint_coeffs b.comps in
+  let da = Array.length la and db = Array.length lb in
+  let out = Array.init (da + db - 1) (fun _ -> Array.make n Z.zero) in
+  for i = 0 to da - 1 do
+    for j = 0 to db - 1 do
+      let prod = negacyclic_exact n la.(i) lb.(j) in
+      Array.iteri (fun k v -> out.(i + j).(k) <- Z.add out.(i + j).(k) v) prod
+    done
+  done;
+  let comps =
+    Array.map
+      (fun coeffs ->
+        let scaled = Array.map (fun v -> scale_round ~t ~q v) coeffs in
+        Rq.of_zint_coeffs ring ~nprimes Rq.Eval scaled)
+      out
+  in
+  let ct = { params = p; comps } in
+  match rlk with
+  | Some rlk when degree ct = 2 -> relinearize ?counters rlk ct
+  | Some _ | None -> ct
+
+let eval_poly ?counters ?rlk ~coeffs ct =
+  let d = Array.length coeffs - 1 in
+  if d < 0 then invalid_arg "Bfv.eval_poly: empty coefficient list";
+  if d = 0 then add_const ?counters (mul_scalar ?counters ct 0L) coeffs.(0)
+  else begin
+    let acc = ref (mul_scalar ?counters ct coeffs.(d)) in
+    for i = d - 1 downto 0 do
+      if i < d - 1 then acc := mul ?counters ?rlk !acc ct;
+      acc := add_const ?counters !acc coeffs.(i)
+    done;
+    !acc
+  end

@@ -1,0 +1,53 @@
+(** The BFV (Brakerski/Fan–Vercauteren) scale-invariant SHE scheme — a
+    second instantiation of the paper's black-box (S)HE interface.
+
+    §3.5 of the paper argues its protocol "uses the (S)HE scheme as a
+    black-box, which can be easily instantiated using known (S)HE
+    schemes"; this module substantiates that claim with a scheme whose
+    plaintext handling is the dual of {!Bgv}'s: messages ride in the
+    *high* bits ([Δ·m] with [Δ = ⌊Q/t⌋]) instead of the noise being a
+    multiple of [t], so no modulus switching and no plaintext scale
+    factors are needed — addition and multiplication are
+    scale-invariant.
+
+    Multiplication computes the tensor product exactly over ℤ and
+    rescales by [t/Q] with rounding; this implementation does that lift
+    literally (exact bignum negacyclic convolution), which is simple and
+    verifiably correct but quadratic in the ring degree — BFV here is
+    the interchangeability demonstration, {!Bgv} the performance path.
+    Shares {!Params} and {!Plaintext} with the BGV side. *)
+
+type secret_key
+type public_key
+type relin_key
+type keys = { sk : secret_key; pk : public_key; rlk : relin_key }
+type ct
+
+val keygen : ?counters:Util.Counters.t -> Util.Rng.t -> Params.t -> keys
+
+val encrypt :
+  ?counters:Util.Counters.t -> Util.Rng.t -> public_key -> Plaintext.t -> ct
+val decrypt : ?counters:Util.Counters.t -> secret_key -> ct -> Plaintext.t
+
+val add : ?counters:Util.Counters.t -> ct -> ct -> ct
+val sub : ?counters:Util.Counters.t -> ct -> ct -> ct
+val neg : ct -> ct
+val add_plain : ?counters:Util.Counters.t -> ct -> Plaintext.t -> ct
+val add_const : ?counters:Util.Counters.t -> ct -> int64 -> ct
+val mul_plain : ?counters:Util.Counters.t -> ct -> Plaintext.t -> ct
+val mul_scalar : ?counters:Util.Counters.t -> ct -> int64 -> ct
+
+val mul : ?counters:Util.Counters.t -> ?rlk:relin_key -> ct -> ct -> ct
+(** Tensor, exact integer rescale by t/Q, optional relinearisation of
+    the degree-2 result. *)
+
+val relinearize : ?counters:Util.Counters.t -> relin_key -> ct -> ct
+
+val eval_poly :
+  ?counters:Util.Counters.t -> ?rlk:relin_key -> coeffs:int64 array -> ct -> ct
+(** Horner evaluation, as {!Bgv.eval_poly} — the protocol's EvalPoly
+    under the second scheme. *)
+
+val degree : ct -> int
+val byte_size : ct -> int
+val pp_ct : Format.formatter -> ct -> unit

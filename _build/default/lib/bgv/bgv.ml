@@ -1,0 +1,732 @@
+module Rng = Util.Rng
+module Counters = Util.Counters
+module Z = Zint
+
+type secret_key = {
+  sk_params : Params.t;
+  s_coeffs : int array;
+  mutable s_powers : Rq.t list; (* [s^1; s^2; …], Eval domain, full chain *)
+}
+
+type public_key = { pk_params : Params.t; pk_b : Rq.t; pk_a : Rq.t }
+
+type relin_key = {
+  rk_params : Params.t;
+  rk_digit_bits : int;
+  rk_rows : (Rq.t * Rq.t) array; (* (b_j, a_j) with b_j + a_j s = t e_j + 2^{jw} s^2 *)
+}
+
+type galois_key = {
+  gk_params : Params.t;
+  gk_elt : int;                  (* the automorphism x -> x^elt, odd mod 2n *)
+  gk_digit_bits : int;
+  gk_rows : (Rq.t * Rq.t) array; (* b_j + a_j s = t e_j + 2^{jw} s(x^elt) *)
+}
+
+type keys = { sk : secret_key; pk : public_key; rlk : relin_key }
+
+type ct = {
+  params : Params.t;
+  comps : Rq.t array; (* Eval domain invariant; degree = length - 1 *)
+  factor : int64;     (* decrypt yields factor * m; undone in decrypt *)
+  log_noise : float;  (* bits: conservative bound on |c0 + c1 s + …| *)
+}
+
+let record c e = match c with None -> () | Some c -> Counters.record c e
+
+let log2 x = log x /. log 2.0
+let log2_add a b =
+  let hi = Float.max a b and lo = Float.min a b in
+  hi +. log2 (1.0 +. (2.0 ** (lo -. hi)))
+
+let log2_t p = log2 (Int64.to_float p.Params.t_plain)
+let log2_n p = log2 (float_of_int p.Params.n)
+
+(* Bound on a fresh ciphertext's |m + t(e·u + e1 + e2·s)|. *)
+let fresh_noise_bits p =
+  let eta = float_of_int p.Params.eta and n = float_of_int p.Params.n in
+  log2_t p +. log2 (0.5 +. (eta *. ((2.0 *. n) +. 1.0)))
+
+(* Additive rounding term of one modulus switch at ciphertext degree d:
+   (t/2) * sum_{i<=d} n^i. *)
+let switch_floor_bits p d =
+  let n = float_of_int p.Params.n in
+  let rec sum acc i = if i > d then acc else sum (acc +. (n ** float_of_int i)) (i + 1) in
+  log2_t p -. 1.0 +. log2 (sum 0.0 0)
+
+let degree ct = Array.length ct.comps - 1
+let level ct = Rq.nprimes ct.comps.(0)
+
+let log2_q_at_level p k =
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. log2 (float_of_int p.Params.moduli.(i))
+  done;
+  !acc
+
+let noise_bits ct = ct.log_noise
+let noise_budget_bits ct = log2_q_at_level ct.params (level ct) -. 1.0 -. ct.log_noise
+
+let header_bytes = 40
+let byte_size ct = ((degree ct + 1) * level ct * ct.params.Params.n * 4) + header_bytes
+
+let pp_ct ppf ct =
+  Format.fprintf ppf "<ct deg=%d level=%d noise=%.0f budget=%.0f factor=%Ld>"
+    (degree ct) (level ct) ct.log_noise (noise_budget_bits ct) ct.factor
+
+let params_of_sk sk = sk.sk_params
+let params_of_pk pk = pk.pk_params
+
+(* ------------------------------------------------------------------ *)
+(* Key generation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let keygen ?counters rng (p : Params.t) =
+  ignore counters;
+  let ring = p.Params.ring in
+  let full = Array.length p.Params.moduli in
+  let n = p.Params.n in
+  let s_coeffs = Sampler.ternary_coeffs rng ~n in
+  let s = Rq.of_small_coeffs ring ~nprimes:full Rq.Eval s_coeffs in
+  let t = p.Params.t_plain in
+  let rlwe_pair ~extra =
+    (* (b, a) with b + a·s = t·e + extra. *)
+    let a = Sampler.uniform rng ring ~nprimes:full in
+    let e = Rq.of_small_coeffs ring ~nprimes:full Rq.Eval (Sampler.cbd_coeffs rng ~n ~eta:p.Params.eta) in
+    let b = Rq.add (Rq.neg (Rq.mul a s)) (Rq.mul_scalar e t) in
+    let b = match extra with None -> b | Some x -> Rq.add b x in
+    (b, a)
+  in
+  let pk_b, pk_a = rlwe_pair ~extra:None in
+  let s2 = Rq.mul s s in
+  let w = p.Params.relin_digit_bits in
+  let q_bits = Z.numbits (Rq.modulus ring ~nprimes:full) in
+  let ndigits = (q_bits + w - 1) / w in
+  let rk_rows =
+    Array.init ndigits (fun j ->
+        let gadget = Z.shift_left Z.one (j * w) in
+        rlwe_pair ~extra:(Some (Rq.mul_scalar_zint s2 gadget)))
+  in
+  { sk = { sk_params = p; s_coeffs; s_powers = [ s ] };
+    pk = { pk_params = p; pk_b; pk_a };
+    rlk = { rk_params = p; rk_digit_bits = w; rk_rows } }
+
+let s_power sk i =
+  if i < 1 then invalid_arg "Bgv.s_power";
+  let rec extend powers =
+    if List.length powers >= i then powers
+    else begin
+      let top = List.nth powers (List.length powers - 1) in
+      let s1 = List.nth powers 0 in
+      extend (powers @ [ Rq.mul top s1 ])
+    end
+  in
+  sk.s_powers <- extend sk.s_powers;
+  List.nth sk.s_powers (i - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Encrypt / decrypt                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let encrypt ?counters ?level rng pk pt =
+  record counters Counters.Encrypt;
+  let p = pk.pk_params in
+  if Plaintext.params pt != p then invalid_arg "Bgv.encrypt: parameter mismatch";
+  let ring = p.Params.ring in
+  let full = Array.length p.Params.moduli in
+  let nprimes =
+    match level with
+    | None -> full
+    | Some l ->
+      if l < 1 || l > full then invalid_arg "Bgv.encrypt: level out of range";
+      l
+  in
+  let n = p.Params.n in
+  let t = p.Params.t_plain in
+  let u = Rq.of_small_coeffs ring ~nprimes Rq.Eval (Sampler.ternary_coeffs rng ~n) in
+  let noise () =
+    Rq.mul_scalar
+      (Rq.of_small_coeffs ring ~nprimes Rq.Eval (Sampler.cbd_coeffs rng ~n ~eta:p.Params.eta))
+      t
+  in
+  let m = Rq.of_int64_coeffs ring ~nprimes Rq.Eval (Plaintext.to_coeffs pt) in
+  let b = Rq.truncate pk.pk_b ~nprimes and a = Rq.truncate pk.pk_a ~nprimes in
+  let c0 = Rq.add (Rq.add (Rq.mul b u) (noise ())) m in
+  let c1 = Rq.add (Rq.mul a u) (noise ()) in
+  { params = p; comps = [| c0; c1 |]; factor = 1L; log_noise = fresh_noise_bits p }
+
+let decrypt ?counters sk ct =
+  record counters Counters.Decrypt;
+  let p = sk.sk_params in
+  if noise_budget_bits ct <= 0.0 then
+    failwith
+      (Format.asprintf "Bgv.decrypt: noise budget exhausted (%a)" pp_ct ct);
+  let k = level ct in
+  let acc = ref ct.comps.(0) in
+  for i = 1 to degree ct do
+    let si = Rq.truncate (s_power sk i) ~nprimes:k in
+    acc := Rq.add !acc (Rq.mul ct.comps.(i) si)
+  done;
+  let t = p.Params.t_plain in
+  let coeffs = Rq.to_zint_coeffs !acc in
+  let zt = Z.of_int64 t in
+  let f_inv = Mod64.inv t ct.factor in
+  let out =
+    Array.map
+      (fun v ->
+        let m = Z.to_int_exn (Z.erem v zt) in
+        Mod64.mul t (Int64.of_int m) f_inv)
+      coeffs
+  in
+  Plaintext.of_coeffs p out
+
+let decrypt_coeff0 ?counters sk ct =
+  record counters Counters.Decrypt;
+  let p = sk.sk_params in
+  if noise_budget_bits ct <= 0.0 then
+    failwith
+      (Format.asprintf "Bgv.decrypt_coeff0: noise budget exhausted (%a)" pp_ct ct);
+  let k = level ct in
+  let acc = ref ct.comps.(0) in
+  for i = 1 to degree ct do
+    let si = Rq.truncate (s_power sk i) ~nprimes:k in
+    acc := Rq.add !acc (Rq.mul ct.comps.(i) si)
+  done;
+  (* Constant coefficient of the negacyclic inverse transform:
+     a_0 = n^{-1} * sum of the evaluation-domain values (the odd psi
+     powers sum to zero except at j = 0). *)
+  let n = p.Params.n in
+  let moduli = p.Params.moduli in
+  let residues =
+    Array.init k (fun i ->
+        let pi = moduli.(i) in
+        let comp = Rq.unsafe_component !acc i in
+        let s = ref 0 in
+        for j = 0 to n - 1 do
+          s := !s + comp.(j);
+          if !s >= pi then s := !s - pi
+        done;
+        let pi64 = Int64.of_int pi in
+        let n_inv = Mod64.inv pi64 (Int64.of_int n) in
+        Int64.to_int (Mod64.mul pi64 (Int64.of_int !s) n_inv))
+  in
+  let b = Rq.basis p.Params.ring ~nprimes:k in
+  let v = Crt.lift_centered b residues in
+  let t = p.Params.t_plain in
+  let m = Z.to_int_exn (Z.erem v (Z.of_int64 t)) in
+  Mod64.mul t (Int64.of_int m) (Mod64.inv t ct.factor)
+
+(* ------------------------------------------------------------------ *)
+(* Level and factor management                                         *)
+(* ------------------------------------------------------------------ *)
+
+let truncate_to_level ct k =
+  if k > level ct then invalid_arg "Bgv.truncate_to_level: cannot raise level";
+  if k = level ct then ct
+  else { ct with comps = Array.map (fun c -> Rq.truncate c ~nprimes:k) ct.comps }
+
+let align a b =
+  let k = Stdlib.min (level a) (level b) in
+  (truncate_to_level a k, truncate_to_level b k)
+
+let centered_magnitude t v =
+  let c = Mod64.centered t (Mod64.reduce t v) in
+  Float.max 1.0 (Int64.to_float (Int64.abs c))
+
+(* Multiply all components by a scalar (changes the raw plaintext). *)
+let scale_raw ct v =
+  let t = ct.params.Params.t_plain in
+  { ct with
+    comps = Array.map (fun c -> Rq.mul_scalar c v) ct.comps;
+    log_noise = ct.log_noise +. log2 (centered_magnitude t v) }
+
+let match_factor target ct =
+  if Int64.equal ct.factor target then ct
+  else begin
+    let t = ct.params.Params.t_plain in
+    let adjust = Mod64.mul t target (Mod64.inv t ct.factor) in
+    let ct = scale_raw ct adjust in
+    { ct with factor = target }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Linear operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pad comps k ring nprimes =
+  (* Extend a component array with zeros up to k entries. *)
+  Array.init k (fun i ->
+      if i < Array.length comps then comps.(i)
+      else Rq.zero ring ~nprimes Rq.Eval)
+
+let add2 op f a b =
+  if a.params != b.params then invalid_arg (op ^ ": parameter mismatch");
+  let a, b = align a b in
+  let b = match_factor a.factor b in
+  let k = Stdlib.max (Array.length a.comps) (Array.length b.comps) in
+  let ring = a.params.Params.ring in
+  let ca = pad a.comps k ring (level a) and cb = pad b.comps k ring (level b) in
+  { params = a.params;
+    comps = Array.init k (fun i -> f ca.(i) cb.(i));
+    factor = a.factor;
+    log_noise = log2_add a.log_noise b.log_noise }
+
+let add ?counters a b =
+  record counters Counters.Hom_add;
+  add2 "Bgv.add" Rq.add a b
+
+let sub ?counters a b =
+  record counters Counters.Hom_add;
+  add2 "Bgv.sub" Rq.sub a b
+
+let neg ct = { ct with comps = Array.map Rq.neg ct.comps }
+
+let plain_to_rq ct pt =
+  Rq.of_int64_coeffs ct.params.Params.ring ~nprimes:(level ct) Rq.Eval
+    (Plaintext.to_coeffs pt)
+
+let add_plain ?counters ct pt =
+  record counters Counters.Hom_add;
+  if Plaintext.params pt != ct.params then invalid_arg "Bgv.add_plain: parameter mismatch";
+  (* The stored raw plaintext is factor·m, so scale the addend too. *)
+  let pt = Plaintext.scale pt ct.factor in
+  let comps = Array.copy ct.comps in
+  comps.(0) <- Rq.add comps.(0) (plain_to_rq ct pt);
+  { ct with comps; log_noise = log2_add ct.log_noise (log2_t ct.params -. 1.0) }
+
+let add_const ?counters ct v =
+  add_plain ?counters ct (Plaintext.constant ct.params v)
+
+let mul_plain ?counters ct pt =
+  record counters Counters.Hom_mul_plain;
+  if Plaintext.params pt != ct.params then invalid_arg "Bgv.mul_plain: parameter mismatch";
+  let m = plain_to_rq ct pt in
+  { ct with
+    comps = Array.map (fun c -> Rq.mul c m) ct.comps;
+    log_noise = ct.log_noise +. log2_n ct.params +. log2_t ct.params -. 1.0 }
+
+let mul_scalar ?counters ct v =
+  record counters Counters.Hom_mul_plain;
+  scale_raw ct v
+
+(* ------------------------------------------------------------------ *)
+(* Modulus switching                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let modswitch ?counters ct =
+  record counters Counters.Hom_modswitch;
+  let k = level ct in
+  if k <= 1 then invalid_arg "Bgv.modswitch: already at the last level";
+  let p = ct.params in
+  let moduli = p.Params.moduli in
+  let drop = moduli.(k - 1) in
+  let drop64 = Int64.of_int drop in
+  let t = p.Params.t_plain in
+  let t_inv_drop = Int64.to_int (Mod64.inv drop64 (Mod64.reduce drop64 t)) in
+  let half_drop = drop / 2 in
+  let n = p.Params.n in
+  let t_mod = Array.init (k - 1) (fun i -> Int64.to_int (Int64.rem t (Int64.of_int moduli.(i)))) in
+  let drop_inv =
+    Array.init (k - 1) (fun i ->
+        let pi = Int64.of_int moduli.(i) in
+        Int64.to_int (Mod64.inv pi (Mod64.reduce pi drop64)))
+  in
+  let switch_component rq =
+    let rq = Rq.to_coeff rq in
+    let clast = Rq.unsafe_component rq (k - 1) in
+    (* w ≡ c·t^{-1} (mod drop), centered so that |t·w| stays small. *)
+    let w = Array.make n 0 in
+    for j = 0 to n - 1 do
+      let x = clast.(j) * t_inv_drop mod drop in
+      w.(j) <- (if x > half_drop then x - drop else x)
+    done;
+    let comps =
+      Array.init (k - 1) (fun i ->
+          let pi = moduli.(i) in
+          let ci = Rq.unsafe_component rq i in
+          let tm = t_mod.(i) and dinv = drop_inv.(i) in
+          Array.init n (fun j ->
+              let x = (ci.(j) - (tm * w.(j))) mod pi in
+              let x = if x < 0 then x + pi else x in
+              x * dinv mod pi))
+    in
+    Rq.to_eval (Rq.of_components p.Params.ring Rq.Coeff comps)
+  in
+  let comps = Array.map switch_component ct.comps in
+  let factor = Mod64.mul t ct.factor (Mod64.inv t (Mod64.reduce t drop64)) in
+  let log_noise =
+    log2_add
+      (ct.log_noise -. log2 (float_of_int drop))
+      (switch_floor_bits p (degree ct))
+  in
+  { ct with comps; factor; log_noise }
+
+let rescale_to_floor ?counters ct =
+  let rec go ct =
+    if level ct <= 1 then ct
+    else begin
+      let drop = ct.params.Params.moduli.(level ct - 1) in
+      let predicted =
+        log2_add
+          (ct.log_noise -. log2 (float_of_int drop))
+          (switch_floor_bits ct.params (degree ct))
+      in
+      if predicted < ct.log_noise -. 0.5 then go (modswitch ?counters ct) else ct
+    end
+  in
+  go ct
+
+(* ------------------------------------------------------------------ *)
+(* Multiplication and relinearisation                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Digit-decomposition key switching, shared by relinearisation and the
+   Galois automorphisms: given a target polynomial and gadget rows with
+   b_j + a_j·s = t·e_j + 2^{jw}·S, returns (delta0, delta1, noise_bits)
+   such that delta0 + delta1·s = target·S + (t · small). *)
+let key_switch_digits p ~w ~rows ~level:k target =
+  let ring = p.Params.ring in
+  let n = p.Params.n in
+  let q_bits = Z.numbits (Rq.modulus ring ~nprimes:k) in
+  let ndigits = Stdlib.min (Array.length rows) ((q_bits + w - 1) / w) in
+  let coeffs = Rq.to_zint_coeffs target in
+  (* Signed base-2^w digits of the centered coefficients. *)
+  let digit_mask = Z.pred (Z.shift_left Z.one w) in
+  let digit_polys =
+    Array.init ndigits (fun j ->
+        let digits =
+          Array.init n (fun idx ->
+              let v = coeffs.(idx) in
+              let m = Z.shift_right (Z.abs v) (j * w) in
+              let d = Z.to_int_exn (Z.erem m (Z.succ digit_mask)) in
+              if Z.sign v < 0 then -d else d)
+        in
+        Rq.of_small_coeffs ring ~nprimes:k Rq.Eval digits)
+  in
+  let d0 = ref None and d1 = ref None in
+  let accum r x = match !r with None -> r := Some x | Some acc -> r := Some (Rq.add acc x) in
+  for j = 0 to ndigits - 1 do
+    let b_j, a_j = rows.(j) in
+    accum d0 (Rq.mul digit_polys.(j) (Rq.truncate b_j ~nprimes:k));
+    accum d1 (Rq.mul digit_polys.(j) (Rq.truncate a_j ~nprimes:k))
+  done;
+  let added =
+    (* t * ndigits * n * 2^w * eta *)
+    log2_t p +. log2 (float_of_int ndigits) +. log2_n p
+    +. float_of_int w +. log2 (float_of_int p.Params.eta)
+  in
+  (Option.get !d0, Option.get !d1, added)
+
+let relinearize ?counters rlk ct =
+  record counters Counters.Hom_relin;
+  if degree ct <> 2 then invalid_arg "Bgv.relinearize: degree <> 2";
+  if rlk.rk_params != ct.params then invalid_arg "Bgv.relinearize: parameter mismatch";
+  let p = ct.params in
+  let d0, d1, added =
+    key_switch_digits p ~w:rlk.rk_digit_bits ~rows:rlk.rk_rows ~level:(level ct) ct.comps.(2)
+  in
+  { ct with
+    comps = [| Rq.add ct.comps.(0) d0; Rq.add ct.comps.(1) d1 |];
+    log_noise = log2_add ct.log_noise added }
+
+let mul ?counters ?rlk ?(rescale = true) a b =
+  record counters Counters.Hom_mul;
+  if a.params != b.params then invalid_arg "Bgv.mul: parameter mismatch";
+  let a, b = align a b in
+  let da = Array.length a.comps and db = Array.length b.comps in
+  let ring = a.params.Params.ring in
+  let out = Array.make (da + db - 1) None in
+  for i = 0 to da - 1 do
+    for j = 0 to db - 1 do
+      let prod = Rq.mul a.comps.(i) b.comps.(j) in
+      out.(i + j) <-
+        (match out.(i + j) with
+         | None -> Some prod
+         | Some acc -> Some (Rq.add acc prod))
+    done
+  done;
+  ignore ring;
+  let comps = Array.map (function Some c -> c | None -> assert false) out in
+  let t = a.params.Params.t_plain in
+  let ct =
+    { params = a.params;
+      comps;
+      factor = Mod64.mul t a.factor b.factor;
+      log_noise = log2_n a.params +. a.log_noise +. b.log_noise }
+  in
+  let ct =
+    match rlk with
+    | Some rlk when degree ct = 2 -> relinearize ?counters rlk ct
+    | Some _ | None -> ct
+  in
+  if rescale then rescale_to_floor ?counters ct else ct
+
+(* ------------------------------------------------------------------ *)
+(* Polynomial evaluation (the protocol's EvalPoly)                     *)
+(* ------------------------------------------------------------------ *)
+
+let eval_poly ?counters ?rlk ~coeffs ct =
+  let d = Array.length coeffs - 1 in
+  if d < 0 then invalid_arg "Bgv.eval_poly: empty coefficient list";
+  if d = 0 then add_const ?counters (mul_scalar ?counters ct 0L) coeffs.(0)
+  else begin
+    (* Horner: acc = a_d; acc = acc·x + a_i. *)
+    let acc = ref (mul_scalar ?counters ct coeffs.(d)) in
+    for i = d - 1 downto 0 do
+      if i < d - 1 then begin
+        let x = truncate_to_level ct (level !acc) in
+        acc := mul ?counters ?rlk !acc x
+      end;
+      acc := add_const ?counters !acc coeffs.(i)
+    done;
+    !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(*                                                                     *)
+(* Layout (little-endian):                                             *)
+(*   magic(4) n(4) t(8) degree(2) level(2) factor(8) noise(8)          *)
+(*   moduli-fingerprint(4) then 4 bytes per residue, component-major.  *)
+(* ------------------------------------------------------------------ *)
+
+let ct_magic = 0x42475631l (* "BGV1" *)
+let pk_magic = 0x42475650l (* "BGVP" *)
+let sk_magic = 0x42475653l (* "BGVS" *)
+
+let moduli_fingerprint p k =
+  let acc = ref 0 in
+  for i = 0 to k - 1 do
+    acc := !acc lxor (p.Params.moduli.(i) * (i + 1))
+  done;
+  Int32.of_int (!acc land 0x3FFFFFFF)
+
+let put_rq buf rq =
+  let rq = Rq.to_eval rq in
+  for i = 0 to Rq.nprimes rq - 1 do
+    let comp = Rq.unsafe_component rq i in
+    Array.iter (fun v -> Buffer.add_int32_le buf (Int32.of_int v)) comp
+  done
+
+let decode_error what = failwith (Printf.sprintf "Bgv: malformed %s" what)
+
+type reader = { data : Bytes.t; mutable pos : int }
+
+let need r n what = if r.pos + n > Bytes.length r.data then decode_error (what ^ " (truncated)")
+
+let get_i32 r what =
+  need r 4 what;
+  let v = Bytes.get_int32_le r.data r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r what =
+  need r 8 what;
+  let v = Bytes.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_u16 r what =
+  need r 2 what;
+  let v = Bytes.get_uint16_le r.data r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let get_rq r p ~nprimes what =
+  let n = p.Params.n in
+  let comps =
+    Array.init nprimes (fun i ->
+        let m = p.Params.moduli.(i) in
+        Array.init n (fun _ ->
+            let v = Int32.to_int (get_i32 r what) land 0xFFFFFFFF in
+            if v >= m then decode_error (what ^ " (residue out of range)");
+            v))
+  in
+  Rq.of_components p.Params.ring Rq.Eval comps
+
+let ct_to_bytes ct =
+  let buf = Buffer.create (byte_size ct) in
+  Buffer.add_int32_le buf ct_magic;
+  Buffer.add_int32_le buf (Int32.of_int ct.params.Params.n);
+  Buffer.add_int64_le buf ct.params.Params.t_plain;
+  Buffer.add_uint16_le buf (degree ct);
+  Buffer.add_uint16_le buf (level ct);
+  Buffer.add_int64_le buf ct.factor;
+  Buffer.add_int64_le buf (Int64.bits_of_float ct.log_noise);
+  Buffer.add_int32_le buf (moduli_fingerprint ct.params (level ct));
+  Array.iter (fun c -> put_rq buf c) ct.comps;
+  Buffer.to_bytes buf
+
+let check_params_header r p ~magic what =
+  if not (Int32.equal (get_i32 r (what ^ " magic")) magic) then decode_error (what ^ " magic");
+  if Int32.to_int (get_i32 r (what ^ " n")) <> p.Params.n then
+    decode_error (what ^ " (ring degree mismatch)");
+  if not (Int64.equal (get_i64 r (what ^ " t")) p.Params.t_plain) then
+    decode_error (what ^ " (plaintext modulus mismatch)")
+
+let ct_of_bytes p data =
+  let r = { data; pos = 0 } in
+  check_params_header r p ~magic:ct_magic "ciphertext";
+  let deg = get_u16 r "degree" in
+  let lvl = get_u16 r "level" in
+  if lvl < 1 || lvl > Array.length p.Params.moduli then decode_error "ciphertext (level)";
+  if deg < 1 || deg > 64 then decode_error "ciphertext (degree)";
+  let factor = get_i64 r "factor" in
+  let log_noise = Int64.float_of_bits (get_i64 r "noise") in
+  if not (Int32.equal (get_i32 r "fingerprint") (moduli_fingerprint p lvl)) then
+    decode_error "ciphertext (modulus chain mismatch)";
+  let comps = Array.init (deg + 1) (fun _ -> get_rq r p ~nprimes:lvl "ciphertext body") in
+  if r.pos <> Bytes.length data then decode_error "ciphertext (trailing bytes)";
+  { params = p; comps; factor; log_noise }
+
+let pk_to_bytes pk =
+  let p = pk.pk_params in
+  let buf = Buffer.create 64 in
+  Buffer.add_int32_le buf pk_magic;
+  Buffer.add_int32_le buf (Int32.of_int p.Params.n);
+  Buffer.add_int64_le buf p.Params.t_plain;
+  Buffer.add_int32_le buf (moduli_fingerprint p (Array.length p.Params.moduli));
+  put_rq buf pk.pk_b;
+  put_rq buf pk.pk_a;
+  Buffer.to_bytes buf
+
+let pk_of_bytes p data =
+  let r = { data; pos = 0 } in
+  check_params_header r p ~magic:pk_magic "public key";
+  let full = Array.length p.Params.moduli in
+  if not (Int32.equal (get_i32 r "fingerprint") (moduli_fingerprint p full)) then
+    decode_error "public key (modulus chain mismatch)";
+  let b = get_rq r p ~nprimes:full "public key b" in
+  let a = get_rq r p ~nprimes:full "public key a" in
+  if r.pos <> Bytes.length data then decode_error "public key (trailing bytes)";
+  { pk_params = p; pk_b = b; pk_a = a }
+
+let sk_to_bytes sk =
+  let p = sk.sk_params in
+  let buf = Buffer.create (p.Params.n + 16) in
+  Buffer.add_int32_le buf sk_magic;
+  Buffer.add_int32_le buf (Int32.of_int p.Params.n);
+  Buffer.add_int64_le buf p.Params.t_plain;
+  Array.iter
+    (fun c ->
+      (* ternary coefficients: one signed byte each *)
+      Buffer.add_int8 buf c)
+    sk.s_coeffs;
+  Buffer.to_bytes buf
+
+let sk_of_bytes p data =
+  let r = { data; pos = 0 } in
+  check_params_header r p ~magic:sk_magic "secret key";
+  need r p.Params.n "secret key body";
+  let s_coeffs =
+    Array.init p.Params.n (fun i ->
+        let v = Bytes.get_int8 data (r.pos + i) in
+        if v < -1 || v > 1 then decode_error "secret key (non-ternary coefficient)";
+        v)
+  in
+  r.pos <- r.pos + p.Params.n;
+  if r.pos <> Bytes.length data then decode_error "secret key (trailing bytes)";
+  let full = Array.length p.Params.moduli in
+  { sk_params = p;
+    s_coeffs;
+    s_powers = [ Rq.of_small_coeffs p.Params.ring ~nprimes:full Rq.Eval s_coeffs ] }
+
+
+(* ------------------------------------------------------------------ *)
+(* Galois automorphisms                                                *)
+(* ------------------------------------------------------------------ *)
+
+let galois_elt gk = gk.gk_elt
+
+let galois_keygen ?counters rng sk ~elt =
+  ignore counters;
+  let p = sk.sk_params in
+  let n = p.Params.n in
+  let elt = ((elt mod (2 * n)) + (2 * n)) mod (2 * n) in
+  if elt land 1 = 0 then invalid_arg "Bgv.galois_keygen: elt must be odd";
+  let ring = p.Params.ring in
+  let full = Array.length p.Params.moduli in
+  let t = p.Params.t_plain in
+  let s = Rq.of_small_coeffs ring ~nprimes:full Rq.Eval sk.s_coeffs in
+  let s_sigma = Rq.to_eval (Rq.substitute (Rq.of_small_coeffs ring ~nprimes:full Rq.Coeff sk.s_coeffs) ~k:elt) in
+  let w = p.Params.relin_digit_bits in
+  let q_bits = Z.numbits (Rq.modulus ring ~nprimes:full) in
+  let ndigits = (q_bits + w - 1) / w in
+  let rows =
+    Array.init ndigits (fun j ->
+        let gadget = Z.shift_left Z.one (j * w) in
+        let a = Sampler.uniform rng ring ~nprimes:full in
+        let e =
+          Rq.of_small_coeffs ring ~nprimes:full Rq.Eval
+            (Sampler.cbd_coeffs rng ~n ~eta:p.Params.eta)
+        in
+        let b =
+          Rq.add
+            (Rq.add (Rq.neg (Rq.mul a s)) (Rq.mul_scalar e t))
+            (Rq.mul_scalar_zint s_sigma gadget)
+        in
+        (b, a))
+  in
+  { gk_params = p; gk_elt = elt; gk_digit_bits = w; gk_rows = rows }
+
+let apply_galois ?counters gk ct =
+  record counters Counters.Hom_relin;
+  if gk.gk_params != ct.params then invalid_arg "Bgv.apply_galois: parameter mismatch";
+  if degree ct <> 1 then invalid_arg "Bgv.apply_galois: degree <> 1 (relinearise first)";
+  let k = level ct in
+  (* (c0(x^e), c1(x^e)) decrypts under s(x^e); key-switch back to s. *)
+  let c0s = Rq.to_eval (Rq.substitute ct.comps.(0) ~k:gk.gk_elt) in
+  let c1s = Rq.to_eval (Rq.substitute ct.comps.(1) ~k:gk.gk_elt) in
+  let d0, d1, added =
+    key_switch_digits ct.params ~w:gk.gk_digit_bits ~rows:gk.gk_rows ~level:k c1s
+  in
+  { ct with
+    comps = [| Rq.add c0s d0; d1 |];
+    log_noise = log2_add ct.log_noise added }
+
+(* Rotate-and-sum slot reduction: the Galois group of the power-of-two
+   cyclotomic is <3> x <-1> and acts simply transitively on the slots,
+   so folding the ciphertext with sigma_{3^(2^i)} for each i and finally
+   with the conjugation sigma_{-1} leaves the total slot sum in every
+   slot — log2(n) automorphisms instead of n. *)
+let slot_sum_keys ?counters rng sk =
+  let n = sk.sk_params.Params.n in
+  let m = 2 * n in
+  let rec squares acc elt count =
+    if count = 0 then List.rev acc
+    else squares (elt :: acc) (elt * elt mod m) (count - 1)
+  in
+  let steps =
+    let rec log2i x = if x <= 1 then 0 else 1 + log2i (x / 2) in
+    log2i (n / 2)
+  in
+  let elts = squares [] 3 steps @ [ m - 1 ] in
+  List.map (fun elt -> galois_keygen ?counters rng sk ~elt) elts
+
+let sum_slots ?counters gks ct =
+  List.fold_left
+    (fun acc gk -> add ?counters acc (apply_galois ?counters gk acc))
+    ct gks
+
+(* Debug oracle: the true noise magnitude, for validating the tracked
+   bound (requires the secret key; never used by the protocols). *)
+let actual_noise_bits sk ct =
+  let k = level ct in
+  let acc = ref ct.comps.(0) in
+  for i = 1 to degree ct do
+    let si = Rq.truncate (s_power sk i) ~nprimes:k in
+    acc := Rq.add !acc (Rq.mul ct.comps.(i) si)
+  done;
+  let coeffs = Rq.to_zint_coeffs !acc in
+  let worst =
+    Array.fold_left (fun m v -> Stdlib.max m (Z.numbits (Z.abs v))) 0 coeffs
+  in
+  float_of_int worst
+
+(* Fresh re-randomisation: add an encryption of zero so the ciphertext
+   is statistically unlinkable to its history (used when a result must
+   be returned to a party that has seen related ciphertexts). *)
+let rerandomize ?counters rng pk ct =
+  let zero = Plaintext.constant pk.pk_params 0L in
+  let z = encrypt ?counters ~level:(level ct) rng pk zero in
+  add ?counters ct z

@@ -1,0 +1,167 @@
+(** The leveled BGV somewhat-homomorphic encryption scheme.
+
+    This is the paper's underlying (S)HE — the "LFHE" instantiated by
+    HElib — rebuilt from its definition (Brakerski–Gentry–Vaikuntanathan,
+    ITCS 2012) on the RNS/NTT ring substrate of {!Rq}:
+
+    - secret key: ternary [s]; public key: RLWE pair [(b, a)] with
+      [b + a·s = t·e];
+    - encryption of plaintext polynomial [m]: [(b·u + t·e1 + m, a·u + t·e2)],
+      so that [c0 + c1·s = m + t·E] for small [E];
+    - homomorphic addition/subtraction componentwise; multiplication by
+      tensoring (ciphertext degree grows), with optional relinearisation
+      back to degree 1 via base-2^w key switching;
+    - leveled structure: {!modswitch} divides the ciphertext modulus by
+      the last RNS prime, scaling the noise down proportionally, which is
+      what keeps noise growth linear rather than exponential in depth.
+
+    Each ciphertext tracks a conservative noise bound (in bits) and the
+    plaintext scale factor accumulated by modulus switching; [decrypt]
+    undoes the factor, so callers never see it.
+
+    Every operation optionally records into a {!Util.Counters.t}; the
+    Table 1 reproduction measures those counts on live protocol runs. *)
+
+type secret_key
+type public_key
+type relin_key
+type galois_key
+type keys = { sk : secret_key; pk : public_key; rlk : relin_key }
+type ct
+
+(** {1 Keys} *)
+
+val keygen : ?counters:Util.Counters.t -> Util.Rng.t -> Params.t -> keys
+val params_of_sk : secret_key -> Params.t
+val params_of_pk : public_key -> Params.t
+
+(** {1 Encryption / decryption} *)
+
+(** [encrypt ?level rng pk pt] encrypts under the public key.  [?level]
+    encrypts directly at a truncated modulus level (1 = last prime
+    only); cheaper when the ciphertext is destined for shallow
+    computation, as with Party B's indicator vectors. *)
+val encrypt :
+  ?counters:Util.Counters.t -> ?level:int -> Util.Rng.t -> public_key -> Plaintext.t -> ct
+val decrypt : ?counters:Util.Counters.t -> secret_key -> ct -> Plaintext.t
+(** @raise Failure if the tracked noise bound shows the ciphertext is
+    undecryptable (budget exhausted). *)
+
+val decrypt_coeff0 : ?counters:Util.Counters.t -> secret_key -> ct -> int64
+(** Decrypts only the constant coefficient of the plaintext polynomial.
+    Party B's Find-Neighbours phase reads exactly one scalar per masked
+    distance, and the constant coefficient of a negacyclic transform is
+    recoverable as [n^{-1} · Σ evaluations], so this skips the inverse
+    NTTs and the full CRT lift — an order of magnitude cheaper than
+    {!decrypt} at protocol scale. *)
+
+(** {1 Homomorphic evaluation} *)
+
+val add : ?counters:Util.Counters.t -> ct -> ct -> ct
+val sub : ?counters:Util.Counters.t -> ct -> ct -> ct
+val neg : ct -> ct
+val add_plain : ?counters:Util.Counters.t -> ct -> Plaintext.t -> ct
+val add_const : ?counters:Util.Counters.t -> ct -> int64 -> ct
+val mul_plain : ?counters:Util.Counters.t -> ct -> Plaintext.t -> ct
+val mul_scalar : ?counters:Util.Counters.t -> ct -> int64 -> ct
+
+val mul :
+  ?counters:Util.Counters.t -> ?rlk:relin_key -> ?rescale:bool -> ct -> ct -> ct
+(** Tensor product.  Levels are aligned automatically (the deeper operand
+    wins).  If [rlk] is given and the result has degree 2 it is
+    relinearised back to degree 1; afterwards, unless [rescale:false],
+    the modulus chain is switched down while that reduces the noise
+    bound.  Without [rlk] the ciphertext degree grows — decryption still
+    works at any degree (at higher cost), which is the "no-relin"
+    ablation of DESIGN.md. *)
+
+val rerandomize :
+  ?counters:Util.Counters.t -> Util.Rng.t -> public_key -> ct -> ct
+(** Adds a fresh encryption of zero at the ciphertext's level: same
+    plaintext, fresh randomness. *)
+
+val relinearize : ?counters:Util.Counters.t -> relin_key -> ct -> ct
+(** Degree-2 → degree-1. @raise Invalid_argument on other degrees. *)
+
+val galois_keygen :
+  ?counters:Util.Counters.t -> Util.Rng.t -> secret_key -> elt:int -> galois_key
+(** Key material for the Galois automorphism [x -> x^elt] (odd [elt],
+    taken mod 2n).  [elt = 3^r] rotates the batching slots within their
+    two hypercolumns by [r]; [elt = 2n - 1] is the conjugation that
+    swaps the hypercolumns — the Smart–Vercauteren slot-manipulation
+    toolkit of the paper's HElib instantiation. *)
+
+val galois_elt : galois_key -> int
+
+val apply_galois : ?counters:Util.Counters.t -> galois_key -> ct -> ct
+(** Homomorphically maps an encryption of [m(x)] to an encryption of
+    [m(x^elt)], i.e. permutes the plaintext slots (see
+    {!Plaintext.substitute} for the plaintext-side image).  Degree-1
+    ciphertexts only; costs one key switch. *)
+
+val slot_sum_keys :
+  ?counters:Util.Counters.t -> Util.Rng.t -> secret_key -> galois_key list
+(** The log2(n) Galois keys {!sum_slots} needs. *)
+
+val sum_slots : ?counters:Util.Counters.t -> galois_key list -> ct -> ct
+(** Rotate-and-sum: returns a ciphertext whose every slot holds the sum
+    of all the input's slots — log2(n) automorphisms and additions (the
+    standard HElib "total sums" primitive). *)
+
+val modswitch : ?counters:Util.Counters.t -> ct -> ct
+(** Drop the last active prime, dividing noise by it (plus the standard
+    additive rounding term). @raise Invalid_argument at level 1. *)
+
+val rescale_to_floor : ?counters:Util.Counters.t -> ct -> ct
+(** Apply {!modswitch} while it strictly reduces the noise bound. *)
+
+val truncate_to_level : ct -> int -> ct
+(** Cheap level alignment: drop RNS components without rescaling (valid
+    because the represented value is far below the smaller modulus). *)
+
+val eval_poly :
+  ?counters:Util.Counters.t -> ?rlk:relin_key -> coeffs:int64 array -> ct -> ct
+(** Horner evaluation of [coeffs.(0) + coeffs.(1)·x + …] at the
+    encrypted [x], slot-wise.  This is the protocol's [EvalPoly]. *)
+
+(** {1 Inspection} *)
+
+val degree : ct -> int
+(** Number of components minus one; fresh ciphertexts have degree 1. *)
+
+val level : ct -> int
+(** Active RNS primes remaining. *)
+
+val noise_bits : ct -> float
+(** Conservative bound (bits) on the decryption noise term. *)
+
+val actual_noise_bits : secret_key -> ct -> float
+(** Debug oracle: the bit size of the true decryption noise
+    [Σ cᵢ·sⁱ mod Q] (centered).  The protocols never call this; the test
+    suite uses it to check that {!noise_bits} is a sound upper bound on
+    every circuit it runs. *)
+
+val noise_budget_bits : ct -> float
+(** [log2 (Q_level / 2) - noise_bits]; decryption is guaranteed while
+    positive. *)
+
+val byte_size : ct -> int
+(** Exact serialised size: [Bytes.length (ct_to_bytes ct)] without
+    paying for the encoding (4 bytes per residue coefficient plus a
+    40-byte header). *)
+
+val pp_ct : Format.formatter -> ct -> unit
+
+(** {1 Serialisation}
+
+    Binary wire format (little-endian, versioned magic), so the
+    simulated parties exchange exactly what real deployments would.
+    Decoding validates the magic, the parameter fingerprint and every
+    residue range; malformed input raises [Failure]. *)
+
+val ct_to_bytes : ct -> Stdlib.Bytes.t
+val ct_of_bytes : Params.t -> Stdlib.Bytes.t -> ct
+val pk_to_bytes : public_key -> Stdlib.Bytes.t
+val pk_of_bytes : Params.t -> Stdlib.Bytes.t -> public_key
+val sk_to_bytes : secret_key -> Stdlib.Bytes.t
+val sk_of_bytes : Params.t -> Stdlib.Bytes.t -> secret_key

@@ -1,0 +1,77 @@
+
+type t = {
+  name : string;
+  n : int;
+  t_plain : int64;
+  moduli : int array;
+  eta : int;
+  relin_digit_bits : int;
+  ring : Rq.context;
+  batching : Ntt64.table;
+}
+
+let create ?(eta = 2) ?(relin_digit_bits = 16) ~name ~n ~plain_bits ~prime_bits ~chain_len () =
+  if plain_bits > 50 then invalid_arg "Params.create: plain_bits > 50";
+  if prime_bits > 30 then invalid_arg "Params.create: prime_bits > 30";
+  if n < 4 || n land (n - 1) <> 0 then invalid_arg "Params.create: n not a power of two";
+  let m2n = Int64.of_int (2 * n) in
+  let t_plain = Prime64.find_ntt_prime ~congruent_mod:m2n ~bits:plain_bits () in
+  let moduli =
+    Prime64.ntt_primes ~congruent_mod:m2n ~bits:prime_bits ~count:chain_len
+    |> List.filter (fun p -> not (Int64.equal p t_plain))
+    |> (fun l -> if List.length l < chain_len then
+          Prime64.ntt_primes ~congruent_mod:m2n ~bits:prime_bits ~count:(chain_len + 1)
+          |> List.filter (fun p -> not (Int64.equal p t_plain))
+        else l)
+    |> (fun l -> List.filteri (fun i _ -> i < chain_len) l)
+    |> List.map Int64.to_int
+    |> Array.of_list
+  in
+  let ring = Rq.context ~n ~moduli in
+  let batching = Ntt64.make_table ~p:t_plain ~n in
+  { name; n; t_plain; moduli; eta; relin_digit_bits; ring; batching }
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v
+
+let toy =
+  memo (fun () ->
+      create ~name:"toy" ~n:256 ~plain_bits:20 ~prime_bits:27 ~chain_len:8 ())
+
+let bench_small =
+  memo (fun () ->
+      create ~name:"bench_small" ~n:1024 ~plain_bits:40 ~prime_bits:30 ~chain_len:12 ())
+
+let bench =
+  memo (fun () ->
+      create ~name:"bench" ~n:4096 ~plain_bits:45 ~prime_bits:30 ~chain_len:14 ())
+
+let secure =
+  memo (fun () ->
+      create ~name:"secure" ~n:8192 ~plain_bits:40 ~prime_bits:30 ~chain_len:7 ())
+
+let chain_length p = Array.length p.moduli
+
+let log2_q p =
+  Array.fold_left (fun acc m -> acc +. log (float_of_int m)) 0.0 p.moduli /. log 2.0
+
+(* homomorphicencryption.org standard (ternary secret, classical):
+   n = 1024 supports log2 q = 27 at 128-bit security, scaling linearly
+   in n and inversely in log q. *)
+let security_bits p = 128.0 *. (27.0 *. float_of_int p.n /. 1024.0) /. log2_q p
+
+let slot_count p = p.n
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>%s: n=%d t=%Ld (%d bits) chain=%d primes (log2 q = %.0f) eta=%d w=%d est. security=%.0f bits@]"
+    p.name p.n p.t_plain
+    (int_of_float (ceil (log (Int64.to_float p.t_plain) /. log 2.0)))
+    (chain_length p) (log2_q p) p.eta p.relin_digit_bits (security_bits p)

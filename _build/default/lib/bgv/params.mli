@@ -1,0 +1,62 @@
+(** BGV parameter sets.
+
+    A parameter set fixes the ring degree [n], the plaintext prime [t]
+    (chosen ≡ 1 mod 2n so that CRT batching gives [n] independent Z_t
+    slots per ciphertext), the RNS modulus chain (NTT primes below 2^31),
+    the centered-binomial noise width and the relinearisation digit size.
+
+    The named presets trade ring size against speed:
+    - [toy]: fast unit-test parameters (n = 256);
+    - [bench_small], [bench]: the scaling-experiment parameters — the
+      shape of every figure (linearity in n, d, k) is preserved while a
+      full sweep stays tractable in OCaml;
+    - [secure]: production-shaped ring (n = 8192) whose estimated RLWE
+      security [security_bits] is ≈ 128, matching the paper's setting.
+
+    Preset construction performs prime searches; results are memoised. *)
+
+type t = private {
+  name : string;
+  n : int;                    (** ring degree, power of two *)
+  t_plain : int64;            (** plaintext prime, ≡ 1 mod 2n *)
+  moduli : int array;         (** RNS chain, most significant first *)
+  eta : int;                  (** CBD noise parameter *)
+  relin_digit_bits : int;     (** base-2^w key-switching decomposition *)
+  ring : Rq.context;
+  batching : Ntt64.table;
+}
+
+val create :
+  ?eta:int ->
+  ?relin_digit_bits:int ->
+  name:string ->
+  n:int ->
+  plain_bits:int ->
+  prime_bits:int ->
+  chain_len:int ->
+  unit ->
+  t
+(** Searches for the plaintext prime (largest ≡ 1 mod 2n below
+    [2^plain_bits]) and [chain_len] distinct NTT primes of
+    [prime_bits] bits. [plain_bits <= 50] (the fast 64-bit multiplier
+    bound); [prime_bits <= 30]. *)
+
+val toy : unit -> t
+val bench_small : unit -> t
+val bench : unit -> t
+val secure : unit -> t
+
+val chain_length : t -> int
+val log2_q : t -> float
+(** Bit size of the full ciphertext modulus. *)
+
+val security_bits : t -> float
+(** Rough RLWE security estimate from the homomorphicencryption.org
+    standard tables (ternary secret, classical attacks): 128-bit security
+    at [log2 q ≈ 27 · n / 1024], scaled linearly.  An estimate for
+    reporting, not a guarantee. *)
+
+val slot_count : t -> int
+(** Number of CRT plaintext slots (= [n]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+
+type t = {
+  params : Params.t;
+  coeffs : int64 array;            (* canonical residues mod t *)
+  mutable slots : int64 array option; (* cached slot view *)
+}
+
+let params t = t.params
+
+let of_coeffs params coeffs =
+  if Array.length coeffs <> params.Params.n then invalid_arg "Plaintext.of_coeffs: wrong length";
+  let tp = params.Params.t_plain in
+  { params; coeffs = Array.map (Mod64.reduce tp) coeffs; slots = None }
+
+let to_coeffs t = Array.copy t.coeffs
+
+let of_slots params slots =
+  if Array.length slots <> params.Params.n then invalid_arg "Plaintext.of_slots: wrong length";
+  let tp = params.Params.t_plain in
+  let coeffs = Array.map (Mod64.reduce tp) slots in
+  (* Slot view = evaluation domain of the negacyclic NTT mod t. *)
+  Ntt64.inverse params.Params.batching coeffs;
+  { params; coeffs; slots = Some (Array.map (Mod64.reduce tp) slots) }
+
+let to_slots t =
+  match t.slots with
+  | Some s -> Array.copy s
+  | None ->
+    let s = Array.copy t.coeffs in
+    Ntt64.forward t.params.Params.batching s;
+    t.slots <- Some s;
+    Array.copy s
+
+let constant params v =
+  let tp = params.Params.t_plain in
+  let v = Mod64.reduce tp v in
+  let coeffs = Array.make params.Params.n 0L in
+  coeffs.(0) <- v;
+  { params; coeffs; slots = Some (Array.make params.Params.n v) }
+
+let zero params = constant params 0L
+
+let slot t i =
+  match t.slots with
+  | Some s -> s.(i)
+  | None ->
+    ignore (to_slots t);
+    (match t.slots with Some s -> s.(i) | None -> assert false)
+
+let lift2 name f a b =
+  if a.params != b.params then invalid_arg (name ^ ": parameter mismatch");
+  let tp = a.params.Params.t_plain in
+  { params = a.params;
+    coeffs = Array.init (Array.length a.coeffs) (fun i -> f tp a.coeffs.(i) b.coeffs.(i));
+    slots = None }
+
+let add a b = lift2 "Plaintext.add" Mod64.add a b
+let sub a b = lift2 "Plaintext.sub" Mod64.sub a b
+
+let mul a b =
+  (* Slot-wise product = evaluation-domain pointwise product. *)
+  if a.params != b.params then invalid_arg "Plaintext.mul: parameter mismatch";
+  let sa = to_slots a and sb = to_slots b in
+  let tp = a.params.Params.t_plain in
+  of_slots a.params (Array.init (Array.length sa) (fun i -> Mod64.mul tp sa.(i) sb.(i)))
+
+let scale a s =
+  let tp = a.params.Params.t_plain in
+  let s = Mod64.reduce tp s in
+  { params = a.params;
+    coeffs = Array.map (fun c -> Mod64.mul tp c s) a.coeffs;
+    slots = None }
+
+let substitute t ~k =
+  let n = t.params.Params.n in
+  let k = ((k mod (2 * n)) + (2 * n)) mod (2 * n) in
+  if k land 1 = 0 then invalid_arg "Plaintext.substitute: k must be odd";
+  let tp = t.params.Params.t_plain in
+  let out = Array.make n 0L in
+  Array.iteri
+    (fun j c ->
+      let e = j * k mod (2 * n) in
+      if e < n then out.(e) <- c else out.(e - n) <- Mod64.neg tp c)
+    t.coeffs;
+  { params = t.params; coeffs = out; slots = None }
+
+let equal a b = a.params == b.params && a.coeffs = b.coeffs
+
+let pp ppf t =
+  let s = to_slots t in
+  let shown = Stdlib.min 8 (Array.length s) in
+  Format.fprintf ppf "@[<h>slots[%d]=" (Array.length s);
+  for i = 0 to shown - 1 do
+    Format.fprintf ppf "%Ld%s" s.(i) (if i < shown - 1 then ", " else "")
+  done;
+  if Array.length s > shown then Format.fprintf ppf ", …";
+  Format.fprintf ppf "@]"

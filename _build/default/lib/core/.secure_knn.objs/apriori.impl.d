@@ -1,0 +1,1 @@
+lib/core/apriori.ml: Apriori_plain Array Bgv Config Int64 List Option Params Plaintext Printf Stdlib Transcript Util

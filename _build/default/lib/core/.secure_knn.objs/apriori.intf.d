@@ -1,0 +1,1 @@
+lib/core/apriori.mli: Config Transcript Util

@@ -1,0 +1,1 @@
+lib/core/config.ml: Distance Format Masking Params Printf

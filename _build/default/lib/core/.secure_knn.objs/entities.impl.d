@@ -1,0 +1,1 @@
+lib/core/entities.ml: Array Bgv Config Int64 Masking Mod64 Option Params Plaintext Printf Stdlib Util

@@ -1,0 +1,1 @@
+lib/core/entities.mli: Bgv Config Masking Util

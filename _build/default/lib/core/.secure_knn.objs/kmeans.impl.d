@@ -1,0 +1,1 @@
+lib/core/kmeans.ml: Array Bgv Config Entities Int64 Kmeans_plain Masking Option Params Plaintext Printf Stdlib Transcript Util

@@ -1,0 +1,1 @@
+lib/core/kmeans.mli: Config Transcript Util

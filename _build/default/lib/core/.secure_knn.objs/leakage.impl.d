@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Array Entities Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/core/masking.ml: Array Format Int64 Mod64 Printf Stdlib Util

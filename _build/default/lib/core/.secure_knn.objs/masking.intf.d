@@ -1,0 +1,1 @@
+lib/core/masking.mli: Format Util

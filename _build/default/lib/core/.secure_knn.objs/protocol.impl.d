@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Bgv Config Distance Entities List Params Plain_knn Printf Transcript Util

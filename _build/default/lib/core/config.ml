@@ -1,0 +1,93 @@
+type layout = Per_coordinate | Dot_product
+
+type t = {
+  bgv : Params.t;
+  layout : layout;
+  mask_degree : int;
+  mask_coeff_bits : int;
+  max_coord_bits : int;
+  use_relin : bool;
+  rescale_distances : bool;
+  return_level : int;
+}
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      cache := Some v;
+      v
+
+let standard =
+  memo (fun () ->
+      let bgv =
+        Params.create ~name:"protocol-standard" ~n:64 ~plain_bits:50 ~prime_bits:30
+          ~chain_len:10 ()
+      in
+      { bgv; layout = Per_coordinate; mask_degree = 2; mask_coeff_bits = 8;
+        max_coord_bits = 8; use_relin = false; rescale_distances = true;
+        return_level = 6 })
+
+let fast =
+  memo (fun () ->
+      let bgv =
+        Params.create ~name:"protocol-fast" ~n:64 ~plain_bits:50 ~prime_bits:30
+          ~chain_len:6 ()
+      in
+      { bgv; layout = Dot_product; mask_degree = 1; mask_coeff_bits = 16;
+        max_coord_bits = 8; use_relin = false; rescale_distances = false;
+        return_level = 6 })
+
+let secure =
+  memo (fun () ->
+      let bgv = Params.secure () in
+      { bgv; layout = Per_coordinate; mask_degree = 1; mask_coeff_bits = 8;
+        max_coord_bits = 6; use_relin = false; rescale_distances = true;
+        return_level = 6 })
+
+let with_layout layout t = { t with layout }
+let with_rescale_distances rescale_distances t = { t with rescale_distances }
+let with_mask_degree mask_degree t = { t with mask_degree }
+let with_relin use_relin t = { t with use_relin }
+
+let bits_of v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let max_distance_bits t ~d =
+  let max_coord = (1 lsl t.max_coord_bits) - 1 in
+  bits_of (Distance.max_squared_euclidean ~d ~max_value:max_coord)
+
+let layout_name = function
+  | Per_coordinate -> "per-coordinate"
+  | Dot_product -> "dot-product"
+
+let validate t ~d =
+  let n = t.bgv.Params.n in
+  let input_bits = max_distance_bits t ~d in
+  let sound =
+    Masking.max_coeff_bits ~t_plain:t.bgv.Params.t_plain ~input_bits ~degree:t.mask_degree
+  in
+  if t.mask_degree < 1 then Error "mask_degree must be >= 1"
+  else if sound < 1 then
+    Error
+      (Printf.sprintf
+         "masking envelope violated: degree-%d polynomial on %d-bit distances cannot fit \
+          under t=%Ld; lower mask_degree or max_coord_bits"
+         t.mask_degree input_bits t.bgv.Params.t_plain)
+  else if t.layout = Dot_product && t.mask_degree <> 1 then
+    Error "Dot_product layout supports only affine (degree-1) masking"
+  else if t.layout = Dot_product && d > n then
+    Error (Printf.sprintf "Dot_product layout needs d <= ring degree (%d > %d)" d n)
+  else if t.return_level < 1 || t.return_level > Params.chain_length t.bgv then
+    Error "return_level out of range"
+  else Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>layout=%s mask(degree=%d, <=%d-bit coeffs) coords<=%d bits relin=%b return_level=%d@ bgv: %a@]"
+    (layout_name t.layout) t.mask_degree t.mask_coeff_bits t.max_coord_bits t.use_relin
+    t.return_level Params.pp t.bgv

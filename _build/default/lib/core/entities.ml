@@ -1,0 +1,315 @@
+module Rng = Util.Rng
+module Counters = Util.Counters
+module Perm = Util.Perm
+
+type encrypted_point = {
+  coords : Bgv.ct array option;
+  packed : Bgv.ct;
+  norm : Bgv.ct option;
+}
+
+type encrypted_db = { db_n : int; db_d : int; points : encrypted_point array }
+
+type encrypted_query = {
+  q_coords : Bgv.ct array option;
+  q_rev : Bgv.ct option;
+  q_norm : Bgv.ct option;
+  q_dim : int;
+}
+
+let ct_bytes = Bgv.byte_size
+
+let point_bytes p =
+  ct_bytes p.packed
+  + (match p.coords with None -> 0 | Some a -> Array.fold_left (fun s c -> s + ct_bytes c) 0 a)
+  + (match p.norm with None -> 0 | Some c -> ct_bytes c)
+
+let db_bytes db = Array.fold_left (fun s p -> s + point_bytes p) 0 db.points
+
+let query_bytes q =
+  (match q.q_coords with None -> 0 | Some a -> Array.fold_left (fun s c -> s + ct_bytes c) 0 a)
+  + (match q.q_rev with None -> 0 | Some c -> ct_bytes c)
+  + (match q.q_norm with None -> 0 | Some c -> ct_bytes c)
+
+(* Coefficient-packed plaintext for a point: p_j at coefficient j. *)
+let packed_plaintext params point =
+  let coeffs = Array.make params.Params.n 0L in
+  Array.iteri (fun j v -> coeffs.(j) <- Int64.of_int v) point;
+  Plaintext.of_coeffs params coeffs
+
+(* Reversed query for the inner-product trick: constant term q_0, and
+   -q_j at x^(n-j) for j >= 1, so that the constant coefficient of
+   P(x)·Qrev(x) in Z_t[x]/(x^n+1) equals <p, q>. *)
+let reversed_query_plaintext params query =
+  let n = params.Params.n in
+  let t = params.Params.t_plain in
+  let coeffs = Array.make n 0L in
+  Array.iteri
+    (fun j v ->
+      let v64 = Int64.of_int v in
+      if j = 0 then coeffs.(0) <- Mod64.reduce t v64
+      else coeffs.(n - j) <- Mod64.neg t (Mod64.reduce t v64))
+    query;
+  Plaintext.of_coeffs params coeffs
+
+let squared_norm point = Array.fold_left (fun s v -> s + (v * v)) 0 point
+
+(* ------------------------------------------------------------------ *)
+
+module Data_owner = struct
+  type t = { config : Config.t; keys : Bgv.keys }
+
+  let create rng config = { config; keys = Bgv.keygen rng config.Config.bgv }
+  let keys t = t.keys
+  let config t = t.config
+
+  let validate_point config ~d point =
+    if Array.length point <> d then invalid_arg "Data_owner.encrypt_db: ragged data";
+    let bound = 1 lsl config.Config.max_coord_bits in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= bound then
+          invalid_arg
+            (Printf.sprintf
+               "Data_owner.encrypt_db: coordinate %d outside [0, 2^%d) — preprocess the data \
+                (Preprocess.scale_to_max)"
+               v config.Config.max_coord_bits))
+      point
+
+  let encrypt_db ?counters rng t db =
+    let config = t.config in
+    let n_points = Array.length db in
+    if n_points = 0 then invalid_arg "Data_owner.encrypt_db: empty database";
+    let d = Array.length db.(0) in
+    (match Config.validate config ~d with
+     | Ok () -> ()
+     | Error msg -> invalid_arg ("Data_owner.encrypt_db: " ^ msg));
+    if d > config.Config.bgv.Params.n then
+      invalid_arg "Data_owner.encrypt_db: dimension exceeds ring degree";
+    let params = config.Config.bgv in
+    let pk = t.keys.Bgv.pk in
+    let enc pt = Bgv.encrypt ?counters rng pk pt in
+    let points =
+      Array.map
+        (fun point ->
+          validate_point config ~d point;
+          let packed = enc (packed_plaintext params point) in
+          match config.Config.layout with
+          | Config.Per_coordinate ->
+            let coords =
+              Array.map (fun v -> enc (Plaintext.constant params (Int64.of_int v))) point
+            in
+            { coords = Some coords; packed; norm = None }
+          | Config.Dot_product ->
+            let norm = enc (Plaintext.constant params (Int64.of_int (squared_norm point))) in
+            { coords = None; packed; norm = Some norm })
+        db
+    in
+    { db_n = n_points; db_d = d; points }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Party_a = struct
+  type t = {
+    config : Config.t;
+    pk : Bgv.public_key;
+    rlk : Bgv.relin_key;
+    db : encrypted_db;
+    counters : Counters.t;
+  }
+
+  let create config pk rlk db = { config; pk; rlk; db; counters = Counters.create () }
+  let counters t = t.counters
+  let db_size t = t.db.db_n
+
+  type query_state = { mask : Masking.t; perm : Perm.t }
+
+  let state_mask s = s.mask
+  let state_perm s = s.perm
+
+  let rlk_opt t = if t.config.Config.use_relin then Some t.rlk else None
+
+  let encrypted_distance t query point =
+    let counters = t.counters in
+    match t.config.Config.layout, point.coords, query.q_coords with
+    | Config.Per_coordinate, Some coords, Some q_coords ->
+      (* ED = sum_j (p'_j - q'_j)^2, Steps 2-4 of Algorithm 1.  The
+         per-dimension squares are left unrescaled; one rescale after
+         the sum costs d-1 fewer modulus switches per point. *)
+      let acc = ref None in
+      Array.iteri
+        (fun j c ->
+          let diff = Bgv.sub ~counters c q_coords.(j) in
+          let sq = Bgv.mul ~counters ?rlk:(rlk_opt t) ~rescale:false diff diff in
+          acc := Some (match !acc with None -> sq | Some a -> Bgv.add ~counters a sq))
+        coords;
+      let ed = Option.get !acc in
+      if t.config.Config.rescale_distances then Bgv.rescale_to_floor ~counters ed else ed
+    | Config.Dot_product, _, _ ->
+      let q_rev = Option.get query.q_rev and q_norm = Option.get query.q_norm in
+      let norm = Option.get point.norm in
+      (* ED = ||p||^2 - 2<p,q> + ||q||^2 in the constant coefficient. *)
+      let ip = Bgv.mul ~counters ~rescale:false point.packed q_rev in
+      Bgv.sub ~counters
+        (Bgv.add ~counters norm q_norm)
+        (Bgv.mul_scalar ~counters ip 2L)
+    | Config.Per_coordinate, _, _ ->
+      invalid_arg "Party_a.compute_distances: layout/ciphertext mismatch"
+
+  (* A uniformly random polynomial with zero constant coefficient; added
+     to Dot_product masked distances to destroy the cross-term
+     coefficients the inner-product trick leaves behind. *)
+  let zero_constant_randomizer rng params =
+    let t = params.Params.t_plain in
+    let coeffs =
+      Array.init params.Params.n (fun i -> if i = 0 then 0L else Rng.int64_below rng t)
+    in
+    Plaintext.of_coeffs params coeffs
+
+  let compute_distances t rng query =
+    let config = t.config in
+    let counters = t.counters in
+    let d = t.db.db_d in
+    if query.q_dim <> d then invalid_arg "Party_a.compute_distances: dimension mismatch";
+    let mask =
+      Masking.draw rng ~t_plain:config.Config.bgv.Params.t_plain
+        ~input_bits:(Config.max_distance_bits config ~d)
+        ~degree:config.Config.mask_degree
+        ~coeff_bits:config.Config.mask_coeff_bits ()
+    in
+    let coeffs = Masking.coeffs mask in
+    let masked =
+      Array.map
+        (fun point ->
+          let ed = encrypted_distance t query point in
+          let m = Bgv.eval_poly ~counters ?rlk:(rlk_opt t) ~coeffs ed in
+          match config.Config.layout with
+          | Config.Per_coordinate -> m
+          | Config.Dot_product ->
+            Bgv.add_plain ~counters m (zero_constant_randomizer rng config.Config.bgv))
+        t.db.points
+    in
+    let perm = Perm.random rng t.db.db_n in
+    ({ mask; perm }, Perm.apply perm masked)
+
+  let return_level t =
+    Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
+
+  let select_row t permuted_packed row =
+    (* T^j = Π(P')·B^j summed: one re-randomised encrypted point. *)
+    let counters = t.counters in
+    let acc = ref None in
+    Array.iteri
+      (fun i b ->
+        let term = Bgv.mul ~counters ~rescale:false permuted_packed.(i) b in
+        acc := Some (match !acc with None -> term | Some a -> Bgv.add ~counters a term))
+      row;
+    Option.get !acc
+
+  let permuted_packed t state =
+    let lvl = return_level t in
+    Perm.apply state.perm
+      (Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points)
+
+  let return_knn t state rows =
+    let packed = permuted_packed t state in
+    Array.map (fun row -> select_row t packed row) rows
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Party_b = struct
+  type t = {
+    config : Config.t;
+    sk : Bgv.secret_key;
+    pk : Bgv.public_key;
+    counters : Counters.t;
+  }
+
+  let create config sk pk = { config; sk; pk; counters = Counters.create () }
+  let counters t = t.counters
+
+  type view = { masked_distances : int64 array; selected : int array }
+
+  let select_neighbours t cts ~k =
+    let n = Array.length cts in
+    if k < 1 || k > n then invalid_arg "Party_b: k out of range";
+    let masked = Array.map (fun ct -> Bgv.decrypt_coeff0 ~counters:t.counters t.sk ct) cts in
+    (* Algorithm 2: initialise NN with the first k values, then replace
+       the running maximum on strict improvement. *)
+    let nn = Array.sub masked 0 k in
+    let nn_index = Array.init k (fun i -> i) in
+    for i = k to n - 1 do
+      let maxindex = ref 0 in
+      for j = 1 to k - 1 do
+        if Int64.compare nn.(j) nn.(!maxindex) > 0 then maxindex := j
+      done;
+      if Int64.compare masked.(i) nn.(!maxindex) < 0 then begin
+        nn.(!maxindex) <- masked.(i);
+        nn_index.(!maxindex) <- i
+      end
+    done;
+    { masked_distances = masked; selected = nn_index }
+
+  let return_level t =
+    Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
+
+  let indicator_row t rng view ~n ~j =
+    let params = t.config.Config.bgv in
+    let level = return_level t in
+    let sel = view.selected.(j) in
+    Array.init n (fun i ->
+        let bit = if i = sel then 1L else 0L in
+        Bgv.encrypt ~counters:t.counters ~level rng t.pk (Plaintext.constant params bit))
+
+  let find_neighbours t rng cts ~k =
+    let n = Array.length cts in
+    let view = select_neighbours t cts ~k in
+    let rows = Array.init k (fun j -> indicator_row t rng view ~n ~j) in
+    (rows, view)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type t = {
+    config : Config.t;
+    sk : Bgv.secret_key;
+    pk : Bgv.public_key;
+    counters : Counters.t;
+  }
+
+  let create config sk pk = { config; sk; pk; counters = Counters.create () }
+  let counters t = t.counters
+
+  let encrypt_query t rng query =
+    let config = t.config in
+    let params = config.Config.bgv in
+    let counters = t.counters in
+    let d = Array.length query in
+    Data_owner.validate_point config ~d query;
+    match config.Config.layout with
+    | Config.Per_coordinate ->
+      let q_coords =
+        Array.map
+          (fun v -> Bgv.encrypt ~counters rng t.pk (Plaintext.constant params (Int64.of_int v)))
+          query
+      in
+      { q_coords = Some q_coords; q_rev = None; q_norm = None; q_dim = d }
+    | Config.Dot_product ->
+      let q_rev = Bgv.encrypt ~counters rng t.pk (reversed_query_plaintext params query) in
+      let q_norm =
+        Bgv.encrypt ~counters rng t.pk
+          (Plaintext.constant params (Int64.of_int (squared_norm query)))
+      in
+      { q_coords = None; q_rev = Some q_rev; q_norm = Some q_norm; q_dim = d }
+
+  let decrypt_points t ~d cts =
+    Array.map
+      (fun ct ->
+        let pt = Bgv.decrypt ~counters:t.counters t.sk ct in
+        let coeffs = Plaintext.to_coeffs pt in
+        Array.init d (fun j -> Int64.to_int coeffs.(j)))
+      cts
+end

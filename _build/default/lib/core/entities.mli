@@ -1,0 +1,130 @@
+(** The four protocol entities of Figure 1 and their local computations.
+
+    Each party owns exactly the key material the paper gives it: Party A
+    the public key and the encrypted database, Party B the secret and
+    public keys, the client both keys, the data owner everything.  All
+    cryptographic work a party performs is recorded in its own
+    {!Util.Counters.t}, which is how Table 1 is measured rather than
+    quoted. *)
+
+type encrypted_point = {
+  coords : Bgv.ct array option;
+      (** [Per_coordinate] layout: one constant-polynomial ciphertext per
+          coordinate. *)
+  packed : Bgv.ct;
+      (** Coordinates as polynomial coefficients — used by the
+          Return-kNN phase in both layouts, and by the [Dot_product]
+          distance computation. *)
+  norm : Bgv.ct option;
+      (** [Dot_product] layout: encryption of [‖p‖²] (constant). *)
+}
+
+type encrypted_db = { db_n : int; db_d : int; points : encrypted_point array }
+
+type encrypted_query = {
+  q_coords : Bgv.ct array option;  (** [Per_coordinate]: d constants *)
+  q_rev : Bgv.ct option;           (** [Dot_product]: reversed query *)
+  q_norm : Bgv.ct option;          (** [Dot_product]: [‖q‖²] *)
+  q_dim : int;
+}
+
+(** {1 Data owner} *)
+
+module Data_owner : sig
+  type t
+
+  val create : Util.Rng.t -> Config.t -> t
+  val keys : t -> Bgv.keys
+  val config : t -> Config.t
+
+  val encrypt_db :
+    ?counters:Util.Counters.t -> Util.Rng.t -> t -> int array array -> encrypted_db
+  (** Validates every coordinate against [max_coord_bits] and the layout
+      constraints before encrypting.
+      @raise Invalid_argument on bad data. *)
+end
+
+(** {1 Party A — encrypted storage and blind computation} *)
+
+module Party_a : sig
+  type t
+
+  val create : Config.t -> Bgv.public_key -> Bgv.relin_key -> encrypted_db -> t
+  val counters : t -> Util.Counters.t
+  val db_size : t -> int
+
+  type query_state
+  (** Party A's per-query secrets: the fresh masking polynomial and the
+      fresh permutation Π. *)
+
+  val compute_distances :
+    t -> Util.Rng.t -> encrypted_query -> query_state * Bgv.ct array
+  (** Algorithm 1: returns the masked encrypted distances in permuted
+      order, [D'_i = Π(m(ED_i))]. *)
+
+  val return_knn : t -> query_state -> Bgv.ct array array -> Bgv.ct array
+  (** Algorithm 3: given the k indicator vectors [B^j] (in permuted index
+      space), returns k re-randomised encryptions of the neighbour
+      points (coefficient-packed). *)
+
+  val permuted_packed : t -> query_state -> Bgv.ct array
+  (** [Π(P')] at the return level — the first step of Algorithm 3,
+      exposed so the protocol driver can stream indicator rows. *)
+
+  val select_row : t -> Bgv.ct array -> Bgv.ct array -> Bgv.ct
+  (** [select_row t Π(P') B^j] computes the inner product and sum of one
+      indicator row: one encrypted neighbour point. *)
+
+  val state_mask : query_state -> Masking.t
+  val state_perm : query_state -> Util.Perm.t
+  (** Exposed for the leakage-audit tests only — a deployed Party A
+      would keep both secret and drop them after the query. *)
+end
+
+(** {1 Party B — key holder, never sees the database} *)
+
+module Party_b : sig
+  type t
+
+  val create : Config.t -> Bgv.secret_key -> Bgv.public_key -> t
+  val counters : t -> Util.Counters.t
+
+  type view = {
+    masked_distances : int64 array;
+        (** What B actually decrypts, in A's permuted order. *)
+    selected : int array;
+        (** Permuted indices of the k chosen minima. *)
+  }
+
+  val find_neighbours :
+    t -> Util.Rng.t -> Bgv.ct array -> k:int -> Bgv.ct array array * view
+  (** Algorithm 2: decrypts the masked distances, selects the k smallest
+      by the streaming max-replacement scan, and returns the k encrypted
+      indicator vectors.  The [view] is returned for leakage auditing. *)
+
+  val select_neighbours : t -> Bgv.ct array -> k:int -> view
+  (** The decrypt-and-select half of Algorithm 2 without materialising
+      the indicator vectors. *)
+
+  val indicator_row : t -> Util.Rng.t -> view -> n:int -> j:int -> Bgv.ct array
+  (** The j-th indicator vector [B^j] (n encryptions of 0 with a single
+      1).  Used by the protocol driver to stream row-by-row so that the
+      O(nk) ciphertexts never live in memory at once. *)
+end
+
+(** {1 Client} *)
+
+module Client : sig
+  type t
+
+  val create : Config.t -> Bgv.secret_key -> Bgv.public_key -> t
+  val counters : t -> Util.Counters.t
+
+  val encrypt_query : t -> Util.Rng.t -> int array -> encrypted_query
+  val decrypt_points : t -> d:int -> Bgv.ct array -> int array array
+end
+
+(** {1 Serialised sizes} *)
+
+val query_bytes : encrypted_query -> int
+val db_bytes : encrypted_db -> int

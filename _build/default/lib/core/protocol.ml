@@ -1,0 +1,133 @@
+module Rng = Util.Rng
+module Counters = Util.Counters
+
+type deployment = {
+  config : Config.t;
+  db_n : int;
+  db_d : int;
+  a : Entities.Party_a.t;
+  b : Entities.Party_b.t;
+  cl : Entities.Client.t;
+  setup_transcript : Transcript.t;
+  query_seed : Rng.t; (* source of per-query randomness *)
+}
+
+let config d = d.config
+let db_size d = d.db_n
+let dimension d = d.db_d
+let setup_transcript d = d.setup_transcript
+let party_a d = d.a
+let party_b d = d.b
+let client d = d.cl
+
+let pk_bytes config =
+  (* Two ring elements at the full chain, 4 bytes per residue. *)
+  let p = config.Config.bgv in
+  2 * Params.chain_length p * p.Params.n * 4
+
+let deploy ?rng ?counters config ~db =
+  let rng = match rng with Some r -> r | None -> Rng.of_int 0x5ecdb in
+  let owner = Entities.Data_owner.create (Rng.split rng) config in
+  let enc_db = Entities.Data_owner.encrypt_db ?counters (Rng.split rng) owner db in
+  let keys = Entities.Data_owner.keys owner in
+  let a = Entities.Party_a.create config keys.Bgv.pk keys.Bgv.rlk enc_db in
+  let b = Entities.Party_b.create config keys.Bgv.sk keys.Bgv.pk in
+  let cl = Entities.Client.create config keys.Bgv.sk keys.Bgv.pk in
+  let tr = Transcript.create () in
+  let open Transcript in
+  send tr ~sender:Data_owner ~receiver:Party_a ~label:"public key" ~bytes:(pk_bytes config);
+  send tr ~sender:Data_owner ~receiver:Party_a ~label:"encrypted database"
+    ~bytes:(Entities.db_bytes enc_db);
+  send tr ~sender:Data_owner ~receiver:Party_b ~label:"secret + public key"
+    ~bytes:(config.Config.bgv.Params.n + pk_bytes config);
+  send tr ~sender:Data_owner ~receiver:Client ~label:"secret + public key"
+    ~bytes:(config.Config.bgv.Params.n + pk_bytes config);
+  { config;
+    db_n = Array.length db;
+    db_d = Array.length db.(0);
+    a; b; cl;
+    setup_transcript = tr;
+    query_seed = Rng.split rng }
+
+type result = {
+  neighbours : int array array;
+  k : int;
+  phase_seconds : (string * float) list;
+  transcript : Transcript.t;
+  counters_a : Util.Counters.t;
+  counters_b : Util.Counters.t;
+  counters_client : Util.Counters.t;
+  view_b : Entities.Party_b.view;
+}
+
+let timed phases name f =
+  let x, dt = Util.Timer.time f in
+  phases := (name, dt) :: !phases;
+  x
+
+let query ?rng d ~query ~k =
+  let rng = match rng with Some r -> r | None -> Rng.split d.query_seed in
+  if Array.length query <> d.db_d then invalid_arg "Protocol.query: dimension mismatch";
+  if k < 1 || k > d.db_n then invalid_arg "Protocol.query: k out of range";
+  Counters.reset (Entities.Party_a.counters d.a);
+  Counters.reset (Entities.Party_b.counters d.b);
+  Counters.reset (Entities.Client.counters d.cl);
+  let tr = Transcript.create () in
+  let phases = ref [] in
+  (* Client: encrypt the query and send it to Party A (label 4, Fig. 2). *)
+  let q_enc =
+    timed phases "encrypt-query" (fun () -> Entities.Client.encrypt_query d.cl rng query)
+  in
+  Transcript.send tr ~sender:Transcript.Client ~receiver:Transcript.Party_a
+    ~label:"encrypted query" ~bytes:(Entities.query_bytes q_enc);
+  (* Party A: Compute Distances (Algorithm 1). *)
+  let state, masked =
+    timed phases "compute-distances" (fun () ->
+        Entities.Party_a.compute_distances d.a rng q_enc)
+  in
+  Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+    ~label:"masked permuted distances"
+    ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 masked);
+  (* Party B: Find Neighbours (Algorithm 2), with the indicator vectors
+     streamed row by row; Party A folds each row into Return kNN
+     (Algorithm 3) as it arrives. *)
+  let view =
+    timed phases "find-neighbours" (fun () ->
+        Entities.Party_b.select_neighbours d.b masked ~k)
+  in
+  let results =
+    timed phases "return-knn" (fun () ->
+        let packed = Entities.Party_a.permuted_packed d.a state in
+        Array.init k (fun j ->
+            let row =
+              Entities.Party_b.indicator_row d.b rng view ~n:d.db_n ~j
+            in
+            Transcript.send tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
+              ~label:(Printf.sprintf "indicator vector B^%d" (j + 1))
+              ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 row);
+            Entities.Party_a.select_row d.a packed row))
+  in
+  Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Client
+    ~label:"encrypted k-NN result"
+    ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 results);
+  let neighbours =
+    timed phases "decrypt-result" (fun () ->
+        Entities.Client.decrypt_points d.cl ~d:d.db_d results)
+  in
+  { neighbours;
+    k;
+    phase_seconds = List.rev !phases;
+    transcript = tr;
+    counters_a = Entities.Party_a.counters d.a;
+    counters_b = Entities.Party_b.counters d.b;
+    counters_client = Entities.Client.counters d.cl;
+    view_b = view }
+
+let total_seconds r = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.phase_seconds
+
+let exact d ~db ~query:q r =
+  ignore d;
+  let expected = Plain_knn.kth_smallest_distances ~k:r.k ~query:q db in
+  let got = Array.map (fun p -> Distance.squared_euclidean q p) r.neighbours in
+  Array.sort compare got;
+  expected = got

@@ -1,0 +1,65 @@
+(** The full Secure k-NN protocol (§3 of the paper): Setup once, then
+    one-round queries.
+
+    [deploy] performs the paper's Setup phase — key generation at the
+    data owner, database encryption, and key/ciphertext distribution to
+    the parties (recorded in the transcript).  [query] runs the three
+    on-line phases end to end:
+
+    + client encrypts Q and sends it to Party A;
+    + {b Compute Distances} at A (Algorithm 1) — encrypted squared
+      distances, fresh monotone masking polynomial, fresh permutation;
+    + one message A→B; {b Find Neighbours} at B (Algorithm 2) —
+      decrypt, streaming top-k, k encrypted indicator vectors; one
+      message B→A (streamed row by row so O(nk) ciphertexts never live
+      in memory at once);
+    + {b Return kNN} at A (Algorithm 3) — permuted inner products,
+      giving k re-randomised encrypted points returned to the client.
+
+    The result carries plaintext neighbours, per-phase wall-clock times,
+    per-party operation counters and the full communication transcript —
+    everything the benchmark harness needs to regenerate the paper's
+    figures and Table 1. *)
+
+type deployment
+
+val deploy :
+  ?rng:Util.Rng.t -> ?counters:Util.Counters.t -> Config.t -> db:int array array ->
+  deployment
+(** @raise Invalid_argument if the configuration is unsound for the
+    database's dimensionality (see {!Config.validate}) or the data is
+    out of range. *)
+
+val config : deployment -> Config.t
+val db_size : deployment -> int
+val dimension : deployment -> int
+val setup_transcript : deployment -> Transcript.t
+
+(** Direct access to the entity values (examples and tests). *)
+val party_a : deployment -> Entities.Party_a.t
+val party_b : deployment -> Entities.Party_b.t
+val client : deployment -> Entities.Client.t
+
+type result = {
+  neighbours : int array array; (** k plaintext points, as the client decrypts them *)
+  k : int;
+  phase_seconds : (string * float) list;
+      (** ["encrypt-query"; "compute-distances"; "find-neighbours";
+          "return-knn"; "decrypt-result"] *)
+  transcript : Transcript.t;    (** per-query messages *)
+  counters_a : Util.Counters.t;
+  counters_b : Util.Counters.t;
+  counters_client : Util.Counters.t;
+  view_b : Entities.Party_b.view; (** Party B's view, for leakage audits *)
+}
+
+val query : ?rng:Util.Rng.t -> deployment -> query:int array -> k:int -> result
+(** Runs one complete query.  Counters are reset at the start so each
+    result reports per-query costs.
+    @raise Invalid_argument on dimension mismatch or k out of range. *)
+
+val total_seconds : result -> float
+val exact : deployment -> db:int array array -> query:int array -> result -> bool
+(** Checks the result against plaintext k-NN ground truth
+    (distance-multiset equality, which is the exactness the paper
+    claims; see {!Plain_knn.same_answer}). *)

@@ -1,0 +1,1 @@
+lib/dataset/csv_io.ml: Array Buffer List Printf String

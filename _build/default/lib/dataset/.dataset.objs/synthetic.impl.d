@@ -1,0 +1,1 @@
+lib/dataset/synthetic.ml: Array Float Stdlib Util

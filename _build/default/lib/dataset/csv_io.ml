@@ -1,0 +1,60 @@
+let parse_line ~path ~lineno line =
+  let fields = String.split_on_char ',' line in
+  Array.of_list
+    (List.map
+       (fun f ->
+         let f = String.trim f in
+         match int_of_string_opt f with
+         | Some v -> v
+         | None ->
+           failwith (Printf.sprintf "%s:%d: not an integer: %S" path lineno f))
+       fields)
+
+let of_lines ~path ~has_header lines =
+  let lines = if has_header then List.tl lines else lines in
+  let rows =
+    List.filteri (fun _ l -> String.trim l <> "") lines
+    |> List.mapi (fun i l -> parse_line ~path ~lineno:(i + 1) l)
+  in
+  let rows = Array.of_list rows in
+  if Array.length rows > 0 then begin
+    let d = Array.length rows.(0) in
+    Array.iteri
+      (fun i r ->
+        if Array.length r <> d then
+          failwith (Printf.sprintf "%s: ragged row %d (%d fields, expected %d)" path (i + 1)
+                      (Array.length r) d))
+      rows
+  end;
+  rows
+
+let of_string ?(has_header = false) s =
+  of_lines ~path:"<string>" ~has_header (String.split_on_char '\n' s)
+
+let read ?(has_header = false) path =
+  let ic = open_in path in
+  let rec collect acc =
+    match input_line ic with
+    | line -> collect (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = collect [] in
+  close_in ic;
+  of_lines ~path ~has_header lines
+
+let to_string ?header rows =
+  let buf = Buffer.create 1024 in
+  (match header with
+   | Some h -> Buffer.add_string buf (String.concat "," h ^ "\n")
+   | None -> ());
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (Array.to_list (Array.map string_of_int row)));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write ?header path rows =
+  let oc = open_out path in
+  output_string oc (to_string ?header rows);
+  close_out oc

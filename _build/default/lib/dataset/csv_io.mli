@@ -1,0 +1,19 @@
+(** Minimal CSV reader/writer for integer matrices.
+
+    The container has no network access, so the UCI files cannot be
+    fetched at build time; this module lets a user drop the real
+    preprocessed files in and run the exact experiments, while the
+    {!Uci_like} generators provide shape-faithful substitutes.
+
+    Format: one row per line, comma-separated decimal integers, optional
+    single header line.  No quoting (the paper's preprocessed data is
+    purely numeric). *)
+
+val read : ?has_header:bool -> string -> int array array
+(** [read path] loads a rectangular integer matrix.
+    @raise Failure on ragged rows or non-integer fields. *)
+
+val write : ?header:string list -> string -> int array array -> unit
+
+val of_string : ?has_header:bool -> string -> int array array
+val to_string : ?header:string list -> int array array -> string

@@ -1,0 +1,45 @@
+let column_ranges db =
+  if Array.length db = 0 then [||]
+  else begin
+    let d = Array.length db.(0) in
+    Array.init d (fun j ->
+        let lo = ref db.(0).(j) and hi = ref db.(0).(j) in
+        Array.iter
+          (fun row ->
+            if row.(j) < !lo then lo := row.(j);
+            if row.(j) > !hi then hi := row.(j))
+          db;
+        (!lo, !hi))
+  end
+
+let shift_non_negative db =
+  let ranges = column_ranges db in
+  Array.map (fun row -> Array.mapi (fun j v -> v - fst ranges.(j)) row) db
+
+let scale_to_max ~max_value db =
+  if max_value < 0 then invalid_arg "Preprocess.scale_to_max";
+  let ranges = column_ranges db in
+  Array.map
+    (fun row ->
+      Array.mapi
+        (fun j v ->
+          let lo, hi = ranges.(j) in
+          if hi = lo then 0
+          else begin
+            (* Round-to-nearest affine map onto [0, max_value]. *)
+            let num = (v - lo) * max_value in
+            let den = hi - lo in
+            (num + (den / 2)) / den
+          end)
+        row)
+    db
+
+let max_abs_value db =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc v -> Stdlib.max acc (abs v)) acc row)
+    0 db
+
+let required_distance_bits ~d ~max_value =
+  let m = Distance.max_squared_euclidean ~d ~max_value in
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 m

@@ -1,0 +1,19 @@
+(** Dataset preprocessing: the paper's "non-negative integers only" step,
+    plus range compression so squared distances fit the plaintext-modulus
+    envelope of a given BGV parameter set. *)
+
+val shift_non_negative : int array array -> int array array
+(** Per-column shift by the column minimum, making every value >= 0. *)
+
+val scale_to_max : max_value:int -> int array array -> int array array
+(** Per-column affine min–max scaling into [\[0, max_value\]] (columns
+    that are constant map to 0).  Preserves per-column value order; the
+    relative geometry changes only by per-column quantisation, which is
+    the standard integer-preprocessing trade-off. *)
+
+val column_ranges : int array array -> (int * int) array
+val max_abs_value : int array array -> int
+
+val required_distance_bits : d:int -> max_value:int -> int
+(** Bits needed to hold any squared Euclidean distance for [d]-dim
+    points bounded by [max_value]. *)

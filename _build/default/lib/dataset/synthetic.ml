@@ -1,0 +1,29 @@
+module Rng = Util.Rng
+
+let uniform rng ~n ~d ~max_value =
+  if n < 1 || d < 1 || max_value < 0 then invalid_arg "Synthetic.uniform";
+  Array.init n (fun _ -> Array.init d (fun _ -> Rng.int_range rng 0 max_value))
+
+let clustered rng ~n ~d ~clusters ~spread ~max_value =
+  if clusters < 1 then invalid_arg "Synthetic.clustered";
+  let centres =
+    Array.init clusters (fun _ -> Array.init d (fun _ -> Rng.int_range rng 0 max_value))
+  in
+  Array.init n (fun i ->
+      let c = centres.(i mod clusters) in
+      Array.init d (fun j ->
+          let v = Rng.gaussian rng ~mu:(float_of_int c.(j)) ~sigma:spread in
+          let v = int_of_float (Float.round v) in
+          Stdlib.max 0 (Stdlib.min max_value v)))
+
+let query_like rng db =
+  if Array.length db = 0 then invalid_arg "Synthetic.query_like: empty dataset";
+  let d = Array.length db.(0) in
+  Array.init d (fun j ->
+      let lo = ref db.(0).(j) and hi = ref db.(0).(j) in
+      Array.iter
+        (fun row ->
+          if row.(j) < !lo then lo := row.(j);
+          if row.(j) > !hi then hi := row.(j))
+        db;
+      Rng.int_range rng !lo !hi)

@@ -1,0 +1,25 @@
+(** Synthetic workload generators.
+
+    §5.2 of the paper evaluates scaling on data drawn from "a uniform
+    random distribution"; {!uniform} reproduces that generator exactly.
+    {!clustered} adds a Gaussian-mixture generator for the example
+    applications (spatial search, medical cohorts), where k-NN answers on
+    uniform data would be uninformative. *)
+
+val uniform :
+  Util.Rng.t -> n:int -> d:int -> max_value:int -> int array array
+(** [n] points, [d] dimensions, coordinates i.i.d. uniform on
+    [\[0, max_value\]]. *)
+
+val clustered :
+  Util.Rng.t ->
+  n:int -> d:int -> clusters:int -> spread:float -> max_value:int ->
+  int array array
+(** Gaussian mixture: [clusters] uniformly placed centres, points
+    assigned round-robin with N(centre, spread) noise, clamped to
+    [\[0, max_value\]]. *)
+
+val query_like : Util.Rng.t -> int array array -> int array
+(** A random query point with per-column ranges matching the dataset
+    (the paper "generate\[s\] a random data point to serve as the query
+    point"). *)

@@ -1,0 +1,106 @@
+module Rng = Util.Rng
+
+type spec = { name : string; n : int; d : int; description : string }
+
+let cervical_cancer_spec =
+  { name = "cervical-cancer-risk-factors";
+    n = 858;
+    d = 32;
+    description = "858 patients x 32 attributes: demographics, habits, historic medical records" }
+
+let credit_default_spec =
+  { name = "default-of-credit-card-clients";
+    n = 30000;
+    d = 23;
+    description = "30000 clients x 23 attributes: credit, demographics, payment history" }
+
+(* Column models: each column is (lo, hi, zero_inflation) — the value is 0
+   with probability [zero_inflation], otherwise uniform on [lo, hi].  This
+   mirrors the heavily zero-inflated indicator/count structure of the real
+   files after integer preprocessing. *)
+
+type column = { lo : int; hi : int; zero_p : float }
+
+let col ?(zero_p = 0.0) lo hi = { lo; hi; zero_p }
+
+let sample_column rng c =
+  if c.zero_p > 0.0 && Rng.float rng < c.zero_p then 0 else Rng.int_range rng c.lo c.hi
+
+let generate rng ~n columns =
+  let columns = Array.of_list columns in
+  Array.init n (fun _ -> Array.map (sample_column rng) columns)
+
+(* Cervical cancer (Risk Factors), 32 attributes: age; sexual history
+   counts; smoking (flag, years, packs); hormonal contraceptives (flag,
+   years); IUD (flag, years); STD block (flag, count, 12 disease
+   indicators, diagnosis counts and times); Dx block (4 indicators);
+   screening outcomes (4 indicators).  Years/counts are stored as small
+   integers after the paper's preprocessing. *)
+let cervical_columns =
+  [ col 13 84;                                (* age *)
+    col 1 10;                                 (* number of sexual partners *)
+    col 10 32;                                (* first sexual intercourse (age) *)
+    col ~zero_p:0.3 0 11;                     (* num of pregnancies *)
+    col ~zero_p:0.85 0 1;                     (* smokes *)
+    col ~zero_p:0.85 0 37;                    (* smokes (years) *)
+    col ~zero_p:0.85 0 37;                    (* smokes (packs/year) *)
+    col ~zero_p:0.35 0 1;                     (* hormonal contraceptives *)
+    col ~zero_p:0.35 0 30;                    (* hormonal contraceptives (years) *)
+    col ~zero_p:0.9 0 1;                      (* IUD *)
+    col ~zero_p:0.9 0 19;                     (* IUD (years) *)
+    col ~zero_p:0.9 0 1;                      (* STDs *)
+    col ~zero_p:0.9 0 4;                      (* STDs (number) *)
+    col ~zero_p:0.95 0 1;                     (* STDs: condylomatosis *)
+    col ~zero_p:0.97 0 1;                     (* STDs: cervical condylomatosis *)
+    col ~zero_p:0.97 0 1;                     (* STDs: vaginal condylomatosis *)
+    col ~zero_p:0.97 0 1;                     (* STDs: vulvo-perineal *)
+    col ~zero_p:0.98 0 1;                     (* STDs: syphilis *)
+    col ~zero_p:0.99 0 1;                     (* STDs: PID *)
+    col ~zero_p:0.99 0 1;                     (* STDs: genital herpes *)
+    col ~zero_p:0.99 0 1;                     (* STDs: molluscum *)
+    col ~zero_p:0.99 0 1;                     (* STDs: HIV *)
+    col ~zero_p:0.99 0 1;                     (* STDs: Hepatitis B *)
+    col ~zero_p:0.99 0 1;                     (* STDs: HPV *)
+    col ~zero_p:0.9 0 3;                      (* STDs: number of diagnoses *)
+    col ~zero_p:0.9 0 22;                     (* time since first STD diagnosis *)
+    col ~zero_p:0.9 0 22;                     (* time since last STD diagnosis *)
+    col ~zero_p:0.97 0 1;                     (* Dx: cancer *)
+    col ~zero_p:0.97 0 1;                     (* Dx: CIN *)
+    col ~zero_p:0.97 0 1;                     (* Dx: HPV *)
+    col ~zero_p:0.97 0 1;                     (* Dx *)
+    col ~zero_p:0.95 0 1 ]                    (* biopsy outcome *)
+
+(* Credit-card default, 23 attributes: LIMIT_BAL (scaled to thousands);
+   sex/education/marriage codes; age; 6 monthly repayment statuses
+   (shifted non-negative); 6 monthly bill amounts and 5 payment amounts
+   (scaled to thousands, zero-inflated). *)
+let credit_columns =
+  [ col 10 800;                               (* LIMIT_BAL / 1000 *)
+    col 1 2;                                  (* sex *)
+    col 1 4;                                  (* education *)
+    col 1 3;                                  (* marriage *)
+    col 21 79;                                (* age *)
+    col ~zero_p:0.5 0 10;                     (* PAY_0 (shifted) *)
+    col ~zero_p:0.5 0 10;                     (* PAY_2 *)
+    col ~zero_p:0.5 0 10;                     (* PAY_3 *)
+    col ~zero_p:0.5 0 10;                     (* PAY_4 *)
+    col ~zero_p:0.5 0 10;                     (* PAY_5 *)
+    col ~zero_p:0.5 0 10;                     (* PAY_6 *)
+    col ~zero_p:0.1 0 950;                    (* BILL_AMT1 / 1000 *)
+    col ~zero_p:0.1 0 950;                    (* BILL_AMT2 *)
+    col ~zero_p:0.1 0 950;                    (* BILL_AMT3 *)
+    col ~zero_p:0.1 0 950;                    (* BILL_AMT4 *)
+    col ~zero_p:0.1 0 950;                    (* BILL_AMT5 *)
+    col ~zero_p:0.1 0 950;                    (* BILL_AMT6 *)
+    col ~zero_p:0.25 0 800;                   (* PAY_AMT1 / 1000 *)
+    col ~zero_p:0.25 0 800;                   (* PAY_AMT2 *)
+    col ~zero_p:0.25 0 800;                   (* PAY_AMT3 *)
+    col ~zero_p:0.25 0 800;                   (* PAY_AMT4 *)
+    col ~zero_p:0.25 0 800;                   (* PAY_AMT5 *)
+    col 0 1 ]                                 (* default next month *)
+
+let cervical_cancer ?n rng =
+  generate rng ~n:(Option.value ~default:cervical_cancer_spec.n n) cervical_columns
+
+let credit_default ?n rng =
+  generate rng ~n:(Option.value ~default:credit_default_spec.n n) credit_columns

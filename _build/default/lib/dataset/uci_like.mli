@@ -1,0 +1,32 @@
+(** Shape-faithful substitutes for the paper's two UCI datasets.
+
+    The sealed build environment cannot download from the UCI repository,
+    so these generators reproduce each dataset's published *shape* — row
+    count, dimensionality, and realistic per-column integer ranges after
+    the paper's "non-negative integers only" preprocessing.  The paper's
+    experiments measure running time as a function of n, d and k only,
+    so shape fidelity is what matters for reproduction; to run on the
+    real data, preprocess it to integer CSV and load with {!Csv_io}.
+
+    Column models are documented in the implementation next to each
+    generator. *)
+
+type spec = {
+  name : string;
+  n : int;
+  d : int;
+  description : string;
+}
+
+val cervical_cancer_spec : spec
+(** Cervical cancer (Risk Factors): 858 patients × 32 attributes. *)
+
+val credit_default_spec : spec
+(** Default of credit card clients: 30000 clients × 23 attributes. *)
+
+val cervical_cancer : ?n:int -> Util.Rng.t -> int array array
+(** [?n] overrides the row count (default 858) so scaled-down benchmark
+    runs keep the column structure. *)
+
+val credit_default : ?n:int -> Util.Rng.t -> int array array
+(** Default 30000 rows. *)

@@ -1,0 +1,1 @@
+lib/knn/apriori_plain.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/knn/distance.mli:

@@ -1,0 +1,1 @@
+lib/knn/kmeans_plain.ml: Array Distance

@@ -1,0 +1,1 @@
+lib/knn/plain_knn.ml: Array Distance Printf

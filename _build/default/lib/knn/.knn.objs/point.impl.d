@@ -1,0 +1,1 @@
+lib/knn/point.ml: Array Format Printf

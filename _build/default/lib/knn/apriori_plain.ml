@@ -1,0 +1,73 @@
+let validate transactions =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v -> if v <> 0 && v <> 1 then invalid_arg "Apriori_plain: transactions must be 0/1")
+        row)
+    transactions
+
+let support itemset transactions =
+  Array.fold_left
+    (fun acc row -> if List.for_all (fun j -> row.(j) = 1) itemset then acc + 1 else acc)
+    0 transactions
+
+let singletons transactions =
+  if Array.length transactions = 0 then []
+  else List.init (Array.length transactions.(0)) (fun j -> [ j ])
+
+(* Join step: two sorted k-itemsets sharing their first k-1 items
+   produce a (k+1)-candidate; prune those with an infrequent subset. *)
+let candidates frequent =
+  let set = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace set s ()) frequent;
+  let joinable a b =
+    let rec go a b =
+      match a, b with
+      | [ x ], [ y ] -> if x < y then Some (x, y) else None
+      | xa :: ra, xb :: rb when xa = xb -> go ra rb
+      | _ -> None
+    in
+    go a b
+  in
+  let extend a b =
+    match joinable a b with
+    | None -> None
+    | Some (_, y) -> Some (a @ [ y ])
+  in
+  let all_subsets_frequent c =
+    let rec drop_each prefix = function
+      | [] -> true
+      | x :: rest ->
+        Hashtbl.mem set (List.rev_append prefix rest) && drop_each (x :: prefix) rest
+    in
+    drop_each [] c
+  in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          match extend a b with
+          | Some c when all_subsets_frequent c -> Some c
+          | Some _ | None -> None)
+        frequent)
+    frequent
+  |> List.sort_uniq compare
+
+let frequent_itemsets ?(max_size = 4) ~minsup transactions =
+  if minsup < 1 then invalid_arg "Apriori_plain: minsup < 1";
+  validate transactions;
+  let rec level acc current size =
+    if size > max_size || current = [] then List.rev acc
+    else begin
+      let frequent =
+        List.filter_map
+          (fun c ->
+            let s = support c transactions in
+            if s >= minsup then Some (c, s) else None)
+          current
+      in
+      let surviving = List.map fst frequent in
+      level (List.rev_append frequent acc) (candidates surviving) (size + 1)
+    end
+  in
+  level [] (singletons transactions) 1

@@ -1,0 +1,22 @@
+(** Plaintext Apriori frequent-itemset mining — reference for the secure
+    extension (named, with k-means, in the paper's §7 future work).
+
+    Transactions are 0/1 rows over [m] items; an itemset is a sorted
+    list of item indices; its support is the number of transactions
+    containing every item. *)
+
+val support : int list -> int array array -> int
+
+val candidates : int list list -> int list list
+(** Levelwise candidate generation: join frequent k-itemsets sharing a
+    (k-1)-prefix, prune candidates with an infrequent subset.  Input
+    must be sorted lexicographically (as returned by
+    {!frequent_itemsets}). *)
+
+val singletons : int array array -> int list list
+
+val frequent_itemsets :
+  ?max_size:int -> minsup:int -> int array array -> (int list * int) list
+(** All itemsets with support >= [minsup] (size capped by [max_size],
+    default 4), with their supports, in (size, lexicographic) order.
+    @raise Invalid_argument on non-0/1 input or [minsup < 1]. *)

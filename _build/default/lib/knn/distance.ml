@@ -1,0 +1,31 @@
+let check_dims a b op =
+  if Array.length a <> Array.length b then invalid_arg (op ^ ": dimension mismatch")
+
+let squared_euclidean a b =
+  check_dims a b "Distance.squared_euclidean";
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) - b.(i) in
+    acc := !acc + (d * d)
+  done;
+  !acc
+
+let manhattan a b =
+  check_dims a b "Distance.manhattan";
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc + abs (a.(i) - b.(i))
+  done;
+  !acc
+
+let chebyshev a b =
+  check_dims a b "Distance.chebyshev";
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    acc := Stdlib.max !acc (abs (a.(i) - b.(i)))
+  done;
+  !acc
+
+let max_squared_euclidean ~d ~max_value = d * max_value * max_value
+
+let fits_in_bits ~value ~bits = value >= 0 && (bits >= 62 || value < 1 lsl bits)

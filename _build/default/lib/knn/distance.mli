@@ -1,0 +1,24 @@
+(** Distance measures over integer points.
+
+    The protocol computes squared Euclidean distances homomorphically
+    (avoiding the square root, as in §2.3 of the paper); this module is
+    the exact plaintext counterpart used for ground truth and for
+    Party-B-side reference computations.  Results are native [int]s —
+    callers should check {!fits_in_bits} against the plaintext-modulus
+    envelope before trusting the encrypted pipeline. *)
+
+val squared_euclidean : int array -> int array -> int
+(** @raise Invalid_argument on dimension mismatch. *)
+
+val manhattan : int array -> int array -> int
+(** L1 distance; computable under the same (S)HE at level 2 per the
+    paper's remark in §3.2 (needs an encrypted absolute value, so the
+    secure pipeline does not implement it — reference only). *)
+
+val chebyshev : int array -> int array -> int
+
+val max_squared_euclidean : d:int -> max_value:int -> int
+(** Upper bound on {!squared_euclidean} for [d]-dimensional points with
+    coordinates in [\[0, max_value\]]. *)
+
+val fits_in_bits : value:int -> bits:int -> bool

@@ -1,0 +1,85 @@
+type result = {
+  centroids : int array array;
+  assignments : int array;
+  sizes : int array;
+  iterations : int;
+  converged : bool;
+  objective : int;
+}
+
+let assign ~centroids db =
+  Array.map
+    (fun p ->
+      let best = ref 0 in
+      let best_d = ref (Distance.squared_euclidean p centroids.(0)) in
+      Array.iteri
+        (fun c cent ->
+          if c > 0 then begin
+            let d = Distance.squared_euclidean p cent in
+            if d < !best_d then begin
+              best := c;
+              best_d := d
+            end
+          end)
+        centroids;
+      !best)
+    db
+
+let update ~k ~d ~assignments db =
+  let sums = Array.make_matrix k d 0 in
+  let counts = Array.make k 0 in
+  Array.iteri
+    (fun i p ->
+      let c = assignments.(i) in
+      counts.(c) <- counts.(c) + 1;
+      Array.iteri (fun j v -> sums.(c).(j) <- sums.(c).(j) + v) p)
+    db;
+  Array.init k (fun c ->
+      if counts.(c) = 0 then None
+      else
+        Some
+          (Array.map
+             (fun s ->
+               (* round-half-up integer mean *)
+               (s + (counts.(c) / 2)) / counts.(c))
+             sums.(c)))
+
+let objective ~centroids ~assignments db =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i p -> acc := !acc + Distance.squared_euclidean p centroids.(assignments.(i)))
+    db;
+  !acc
+
+let lloyd ?(max_iters = 50) ~init db =
+  let n = Array.length db in
+  if n = 0 then invalid_arg "Kmeans_plain.lloyd: empty input";
+  let k = Array.length init in
+  if k = 0 then invalid_arg "Kmeans_plain.lloyd: k = 0";
+  let d = Array.length db.(0) in
+  let centroids = ref (Array.map Array.copy init) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  let assignments = ref (assign ~centroids:!centroids db) in
+  while (not !converged) && !iterations < max_iters do
+    incr iterations;
+    let fresh = update ~k ~d ~assignments:!assignments db in
+    let next =
+      Array.mapi
+        (fun c -> function Some cent -> cent | None -> Array.copy !centroids.(c))
+        fresh
+    in
+    if next = !centroids then converged := true
+    else begin
+      centroids := next;
+      assignments := assign ~centroids:next db
+    end
+  done;
+  let sizes = Array.make k 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) !assignments;
+  { centroids = !centroids;
+    assignments = !assignments;
+    sizes;
+    iterations = !iterations;
+    converged = !converged;
+    objective = objective ~centroids:!centroids ~assignments:!assignments db }

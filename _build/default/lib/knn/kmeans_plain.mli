@@ -1,0 +1,31 @@
+(** Plaintext Lloyd's k-means over integer points — the reference for
+    the secure k-means extension (the paper's §7 names k-means as the
+    next algorithm to port to this setting).
+
+    All arithmetic is integral: centroids are rounded coordinate means,
+    so a secure protocol computing the same rounding reproduces the
+    exact same iterates. *)
+
+type result = {
+  centroids : int array array;   (** k final centroids *)
+  assignments : int array;       (** cluster index per input point *)
+  sizes : int array;             (** points per cluster *)
+  iterations : int;              (** iterations actually executed *)
+  converged : bool;              (** stopped because centroids were stable *)
+  objective : int;               (** sum of squared distances to assigned centroid *)
+}
+
+val assign : centroids:int array array -> int array array -> int array
+(** Nearest-centroid assignment (squared Euclidean; ties to the lowest
+    centroid index). *)
+
+val update : k:int -> d:int -> assignments:int array -> int array array -> int array option array
+(** Rounded integer means per cluster; [None] for empty clusters. *)
+
+val objective : centroids:int array array -> assignments:int array -> int array array -> int
+
+val lloyd :
+  ?max_iters:int -> init:int array array -> int array array -> result
+(** Runs Lloyd's algorithm from the given initial centroids
+    (default [max_iters] 50).  Empty clusters keep their previous
+    centroid. @raise Invalid_argument on empty input or k = 0. *)

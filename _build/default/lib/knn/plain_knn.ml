@@ -1,0 +1,66 @@
+type metric = int array -> int array -> int
+
+let default_metric = Distance.squared_euclidean
+
+let check_k k n =
+  if k < 1 || k > n then
+    invalid_arg (Printf.sprintf "Plain_knn: k=%d out of [1, %d]" k n)
+
+let distances ?(metric = default_metric) ~query db =
+  Array.map (fun p -> metric query p) db
+
+let knn ?(metric = default_metric) ~k ~query db =
+  let n = Array.length db in
+  check_k k n;
+  let order = Array.init n (fun i -> i) in
+  let dist = distances ~metric ~query db in
+  Array.sort
+    (fun i j -> if dist.(i) <> dist.(j) then compare dist.(i) dist.(j) else compare i j)
+    order;
+  Array.sub order 0 k
+
+let knn_streaming ?(metric = default_metric) ~k ~query db =
+  let n = Array.length db in
+  check_k k n;
+  let dist = distances ~metric ~query db in
+  (* Algorithm 2: seed with the first k points, then replace the current
+     maximum whenever a strictly smaller distance appears. *)
+  let nn = Array.sub dist 0 k in
+  let nn_index = Array.init k (fun i -> i) in
+  for i = k to n - 1 do
+    let maxindex = ref 0 in
+    for j = 1 to k - 1 do
+      if nn.(j) > nn.(!maxindex) then maxindex := j
+    done;
+    if dist.(i) < nn.(!maxindex) then begin
+      nn.(!maxindex) <- dist.(i);
+      nn_index.(!maxindex) <- i
+    end
+  done;
+  Array.sort
+    (fun i j -> if dist.(i) <> dist.(j) then compare dist.(i) dist.(j) else compare i j)
+    nn_index;
+  nn_index
+
+let kth_smallest_distances ?(metric = default_metric) ~k ~query db =
+  let dist = distances ~metric ~query db in
+  check_k k (Array.length dist);
+  Array.sort compare dist;
+  Array.sub dist 0 k
+
+let same_answer ?(metric = default_metric) ~k ~query db indices =
+  let n = Array.length db in
+  Array.length indices = k
+  && Array.for_all (fun i -> i >= 0 && i < n) indices
+  && (let sorted = Array.copy indices in
+      Array.sort compare sorted;
+      let distinct = ref true in
+      for i = 0 to k - 2 do
+        if sorted.(i) = sorted.(i + 1) then distinct := false
+      done;
+      !distinct)
+  &&
+  let expected = kth_smallest_distances ~metric ~k ~query db in
+  let got = Array.map (fun i -> metric query db.(i)) indices in
+  Array.sort compare got;
+  expected = got

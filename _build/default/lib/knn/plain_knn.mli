@@ -1,0 +1,33 @@
+(** Exact plaintext k-nearest neighbours — the ground truth every secure
+    protocol in this repository is checked against.
+
+    Ties: when several points are equidistant at the k-th boundary the
+    *set* of returned distances is uniquely determined but the identity of
+    the boundary point is not; secure protocols are therefore validated
+    with {!same_answer} (distance-multiset equality) rather than index
+    equality, matching the paper's exactness claim. *)
+
+type metric = int array -> int array -> int
+
+val knn :
+  ?metric:metric -> k:int -> query:int array -> int array array -> int array
+(** Indices of the [k] nearest database points, sorted by (distance,
+    index). [k] must satisfy [1 <= k <= n]. *)
+
+val knn_streaming :
+  ?metric:metric -> k:int -> query:int array -> int array array -> int array
+(** Same answer computed with Algorithm 2's streaming max-replacement
+    scan (initialise with the first k, replace the current maximum on
+    strict improvement) — the exact selection rule Party B runs. *)
+
+val distances :
+  ?metric:metric -> query:int array -> int array array -> int array
+
+val kth_smallest_distances :
+  ?metric:metric -> k:int -> query:int array -> int array array -> int array
+(** The multiset (sorted ascending) of the [k] smallest distances. *)
+
+val same_answer :
+  ?metric:metric -> k:int -> query:int array -> int array array -> int array -> bool
+(** [same_answer ~k ~query db indices] holds iff [indices] are distinct,
+    in range, and their distance multiset equals the true k smallest. *)

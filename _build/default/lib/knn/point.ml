@@ -1,0 +1,18 @@
+type t = int array
+
+let dim = Array.length
+
+let validate ?(max_value = 1 lsl 30) p =
+  Array.iter
+    (fun x ->
+      if x < 0 || x > max_value then
+        invalid_arg (Printf.sprintf "Point.validate: coordinate %d out of [0, %d]" x max_value))
+    p
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf p =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    (Array.to_list p)

@@ -1,0 +1,16 @@
+(** Database points: fixed-dimension vectors of non-negative integers.
+
+    The paper preprocesses both UCI datasets "so that they contain only
+    non-negative integer values"; every layer of this repository works on
+    that representation. *)
+
+type t = int array
+
+val dim : t -> int
+
+val validate : ?max_value:int -> t -> unit
+(** Checks all coordinates are in [\[0, max_value\]] (default 2^30).
+    @raise Invalid_argument otherwise. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

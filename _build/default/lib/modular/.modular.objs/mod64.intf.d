@@ -1,0 +1,1 @@
+lib/modular/mod64.mli:

@@ -1,0 +1,1 @@
+lib/modular/ntt.mli:

@@ -1,0 +1,1 @@
+lib/modular/ntt64.ml: Array Int64 Mod64 Prime64

@@ -1,0 +1,1 @@
+lib/modular/prime64.ml: Hashtbl Int64 List Mod64 Option

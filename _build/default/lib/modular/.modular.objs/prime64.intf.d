@@ -1,0 +1,1 @@
+lib/modular/prime64.mli:

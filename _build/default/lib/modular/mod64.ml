@@ -1,0 +1,71 @@
+let reduce m x =
+  let r = Int64.rem x m in
+  if Int64.compare r 0L < 0 then Int64.add r m else r
+
+let add m a b =
+  let s = Int64.add a b in
+  (* a, b < m < 2^62, so the sum never wraps. *)
+  if Int64.compare s m >= 0 then Int64.sub s m else s
+
+let sub m a b =
+  let d = Int64.sub a b in
+  if Int64.compare d 0L < 0 then Int64.add d m else d
+
+let neg m a = if Int64.compare a 0L = 0 then 0L else Int64.sub m a
+
+let fast_threshold = Int64.shift_left 1L 50
+
+(* Double-precision quotient estimate; the wrapped residual differs from
+   the true one by a small multiple of m, fixed by at most three
+   correction steps (valid because m < 2^50 keeps the estimate within 2
+   of the true quotient and the residual within int64 range). *)
+let mul_fast m a b =
+  let q = Int64.of_float (Int64.to_float a *. Int64.to_float b /. Int64.to_float m) in
+  let r = ref (Int64.sub (Int64.mul a b) (Int64.mul q m)) in
+  while Int64.compare !r 0L < 0 do
+    r := Int64.add !r m
+  done;
+  while Int64.compare !r m >= 0 do
+    r := Int64.sub !r m
+  done;
+  !r
+
+(* Shift-and-add ladder: exact for any m < 2^62 at O(63) additions. *)
+let mul_slow m a b =
+  let result = ref 0L and a = ref a and b = ref b in
+  while Int64.compare !b 0L > 0 do
+    if Int64.logand !b 1L = 1L then result := add m !result !a;
+    a := add m !a !a;
+    b := Int64.shift_right_logical !b 1
+  done;
+  !result
+
+let mul m a b =
+  if Int64.compare m fast_threshold < 0 then mul_fast m a b else mul_slow m a b
+
+let pow m b e =
+  if Int64.compare e 0L < 0 then invalid_arg "Mod64.pow: negative exponent";
+  let result = ref 1L and base = ref (reduce m b) and e = ref e in
+  while Int64.compare !e 0L > 0 do
+    if Int64.logand !e 1L = 1L then result := mul m !result !base;
+    base := mul m !base !base;
+    e := Int64.shift_right_logical !e 1
+  done;
+  !result
+
+let inv m a =
+  (* Extended Euclid; all intermediates stay below m < 2^62. *)
+  let rec go r0 r1 s0 s1 =
+    if Int64.compare r1 0L = 0 then
+      if Int64.compare r0 1L = 0 then reduce m s0
+      else failwith "Mod64.inv: not invertible"
+    else begin
+      let q = Int64.div r0 r1 in
+      go r1 (Int64.sub r0 (Int64.mul q r1)) s1 (Int64.sub s0 (Int64.mul q s1))
+    end
+  in
+  go m (reduce m a) 0L 1L
+
+let centered m x =
+  let half = Int64.shift_right_logical m 1 in
+  if Int64.compare x half > 0 then Int64.sub x m else x

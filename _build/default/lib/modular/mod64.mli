@@ -1,0 +1,35 @@
+(** Modular arithmetic on [int64] values.
+
+    The RNS ring layer works modulo word-sized primes below 2^31 (so limb
+    products fit in the native 63-bit [int]); this module covers the
+    remaining cases that need genuinely 64-bit moduli — the BGV plaintext
+    modulus [t] (up to ~50 bits, e.g. the paper's prime 1099511627689) and
+    primality testing for parameter generation.
+
+    All inputs are canonical residues in [\[0, m)] unless noted; moduli
+    must satisfy [1 < m < 2^62]. *)
+
+val add : int64 -> int64 -> int64 -> int64
+(** [add m a b] is [(a + b) mod m]. *)
+
+val sub : int64 -> int64 -> int64 -> int64
+val neg : int64 -> int64 -> int64
+
+val mul : int64 -> int64 -> int64 -> int64
+(** [mul m a b] is [(a * b) mod m], exact for any [m < 2^62].  Uses a
+    double-precision quotient estimate with wrap-around correction when
+    [m < 2^50] and a shift-and-add ladder otherwise. *)
+
+val pow : int64 -> int64 -> int64 -> int64
+(** [pow m b e] for [e >= 0]. *)
+
+val inv : int64 -> int64 -> int64
+(** [inv m a] is the inverse of [a] mod [m].
+    @raise Failure if not invertible. *)
+
+val reduce : int64 -> int64 -> int64
+(** [reduce m x] maps any int64 (including negatives) to [\[0, m)]. *)
+
+val centered : int64 -> int64 -> int64
+(** [centered m x] maps a canonical residue to the centered representative
+    in [(-m/2, m/2]]. *)

@@ -1,0 +1,112 @@
+type table = {
+  p : int;
+  n : int;
+  psi_rev : int array;      (* psi^brv(i), forward twiddles *)
+  psi_inv_rev : int array;  (* psi^-brv(i), inverse twiddles *)
+  n_inv : int;
+}
+
+let prime t = t.p
+let degree t = t.n
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse ~bits i =
+  let r = ref 0 and i = ref i in
+  for _ = 1 to bits do
+    r := (!r lsl 1) lor (!i land 1);
+    i := !i lsr 1
+  done;
+  !r
+
+let make_table ~p ~n =
+  if not (is_pow2 n) then invalid_arg "Ntt.make_table: n not a power of two";
+  if p >= 1 lsl 31 then invalid_arg "Ntt.make_table: p >= 2^31";
+  let p64 = Int64.of_int p in
+  if not (Prime64.is_prime p64) then invalid_arg "Ntt.make_table: p not prime";
+  if (p - 1) mod (2 * n) <> 0 then invalid_arg "Ntt.make_table: p <> 1 mod 2n";
+  let psi = Int64.to_int (Prime64.root_of_unity ~p:p64 ~order:(Int64.of_int (2 * n))) in
+  let psi_inv = Int64.to_int (Mod64.inv p64 (Int64.of_int psi)) in
+  let bits =
+    let rec go b m = if m = 1 then b else go (b + 1) (m lsr 1) in
+    go 0 n
+  in
+  let powers base =
+    (* tbl.(i) = base^brv(i) mod p *)
+    let direct = Array.make n 1 in
+    for i = 1 to n - 1 do
+      direct.(i) <- direct.(i - 1) * base mod p
+    done;
+    Array.init n (fun i -> direct.(bit_reverse ~bits i))
+  in
+  let n_inv = Int64.to_int (Mod64.inv p64 (Int64.of_int n)) in
+  { p; n; psi_rev = powers psi; psi_inv_rev = powers psi_inv; n_inv }
+
+let forward t a =
+  if Array.length a <> t.n then invalid_arg "Ntt.forward: wrong length";
+  let p = t.p and n = t.n and w = t.psi_rev in
+  let len = ref n and m = ref 1 in
+  while !m < n do
+    len := !len / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !len in
+      let s = w.(!m + i) in
+      for j = j1 to j1 + !len - 1 do
+        let u = a.(j) in
+        let v = a.(j + !len) * s mod p in
+        let x = u + v in
+        a.(j) <- (if x >= p then x - p else x);
+        let y = u - v in
+        a.(j + !len) <- (if y < 0 then y + p else y)
+      done
+    done;
+    m := !m * 2
+  done
+
+let inverse t a =
+  if Array.length a <> t.n then invalid_arg "Ntt.inverse: wrong length";
+  let p = t.p and n = t.n and w = t.psi_inv_rev in
+  let len = ref 1 and m = ref n in
+  while !m > 1 do
+    let h = !m / 2 in
+    let j1 = ref 0 in
+    for i = 0 to h - 1 do
+      let s = w.(h + i) in
+      for j = !j1 to !j1 + !len - 1 do
+        let u = a.(j) in
+        let v = a.(j + !len) in
+        let x = u + v in
+        a.(j) <- (if x >= p then x - p else x);
+        let y = u - v in
+        let y = if y < 0 then y + p else y in
+        a.(j + !len) <- y * s mod p
+      done;
+      j1 := !j1 + (2 * !len)
+    done;
+    len := !len * 2;
+    m := h
+  done;
+  let ninv = t.n_inv in
+  for j = 0 to n - 1 do
+    a.(j) <- a.(j) * ninv mod p
+  done
+
+let pointwise_mul t dst a b =
+  let p = t.p in
+  for i = 0 to t.n - 1 do
+    dst.(i) <- a.(i) * b.(i) mod p
+  done
+
+let pointwise_mul_acc t acc a b =
+  let p = t.p in
+  for i = 0 to t.n - 1 do
+    acc.(i) <- (acc.(i) + (a.(i) * b.(i) mod p)) mod p
+  done
+
+let negacyclic_mul t a b =
+  let fa = Array.copy a and fb = Array.copy b in
+  forward t fa;
+  forward t fb;
+  pointwise_mul t fa fa fb;
+  inverse t fa;
+  fa

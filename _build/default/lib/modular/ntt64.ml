@@ -1,0 +1,82 @@
+type table = {
+  p : int64;
+  n : int;
+  psi_rev : int64 array;
+  psi_inv_rev : int64 array;
+  n_inv : int64;
+}
+
+let prime t = t.p
+let degree t = t.n
+
+let make_table ~p ~n =
+  if not (n > 0 && n land (n - 1) = 0) then invalid_arg "Ntt64.make_table: n not a power of two";
+  if not (Prime64.is_prime p) then invalid_arg "Ntt64.make_table: p not prime";
+  if not (Int64.equal (Int64.rem (Int64.pred p) (Int64.of_int (2 * n))) 0L) then
+    invalid_arg "Ntt64.make_table: p <> 1 mod 2n";
+  let psi = Prime64.root_of_unity ~p ~order:(Int64.of_int (2 * n)) in
+  let psi_inv = Mod64.inv p psi in
+  let bits =
+    let rec go b m = if m = 1 then b else go (b + 1) (m lsr 1) in
+    go 0 n
+  in
+  let bit_reverse i =
+    let r = ref 0 and i = ref i in
+    for _ = 1 to bits do
+      r := (!r lsl 1) lor (!i land 1);
+      i := !i lsr 1
+    done;
+    !r
+  in
+  let powers base =
+    let direct = Array.make n 1L in
+    for i = 1 to n - 1 do
+      direct.(i) <- Mod64.mul p direct.(i - 1) base
+    done;
+    Array.init n (fun i -> direct.(bit_reverse i))
+  in
+  let n_inv = Mod64.inv p (Int64.of_int n) in
+  { p; n; psi_rev = powers psi; psi_inv_rev = powers psi_inv; n_inv }
+
+let forward t a =
+  if Array.length a <> t.n then invalid_arg "Ntt64.forward: wrong length";
+  let p = t.p and n = t.n and w = t.psi_rev in
+  let len = ref n and m = ref 1 in
+  while !m < n do
+    len := !len / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !len in
+      let s = w.(!m + i) in
+      for j = j1 to j1 + !len - 1 do
+        let u = a.(j) in
+        let v = Mod64.mul p a.(j + !len) s in
+        a.(j) <- Mod64.add p u v;
+        a.(j + !len) <- Mod64.sub p u v
+      done
+    done;
+    m := !m * 2
+  done
+
+let inverse t a =
+  if Array.length a <> t.n then invalid_arg "Ntt64.inverse: wrong length";
+  let p = t.p and n = t.n and w = t.psi_inv_rev in
+  let len = ref 1 and m = ref n in
+  while !m > 1 do
+    let h = !m / 2 in
+    let j1 = ref 0 in
+    for i = 0 to h - 1 do
+      let s = w.(h + i) in
+      for j = !j1 to !j1 + !len - 1 do
+        let u = a.(j) in
+        let v = a.(j + !len) in
+        a.(j) <- Mod64.add p u v;
+        a.(j + !len) <- Mod64.mul p (Mod64.sub p u v) s
+      done;
+      j1 := !j1 + (2 * !len)
+    done;
+    len := !len * 2;
+    m := h
+  done;
+  for j = 0 to n - 1 do
+    a.(j) <- Mod64.mul p a.(j) t.n_inv
+  done

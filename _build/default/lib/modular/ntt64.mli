@@ -1,0 +1,20 @@
+(** Negacyclic NTT over an [int64] prime modulus.
+
+    Used for the BGV plaintext side: CRT batching packs [n] independent
+    Z_t slots into one plaintext polynomial when [t ≡ 1 (mod 2n)].  The
+    plaintext prime can exceed 2^31 (the paper uses ≈2^40), so this
+    transform runs on [int64] with {!Mod64.mul}; it is executed once per
+    encode/decode rather than inside the homomorphic hot loop, so the
+    slower multiply is acceptable.  Same layout conventions as {!Ntt}. *)
+
+type table
+
+val make_table : p:int64 -> n:int -> table
+(** Requires [n] a power of two, [p] prime with [p ≡ 1 (mod 2n)],
+    [p < 2^62]. @raise Invalid_argument otherwise. *)
+
+val prime : table -> int64
+val degree : table -> int
+
+val forward : table -> int64 array -> unit
+val inverse : table -> int64 array -> unit

@@ -1,0 +1,130 @@
+(* Deterministic Miller–Rabin: the witness set {2,3,5,7,11,13,17,19,23,
+   29,31,37} is known to be correct for all n < 3.3 * 10^24, which covers
+   the full int64 range. *)
+
+let witnesses = [ 2L; 3L; 5L; 7L; 11L; 13L; 17L; 19L; 23L; 29L; 31L; 37L ]
+
+let is_prime n =
+  if Int64.compare n 2L < 0 then false
+  else if List.exists (Int64.equal n) witnesses then true
+  else if Int64.rem n 2L = 0L then false
+  else begin
+    let n1 = Int64.pred n in
+    let rec split r d =
+      if Int64.logand d 1L = 0L then split (r + 1) (Int64.shift_right_logical d 1)
+      else (r, d)
+    in
+    let r, d = split 0 n1 in
+    let strong a =
+      let a = Mod64.reduce n a in
+      if Int64.compare a 0L = 0 then true
+      else begin
+        let x = ref (Mod64.pow n a d) in
+        if Int64.equal !x 1L || Int64.equal !x n1 then true
+        else begin
+          let ok = ref false in
+          for _ = 1 to r - 1 do
+            if not !ok then begin
+              x := Mod64.mul n !x !x;
+              if Int64.equal !x n1 then ok := true
+            end
+          done;
+          !ok
+        end
+      end
+    in
+    List.for_all strong witnesses
+  end
+
+let rec gcd64 a b = if Int64.equal b 0L then a else gcd64 b (Int64.rem a b)
+
+(* Pollard rho (Floyd cycle) for a single nontrivial factor of an odd
+   composite n that has no small prime factors. *)
+let rec pollard_rho n c =
+  let f x = Mod64.add n (Mod64.mul n x x) c in
+  let rec race x y =
+    let x = f x in
+    let y = f (f y) in
+    let diff = if Int64.compare x y >= 0 then Int64.sub x y else Int64.sub y x in
+    if Int64.compare diff 0L = 0 then pollard_rho n (Int64.succ c)
+    else begin
+      let d = gcd64 diff n in
+      if Int64.equal d 1L then race x y
+      else if Int64.equal d n then pollard_rho n (Int64.succ c)
+      else d
+    end
+  in
+  race 2L 2L
+
+let small_trial = [ 2L; 3L; 5L; 7L; 11L; 13L; 17L; 19L; 23L; 29L; 31L; 37L; 41L; 43L; 47L ]
+
+let factor n =
+  if Int64.compare n 0L <= 0 then invalid_arg "Prime64.factor: n <= 0";
+  let counts = Hashtbl.create 8 in
+  let bump p = Hashtbl.replace counts p (1 + Option.value ~default:0 (Hashtbl.find_opt counts p)) in
+  let rec strip n p = if Int64.rem n p = 0L then (bump p; strip (Int64.div n p) p) else n in
+  let n = List.fold_left strip n small_trial in
+  let rec split n =
+    if Int64.compare n 1L = 0 then ()
+    else if is_prime n then bump n
+    else begin
+      let d = pollard_rho n 1L in
+      split d;
+      split (Int64.div n d)
+    end
+  in
+  split n;
+  Hashtbl.fold (fun p k acc -> (p, k) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let primitive_root p =
+  if not (is_prime p) then invalid_arg "Prime64.primitive_root: not prime";
+  if Int64.equal p 2L then 1L
+  else begin
+    let phi = Int64.pred p in
+    let prime_factors = List.map fst (factor phi) in
+    let is_generator g =
+      List.for_all
+        (fun q -> not (Int64.equal (Mod64.pow p g (Int64.div phi q)) 1L))
+        prime_factors
+    in
+    let rec search g = if is_generator g then g else search (Int64.succ g) in
+    search 2L
+  end
+
+let root_of_unity ~p ~order =
+  let phi = Int64.pred p in
+  if not (Int64.equal (Int64.rem phi order) 0L) then
+    failwith "Prime64.root_of_unity: order does not divide p-1";
+  let g = primitive_root p in
+  Mod64.pow p g (Int64.div phi order)
+
+let find_ntt_prime ?(min_bits = 2) ~congruent_mod ~bits () =
+  let upper = Int64.shift_left 1L bits in
+  let lower = Int64.shift_left 1L min_bits in
+  (* Largest candidate of the form k*m + 1 below 2^bits, stepping down. *)
+  let m = congruent_mod in
+  let k0 = Int64.div (Int64.sub upper 2L) m in
+  let rec search k =
+    let candidate = Int64.succ (Int64.mul k m) in
+    if Int64.compare candidate lower < 0 then raise Not_found
+    else if is_prime candidate then candidate
+    else search (Int64.pred k)
+  in
+  search k0
+
+let ntt_primes ~congruent_mod ~bits ~count =
+  let lower = Int64.shift_left 1L (bits - 2) in
+  let m = congruent_mod in
+  let rec collect acc k remaining =
+    if remaining = 0 then List.rev acc
+    else begin
+      let candidate = Int64.succ (Int64.mul k m) in
+      if Int64.compare candidate lower < 0 then raise Not_found
+      else if is_prime candidate then collect (candidate :: acc) (Int64.pred k) (remaining - 1)
+      else collect acc (Int64.pred k) remaining
+    end
+  in
+  let upper = Int64.shift_left 1L bits in
+  let k0 = Int64.div (Int64.sub upper 2L) m in
+  collect [] k0 count

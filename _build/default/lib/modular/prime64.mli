@@ -1,0 +1,33 @@
+(** Primality, factoring and roots of unity for [int64] values.
+
+    Parameter generation for the ring layer needs NTT-friendly primes
+    (p ≡ 1 mod 2N) together with primitive 2N-th roots of unity, and the
+    plaintext side needs batching-friendly primes (t ≡ 1 mod 2N as well).
+    Primality is the deterministic Miller–Rabin variant with the known
+    12-witness base set, valid for all 64-bit inputs; factoring is trial
+    division plus Brent-cycle Pollard rho. *)
+
+val is_prime : int64 -> bool
+(** Deterministic for all [0 <= n < 2^62]. *)
+
+val factor : int64 -> (int64 * int) list
+(** Prime factorisation as (prime, multiplicity), primes ascending.
+    [factor 1 = []]. @raise Invalid_argument on [n <= 0]. *)
+
+val primitive_root : int64 -> int64
+(** A generator of the multiplicative group of Z_p for prime [p]. *)
+
+val root_of_unity : p:int64 -> order:int64 -> int64
+(** [root_of_unity ~p ~order] returns an element of exact multiplicative
+    order [order] mod prime [p]. @raise Failure if [order] does not
+    divide [p - 1]. *)
+
+val find_ntt_prime : ?min_bits:int -> congruent_mod:int64 -> bits:int -> unit -> int64
+(** [find_ntt_prime ~congruent_mod:m ~bits ()] returns the largest prime
+    [p < 2^bits] with [p ≡ 1 (mod m)]; with [?min_bits] the search stops
+    (raising [Not_found]) below [2^min_bits]. *)
+
+val ntt_primes : congruent_mod:int64 -> bits:int -> count:int -> int64 list
+(** The [count] largest distinct primes below [2^bits] that are ≡ 1 mod
+    [congruent_mod], descending. @raise Not_found if fewer exist above
+    [2^(bits-2)]. *)

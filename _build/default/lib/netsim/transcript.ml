@@ -1,0 +1,62 @@
+type party = Data_owner | Party_a | Party_b | Client
+
+let party_name = function
+  | Data_owner -> "data-owner"
+  | Party_a -> "party-A"
+  | Party_b -> "party-B"
+  | Client -> "client"
+
+type entry = {
+  seq : int;
+  sender : party;
+  receiver : party;
+  label : string;
+  bytes : int;
+}
+
+type t = { mutable rev_entries : entry list; mutable next : int }
+
+let create () = { rev_entries = []; next = 0 }
+
+let send t ~sender ~receiver ~label ~bytes =
+  if bytes < 0 then invalid_arg "Transcript.send: negative size";
+  if sender = receiver then invalid_arg "Transcript.send: sender = receiver";
+  t.rev_entries <- { seq = t.next; sender; receiver; label; bytes } :: t.rev_entries;
+  t.next <- t.next + 1
+
+let entries t = List.rev t.rev_entries
+
+let messages t = t.next
+
+let total_bytes t = List.fold_left (fun acc e -> acc + e.bytes) 0 t.rev_entries
+
+let on_link a b e =
+  (e.sender = a && e.receiver = b) || (e.sender = b && e.receiver = a)
+
+let bytes_between t a b =
+  List.fold_left (fun acc e -> if on_link a b e then acc + e.bytes else acc) 0 t.rev_entries
+
+let rounds t a b =
+  (* One round = a maximal one-direction run plus the following reply
+     run.  Equivalently: count direction changes, then each pair of
+     directed runs is one round (an unmatched trailing run still counts). *)
+  let link = List.filter (on_link a b) (entries t) in
+  let runs =
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | last :: _ when last = e.sender -> acc
+        | _ -> e.sender :: acc)
+      [] link
+    |> List.length
+  in
+  (runs + 1) / 2
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%3d %-10s -> %-10s %8d B  %s@ " e.seq (party_name e.sender)
+        (party_name e.receiver) e.bytes e.label)
+    (entries t);
+  Format.fprintf ppf "total: %d messages, %d bytes@]" (messages t) (total_bytes t)

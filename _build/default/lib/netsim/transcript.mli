@@ -1,0 +1,38 @@
+(** Communication transcript between simulated parties.
+
+    The paper's four machines (data owner, Party A, Party B, client)
+    become in-process values here; every protocol message is recorded
+    with its byte size so the harness can *measure* the communication
+    rows of Table 1 (rounds, bytes per round) instead of quoting the
+    asymptotic formulas. *)
+
+type party = Data_owner | Party_a | Party_b | Client
+
+val party_name : party -> string
+
+type entry = {
+  seq : int;
+  sender : party;
+  receiver : party;
+  label : string;
+  bytes : int;
+}
+
+type t
+
+val create : unit -> t
+val send : t -> sender:party -> receiver:party -> label:string -> bytes:int -> unit
+val entries : t -> entry list
+(** In send order. *)
+
+val messages : t -> int
+val total_bytes : t -> int
+val bytes_between : t -> party -> party -> int
+(** Bytes over the (unordered) link between two parties. *)
+
+val rounds : t -> party -> party -> int
+(** Communication rounds on a link, counted as the paper does: a round is
+    a maximal run of messages in one direction followed by the reply run
+    (so A→B then B→A is one round; A→B, B→A, A→B, B→A is two). *)
+
+val pp : Format.formatter -> t -> unit

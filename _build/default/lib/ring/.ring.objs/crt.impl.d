@@ -1,0 +1,1 @@
+lib/ring/crt.ml: Array Zint

@@ -1,0 +1,1 @@
+lib/ring/crt.mli: Zint

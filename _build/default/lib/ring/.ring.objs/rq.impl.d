@@ -1,0 +1,1 @@
+lib/ring/rq.ml: Array Crt Format Hashtbl Int64 List Mod64 Ntt Zint

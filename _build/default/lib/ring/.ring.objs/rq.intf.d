@@ -1,0 +1,1 @@
+lib/ring/rq.mli: Crt Format Zint

@@ -1,0 +1,1 @@
+lib/ring/sampler.ml: Array Rq Util

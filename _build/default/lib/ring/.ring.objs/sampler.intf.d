@@ -1,0 +1,1 @@
+lib/ring/sampler.mli: Rq Util

@@ -1,0 +1,45 @@
+module Z = Zint
+
+type basis = {
+  primes : int array;
+  q : Z.t;                  (* product of all primes *)
+  q_over_p : Z.t array;     (* Q / p_i *)
+  recomb : Z.t array;       (* (Q/p_i) * ((Q/p_i)^{-1} mod p_i), ready to scale *)
+}
+
+let make primes =
+  if Array.length primes = 0 then invalid_arg "Crt.make: empty basis";
+  Array.iter
+    (fun p -> if p < 2 || p >= 1 lsl 31 then invalid_arg "Crt.make: prime out of range")
+    primes;
+  let q = Array.fold_left (fun acc p -> Z.mul acc (Z.of_int p)) Z.one primes in
+  let q_over_p = Array.map (fun p -> Z.div q (Z.of_int p)) primes in
+  let recomb =
+    Array.mapi
+      (fun i p ->
+        let qi = q_over_p.(i) in
+        let inv = Z.modinv (Z.erem qi (Z.of_int p)) (Z.of_int p) in
+        Z.mul qi inv)
+      primes
+  in
+  { primes = Array.copy primes; q; q_over_p; recomb }
+
+let primes b = Array.copy b.primes
+let modulus b = b.q
+
+let lift b residues =
+  if Array.length residues <> Array.length b.primes then
+    invalid_arg "Crt.lift: length mismatch";
+  let acc = ref Z.zero in
+  Array.iteri
+    (fun i r -> acc := Z.add !acc (Z.mul_int b.recomb.(i) r))
+    residues;
+  Z.erem !acc b.q
+
+let lift_centered b residues =
+  let x = lift b residues in
+  let half = Z.shift_right b.q 1 in
+  if Z.compare x half > 0 then Z.sub x b.q else x
+
+let reduce b x =
+  Array.map (fun p -> Z.to_int_exn (Z.erem x (Z.of_int p))) b.primes

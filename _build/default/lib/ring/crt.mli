@@ -1,0 +1,27 @@
+(** Chinese-remainder lifting between RNS residues and exact integers.
+
+    The BGV ciphertext modulus is a product [Q = p_0 * … * p_{k-1}] of
+    word-sized NTT primes; polynomial arithmetic happens per-prime, but
+    decryption and relinearisation digit decomposition need the exact
+    value of each coefficient mod [Q].  A [basis] precomputes the
+    constants ([Q], [Q/p_i], [(Q/p_i)^{-1} mod p_i]) for one prime
+    subset. *)
+
+type basis
+
+val make : int array -> basis
+(** [make primes] for pairwise-coprime word-sized primes (each < 2^31). *)
+
+val primes : basis -> int array
+val modulus : basis -> Zint.t
+(** The product [Q]. *)
+
+val lift : basis -> int array -> Zint.t
+(** [lift b residues] returns the unique [x ∈ [0, Q)] with
+    [x ≡ residues.(i) (mod p_i)].  Length must match. *)
+
+val lift_centered : basis -> int array -> Zint.t
+(** Like {!lift} but returns the representative in [(-Q/2, Q/2]]. *)
+
+val reduce : basis -> Zint.t -> int array
+(** [reduce b x] returns the residue vector of [x] (any sign). *)

@@ -1,0 +1,263 @@
+
+module Z = Zint
+
+type domain = Coeff | Eval
+
+type context = {
+  n : int;
+  moduli : int array;
+  tables : Ntt.table array;
+  mutable bases : (int * Crt.basis) list; (* cache: nprimes -> basis *)
+}
+
+type t = {
+  ctx : context;
+  domain : domain;
+  comps : int array array; (* comps.(i): residues mod moduli.(i), length n *)
+}
+
+let context ~n ~moduli =
+  if Array.length moduli = 0 then invalid_arg "Rq.context: empty modulus chain";
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p then invalid_arg "Rq.context: duplicate modulus";
+      Hashtbl.add seen p ())
+    moduli;
+  let tables = Array.map (fun p -> Ntt.make_table ~p ~n) moduli in
+  { n; moduli = Array.copy moduli; tables; bases = [] }
+
+let degree c = c.n
+let moduli c = Array.copy c.moduli
+let chain_length c = Array.length c.moduli
+
+let basis c ~nprimes =
+  if nprimes < 1 || nprimes > Array.length c.moduli then invalid_arg "Rq.basis: bad nprimes";
+  match List.assoc_opt nprimes c.bases with
+  | Some b -> b
+  | None ->
+    let b = Crt.make (Array.sub c.moduli 0 nprimes) in
+    c.bases <- (nprimes, b) :: c.bases;
+    b
+
+let modulus c ~nprimes = Crt.modulus (basis c ~nprimes)
+
+let zero ctx ~nprimes domain =
+  if nprimes < 1 || nprimes > Array.length ctx.moduli then invalid_arg "Rq.zero: bad nprimes";
+  { ctx; domain; comps = Array.init nprimes (fun _ -> Array.make ctx.n 0) }
+
+let nprimes t = Array.length t.comps
+let domain t = t.domain
+let ctx t = t.ctx
+
+let to_eval t =
+  match t.domain with
+  | Eval -> t
+  | Coeff ->
+    let comps =
+      Array.mapi
+        (fun i comp ->
+          let c = Array.copy comp in
+          Ntt.forward t.ctx.tables.(i) c;
+          c)
+        t.comps
+    in
+    { t with domain = Eval; comps }
+
+let to_coeff t =
+  match t.domain with
+  | Coeff -> t
+  | Eval ->
+    let comps =
+      Array.mapi
+        (fun i comp ->
+          let c = Array.copy comp in
+          Ntt.inverse t.ctx.tables.(i) c;
+          c)
+        t.comps
+    in
+    { t with domain = Coeff; comps }
+
+let of_small_coeffs ctx ~nprimes domain coeffs =
+  if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_small_coeffs: wrong length";
+  let embed p =
+    Array.map
+      (fun c ->
+        let r = c mod p in
+        if r < 0 then r + p else r)
+      coeffs
+  in
+  let t = { ctx; domain = Coeff; comps = Array.init nprimes (fun i -> embed ctx.moduli.(i)) } in
+  match domain with Coeff -> t | Eval -> to_eval t
+
+let of_int64_coeffs ctx ~nprimes domain coeffs =
+  if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_int64_coeffs: wrong length";
+  let embed p =
+    let p64 = Int64.of_int p in
+    Array.map (fun c -> Int64.to_int (Mod64.reduce p64 c)) coeffs
+  in
+  let t = { ctx; domain = Coeff; comps = Array.init nprimes (fun i -> embed ctx.moduli.(i)) } in
+  match domain with Coeff -> t | Eval -> to_eval t
+
+let of_zint_coeffs ctx ~nprimes domain coeffs =
+  if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_zint_coeffs: wrong length";
+  let embed p =
+    let zp = Z.of_int p in
+    Array.map (fun c -> Z.to_int_exn (Z.erem c zp)) coeffs
+  in
+  let t = { ctx; domain = Coeff; comps = Array.init nprimes (fun i -> embed ctx.moduli.(i)) } in
+  match domain with Coeff -> t | Eval -> to_eval t
+
+let to_zint_coeffs t =
+  let t = to_coeff t in
+  let b = basis t.ctx ~nprimes:(nprimes t) in
+  Array.init t.ctx.n (fun j ->
+      let residues = Array.init (nprimes t) (fun i -> t.comps.(i).(j)) in
+      Crt.lift_centered b residues)
+
+let constant ctx ~nprimes domain v =
+  let coeffs = Array.make ctx.n 0L in
+  coeffs.(0) <- v;
+  of_int64_coeffs ctx ~nprimes domain coeffs
+
+let check_compat a b op =
+  if a.ctx != b.ctx then invalid_arg (op ^ ": different contexts");
+  if Array.length a.comps <> Array.length b.comps then invalid_arg (op ^ ": level mismatch")
+
+let map2_domain op f a b =
+  check_compat a b op;
+  let a, b =
+    match a.domain, b.domain with
+    | Coeff, Coeff | Eval, Eval -> (a, b)
+    | Coeff, Eval -> (to_eval a, b)
+    | Eval, Coeff -> (a, to_eval b)
+  in
+  let comps =
+    Array.mapi
+      (fun i ca ->
+        let p = a.ctx.moduli.(i) in
+        let cb = b.comps.(i) in
+        Array.mapi (fun j x -> f p x cb.(j)) ca)
+      a.comps
+  in
+  { ctx = a.ctx; domain = a.domain; comps }
+
+let add a b =
+  map2_domain "Rq.add"
+    (fun p x y ->
+      let s = x + y in
+      if s >= p then s - p else s)
+    a b
+
+let sub a b =
+  map2_domain "Rq.sub"
+    (fun p x y ->
+      let d = x - y in
+      if d < 0 then d + p else d)
+    a b
+
+let neg a =
+  let comps =
+    Array.mapi
+      (fun i ca ->
+        let p = a.ctx.moduli.(i) in
+        Array.map (fun x -> if x = 0 then 0 else p - x) ca)
+      a.comps
+  in
+  { a with comps }
+
+let mul a b =
+  check_compat a b "Rq.mul";
+  let a = to_eval a and b = to_eval b in
+  let comps =
+    Array.mapi
+      (fun i ca ->
+        let p = a.ctx.moduli.(i) in
+        let cb = b.comps.(i) in
+        Array.mapi (fun j x -> x * cb.(j) mod p) ca)
+      a.comps
+  in
+  { ctx = a.ctx; domain = Eval; comps }
+
+let mul_scalar a s =
+  let comps =
+    Array.mapi
+      (fun i ca ->
+        let p = a.ctx.moduli.(i) in
+        let p64 = Int64.of_int p in
+        let sp = Int64.to_int (Mod64.reduce p64 s) in
+        Array.map (fun x -> x * sp mod p) ca)
+      a.comps
+  in
+  { a with comps }
+
+let equal a b =
+  a.ctx == b.ctx
+  && Array.length a.comps = Array.length b.comps
+  &&
+  let a', b' =
+    match a.domain, b.domain with
+    | Coeff, Coeff | Eval, Eval -> (a, b)
+    | Coeff, Eval -> (a, to_coeff b)
+    | Eval, Coeff -> (to_coeff a, b)
+  in
+  a'.comps = b'.comps
+
+let drop_last_prime t =
+  let k = Array.length t.comps in
+  if k <= 1 then invalid_arg "Rq.drop_last_prime: would empty the chain";
+  { t with comps = Array.sub t.comps 0 (k - 1) }
+
+let truncate t ~nprimes =
+  let k = Array.length t.comps in
+  if nprimes < 1 || nprimes > k then invalid_arg "Rq.truncate: bad nprimes";
+  if nprimes = k then t else { t with comps = Array.sub t.comps 0 nprimes }
+
+let mul_scalar_zint a s =
+  let comps =
+    Array.mapi
+      (fun i ca ->
+        let p = a.ctx.moduli.(i) in
+        let sp = Z.to_int_exn (Z.erem s (Z.of_int p)) in
+        Array.map (fun x -> x * sp mod p) ca)
+      a.comps
+  in
+  { a with comps }
+
+let substitute t ~k =
+  let n = t.ctx.n in
+  let k = ((k mod (2 * n)) + (2 * n)) mod (2 * n) in
+  if k land 1 = 0 then invalid_arg "Rq.substitute: k must be odd";
+  let t = to_coeff t in
+  let comps =
+    Array.mapi
+      (fun i comp ->
+        let p = t.ctx.moduli.(i) in
+        let out = Array.make n 0 in
+        for j = 0 to n - 1 do
+          (* x^j -> x^(jk); x^n = -1 folds exponents >= n with a sign. *)
+          let e = j * k mod (2 * n) in
+          if e < n then out.(e) <- comp.(j)
+          else out.(e - n) <- (if comp.(j) = 0 then 0 else p - comp.(j))
+        done;
+        out)
+      t.comps
+  in
+  { t with comps }
+
+let last_prime t = t.ctx.moduli.(Array.length t.comps - 1)
+
+let component t i = Array.copy t.comps.(i)
+let unsafe_component t i = t.comps.(i)
+
+let of_components ctx domain comps =
+  if Array.length comps = 0 || Array.length comps > Array.length ctx.moduli then
+    invalid_arg "Rq.of_components: bad component count";
+  Array.iter
+    (fun c -> if Array.length c <> ctx.n then invalid_arg "Rq.of_components: bad length")
+    comps;
+  { ctx; domain; comps }
+
+let pp ppf t =
+  let d = match t.domain with Coeff -> "coeff" | Eval -> "eval" in
+  Format.fprintf ppf "<Rq n=%d primes=%d %s>" t.ctx.n (nprimes t) d

@@ -1,0 +1,112 @@
+(** Polynomials in R_Q = Z_Q[x]/(x^N + 1), with Q a product of word-sized
+    NTT primes held in residue-number-system (RNS) form.
+
+    A value stores one residue polynomial per active prime.  Leveled BGV
+    drops primes from the end of the chain as computation deepens, so the
+    number of active primes ([nprimes]) is a per-value property; binary
+    operations require both operands at the same level.
+
+    Values are immutable from the outside: every operation returns a
+    fresh value (the module reuses buffers internally where safe). *)
+
+type context
+(** Ring degree, modulus chain and NTT tables, shared by all values. *)
+
+type domain = Coeff | Eval
+(** [Coeff]: natural coefficient embedding. [Eval]: per-prime NTT
+    evaluation domain (bit-reversed), where multiplication is pointwise. *)
+
+type t
+
+(** {1 Context} *)
+
+val context : n:int -> moduli:int array -> context
+(** [context ~n ~moduli] requires [n] a power of two and each modulus a
+    prime ≡ 1 (mod 2n) below 2^31, all distinct. *)
+
+val degree : context -> int
+val moduli : context -> int array
+val chain_length : context -> int
+val basis : context -> nprimes:int -> Crt.basis
+(** CRT basis for the first [nprimes] primes of the chain (cached). *)
+
+val modulus : context -> nprimes:int -> Zint.t
+(** Product of the first [nprimes] primes. *)
+
+(** {1 Construction and inspection} *)
+
+val zero : context -> nprimes:int -> domain -> t
+val nprimes : t -> int
+val domain : t -> domain
+val ctx : t -> context
+
+val of_small_coeffs : context -> nprimes:int -> domain -> int array -> t
+(** Embeds a polynomial with small signed coefficients (|c| < 2^30, e.g.
+    noise, ternary secrets, digits) and converts to the requested
+    domain. *)
+
+val of_int64_coeffs : context -> nprimes:int -> domain -> int64 array -> t
+(** Embeds signed 64-bit coefficients (reduced per prime). *)
+
+val of_zint_coeffs : context -> nprimes:int -> domain -> Zint.t array -> t
+
+val to_zint_coeffs : t -> Zint.t array
+(** Exact centered coefficients in [(-Q/2, Q/2]] via CRT lifting.
+    Converts to [Coeff] domain internally if needed. *)
+
+val constant : context -> nprimes:int -> domain -> int64 -> t
+(** The constant polynomial. *)
+
+(** {1 Domain conversion} *)
+
+val to_eval : t -> t
+val to_coeff : t -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Ring product; operands are converted to [Eval] if needed. *)
+
+val mul_scalar : t -> int64 -> t
+(** Multiply every coefficient by a signed scalar. *)
+
+val equal : t -> t -> bool
+(** Structural equality at identical level; domains are reconciled. *)
+
+(** {1 Level manipulation (used by BGV modulus switching)} *)
+
+val drop_last_prime : t -> t
+(** Forgets the residues of the last active prime (plain truncation; the
+    arithmetic correction is the caller's job). *)
+
+val truncate : t -> nprimes:int -> t
+(** Keeps only the first [nprimes] residue components (valid when the
+    caller knows the represented value is small enough, as in BGV level
+    alignment). *)
+
+val mul_scalar_zint : t -> Zint.t -> t
+(** Multiply every coefficient by an arbitrary-precision scalar (reduced
+    per prime); needed for key-switching gadget powers 2^{jw} that exceed
+    64 bits. *)
+
+val substitute : t -> k:int -> t
+(** The Galois automorphism [a(x) -> a(x^k)] of Z_q[x]/(x^N + 1), for
+    odd [k] (taken mod 2N): a signed permutation of the coefficients.
+    Works in either domain (converts to [Coeff] internally); the result
+    is in [Coeff] domain. @raise Invalid_argument on even [k]. *)
+
+val last_prime : t -> int
+val component : t -> int -> int array
+(** [component t i] is a copy of the residue polynomial mod prime [i]. *)
+
+val unsafe_component : t -> int -> int array
+(** The live residue array mod prime [i]; callers must not mutate it.
+    Exposed for the BGV layer's modulus-switch inner loop. *)
+
+val of_components : context -> domain -> int array array -> t
+(** Adopts the given residue arrays (takes ownership; do not reuse). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Randomness for RLWE: uniform ring elements, ternary secrets and
+    centered-binomial noise.
+
+    Noise is sampled from the centered binomial distribution CBD(eta)
+    (sum of eta coin flips minus sum of eta coin flips), the standard
+    substitute for a discrete Gaussian in lattice implementations: it has
+    variance eta/2, is trivially constant-time, and its tail bound
+    [|x| <= eta] makes the noise analysis in {!Bgv} exact. *)
+
+val uniform : Util.Rng.t -> Rq.context -> nprimes:int -> Rq.t
+(** A uniform element of R_Q (independent uniform residues per prime, in
+    [Eval] domain — uniformity is domain-invariant). *)
+
+val ternary_coeffs : Util.Rng.t -> n:int -> int array
+(** Coefficients i.i.d. uniform on [{-1, 0, 1}]. *)
+
+val cbd_coeffs : Util.Rng.t -> n:int -> eta:int -> int array
+(** Coefficients i.i.d. CBD(eta), each in [\[-eta, eta\]]. *)
+
+val zero_coeffs : n:int -> int array

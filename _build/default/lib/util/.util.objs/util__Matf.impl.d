@@ -1,0 +1,1 @@
+lib/util/matf.ml: Array Float Rng

@@ -1,0 +1,80 @@
+type t = {
+  mutable encrypt : int;
+  mutable decrypt : int;
+  mutable hom_add : int;
+  mutable hom_mul : int;
+  mutable hom_mul_plain : int;
+  mutable hom_modswitch : int;
+  mutable hom_relin : int;
+  mutable round : int;
+  mutable bytes : int;
+}
+
+type event =
+  | Encrypt
+  | Decrypt
+  | Hom_add
+  | Hom_mul
+  | Hom_mul_plain
+  | Hom_modswitch
+  | Hom_relin
+  | Round
+  | Bytes_sent of int
+
+let create () =
+  { encrypt = 0; decrypt = 0; hom_add = 0; hom_mul = 0; hom_mul_plain = 0;
+    hom_modswitch = 0; hom_relin = 0; round = 0; bytes = 0 }
+
+let reset t =
+  t.encrypt <- 0;
+  t.decrypt <- 0;
+  t.hom_add <- 0;
+  t.hom_mul <- 0;
+  t.hom_mul_plain <- 0;
+  t.hom_modswitch <- 0;
+  t.hom_relin <- 0;
+  t.round <- 0;
+  t.bytes <- 0
+
+let record t = function
+  | Encrypt -> t.encrypt <- t.encrypt + 1
+  | Decrypt -> t.decrypt <- t.decrypt + 1
+  | Hom_add -> t.hom_add <- t.hom_add + 1
+  | Hom_mul -> t.hom_mul <- t.hom_mul + 1
+  | Hom_mul_plain -> t.hom_mul_plain <- t.hom_mul_plain + 1
+  | Hom_modswitch -> t.hom_modswitch <- t.hom_modswitch + 1
+  | Hom_relin -> t.hom_relin <- t.hom_relin + 1
+  | Round -> t.round <- t.round + 1
+  | Bytes_sent n -> t.bytes <- t.bytes + n
+
+let encryptions t = t.encrypt
+let decryptions t = t.decrypt
+let hom_adds t = t.hom_add
+let hom_muls t = t.hom_mul
+let hom_mul_plains t = t.hom_mul_plain
+let hom_modswitches t = t.hom_modswitch
+let hom_relins t = t.hom_relin
+
+let hom_total t =
+  t.hom_add + t.hom_mul + t.hom_mul_plain + t.hom_modswitch + t.hom_relin
+
+let rounds t = t.round
+let bytes_sent t = t.bytes
+
+let merge a b =
+  { encrypt = a.encrypt + b.encrypt;
+    decrypt = a.decrypt + b.decrypt;
+    hom_add = a.hom_add + b.hom_add;
+    hom_mul = a.hom_mul + b.hom_mul;
+    hom_mul_plain = a.hom_mul_plain + b.hom_mul_plain;
+    hom_modswitch = a.hom_modswitch + b.hom_modswitch;
+    hom_relin = a.hom_relin + b.hom_relin;
+    round = a.round + b.round;
+    bytes = a.bytes + b.bytes }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>enc=%d dec=%d hom(add=%d mul=%d mulp=%d modsw=%d relin=%d total=%d)@ \
+     rounds=%d bytes=%d@]"
+    t.encrypt t.decrypt t.hom_add t.hom_mul t.hom_mul_plain t.hom_modswitch
+    t.hom_relin (hom_total t) t.round t.bytes

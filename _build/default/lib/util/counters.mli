@@ -1,0 +1,44 @@
+(** Operation counters for reproducing Table 1.
+
+    The paper's Table 1 compares protocols by the number of homomorphic
+    operations, encryptions, decryptions, communication rounds and bytes
+    per round.  Every crypto substrate in this repository reports into a
+    [Counters.t] so that benchmark runs measure these quantities on real
+    executions instead of quoting the asymptotic formulas. *)
+
+type t
+
+(** The event classes tracked. *)
+type event =
+  | Encrypt          (** public-key encryption of one value *)
+  | Decrypt          (** secret-key decryption of one value *)
+  | Hom_add          (** homomorphic addition / subtraction *)
+  | Hom_mul          (** homomorphic ciphertext–ciphertext multiplication *)
+  | Hom_mul_plain    (** homomorphic ciphertext–plaintext multiplication *)
+  | Hom_modswitch    (** BGV modulus switch *)
+  | Hom_relin        (** relinearisation / key switch *)
+  | Round            (** one protocol communication round *)
+  | Bytes_sent of int (** payload bytes placed on the wire *)
+
+val create : unit -> t
+val reset : t -> unit
+val record : t -> event -> unit
+
+val encryptions : t -> int
+val decryptions : t -> int
+val hom_adds : t -> int
+val hom_muls : t -> int
+val hom_mul_plains : t -> int
+val hom_modswitches : t -> int
+val hom_relins : t -> int
+val hom_total : t -> int
+(** Sum of all homomorphic-evaluation events (adds, muls, plain muls,
+    modswitches, relins). *)
+
+val rounds : t -> int
+val bytes_sent : t -> int
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh counter holding the component-wise sums. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type t = float array array
+
+let dims m = (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0))
+
+let transpose m =
+  let r, c = dims m in
+  Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+let mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Matf.mul: dimension mismatch";
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let acc = ref 0.0 in
+          for k = 0 to ca - 1 do
+            acc := !acc +. (a.(i).(k) *. b.(k).(j))
+          done;
+          !acc))
+
+let mul_vec m v =
+  let r, c = dims m in
+  if c <> Array.length v then invalid_arg "Matf.mul_vec: dimension mismatch";
+  Array.init r (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to c - 1 do
+        acc := !acc +. (m.(i).(k) *. v.(k))
+      done;
+      !acc)
+
+let vec_mul v m =
+  let r, c = dims m in
+  if r <> Array.length v then invalid_arg "Matf.vec_mul: dimension mismatch";
+  Array.init c (fun j ->
+      let acc = ref 0.0 in
+      for k = 0 to r - 1 do
+        acc := !acc +. (v.(k) *. m.(k).(j))
+      done;
+      !acc)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Matf.dot: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let inverse m =
+  let n, c = dims m in
+  if n <> c then invalid_arg "Matf.inverse: not square";
+  (* Gauss-Jordan on [m | I] with partial pivoting. *)
+  let a = Array.map Array.copy m in
+  let inv = identity n in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs a.(r).(col) > Float.abs a.(!pivot).(col) then pivot := r
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-9 then failwith "Matf.inverse: singular matrix";
+    if !pivot <> col then begin
+      let t = a.(col) in a.(col) <- a.(!pivot); a.(!pivot) <- t;
+      let t = inv.(col) in inv.(col) <- inv.(!pivot); inv.(!pivot) <- t
+    end;
+    let scale = a.(col).(col) in
+    for j = 0 to n - 1 do
+      a.(col).(j) <- a.(col).(j) /. scale;
+      inv.(col).(j) <- inv.(col).(j) /. scale
+    done;
+    for r = 0 to n - 1 do
+      if r <> col && a.(r).(col) <> 0.0 then begin
+        let factor = a.(r).(col) in
+        for j = 0 to n - 1 do
+          a.(r).(j) <- a.(r).(j) -. (factor *. a.(col).(j));
+          inv.(r).(j) <- inv.(r).(j) -. (factor *. inv.(col).(j))
+        done
+      end
+    done
+  done;
+  inv
+
+let solve m b = mul_vec (inverse m) b
+
+let max_abs_diff a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ra <> rb || ca <> cb then invalid_arg "Matf.max_abs_diff: dimension mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> worst := Float.max !worst (Float.abs (v -. b.(i).(j)))) row)
+    a;
+  !worst
+
+let random rng n =
+  let rec attempt () =
+    let m = Array.init n (fun _ -> Array.init n (fun _ -> (Rng.float rng *. 2.0) -. 1.0)) in
+    match inverse m with
+    | inv ->
+      (* Require a decent condition: M·M^-1 close to I. *)
+      if max_abs_diff (mul m inv) (identity n) < 1e-6 then m else attempt ()
+    | exception Failure _ -> attempt ()
+  in
+  attempt ()

@@ -1,0 +1,28 @@
+(** Small dense float matrices — the linear-algebra substrate for the
+    ASPE comparator (matrix-based scalar-product-preserving encryption)
+    and its known-plaintext attack.
+
+    Row-major [float array array]; all operations allocate fresh
+    results.  Inversion is Gauss–Jordan with partial pivoting and raises
+    [Failure] on (numerically) singular input. *)
+
+type t = float array array
+
+val identity : int -> t
+val random : Rng.t -> int -> t
+(** Entries uniform in [(-1, 1)], redrawn until comfortably invertible. *)
+
+val dims : t -> int * int
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+val vec_mul : float array -> t -> float array
+val dot : float array -> float array -> float
+
+val inverse : t -> t
+(** @raise Failure on singular matrices. *)
+
+val solve : t -> float array -> float array
+(** [solve a b] returns [x] with [a·x = b]. *)
+
+val max_abs_diff : t -> t -> float

@@ -1,0 +1,64 @@
+type t = int array
+(* Invariant: a bijection on [0, n); cell i holds the image of i. *)
+
+let identity n = Array.init n (fun i -> i)
+
+let random rng n =
+  let p = identity n in
+  for i = n - 1 downto 1 do
+    let j = Rng.int_below rng (i + 1) in
+    let tmp = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p
+
+let size = Array.length
+
+let apply_index p i = p.(i)
+
+let apply p a =
+  let n = Array.length a in
+  if n <> Array.length p then invalid_arg "Perm.apply: size mismatch";
+  if n = 0 then [||]
+  else begin
+    let b = Array.make n a.(0) in
+    for i = 0 to n - 1 do
+      b.(p.(i)) <- a.(i)
+    done;
+    b
+  end
+
+let inverse p =
+  let n = Array.length p in
+  let q = Array.make n 0 in
+  for i = 0 to n - 1 do
+    q.(p.(i)) <- i
+  done;
+  q
+
+let compose p q =
+  let n = Array.length p in
+  if n <> Array.length q then invalid_arg "Perm.compose: size mismatch";
+  Array.init n (fun i -> p.(q.(i)))
+
+let to_array p = Array.copy p
+
+let of_array img =
+  let n = Array.length img in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then invalid_arg "Perm.of_array: not a bijection";
+      seen.(v) <- true)
+    img;
+  Array.copy img
+
+let equal p q = p = q
+
+let pp ppf p =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list p)

@@ -1,0 +1,40 @@
+(** Uniform random permutations.
+
+    Party A hides the correspondence between database rows and masked
+    distances by drawing a fresh uniform permutation per query
+    (Algorithm 1, step 9).  This module provides Fisher–Yates sampling,
+    inversion, application to arrays, and composition. *)
+
+type t
+(** A permutation of [{0, …, n-1}]; [apply_index p i] is the image of [i]. *)
+
+val identity : int -> t
+
+val random : Rng.t -> int -> t
+(** [random rng n] draws a permutation uniformly among the [n!] choices. *)
+
+val size : t -> int
+
+val apply_index : t -> int -> int
+(** [apply_index p i] is [p(i)]. *)
+
+val apply : t -> 'a array -> 'a array
+(** [apply p a] returns [b] with [b.(p(i)) = a.(i)]: element [i] of the
+    input lands at its image position. [Array.length a] must equal
+    [size p]. *)
+
+val inverse : t -> t
+
+val compose : t -> t -> t
+(** [compose p q] maps [i] to [p(q(i))]. *)
+
+val to_array : t -> int array
+(** Image table: [(to_array p).(i) = p(i)]. The returned array is fresh. *)
+
+val of_array : int array -> t
+(** [of_array img] validates that [img] is a bijection on its index set and
+    returns the corresponding permutation.
+    @raise Invalid_argument otherwise. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  let t1 = now () in
+  (x, t1 -. t0)
+
+let pp_duration ppf s =
+  if s < 1.0 then Format.fprintf ppf "%.0f ms" (s *. 1000.0)
+  else if s < 60.0 then Format.fprintf ppf "%.1f s" s
+  else
+    let m = int_of_float (s /. 60.0) in
+    let rest = s -. (float_of_int m *. 60.0) in
+    Format.fprintf ppf "%d min %.0f s" m rest

@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Seconds since the epoch, monotonic enough for coarse protocol timing. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Pretty-prints a duration like the paper's prose: ["45 s"],
+    ["2 min 45 s"], ["373 ms"]. *)

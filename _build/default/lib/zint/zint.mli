@@ -1,0 +1,130 @@
+(** Arbitrary-precision signed integers.
+
+    The sealed build environment has no [zarith], yet the Paillier baseline
+    needs 512–2048-bit modular arithmetic and BGV decryption needs exact
+    CRT lifting across the RNS modulus chain.  This module implements the
+    required bignum substrate from scratch: sign-magnitude representation
+    with base-2^31 limbs (so every intermediate limb product fits in
+    OCaml's 63-bit native [int]), schoolbook and Karatsuba multiplication,
+    Knuth Algorithm-D division, extended GCD, modular exponentiation and
+    Miller–Rabin primality testing.
+
+    All functions are pure; values are immutable. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+val of_int64 : int64 -> t
+
+val to_int_opt : t -> int option
+(** [Some n] iff the value fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val to_int64_opt : t -> int64 option
+val to_float : t -> float
+
+val of_string : string -> t
+(** Decimal, with optional leading ['-']. @raise Invalid_argument on
+    malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** -1, 0 or 1. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val sqr : t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: [divmod a b = (q, r)] with [a = q*b + r],
+    [|r| < |b|] and [sign r ∈ {0, sign a}]. @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: remainder always in [\[0, |b|)]. *)
+
+val erem : t -> t -> t
+(** Euclidean remainder, always non-negative. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. *)
+
+(** {1 Bit-level operations} *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift toward zero on the magnitude (sign preserved). *)
+
+val numbits : t -> int
+(** Bits in the magnitude: [numbits 0 = 0], [numbits 1 = 1],
+    [numbits 255 = 8]. *)
+
+val testbit : t -> int -> bool
+(** Bit [i] of the magnitude. *)
+
+(** {1 Number theory} *)
+
+val gcd : t -> t -> t
+(** Always non-negative. *)
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b = (g, u, v)] with [g = gcd a b >= 0] and [u*a + v*b = g]. *)
+
+val modinv : t -> t -> t
+(** [modinv a m] is the inverse of [a] modulo [m], in [\[0, m)].
+    @raise Failure if [gcd a m <> 1]. *)
+
+val powmod : t -> t -> t -> t
+(** [powmod base exp m] for [exp >= 0], [m > 0]; result in [\[0, m)]. *)
+
+val lcm : t -> t -> t
+
+(** {1 Randomness and primality} *)
+
+val random_bits : Util.Rng.t -> int -> t
+(** Uniform in [\[0, 2^bits)]. *)
+
+val random_below : Util.Rng.t -> t -> t
+(** Uniform in [\[0, bound)] by rejection sampling; [bound > 0]. *)
+
+val is_probable_prime : ?rounds:int -> Util.Rng.t -> t -> bool
+(** Miller–Rabin with [rounds] random bases (default 24) after trial
+    division by small primes. *)
+
+val random_prime : Util.Rng.t -> bits:int -> t
+(** A random probable prime with exactly [bits] bits ([bits >= 2]). *)
+
+val next_prime : Util.Rng.t -> t -> t
+(** Smallest probable prime strictly greater than the argument. *)

@@ -1,0 +1,1 @@
+test/test_apriori.ml: Alcotest Apriori Apriori_plain Array Config List Printf Transcript Util

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Aspe Config Distance Lazy List Paillier Plain_knn Printf Protocol Sknn_m Smc Synthetic Transcript Util Zint

@@ -1,0 +1,1 @@
+test/test_bfv.ml: Alcotest Array Bfv Format Int64 List Mod64 Option Params Plaintext Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_bgv.ml: Alcotest Array Bgv Bytes Int64 List Mod64 Option Params Plaintext Prime64 Printf QCheck QCheck_alcotest String Util

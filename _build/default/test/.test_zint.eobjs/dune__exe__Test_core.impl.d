@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Config Cost Entities Format Int64 Leakage List Masking Plain_knn Preprocess Printf Protocol QCheck QCheck_alcotest Synthetic Transcript Uci_like Util

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Csv_io Distance Filename Preprocess Synthetic Sys Uci_like Util

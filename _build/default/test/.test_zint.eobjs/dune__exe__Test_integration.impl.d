@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bgv Config Cost Csv_io Distance Entities Filename Leakage List Params Plain_knn Preprocess Printf Protocol Sknn_m Synthetic Sys Transcript Util

@@ -1,0 +1,1 @@
+test/test_kmeans.ml: Alcotest Array Config Kmeans Kmeans_plain List Printf Synthetic Transcript Util

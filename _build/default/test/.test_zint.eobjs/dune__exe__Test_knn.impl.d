@@ -1,0 +1,1 @@
+test/test_knn.ml: Alcotest Array Distance List Plain_knn Point QCheck QCheck_alcotest Synthetic Util

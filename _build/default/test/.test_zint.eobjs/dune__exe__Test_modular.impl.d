@@ -1,0 +1,1 @@
+test/test_modular.ml: Alcotest Array Int64 List Mod64 Ntt Ntt64 Prime64 Printf QCheck QCheck_alcotest Util Zint

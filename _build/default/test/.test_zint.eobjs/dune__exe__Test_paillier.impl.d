@@ -1,0 +1,1 @@
+test/test_paillier.ml: Alcotest Lazy List Paillier QCheck QCheck_alcotest Util Zint

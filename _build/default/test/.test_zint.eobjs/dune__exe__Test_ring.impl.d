@@ -1,0 +1,1 @@
+test/test_ring.ml: Alcotest Array Crt Float Int64 List Mod64 Prime64 Printf QCheck QCheck_alcotest Rq Sampler Util Zint

@@ -1,0 +1,1 @@
+test/test_zint.ml: Alcotest Int64 List Printf QCheck QCheck_alcotest Stdlib String Util Zint

@@ -1,0 +1,254 @@
+(* Tests for the Yousef et al. baseline: the SMC toolbox and the full
+   SkNN_m protocol. *)
+
+module Z = Zint
+module Rng = Util.Rng
+
+let shared = lazy (
+  let rng = Rng.of_int 81 in
+  let sk, pk = Paillier.keygen ~modulus_bits:160 rng in
+  Smc.create ~rng ~sk ~pk ~l:12 ())
+
+let ctx () = Lazy.force shared
+
+let enc v = Smc.encrypt_value (ctx ()) v
+let dec c = Smc.decrypt_value (ctx ()) c
+
+let test_create_validation () =
+  let rng = Rng.of_int 82 in
+  let sk, pk = Paillier.keygen ~modulus_bits:32 rng in
+  Alcotest.check_raises "l too large for modulus"
+    (Invalid_argument "Smc.create: 2^(l+2) must stay below the Paillier modulus")
+    (fun () -> ignore (Smc.create ~rng ~sk ~pk ~l:31 ()))
+
+let test_sm () =
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) (Printf.sprintf "%d*%d" a b) (a * b)
+        (dec (Smc.sm (ctx ()) (enc a) (enc b))))
+    [ (0, 0); (0, 5); (1, 1); (57, 43); (4095, 4095); (1, 4000) ]
+
+let test_sm_negative_residues () =
+  (* SM must be correct on mod-n "negative" values, as produced by
+     subtraction: (-x)·(-x) = x². *)
+  let c = ctx () in
+  let diff = Paillier.sub (Smc.pk c) (enc 3) (enc 10) in
+  Alcotest.(check int) "(-7)^2" 49 (dec (Smc.sm c diff diff))
+
+let test_ssed () =
+  let c = ctx () in
+  let p = Array.map enc [| 3; 7; 2 |] and q = Array.map enc [| 1; 10; 2 |] in
+  Alcotest.(check int) "distance" 13 (dec (Smc.ssed c p q));
+  Alcotest.(check int) "zero distance" 0 (dec (Smc.ssed c p p))
+
+let test_sbd () =
+  let c = ctx () in
+  List.iter
+    (fun v ->
+      let bits = (Smc.sbd c [| enc v |]).(0) in
+      Alcotest.(check int) "bit count" 12 (Array.length bits);
+      let reassembled = ref 0 in
+      Array.iteri (fun i b -> reassembled := !reassembled + (dec b lsl i)) bits;
+      Alcotest.(check int) (Printf.sprintf "sbd %d" v) v !reassembled;
+      Alcotest.(check int) "bits_to_value" v (dec (Smc.bits_to_value c bits)))
+    [ 0; 1; 2; 1337; 4095 ]
+
+let test_sbd_batch () =
+  let c = ctx () in
+  let values = [| 5; 0; 4095; 100 |] in
+  let all = Smc.sbd c (Array.map enc values) in
+  Array.iteri
+    (fun i bits ->
+      Alcotest.(check int) "batched" values.(i) (dec (Smc.bits_to_value c bits)))
+    all
+
+let test_smin () =
+  let c = ctx () in
+  let bd v = (Smc.sbd c [| enc v |]).(0) in
+  List.iter
+    (fun (u, v) ->
+      let m = Smc.smin c (bd u) (bd v) in
+      Alcotest.(check int) (Printf.sprintf "min(%d,%d)" u v) (min u v)
+        (dec (Smc.bits_to_value c m)))
+    [ (5, 9); (9, 5); (7, 7); (0, 100); (4095, 4094); (1, 0); (2048, 2047) ]
+
+let test_smin_n () =
+  let c = ctx () in
+  let bd v = (Smc.sbd c [| enc v |]).(0) in
+  List.iter
+    (fun values ->
+      let m = Smc.smin_n c (Array.map bd (Array.of_list values)) in
+      Alcotest.(check int) "tournament min" (List.fold_left min max_int values)
+        (dec (Smc.bits_to_value c m)))
+    [ [ 42 ]; [ 42; 17 ]; [ 42; 17; 99; 3; 64; 3; 1000 ]; [ 9; 9; 9 ]; [ 0; 4095 ] ]
+
+let test_transcript_grows () =
+  let c = ctx () in
+  let tr = Smc.transcript c in
+  let before = Transcript.messages tr in
+  ignore (Smc.sm c (enc 2) (enc 3));
+  Alcotest.(check int) "SM = 2 messages" (before + 2) (Transcript.messages tr)
+
+(* Full protocol *)
+
+let deploy_small () =
+  let rng = Rng.of_int 91 in
+  let db = Synthetic.uniform rng ~n:12 ~d:2 ~max_value:15 in
+  (db, Sknn_m.deploy ~rng ~modulus_bits:128 ~db (), rng)
+
+let test_sknn_m_exact () =
+  let db, dep, rng = deploy_small () in
+  let q = Synthetic.query_like rng db in
+  List.iter
+    (fun k ->
+      let r = Sknn_m.query dep ~query:q ~k in
+      Alcotest.(check int) "count" k (Array.length r.Sknn_m.neighbours);
+      Alcotest.(check bool) (Printf.sprintf "exact k=%d" k) true
+        (Sknn_m.exact dep ~db ~query:q r))
+    [ 1; 2; 3 ]
+
+let test_sknn_m_interactions_grow_with_k () =
+  let db, dep, rng = deploy_small () in
+  let q = Synthetic.query_like rng db in
+  let r1 = Sknn_m.query dep ~query:q ~k:1 in
+  let r3 = Sknn_m.query dep ~query:q ~k:3 in
+  Alcotest.(check bool) "O(k) interaction growth" true
+    (r3.Sknn_m.interactions > r1.Sknn_m.interactions);
+  Alcotest.(check bool) "far more than one round" true (r1.Sknn_m.interactions > 10)
+
+let test_sknn_m_counter_shape () =
+  let db, dep, rng = deploy_small () in
+  let q = Synthetic.query_like rng db in
+  let r = Sknn_m.query dep ~query:q ~k:2 in
+  let n = Array.length db and l = Sknn_m.bit_length dep in
+  (* C2 decrypts at least the SBD masks: n·l per decomposition pass. *)
+  Alcotest.(check bool) "C2 decryptions >= n·l" true
+    (Util.Counters.decryptions r.Sknn_m.counters_c2 >= n * l);
+  Alcotest.(check bool) "C2 encrypts indicators" true
+    (Util.Counters.encryptions r.Sknn_m.counters_c2 >= n * r.Sknn_m.k);
+  Alcotest.(check bool) "bytes on the wire" true
+    (Transcript.bytes_between r.Sknn_m.transcript Transcript.Party_a Transcript.Party_b > 0)
+
+let test_sknn_m_ties () =
+  let rng = Rng.of_int 97 in
+  let db = [| [| 2; 2 |]; [| 0; 0 |]; [| 4; 0 |]; [| 0; 4 |]; [| 4; 4 |] |] in
+  let dep = Sknn_m.deploy ~rng ~modulus_bits:128 ~db () in
+  let q = [| 2; 2 |] in
+  List.iter
+    (fun k ->
+      let r = Sknn_m.query dep ~query:q ~k in
+      Alcotest.(check bool) (Printf.sprintf "ties k=%d" k) true
+        (Sknn_m.exact dep ~db ~query:q r))
+    [ 1; 2; 3; 5 ]
+
+let test_sknn_m_validation () =
+  let _db, dep, _ = deploy_small () in
+  Alcotest.check_raises "k out of range" (Invalid_argument "Sknn_m.query: k out of range")
+    (fun () -> ignore (Sknn_m.query dep ~query:[| 1; 2 |] ~k:0));
+  Alcotest.check_raises "dimension" (Invalid_argument "Sknn_m.query: dimension mismatch")
+    (fun () -> ignore (Sknn_m.query dep ~query:[| 1 |] ~k:1));
+  Alcotest.check_raises "negative data"
+    (Invalid_argument "Sknn_m.deploy: negative coordinate")
+    (fun () -> ignore (Sknn_m.deploy ~db:[| [| -1 |] |] ()))
+
+let test_agreement_with_main_protocol () =
+  (* Both secure protocols and the plaintext oracle agree on the same
+     instance. *)
+  let rng = Rng.of_int 101 in
+  let db = Synthetic.uniform rng ~n:10 ~d:2 ~max_value:12 in
+  let q = Synthetic.query_like rng db in
+  let k = 3 in
+  let dep_b = Sknn_m.deploy ~rng ~modulus_bits:128 ~db () in
+  let rb = Sknn_m.query dep_b ~query:q ~k in
+  let dep_o = Protocol.deploy ~rng (Config.fast ()) ~db in
+  let ro = Protocol.query dep_o ~query:q ~k in
+  let dists ps =
+    let a = Array.map (fun p -> Distance.squared_euclidean q p) ps in
+    Array.sort compare a; a
+  in
+  Alcotest.(check (array int)) "same distance multiset"
+    (dists rb.Sknn_m.neighbours) (dists ro.Protocol.neighbours);
+  Alcotest.(check (array int)) "matches plaintext oracle"
+    (Plain_knn.kth_smallest_distances ~k ~query:q db) (dists rb.Sknn_m.neighbours)
+
+(* ------------------------------------------------------------------ *)
+(* ASPE comparator and its break                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_aspe_knn_exact () =
+  let rng = Rng.of_int 301 in
+  let d = 4 in
+  let key = Aspe.keygen rng ~d in
+  Alcotest.(check int) "dimension" d (Aspe.dimension key);
+  let db = Synthetic.uniform rng ~n:60 ~d ~max_value:200 in
+  let enc = Array.map (Aspe.encrypt_point key) db in
+  for _ = 1 to 10 do
+    let q = Synthetic.query_like rng db in
+    let eq = Aspe.encrypt_query rng key q in
+    let got = Aspe.knn ~db:enc ~query:eq ~k:5 in
+    Alcotest.(check bool) "exact" true (Plain_knn.same_answer ~k:5 ~query:q db got)
+  done
+
+let test_aspe_score_order () =
+  let rng = Rng.of_int 307 in
+  let key = Aspe.keygen rng ~d:2 in
+  let near = [| 10; 10 |] and far = [| 200; 200 |] in
+  let q = Aspe.encrypt_query rng key [| 12; 11 |] in
+  Alcotest.(check bool) "closer point scores higher" true
+    (Aspe.score (Aspe.encrypt_point key near) q
+     > Aspe.score (Aspe.encrypt_point key far) q)
+
+let test_aspe_known_plaintext_attack () =
+  (* The reason the paper rejects ASPE: d+1 leaked pairs decrypt the
+     whole database. *)
+  let rng = Rng.of_int 311 in
+  let d = 5 in
+  let key = Aspe.keygen rng ~d in
+  let db = Synthetic.uniform rng ~n:40 ~d ~max_value:150 in
+  let enc = Array.map (Aspe.encrypt_point key) db in
+  let pairs = Array.init (d + 1) (fun i -> (db.(i * 3), enc.(i * 3))) in
+  let decrypt = Aspe.known_plaintext_attack ~pairs in
+  Array.iteri
+    (fun i ct ->
+      Alcotest.(check (array int)) (Printf.sprintf "point %d recovered" i) db.(i)
+        (decrypt ct))
+    enc
+
+let test_aspe_attack_needs_enough_pairs () =
+  let rng = Rng.of_int 313 in
+  let d = 3 in
+  let key = Aspe.keygen rng ~d in
+  let db = Synthetic.uniform rng ~n:5 ~d ~max_value:50 in
+  let enc = Array.map (Aspe.encrypt_point key) db in
+  let pairs = Array.init d (fun i -> (db.(i), enc.(i))) in
+  Alcotest.(check bool) "too few pairs rejected" true
+    (try
+       let (_ : Aspe.enc_point -> int array) = Aspe.known_plaintext_attack ~pairs in
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "baseline"
+    [ ("smc",
+       [ Alcotest.test_case "create validation" `Quick test_create_validation;
+         Alcotest.test_case "secure multiplication" `Quick test_sm;
+         Alcotest.test_case "SM on negatives" `Quick test_sm_negative_residues;
+         Alcotest.test_case "SSED" `Quick test_ssed;
+         Alcotest.test_case "SBD" `Quick test_sbd;
+         Alcotest.test_case "SBD batch" `Quick test_sbd_batch;
+         Alcotest.test_case "SMIN" `Quick test_smin;
+         Alcotest.test_case "SMIN_n" `Quick test_smin_n;
+         Alcotest.test_case "transcript" `Quick test_transcript_grows ]);
+      ("aspe",
+       [ Alcotest.test_case "knn exact" `Quick test_aspe_knn_exact;
+         Alcotest.test_case "score order" `Quick test_aspe_score_order;
+         Alcotest.test_case "known-plaintext break" `Quick test_aspe_known_plaintext_attack;
+         Alcotest.test_case "attack needs d+1 pairs" `Quick test_aspe_attack_needs_enough_pairs ]);
+      ("sknn_m",
+       [ Alcotest.test_case "exact" `Slow test_sknn_m_exact;
+         Alcotest.test_case "O(k) interactions" `Slow test_sknn_m_interactions_grow_with_k;
+         Alcotest.test_case "counter shape" `Slow test_sknn_m_counter_shape;
+         Alcotest.test_case "ties" `Slow test_sknn_m_ties;
+         Alcotest.test_case "validation" `Quick test_sknn_m_validation;
+         Alcotest.test_case "agreement with main protocol" `Slow
+           test_agreement_with_main_protocol ]) ]

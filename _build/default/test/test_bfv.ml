@@ -1,0 +1,153 @@
+(* Tests for the BFV scheme — the second instantiation of the paper's
+   black-box (S)HE interface (§3.5 claims the protocol works over any
+   such scheme; the last test runs the protocol's exact homomorphic
+   pipeline under BFV). *)
+
+module Rng = Util.Rng
+
+let params =
+  Params.create ~name:"bfv-test" ~n:64 ~plain_bits:30 ~prime_bits:30 ~chain_len:6 ()
+
+let tp = params.Params.t_plain
+let nslots = Params.slot_count params
+
+let keys = Bfv.keygen (Rng.of_int 77) params
+
+let random_slots seed =
+  let r = Rng.of_int seed in
+  Array.init nslots (fun _ -> Rng.int64_below r tp)
+
+let enc ?(seed = 5) slots =
+  Bfv.encrypt (Rng.of_int seed) keys.Bfv.pk (Plaintext.of_slots params slots)
+
+let dec ct = Plaintext.to_slots (Bfv.decrypt keys.Bfv.sk ct)
+
+let check_slots msg expected actual = Alcotest.(check (array int64)) msg expected actual
+let map2 f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let test_roundtrip () =
+  let slots = random_slots 1 in
+  check_slots "enc/dec" slots (dec (enc slots));
+  let edge = Array.make nslots 0L in
+  edge.(0) <- Int64.pred tp;
+  edge.(1) <- 1L;
+  check_slots "edge values" edge (dec (enc edge))
+
+let test_add_sub_neg () =
+  let a = random_slots 2 and b = random_slots 3 in
+  check_slots "add" (map2 (Mod64.add tp) a b) (dec (Bfv.add (enc a) (enc b)));
+  check_slots "sub" (map2 (Mod64.sub tp) a b) (dec (Bfv.sub (enc a) (enc b)));
+  check_slots "neg" (Array.map (Mod64.neg tp) a) (dec (Bfv.neg (enc a)))
+
+let test_plain_ops () =
+  let a = random_slots 4 and b = random_slots 5 in
+  check_slots "add_plain" (map2 (Mod64.add tp) a b)
+    (dec (Bfv.add_plain (enc a) (Plaintext.of_slots params b)));
+  check_slots "add_const" (Array.map (fun x -> Mod64.add tp x 9L) a)
+    (dec (Bfv.add_const (enc a) 9L));
+  check_slots "mul_plain" (map2 (Mod64.mul tp) a b)
+    (dec (Bfv.mul_plain (enc a) (Plaintext.of_slots params b)));
+  check_slots "mul_scalar" (Array.map (fun x -> Mod64.mul tp x 77L) a)
+    (dec (Bfv.mul_scalar (enc a) 77L))
+
+let test_mul () =
+  let a = random_slots 6 and b = random_slots 7 in
+  let no_relin = Bfv.mul (enc a) (enc b) in
+  Alcotest.(check int) "degree 2 without relin" 2 (Bfv.degree no_relin);
+  check_slots "tensor mul" (map2 (Mod64.mul tp) a b) (dec no_relin);
+  let relin = Bfv.mul ~rlk:keys.Bfv.rlk (enc a) (enc b) in
+  Alcotest.(check int) "degree 1 with relin" 1 (Bfv.degree relin);
+  check_slots "relin mul" (map2 (Mod64.mul tp) a b) (dec relin)
+
+let test_scale_invariance () =
+  (* No factor tracking: chained muls just work. *)
+  let a = random_slots 8 in
+  let ct = enc a in
+  let cube = Bfv.mul ~rlk:keys.Bfv.rlk (Bfv.mul ~rlk:keys.Bfv.rlk ct ct) ct in
+  check_slots "x^3" (Array.map (fun x -> Mod64.pow tp x 3L) a) (dec cube)
+
+let test_eval_poly () =
+  let a = random_slots 9 in
+  let ct = enc a in
+  let horner coeffs x =
+    let d = Array.length coeffs - 1 in
+    let acc = ref coeffs.(d) in
+    for i = d - 1 downto 0 do
+      acc := Mod64.add tp (Mod64.mul tp !acc x) coeffs.(i)
+    done;
+    !acc
+  in
+  List.iter
+    (fun coeffs ->
+      check_slots
+        (Printf.sprintf "deg %d" (Array.length coeffs - 1))
+        (Array.map (horner coeffs) a)
+        (dec (Bfv.eval_poly ~rlk:keys.Bfv.rlk ~coeffs ct)))
+    [ [| 7L |]; [| 3L; 5L |]; [| 1L; 2L; 3L |] ]
+
+let test_black_box_distance_pipeline () =
+  (* The paper's claim: the protocol's homomorphic pipeline — squared
+     distance then masking polynomial — runs unchanged over a different
+     (S)HE.  One slot per database point, exactly as the k-NN core. *)
+  let d = 3 in
+  let point_slots =
+    Array.init d (fun j -> Array.init nslots (fun i -> Int64.of_int ((i + (5 * j)) mod 30)))
+  in
+  let query = [| 4L; 11L; 19L |] in
+  let acc = ref None in
+  Array.iteri
+    (fun j slots ->
+      let diff = Bfv.add_const (enc slots) (Int64.neg query.(j)) in
+      let sq = Bfv.mul ~rlk:keys.Bfv.rlk diff diff in
+      acc := Some (match !acc with None -> sq | Some a -> Bfv.add a sq))
+    point_slots;
+  let dist = Option.get !acc in
+  let mask = [| 13L; 7L; 3L |] in
+  let masked = Bfv.eval_poly ~rlk:keys.Bfv.rlk ~coeffs:mask dist in
+  let expected =
+    Array.init nslots (fun i ->
+        let ed = ref 0L in
+        for j = 0 to d - 1 do
+          let diff = Mod64.sub tp point_slots.(j).(i) query.(j) in
+          ed := Mod64.add tp !ed (Mod64.mul tp diff diff)
+        done;
+        Mod64.add tp 13L
+          (Mod64.add tp (Mod64.mul tp 7L !ed) (Mod64.mul tp 3L (Mod64.mul tp !ed !ed))))
+  in
+  check_slots "masked distances under BFV" expected (dec masked)
+
+let test_ct_metadata () =
+  let ct = enc (random_slots 10) in
+  Alcotest.(check int) "fresh degree" 1 (Bfv.degree ct);
+  Alcotest.(check bool) "byte size positive" true (Bfv.byte_size ct > 0);
+  Alcotest.(check string) "pp" "<bfv ct deg=1 n=64>" (Format.asprintf "%a" Bfv.pp_ct ct)
+
+let prop_add_homomorphic =
+  QCheck.Test.make ~count:15 ~name:"bfv: Dec(Enc a + Enc b) = a + b"
+    QCheck.(pair (int_range 0 100000) (int_range 100001 200000))
+    (fun (s1, s2) ->
+      let a = random_slots s1 and b = random_slots s2 in
+      dec (Bfv.add (enc a) (enc b)) = map2 (Mod64.add tp) a b)
+
+let prop_mul_homomorphic =
+  QCheck.Test.make ~count:8 ~name:"bfv: Dec(Enc a * Enc b) = a * b"
+    QCheck.(pair (int_range 0 100000) (int_range 100001 200000))
+    (fun (s1, s2) ->
+      let a = random_slots s1 and b = random_slots s2 in
+      dec (Bfv.mul ~rlk:keys.Bfv.rlk (enc a) (enc b)) = map2 (Mod64.mul tp) a b)
+
+let () =
+  Alcotest.run "bfv"
+    [ ("core",
+       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "add/sub/neg" `Quick test_add_sub_neg;
+         Alcotest.test_case "plain ops" `Quick test_plain_ops;
+         Alcotest.test_case "mul" `Quick test_mul;
+         Alcotest.test_case "scale invariance" `Quick test_scale_invariance;
+         Alcotest.test_case "eval_poly" `Quick test_eval_poly;
+         Alcotest.test_case "metadata" `Quick test_ct_metadata ]);
+      ("black box",
+       [ Alcotest.test_case "distance + mask pipeline" `Quick
+           test_black_box_distance_pipeline ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_add_homomorphic; prop_mul_homomorphic ]) ]

@@ -1,0 +1,581 @@
+(* Tests for the BGV layer: parameters, plaintext packing, encryption
+   round-trips, homomorphic semantics (slot-wise), modulus switching,
+   relinearisation, noise accounting and ciphertext metadata. *)
+
+module Rng = Util.Rng
+
+let params = Params.toy ()
+let tp = params.Params.t_plain
+let nslots = Params.slot_count params
+
+let rng () = Rng.of_int 1234
+
+let keys = Bgv.keygen (rng ()) params
+
+let random_slots seed =
+  let r = Rng.of_int seed in
+  Array.init nslots (fun _ -> Rng.int64_below r tp)
+
+let enc ?seed slots =
+  let r = Rng.of_int (Option.value ~default:99 seed) in
+  Bgv.encrypt r keys.Bgv.pk (Plaintext.of_slots params slots)
+
+let dec ct = Plaintext.to_slots (Bgv.decrypt keys.Bgv.sk ct)
+
+let check_slots msg expected actual =
+  Alcotest.(check (array int64)) msg expected actual
+
+let map2 f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_params_presets () =
+  List.iter
+    (fun p ->
+      let open Params in
+      Alcotest.(check bool) (p.name ^ ": t prime") true (Prime64.is_prime p.t_plain);
+      Alcotest.(check int64) (p.name ^ ": t = 1 mod 2n") 1L
+        (Int64.rem p.t_plain (Int64.of_int (2 * p.n)));
+      Array.iter
+        (fun m ->
+          Alcotest.(check bool) (p.name ^ ": chain prime") true
+            (Prime64.is_prime (Int64.of_int m));
+          Alcotest.(check int) (p.name ^ ": chain = 1 mod 2n") 1 (m mod (2 * p.n)))
+        p.moduli;
+      let distinct = List.sort_uniq compare (Array.to_list p.moduli) in
+      Alcotest.(check int) (p.name ^ ": distinct") (Array.length p.moduli)
+        (List.length distinct);
+      Alcotest.(check bool) (p.name ^ ": log2 q > 0") true (Params.log2_q p > 0.0))
+    [ Params.toy (); Params.bench_small () ]
+
+let test_params_security_estimate () =
+  (* The secure preset must report >= 128 bits; toy is nowhere near. *)
+  Alcotest.(check bool) "secure >= 120" true
+    (Params.security_bits (Params.secure ()) >= 120.0);
+  Alcotest.(check bool) "toy is toy" true (Params.security_bits (Params.toy ()) < 32.0)
+
+let test_params_validation () =
+  Alcotest.check_raises "plain_bits too large"
+    (Invalid_argument "Params.create: plain_bits > 50")
+    (fun () ->
+      ignore (Params.create ~name:"x" ~n:256 ~plain_bits:60 ~prime_bits:30 ~chain_len:2 ()));
+  Alcotest.check_raises "n not a power of two"
+    (Invalid_argument "Params.create: n not a power of two")
+    (fun () ->
+      ignore (Params.create ~name:"x" ~n:100 ~plain_bits:20 ~prime_bits:30 ~chain_len:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Plaintext                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_plaintext_roundtrips () =
+  let slots = random_slots 1 in
+  check_slots "slots roundtrip" slots (Plaintext.to_slots (Plaintext.of_slots params slots));
+  let coeffs = random_slots 2 in
+  Alcotest.(check (array int64)) "coeffs roundtrip" coeffs
+    (Plaintext.to_coeffs (Plaintext.of_coeffs params coeffs))
+
+let test_plaintext_constant () =
+  let pt = Plaintext.constant params 42L in
+  Array.iter (fun v -> Alcotest.(check int64) "const slot" 42L v) (Plaintext.to_slots pt);
+  Alcotest.(check int64) "slot accessor" 42L (Plaintext.slot pt 17)
+
+let test_plaintext_negative_input () =
+  let pt = Plaintext.constant params (-1L) in
+  Alcotest.(check int64) "-1 reduced" (Int64.pred tp) (Plaintext.slot pt 0)
+
+let test_plaintext_arith () =
+  let a = random_slots 3 and b = random_slots 4 in
+  let pa = Plaintext.of_slots params a and pb = Plaintext.of_slots params b in
+  check_slots "add" (map2 (Mod64.add tp) a b) (Plaintext.to_slots (Plaintext.add pa pb));
+  check_slots "sub" (map2 (Mod64.sub tp) a b) (Plaintext.to_slots (Plaintext.sub pa pb));
+  check_slots "mul" (map2 (Mod64.mul tp) a b) (Plaintext.to_slots (Plaintext.mul pa pb));
+  check_slots "scale" (Array.map (fun x -> Mod64.mul tp x 7L) a)
+    (Plaintext.to_slots (Plaintext.scale pa 7L))
+
+(* ------------------------------------------------------------------ *)
+(* Encryption round-trips                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let slots = random_slots 5 in
+  check_slots "enc/dec" slots (dec (enc slots))
+
+let test_roundtrip_edge_values () =
+  let edge = Array.make nslots 0L in
+  edge.(0) <- Int64.pred tp;
+  edge.(1) <- 1L;
+  edge.(2) <- Int64.div tp 2L;
+  check_slots "edge values" edge (dec (enc edge))
+
+let test_fresh_metadata () =
+  let ct = enc (random_slots 6) in
+  Alcotest.(check int) "degree" 1 (Bgv.degree ct);
+  Alcotest.(check int) "level" (Params.chain_length params) (Bgv.level ct);
+  Alcotest.(check bool) "budget positive" true (Bgv.noise_budget_bits ct > 0.0);
+  Alcotest.(check bool) "byte size" true
+    (Bgv.byte_size ct = (2 * Bgv.level ct * params.Params.n * 4) + 40)
+
+let test_encryption_randomized () =
+  (* Two encryptions of the same plaintext are different ciphertexts. *)
+  let slots = random_slots 7 in
+  let c1 = enc ~seed:1 slots and c2 = enc ~seed:2 slots in
+  check_slots "both decrypt" (dec c1) (dec c2);
+  (* Sizes equal but content differs: compare via serialised noise path —
+     subtracting should give an encryption of 0 with nonzero body. *)
+  let diff = dec (Bgv.sub c1 c2) in
+  Array.iter (fun v -> Alcotest.(check int64) "same plaintext" 0L v) diff
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphic semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_add_sub_neg () =
+  let a = random_slots 8 and b = random_slots 9 in
+  let ca = enc a and cb = enc b in
+  check_slots "hom add" (map2 (Mod64.add tp) a b) (dec (Bgv.add ca cb));
+  check_slots "hom sub" (map2 (Mod64.sub tp) a b) (dec (Bgv.sub ca cb));
+  check_slots "hom neg" (Array.map (Mod64.neg tp) a) (dec (Bgv.neg ca))
+
+let test_add_plain_and_const () =
+  let a = random_slots 10 and b = random_slots 11 in
+  let ca = enc a in
+  check_slots "add_plain" (map2 (Mod64.add tp) a b)
+    (dec (Bgv.add_plain ca (Plaintext.of_slots params b)));
+  check_slots "add_const" (Array.map (fun x -> Mod64.add tp x 17L) a)
+    (dec (Bgv.add_const ca 17L))
+
+let test_mul_plain_scalar () =
+  let a = random_slots 12 and b = random_slots 13 in
+  let ca = enc a in
+  check_slots "mul_plain" (map2 (Mod64.mul tp) a b)
+    (dec (Bgv.mul_plain ca (Plaintext.of_slots params b)));
+  check_slots "mul_scalar" (Array.map (fun x -> Mod64.mul tp x 1000L) a)
+    (dec (Bgv.mul_scalar ca 1000L))
+
+let test_mul_relin () =
+  let a = random_slots 14 and b = random_slots 15 in
+  let ca = enc a and cb = enc b in
+  let prod = Bgv.mul ~rlk:keys.Bgv.rlk ca cb in
+  Alcotest.(check int) "relinearised to degree 1" 1 (Bgv.degree prod);
+  Alcotest.(check bool) "rescaled below top level" true
+    (Bgv.level prod < Params.chain_length params);
+  check_slots "hom mul" (map2 (Mod64.mul tp) a b) (dec prod)
+
+let test_mul_no_relin () =
+  let a = random_slots 16 and b = random_slots 17 in
+  let prod = Bgv.mul (enc a) (enc b) in
+  Alcotest.(check int) "degree 2" 2 (Bgv.degree prod);
+  check_slots "degree-2 decrypt" (map2 (Mod64.mul tp) a b) (dec prod)
+
+let test_mul_depth_chain () =
+  (* x, x^2, x^3, x^4 with relinearisation at every step. *)
+  let a = random_slots 18 in
+  let ct = enc a in
+  let acc = ref ct and expect = ref (Array.copy a) in
+  for _ = 2 to 4 do
+    acc := Bgv.mul ~rlk:keys.Bgv.rlk !acc (Bgv.truncate_to_level ct (Bgv.level !acc));
+    expect := map2 (Mod64.mul tp) !expect a;
+    check_slots "power" !expect (dec !acc)
+  done;
+  Alcotest.(check bool) "budget still positive" true (Bgv.noise_budget_bits !acc > 0.0)
+
+let test_mul_high_degree_no_relin () =
+  (* Degree-4 ciphertext via two tensor squarings. *)
+  let a = random_slots 19 in
+  let ct = enc a in
+  let sq = Bgv.mul ct ct in
+  let quad = Bgv.mul sq (Bgv.truncate_to_level sq (Bgv.level sq)) in
+  Alcotest.(check int) "degree 4" 4 (Bgv.degree quad);
+  let expect = Array.map (fun x -> Mod64.pow tp x 4L) a in
+  check_slots "x^4" expect (dec quad)
+
+let test_relinearize_explicit () =
+  let a = random_slots 20 in
+  let ct = enc a in
+  let sq = Bgv.mul ~rescale:false ct ct in
+  Alcotest.(check int) "tensor degree 2" 2 (Bgv.degree sq);
+  let rl = Bgv.relinearize keys.Bgv.rlk sq in
+  Alcotest.(check int) "relin degree 1" 1 (Bgv.degree rl);
+  check_slots "same plaintext" (dec sq) (dec rl);
+  Alcotest.check_raises "wrong degree" (Invalid_argument "Bgv.relinearize: degree <> 2")
+    (fun () -> ignore (Bgv.relinearize keys.Bgv.rlk ct))
+
+let test_modswitch () =
+  let a = random_slots 21 in
+  let ct = enc a in
+  let sw = Bgv.modswitch ct in
+  Alcotest.(check int) "level dropped" (Bgv.level ct - 1) (Bgv.level sw);
+  check_slots "plaintext preserved (factor tracked)" a (dec sw);
+  let sw2 = Bgv.modswitch (Bgv.modswitch sw) in
+  check_slots "three switches" a (dec sw2)
+
+let test_modswitch_reduces_noise () =
+  let a = random_slots 22 in
+  let prod = Bgv.mul ~rescale:false (enc a) (enc a) in
+  let sw = Bgv.modswitch prod in
+  Alcotest.(check bool) "noise decreased" true (Bgv.noise_bits sw < Bgv.noise_bits prod)
+
+let test_truncate () =
+  let a = random_slots 23 in
+  let ct = enc a in
+  let tr = Bgv.truncate_to_level ct (Bgv.level ct - 2) in
+  Alcotest.(check int) "level" (Bgv.level ct - 2) (Bgv.level tr);
+  check_slots "truncation exact" a (dec tr);
+  Alcotest.check_raises "cannot raise"
+    (Invalid_argument "Bgv.truncate_to_level: cannot raise level")
+    (fun () -> ignore (Bgv.truncate_to_level tr (Bgv.level ct)))
+
+let test_mixed_level_ops () =
+  (* Operations between ciphertexts at different levels must align. *)
+  let a = random_slots 24 and b = random_slots 25 in
+  let ca = enc a in
+  let cb = Bgv.modswitch (Bgv.modswitch (enc b)) in
+  check_slots "add across levels" (map2 (Mod64.add tp) a b) (dec (Bgv.add ca cb));
+  check_slots "mul across levels" (map2 (Mod64.mul tp) a b)
+    (dec (Bgv.mul ~rlk:keys.Bgv.rlk ca cb))
+
+let test_eval_poly () =
+  let a = random_slots 26 in
+  let ct = enc a in
+  let horner coeffs x =
+    let d = Array.length coeffs - 1 in
+    let acc = ref coeffs.(d) in
+    for i = d - 1 downto 0 do
+      acc := Mod64.add tp (Mod64.mul tp !acc x) coeffs.(i)
+    done;
+    !acc
+  in
+  List.iter
+    (fun coeffs ->
+      let expected = Array.map (horner coeffs) a in
+      let with_relin = Bgv.eval_poly ~rlk:keys.Bgv.rlk ~coeffs ct in
+      check_slots
+        (Printf.sprintf "poly deg %d (relin)" (Array.length coeffs - 1))
+        expected (dec with_relin);
+      let without = Bgv.eval_poly ~coeffs ct in
+      check_slots
+        (Printf.sprintf "poly deg %d (no relin)" (Array.length coeffs - 1))
+        expected (dec without))
+    [ [| 7L |]; [| 3L; 5L |]; [| 1L; 2L; 3L |]; [| 11L; 0L; 5L; 2L |] ]
+
+let test_counters () =
+  let c = Util.Counters.create () in
+  let a = random_slots 27 in
+  let r = Rng.of_int 7 in
+  let ct = Bgv.encrypt ~counters:c r keys.Bgv.pk (Plaintext.of_slots params a) in
+  let ct2 = Bgv.mul ~counters:c ~rlk:keys.Bgv.rlk ct ct in
+  ignore (Bgv.add ~counters:c ct2 ct2);
+  ignore (Bgv.decrypt ~counters:c keys.Bgv.sk ct2);
+  Alcotest.(check int) "encryptions" 1 (Util.Counters.encryptions c);
+  Alcotest.(check int) "decryptions" 1 (Util.Counters.decryptions c);
+  Alcotest.(check int) "muls" 1 (Util.Counters.hom_muls c);
+  Alcotest.(check int) "relins" 1 (Util.Counters.hom_relins c);
+  Alcotest.(check bool) "modswitches happened" true (Util.Counters.hom_modswitches c > 0);
+  Alcotest.(check int) "adds" 1 (Util.Counters.hom_adds c)
+
+let test_homomorphic_distance_pattern () =
+  (* The exact pattern the protocol uses: sum over dimensions of
+     (p_i - q_i)^2, slot-packed, then an order-preserving polynomial. *)
+  let d = 4 in
+  let point_slots = Array.init d (fun j -> Array.init nslots (fun i -> Int64.of_int ((i + (3 * j)) mod 50))) in
+  let query = Array.init d (fun j -> Int64.of_int (7 * j)) in
+  let cts = Array.map enc point_slots in
+  let acc = ref None in
+  Array.iteri
+    (fun j ct ->
+      let diff = Bgv.add_const ct (Int64.neg query.(j)) in
+      let sq = Bgv.mul diff diff in
+      acc := Some (match !acc with None -> sq | Some a -> Bgv.add a sq))
+    cts;
+  let dist_ct = Option.get !acc in
+  let expected =
+    Array.init nslots (fun i ->
+        let s = ref 0L in
+        for j = 0 to d - 1 do
+          let diff = Mod64.sub tp point_slots.(j).(i) (Mod64.reduce tp query.(j)) in
+          s := Mod64.add tp !s (Mod64.mul tp diff diff)
+        done;
+        !s)
+  in
+  check_slots "packed squared distances" expected (dec dist_ct);
+  let masked = Bgv.eval_poly ~rlk:keys.Bgv.rlk ~coeffs:[| 3L; 7L; 2L |] dist_ct in
+  let mask x = Mod64.add tp 3L (Mod64.add tp (Mod64.mul tp 7L x) (Mod64.mul tp 2L (Mod64.mul tp x x))) in
+  check_slots "masked distances" (Array.map mask expected) (dec masked)
+
+let test_rerandomize () =
+  let a = random_slots 35 in
+  let ct = enc a in
+  let r = Rng.of_int 4242 in
+  let ct' = Bgv.rerandomize r keys.Bgv.pk ct in
+  check_slots "same plaintext" a (dec ct');
+  Alcotest.(check int) "level preserved" (Bgv.level ct) (Bgv.level ct');
+  (* Fresh randomness: the difference decrypts to zero but the wire
+     bytes differ. *)
+  Alcotest.(check bool) "bytes differ" true
+    (Bgv.ct_to_bytes ct <> Bgv.ct_to_bytes ct')
+
+let test_noise_exhaustion_raises () =
+  (* Repeated unrescaled squaring doubles the noise bits each time and
+     must eventually make decryption refuse rather than return garbage. *)
+  let ct = ref (enc (random_slots 36)) in
+  let blew_up = ref false in
+  (try
+     for _ = 1 to 8 do
+       ct := Bgv.mul ~rescale:false !ct !ct;
+       ignore (Bgv.decrypt keys.Bgv.sk !ct)
+     done
+   with Failure msg ->
+     blew_up := true;
+     let contains hay needle =
+       let lh = String.length hay and ln = String.length needle in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "helpful message" true (contains msg "noise"));
+  Alcotest.(check bool) "budget exhaustion detected" true !blew_up
+
+(* ------------------------------------------------------------------ *)
+(* Galois automorphisms                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_plaintext_substitute () =
+  (* m(x) = x: substitution by k gives x^k (with the negacyclic sign). *)
+  let coeffs = Array.make nslots 0L in
+  coeffs.(1) <- 1L;
+  let pt = Plaintext.of_coeffs params coeffs in
+  let s3 = Plaintext.to_coeffs (Plaintext.substitute pt ~k:3) in
+  Alcotest.(check int64) "x -> x^3" 1L s3.(3);
+  let sneg = Plaintext.to_coeffs (Plaintext.substitute pt ~k:((2 * nslots) - 1)) in
+  (* x^(2n-1) = x^(n-1) * x^n = -x^(n-1). *)
+  Alcotest.(check int64) "x -> -x^(n-1)" (Int64.pred tp) sneg.(nslots - 1);
+  Alcotest.(check bool) "identity" true
+    (Plaintext.equal pt (Plaintext.substitute pt ~k:1));
+  Alcotest.check_raises "even k" (Invalid_argument "Plaintext.substitute: k must be odd")
+    (fun () -> ignore (Plaintext.substitute pt ~k:2))
+
+let test_plaintext_substitute_permutes_slots () =
+  let slots = random_slots 40 in
+  let pt = Plaintext.of_slots params slots in
+  let rotated = Plaintext.to_slots (Plaintext.substitute pt ~k:3) in
+  let sort a = let c = Array.copy a in Array.sort compare c; c in
+  Alcotest.(check (array int64)) "slot multiset preserved" (sort slots) (sort rotated);
+  Alcotest.(check bool) "actually moved" true (rotated <> slots)
+
+let test_apply_galois_matches_plaintext () =
+  let slots = random_slots 41 in
+  let pt = Plaintext.of_slots params slots in
+  let ct = enc slots in
+  List.iter
+    (fun elt ->
+      let gk = Bgv.galois_keygen (Rng.of_int (1000 + elt)) keys.Bgv.sk ~elt in
+      Alcotest.(check int) "elt accessor" elt (Bgv.galois_elt gk);
+      let rotated_ct = Bgv.apply_galois gk ct in
+      let expected = Plaintext.substitute pt ~k:elt in
+      check_slots (Printf.sprintf "galois %d" elt)
+        (Plaintext.to_slots expected)
+        (dec rotated_ct))
+    [ 3; 9; (2 * nslots) - 1; 5 ]
+
+let test_apply_galois_composes () =
+  (* sigma_3 . sigma_3 = sigma_9. *)
+  let slots = random_slots 42 in
+  let ct = enc slots in
+  let g3 = Bgv.galois_keygen (Rng.of_int 2001) keys.Bgv.sk ~elt:3 in
+  let g9 = Bgv.galois_keygen (Rng.of_int 2002) keys.Bgv.sk ~elt:9 in
+  let twice = Bgv.apply_galois g3 (Bgv.apply_galois g3 ct) in
+  let once = Bgv.apply_galois g9 ct in
+  check_slots "composition" (dec once) (dec twice)
+
+let test_apply_galois_after_ops () =
+  (* Rotation commutes with slot-wise arithmetic. *)
+  let a = random_slots 43 and b = random_slots 44 in
+  let g3 = Bgv.galois_keygen (Rng.of_int 2003) keys.Bgv.sk ~elt:3 in
+  let lhs = Bgv.apply_galois g3 (Bgv.add (enc a) (enc b)) in
+  let rhs = Bgv.add (Bgv.apply_galois g3 (enc a)) (Bgv.apply_galois g3 (enc b)) in
+  check_slots "commutes with add" (dec lhs) (dec rhs);
+  Alcotest.(check bool) "budget still positive" true (Bgv.noise_budget_bits lhs > 0.0)
+
+let test_apply_galois_validation () =
+  let g3 = Bgv.galois_keygen (Rng.of_int 2004) keys.Bgv.sk ~elt:3 in
+  let deg2 = Bgv.mul (enc (random_slots 45)) (enc (random_slots 46)) in
+  Alcotest.check_raises "degree 2 refused"
+    (Invalid_argument "Bgv.apply_galois: degree <> 1 (relinearise first)")
+    (fun () -> ignore (Bgv.apply_galois g3 deg2));
+  Alcotest.check_raises "even elt" (Invalid_argument "Bgv.galois_keygen: elt must be odd")
+    (fun () -> ignore (Bgv.galois_keygen (Rng.of_int 1) keys.Bgv.sk ~elt:4))
+
+let test_sum_slots () =
+  let slots = random_slots 47 in
+  let expected =
+    Array.fold_left (fun acc v -> Mod64.add tp acc v) 0L slots
+  in
+  let gks = Bgv.slot_sum_keys (Rng.of_int 3001) keys.Bgv.sk in
+  Alcotest.(check bool) "log2 n keys" true
+    (List.length gks <= 1 + int_of_float (log (float_of_int nslots) /. log 2.0));
+  let summed = Bgv.sum_slots gks (enc slots) in
+  Array.iter
+    (fun v -> Alcotest.(check int64) "every slot holds the total" expected v)
+    (dec summed);
+  Alcotest.(check bool) "budget survives" true (Bgv.noise_budget_bits summed > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ct_serialisation_roundtrip () =
+  let a = random_slots 30 in
+  let ct = enc a in
+  let bytes = Bgv.ct_to_bytes ct in
+  Alcotest.(check int) "exact byte_size" (Bgv.byte_size ct) (Bytes.length bytes);
+  let ct' = Bgv.ct_of_bytes params bytes in
+  check_slots "decrypts identically" a (dec ct');
+  Alcotest.(check int) "degree preserved" (Bgv.degree ct) (Bgv.degree ct');
+  Alcotest.(check int) "level preserved" (Bgv.level ct) (Bgv.level ct')
+
+let test_ct_serialisation_after_ops () =
+  (* Modulus-switched and tensored ciphertexts carry factor and degree
+     metadata that must survive the wire. *)
+  let a = random_slots 31 and b = random_slots 32 in
+  let ct = Bgv.modswitch (Bgv.mul (enc a) (enc b)) in
+  let ct' = Bgv.ct_of_bytes params (Bgv.ct_to_bytes ct) in
+  check_slots "product roundtrip" (map2 (Mod64.mul tp) a b) (dec ct');
+  Alcotest.(check (float 0.001)) "noise metadata" (Bgv.noise_bits ct) (Bgv.noise_bits ct')
+
+let test_ct_serialisation_rejects_garbage () =
+  let ct = enc (random_slots 33) in
+  let bytes = Bgv.ct_to_bytes ct in
+  let flipped = Bytes.copy bytes in
+  Bytes.set flipped 0 'X';
+  Alcotest.(check bool) "bad magic" true
+    (try ignore (Bgv.ct_of_bytes params flipped); false with Failure _ -> true);
+  let truncated = Bytes.sub bytes 0 (Bytes.length bytes - 7) in
+  Alcotest.(check bool) "truncated" true
+    (try ignore (Bgv.ct_of_bytes params truncated); false with Failure _ -> true);
+  let padded = Bytes.cat bytes (Bytes.make 3 '\000') in
+  Alcotest.(check bool) "trailing bytes" true
+    (try ignore (Bgv.ct_of_bytes params padded); false with Failure _ -> true);
+  let other = Params.bench_small () in
+  Alcotest.(check bool) "wrong params" true
+    (try ignore (Bgv.ct_of_bytes other bytes); false with Failure _ -> true)
+
+let test_key_serialisation () =
+  let r = Rng.of_int 5555 in
+  let pk' = Bgv.pk_of_bytes params (Bgv.pk_to_bytes keys.Bgv.pk) in
+  let sk' = Bgv.sk_of_bytes params (Bgv.sk_to_bytes keys.Bgv.sk) in
+  let a = random_slots 34 in
+  (* Encrypt under the deserialised pk, decrypt under the deserialised
+     sk: full key material survives the wire. *)
+  let ct = Bgv.encrypt r pk' (Plaintext.of_slots params a) in
+  check_slots "pk/sk wire roundtrip" a (Plaintext.to_slots (Bgv.decrypt sk' ct));
+  check_slots "old sk agrees" a (dec ct)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_slots =
+  QCheck.make ~print:(fun a -> Int64.to_string a.(0))
+    QCheck.Gen.(
+      let* seed = int_range 0 max_int in
+      return (random_slots seed))
+
+let prop_noise_bound_sound =
+  (* The tracked noise bound dominates the true noise on random
+     circuits: a random sequence of adds, muls, plain ops, switches. *)
+  QCheck.Test.make ~count:15 ~name:"tracked noise bound >= actual noise"
+    QCheck.(pair (int_range 0 100000) (int_range 1 6))
+    (fun (seed, steps) ->
+      let r = Rng.of_int seed in
+      let ct = ref (enc ~seed (random_slots seed)) in
+      let sound = ref (Bgv.actual_noise_bits keys.Bgv.sk !ct <= Bgv.noise_bits !ct) in
+      for _ = 1 to steps do
+        (match Rng.int_below r 6 with
+         | 0 -> ct := Bgv.add !ct !ct
+         | 1 -> ct := Bgv.mul_scalar !ct (Int64.of_int (Rng.int_range r 1 1000))
+         | 2 -> ct := Bgv.add_const !ct 12345L
+         | 3 ->
+           if Bgv.noise_budget_bits !ct > 60.0 && Bgv.degree !ct <= 2 then
+             ct := Bgv.mul ~rlk:keys.Bgv.rlk !ct (Bgv.truncate_to_level (enc (random_slots (seed + 1))) (Bgv.level !ct))
+         | 4 -> if Bgv.level !ct > 2 then ct := Bgv.modswitch !ct
+         | _ -> ct := Bgv.sub !ct (Bgv.truncate_to_level (enc (random_slots (seed + 2))) (Bgv.level !ct)));
+        sound := !sound && Bgv.actual_noise_bits keys.Bgv.sk !ct <= Bgv.noise_bits !ct
+      done;
+      !sound)
+
+let prop_add_homomorphic =
+  QCheck.Test.make ~count:20 ~name:"Dec(Enc a + Enc b) = a + b"
+    (QCheck.pair arb_slots arb_slots)
+    (fun (a, b) -> dec (Bgv.add (enc a) (enc b)) = map2 (Mod64.add tp) a b)
+
+let prop_mul_homomorphic =
+  QCheck.Test.make ~count:10 ~name:"Dec(Enc a * Enc b) = a * b"
+    (QCheck.pair arb_slots arb_slots)
+    (fun (a, b) -> dec (Bgv.mul ~rlk:keys.Bgv.rlk (enc a) (enc b)) = map2 (Mod64.mul tp) a b)
+
+let prop_distributivity =
+  QCheck.Test.make ~count:8 ~name:"(a+b)*c = a*c + b*c homomorphically"
+    (QCheck.triple arb_slots arb_slots arb_slots)
+    (fun (a, b, c) ->
+      let ca = enc a and cb = enc b and cc = enc c in
+      let lhs = Bgv.mul ~rlk:keys.Bgv.rlk (Bgv.add ca cb) cc in
+      let rhs = Bgv.add (Bgv.mul ~rlk:keys.Bgv.rlk ca cc) (Bgv.mul ~rlk:keys.Bgv.rlk cb cc) in
+      dec lhs = dec rhs)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_homomorphic; prop_mul_homomorphic; prop_distributivity;
+      prop_noise_bound_sound ]
+
+let () =
+  Alcotest.run "bgv"
+    [ ("params",
+       [ Alcotest.test_case "presets valid" `Quick test_params_presets;
+         Alcotest.test_case "security estimate" `Slow test_params_security_estimate;
+         Alcotest.test_case "validation" `Quick test_params_validation ]);
+      ("plaintext",
+       [ Alcotest.test_case "roundtrips" `Quick test_plaintext_roundtrips;
+         Alcotest.test_case "constant" `Quick test_plaintext_constant;
+         Alcotest.test_case "negative input" `Quick test_plaintext_negative_input;
+         Alcotest.test_case "slot arithmetic" `Quick test_plaintext_arith ]);
+      ("encryption",
+       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "edge values" `Quick test_roundtrip_edge_values;
+         Alcotest.test_case "fresh metadata" `Quick test_fresh_metadata;
+         Alcotest.test_case "randomised" `Quick test_encryption_randomized;
+         Alcotest.test_case "rerandomize" `Quick test_rerandomize;
+         Alcotest.test_case "noise exhaustion raises" `Quick test_noise_exhaustion_raises ]);
+      ("evaluation",
+       [ Alcotest.test_case "add/sub/neg" `Quick test_add_sub_neg;
+         Alcotest.test_case "add_plain/const" `Quick test_add_plain_and_const;
+         Alcotest.test_case "mul_plain/scalar" `Quick test_mul_plain_scalar;
+         Alcotest.test_case "mul with relin" `Quick test_mul_relin;
+         Alcotest.test_case "mul without relin" `Quick test_mul_no_relin;
+         Alcotest.test_case "depth chain" `Quick test_mul_depth_chain;
+         Alcotest.test_case "degree 4 no relin" `Quick test_mul_high_degree_no_relin;
+         Alcotest.test_case "explicit relinearize" `Quick test_relinearize_explicit;
+         Alcotest.test_case "eval_poly" `Quick test_eval_poly ]);
+      ("levels",
+       [ Alcotest.test_case "modswitch" `Quick test_modswitch;
+         Alcotest.test_case "modswitch reduces noise" `Quick test_modswitch_reduces_noise;
+         Alcotest.test_case "truncate" `Quick test_truncate;
+         Alcotest.test_case "mixed levels" `Quick test_mixed_level_ops ]);
+      ("galois",
+       [ Alcotest.test_case "plaintext substitute" `Quick test_plaintext_substitute;
+         Alcotest.test_case "slot permutation" `Quick test_plaintext_substitute_permutes_slots;
+         Alcotest.test_case "matches plaintext" `Quick test_apply_galois_matches_plaintext;
+         Alcotest.test_case "composes" `Quick test_apply_galois_composes;
+         Alcotest.test_case "commutes with add" `Quick test_apply_galois_after_ops;
+         Alcotest.test_case "validation" `Quick test_apply_galois_validation;
+         Alcotest.test_case "rotate-and-sum" `Quick test_sum_slots ]);
+      ("serialisation",
+       [ Alcotest.test_case "ct roundtrip" `Quick test_ct_serialisation_roundtrip;
+         Alcotest.test_case "ct after ops" `Quick test_ct_serialisation_after_ops;
+         Alcotest.test_case "rejects garbage" `Quick test_ct_serialisation_rejects_garbage;
+         Alcotest.test_case "keys" `Quick test_key_serialisation ]);
+      ("protocol pattern",
+       [ Alcotest.test_case "packed distance + mask" `Quick test_homomorphic_distance_pattern;
+         Alcotest.test_case "counters" `Quick test_counters ]);
+      ("properties", qsuite) ]

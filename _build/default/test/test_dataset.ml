@@ -1,0 +1,152 @@
+(* Tests for CSV I/O, synthetic generators, UCI-shaped datasets and
+   preprocessing. *)
+
+module Rng = Util.Rng
+
+let test_csv_roundtrip_string () =
+  let m = [| [| 1; 2; 3 |]; [| 4; 5; 6 |]; [| -7; 0; 9 |] |] in
+  let s = Csv_io.to_string m in
+  Alcotest.(check string) "render" "1,2,3\n4,5,6\n-7,0,9\n" s;
+  Alcotest.(check bool) "roundtrip" true (Csv_io.of_string s = m)
+
+let test_csv_header () =
+  let m = [| [| 1; 2 |] |] in
+  let s = Csv_io.to_string ~header:[ "a"; "b" ] m in
+  Alcotest.(check string) "with header" "a,b\n1,2\n" s;
+  Alcotest.(check bool) "skip header" true (Csv_io.of_string ~has_header:true s = m)
+
+let test_csv_file_roundtrip () =
+  let m = [| [| 10; 20 |]; [| 30; 40 |] |] in
+  let path = Filename.temp_file "sknn" ".csv" in
+  Csv_io.write path m;
+  let back = Csv_io.read path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (back = m)
+
+let test_csv_errors () =
+  Alcotest.(check bool) "bad int raises" true
+    (try ignore (Csv_io.of_string "1,x\n") ; false with Failure _ -> true);
+  Alcotest.(check bool) "ragged raises" true
+    (try ignore (Csv_io.of_string "1,2\n3\n") ; false with Failure _ -> true);
+  Alcotest.(check int) "empty ok" 0 (Array.length (Csv_io.of_string ""))
+
+let test_uniform_shape () =
+  let rng = Rng.of_int 5 in
+  let db = Synthetic.uniform rng ~n:100 ~d:7 ~max_value:42 in
+  Alcotest.(check int) "rows" 100 (Array.length db);
+  Array.iter
+    (fun row ->
+      Alcotest.(check int) "cols" 7 (Array.length row);
+      Array.iter
+        (fun v -> Alcotest.(check bool) "range" true (v >= 0 && v <= 42))
+        row)
+    db
+
+let test_uniform_deterministic () =
+  let a = Synthetic.uniform (Rng.of_int 9) ~n:10 ~d:3 ~max_value:100 in
+  let b = Synthetic.uniform (Rng.of_int 9) ~n:10 ~d:3 ~max_value:100 in
+  Alcotest.(check bool) "same seed same data" true (a = b)
+
+let test_clustered () =
+  let rng = Rng.of_int 11 in
+  let db = Synthetic.clustered rng ~n:200 ~d:2 ~clusters:4 ~spread:2.0 ~max_value:1000 in
+  Alcotest.(check int) "rows" 200 (Array.length db);
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Alcotest.(check bool) "clamped" true (v >= 0 && v <= 1000)) row)
+    db;
+  (* Points assigned round-robin to 4 clusters with spread 2: points 0
+     and 4 share a centre and should be close; 0 and 1 usually are not. *)
+  let d04 = Distance.squared_euclidean db.(0) db.(4) in
+  Alcotest.(check bool) "same-cluster proximity" true (d04 < 400)
+
+let test_query_like () =
+  let rng = Rng.of_int 13 in
+  let db = Synthetic.uniform rng ~n:50 ~d:4 ~max_value:90 in
+  for _ = 1 to 20 do
+    let q = Synthetic.query_like rng db in
+    Alcotest.(check int) "dim" 4 (Array.length q);
+    Array.iteri
+      (fun j v ->
+        let lo, hi = (Preprocess.column_ranges db).(j) in
+        Alcotest.(check bool) "within column range" true (v >= lo && v <= hi))
+      q
+  done
+
+let test_uci_shapes () =
+  let rng = Rng.of_int 17 in
+  let cc = Uci_like.cervical_cancer rng in
+  Alcotest.(check int) "cancer rows" Uci_like.cervical_cancer_spec.Uci_like.n (Array.length cc);
+  Alcotest.(check int) "cancer cols" Uci_like.cervical_cancer_spec.Uci_like.d
+    (Array.length cc.(0));
+  let credit = Uci_like.credit_default ~n:500 rng in
+  Alcotest.(check int) "credit rows (scaled)" 500 (Array.length credit);
+  Alcotest.(check int) "credit cols" Uci_like.credit_default_spec.Uci_like.d
+    (Array.length credit.(0));
+  Array.iter
+    (fun row -> Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0)) row)
+    cc;
+  Array.iter
+    (fun row -> Array.iter (fun v -> Alcotest.(check bool) "non-negative" true (v >= 0)) row)
+    credit
+
+let test_uci_age_column () =
+  let rng = Rng.of_int 19 in
+  let cc = Uci_like.cervical_cancer rng in
+  Array.iter
+    (fun row -> Alcotest.(check bool) "age plausible" true (row.(0) >= 13 && row.(0) <= 84))
+    cc
+
+let test_shift_non_negative () =
+  let db = [| [| -5; 10 |]; [| 0; -2 |]; [| 3; 4 |] |] in
+  let s = Preprocess.shift_non_negative db in
+  Alcotest.(check bool) "all non-negative" true
+    (Array.for_all (fun r -> Array.for_all (fun v -> v >= 0) r) s);
+  (* Shifting preserves within-column differences exactly. *)
+  Alcotest.(check int) "difference preserved" 3 (s.(2).(0) - s.(1).(0))
+
+let test_scale_to_max () =
+  let db = [| [| 0; 1000 |]; [| 50; 3000 |]; [| 100; 2000 |] |] in
+  let s = Preprocess.scale_to_max ~max_value:255 db in
+  Alcotest.(check int) "min -> 0" 0 s.(0).(0);
+  Alcotest.(check int) "max -> 255" 255 s.(2).(0);
+  Alcotest.(check int) "mid -> ~128" 128 s.(1).(0);
+  Alcotest.(check int) "col2 max" 255 s.(1).(1);
+  let const = [| [| 7 |]; [| 7 |] |] in
+  Alcotest.(check int) "constant column -> 0" 0 (Preprocess.scale_to_max ~max_value:10 const).(0).(0)
+
+let test_scale_preserves_order () =
+  let rng = Rng.of_int 23 in
+  let db = Synthetic.uniform rng ~n:40 ~d:1 ~max_value:100000 in
+  let s = Preprocess.scale_to_max ~max_value:255 db in
+  for i = 0 to 38 do
+    for j = i + 1 to 39 do
+      if db.(i).(0) < db.(j).(0) then
+        Alcotest.(check bool) "order kept (weakly)" true (s.(i).(0) <= s.(j).(0))
+    done
+  done
+
+let test_required_distance_bits () =
+  Alcotest.(check int) "2d bytes" 17 (Preprocess.required_distance_bits ~d:2 ~max_value:255);
+  Alcotest.(check int) "degenerate" 0 (Preprocess.required_distance_bits ~d:1 ~max_value:0)
+
+let () =
+  Alcotest.run "dataset"
+    [ ("csv",
+       [ Alcotest.test_case "string roundtrip" `Quick test_csv_roundtrip_string;
+         Alcotest.test_case "header" `Quick test_csv_header;
+         Alcotest.test_case "file roundtrip" `Quick test_csv_file_roundtrip;
+         Alcotest.test_case "errors" `Quick test_csv_errors ]);
+      ("synthetic",
+       [ Alcotest.test_case "uniform shape" `Quick test_uniform_shape;
+         Alcotest.test_case "deterministic" `Quick test_uniform_deterministic;
+         Alcotest.test_case "clustered" `Quick test_clustered;
+         Alcotest.test_case "query_like" `Quick test_query_like ]);
+      ("uci-like",
+       [ Alcotest.test_case "shapes" `Quick test_uci_shapes;
+         Alcotest.test_case "age column" `Quick test_uci_age_column ]);
+      ("preprocess",
+       [ Alcotest.test_case "shift" `Quick test_shift_non_negative;
+         Alcotest.test_case "scale" `Quick test_scale_to_max;
+         Alcotest.test_case "scale order" `Quick test_scale_preserves_order;
+         Alcotest.test_case "distance bits" `Quick test_required_distance_bits ]) ]

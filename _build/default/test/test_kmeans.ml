@@ -1,0 +1,145 @@
+(* Tests for the k-means extension (the paper's §7 future work):
+   plaintext Lloyd reference and the secure two-party version. *)
+
+module Rng = Util.Rng
+
+let clustered ?(n = 90) ?(d = 2) ?(clusters = 3) seed =
+  Synthetic.clustered (Rng.of_int seed) ~n ~d ~clusters ~spread:6.0 ~max_value:250
+
+(* ------------------------------------------------------------------ *)
+(* Plaintext Lloyd                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_assign_basic () =
+  let centroids = [| [| 0; 0 |]; [| 100; 100 |] |] in
+  let db = [| [| 1; 2 |]; [| 99; 98 |]; [| 49; 49 |]; [| 51; 51 |] |] in
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 0; 1 |]
+    (Kmeans_plain.assign ~centroids db)
+
+let test_assign_tie_lowest_index () =
+  let centroids = [| [| 0; 0 |]; [| 10; 0 |] |] in
+  Alcotest.(check (array int)) "tie to lowest" [| 0 |]
+    (Kmeans_plain.assign ~centroids [| [| 5; 0 |] |])
+
+let test_update_means () =
+  let db = [| [| 0; 0 |]; [| 2; 4 |]; [| 100; 100 |] |] in
+  let upd = Kmeans_plain.update ~k:3 ~d:2 ~assignments:[| 0; 0; 1 |] db in
+  Alcotest.(check (option (array int))) "cluster 0 mean" (Some [| 1; 2 |]) upd.(0);
+  Alcotest.(check (option (array int))) "cluster 1 mean" (Some [| 100; 100 |]) upd.(1);
+  Alcotest.(check (option (array int))) "empty cluster" None upd.(2)
+
+let test_update_rounding () =
+  (* Mean of 0 and 3 is 1.5, rounds half-up to 2. *)
+  let upd = Kmeans_plain.update ~k:1 ~d:1 ~assignments:[| 0; 0 |] [| [| 0 |]; [| 3 |] |] in
+  Alcotest.(check (option (array int))) "round half up" (Some [| 2 |]) upd.(0)
+
+let test_lloyd_separated_clusters () =
+  let db = clustered 5 in
+  let init = [| db.(0); db.(1); db.(2) |] in
+  let r = Kmeans_plain.lloyd ~init db in
+  Alcotest.(check bool) "converged" true r.Kmeans_plain.converged;
+  Alcotest.(check int) "all points assigned" 90
+    (Array.fold_left ( + ) 0 r.Kmeans_plain.sizes);
+  (* The objective never beats assigning every point to its own
+     generator centre, but must be far below the one-cluster answer. *)
+  let one = Kmeans_plain.lloyd ~init:[| db.(0) |] db in
+  Alcotest.(check bool) "3 clusters beat 1" true
+    (r.Kmeans_plain.objective < one.Kmeans_plain.objective)
+
+let test_lloyd_objective_decreases () =
+  let db = clustered 7 in
+  let init = [| db.(3); db.(4); db.(5) |] in
+  let start_assign = Kmeans_plain.assign ~centroids:init db in
+  let start_obj = Kmeans_plain.objective ~centroids:init ~assignments:start_assign db in
+  let r = Kmeans_plain.lloyd ~init db in
+  Alcotest.(check bool) "objective improved or equal" true
+    (r.Kmeans_plain.objective <= start_obj)
+
+let test_lloyd_k1_is_mean () =
+  let db = [| [| 0; 0 |]; [| 10; 20 |]; [| 20; 10 |] |] in
+  let r = Kmeans_plain.lloyd ~init:[| [| 5; 5 |] |] db in
+  Alcotest.(check (array int)) "global mean" [| 10; 10 |] r.Kmeans_plain.centroids.(0)
+
+let test_lloyd_validation () =
+  Alcotest.check_raises "empty db" (Invalid_argument "Kmeans_plain.lloyd: empty input")
+    (fun () -> ignore (Kmeans_plain.lloyd ~init:[| [| 1 |] |] [||]));
+  Alcotest.check_raises "k=0" (Invalid_argument "Kmeans_plain.lloyd: k = 0")
+    (fun () -> ignore (Kmeans_plain.lloyd ~init:[||] [| [| 1 |] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Secure k-means                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_secure_matches_plaintext () =
+  List.iter
+    (fun seed ->
+      let db = clustered seed in
+      let init = [| db.(0); db.(30); db.(60) |] in
+      let dep = Kmeans.deploy ~rng:(Rng.of_int seed) (Config.fast ()) ~db in
+      let r = Kmeans.run ~rng:(Rng.of_int (seed * 7)) dep ~init in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d matches Lloyd" seed)
+        true
+        (Kmeans.matches_plaintext ~db ~init r))
+    [ 11; 13; 17 ]
+
+let test_secure_sizes_and_convergence () =
+  let db = clustered 19 in
+  let init = [| db.(0); db.(30); db.(60) |] in
+  let dep = Kmeans.deploy ~rng:(Rng.of_int 19) (Config.fast ()) ~db in
+  let r = Kmeans.run ~rng:(Rng.of_int 20) dep ~init in
+  Alcotest.(check bool) "converged" true r.Kmeans.converged;
+  Alcotest.(check int) "sizes partition n" 90 (Array.fold_left ( + ) 0 r.Kmeans.sizes);
+  let plain = Kmeans_plain.lloyd ~init db in
+  Alcotest.(check (array int)) "same sizes"
+    (let s = Array.copy plain.Kmeans_plain.sizes in Array.sort compare s; s)
+    (let s = Array.copy r.Kmeans.sizes in Array.sort compare s; s)
+
+let test_secure_k1 () =
+  let db = clustered ~clusters:1 23 in
+  let dep = Kmeans.deploy ~rng:(Rng.of_int 23) (Config.fast ()) ~db in
+  let r = Kmeans.run dep ~init:[| db.(0) |] in
+  let plain = Kmeans_plain.lloyd ~init:[| db.(0) |] db in
+  Alcotest.(check bool) "k=1 equals global mean" true
+    (plain.Kmeans_plain.centroids = r.Kmeans.centroids)
+
+let test_secure_max_iters_bound () =
+  let db = clustered 29 in
+  let dep = Kmeans.deploy ~rng:(Rng.of_int 29) (Config.fast ()) ~db in
+  let r = Kmeans.run ~max_iters:1 dep ~init:[| db.(0); db.(1); db.(2) |] in
+  Alcotest.(check int) "stopped at bound" 1 r.Kmeans.iterations
+
+let test_secure_layout_restriction () =
+  let db = clustered 31 in
+  Alcotest.check_raises "per-coordinate refused"
+    (Invalid_argument "Kmeans.deploy: requires the Dot_product layout")
+    (fun () -> ignore (Kmeans.deploy (Config.standard ()) ~db))
+
+let test_secure_communication_pattern () =
+  let db = clustered ~n:30 37 in
+  let dep = Kmeans.deploy ~rng:(Rng.of_int 37) (Config.fast ()) ~db in
+  let r = Kmeans.run ~rng:(Rng.of_int 38) dep ~init:[| db.(0); db.(15) |] in
+  (* 4 messages per iteration: centroids, rows, indicators, aggregates. *)
+  Alcotest.(check int) "messages per iteration" (4 * r.Kmeans.iterations)
+    (Transcript.messages r.Kmeans.transcript);
+  Alcotest.(check bool) "B decrypts n*k per iteration" true
+    (Util.Counters.decryptions r.Kmeans.counters_b >= 30 * 2 * r.Kmeans.iterations)
+
+let () =
+  Alcotest.run "kmeans"
+    [ ("plain lloyd",
+       [ Alcotest.test_case "assign" `Quick test_assign_basic;
+         Alcotest.test_case "assign ties" `Quick test_assign_tie_lowest_index;
+         Alcotest.test_case "update means" `Quick test_update_means;
+         Alcotest.test_case "update rounding" `Quick test_update_rounding;
+         Alcotest.test_case "separated clusters" `Quick test_lloyd_separated_clusters;
+         Alcotest.test_case "objective decreases" `Quick test_lloyd_objective_decreases;
+         Alcotest.test_case "k=1 is mean" `Quick test_lloyd_k1_is_mean;
+         Alcotest.test_case "validation" `Quick test_lloyd_validation ]);
+      ("secure",
+       [ Alcotest.test_case "matches plaintext" `Slow test_secure_matches_plaintext;
+         Alcotest.test_case "sizes + convergence" `Quick test_secure_sizes_and_convergence;
+         Alcotest.test_case "k = 1" `Quick test_secure_k1;
+         Alcotest.test_case "max_iters" `Quick test_secure_max_iters_bound;
+         Alcotest.test_case "layout restriction" `Quick test_secure_layout_restriction;
+         Alcotest.test_case "communication pattern" `Quick test_secure_communication_pattern ]) ]

@@ -1,0 +1,118 @@
+(* Tests for the plaintext k-NN reference layer. *)
+
+module Rng = Util.Rng
+
+let test_squared_euclidean () =
+  Alcotest.(check int) "2d" 25 (Distance.squared_euclidean [| 0; 0 |] [| 3; 4 |]);
+  Alcotest.(check int) "same point" 0 (Distance.squared_euclidean [| 7; 7 |] [| 7; 7 |]);
+  Alcotest.(check int) "1d" 81 (Distance.squared_euclidean [| 10 |] [| 19 |]);
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Distance.squared_euclidean: dimension mismatch")
+    (fun () -> ignore (Distance.squared_euclidean [| 1 |] [| 1; 2 |]))
+
+let test_other_metrics () =
+  Alcotest.(check int) "manhattan" 7 (Distance.manhattan [| 0; 0 |] [| 3; 4 |]);
+  Alcotest.(check int) "chebyshev" 4 (Distance.chebyshev [| 0; 0 |] [| 3; 4 |]);
+  Alcotest.(check int) "max bound" (2 * 255 * 255)
+    (Distance.max_squared_euclidean ~d:2 ~max_value:255)
+
+let test_point () =
+  Alcotest.(check int) "dim" 3 (Point.dim [| 1; 2; 3 |]);
+  Point.validate [| 0; 5; 100 |];
+  Alcotest.(check bool) "equal" true (Point.equal [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.check_raises "negative coordinate"
+    (Invalid_argument "Point.validate: coordinate -1 out of [0, 100]")
+    (fun () -> Point.validate ~max_value:100 [| 3; -1 |])
+
+let db_small =
+  [| [| 0; 0 |]; [| 1; 1 |]; [| 5; 5 |]; [| 2; 2 |]; [| 10; 10 |]; [| 1; 0 |] |]
+
+let test_knn_basic () =
+  let r = Plain_knn.knn ~k:3 ~query:[| 0; 0 |] db_small in
+  Alcotest.(check (array int)) "3nn of origin" [| 0; 5; 1 |] r;
+  let r1 = Plain_knn.knn ~k:1 ~query:[| 9; 9 |] db_small in
+  Alcotest.(check (array int)) "1nn" [| 4 |] r1;
+  let all = Plain_knn.knn ~k:6 ~query:[| 0; 0 |] db_small in
+  Alcotest.(check int) "k=n returns all" 6 (Array.length all)
+
+let test_knn_bounds () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Plain_knn: k=0 out of [1, 6]")
+    (fun () -> ignore (Plain_knn.knn ~k:0 ~query:[| 0; 0 |] db_small));
+  Alcotest.check_raises "k>n" (Invalid_argument "Plain_knn: k=7 out of [1, 6]")
+    (fun () -> ignore (Plain_knn.knn ~k:7 ~query:[| 0; 0 |] db_small))
+
+let test_knn_ties () =
+  (* Four corners equidistant from the centre; any 2 of them is a valid
+     2-NN answer by the distance-multiset criterion. *)
+  let db = [| [| 0; 0 |]; [| 0; 2 |]; [| 2; 0 |]; [| 2; 2 |]; [| 9; 9 |] |] in
+  let q = [| 1; 1 |] in
+  let r = Plain_knn.knn ~k:2 ~query:q db in
+  Alcotest.(check bool) "sorted variant valid" true (Plain_knn.same_answer ~k:2 ~query:q db r);
+  let rs = Plain_knn.knn_streaming ~k:2 ~query:q db in
+  Alcotest.(check bool) "streaming variant valid" true
+    (Plain_knn.same_answer ~k:2 ~query:q db rs)
+
+let test_streaming_agrees_with_sorted () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 50 do
+    let n = Rng.int_range rng 1 60 in
+    let d = Rng.int_range rng 1 6 in
+    let db = Synthetic.uniform rng ~n ~d ~max_value:40 in
+    let q = Synthetic.query_like rng db in
+    let k = Rng.int_range rng 1 n in
+    let a = Plain_knn.knn ~k ~query:q db in
+    let b = Plain_knn.knn_streaming ~k ~query:q db in
+    (* Distance multisets must agree even when tie-broken differently. *)
+    let dist i = Distance.squared_euclidean q db.(i) in
+    let da = Array.map dist a and db' = Array.map dist b in
+    Array.sort compare da;
+    Array.sort compare db';
+    Alcotest.(check (array int)) "same distance multiset" da db';
+    Alcotest.(check bool) "sorted valid" true (Plain_knn.same_answer ~k ~query:q db a);
+    Alcotest.(check bool) "streaming valid" true (Plain_knn.same_answer ~k ~query:q db b)
+  done
+
+let test_kth_smallest () =
+  Alcotest.(check (array int)) "k smallest" [| 0; 1 |]
+    (Plain_knn.kth_smallest_distances ~k:2 ~query:[| 0; 0 |] db_small)
+
+let test_same_answer_negative () =
+  let q = [| 0; 0 |] in
+  Alcotest.(check bool) "wrong set rejected" false
+    (Plain_knn.same_answer ~k:2 ~query:q db_small [| 2; 4 |]);
+  Alcotest.(check bool) "duplicate indices rejected" false
+    (Plain_knn.same_answer ~k:2 ~query:q db_small [| 0; 0 |]);
+  Alcotest.(check bool) "out of range rejected" false
+    (Plain_knn.same_answer ~k:2 ~query:q db_small [| 0; 17 |])
+
+let test_manhattan_knn () =
+  let db = [| [| 0; 0 |]; [| 3; 3 |]; [| 5; 0 |] |] in
+  let r = Plain_knn.knn ~metric:Distance.manhattan ~k:1 ~query:[| 4; 1 |] db in
+  (* L1: distances 5, 3, 2 -> index 2 wins (L2 would pick index 1). *)
+  Alcotest.(check (array int)) "manhattan nn" [| 2 |] r
+
+let prop_knn_returns_minimal =
+  QCheck.Test.make ~count:100 ~name:"knn indices achieve the k smallest distances"
+    QCheck.(triple (int_range 1 40) (int_range 1 5) (int_range 0 1000))
+    (fun (n, d, seed) ->
+      let rng = Rng.of_int seed in
+      let db = Synthetic.uniform rng ~n ~d ~max_value:30 in
+      let q = Synthetic.query_like rng db in
+      let k = 1 + (seed mod n) in
+      Plain_knn.same_answer ~k ~query:q db (Plain_knn.knn ~k ~query:q db))
+
+let () =
+  Alcotest.run "knn"
+    [ ("distance",
+       [ Alcotest.test_case "squared euclidean" `Quick test_squared_euclidean;
+         Alcotest.test_case "other metrics" `Quick test_other_metrics;
+         Alcotest.test_case "point" `Quick test_point ]);
+      ("plain knn",
+       [ Alcotest.test_case "basic" `Quick test_knn_basic;
+         Alcotest.test_case "bounds" `Quick test_knn_bounds;
+         Alcotest.test_case "ties" `Quick test_knn_ties;
+         Alcotest.test_case "streaming = sorted" `Quick test_streaming_agrees_with_sorted;
+         Alcotest.test_case "kth smallest" `Quick test_kth_smallest;
+         Alcotest.test_case "same_answer negatives" `Quick test_same_answer_negative;
+         Alcotest.test_case "manhattan" `Quick test_manhattan_knn ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_knn_returns_minimal ]) ]

@@ -1,0 +1,79 @@
+(* Tests for the communication transcript. *)
+
+open Transcript
+
+let test_basic_accounting () =
+  let t = create () in
+  send t ~sender:Party_a ~receiver:Party_b ~label:"distances" ~bytes:1000;
+  send t ~sender:Party_b ~receiver:Party_a ~label:"indicators" ~bytes:2000;
+  send t ~sender:Party_a ~receiver:Client ~label:"result" ~bytes:300;
+  Alcotest.(check int) "messages" 3 (messages t);
+  Alcotest.(check int) "total bytes" 3300 (total_bytes t);
+  Alcotest.(check int) "A<->B bytes" 3000 (bytes_between t Party_a Party_b);
+  Alcotest.(check int) "A<->client bytes" 300 (bytes_between t Party_a Client);
+  Alcotest.(check int) "B<->client bytes" 0 (bytes_between t Party_b Client)
+
+let test_entries_order () =
+  let t = create () in
+  send t ~sender:Data_owner ~receiver:Party_a ~label:"db" ~bytes:10;
+  send t ~sender:Data_owner ~receiver:Party_b ~label:"keys" ~bytes:20;
+  let es = entries t in
+  Alcotest.(check int) "count" 2 (List.length es);
+  (match es with
+   | [ e1; e2 ] ->
+     Alcotest.(check int) "seq 0" 0 e1.seq;
+     Alcotest.(check int) "seq 1" 1 e2.seq;
+     Alcotest.(check string) "label" "db" e1.label;
+     Alcotest.(check string) "receiver" "party-B" (party_name e2.receiver)
+   | _ -> Alcotest.fail "expected two entries")
+
+let test_rounds_single () =
+  let t = create () in
+  send t ~sender:Party_a ~receiver:Party_b ~label:"x" ~bytes:1;
+  send t ~sender:Party_b ~receiver:Party_a ~label:"y" ~bytes:1;
+  Alcotest.(check int) "one round" 1 (rounds t Party_a Party_b)
+
+let test_rounds_batched_run () =
+  (* Several messages in the same direction are still part of one run;
+     our protocol's k indicator vectors are one reply, not k rounds. *)
+  let t = create () in
+  send t ~sender:Party_a ~receiver:Party_b ~label:"dist" ~bytes:1;
+  for _ = 1 to 5 do
+    send t ~sender:Party_b ~receiver:Party_a ~label:"B^j" ~bytes:1
+  done;
+  Alcotest.(check int) "still one round" 1 (rounds t Party_a Party_b)
+
+let test_rounds_multi () =
+  let t = create () in
+  for _ = 1 to 3 do
+    send t ~sender:Party_a ~receiver:Party_b ~label:"ping" ~bytes:1;
+    send t ~sender:Party_b ~receiver:Party_a ~label:"pong" ~bytes:1
+  done;
+  Alcotest.(check int) "three rounds" 3 (rounds t Party_a Party_b);
+  (* Unrelated links do not interfere. *)
+  send t ~sender:Client ~receiver:Party_a ~label:"q" ~bytes:1;
+  Alcotest.(check int) "unchanged" 3 (rounds t Party_a Party_b)
+
+let test_rounds_empty_and_oneway () =
+  let t = create () in
+  Alcotest.(check int) "no traffic" 0 (rounds t Party_a Party_b);
+  send t ~sender:Party_a ~receiver:Party_b ~label:"only" ~bytes:1;
+  Alcotest.(check int) "unanswered counts as a round" 1 (rounds t Party_a Party_b)
+
+let test_validation () =
+  let t = create () in
+  Alcotest.check_raises "self send" (Invalid_argument "Transcript.send: sender = receiver")
+    (fun () -> send t ~sender:Party_a ~receiver:Party_a ~label:"x" ~bytes:1);
+  Alcotest.check_raises "negative" (Invalid_argument "Transcript.send: negative size")
+    (fun () -> send t ~sender:Party_a ~receiver:Party_b ~label:"x" ~bytes:(-1))
+
+let () =
+  Alcotest.run "netsim"
+    [ ("transcript",
+       [ Alcotest.test_case "accounting" `Quick test_basic_accounting;
+         Alcotest.test_case "entries" `Quick test_entries_order;
+         Alcotest.test_case "single round" `Quick test_rounds_single;
+         Alcotest.test_case "batched run" `Quick test_rounds_batched_run;
+         Alcotest.test_case "multi round" `Quick test_rounds_multi;
+         Alcotest.test_case "empty/one-way" `Quick test_rounds_empty_and_oneway;
+         Alcotest.test_case "validation" `Quick test_validation ]) ]

@@ -1,0 +1,134 @@
+(* Tests for the Paillier cryptosystem. *)
+
+module Z = Zint
+module Rng = Util.Rng
+
+let rng () = Rng.of_int 71
+
+let keys = lazy (Paillier.keygen ~modulus_bits:256 (rng ()))
+
+let sk () = fst (Lazy.force keys)
+let pk () = snd (Lazy.force keys)
+
+let test_keygen_shape () =
+  let pk = pk () in
+  Alcotest.(check int) "modulus bits" 256 (Paillier.modulus_bits pk);
+  Alcotest.(check bool) "modulus size" true
+    (Z.numbits (Paillier.modulus pk) >= 255 && Z.numbits (Paillier.modulus pk) <= 256);
+  Alcotest.(check int) "ct bytes" 64 (Paillier.byte_size pk);
+  Alcotest.(check bool) "public_of_secret" true
+    (Z.equal (Paillier.modulus (Paillier.public_of_secret (sk ()))) (Paillier.modulus pk))
+
+let test_roundtrip () =
+  let r = rng () in
+  List.iter
+    (fun m ->
+      let c = Paillier.encrypt_int r (pk ()) m in
+      Alcotest.(check int) (string_of_int m) m (Paillier.decrypt_int (sk ()) c))
+    [ 0; 1; 42; 1 lsl 30; 123456789 ]
+
+let test_roundtrip_large () =
+  let r = rng () in
+  let pk = pk () in
+  for _ = 1 to 20 do
+    let m = Z.random_below r (Paillier.modulus pk) in
+    let c = Paillier.encrypt r pk m in
+    Alcotest.(check string) "large roundtrip" (Z.to_string m)
+      (Z.to_string (Paillier.decrypt (sk ()) c))
+  done
+
+let test_range_check () =
+  let r = rng () in
+  let pk = pk () in
+  Alcotest.check_raises "negative" (Invalid_argument "Paillier.encrypt: message out of range")
+    (fun () -> ignore (Paillier.encrypt r pk (Z.of_int (-1))));
+  Alcotest.check_raises "too large" (Invalid_argument "Paillier.encrypt: message out of range")
+    (fun () -> ignore (Paillier.encrypt r pk (Paillier.modulus pk)))
+
+let test_homomorphic_add () =
+  let r = rng () in
+  let pk = pk () in
+  let c1 = Paillier.encrypt_int r pk 1234 and c2 = Paillier.encrypt_int r pk 8765 in
+  Alcotest.(check int) "add" 9999 (Paillier.decrypt_int (sk ()) (Paillier.add pk c1 c2));
+  Alcotest.(check int) "sub" 7531 (Paillier.decrypt_int (sk ()) (Paillier.sub pk c2 c1));
+  Alcotest.(check int) "add_plain" 1244
+    (Paillier.decrypt_int (sk ()) (Paillier.add_plain pk c1 (Z.of_int 10)));
+  Alcotest.(check int) "mul_plain" 3702
+    (Paillier.decrypt_int (sk ()) (Paillier.mul_plain pk c1 (Z.of_int 3)))
+
+let test_sub_wraps_mod_n () =
+  let r = rng () in
+  let pk = pk () in
+  let c1 = Paillier.encrypt_int r pk 5 and c2 = Paillier.encrypt_int r pk 7 in
+  let diff = Paillier.decrypt (sk ()) (Paillier.sub pk c1 c2) in
+  Alcotest.(check string) "5-7 = n-2" (Z.to_string (Z.sub (Paillier.modulus pk) Z.two))
+    (Z.to_string diff)
+
+let test_rerandomize () =
+  let r = rng () in
+  let pk = pk () in
+  let c = Paillier.encrypt_int r pk 77 in
+  let c' = Paillier.rerandomize r pk c in
+  Alcotest.(check bool) "different ciphertext" false (Z.equal c c');
+  Alcotest.(check int) "same plaintext" 77 (Paillier.decrypt_int (sk ()) c')
+
+let test_probabilistic () =
+  let r = rng () in
+  let pk = pk () in
+  let c1 = Paillier.encrypt_int r pk 5 and c2 = Paillier.encrypt_int r pk 5 in
+  Alcotest.(check bool) "fresh randomness" false (Z.equal c1 c2)
+
+let test_counters () =
+  let c = Util.Counters.create () in
+  let r = rng () in
+  let pk = pk () in
+  let ct = Paillier.encrypt_int ~counters:c r pk 1 in
+  ignore (Paillier.add ~counters:c pk ct ct);
+  ignore (Paillier.mul_plain ~counters:c pk ct (Z.of_int 5));
+  ignore (Paillier.decrypt ~counters:c (sk ()) ct);
+  Alcotest.(check int) "enc" 1 (Util.Counters.encryptions c);
+  Alcotest.(check int) "dec" 1 (Util.Counters.decryptions c);
+  Alcotest.(check int) "hom add" 1 (Util.Counters.hom_adds c);
+  Alcotest.(check int) "mul plain" 1 (Util.Counters.hom_mul_plains c)
+
+let test_small_keys_still_work () =
+  (* The bench presets use small moduli; make sure a 128-bit key is
+     functional end to end. *)
+  let r = Rng.of_int 73 in
+  let sk, pk = Paillier.keygen ~modulus_bits:128 r in
+  let c = Paillier.encrypt_int r pk 31337 in
+  Alcotest.(check int) "roundtrip" 31337 (Paillier.decrypt_int sk c)
+
+let prop_add_homomorphic =
+  QCheck.Test.make ~count:30 ~name:"Dec(E(a)·E(b)) = a+b mod n"
+    QCheck.(pair (int_range 0 1000000) (int_range 0 1000000))
+    (fun (a, b) ->
+      let r = rng () in
+      let ca = Paillier.encrypt_int r (pk ()) a and cb = Paillier.encrypt_int r (pk ()) b in
+      Paillier.decrypt_int (sk ()) (Paillier.add (pk ()) ca cb) = a + b)
+
+let prop_scalar =
+  QCheck.Test.make ~count:30 ~name:"Dec(E(a)^k) = k·a mod n"
+    QCheck.(pair (int_range 0 100000) (int_range 0 1000))
+    (fun (a, k) ->
+      let r = rng () in
+      let ca = Paillier.encrypt_int r (pk ()) a in
+      Paillier.decrypt_int (sk ()) (Paillier.mul_plain (pk ()) ca (Z.of_int k)) = a * k)
+
+let () =
+  Alcotest.run "paillier"
+    [ ("keys",
+       [ Alcotest.test_case "keygen shape" `Quick test_keygen_shape;
+         Alcotest.test_case "small keys" `Quick test_small_keys_still_work ]);
+      ("encryption",
+       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "roundtrip large" `Quick test_roundtrip_large;
+         Alcotest.test_case "range check" `Quick test_range_check;
+         Alcotest.test_case "probabilistic" `Quick test_probabilistic;
+         Alcotest.test_case "rerandomize" `Quick test_rerandomize ]);
+      ("homomorphic",
+       [ Alcotest.test_case "add/sub/scalar" `Quick test_homomorphic_add;
+         Alcotest.test_case "sub wraps" `Quick test_sub_wraps_mod_n;
+         Alcotest.test_case "counters" `Quick test_counters ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_add_homomorphic; prop_scalar ]) ]

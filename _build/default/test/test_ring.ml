@@ -1,0 +1,227 @@
+(* Tests for the RLWE ring substrate: CRT lifting, RNS polynomial
+   arithmetic, Galois substitution and the samplers. *)
+
+module Rng = Util.Rng
+module Z = Zint
+
+let n = 64
+
+let moduli =
+  Prime64.ntt_primes ~congruent_mod:(Int64.of_int (2 * n)) ~bits:28 ~count:4
+  |> List.map Int64.to_int
+  |> Array.of_list
+
+let ctx = Rq.context ~n ~moduli
+
+let random_rq ?(nprimes = 4) seed =
+  Sampler.uniform (Rng.of_int seed) ctx ~nprimes
+
+let check_eq msg a b = Alcotest.(check bool) msg true (Rq.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Crt                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_crt_roundtrip () =
+  let b = Crt.make moduli in
+  let rng = Rng.of_int 1 in
+  Alcotest.(check (array int)) "primes accessor" moduli (Crt.primes b);
+  for _ = 1 to 200 do
+    let x = Z.random_below rng (Crt.modulus b) in
+    let lifted = Crt.lift b (Crt.reduce b x) in
+    Alcotest.(check string) "lift . reduce = id" (Z.to_string x) (Z.to_string lifted)
+  done
+
+let test_crt_centered () =
+  let b = Crt.make moduli in
+  let q = Crt.modulus b in
+  let half = Z.shift_right q 1 in
+  let rng = Rng.of_int 2 in
+  for _ = 1 to 100 do
+    let x = Z.random_below rng q in
+    let c = Crt.lift_centered b (Crt.reduce b x) in
+    Alcotest.(check bool) "centered range" true
+      (Z.compare c half <= 0 && Z.compare (Z.neg half) c <= 0);
+    Alcotest.(check string) "congruent" (Z.to_string x) (Z.to_string (Z.erem c q))
+  done;
+  (* Negative inputs reduce correctly. *)
+  let r = Crt.reduce b (Z.of_int (-5)) in
+  Alcotest.(check string) "negative reduce" "-5" (Z.to_string (Crt.lift_centered b r))
+
+let test_crt_validation () =
+  Alcotest.check_raises "empty basis" (Invalid_argument "Crt.make: empty basis")
+    (fun () -> ignore (Crt.make [||]));
+  let b = Crt.make moduli in
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Crt.lift: length mismatch")
+    (fun () -> ignore (Crt.lift b [| 1 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Rq ring axioms                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_axioms () =
+  let a = random_rq 3 and b = random_rq 4 and c = random_rq 5 in
+  check_eq "add commutative" (Rq.add a b) (Rq.add b a);
+  check_eq "add associative" (Rq.add (Rq.add a b) c) (Rq.add a (Rq.add b c));
+  check_eq "mul commutative" (Rq.mul a b) (Rq.mul b a);
+  check_eq "mul associative" (Rq.mul (Rq.mul a b) c) (Rq.mul a (Rq.mul b c));
+  check_eq "distributive" (Rq.mul a (Rq.add b c)) (Rq.add (Rq.mul a b) (Rq.mul a c));
+  let zero = Rq.zero ctx ~nprimes:4 Rq.Eval in
+  check_eq "additive identity" a (Rq.add a zero);
+  check_eq "additive inverse" zero (Rq.add a (Rq.neg a));
+  check_eq "a - b = a + (-b)" (Rq.sub a b) (Rq.add a (Rq.neg b));
+  let one = Rq.constant ctx ~nprimes:4 Rq.Eval 1L in
+  check_eq "multiplicative identity" a (Rq.mul a one)
+
+let test_domain_conversions () =
+  let a = random_rq 6 in
+  check_eq "eval -> coeff -> eval" a (Rq.to_eval (Rq.to_coeff a));
+  Alcotest.(check bool) "domains tracked" true
+    (Rq.domain (Rq.to_coeff a) = Rq.Coeff && Rq.domain (Rq.to_eval a) = Rq.Eval)
+
+let test_coeff_embeddings_agree () =
+  let rng = Rng.of_int 7 in
+  let small = Array.init n (fun _ -> Rng.int_range rng (-100) 100) in
+  let via_small = Rq.of_small_coeffs ctx ~nprimes:4 Rq.Coeff small in
+  let via_int64 =
+    Rq.of_int64_coeffs ctx ~nprimes:4 Rq.Coeff (Array.map Int64.of_int small)
+  in
+  let via_zint = Rq.of_zint_coeffs ctx ~nprimes:4 Rq.Coeff (Array.map Z.of_int small) in
+  check_eq "small = int64" via_small via_int64;
+  check_eq "small = zint" via_small via_zint;
+  (* Round-trip through exact coefficients (centered). *)
+  let back = Rq.to_zint_coeffs via_small in
+  Array.iteri
+    (fun i v -> Alcotest.(check int) "coeff roundtrip" small.(i) (Z.to_int_exn v))
+    back
+
+let test_scalar_ops () =
+  let a = random_rq 8 in
+  check_eq "scalar 3 = a+a+a" (Rq.mul_scalar a 3L) (Rq.add a (Rq.add a a));
+  check_eq "scalar via zint" (Rq.mul_scalar a 12345L) (Rq.mul_scalar_zint a (Z.of_int 12345));
+  (* A scalar beyond 64 bits wraps consistently with Zint reduction. *)
+  let big = Z.pow (Z.of_int 2) 100 in
+  let q = Rq.modulus ctx ~nprimes:4 in
+  check_eq "big scalar reduces mod q"
+    (Rq.mul_scalar_zint a big)
+    (Rq.mul_scalar_zint a (Z.erem big q))
+
+let test_truncate_level () =
+  let a = random_rq 9 in
+  let t = Rq.truncate a ~nprimes:2 in
+  Alcotest.(check int) "nprimes" 2 (Rq.nprimes t);
+  (* The truncation keeps the residues of the first primes. *)
+  Alcotest.(check (array int)) "component preserved" (Rq.component a 0) (Rq.component t 0);
+  Alcotest.check_raises "cannot extend" (Invalid_argument "Rq.truncate: bad nprimes")
+    (fun () -> ignore (Rq.truncate t ~nprimes:3))
+
+let test_substitute () =
+  (* x -> x^3 on the polynomial x gives x^3; applying the inverse
+     automorphism undoes it. *)
+  let coeffs = Array.make n 0 in
+  coeffs.(1) <- 1;
+  let x = Rq.of_small_coeffs ctx ~nprimes:4 Rq.Coeff coeffs in
+  let x3 = Rq.substitute x ~k:3 in
+  let expected = Array.make n 0 in
+  expected.(3) <- 1;
+  check_eq "x^3" (Rq.of_small_coeffs ctx ~nprimes:4 Rq.Coeff expected) x3;
+  (* k * k_inv = 1 mod 2n => substitution composes to identity. *)
+  let k_inv = Int64.to_int (Mod64.inv (Int64.of_int (2 * n)) 3L) in
+  let a = random_rq 10 in
+  check_eq "inverse substitution" (Rq.to_eval (Rq.substitute (Rq.substitute a ~k:3) ~k:k_inv))
+    a;
+  (* Substitution is a ring homomorphism. *)
+  let b = random_rq 11 in
+  check_eq "hom over mul"
+    (Rq.to_eval (Rq.substitute (Rq.mul a b) ~k:5))
+    (Rq.mul (Rq.to_eval (Rq.substitute a ~k:5)) (Rq.to_eval (Rq.substitute b ~k:5)));
+  Alcotest.check_raises "even k" (Invalid_argument "Rq.substitute: k must be odd")
+    (fun () -> ignore (Rq.substitute a ~k:2))
+
+(* ------------------------------------------------------------------ *)
+(* Samplers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ternary_sampler () =
+  let rng = Rng.of_int 12 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 100 do
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "ternary range" true (v >= -1 && v <= 1);
+        counts.(v + 1) <- counts.(v + 1) + 1)
+      (Sampler.ternary_coeffs rng ~n)
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "value %d appears fairly" (i - 1)) true
+        (c > 1600 && c < 2700))
+    counts
+
+let test_cbd_sampler () =
+  let rng = Rng.of_int 13 in
+  let eta = 3 in
+  let sum = ref 0 and total = ref 0 in
+  for _ = 1 to 200 do
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "cbd range" true (abs v <= eta);
+        sum := !sum + v;
+        incr total)
+      (Sampler.cbd_coeffs rng ~n ~eta)
+  done;
+  let mean = float_of_int !sum /. float_of_int !total in
+  Alcotest.(check bool) "centered" true (Float.abs mean < 0.1)
+
+let test_uniform_sampler_range () =
+  let u = random_rq 14 in
+  for i = 0 to 3 do
+    Array.iter
+      (fun v -> Alcotest.(check bool) "residue range" true (v >= 0 && v < moduli.(i)))
+      (Rq.component u i)
+  done
+
+let prop_mul_matches_zint_convolution =
+  (* RNS/NTT multiplication agrees with exact negacyclic convolution
+     over the integers followed by reduction. *)
+  QCheck.Test.make ~count:30 ~name:"Rq.mul = exact negacyclic conv mod q"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let small () = Array.init n (fun _ -> Rng.int_range rng (-50) 50) in
+      let a = small () and b = small () in
+      let exact = Array.make n Z.zero in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let p = Z.of_int (a.(i) * b.(j)) in
+          let k = i + j in
+          if k < n then exact.(k) <- Z.add exact.(k) p
+          else exact.(k - n) <- Z.sub exact.(k - n) p
+        done
+      done;
+      let via_rq =
+        Rq.mul
+          (Rq.of_small_coeffs ctx ~nprimes:4 Rq.Eval a)
+          (Rq.of_small_coeffs ctx ~nprimes:4 Rq.Eval b)
+      in
+      Rq.equal via_rq (Rq.of_zint_coeffs ctx ~nprimes:4 Rq.Eval exact))
+
+let () =
+  Alcotest.run "ring"
+    [ ("crt",
+       [ Alcotest.test_case "roundtrip" `Quick test_crt_roundtrip;
+         Alcotest.test_case "centered" `Quick test_crt_centered;
+         Alcotest.test_case "validation" `Quick test_crt_validation ]);
+      ("rq",
+       [ Alcotest.test_case "ring axioms" `Quick test_ring_axioms;
+         Alcotest.test_case "domain conversions" `Quick test_domain_conversions;
+         Alcotest.test_case "coefficient embeddings" `Quick test_coeff_embeddings_agree;
+         Alcotest.test_case "scalar ops" `Quick test_scalar_ops;
+         Alcotest.test_case "truncate" `Quick test_truncate_level;
+         Alcotest.test_case "substitute" `Quick test_substitute ]);
+      ("samplers",
+       [ Alcotest.test_case "ternary" `Quick test_ternary_sampler;
+         Alcotest.test_case "cbd" `Quick test_cbd_sampler;
+         Alcotest.test_case "uniform range" `Quick test_uniform_sampler_range ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest [ prop_mul_matches_zint_convolution ]) ]

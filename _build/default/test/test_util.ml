@@ -1,0 +1,238 @@
+(* Tests for the shared substrate: deterministic RNG, permutations,
+   counters, timing and float matrices. *)
+
+module Rng = Util.Rng
+module Perm = Util.Perm
+module Counters = Util.Counters
+module Matf = Util.Matf
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_copy_vs_split () =
+  let a = Rng.of_int 7 in
+  let c = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 c);
+  let a = Rng.of_int 7 in
+  let s = Rng.split a in
+  Alcotest.(check bool) "split diverges" true (Rng.bits64 a <> Rng.bits64 s)
+
+let test_rng_ranges () =
+  let r = Rng.of_int 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_below r 17 in
+    Alcotest.(check bool) "int_below" true (v >= 0 && v < 17);
+    let v = Rng.int_range r (-5) 5 in
+    Alcotest.(check bool) "int_range" true (v >= -5 && v <= 5);
+    let f = Rng.float r in
+    Alcotest.(check bool) "float" true (f >= 0.0 && f < 1.0)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int_below: bound <= 0")
+    (fun () -> ignore (Rng.int_below r 0))
+
+let test_rng_int64_below_uniformish () =
+  (* Coarse uniformity: each of 8 buckets within 30% of the mean. *)
+  let r = Rng.of_int 13 in
+  let buckets = Array.make 8 0 in
+  let samples = 16000 in
+  for _ = 1 to samples do
+    let v = Rng.int64_below r 8L in
+    buckets.(Int64.to_int v) <- buckets.(Int64.to_int v) + 1
+  done;
+  let mean = samples / 8 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "bucket %d balanced (%d)" i c) true
+        (abs (c - mean) < mean * 3 / 10))
+    buckets
+
+let test_rng_gaussian_moments () =
+  let r = Rng.of_int 17 in
+  let n = 20000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian r ~mu:10.0 ~sigma:2.0 in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check (float 0.1)) "mean" 10.0 mean;
+  Alcotest.(check (float 0.3)) "variance" 4.0 var
+
+let test_rng_bytes () =
+  let r = Rng.of_int 19 in
+  let b = Rng.bytes r 100 in
+  Alcotest.(check int) "length" 100 (Bytes.length b);
+  Alcotest.(check bool) "not all equal" true
+    (let first = Bytes.get b 0 in
+     not (String.for_all (Char.equal first) (Bytes.to_string b)))
+
+(* ------------------------------------------------------------------ *)
+(* Perm                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_perm_identity () =
+  let p = Perm.identity 5 in
+  Alcotest.(check int) "size" 5 (Perm.size p);
+  Alcotest.(check (array int)) "apply id" [| 10; 20; 30; 40; 50 |]
+    (Perm.apply p [| 10; 20; 30; 40; 50 |])
+
+let test_perm_random_bijection () =
+  let rng = Rng.of_int 23 in
+  for n = 1 to 30 do
+    let p = Perm.random rng n in
+    ignore (Perm.of_array (Perm.to_array p)) (* validates bijectivity *)
+  done
+
+let test_perm_apply_inverse () =
+  let rng = Rng.of_int 29 in
+  for _ = 1 to 50 do
+    let n = 1 + Rng.int_below rng 40 in
+    let p = Perm.random rng n in
+    let a = Array.init n (fun i -> i * 3) in
+    let roundtrip = Perm.apply (Perm.inverse p) (Perm.apply p a) in
+    Alcotest.(check (array int)) "inverse undoes" a roundtrip
+  done
+
+let test_perm_apply_semantics () =
+  (* apply places element i at position p(i). *)
+  let p = Perm.of_array [| 2; 0; 1 |] in
+  Alcotest.(check (array int)) "placement" [| 20; 30; 10 |]
+    (Perm.apply p [| 10; 20; 30 |]);
+  Alcotest.(check int) "apply_index" 2 (Perm.apply_index p 0)
+
+let test_perm_compose () =
+  let rng = Rng.of_int 31 in
+  let p = Perm.random rng 12 and q = Perm.random rng 12 in
+  let a = Array.init 12 (fun i -> i) in
+  Alcotest.(check (array int)) "compose = sequential apply"
+    (Perm.apply p (Perm.apply q a))
+    (Perm.apply (Perm.compose p q) a)
+
+let test_perm_validation () =
+  Alcotest.check_raises "not a bijection" (Invalid_argument "Perm.of_array: not a bijection")
+    (fun () -> ignore (Perm.of_array [| 0; 0 |]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Perm.of_array: not a bijection")
+    (fun () -> ignore (Perm.of_array [| 0; 5 |]));
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Perm.apply: size mismatch")
+    (fun () -> ignore (Perm.apply (Perm.identity 3) [| 1 |]))
+
+let test_perm_uniformity () =
+  (* Over many draws of S_3, each of the 6 permutations appears. *)
+  let rng = Rng.of_int 37 in
+  let seen = Hashtbl.create 6 in
+  for _ = 1 to 600 do
+    Hashtbl.replace seen (Perm.to_array (Perm.random rng 3)) ()
+  done;
+  Alcotest.(check int) "all of S_3 reached" 6 (Hashtbl.length seen)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_record_and_merge () =
+  let c = Counters.create () in
+  Counters.record c Counters.Encrypt;
+  Counters.record c Counters.Decrypt;
+  Counters.record c Counters.Hom_add;
+  Counters.record c Counters.Hom_mul;
+  Counters.record c Counters.Hom_mul_plain;
+  Counters.record c Counters.Hom_modswitch;
+  Counters.record c Counters.Hom_relin;
+  Counters.record c Counters.Round;
+  Counters.record c (Counters.Bytes_sent 100);
+  Alcotest.(check int) "hom_total" 5 (Counters.hom_total c);
+  Alcotest.(check int) "bytes" 100 (Counters.bytes_sent c);
+  Alcotest.(check int) "rounds" 1 (Counters.rounds c);
+  let d = Counters.merge c c in
+  Alcotest.(check int) "merge doubles" 10 (Counters.hom_total d);
+  Alcotest.(check int) "merge source intact" 5 (Counters.hom_total c);
+  Counters.reset c;
+  Alcotest.(check int) "reset" 0 (Counters.hom_total c + Counters.encryptions c)
+
+let test_timer () =
+  let x, dt = Util.Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.0);
+  let s d = Format.asprintf "%a" Util.Timer.pp_duration d in
+  Alcotest.(check string) "ms" "500 ms" (s 0.5);
+  Alcotest.(check string) "s" "45.0 s" (s 45.0);
+  Alcotest.(check string) "min" "2 min 45 s" (s 165.0)
+
+(* ------------------------------------------------------------------ *)
+(* Matf                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_matf_basics () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (pair int int)) "dims" (2, 2) (Matf.dims a);
+  let t = Matf.transpose a in
+  Alcotest.(check (float 0.0)) "transpose" 3.0 t.(0).(1);
+  let prod = Matf.mul a (Matf.identity 2) in
+  Alcotest.(check (float 1e-12)) "mul identity" 0.0 (Matf.max_abs_diff prod a);
+  Alcotest.(check (float 1e-12)) "dot" 11.0 (Matf.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |])
+
+let test_matf_inverse () =
+  let rng = Rng.of_int 41 in
+  for n = 1 to 8 do
+    let m = Matf.random rng n in
+    let err = Matf.max_abs_diff (Matf.mul m (Matf.inverse m)) (Matf.identity n) in
+    Alcotest.(check bool) (Printf.sprintf "n=%d inverse" n) true (err < 1e-6)
+  done;
+  Alcotest.(check bool) "singular raises" true
+    (try ignore (Matf.inverse [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |]); false
+     with Failure _ -> true)
+
+let test_matf_solve () =
+  let m = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Matf.solve m [| 5.0; 10.0 |] in
+  Alcotest.(check (float 1e-9)) "x0" 1.0 x.(0);
+  Alcotest.(check (float 1e-9)) "x1" 3.0 x.(1)
+
+let prop_matf_mulvec_linear =
+  QCheck.Test.make ~count:100 ~name:"M(u+v) = Mu + Mv"
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let n = 1 + Rng.int_below rng 6 in
+      let m = Matf.random rng n in
+      let u = Array.init n (fun _ -> Rng.float rng) in
+      let v = Array.init n (fun _ -> Rng.float rng) in
+      let lhs = Matf.mul_vec m (Array.init n (fun i -> u.(i) +. v.(i))) in
+      let mu = Matf.mul_vec m u and mv = Matf.mul_vec m v in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) lhs
+        (Array.init n (fun i -> mu.(i) +. mv.(i))))
+
+let () =
+  Alcotest.run "util"
+    [ ("rng",
+       [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+         Alcotest.test_case "copy vs split" `Quick test_rng_copy_vs_split;
+         Alcotest.test_case "ranges" `Quick test_rng_ranges;
+         Alcotest.test_case "uniformity" `Quick test_rng_int64_below_uniformish;
+         Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+         Alcotest.test_case "bytes" `Quick test_rng_bytes ]);
+      ("perm",
+       [ Alcotest.test_case "identity" `Quick test_perm_identity;
+         Alcotest.test_case "random bijection" `Quick test_perm_random_bijection;
+         Alcotest.test_case "inverse" `Quick test_perm_apply_inverse;
+         Alcotest.test_case "apply semantics" `Quick test_perm_apply_semantics;
+         Alcotest.test_case "compose" `Quick test_perm_compose;
+         Alcotest.test_case "validation" `Quick test_perm_validation;
+         Alcotest.test_case "covers S_3" `Quick test_perm_uniformity ]);
+      ("counters",
+       [ Alcotest.test_case "record/merge/reset" `Quick test_counters_record_and_merge;
+         Alcotest.test_case "timer" `Quick test_timer ]);
+      ("matf",
+       [ Alcotest.test_case "basics" `Quick test_matf_basics;
+         Alcotest.test_case "inverse" `Quick test_matf_inverse;
+         Alcotest.test_case "solve" `Quick test_matf_solve ]);
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_matf_mulvec_linear ]) ]
