@@ -32,7 +32,12 @@ type opts = {
   scale : float option;
   only : string list option; (* experiment ids *)
   seed : int;
+  jobs : int option;         (* domains per parallel phase *)
+  json : string option;      (* machine-readable results file *)
 }
+
+let effective_jobs opts =
+  match opts.jobs with Some j -> j | None -> Util.Pool.default_jobs ()
 
 let scaled opts ~default_scale n =
   if opts.full then n
@@ -62,16 +67,125 @@ let interp anchors x =
   go anchors
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let rec emit_json buf = function
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.9g" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_json buf x)
+      l;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_json buf (Str k);
+        Buffer.add_char buf ':';
+        emit_json buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> ""
+
+let json_counters c =
+  Obj
+    [ ("encryptions", Int (Util.Counters.encryptions c));
+      ("decryptions", Int (Util.Counters.decryptions c));
+      ("hom_adds", Int (Util.Counters.hom_adds c));
+      ("hom_muls", Int (Util.Counters.hom_muls c));
+      ("hom_mul_plains", Int (Util.Counters.hom_mul_plains c));
+      ("hom_modswitches", Int (Util.Counters.hom_modswitches c));
+      ("hom_relins", Int (Util.Counters.hom_relins c));
+      ("hom_total", Int (Util.Counters.hom_total c));
+      ("rounds", Int (Util.Counters.rounds c));
+      ("bytes_sent", Int (Util.Counters.bytes_sent c)) ]
+
+let json_runs : json list ref = ref []
+
+let record_run ~experiment ~n ~d ~k ~jobs ~seconds ~exact (r : Protocol.result) =
+  json_runs :=
+    Obj
+      [ ("experiment", Str experiment);
+        ("n", Int n);
+        ("d", Int d);
+        ("k", Int k);
+        ("jobs", Int jobs);
+        ("seconds", Float seconds);
+        ("exact", Bool exact);
+        ("phases", Obj (List.map (fun (nm, s) -> (nm, Float s)) r.Protocol.phase_seconds));
+        ("counters",
+         Obj
+           [ ("party_a", json_counters r.Protocol.counters_a);
+             ("party_b", json_counters r.Protocol.counters_b);
+             ("client", json_counters r.Protocol.counters_client) ]) ]
+    :: !json_runs
+
+let write_json opts path =
+  let doc =
+    Obj
+      [ ("generator", Str "sknn-bench");
+        ("git_rev", Str (git_rev ()));
+        ("seed", Int opts.seed);
+        ("jobs", Int (effective_jobs opts));
+        ("full", Bool opts.full);
+        ("runs", List (List.rev !json_runs)) ]
+  in
+  let buf = Buffer.create 4096 in
+  emit_json buf doc;
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  say "wrote %d runs to %s@." (List.length !json_runs) path
+
+(* ------------------------------------------------------------------ *)
 (* Figure runners                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_query_series ~config ~db ~queries_k ~rng =
-  let dep = Protocol.deploy ~rng config ~db in
+let run_query_series ~opts ~experiment ~config ~db ~queries_k ~rng =
+  let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
   List.map
     (fun k ->
       let q = Synthetic.query_like rng db in
       let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
       let ok = Protocol.exact dep ~db ~query:q r in
+      record_run ~experiment ~n:(Array.length db) ~d:(Array.length db.(0)) ~k
+        ~jobs:(Protocol.jobs dep) ~seconds:s ~exact:ok r;
       (k, s, ok, r))
     queries_k
 
@@ -109,7 +223,7 @@ let fig_k_sweep ~id ~title ~dataset_name ~db ~config ~paper_anchors opts =
     (if opts.full then "" else " (scaled; --full for paper scale)");
   let ks = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
   let rng = Rng.of_int opts.seed in
-  let rows = run_query_series ~config ~db ~queries_k:ks ~rng in
+  let rows = run_query_series ~opts ~experiment:id ~config ~db ~queries_k:ks ~rng in
   say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
   List.iter
     (fun (k, s, ok, r) ->
@@ -155,10 +269,12 @@ let fig5 opts =
       (fun n ->
         let rng = Rng.of_int (opts.seed + 5 + n) in
         let db = Synthetic.uniform rng ~n ~d:2 ~max_value:255 in
-        let dep = Protocol.deploy ~rng config ~db in
+        let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
         let q = Synthetic.query_like rng db in
         let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:5) in
         let ok = Protocol.exact dep ~db ~query:q r in
+        record_run ~experiment:"fig5" ~n ~d:2 ~k:5 ~jobs:(Protocol.jobs dep) ~seconds:s
+          ~exact:ok r;
         let paper_n = if opts.full then n else int_of_float (float_of_int n /. Option.value ~default:0.1 opts.scale) in
         say "%8d %a %9.2fs %7b@." n pp_paper (interp paper paper_n) s ok;
         (n, s))
@@ -188,10 +304,12 @@ let fig6 opts =
       (fun d ->
         let rng = Rng.of_int (opts.seed + 6 + d) in
         let db = Synthetic.uniform rng ~n ~d ~max_value:255 in
-        let dep = Protocol.deploy ~rng config ~db in
+        let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
         let q = Synthetic.query_like rng db in
         let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:2) in
         let ok = Protocol.exact dep ~db ~query:q r in
+        record_run ~experiment:"fig6" ~n ~d ~k:2 ~jobs:(Protocol.jobs dep) ~seconds:s
+          ~exact:ok r;
         let dist_s = List.assoc "compute-distances" r.Protocol.phase_seconds in
         say "%6d %a %9.2fs %9.2fs %7b@." d pp_paper (interp paper d) s dist_s ok;
         (d, s, dist_s))
@@ -212,7 +330,7 @@ let fig7 opts =
   let db = Synthetic.uniform rng ~n ~d:2 ~max_value:255 in
   let paper = [ (1, 115.0); (20, 480.0) ] in
   let ks = [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
-  let rows = run_query_series ~config ~db ~queries_k:ks ~rng in
+  let rows = run_query_series ~opts ~experiment:"fig7" ~config ~db ~queries_k:ks ~rng in
   say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
   List.iter
     (fun (k, s, ok, r) ->
@@ -237,8 +355,10 @@ let table1 opts =
   let q = Synthetic.query_like rng db in
   (* Ours, measured. *)
   let config = Config.standard () in
-  let dep = Protocol.deploy ~rng config ~db in
-  let r = Protocol.query dep ~query:q ~k in
+  let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
+  let r, r_s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  record_run ~experiment:"table1" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:r_s
+    ~exact:(Protocol.exact dep ~db ~query:q r) r;
   let ours_measured = Cost.measured r in
   let ours_predicted = Cost.ours ~n ~d ~k ~mask_degree:config.Config.mask_degree in
   (* Baseline, measured on a further-scaled instance (it is the slow
@@ -300,8 +420,10 @@ let headtohead opts =
   let q = Synthetic.query_like rng db in
   say "instance: n=%d, d=%d, k=%d%s@." n d k
     (if opts.full then "" else " (scaled; --full for n=2000, k=25)");
-  let dep = Protocol.deploy ~rng (Config.standard ()) ~db in
+  let dep = Protocol.deploy ~rng ?jobs:opts.jobs (Config.standard ()) ~db in
   let r, ours_s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  record_run ~experiment:"headtohead" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:ours_s
+    ~exact:(Protocol.exact dep ~db ~query:q r) r;
   say "ours:           %a (paper: 1 min 37 s)  exact=%b@." Util.Timer.pp_duration ours_s
     (Protocol.exact dep ~db ~query:q r);
   let dep_b = Sknn_m.deploy ~rng:(Rng.split rng) ~modulus_bits:128 ~db () in
@@ -327,7 +449,7 @@ let ablation opts =
     match Config.validate config ~d:4 with
     | Error e -> say "%-34s skipped (%s)@." name e
     | Ok () ->
-      let dep = Protocol.deploy ~rng:(Rng.of_int opts.seed) config ~db in
+      let dep = Protocol.deploy ~rng:(Rng.of_int opts.seed) ?jobs:opts.jobs config ~db in
       let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:5) in
       let bytes =
         Transcript.bytes_between r.Protocol.transcript Transcript.Party_a Transcript.Party_b
@@ -382,6 +504,54 @@ let extensions opts =
     (Apriori.matches_plaintext ~transactions:tx ~minsup ar)
     (List.length ar.Apriori.frequent)
     (Util.Counters.hom_muls ar.Apriori.counters_a)
+
+(* ------------------------------------------------------------------ *)
+(* Domain scaling: same query at jobs=1 and jobs=N                     *)
+(* ------------------------------------------------------------------ *)
+
+let scaling opts =
+  hr "scaling — multicore speedup at identical results";
+  let jn = effective_jobs opts in
+  let n = scaled opts ~default_scale:0.4 500 in
+  let d = 6 and k = 5 in
+  let data_rng = Rng.of_int (opts.seed + 11) in
+  let db = Synthetic.uniform data_rng ~n ~d ~max_value:255 in
+  let q = Synthetic.query_like data_rng db in
+  say "n=%d, d=%d, k=%d, layout=%s  (SKNN_DOMAINS or --jobs picks N; N=%d here)@." n d k
+    (Config.layout_name (Config.standard ()).Config.layout)
+    jn;
+  let run jobs =
+    (* Fresh deployments from identical seeds: any divergence between
+       job counts would show up as different neighbours or counters. *)
+    let dep =
+      Protocol.deploy ~rng:(Rng.of_int (opts.seed + 12)) ~jobs (Config.standard ()) ~db
+    in
+    let r, s =
+      Util.Timer.time (fun () ->
+          Protocol.query ~rng:(Rng.of_int (opts.seed + 13)) dep ~query:q ~k)
+    in
+    let ok = Protocol.exact dep ~db ~query:q r in
+    record_run ~experiment:"scaling" ~n ~d ~k ~jobs ~seconds:s ~exact:ok r;
+    (r, s, ok)
+  in
+  let r1, s1, ok1 = run 1 in
+  let rn, sn, okn = run jn in
+  let dist r = List.assoc "compute-distances" r.Protocol.phase_seconds in
+  say "@.%6s %10s %14s %7s@." "jobs" "total" "compute-dist" "exact";
+  say "%6d %9.2fs %13.2fs %7b@." 1 s1 (dist r1) ok1;
+  say "%6d %9.2fs %13.2fs %7b@." jn sn (dist rn) okn;
+  if jn > 1 then
+    say "@.speedup at %d domains: total %.2fx, compute-distances %.2fx@." jn (s1 /. sn)
+      (dist r1 /. dist rn);
+  let counters_eq a b =
+    Format.asprintf "%a" Util.Counters.pp a = Format.asprintf "%a" Util.Counters.pp b
+  in
+  say "identical neighbours across job counts: %b@."
+    (r1.Protocol.neighbours = rn.Protocol.neighbours);
+  say "identical counters across job counts:   %b@."
+    (counters_eq r1.Protocol.counters_a rn.Protocol.counters_a
+     && counters_eq r1.Protocol.counters_b rn.Protocol.counters_b
+     && counters_eq r1.Protocol.counters_client rn.Protocol.counters_client)
 
 (* ------------------------------------------------------------------ *)
 (* Primitive micro-benchmarks (bechamel)                               *)
@@ -441,12 +611,14 @@ let micro _opts =
 let experiments =
   [ ("table1", table1); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("headtohead", headtohead); ("ablation", ablation);
-    ("extensions", extensions); ("micro", micro) ]
+    ("scaling", scaling); ("extensions", extensions); ("micro", micro) ]
 
 let run opts =
-  say "secure k-NN benchmark harness (seed %d, %s)@." opts.seed
+  say "secure k-NN benchmark harness (seed %d, jobs %d, %s)@." opts.seed
+    (effective_jobs opts)
     (if opts.full then "FULL paper scale" else "scaled-down default");
   List.iter (fun (id, f) -> if wants opts id then f opts) experiments;
+  Option.iter (write_json opts) opts.json;
   say "@.done.@."
 
 open Cmdliner
@@ -461,17 +633,32 @@ let scale_t =
 let only_t =
   Arg.(value & opt (some string) None
        & info [ "only" ]
-           ~doc:"Comma-separated experiment ids (table1, fig3..fig7, headtohead, ablation, extensions, micro).")
+           ~doc:"Comma-separated experiment ids (table1, fig3..fig7, headtohead, ablation, scaling, extensions, micro).")
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
-let main full scale only seed =
+let jobs_t =
+  Arg.(value & opt (some int) None
+       & info [ "jobs" ]
+           ~doc:"OCaml domains per parallel protocol phase (default: SKNN_DOMAINS or the \
+                 recommended domain count).")
+
+let json_t =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~doc:"Write per-run timings and counters to this JSON file.")
+
+let main full scale only seed jobs json =
+  (match jobs with
+   | Some j when j < 1 ->
+     Format.eprintf "--jobs must be at least 1 (got %d)@." j;
+     exit 2
+   | _ -> ());
   let only = Option.map (String.split_on_char ',') only in
-  run { full; scale; only; seed }
+  run { full; scale; only; seed; jobs; json }
 
 let cmd =
   Cmd.v
     (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const main $ full_t $ scale_t $ only_t $ seed_t)
+    Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t)
 
 let () = exit (Cmd.eval cmd)

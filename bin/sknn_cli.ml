@@ -62,7 +62,12 @@ let gen_cmd =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let query_run data query_s k layout seed verbose =
+let query_run data query_s k layout seed jobs verbose =
+  (match jobs with
+   | Some j when j < 1 ->
+     Format.eprintf "--jobs must be at least 1 (got %d)@." j;
+     exit 2
+   | _ -> ());
   let db = read_db data in
   let q = parse_query query_s in
   let config = config_of_layout layout in
@@ -72,8 +77,11 @@ let query_run data query_s k layout seed verbose =
      Format.eprintf "configuration unsound for this data: %s@." e;
      exit 2);
   let rng = Util.Rng.of_int seed in
-  let dep, setup_s = Util.Timer.time (fun () -> Protocol.deploy ~rng config ~db) in
+  let dep, setup_s =
+    Util.Timer.time (fun () -> Protocol.deploy ~rng ?jobs config ~db)
+  in
   let r, query_s' = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
   Format.printf "neighbours:@.";
   Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
   Format.printf "exact: %b@." (Protocol.exact dep ~db ~query:q r);
@@ -102,8 +110,14 @@ let query_cmd =
     Arg.(value & opt string "per-coordinate"
          & info [ "layout" ] ~doc:"per-coordinate | dot-product | secure")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:"OCaml domains per parallel protocol phase (default: SKNN_DOMAINS or \
+                   the recommended domain count).")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
-    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ verbose_t)
+    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ verbose_t)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)

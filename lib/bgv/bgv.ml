@@ -6,6 +6,7 @@ type secret_key = {
   sk_params : Params.t;
   s_coeffs : int array;
   mutable s_powers : Rq.t list; (* [s^1; s^2; …], Eval domain, full chain *)
+  sp_lock : Mutex.t; (* guards s_powers: decryptions may run in parallel *)
 }
 
 type public_key = { pk_params : Params.t; pk_b : Rq.t; pk_a : Rq.t }
@@ -107,22 +108,26 @@ let keygen ?counters rng (p : Params.t) =
         let gadget = Z.shift_left Z.one (j * w) in
         rlwe_pair ~extra:(Some (Rq.mul_scalar_zint s2 gadget)))
   in
-  { sk = { sk_params = p; s_coeffs; s_powers = [ s ] };
+  { sk = { sk_params = p; s_coeffs; s_powers = [ s ]; sp_lock = Mutex.create () };
     pk = { pk_params = p; pk_b; pk_a };
     rlk = { rk_params = p; rk_digit_bits = w; rk_rows } }
 
 let s_power sk i =
   if i < 1 then invalid_arg "Bgv.s_power";
-  let rec extend powers =
-    if List.length powers >= i then powers
-    else begin
-      let top = List.nth powers (List.length powers - 1) in
-      let s1 = List.nth powers 0 in
-      extend (powers @ [ Rq.mul top s1 ])
-    end
-  in
-  sk.s_powers <- extend sk.s_powers;
-  List.nth sk.s_powers (i - 1)
+  match i, sk.s_powers with
+  | 1, s :: _ -> s (* degree-1 fast path: s itself never changes *)
+  | _ ->
+    Mutex.protect sk.sp_lock (fun () ->
+        let rec extend powers =
+          if List.length powers >= i then powers
+          else begin
+            let top = List.nth powers (List.length powers - 1) in
+            let s1 = List.nth powers 0 in
+            extend (powers @ [ Rq.mul top s1 ])
+          end
+        in
+        sk.s_powers <- extend sk.s_powers;
+        List.nth sk.s_powers (i - 1))
 
 (* ------------------------------------------------------------------ *)
 (* Encrypt / decrypt                                                   *)
@@ -462,6 +467,93 @@ let mul ?counters ?rlk ?(rescale = true) a b =
   if rescale then rescale_to_floor ?counters ct else ct
 
 (* ------------------------------------------------------------------ *)
+(* Fused inner products                                                *)
+(* ------------------------------------------------------------------ *)
+
+let record_n c e k = match c with None -> () | Some c -> Counters.record_n c e k
+
+(* Σᵢ aᵢ·bᵢ without relinearisation or rescaling between terms.  The
+   fused path tensors each pair directly into a shared accumulator
+   (Rq.mul_add_into), cutting the intermediate Rq allocations the
+   mul-then-add fold pays per term — these are the two hottest loops of
+   the protocol (Compute-Distances' per-coordinate sum and Return-kNN's
+   row selection).  Chunks may run on separate domains: residue addition
+   mod p is associative and commutative, so the components are
+   bit-identical for every job count, and the noise bound is folded
+   sequentially in term order for the same reason. *)
+let mul_sum ?counters ?jobs ?rlk a b =
+  let m = Array.length a in
+  if m = 0 || Array.length b <> m then invalid_arg "Bgv.mul_sum: empty or mismatched inputs";
+  let p = a.(0).params in
+  let check c = if c.params != p then invalid_arg "Bgv.mul_sum: parameter mismatch" in
+  Array.iter check a;
+  Array.iter check b;
+  let t = p.Params.t_plain in
+  let lvl =
+    let mn acc c = Stdlib.min acc (level c) in
+    Array.fold_left mn (Array.fold_left mn (level a.(0)) a) b
+  in
+  let a = Array.map (fun c -> truncate_to_level c lvl) a in
+  let b = Array.map (fun c -> truncate_to_level c lvl) b in
+  let f0 = Mod64.mul t a.(0).factor b.(0).factor in
+  let uniform_factor =
+    let ok = ref true in
+    for i = 0 to m - 1 do
+      if not (Int64.equal (Mod64.mul t a.(i).factor b.(i).factor) f0) then ok := false
+    done;
+    !ok
+  in
+  if rlk <> None || not uniform_factor then begin
+    (* Relinearisation (or mixed factors) breaks the shared-accumulator
+       shape; fall back to the exact mul-then-add sequence. *)
+    let acc = ref (mul ?counters ?rlk ~rescale:false a.(0) b.(0)) in
+    for i = 1 to m - 1 do
+      acc := add ?counters !acc (mul ?counters ?rlk ~rescale:false a.(i) b.(i))
+    done;
+    !acc
+  end
+  else begin
+    record_n counters Counters.Hom_mul m;
+    record_n counters Counters.Hom_add (m - 1);
+    let ring = p.Params.ring in
+    let width =
+      let w = ref 0 in
+      for i = 0 to m - 1 do
+        w := Stdlib.max !w (Array.length a.(i).comps + Array.length b.(i).comps - 1)
+      done;
+      !w
+    in
+    let partials = ref [] in
+    ignore
+      (Util.Pool.map_local ?jobs
+         ~make:(fun () -> Array.init width (fun _ -> Rq.zero ring ~nprimes:lvl Rq.Eval))
+         ~merge:(fun acc -> partials := acc :: !partials)
+         ~f:(fun acc i () ->
+           let ca = a.(i).comps and cb = b.(i).comps in
+           for x = 0 to Array.length ca - 1 do
+             for y = 0 to Array.length cb - 1 do
+               Rq.mul_add_into acc.(x + y) ca.(x) cb.(y)
+             done
+           done)
+         (Array.make m ()));
+    let comps =
+      match List.rev !partials with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left (fun acc part -> Array.map2 Rq.add acc part) first rest
+    in
+    let log_noise =
+      let term i = log2_n p +. a.(i).log_noise +. b.(i).log_noise in
+      let acc = ref (term 0) in
+      for i = 1 to m - 1 do
+        acc := log2_add !acc (term i)
+      done;
+      !acc
+    in
+    { params = p; comps; factor = f0; log_noise }
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Polynomial evaluation (the protocol's EvalPoly)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -629,7 +721,8 @@ let sk_of_bytes p data =
   let full = Array.length p.Params.moduli in
   { sk_params = p;
     s_coeffs;
-    s_powers = [ Rq.of_small_coeffs p.Params.ring ~nprimes:full Rq.Eval s_coeffs ] }
+    s_powers = [ Rq.of_small_coeffs p.Params.ring ~nprimes:full Rq.Eval s_coeffs ];
+    sp_lock = Mutex.create () }
 
 
 (* ------------------------------------------------------------------ *)

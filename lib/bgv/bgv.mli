@@ -75,6 +75,22 @@ val mul :
     works at any degree (at higher cost), which is the "no-relin"
     ablation of DESIGN.md. *)
 
+val mul_sum :
+  ?counters:Util.Counters.t -> ?jobs:int -> ?rlk:relin_key -> ct array -> ct array -> ct
+(** [mul_sum a b] is the inner product [Σᵢ aᵢ·bᵢ] with no rescaling,
+    counting [n] {!Util.Counters.Hom_mul} and [n-1]
+    {!Util.Counters.Hom_add} events — exactly what the equivalent
+    [mul ~rescale:false] / [add] fold would record.  All operands are
+    first aligned to their common minimum level.  Without [rlk] the
+    products are tensored straight into a shared accumulator
+    ({!Rq.mul_add_into}), skipping one intermediate [Rq] allocation per
+    term; [?jobs] splits the terms across that many domains
+    ({!Util.Pool}).  Residue addition is exact modular arithmetic and
+    the noise bound is folded in term order, so the result is
+    bit-identical for every job count.  With [rlk] (or mixed factors)
+    it falls back to the sequential mul-then-add fold.
+    @raise Invalid_argument on empty or length-mismatched inputs. *)
+
 val rerandomize :
   ?counters:Util.Counters.t -> Util.Rng.t -> public_key -> ct -> ct
 (** Adds a fresh encryption of zero at the ciphertext's level: same

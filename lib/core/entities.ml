@@ -1,6 +1,17 @@
 module Rng = Util.Rng
 module Counters = Util.Counters
 module Perm = Util.Perm
+module Pool = Util.Pool
+
+(* Per-worker counters keep recording race-free under Pool.map_local;
+   absorbing them in worker order makes the totals exact (and identical)
+   for every job count. *)
+let merge_into counters w = Counters.absorb ~into:counters w
+
+(* One independent RNG stream per point, split off sequentially from the
+   parent before the parallel loop, so the ciphertexts are bit-identical
+   whatever the job count. *)
+let split_streams rng n = Array.init n (fun _ -> Rng.split rng)
 
 type encrypted_point = {
   coords : Bgv.ct array option;
@@ -76,7 +87,7 @@ module Data_owner = struct
                v config.Config.max_coord_bits))
       point
 
-  let encrypt_db ?counters rng t db =
+  let encrypt_db ?counters ?jobs rng t db =
     let config = t.config in
     let n_points = Array.length db in
     if n_points = 0 then invalid_arg "Data_owner.encrypt_db: empty database";
@@ -86,13 +97,16 @@ module Data_owner = struct
      | Error msg -> invalid_arg ("Data_owner.encrypt_db: " ^ msg));
     if d > config.Config.bgv.Params.n then
       invalid_arg "Data_owner.encrypt_db: dimension exceeds ring degree";
+    Array.iter (validate_point config ~d) db;
     let params = config.Config.bgv in
     let pk = t.keys.Bgv.pk in
-    let enc pt = Bgv.encrypt ?counters rng pk pt in
+    let rngs = split_streams rng n_points in
     let points =
-      Array.map
-        (fun point ->
-          validate_point config ~d point;
+      Pool.map_local ?jobs ~make:Counters.create
+        ~merge:(fun w -> Option.iter (fun c -> merge_into c w) counters)
+        ~f:(fun counters i point ->
+          let rng = rngs.(i) in
+          let enc pt = Bgv.encrypt ~counters rng pk pt in
           let packed = enc (packed_plaintext params point) in
           match config.Config.layout with
           | Config.Per_coordinate ->
@@ -117,11 +131,16 @@ module Party_a = struct
     rlk : Bgv.relin_key;
     db : encrypted_db;
     counters : Counters.t;
+    jobs : int;
   }
 
-  let create config pk rlk db = { config; pk; rlk; db; counters = Counters.create () }
+  let create ?jobs config pk rlk db =
+    let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+    { config; pk; rlk; db; counters = Counters.create (); jobs }
+
   let counters t = t.counters
   let db_size t = t.db.db_n
+  let jobs t = t.jobs
 
   type query_state = { mask : Masking.t; perm : Perm.t }
 
@@ -130,21 +149,16 @@ module Party_a = struct
 
   let rlk_opt t = if t.config.Config.use_relin then Some t.rlk else None
 
-  let encrypted_distance t query point =
-    let counters = t.counters in
+  let encrypted_distance t ~counters query point =
     match t.config.Config.layout, point.coords, query.q_coords with
     | Config.Per_coordinate, Some coords, Some q_coords ->
       (* ED = sum_j (p'_j - q'_j)^2, Steps 2-4 of Algorithm 1.  The
-         per-dimension squares are left unrescaled; one rescale after
-         the sum costs d-1 fewer modulus switches per point. *)
-      let acc = ref None in
-      Array.iteri
-        (fun j c ->
-          let diff = Bgv.sub ~counters c q_coords.(j) in
-          let sq = Bgv.mul ~counters ?rlk:(rlk_opt t) ~rescale:false diff diff in
-          acc := Some (match !acc with None -> sq | Some a -> Bgv.add ~counters a sq))
-        coords;
-      let ed = Option.get !acc in
+         per-dimension squares are left unrescaled (fused inner product
+         of the difference vector with itself); one rescale after the
+         sum costs d-1 fewer modulus switches per point. *)
+      let diffs = Array.mapi (fun j c -> Bgv.sub ~counters c q_coords.(j)) coords in
+      (* jobs:1 — compute_distances already parallelises over points. *)
+      let ed = Bgv.mul_sum ~counters ~jobs:1 ?rlk:(rlk_opt t) diffs diffs in
       if t.config.Config.rescale_distances then Bgv.rescale_to_floor ~counters ed else ed
     | Config.Dot_product, _, _ ->
       let q_rev = Option.get query.q_rev and q_norm = Option.get query.q_norm in
@@ -169,7 +183,6 @@ module Party_a = struct
 
   let compute_distances t rng query =
     let config = t.config in
-    let counters = t.counters in
     let d = t.db.db_d in
     if query.q_dim <> d then invalid_arg "Party_a.compute_distances: dimension mismatch";
     let mask =
@@ -179,15 +192,16 @@ module Party_a = struct
         ~coeff_bits:config.Config.mask_coeff_bits ()
     in
     let coeffs = Masking.coeffs mask in
+    let rngs = split_streams rng t.db.db_n in
     let masked =
-      Array.map
-        (fun point ->
-          let ed = encrypted_distance t query point in
+      Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
+        ~f:(fun counters i point ->
+          let ed = encrypted_distance t ~counters query point in
           let m = Bgv.eval_poly ~counters ?rlk:(rlk_opt t) ~coeffs ed in
           match config.Config.layout with
           | Config.Per_coordinate -> m
           | Config.Dot_product ->
-            Bgv.add_plain ~counters m (zero_constant_randomizer rng config.Config.bgv))
+            Bgv.add_plain ~counters m (zero_constant_randomizer rngs.(i) config.Config.bgv))
         t.db.points
     in
     let perm = Perm.random rng t.db.db_n in
@@ -197,15 +211,10 @@ module Party_a = struct
     Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
 
   let select_row t permuted_packed row =
-    (* T^j = Π(P')·B^j summed: one re-randomised encrypted point. *)
-    let counters = t.counters in
-    let acc = ref None in
-    Array.iteri
-      (fun i b ->
-        let term = Bgv.mul ~counters ~rescale:false permuted_packed.(i) b in
-        acc := Some (match !acc with None -> term | Some a -> Bgv.add ~counters a term))
-      row;
-    Option.get !acc
+    (* T^j = Π(P')·B^j summed: one re-randomised encrypted point.  The
+       inner product is fused and split across domains; return_knn keeps
+       the k rows sequential so parallelism is never nested. *)
+    Bgv.mul_sum ~counters:t.counters ~jobs:t.jobs permuted_packed row
 
   let permuted_packed t state =
     let lvl = return_level t in
@@ -225,9 +234,13 @@ module Party_b = struct
     sk : Bgv.secret_key;
     pk : Bgv.public_key;
     counters : Counters.t;
+    jobs : int;
   }
 
-  let create config sk pk = { config; sk; pk; counters = Counters.create () }
+  let create ?jobs config sk pk =
+    let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+    { config; sk; pk; counters = Counters.create (); jobs }
+
   let counters t = t.counters
 
   type view = { masked_distances : int64 array; selected : int array }
@@ -235,22 +248,13 @@ module Party_b = struct
   let select_neighbours t cts ~k =
     let n = Array.length cts in
     if k < 1 || k > n then invalid_arg "Party_b: k out of range";
+    (* The decrypt-and-select half runs sequentially on purpose: it
+       handles secret-key material and masked plaintexts, and keeping it
+       single-domain keeps B's trusted computing base minimal.  The scan
+       itself is the O(n log k) heap replication of Algorithm 2's
+       streaming max-replacement (Util.Topk). *)
     let masked = Array.map (fun ct -> Bgv.decrypt_coeff0 ~counters:t.counters t.sk ct) cts in
-    (* Algorithm 2: initialise NN with the first k values, then replace
-       the running maximum on strict improvement. *)
-    let nn = Array.sub masked 0 k in
-    let nn_index = Array.init k (fun i -> i) in
-    for i = k to n - 1 do
-      let maxindex = ref 0 in
-      for j = 1 to k - 1 do
-        if Int64.compare nn.(j) nn.(!maxindex) > 0 then maxindex := j
-      done;
-      if Int64.compare masked.(i) nn.(!maxindex) < 0 then begin
-        nn.(!maxindex) <- masked.(i);
-        nn_index.(!maxindex) <- i
-      end
-    done;
-    { masked_distances = masked; selected = nn_index }
+    { masked_distances = masked; selected = Util.Topk.smallest ~k masked }
 
   let return_level t =
     Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
@@ -259,9 +263,12 @@ module Party_b = struct
     let params = t.config.Config.bgv in
     let level = return_level t in
     let sel = view.selected.(j) in
-    Array.init n (fun i ->
+    let rngs = split_streams rng n in
+    Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
+      ~f:(fun counters i rng ->
         let bit = if i = sel then 1L else 0L in
-        Bgv.encrypt ~counters:t.counters ~level rng t.pk (Plaintext.constant params bit))
+        Bgv.encrypt ~counters ~level rng t.pk (Plaintext.constant params bit))
+      rngs
 
   let find_neighbours t rng cts ~k =
     let n = Array.length cts in
@@ -278,9 +285,13 @@ module Client = struct
     sk : Bgv.secret_key;
     pk : Bgv.public_key;
     counters : Counters.t;
+    jobs : int;
   }
 
-  let create config sk pk = { config; sk; pk; counters = Counters.create () }
+  let create ?jobs config sk pk =
+    let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+    { config; sk; pk; counters = Counters.create (); jobs }
+
   let counters t = t.counters
 
   let encrypt_query t rng query =
@@ -306,9 +317,9 @@ module Client = struct
       { q_coords = None; q_rev = Some q_rev; q_norm = Some q_norm; q_dim = d }
 
   let decrypt_points t ~d cts =
-    Array.map
-      (fun ct ->
-        let pt = Bgv.decrypt ~counters:t.counters t.sk ct in
+    Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
+      ~f:(fun counters _ ct ->
+        let pt = Bgv.decrypt ~counters t.sk ct in
         let coeffs = Plaintext.to_coeffs pt in
         Array.init d (fun j -> Int64.to_int coeffs.(j)))
       cts

@@ -38,9 +38,13 @@ module Data_owner : sig
   val config : t -> Config.t
 
   val encrypt_db :
-    ?counters:Util.Counters.t -> Util.Rng.t -> t -> int array array -> encrypted_db
+    ?counters:Util.Counters.t -> ?jobs:int -> Util.Rng.t -> t -> int array array ->
+    encrypted_db
   (** Validates every coordinate against [max_coord_bits] and the layout
-      constraints before encrypting.
+      constraints before encrypting.  Points are encrypted in parallel
+      over [jobs] domains (default {!Util.Pool.default_jobs}); each
+      point's randomness comes from its own stream split off [rng]
+      sequentially, so the result is bit-identical for every job count.
       @raise Invalid_argument on bad data. *)
 end
 
@@ -49,9 +53,15 @@ end
 module Party_a : sig
   type t
 
-  val create : Config.t -> Bgv.public_key -> Bgv.relin_key -> encrypted_db -> t
+  val create :
+    ?jobs:int -> Config.t -> Bgv.public_key -> Bgv.relin_key -> encrypted_db -> t
+  (** [jobs] is the domain count used by {!compute_distances} and
+      {!select_row} (default {!Util.Pool.default_jobs}).  Results and
+      counter totals are identical for every value. *)
+
   val counters : t -> Util.Counters.t
   val db_size : t -> int
+  val jobs : t -> int
 
   type query_state
   (** Party A's per-query secrets: the fresh masking polynomial and the
@@ -86,7 +96,11 @@ end
 module Party_b : sig
   type t
 
-  val create : Config.t -> Bgv.secret_key -> Bgv.public_key -> t
+  val create : ?jobs:int -> Config.t -> Bgv.secret_key -> Bgv.public_key -> t
+  (** [jobs] parallelises {!indicator_row}'s batch encryption only; the
+      decrypt-and-select half of Algorithm 2 always runs in B's own
+      domain (it touches secret-key material). *)
+
   val counters : t -> Util.Counters.t
 
   type view = {
@@ -99,8 +113,10 @@ module Party_b : sig
   val find_neighbours :
     t -> Util.Rng.t -> Bgv.ct array -> k:int -> Bgv.ct array array * view
   (** Algorithm 2: decrypts the masked distances, selects the k smallest
-      by the streaming max-replacement scan, and returns the k encrypted
-      indicator vectors.  The [view] is returned for leakage auditing. *)
+      with an O(n log k) heap that replicates the paper's streaming
+      max-replacement scan exactly (ties included; see {!Util.Topk}),
+      and returns the k encrypted indicator vectors.  The [view] is
+      returned for leakage auditing. *)
 
   val select_neighbours : t -> Bgv.ct array -> k:int -> view
   (** The decrypt-and-select half of Algorithm 2 without materialising
@@ -117,7 +133,9 @@ end
 module Client : sig
   type t
 
-  val create : Config.t -> Bgv.secret_key -> Bgv.public_key -> t
+  val create : ?jobs:int -> Config.t -> Bgv.secret_key -> Bgv.public_key -> t
+  (** [jobs] parallelises {!decrypt_points}. *)
+
   val counters : t -> Util.Counters.t
 
   val encrypt_query : t -> Util.Rng.t -> int array -> encrypted_query

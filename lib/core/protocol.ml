@@ -10,6 +10,7 @@ type deployment = {
   cl : Entities.Client.t;
   setup_transcript : Transcript.t;
   query_seed : Rng.t; (* source of per-query randomness *)
+  jobs : int;
 }
 
 let config d = d.config
@@ -19,20 +20,22 @@ let setup_transcript d = d.setup_transcript
 let party_a d = d.a
 let party_b d = d.b
 let client d = d.cl
+let jobs d = d.jobs
 
 let pk_bytes config =
   (* Two ring elements at the full chain, 4 bytes per residue. *)
   let p = config.Config.bgv in
   2 * Params.chain_length p * p.Params.n * 4
 
-let deploy ?rng ?counters config ~db =
+let deploy ?rng ?counters ?jobs config ~db =
   let rng = match rng with Some r -> r | None -> Rng.of_int 0x5ecdb in
+  let jobs = match jobs with Some j -> j | None -> Util.Pool.default_jobs () in
   let owner = Entities.Data_owner.create (Rng.split rng) config in
-  let enc_db = Entities.Data_owner.encrypt_db ?counters (Rng.split rng) owner db in
+  let enc_db = Entities.Data_owner.encrypt_db ?counters ~jobs (Rng.split rng) owner db in
   let keys = Entities.Data_owner.keys owner in
-  let a = Entities.Party_a.create config keys.Bgv.pk keys.Bgv.rlk enc_db in
-  let b = Entities.Party_b.create config keys.Bgv.sk keys.Bgv.pk in
-  let cl = Entities.Client.create config keys.Bgv.sk keys.Bgv.pk in
+  let a = Entities.Party_a.create ~jobs config keys.Bgv.pk keys.Bgv.rlk enc_db in
+  let b = Entities.Party_b.create ~jobs config keys.Bgv.sk keys.Bgv.pk in
+  let cl = Entities.Client.create ~jobs config keys.Bgv.sk keys.Bgv.pk in
   let tr = Transcript.create () in
   let open Transcript in
   send tr ~sender:Data_owner ~receiver:Party_a ~label:"public key" ~bytes:(pk_bytes config);
@@ -47,7 +50,8 @@ let deploy ?rng ?counters config ~db =
     db_d = Array.length db.(0);
     a; b; cl;
     setup_transcript = tr;
-    query_seed = Rng.split rng }
+    query_seed = Rng.split rng;
+    jobs }
 
 type result = {
   neighbours : int array array;

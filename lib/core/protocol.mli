@@ -24,13 +24,20 @@
 type deployment
 
 val deploy :
-  ?rng:Util.Rng.t -> ?counters:Util.Counters.t -> Config.t -> db:int array array ->
-  deployment
-(** @raise Invalid_argument if the configuration is unsound for the
+  ?rng:Util.Rng.t -> ?counters:Util.Counters.t -> ?jobs:int -> Config.t ->
+  db:int array array -> deployment
+(** [jobs] is the number of OCaml domains every parallel phase of this
+    deployment uses (database encryption, Compute-Distances, Return-kNN
+    inner products, indicator encryption, result decryption); it
+    defaults to {!Util.Pool.default_jobs} ([SKNN_DOMAINS] or the
+    machine's recommended domain count).  Query results, transcripts and
+    counter totals are bit-identical for every job count.
+    @raise Invalid_argument if the configuration is unsound for the
     database's dimensionality (see {!Config.validate}) or the data is
     out of range. *)
 
 val config : deployment -> Config.t
+val jobs : deployment -> int
 val db_size : deployment -> int
 val dimension : deployment -> int
 val setup_transcript : deployment -> Transcript.t

@@ -7,7 +7,7 @@ type context = {
   n : int;
   moduli : int array;
   tables : Ntt.table array;
-  mutable bases : (int * Crt.basis) list; (* cache: nprimes -> basis *)
+  bases : Crt.basis array; (* bases.(i): basis of the first i+1 primes *)
 }
 
 type t = {
@@ -25,7 +25,13 @@ let context ~n ~moduli =
       Hashtbl.add seen p ())
     moduli;
   let tables = Array.map (fun p -> Ntt.make_table ~p ~n) moduli in
-  { n; moduli = Array.copy moduli; tables; bases = [] }
+  (* Every chain-prefix basis is built eagerly so the context is
+     immutable after creation — values can then be shared freely across
+     domains by the parallel protocol phases. *)
+  let bases =
+    Array.init (Array.length moduli) (fun i -> Crt.make (Array.sub moduli 0 (i + 1)))
+  in
+  { n; moduli = Array.copy moduli; tables; bases }
 
 let degree c = c.n
 let moduli c = Array.copy c.moduli
@@ -33,12 +39,7 @@ let chain_length c = Array.length c.moduli
 
 let basis c ~nprimes =
   if nprimes < 1 || nprimes > Array.length c.moduli then invalid_arg "Rq.basis: bad nprimes";
-  match List.assoc_opt nprimes c.bases with
-  | Some b -> b
-  | None ->
-    let b = Crt.make (Array.sub c.moduli 0 nprimes) in
-    c.bases <- (nprimes, b) :: c.bases;
-    b
+  c.bases.(nprimes - 1)
 
 let modulus c ~nprimes = Crt.modulus (basis c ~nprimes)
 
@@ -190,6 +191,20 @@ let mul_scalar a s =
       a.comps
   in
   { a with comps }
+
+let mul_add_into acc a b =
+  check_compat acc a "Rq.mul_add_into";
+  check_compat a b "Rq.mul_add_into";
+  if acc.domain <> Eval then invalid_arg "Rq.mul_add_into: accumulator must be Eval";
+  let a = to_eval a and b = to_eval b in
+  for i = 0 to Array.length acc.comps - 1 do
+    let p = acc.ctx.moduli.(i) in
+    let ca = a.comps.(i) and cb = b.comps.(i) and cacc = acc.comps.(i) in
+    for j = 0 to acc.ctx.n - 1 do
+      let v = cacc.(j) + (ca.(j) * cb.(j) mod p) in
+      cacc.(j) <- (if v >= p then v - p else v)
+    done
+  done
 
 let equal a b =
   a.ctx == b.ctx

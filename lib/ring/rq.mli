@@ -10,7 +10,10 @@
     fresh value (the module reuses buffers internally where safe). *)
 
 type context
-(** Ring degree, modulus chain and NTT tables, shared by all values. *)
+(** Ring degree, modulus chain, NTT tables and all chain-prefix CRT
+    bases, shared by all values.  Immutable after creation, so a context
+    (and every value over it) may be read concurrently from multiple
+    domains. *)
 
 type domain = Coeff | Eval
 (** [Coeff]: natural coefficient embedding. [Eval]: per-prime NTT
@@ -72,6 +75,14 @@ val mul : t -> t -> t
 
 val mul_scalar : t -> int64 -> t
 (** Multiply every coefficient by a signed scalar. *)
+
+val mul_add_into : t -> t -> t -> unit
+(** [mul_add_into acc a b] sets [acc <- acc + a·b] by fused pointwise
+    multiply-accumulate, allocating nothing — the inner-product
+    primitive behind {!Bgv.mul_sum}.  [acc] must be in [Eval] domain,
+    uniquely owned by the caller (create it with {!zero}), and at the
+    same level as [a] and [b]; this is the one sanctioned mutation of an
+    [Rq] value. *)
 
 val equal : t -> t -> bool
 (** Structural equality at identical level; domains are reconciled. *)

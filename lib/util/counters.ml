@@ -61,6 +61,30 @@ let hom_total t =
 let rounds t = t.round
 let bytes_sent t = t.bytes
 
+let record_n t e k =
+  if k < 0 then invalid_arg "Counters.record_n: negative count";
+  match e with
+  | Encrypt -> t.encrypt <- t.encrypt + k
+  | Decrypt -> t.decrypt <- t.decrypt + k
+  | Hom_add -> t.hom_add <- t.hom_add + k
+  | Hom_mul -> t.hom_mul <- t.hom_mul + k
+  | Hom_mul_plain -> t.hom_mul_plain <- t.hom_mul_plain + k
+  | Hom_modswitch -> t.hom_modswitch <- t.hom_modswitch + k
+  | Hom_relin -> t.hom_relin <- t.hom_relin + k
+  | Round -> t.round <- t.round + k
+  | Bytes_sent n -> t.bytes <- t.bytes + (n * k)
+
+let absorb ~into b =
+  into.encrypt <- into.encrypt + b.encrypt;
+  into.decrypt <- into.decrypt + b.decrypt;
+  into.hom_add <- into.hom_add + b.hom_add;
+  into.hom_mul <- into.hom_mul + b.hom_mul;
+  into.hom_mul_plain <- into.hom_mul_plain + b.hom_mul_plain;
+  into.hom_modswitch <- into.hom_modswitch + b.hom_modswitch;
+  into.hom_relin <- into.hom_relin + b.hom_relin;
+  into.round <- into.round + b.round;
+  into.bytes <- into.bytes + b.bytes
+
 let merge a b =
   { encrypt = a.encrypt + b.encrypt;
     decrypt = a.decrypt + b.decrypt;

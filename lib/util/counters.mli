@@ -38,7 +38,16 @@ val hom_total : t -> int
 val rounds : t -> int
 val bytes_sent : t -> int
 
+val record_n : t -> event -> int -> unit
+(** [record_n t e k] records [e] [k] times ([k >= 0]); for
+    [Bytes_sent n] this adds [n * k] bytes. *)
+
 val merge : t -> t -> t
 (** [merge a b] is a fresh counter holding the component-wise sums. *)
+
+val absorb : into:t -> t -> unit
+(** [absorb ~into b] adds every count of [b] into [into].  This is how
+    per-worker counters from {!Pool.map_local} are folded back into a
+    party's counter, keeping totals exact under any job count. *)
 
 val pp : Format.formatter -> t -> unit

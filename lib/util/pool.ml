@@ -1,0 +1,73 @@
+(* Static contiguous chunking over OCaml 5 domains.  Workers return
+   their chunk as a fresh array; the caller concatenates in worker
+   order, so results are position-identical to the sequential map. *)
+
+let max_domains = 64 (* well under the runtime's domain limit *)
+
+let env_jobs () =
+  match Sys.getenv_opt "SKNN_DOMAINS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j >= 1 -> Some j
+     | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some j -> Stdlib.min j max_domains
+  | None -> Stdlib.min (Domain.recommended_domain_count ()) max_domains
+
+let resolve jobs n =
+  let j = match jobs with Some j -> j | None -> default_jobs () in
+  if j < 1 then invalid_arg "Pool: jobs < 1";
+  Stdlib.min (Stdlib.min j max_domains) (Stdlib.max 1 n)
+
+type ('b, 'w) outcome =
+  | Done of 'b array * 'w
+  | Raised of exn * Printexc.raw_backtrace
+
+let map_local ?jobs ~make ~merge ~f a =
+  let n = Array.length a in
+  let j = resolve jobs n in
+  if j = 1 then begin
+    let w = make () in
+    let out = Array.mapi (fun i x -> f w i x) a in
+    merge w;
+    out
+  end
+  else begin
+    (* Chunk w covers [start w, start (w+1)); sizes differ by <= 1. *)
+    let base = n / j and extra = n mod j in
+    let start w = (w * base) + Stdlib.min w extra in
+    let run w =
+      match
+        let st = make () in
+        let lo = start w and hi = start (w + 1) in
+        let res = Array.init (hi - lo) (fun i -> f st (lo + i) a.(lo + i)) in
+        (res, st)
+      with
+      | res, st -> Done (res, st)
+      | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+    in
+    let spawned = Array.init (j - 1) (fun w -> Domain.spawn (fun () -> run (w + 1))) in
+    let first = run 0 in
+    let outcomes = Array.append [| first |] (Array.map Domain.join spawned) in
+    (* Re-raise the lowest-indexed failure only after every domain joined. *)
+    Array.iter
+      (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | Done _ -> ())
+      outcomes;
+    let chunks =
+      Array.map (function Done (res, st) -> (res, st) | Raised _ -> assert false) outcomes
+    in
+    Array.iter (fun (_, st) -> merge st) chunks;
+    Array.concat (Array.to_list (Array.map fst chunks))
+  end
+
+let map ?jobs f a = map_local ?jobs ~make:(fun () -> ()) ~merge:ignore ~f:(fun () _ x -> f x) a
+
+let mapi ?jobs f a =
+  map_local ?jobs ~make:(fun () -> ()) ~merge:ignore ~f:(fun () i x -> f i x) a
+
+let init ?jobs n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  mapi ?jobs (fun i () -> f i) (Array.make n ())

@@ -1,0 +1,49 @@
+(** Domain-based work pool for embarrassingly parallel loops.
+
+    The protocol's dominant cost is Party A's Compute-Distances phase —
+    [n] independent homomorphic pipelines — plus a handful of other
+    per-point stages (database encryption, indicator-row encryption,
+    result decryption).  This module runs such loops across OCaml 5
+    domains with static contiguous chunking.
+
+    Design contract, relied on by the protocol layer:
+
+    - {b Ordered results}: [map f a] returns exactly
+      [Array.map f a] — element [i] of the output is [f a.(i)] whatever
+      the job count.
+    - {b Sequential path}: with [jobs = 1] (or a single-element input)
+      no domain is spawned; [f] runs in the calling domain.
+    - {b Exception propagation}: if any invocation of [f] raises, all
+      workers are joined and the exception of the lowest-indexed failing
+      chunk is re-raised (with its backtrace) in the caller.
+    - {b Worker-local state}: {!map_local} gives every worker its own
+      accumulator (e.g. a fresh {!Counters.t}) created by [make] and
+      hands each back to [merge] in worker order after the join, so
+      operation counts stay exact under any job count.
+
+    Functions passed to the pool must not touch shared mutable state;
+    determinism across job counts is then guaranteed because chunking
+    only changes {e where} each independent [f a.(i)] runs. *)
+
+val default_jobs : unit -> int
+(** The job count used when [?jobs] is omitted: the [SKNN_DOMAINS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map_local :
+  ?jobs:int ->
+  make:(unit -> 'w) ->
+  merge:('w -> unit) ->
+  f:('w -> int -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** [map_local ~make ~merge ~f a] is [Array.mapi (f w) a] with the work
+    split over [jobs] workers; each worker calls [make ()] once and maps
+    its chunk with that state, and after all workers complete [merge] is
+    applied to every worker state in worker order (in the calling
+    domain).  [merge] runs even when [f] never ran (empty chunk). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** Parallel analogues of [Array.map], [Array.mapi] and [Array.init]. *)

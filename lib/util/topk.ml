@@ -1,0 +1,41 @@
+(* Max-heap of slot numbers, ordered by (value desc, slot asc), so the
+   root is always the slot the naive scan would displace: the maximum
+   value, lowest slot among equals. *)
+
+let smallest ~k xs =
+  let n = Array.length xs in
+  if k < 1 || k > n then invalid_arg "Topk.smallest: k out of range";
+  let nn = Array.sub xs 0 k in
+  let sel = Array.init k (fun s -> s) in
+  let heap = Array.init k (fun s -> s) in
+  (* [precedes a b]: slot a sits above slot b in the heap. *)
+  let precedes a b =
+    let c = Int64.compare nn.(a) nn.(b) in
+    c > 0 || (c = 0 && a < b)
+  in
+  let swap i j =
+    let t = heap.(i) in
+    heap.(i) <- heap.(j);
+    heap.(j) <- t
+  in
+  let rec sift_down i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = if l < k && precedes heap.(l) heap.(i) then l else i in
+    let m = if r < k && precedes heap.(r) heap.(m) then r else m in
+    if m <> i then begin
+      swap i m;
+      sift_down m
+    end
+  in
+  for i = (k / 2) - 1 downto 0 do
+    sift_down i
+  done;
+  for i = k to n - 1 do
+    let top = heap.(0) in
+    if Int64.compare xs.(i) nn.(top) < 0 then begin
+      nn.(top) <- xs.(i);
+      sel.(top) <- i;
+      sift_down 0
+    end
+  done;
+  sel

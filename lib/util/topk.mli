@@ -1,0 +1,18 @@
+(** Streaming top-k selection (k smallest) in O(n log k).
+
+    Replaces the O(n·k) max-replacement scan of the paper's Algorithm 2
+    with a binary max-heap while reproducing the scan's semantics {e
+    bit-for-bit}, ties included: the first [k] values seat slots
+    [0..k-1]; a later value displaces the current maximum only on strict
+    improvement; and when several slots hold the maximum, the
+    lowest-numbered slot is the one displaced (which is what the naive
+    scan's first-maximum search does).  The displacing value inherits
+    the displaced slot, so the returned slot→index table is identical to
+    the naive algorithm's on every input. *)
+
+val smallest : k:int -> int64 array -> int array
+(** [smallest ~k xs] returns [sel] of length [k] with [sel.(s)] the
+    index into [xs] held by slot [s] after the streaming scan; the
+    multiset [{xs.(sel.(s))}] is the [k] smallest values of [xs] (ties
+    resolved towards earlier arrivals).
+    @raise Invalid_argument unless [1 <= k <= Array.length xs]. *)

@@ -226,6 +226,38 @@ let test_deterministic_given_seed () =
   Alcotest.(check bool) "same neighbours" true (n1 = n2);
   Alcotest.(check bool) "same view" true (v1 = v2)
 
+let test_jobs_determinism () =
+  (* The parallel phases must be a pure scheduling change: the protocol
+     run at 1 domain and at 4 domains returns identical neighbours,
+     moves identical bytes, and records identical operation counts. *)
+  let db = small_db (Rng.of_int 141) in
+  let q = [| 10; 20; 30 |] in
+  let run jobs config =
+    let dep = Protocol.deploy ~rng:(Rng.of_int 999) ~jobs config ~db in
+    Protocol.query ~rng:(Rng.of_int 1000) dep ~query:q ~k:3
+  in
+  let counters_s c = Format.asprintf "%a" Util.Counters.pp c in
+  List.iter
+    (fun (name, config) ->
+      let r1 = run 1 config and r4 = run 4 config in
+      Alcotest.(check bool) (name ^ ": same neighbours") true
+        (r1.Protocol.neighbours = r4.Protocol.neighbours);
+      Alcotest.(check bool) (name ^ ": same view") true
+        (r1.Protocol.view_b = r4.Protocol.view_b);
+      Alcotest.(check int) (name ^ ": same message count")
+        (Transcript.messages r1.Protocol.transcript)
+        (Transcript.messages r4.Protocol.transcript);
+      Alcotest.(check int) (name ^ ": same transcript bytes")
+        (Transcript.total_bytes r1.Protocol.transcript)
+        (Transcript.total_bytes r4.Protocol.transcript);
+      Alcotest.(check string) (name ^ ": party A counters")
+        (counters_s r1.Protocol.counters_a) (counters_s r4.Protocol.counters_a);
+      Alcotest.(check string) (name ^ ": party B counters")
+        (counters_s r1.Protocol.counters_b) (counters_s r4.Protocol.counters_b);
+      Alcotest.(check string) (name ^ ": client counters")
+        (counters_s r1.Protocol.counters_client) (counters_s r4.Protocol.counters_client))
+    [ ("dot-product", Config.fast ()); ("per-coordinate", Config.standard ()) ]
+
 (* ------------------------------------------------------------------ *)
 (* Leakage profile (Theorems 4.1 / 4.2)                                *)
 (* ------------------------------------------------------------------ *)
@@ -377,7 +409,8 @@ let () =
          Alcotest.test_case "validation errors" `Quick test_validation_errors;
          Alcotest.test_case "transcript structure" `Quick test_transcript_structure;
          Alcotest.test_case "phase times" `Quick test_phase_times_present;
-         Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed ]);
+         Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+         Alcotest.test_case "identical across job counts" `Quick test_jobs_determinism ]);
       ("leakage",
        [ Alcotest.test_case "order preserved" `Quick test_leakage_order_preserved;
          Alcotest.test_case "equidistant groups" `Quick test_leakage_equidistant_groups;

@@ -5,6 +5,7 @@ module Rng = Util.Rng
 module Perm = Util.Perm
 module Counters = Util.Counters
 module Matf = Util.Matf
+module Topk = Util.Topk
 
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
@@ -138,6 +139,66 @@ let test_perm_uniformity () =
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Topk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Literal transcription of Algorithm 2's streaming scan (the code the
+   heap replaced): seed NN with the first k values, then replace the
+   running maximum — the first maximum found, scanning left to right —
+   on strict improvement.  Topk.smallest must reproduce its slot table
+   bit for bit, ties and all. *)
+let naive_smallest ~k xs =
+  let nn = Array.sub xs 0 k in
+  let idx = Array.init k (fun i -> i) in
+  for i = k to Array.length xs - 1 do
+    let mx = ref 0 in
+    for j = 1 to k - 1 do
+      if Int64.compare nn.(j) nn.(!mx) > 0 then mx := j
+    done;
+    if Int64.compare xs.(i) nn.(!mx) < 0 then begin
+      nn.(!mx) <- xs.(i);
+      idx.(!mx) <- i
+    end
+  done;
+  idx
+
+let test_topk_edges () =
+  let check name ~k xs =
+    Alcotest.(check (array int)) name (naive_smallest ~k xs) (Topk.smallest ~k xs)
+  in
+  check "k=1 ascending" ~k:1 [| 5L; 4L; 3L; 2L; 1L |];
+  check "k=n" ~k:5 [| 5L; 4L; 3L; 2L; 1L |];
+  check "all equal" ~k:3 [| 7L; 7L; 7L; 7L; 7L; 7L |];
+  check "descending" ~k:4 [| 9L; 8L; 7L; 6L; 5L; 4L; 3L |];
+  check "negative values" ~k:2 [| 0L; -3L; 5L; -3L; 2L |];
+  check "singleton" ~k:1 [| 42L |]
+
+let prop_topk_matches_naive ~name gen_value =
+  QCheck.Test.make ~count:1000 ~name
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 80))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let k = 1 + Rng.int_below rng n in
+      let xs = Array.init n (fun _ -> gen_value rng) in
+      Topk.smallest ~k xs = naive_smallest ~k xs)
+
+let prop_topk_ties =
+  (* Values drawn from {0..4}: duplicates everywhere, so any divergence
+     in tie or eviction order from the naive scan shows up here. *)
+  prop_topk_matches_naive ~name:"Topk = naive scan (heavy ties)" (fun rng ->
+      Int64.of_int (Rng.int_below rng 5))
+
+let prop_topk_wide =
+  prop_topk_matches_naive ~name:"Topk = naive scan (wide range)" (fun rng ->
+      Int64.sub (Rng.int64_below rng 2_000_000L) 1_000_000L)
+
+let test_topk_validation () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Topk.smallest: k out of range")
+    (fun () -> ignore (Topk.smallest ~k:0 [| 1L |]));
+  Alcotest.check_raises "k>n" (Invalid_argument "Topk.smallest: k out of range")
+    (fun () -> ignore (Topk.smallest ~k:2 [| 1L |]))
+
 let test_counters_record_and_merge () =
   let c = Counters.create () in
   Counters.record c Counters.Encrypt;
@@ -231,8 +292,13 @@ let () =
       ("counters",
        [ Alcotest.test_case "record/merge/reset" `Quick test_counters_record_and_merge;
          Alcotest.test_case "timer" `Quick test_timer ]);
+      ("topk",
+       [ Alcotest.test_case "edge cases vs naive" `Quick test_topk_edges;
+         Alcotest.test_case "validation" `Quick test_topk_validation ]);
       ("matf",
        [ Alcotest.test_case "basics" `Quick test_matf_basics;
          Alcotest.test_case "inverse" `Quick test_matf_inverse;
          Alcotest.test_case "solve" `Quick test_matf_solve ]);
-      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_matf_mulvec_linear ]) ]
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_matf_mulvec_linear; prop_topk_ties; prop_topk_wide ]) ]
