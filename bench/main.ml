@@ -34,7 +34,21 @@ type opts = {
   seed : int;
   jobs : int option;         (* domains per parallel phase *)
   json : string option;      (* machine-readable results file *)
+  trace : string option;     (* span-trace output file *)
+  trace_format : string;     (* chrome | jsonl | pretty *)
 }
+
+(* The observability context shared by every protocol run of the session;
+   Ctx.disabled (the default) keeps the hot path unobserved. *)
+let obs : Sknn_obs.Ctx.t ref = ref Sknn_obs.Ctx.disabled
+
+(* Run one query under a root span so each benchmark query shows up as
+   its own top-level tree in the trace. *)
+let traced_query ?rng ~experiment dep ~query ~k =
+  Sknn_obs.Ctx.with_span !obs ~kind:Sknn_obs.Trace.Root
+    ~args:[ ("experiment", experiment); ("k", string_of_int k) ]
+    experiment
+    (fun () -> Protocol.query ~obs:!obs ?rng dep ~query ~k)
 
 let effective_jobs opts =
   match opts.jobs with Some j -> j | None -> Util.Pool.default_jobs ()
@@ -135,6 +149,18 @@ let json_counters c =
       ("rounds", Int (Util.Counters.rounds c));
       ("bytes_sent", Int (Util.Counters.bytes_sent c)) ]
 
+let json_transcript tr =
+  Obj
+    [ ("total_bytes", Int (Transcript.total_bytes tr));
+      ("messages", Int (Transcript.messages tr));
+      ("a_b_rounds", Int (Transcript.rounds tr Transcript.Party_a Transcript.Party_b));
+      ("links",
+       Obj
+         (List.map
+            (fun ((x, y), bytes) ->
+              (Transcript.party_name x ^ "-" ^ Transcript.party_name y, Int bytes))
+            (Transcript.links tr))) ]
+
 let json_runs : json list ref = ref []
 
 let record_run ~experiment ~n ~d ~k ~jobs ~seconds ~exact (r : Protocol.result) =
@@ -148,6 +174,8 @@ let record_run ~experiment ~n ~d ~k ~jobs ~seconds ~exact (r : Protocol.result) 
         ("seconds", Float seconds);
         ("exact", Bool exact);
         ("phases", Obj (List.map (fun (nm, s) -> (nm, Float s)) r.Protocol.phase_seconds));
+        ("transcript", json_transcript r.Protocol.transcript);
+        ("top_heap_words", Int (Gc.quick_stat ()).Gc.top_heap_words);
         ("counters",
          Obj
            [ ("party_a", json_counters r.Protocol.counters_a);
@@ -156,13 +184,23 @@ let record_run ~experiment ~n ~d ~k ~jobs ~seconds ~exact (r : Protocol.result) 
     :: !json_runs
 
 let write_json opts path =
+  let gc = Gc.quick_stat () in
   let doc =
     Obj
-      [ ("generator", Str "sknn-bench");
+      [ ("schema_version", Int 2);
+        ("generator", Str "sknn-bench");
         ("git_rev", Str (git_rev ()));
         ("seed", Int opts.seed);
         ("jobs", Int (effective_jobs opts));
         ("full", Bool opts.full);
+        ("gc",
+         Obj
+           [ ("top_heap_words", Int gc.Gc.top_heap_words);
+             ("heap_words", Int gc.Gc.heap_words);
+             ("minor_collections", Int gc.Gc.minor_collections);
+             ("major_collections", Int gc.Gc.major_collections);
+             ("minor_words", Float gc.Gc.minor_words);
+             ("promoted_words", Float gc.Gc.promoted_words) ]);
         ("runs", List (List.rev !json_runs)) ]
   in
   let buf = Buffer.create 4096 in
@@ -178,11 +216,11 @@ let write_json opts path =
 (* ------------------------------------------------------------------ *)
 
 let run_query_series ~opts ~experiment ~config ~db ~queries_k ~rng =
-  let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
+  let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
   List.map
     (fun k ->
       let q = Synthetic.query_like rng db in
-      let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+      let r, s = Util.Timer.time (fun () -> traced_query ~experiment dep ~query:q ~k) in
       let ok = Protocol.exact dep ~db ~query:q r in
       record_run ~experiment ~n:(Array.length db) ~d:(Array.length db.(0)) ~k
         ~jobs:(Protocol.jobs dep) ~seconds:s ~exact:ok r;
@@ -269,9 +307,11 @@ let fig5 opts =
       (fun n ->
         let rng = Rng.of_int (opts.seed + 5 + n) in
         let db = Synthetic.uniform rng ~n ~d:2 ~max_value:255 in
-        let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
+        let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
         let q = Synthetic.query_like rng db in
-        let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:5) in
+        let r, s =
+          Util.Timer.time (fun () -> traced_query ~experiment:"fig5" dep ~query:q ~k:5)
+        in
         let ok = Protocol.exact dep ~db ~query:q r in
         record_run ~experiment:"fig5" ~n ~d:2 ~k:5 ~jobs:(Protocol.jobs dep) ~seconds:s
           ~exact:ok r;
@@ -304,9 +344,11 @@ let fig6 opts =
       (fun d ->
         let rng = Rng.of_int (opts.seed + 6 + d) in
         let db = Synthetic.uniform rng ~n ~d ~max_value:255 in
-        let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
+        let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
         let q = Synthetic.query_like rng db in
-        let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:2) in
+        let r, s =
+          Util.Timer.time (fun () -> traced_query ~experiment:"fig6" dep ~query:q ~k:2)
+        in
         let ok = Protocol.exact dep ~db ~query:q r in
         record_run ~experiment:"fig6" ~n ~d ~k:2 ~jobs:(Protocol.jobs dep) ~seconds:s
           ~exact:ok r;
@@ -355,8 +397,8 @@ let table1 opts =
   let q = Synthetic.query_like rng db in
   (* Ours, measured. *)
   let config = Config.standard () in
-  let dep = Protocol.deploy ~rng ?jobs:opts.jobs config ~db in
-  let r, r_s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
+  let r, r_s = Util.Timer.time (fun () -> traced_query ~experiment:"table1" dep ~query:q ~k) in
   record_run ~experiment:"table1" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:r_s
     ~exact:(Protocol.exact dep ~db ~query:q r) r;
   let ours_measured = Cost.measured r in
@@ -420,8 +462,10 @@ let headtohead opts =
   let q = Synthetic.query_like rng db in
   say "instance: n=%d, d=%d, k=%d%s@." n d k
     (if opts.full then "" else " (scaled; --full for n=2000, k=25)");
-  let dep = Protocol.deploy ~rng ?jobs:opts.jobs (Config.standard ()) ~db in
-  let r, ours_s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs (Config.standard ()) ~db in
+  let r, ours_s =
+    Util.Timer.time (fun () -> traced_query ~experiment:"headtohead" dep ~query:q ~k)
+  in
   record_run ~experiment:"headtohead" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:ours_s
     ~exact:(Protocol.exact dep ~db ~query:q r) r;
   say "ours:           %a (paper: 1 min 37 s)  exact=%b@." Util.Timer.pp_duration ours_s
@@ -449,8 +493,12 @@ let ablation opts =
     match Config.validate config ~d:4 with
     | Error e -> say "%-34s skipped (%s)@." name e
     | Ok () ->
-      let dep = Protocol.deploy ~rng:(Rng.of_int opts.seed) ?jobs:opts.jobs config ~db in
-      let r, s = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k:5) in
+      let dep =
+        Protocol.deploy ~obs:!obs ~rng:(Rng.of_int opts.seed) ?jobs:opts.jobs config ~db
+      in
+      let r, s =
+        Util.Timer.time (fun () -> traced_query ~experiment:"ablation" dep ~query:q ~k:5)
+      in
       let bytes =
         Transcript.bytes_between r.Protocol.transcript Transcript.Party_a Transcript.Party_b
       in
@@ -524,11 +572,13 @@ let scaling opts =
     (* Fresh deployments from identical seeds: any divergence between
        job counts would show up as different neighbours or counters. *)
     let dep =
-      Protocol.deploy ~rng:(Rng.of_int (opts.seed + 12)) ~jobs (Config.standard ()) ~db
+      Protocol.deploy ~obs:!obs ~rng:(Rng.of_int (opts.seed + 12)) ~jobs
+        (Config.standard ()) ~db
     in
     let r, s =
       Util.Timer.time (fun () ->
-          Protocol.query ~rng:(Rng.of_int (opts.seed + 13)) dep ~query:q ~k)
+          traced_query ~rng:(Rng.of_int (opts.seed + 13)) ~experiment:"scaling" dep
+            ~query:q ~k)
     in
     let ok = Protocol.exact dep ~db ~query:q r in
     record_run ~experiment:"scaling" ~n ~d ~k ~jobs ~seconds:s ~exact:ok r;
@@ -617,8 +667,27 @@ let run opts =
   say "secure k-NN benchmark harness (seed %d, jobs %d, %s)@." opts.seed
     (effective_jobs opts)
     (if opts.full then "FULL paper scale" else "scaled-down default");
+  let trace_fmt =
+    match Sknn_obs.Trace.format_of_string opts.trace_format with
+    | Ok f -> f
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  let trace_sink =
+    if Option.is_some opts.trace then Sknn_obs.Trace.create ()
+    else Sknn_obs.Trace.disabled
+  in
+  obs := Sknn_obs.Ctx.create ~trace:trace_sink ();
   List.iter (fun (id, f) -> if wants opts id then f opts) experiments;
   Option.iter (write_json opts) opts.json;
+  (match opts.trace with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Sknn_obs.Trace.write trace_sink trace_fmt oc;
+     close_out oc;
+     say "wrote %s trace to %s@." opts.trace_format path);
   say "@.done.@."
 
 open Cmdliner
@@ -647,18 +716,30 @@ let json_t =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~doc:"Write per-run timings and counters to this JSON file.")
 
-let main full scale only seed jobs json =
+let trace_t =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a hierarchical span trace of every protocol run to $(docv).")
+
+let trace_format_t =
+  Arg.(value & opt string "chrome"
+       & info [ "trace-format" ]
+           ~doc:"Trace sink: chrome (Perfetto-loadable trace_event JSON), jsonl (one \
+                 span per line) or pretty (indented tree).")
+
+let main full scale only seed jobs json trace trace_format =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
      exit 2
    | _ -> ());
   let only = Option.map (String.split_on_char ',') only in
-  run { full; scale; only; seed; jobs; json }
+  run { full; scale; only; seed; jobs; json; trace; trace_format }
 
 let cmd =
   Cmd.v
     (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t)
+    Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t $ trace_t
+          $ trace_format_t)
 
 let () = exit (Cmd.eval cmd)

@@ -62,12 +62,27 @@ let gen_cmd =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let query_run data query_s k layout seed jobs verbose =
+let query_run data query_s k layout seed jobs verbose trace trace_format audit metrics =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
      exit 2
    | _ -> ());
+  let trace_fmt =
+    match Sknn_obs.Trace.format_of_string trace_format with
+    | Ok f -> f
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  let trace_sink =
+    if Option.is_some trace then Sknn_obs.Trace.create () else Sknn_obs.Trace.disabled
+  in
+  let metrics_reg = if metrics then Some (Sknn_obs.Metrics.create ()) else None in
+  let audit_log = if audit then Some (Sknn_obs.Audit.create ()) else None in
+  let obs =
+    Sknn_obs.Ctx.create ~trace:trace_sink ?metrics:metrics_reg ?audit:audit_log ()
+  in
   let db = read_db data in
   let q = parse_query query_s in
   let config = config_of_layout layout in
@@ -78,9 +93,9 @@ let query_run data query_s k layout seed jobs verbose =
      exit 2);
   let rng = Util.Rng.of_int seed in
   let dep, setup_s =
-    Util.Timer.time (fun () -> Protocol.deploy ~rng ?jobs config ~db)
+    Util.Timer.time (fun () -> Protocol.deploy ~obs ~rng ?jobs config ~db)
   in
-  let r, query_s' = Util.Timer.time (fun () -> Protocol.query dep ~query:q ~k) in
+  let r, query_s' = Util.Timer.time (fun () -> Protocol.query ~obs dep ~query:q ~k) in
   if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
   Format.printf "neighbours:@.";
   Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
@@ -95,6 +110,19 @@ let query_run data query_s k layout seed jobs verbose =
     Format.printf "party B: %a@." Util.Counters.pp r.Protocol.counters_b;
     Format.printf "%a@." Transcript.pp r.Protocol.transcript
   end;
+  (match trace with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Sknn_obs.Trace.write trace_sink trace_fmt oc;
+     close_out oc;
+     Format.printf "trace written to %s@." path);
+  (match audit_log with
+   | None -> ()
+   | Some a -> Format.printf "leakage audit:@.%a@." Sknn_obs.Audit.pp a);
+  (match metrics_reg with
+   | None -> ()
+   | Some m -> Format.printf "metrics:@.%a@." Sknn_obs.Metrics.pp m);
   0
 
 let data_t = Arg.(required & opt (some file) None & info [ "data" ] ~doc:"Integer CSV database.")
@@ -116,8 +144,32 @@ let query_cmd =
              ~doc:"OCaml domains per parallel protocol phase (default: SKNN_DOMAINS or \
                    the recommended domain count).")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a hierarchical span trace of setup + query to $(docv).")
+  in
+  let trace_format =
+    Arg.(value & opt string "chrome"
+         & info [ "trace-format" ]
+             ~doc:"Trace sink: chrome (Perfetto-loadable trace_event JSON), jsonl \
+                   (one span per line) or pretty (indented tree).")
+  in
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Print the leakage-audit channel: exactly what each party's view \
+                   exposed during the query.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the metrics registry: phase latencies, BGV level / noise \
+                   headroom samples, pool utilization, transcript bytes per link.")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
-    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ verbose_t)
+    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ verbose_t
+          $ trace $ trace_format $ audit $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)

@@ -2,6 +2,8 @@ module Rng = Util.Rng
 module Counters = Util.Counters
 module Perm = Util.Perm
 module Pool = Util.Pool
+module Obs = Sknn_obs.Ctx
+module Trace = Sknn_obs.Trace
 
 (* Per-worker counters keep recording race-free under Pool.map_local;
    absorbing them in worker order makes the totals exact (and identical)
@@ -87,7 +89,7 @@ module Data_owner = struct
                v config.Config.max_coord_bits))
       point
 
-  let encrypt_db ?counters ?jobs rng t db =
+  let encrypt_db ?(obs = Obs.disabled) ?counters ?jobs rng t db =
     let config = t.config in
     let n_points = Array.length db in
     if n_points = 0 then invalid_arg "Data_owner.encrypt_db: empty database";
@@ -101,23 +103,35 @@ module Data_owner = struct
     let params = config.Config.bgv in
     let pk = t.keys.Bgv.pk in
     let rngs = split_streams rng n_points in
+    let span_counters =
+      match counters with Some c -> [ ("data-owner", c) ] | None -> []
+    in
     let points =
-      Pool.map_local ?jobs ~make:Counters.create
-        ~merge:(fun w -> Option.iter (fun c -> merge_into c w) counters)
-        ~f:(fun counters i point ->
-          let rng = rngs.(i) in
-          let enc pt = Bgv.encrypt ~counters rng pk pt in
-          let packed = enc (packed_plaintext params point) in
-          match config.Config.layout with
-          | Config.Per_coordinate ->
-            let coords =
-              Array.map (fun v -> enc (Plaintext.constant params (Int64.of_int v))) point
-            in
-            { coords = Some coords; packed; norm = None }
-          | Config.Dot_product ->
-            let norm = enc (Plaintext.constant params (Int64.of_int (squared_norm point))) in
-            { coords = None; packed; norm = Some norm })
-        db
+      Obs.with_span obs ~kind:Trace.Phase ~counters:span_counters
+        ~args:[ ("points", string_of_int n_points) ]
+        "encrypt-db"
+        (fun () ->
+          Obs.with_pool_chunks obs ~label:"encrypt-db" (fun () ->
+              Pool.map_local ?jobs ~make:Counters.create
+                ~merge:(fun w -> Option.iter (fun c -> merge_into c w) counters)
+                ~f:(fun counters i point ->
+                  let rng = rngs.(i) in
+                  let enc pt = Bgv.encrypt ~counters rng pk pt in
+                  let packed = enc (packed_plaintext params point) in
+                  match config.Config.layout with
+                  | Config.Per_coordinate ->
+                    let coords =
+                      Array.map
+                        (fun v -> enc (Plaintext.constant params (Int64.of_int v)))
+                        point
+                    in
+                    { coords = Some coords; packed; norm = None }
+                  | Config.Dot_product ->
+                    let norm =
+                      enc (Plaintext.constant params (Int64.of_int (squared_norm point)))
+                    in
+                    { coords = None; packed; norm = Some norm })
+                db))
     in
     { db_n = n_points; db_d = d; points }
 end
@@ -181,49 +195,60 @@ module Party_a = struct
     in
     Plaintext.of_coeffs params coeffs
 
-  let compute_distances t rng query =
+  let compute_distances ?(obs = Obs.disabled) t rng query =
     let config = t.config in
     let d = t.db.db_d in
     if query.q_dim <> d then invalid_arg "Party_a.compute_distances: dimension mismatch";
     let mask =
-      Masking.draw rng ~t_plain:config.Config.bgv.Params.t_plain
-        ~input_bits:(Config.max_distance_bits config ~d)
-        ~degree:config.Config.mask_degree
-        ~coeff_bits:config.Config.mask_coeff_bits ()
+      Obs.with_span obs "draw-mask" (fun () ->
+          Masking.draw rng ~t_plain:config.Config.bgv.Params.t_plain
+            ~input_bits:(Config.max_distance_bits config ~d)
+            ~degree:config.Config.mask_degree
+            ~coeff_bits:config.Config.mask_coeff_bits ())
     in
     let coeffs = Masking.coeffs mask in
     let rngs = split_streams rng t.db.db_n in
     let masked =
-      Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
-        ~f:(fun counters i point ->
-          let ed = encrypted_distance t ~counters query point in
-          let m = Bgv.eval_poly ~counters ?rlk:(rlk_opt t) ~coeffs ed in
-          match config.Config.layout with
-          | Config.Per_coordinate -> m
-          | Config.Dot_product ->
-            Bgv.add_plain ~counters m (zero_constant_randomizer rngs.(i) config.Config.bgv))
-        t.db.points
+      Obs.with_span obs
+        ~counters:[ ("party-a", t.counters) ]
+        ~args:[ ("points", string_of_int t.db.db_n) ]
+        "distance-batches"
+        (fun () ->
+          Obs.with_pool_chunks obs ~label:"distances" (fun () ->
+              Pool.map_local ~jobs:t.jobs ~make:Counters.create
+                ~merge:(merge_into t.counters)
+                ~f:(fun counters i point ->
+                  let ed = encrypted_distance t ~counters query point in
+                  let m = Bgv.eval_poly ~counters ?rlk:(rlk_opt t) ~coeffs ed in
+                  match config.Config.layout with
+                  | Config.Per_coordinate -> m
+                  | Config.Dot_product ->
+                    Bgv.add_plain ~counters m
+                      (zero_constant_randomizer rngs.(i) config.Config.bgv))
+                t.db.points))
     in
-    let perm = Perm.random rng t.db.db_n in
-    ({ mask; perm }, Perm.apply perm masked)
+    Obs.with_span obs "permute" (fun () ->
+        let perm = Perm.random rng t.db.db_n in
+        ({ mask; perm }, Perm.apply perm masked))
 
   let return_level t =
     Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
 
-  let select_row t permuted_packed row =
+  let select_row ?(obs = Obs.disabled) t permuted_packed row =
     (* T^j = Π(P')·B^j summed: one re-randomised encrypted point.  The
        inner product is fused and split across domains; return_knn keeps
        the k rows sequential so parallelism is never nested. *)
-    Bgv.mul_sum ~counters:t.counters ~jobs:t.jobs permuted_packed row
+    Obs.with_pool_chunks obs ~label:"select-row" (fun () ->
+        Bgv.mul_sum ~counters:t.counters ~jobs:t.jobs permuted_packed row)
 
   let permuted_packed t state =
     let lvl = return_level t in
     Perm.apply state.perm
       (Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points)
 
-  let return_knn t state rows =
+  let return_knn ?obs t state rows =
     let packed = permuted_packed t state in
-    Array.map (fun row -> select_row t packed row) rows
+    Array.map (fun row -> select_row ?obs t packed row) rows
 end
 
 (* ------------------------------------------------------------------ *)
@@ -245,7 +270,7 @@ module Party_b = struct
 
   type view = { masked_distances : int64 array; selected : int array }
 
-  let select_neighbours t cts ~k =
+  let select_neighbours ?(obs = Obs.disabled) t cts ~k =
     let n = Array.length cts in
     if k < 1 || k > n then invalid_arg "Party_b: k out of range";
     (* The decrypt-and-select half runs sequentially on purpose: it
@@ -253,27 +278,36 @@ module Party_b = struct
        single-domain keeps B's trusted computing base minimal.  The scan
        itself is the O(n log k) heap replication of Algorithm 2's
        streaming max-replacement (Util.Topk). *)
-    let masked = Array.map (fun ct -> Bgv.decrypt_coeff0 ~counters:t.counters t.sk ct) cts in
-    { masked_distances = masked; selected = Util.Topk.smallest ~k masked }
+    let masked =
+      Obs.with_span obs
+        ~counters:[ ("party-b", t.counters) ]
+        ~args:[ ("points", string_of_int n) ]
+        "decrypt-distances"
+        (fun () ->
+          Array.map (fun ct -> Bgv.decrypt_coeff0 ~counters:t.counters t.sk ct) cts)
+    in
+    Obs.with_span obs ~args:[ ("k", string_of_int k) ] "select-top-k" (fun () ->
+        { masked_distances = masked; selected = Util.Topk.smallest ~k masked })
 
   let return_level t =
     Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
 
-  let indicator_row t rng view ~n ~j =
+  let indicator_row ?(obs = Obs.disabled) t rng view ~n ~j =
     let params = t.config.Config.bgv in
     let level = return_level t in
     let sel = view.selected.(j) in
     let rngs = split_streams rng n in
-    Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
-      ~f:(fun counters i rng ->
-        let bit = if i = sel then 1L else 0L in
-        Bgv.encrypt ~counters ~level rng t.pk (Plaintext.constant params bit))
-      rngs
+    Obs.with_pool_chunks obs ~label:"indicator-row" (fun () ->
+        Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
+          ~f:(fun counters i rng ->
+            let bit = if i = sel then 1L else 0L in
+            Bgv.encrypt ~counters ~level rng t.pk (Plaintext.constant params bit))
+          rngs)
 
-  let find_neighbours t rng cts ~k =
+  let find_neighbours ?obs t rng cts ~k =
     let n = Array.length cts in
-    let view = select_neighbours t cts ~k in
-    let rows = Array.init k (fun j -> indicator_row t rng view ~n ~j) in
+    let view = select_neighbours ?obs t cts ~k in
+    let rows = Array.init k (fun j -> indicator_row ?obs t rng view ~n ~j) in
     (rows, view)
 end
 
@@ -316,11 +350,12 @@ module Client = struct
       in
       { q_coords = None; q_rev = Some q_rev; q_norm = Some q_norm; q_dim = d }
 
-  let decrypt_points t ~d cts =
-    Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
-      ~f:(fun counters _ ct ->
-        let pt = Bgv.decrypt ~counters t.sk ct in
-        let coeffs = Plaintext.to_coeffs pt in
-        Array.init d (fun j -> Int64.to_int coeffs.(j)))
-      cts
+  let decrypt_points ?(obs = Obs.disabled) t ~d cts =
+    Obs.with_pool_chunks obs ~label:"decrypt-result" (fun () ->
+        Pool.map_local ~jobs:t.jobs ~make:Counters.create ~merge:(merge_into t.counters)
+          ~f:(fun counters _ ct ->
+            let pt = Bgv.decrypt ~counters t.sk ct in
+            let coeffs = Plaintext.to_coeffs pt in
+            Array.init d (fun j -> Int64.to_int coeffs.(j)))
+          cts)
 end

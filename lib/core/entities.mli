@@ -38,13 +38,14 @@ module Data_owner : sig
   val config : t -> Config.t
 
   val encrypt_db :
-    ?counters:Util.Counters.t -> ?jobs:int -> Util.Rng.t -> t -> int array array ->
-    encrypted_db
+    ?obs:Sknn_obs.Ctx.t -> ?counters:Util.Counters.t -> ?jobs:int -> Util.Rng.t -> t ->
+    int array array -> encrypted_db
   (** Validates every coordinate against [max_coord_bits] and the layout
       constraints before encrypting.  Points are encrypted in parallel
       over [jobs] domains (default {!Util.Pool.default_jobs}); each
       point's randomness comes from its own stream split off [rng]
       sequentially, so the result is bit-identical for every job count.
+      [obs] wraps the loop in an ["encrypt-db"] span with pool chunks.
       @raise Invalid_argument on bad data. *)
 end
 
@@ -68,11 +69,15 @@ module Party_a : sig
       fresh permutation Π. *)
 
   val compute_distances :
-    t -> Util.Rng.t -> encrypted_query -> query_state * Bgv.ct array
+    ?obs:Sknn_obs.Ctx.t -> t -> Util.Rng.t -> encrypted_query ->
+    query_state * Bgv.ct array
   (** Algorithm 1: returns the masked encrypted distances in permuted
-      order, [D'_i = Π(m(ED_i))]. *)
+      order, [D'_i = Π(m(ED_i))].  [obs] records the ["draw-mask"],
+      ["distance-batches"] (with per-point pool chunks) and ["permute"]
+      sub-stages. *)
 
-  val return_knn : t -> query_state -> Bgv.ct array array -> Bgv.ct array
+  val return_knn :
+    ?obs:Sknn_obs.Ctx.t -> t -> query_state -> Bgv.ct array array -> Bgv.ct array
   (** Algorithm 3: given the k indicator vectors [B^j] (in permuted index
       space), returns k re-randomised encryptions of the neighbour
       points (coefficient-packed). *)
@@ -81,7 +86,7 @@ module Party_a : sig
   (** [Π(P')] at the return level — the first step of Algorithm 3,
       exposed so the protocol driver can stream indicator rows. *)
 
-  val select_row : t -> Bgv.ct array -> Bgv.ct array -> Bgv.ct
+  val select_row : ?obs:Sknn_obs.Ctx.t -> t -> Bgv.ct array -> Bgv.ct array -> Bgv.ct
   (** [select_row t Π(P') B^j] computes the inner product and sum of one
       indicator row: one encrypted neighbour point. *)
 
@@ -111,18 +116,20 @@ module Party_b : sig
   }
 
   val find_neighbours :
-    t -> Util.Rng.t -> Bgv.ct array -> k:int -> Bgv.ct array array * view
+    ?obs:Sknn_obs.Ctx.t -> t -> Util.Rng.t -> Bgv.ct array -> k:int ->
+    Bgv.ct array array * view
   (** Algorithm 2: decrypts the masked distances, selects the k smallest
       with an O(n log k) heap that replicates the paper's streaming
       max-replacement scan exactly (ties included; see {!Util.Topk}),
       and returns the k encrypted indicator vectors.  The [view] is
       returned for leakage auditing. *)
 
-  val select_neighbours : t -> Bgv.ct array -> k:int -> view
+  val select_neighbours : ?obs:Sknn_obs.Ctx.t -> t -> Bgv.ct array -> k:int -> view
   (** The decrypt-and-select half of Algorithm 2 without materialising
       the indicator vectors. *)
 
-  val indicator_row : t -> Util.Rng.t -> view -> n:int -> j:int -> Bgv.ct array
+  val indicator_row :
+    ?obs:Sknn_obs.Ctx.t -> t -> Util.Rng.t -> view -> n:int -> j:int -> Bgv.ct array
   (** The j-th indicator vector [B^j] (n encryptions of 0 with a single
       1).  Used by the protocol driver to stream row-by-row so that the
       O(nk) ciphertexts never live in memory at once. *)
@@ -139,7 +146,7 @@ module Client : sig
   val counters : t -> Util.Counters.t
 
   val encrypt_query : t -> Util.Rng.t -> int array -> encrypted_query
-  val decrypt_points : t -> d:int -> Bgv.ct array -> int array array
+  val decrypt_points : ?obs:Sknn_obs.Ctx.t -> t -> d:int -> Bgv.ct array -> int array array
 end
 
 (** {1 Serialised sizes} *)

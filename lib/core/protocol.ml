@@ -1,5 +1,9 @@
 module Rng = Util.Rng
 module Counters = Util.Counters
+module Obs = Sknn_obs.Ctx
+module Otrace = Sknn_obs.Trace
+module Audit = Sknn_obs.Audit
+module Metrics = Sknn_obs.Metrics
 
 type deployment = {
   config : Config.t;
@@ -27,11 +31,37 @@ let pk_bytes config =
   let p = config.Config.bgv in
   2 * Params.chain_length p * p.Params.n * 4
 
-let deploy ?rng ?counters ?jobs config ~db =
+(* Fold a finished transcript into the per-party counters: every entry's
+   bytes to its sender, and each link's round count to both endpoints.
+   This is what makes [Counters.rounds]/[bytes_sent] report measured
+   values instead of staying at zero. *)
+let tally_transcript tr counter_of =
+  List.iter
+    (fun (e : Transcript.entry) ->
+      match counter_of e.Transcript.sender with
+      | None -> ()
+      | Some c -> Counters.record c (Counters.Bytes_sent e.Transcript.bytes))
+    (Transcript.entries tr);
+  List.iter
+    (fun ((x, y), _) ->
+      let r = Transcript.rounds tr x y in
+      let add p = match counter_of p with
+        | None -> ()
+        | Some c -> Counters.record_n c Counters.Round r
+      in
+      add x; add y)
+    (Transcript.links tr)
+
+let deploy ?(obs = Obs.disabled) ?rng ?counters ?jobs config ~db =
   let rng = match rng with Some r -> r | None -> Rng.of_int 0x5ecdb in
   let jobs = match jobs with Some j -> j | None -> Util.Pool.default_jobs () in
-  let owner = Entities.Data_owner.create (Rng.split rng) config in
-  let enc_db = Entities.Data_owner.encrypt_db ?counters ~jobs (Rng.split rng) owner db in
+  let owner =
+    Obs.with_span obs ~kind:Otrace.Phase "keygen" (fun () ->
+        Entities.Data_owner.create (Rng.split rng) config)
+  in
+  let enc_db =
+    Entities.Data_owner.encrypt_db ~obs ?counters ~jobs (Rng.split rng) owner db
+  in
   let keys = Entities.Data_owner.keys owner in
   let a = Entities.Party_a.create ~jobs config keys.Bgv.pk keys.Bgv.rlk enc_db in
   let b = Entities.Party_b.create ~jobs config keys.Bgv.sk keys.Bgv.pk in
@@ -45,6 +75,9 @@ let deploy ?rng ?counters ?jobs config ~db =
     ~bytes:(config.Config.bgv.Params.n + pk_bytes config);
   send tr ~sender:Data_owner ~receiver:Client ~label:"secret + public key"
     ~bytes:(config.Config.bgv.Params.n + pk_bytes config);
+  tally_transcript tr (function
+    | Transcript.Data_owner -> counters
+    | _ -> None);
   { config;
     db_n = Array.length db;
     db_d = Array.length db.(0);
@@ -64,31 +97,72 @@ type result = {
   view_b : Entities.Party_b.view;
 }
 
-let timed phases name f =
-  let x, dt = Util.Timer.time f in
-  phases := (name, dt) :: !phases;
-  x
+let timed obs phases ?counters name f =
+  Obs.with_span obs ~kind:Otrace.Phase ?counters name (fun () ->
+      let x, dt = Util.Timer.time f in
+      phases := (name, dt) :: !phases;
+      Obs.observe_phase obs name dt;
+      x)
 
-let query ?rng d ~query ~k =
+(* Sample chain level and noise-budget headroom of a ciphertext batch
+   into the metrics registry (stride keeps it O(16) per batch).  Runs in
+   the orchestrating domain only, after the batch is complete. *)
+let level_buckets = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 8.0 |]
+let noise_buckets = [| 0.0; 8.0; 16.0; 24.0; 32.0; 48.0; 64.0; 96.0; 128.0 |]
+
+let sample_cts obs ~name cts =
+  match Obs.metrics obs with
+  | None -> ()
+  | Some m ->
+    let n = Array.length cts in
+    if n > 0 then begin
+      let h_lvl = Metrics.histogram ~buckets:level_buckets m ("bgv." ^ name ^ ".level") in
+      let h_nb =
+        Metrics.histogram ~buckets:noise_buckets m ("bgv." ^ name ^ ".noise_budget_bits")
+      in
+      let stride = Stdlib.max 1 (n / 16) in
+      let i = ref 0 in
+      while !i < n do
+        Metrics.observe h_lvl (float_of_int (Bgv.level cts.(!i)));
+        Metrics.observe h_nb (Bgv.noise_budget_bits cts.(!i));
+        i := !i + stride
+      done
+    end
+
+let query_ct_count (q : Entities.encrypted_query) =
+  (match q.Entities.q_coords with None -> 0 | Some a -> Array.length a)
+  + (match q.Entities.q_rev with None -> 0 | Some _ -> 1)
+  + (match q.Entities.q_norm with None -> 0 | Some _ -> 1)
+
+let query ?(obs = Obs.disabled) ?rng d ~query ~k =
   let rng = match rng with Some r -> r | None -> Rng.split d.query_seed in
   if Array.length query <> d.db_d then invalid_arg "Protocol.query: dimension mismatch";
   if k < 1 || k > d.db_n then invalid_arg "Protocol.query: k out of range";
-  Counters.reset (Entities.Party_a.counters d.a);
-  Counters.reset (Entities.Party_b.counters d.b);
-  Counters.reset (Entities.Client.counters d.cl);
+  let ca = Entities.Party_a.counters d.a in
+  let cb = Entities.Party_b.counters d.b in
+  let cc = Entities.Client.counters d.cl in
+  Counters.reset ca;
+  Counters.reset cb;
+  Counters.reset cc;
   let tr = Transcript.create () in
   let phases = ref [] in
   (* Client: encrypt the query and send it to Party A (label 4, Fig. 2). *)
   let q_enc =
-    timed phases "encrypt-query" (fun () -> Entities.Client.encrypt_query d.cl rng query)
+    timed obs phases ~counters:[ ("client", cc) ] "encrypt-query" (fun () ->
+        Entities.Client.encrypt_query d.cl rng query)
   in
   Transcript.send tr ~sender:Transcript.Client ~receiver:Transcript.Party_a
     ~label:"encrypted query" ~bytes:(Entities.query_bytes q_enc);
+  Obs.audit obs ~party:"party-a" ~phase:"compute-distances" ~label:"query-ciphertexts"
+    (Audit.Int (query_ct_count q_enc));
+  Obs.audit obs ~party:"party-a" ~phase:"compute-distances" ~label:"query-bytes"
+    (Audit.Int (Entities.query_bytes q_enc));
   (* Party A: Compute Distances (Algorithm 1). *)
   let state, masked =
-    timed phases "compute-distances" (fun () ->
-        Entities.Party_a.compute_distances d.a rng q_enc)
+    timed obs phases ~counters:[ ("party-a", ca) ] "compute-distances" (fun () ->
+        Entities.Party_a.compute_distances ~obs d.a rng q_enc)
   in
+  sample_cts obs ~name:"masked-distance" masked;
   Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
     ~label:"masked permuted distances"
     ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 masked);
@@ -96,35 +170,75 @@ let query ?rng d ~query ~k =
      streamed row by row; Party A folds each row into Return kNN
      (Algorithm 3) as it arrives. *)
   let view =
-    timed phases "find-neighbours" (fun () ->
-        Entities.Party_b.select_neighbours d.b masked ~k)
+    timed obs phases ~counters:[ ("party-b", cb) ] "find-neighbours" (fun () ->
+        Entities.Party_b.select_neighbours ~obs d.b masked ~k)
   in
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"n" (Audit.Int d.db_n);
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"k" (Audit.Int k);
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours"
+    ~label:"masked-distance-multiset"
+    (Audit.Int64s (Leakage.view_multiset view));
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours"
+    ~label:"equidistant-group-sizes"
+    (Audit.Ints (Leakage.equidistant_group_sizes view));
+  let indicator_bytes = ref 0 in
   let results =
-    timed phases "return-knn" (fun () ->
+    timed obs phases
+      ~counters:[ ("party-a", ca); ("party-b", cb) ]
+      "return-knn"
+      (fun () ->
         let packed = Entities.Party_a.permuted_packed d.a state in
         Array.init k (fun j ->
-            let row =
-              Entities.Party_b.indicator_row d.b rng view ~n:d.db_n ~j
-            in
-            Transcript.send tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
-              ~label:(Printf.sprintf "indicator vector B^%d" (j + 1))
-              ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 row);
-            Entities.Party_a.select_row d.a packed row))
+            Obs.with_span obs
+              ~counters:[ ("party-a", ca); ("party-b", cb) ]
+              ~args:[ ("j", string_of_int j) ]
+              "indicator-row"
+              (fun () ->
+                let row = Entities.Party_b.indicator_row ~obs d.b rng view ~n:d.db_n ~j in
+                let bytes = Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 row in
+                indicator_bytes := !indicator_bytes + bytes;
+                Transcript.send tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
+                  ~label:(Printf.sprintf "indicator vector B^%d" (j + 1))
+                  ~bytes;
+                Entities.Party_a.select_row ~obs d.a packed row)))
   in
+  sample_cts obs ~name:"result" results;
+  Obs.audit obs ~party:"party-a" ~phase:"return-knn" ~label:"indicator-ciphertexts"
+    (Audit.Int (k * d.db_n));
+  Obs.audit obs ~party:"party-a" ~phase:"return-knn" ~label:"indicator-bytes"
+    (Audit.Int !indicator_bytes);
   Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Client
     ~label:"encrypted k-NN result"
     ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 results);
   let neighbours =
-    timed phases "decrypt-result" (fun () ->
-        Entities.Client.decrypt_points d.cl ~d:d.db_d results)
+    timed obs phases ~counters:[ ("client", cc) ] "decrypt-result" (fun () ->
+        Entities.Client.decrypt_points ~obs d.cl ~d:d.db_d results)
   in
+  Obs.audit obs ~party:"client" ~phase:"decrypt-result" ~label:"neighbour-count"
+    (Audit.Int k);
+  tally_transcript tr (function
+    | Transcript.Party_a -> Some ca
+    | Transcript.Party_b -> Some cb
+    | Transcript.Client -> Some cc
+    | Transcript.Data_owner -> None);
+  (match Obs.metrics obs with
+   | None -> ()
+   | Some m ->
+     List.iter
+       (fun ((x, y), bytes) ->
+         Metrics.set
+           (Metrics.gauge m
+              (Printf.sprintf "transcript.%s-%s.bytes" (Transcript.party_name x)
+                 (Transcript.party_name y)))
+           (float_of_int bytes))
+       (Transcript.links tr));
   { neighbours;
     k;
     phase_seconds = List.rev !phases;
     transcript = tr;
-    counters_a = Entities.Party_a.counters d.a;
-    counters_b = Entities.Party_b.counters d.b;
-    counters_client = Entities.Client.counters d.cl;
+    counters_a = ca;
+    counters_b = cb;
+    counters_client = cc;
     view_b = view }
 
 let total_seconds r = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.phase_seconds

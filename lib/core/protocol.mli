@@ -24,14 +24,16 @@
 type deployment
 
 val deploy :
-  ?rng:Util.Rng.t -> ?counters:Util.Counters.t -> ?jobs:int -> Config.t ->
-  db:int array array -> deployment
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?counters:Util.Counters.t -> ?jobs:int ->
+  Config.t -> db:int array array -> deployment
 (** [jobs] is the number of OCaml domains every parallel phase of this
     deployment uses (database encryption, Compute-Distances, Return-kNN
     inner products, indicator encryption, result decryption); it
     defaults to {!Util.Pool.default_jobs} ([SKNN_DOMAINS] or the
     machine's recommended domain count).  Query results, transcripts and
-    counter totals are bit-identical for every job count.
+    counter totals are bit-identical for every job count.  [obs]
+    records ["keygen"] and ["encrypt-db"] spans and, when [counters] is
+    given, folds the setup transcript's bytes into it.
     @raise Invalid_argument if the configuration is unsound for the
     database's dimensionality (see {!Config.validate}) or the data is
     out of range. *)
@@ -60,9 +62,22 @@ type result = {
   view_b : Entities.Party_b.view; (** Party B's view, for leakage audits *)
 }
 
-val query : ?rng:Util.Rng.t -> deployment -> query:int array -> k:int -> result
+val query :
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> query:int array -> k:int ->
+  result
 (** Runs one complete query.  Counters are reset at the start so each
-    result reports per-query costs.
+    result reports per-query costs; when the query finishes, the
+    transcript is folded back into them, so [Counters.rounds] and
+    [Counters.bytes_sent] report measured per-party communication.
+
+    With an observability context [obs] (see {!Sknn_obs.Ctx}), the five
+    phases become [Phase] spans with per-party counter deltas, entity
+    sub-stages and pool chunks nest below them, BGV chain level and
+    noise-budget headroom are sampled into histograms, per-link
+    transcript bytes become gauges, and each party's observables are
+    appended to the leakage-audit channel ([party-b]: masked distance
+    multiset, [k], equidistant group sizes; [party-a]: ciphertext
+    counts and byte sizes only).
     @raise Invalid_argument on dimension mismatch or k out of range. *)
 
 val total_seconds : result -> float

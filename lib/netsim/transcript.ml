@@ -36,6 +36,19 @@ let on_link a b e =
 let bytes_between t a b =
   List.fold_left (fun acc e -> if on_link a b e then acc + e.bytes else acc) 0 t.rev_entries
 
+let links t =
+  (* Canonical undirected link key: parties in declaration order. *)
+  let key e = if e.sender < e.receiver then (e.sender, e.receiver) else (e.receiver, e.sender) in
+  let totals =
+    List.fold_left
+      (fun acc e ->
+        let k = key e in
+        let prev = try List.assoc k acc with Not_found -> 0 in
+        (k, prev + e.bytes) :: List.remove_assoc k acc)
+      [] t.rev_entries
+  in
+  List.sort compare totals
+
 let rounds t a b =
   (* One round = a maximal one-direction run plus the following reply
      run.  Equivalently: count direction changes, then each pair of

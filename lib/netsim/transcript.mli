@@ -30,6 +30,12 @@ val total_bytes : t -> int
 val bytes_between : t -> party -> party -> int
 (** Bytes over the (unordered) link between two parties. *)
 
+val links : t -> ((party * party) * int) list
+(** Aggregated byte totals for every link that carried traffic, keyed by
+    the unordered party pair (parties in declaration order) and sorted
+    canonically — the per-link view the observability layer exports as
+    gauges and the bench JSON records per run. *)
+
 val rounds : t -> party -> party -> int
 (** Communication rounds on a link, counted as the paper does: a round is
     a maximal run of messages in one direction followed by the reply run

@@ -1,0 +1,49 @@
+type value =
+  | Int of int
+  | Float of float
+  | Ints of int array
+  | Int64s of int64 array
+  | Str of string
+
+type entry = { seq : int; party : string; phase : string; label : string; value : value }
+
+type t = { mutable rev_entries : entry list; mutable next : int }
+
+let create () = { rev_entries = []; next = 0 }
+
+let observe t ~party ~phase ~label value =
+  t.rev_entries <- { seq = t.next; party; phase; label; value } :: t.rev_entries;
+  t.next <- t.next + 1
+
+let entries t = List.rev t.rev_entries
+
+let for_party t ~party = List.filter (fun e -> e.party = party) (entries t)
+
+let labels_for t ~party =
+  List.sort_uniq compare (List.map (fun e -> e.label) (for_party t ~party))
+
+let value_of t ~party ~label =
+  (* Latest observation wins: rev_entries is newest-first. *)
+  List.find_map
+    (fun e -> if e.party = party && e.label = label then Some e.value else None)
+    t.rev_entries
+
+let pp_value ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%.6g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Ints a ->
+    Format.fprintf ppf "[%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int a)))
+  | Int64s a ->
+    Format.fprintf ppf "[%s]"
+      (String.concat ";" (Array.to_list (Array.map Int64.to_string a)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%3d %-10s %-18s %-28s %a@," e.seq e.party e.phase e.label
+        pp_value e.value)
+    (entries t);
+  Format.fprintf ppf "@]"

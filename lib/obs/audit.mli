@@ -1,0 +1,43 @@
+(** Leakage-audit channel: a structured log of exactly what each
+    party's view of a protocol run exposes.
+
+    The paper's §4/§5 security argument admits a precise leakage
+    profile — Party B learns the masked distance multiset order, [k]
+    and the number of equidistant points; Party A sees ciphertexts only
+    (sizes and counts, never plaintexts).  The protocol, when given an
+    audit channel, records every observable it hands each party, so a
+    test can assert the profile {e mechanically}: the set of labels per
+    party is exactly the admitted set, and nothing else was ever
+    logged.
+
+    The channel is append-only and recorded solely from the
+    orchestrating domain, so entries are deterministic across job
+    counts. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Ints of int array
+  | Int64s of int64 array
+  | Str of string
+
+type entry = { seq : int; party : string; phase : string; label : string; value : value }
+
+type t
+
+val create : unit -> t
+val observe : t -> party:string -> phase:string -> label:string -> value -> unit
+
+val entries : t -> entry list
+(** In observation order. *)
+
+val for_party : t -> party:string -> entry list
+
+val labels_for : t -> party:string -> string list
+(** Sorted, deduplicated labels observed for a party — the party's
+    complete leakage surface for the run. *)
+
+val value_of : t -> party:string -> label:string -> value option
+(** The most recent observation for a [(party, label)] pair. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+module Pool = Util.Pool
+module Timer = Util.Timer
+
+type t = { trace : Trace.t; metrics : Metrics.t option; audit : Audit.t option }
+
+let disabled = { trace = Trace.disabled; metrics = None; audit = None }
+
+let create ?(trace = Trace.disabled) ?metrics ?audit () = { trace; metrics; audit }
+
+let trace t = t.trace
+let metrics t = t.metrics
+let audit_channel t = t.audit
+
+let is_disabled t =
+  (not (Trace.is_enabled t.trace)) && Option.is_none t.metrics && Option.is_none t.audit
+
+let with_span t ?kind ?counters ?args name f =
+  Trace.with_span t.trace ?kind ?counters ?args name f
+
+let observe_phase t name seconds =
+  match t.metrics with
+  | None -> ()
+  | Some m -> Metrics.observe (Metrics.histogram m ("phase." ^ name ^ ".seconds")) seconds
+
+let audit t ~party ~phase ~label value =
+  match t.audit with
+  | None -> ()
+  | Some a -> Audit.observe a ~party ~phase ~label value
+
+(* Observe one pool call: chunk executions become child spans of the
+   innermost open span, and — when a registry is attached — feed a
+   per-label chunk-latency histogram and a worker-utilization gauge
+   (busy time / (wall time × workers)). *)
+let with_pool_chunks t ?(label = "pool") f =
+  if (not (Trace.is_enabled t.trace)) && Option.is_none t.metrics then f ()
+  else begin
+    let stats = ref [] in
+    let t0 = Timer.counter () in
+    let x =
+      Pool.with_chunk_observer
+        (fun (st : Pool.chunk_stat) ->
+          stats := st :: !stats;
+          Trace.add_complete t.trace
+            ~name:(Printf.sprintf "%s[%d,%d)" label st.Pool.chunk_lo st.Pool.chunk_hi)
+            ~args:[ ("worker", string_of_int st.Pool.worker) ]
+            ~start:st.Pool.chunk_start ~dur:st.Pool.chunk_seconds ())
+        f
+    in
+    let wall = Timer.counter () -. t0 in
+    (match t.metrics, List.rev !stats with
+     | Some m, (_ :: _ as sl) ->
+       let h = Metrics.histogram m ("pool." ^ label ^ ".chunk_seconds") in
+       List.iter (fun st -> Metrics.observe h st.Pool.chunk_seconds) sl;
+       let busy = List.fold_left (fun a st -> a +. st.Pool.chunk_seconds) 0.0 sl in
+       let workers = 1 + List.fold_left (fun m st -> Stdlib.max m st.Pool.worker) 0 sl in
+       if wall > 0.0 then
+         Metrics.set
+           (Metrics.gauge m ("pool." ^ label ^ ".utilization"))
+           (busy /. (wall *. float_of_int workers))
+     | _ -> ());
+    x
+  end

@@ -1,0 +1,46 @@
+(** Observability context: the bundle the protocol threads through the
+    stack.  One value carries the three channels — {!Trace} spans,
+    a {!Metrics} registry and a {!Audit} leakage log — each optional,
+    so callers pass [?obs] once instead of three arguments.
+
+    {!disabled} (the default everywhere) short-circuits every helper to
+    a branch or two; the hot path pays nothing when observability is
+    off. *)
+
+type t
+
+val disabled : t
+(** No trace, no metrics, no audit: every helper is a no-op. *)
+
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> ?audit:Audit.t -> unit -> t
+
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t option
+val audit_channel : t -> Audit.t option
+val is_disabled : t -> bool
+
+val with_span :
+  t ->
+  ?kind:Trace.kind ->
+  ?counters:(string * Util.Counters.t) list ->
+  ?args:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** {!Trace.with_span} on the context's trace. *)
+
+val observe_phase : t -> string -> float -> unit
+(** Record a phase latency into the histogram [phase.<name>.seconds]
+    (no-op without a metrics registry). *)
+
+val audit : t -> party:string -> phase:string -> label:string -> Audit.value -> unit
+(** Append to the leakage-audit channel (no-op without one). *)
+
+val with_pool_chunks : t -> ?label:string -> (unit -> 'a) -> 'a
+(** Run [f] with a {!Util.Pool.with_chunk_observer} installed: each
+    chunk of each pool call inside [f] becomes a [Chunk] span named
+    ["<label>[lo,hi)"], and — when metrics are attached — feeds the
+    histogram [pool.<label>.chunk_seconds] and the utilization gauge
+    [pool.<label>.utilization].  Chunk stats are replayed after the
+    pool join in worker order, so installation is safe on the hot
+    path.  No-op when both trace and metrics are absent. *)

@@ -1,0 +1,113 @@
+type histogram = {
+  buckets : float array;        (* strictly increasing upper bounds *)
+  counts : int array;           (* length buckets + 1; last = overflow *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float option }
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutex : Mutex.t; tbl : (string, metric) Hashtbl.t }
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let default_latency_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 60.0 |]
+
+let register t name make describe =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some m -> m
+      | None ->
+        let m = make () in
+        Hashtbl.add t.tbl name m;
+        ignore describe;
+        m)
+
+let counter t name =
+  match register t name (fun () -> Counter { c_value = 0 }) "counter" with
+  | Counter c -> c
+  | _ -> invalid_arg (Printf.sprintf "Metrics.counter: %S registered with another kind" name)
+
+let gauge t name =
+  match register t name (fun () -> Gauge { g_value = None }) "gauge" with
+  | Gauge g -> g
+  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %S registered with another kind" name)
+
+let histogram ?(buckets = default_latency_buckets) t name =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  match
+    register t name
+      (fun () ->
+        Histogram
+          { buckets = Array.copy buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            sum = 0.0; count = 0 })
+      "histogram"
+  with
+  | Histogram h -> h
+  | _ ->
+    invalid_arg (Printf.sprintf "Metrics.histogram: %S registered with another kind" name)
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.inc: negative increment";
+  c.c_value <- c.c_value + by
+
+let counter_value c = c.c_value
+let set g v = g.g_value <- Some v
+let gauge_value g = g.g_value
+
+let observe h v =
+  let n = Array.length h.buckets in
+  let rec slot i = if i >= n || v <= h.buckets.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+let hist_counts h = Array.copy h.counts
+let hist_buckets h = Array.copy h.buckets
+
+let names t =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []))
+
+let find t name =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () ->
+      Hashtbl.find_opt t.tbl name)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun name ->
+      match find t name with
+      | None -> ()
+      | Some (Counter c) -> Format.fprintf ppf "%-44s counter %d@," name c.c_value
+      | Some (Gauge g) ->
+        Format.fprintf ppf "%-44s gauge   %s@," name
+          (match g.g_value with None -> "unset" | Some v -> Printf.sprintf "%.6g" v)
+      | Some (Histogram h) ->
+        Format.fprintf ppf "%-44s hist    count=%d sum=%.6g" name h.count h.sum;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length h.buckets then
+                Format.fprintf ppf " le(%.3g)=%d" h.buckets.(i) c
+              else Format.fprintf ppf " inf=%d" c)
+          h.counts;
+        Format.fprintf ppf "@,")
+    (names t);
+  Format.fprintf ppf "@]"

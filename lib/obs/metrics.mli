@@ -1,0 +1,52 @@
+(** Metrics registry: monotonic counters, gauges and fixed-bucket
+    histograms, registered by name.
+
+    Registration ([counter] / [gauge] / [histogram]) is idempotent —
+    looking a name up again returns the existing instrument (a kind
+    mismatch raises [Invalid_argument]; a histogram's buckets are fixed
+    by its first registration) — and mutex-guarded, so instruments may
+    be created from any domain.  {e Observations} (inc / set / observe)
+    are unsynchronised by design: the protocol records them only from
+    the orchestrating domain (worker results are folded back after the
+    pool join), which keeps the hot path free of locks.
+
+    The registry feeds: per-phase latency histograms, sampled BGV chain
+    levels and noise-budget headroom, pool worker utilization, and
+    transcript bytes per link. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val default_latency_buckets : float array
+(** [1 µs … 60 s], decade-spaced — the default for latency histograms. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+
+val histogram : ?buckets:float array -> t -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit overflow
+    bucket is appended.  Defaults to {!default_latency_buckets}. *)
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float option
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_counts : histogram -> int array
+(** Per-bucket counts; the final entry is the overflow bucket. *)
+
+val hist_buckets : histogram -> float array
+
+val names : t -> string list
+(** Registered names, sorted — [pp] renders in this order, so output is
+    deterministic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,224 @@
+module Counters = Util.Counters
+module Timer = Util.Timer
+
+type kind = Root | Phase | Stage | Chunk
+
+let kind_name = function
+  | Root -> "root"
+  | Phase -> "phase"
+  | Stage -> "stage"
+  | Chunk -> "chunk"
+
+type span = {
+  name : string;
+  kind : kind;
+  start_s : float;
+  dur_s : float;
+  deltas : (string * Counters.t) list;
+  args : (string * string) list;
+  children : span list;
+}
+
+type frame = {
+  f_name : string;
+  f_kind : kind;
+  f_start : float;
+  f_args : (string * string) list;
+  f_snaps : (string * Counters.t * Counters.t) list; (* owner, live, snapshot *)
+  mutable f_children : span list; (* reversed *)
+}
+
+type t = {
+  enabled : bool;
+  epoch : float;
+  mutable stack : frame list;
+  mutable rev_roots : span list;
+}
+
+let disabled = { enabled = false; epoch = 0.0; stack = []; rev_roots = [] }
+let create () = { enabled = true; epoch = Timer.counter (); stack = []; rev_roots = [] }
+let is_enabled t = t.enabled
+
+let attach t span =
+  match t.stack with
+  | f :: _ -> f.f_children <- span :: f.f_children
+  | [] -> t.rev_roots <- span :: t.rev_roots
+
+let with_span t ?(kind = Stage) ?(counters = []) ?(args = []) name f =
+  if not t.enabled then f ()
+  else begin
+    let frame =
+      { f_name = name; f_kind = kind; f_start = Timer.counter (); f_args = args;
+        f_snaps = List.map (fun (owner, c) -> (owner, c, Counters.copy c)) counters;
+        f_children = [] }
+    in
+    t.stack <- frame :: t.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        match t.stack with
+        | top :: rest when top == frame ->
+          t.stack <- rest;
+          let deltas =
+            List.filter_map
+              (fun (owner, live, snap) ->
+                let d = Counters.diff live snap in
+                if Counters.is_zero d then None else Some (owner, d))
+              frame.f_snaps
+          in
+          attach t
+            { name = frame.f_name; kind = frame.f_kind;
+              start_s = frame.f_start -. t.epoch;
+              dur_s = Timer.counter () -. frame.f_start;
+              deltas; args = frame.f_args;
+              children = List.rev frame.f_children }
+        | _ -> () (* unbalanced close: drop the span rather than corrupt the tree *))
+      f
+  end
+
+let add_complete t ?(kind = Chunk) ?(args = []) ~name ~start ~dur () =
+  if t.enabled then
+    attach t
+      { name; kind; start_s = start -. t.epoch; dur_s = dur; deltas = []; args;
+        children = [] }
+
+let roots t = List.rev t.rev_roots
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type format = Pretty | Jsonl | Chrome
+
+let format_of_string = function
+  | "pretty" | "tree" -> Ok Pretty
+  | "jsonl" -> Ok Jsonl
+  | "chrome" | "trace_event" | "perfetto" -> Ok Chrome
+  | other -> Error (Printf.sprintf "unknown trace format %S (pretty | jsonl | chrome)" other)
+
+let buf_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let buf_fields buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, add_v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      buf_json_string buf k;
+      Buffer.add_char buf ':';
+      add_v buf)
+    fields;
+  Buffer.add_char buf '}'
+
+let buf_args buf args = buf_fields buf (List.map (fun (k, v) -> (k, fun b -> buf_json_string b v)) args)
+
+let buf_counters buf deltas =
+  buf_fields buf
+    (List.map
+       (fun (owner, d) ->
+         ( owner,
+           fun b ->
+             buf_fields b
+               (List.filter_map
+                  (fun (k, v) ->
+                    if v = 0 then None
+                    else Some (k, fun b -> Buffer.add_string b (string_of_int v)))
+                  (Counters.to_list d)) ))
+       deltas)
+
+(* One JSON object per span per line, pre-order, nesting encoded by
+   [depth]: greppable and parseable line by line. *)
+let write_jsonl t oc =
+  let buf = Buffer.create 256 in
+  let rec line depth s =
+    Buffer.clear buf;
+    buf_fields buf
+      [ ("depth", fun b -> Buffer.add_string b (string_of_int depth));
+        ("name", fun b -> buf_json_string b s.name);
+        ("kind", fun b -> buf_json_string b (kind_name s.kind));
+        ("start_s", fun b -> Buffer.add_string b (Printf.sprintf "%.9f" s.start_s));
+        ("dur_s", fun b -> Buffer.add_string b (Printf.sprintf "%.9f" s.dur_s));
+        ("args", fun b -> buf_args b s.args);
+        ("counters", fun b -> buf_counters b s.deltas) ];
+    Buffer.add_char buf '\n';
+    Buffer.output_buffer oc buf;
+    List.iter (line (depth + 1)) s.children
+  in
+  List.iter (line 0) (roots t)
+
+(* Chrome trace_event JSON (complete "X" events), loadable in Perfetto
+   and chrome://tracing.  Timestamps are microseconds from the trace
+   epoch; every span lives on one synthetic thread so nesting comes out
+   of the ts/dur containment. *)
+let write_chrome t oc =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let rec event s =
+    if !first then first := false else Buffer.add_char buf ',';
+    let args =
+      s.args
+      @ List.concat_map
+          (fun (owner, d) ->
+            List.filter_map
+              (fun (k, v) ->
+                if v = 0 then None else Some (owner ^ "." ^ k, string_of_int v))
+              (Counters.to_list d))
+          s.deltas
+    in
+    buf_fields buf
+      [ ("name", fun b -> buf_json_string b s.name);
+        ("cat", fun b -> buf_json_string b (kind_name s.kind));
+        ("ph", fun b -> buf_json_string b "X");
+        ("ts", fun b -> Buffer.add_string b (Printf.sprintf "%.3f" (s.start_s *. 1e6)));
+        ("dur", fun b -> Buffer.add_string b (Printf.sprintf "%.3f" (s.dur_s *. 1e6)));
+        ("pid", fun b -> Buffer.add_string b "1");
+        ("tid", fun b -> Buffer.add_string b "1");
+        ("args", fun b -> buf_args b args) ];
+    List.iter event s.children
+  in
+  List.iter event (roots t);
+  Buffer.add_string buf "]}\n";
+  Buffer.output_buffer oc buf
+
+let pp_span_counters ppf deltas =
+  List.iter
+    (fun (owner, d) ->
+      let nonzero = List.filter (fun (_, v) -> v <> 0) (Counters.to_list d) in
+      Format.fprintf ppf "  [%s:%s]" owner
+        (String.concat ""
+           (List.map (fun (k, v) -> Printf.sprintf " %s=%d" k v) nonzero)))
+    deltas
+
+let pp_tree ppf t =
+  let rec pp depth s =
+    Format.fprintf ppf "%s%s %a%a%s@,"
+      (String.make (2 * depth) ' ')
+      s.name Timer.pp_duration s.dur_s pp_span_counters s.deltas
+      (match s.args with
+       | [] -> ""
+       | args ->
+         " {" ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args) ^ "}");
+    List.iter (pp (depth + 1)) s.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp 0) (roots t);
+  Format.fprintf ppf "@]"
+
+let write t format oc =
+  match format with
+  | Jsonl -> write_jsonl t oc
+  | Chrome -> write_chrome t oc
+  | Pretty ->
+    let ppf = Format.formatter_of_out_channel oc in
+    Format.fprintf ppf "%a@." pp_tree t

@@ -1,0 +1,82 @@
+(** Hierarchical spans over the protocol stack.
+
+    A trace is a tree of timed spans: protocol phases at the top,
+    entity sub-stages below them, and {!Util.Pool} chunk executions as
+    leaves.  Each span records wall time (via the monotonic-friendly
+    {!Util.Timer.counter}) plus the delta of every party
+    {!Util.Counters.t} it was asked to watch.
+
+    {b Determinism.}  Spans are only ever recorded in the orchestrating
+    domain: worker domains never touch the trace (pool chunks are
+    replayed to the observer after the join, in worker order — see
+    {!Util.Pool.with_chunk_observer}).  Consequently the span tree
+    restricted to non-[Chunk] spans — names, nesting, argument lists
+    and counter deltas — is bit-identical for every job count, the
+    PR 1 invariant extended to tracing.  Chunk spans necessarily
+    reflect the actual chunking ([--jobs N] produces N of them per pool
+    call).
+
+    {b Cost.}  A disabled trace ({!disabled}) reduces every operation
+    to a single branch; the protocol's hot path is unaffected. *)
+
+type kind = Root | Phase | Stage | Chunk
+
+val kind_name : kind -> string
+
+type span = {
+  name : string;
+  kind : kind;
+  start_s : float;  (** seconds since the trace epoch *)
+  dur_s : float;
+  deltas : (string * Util.Counters.t) list;
+      (** per-owner counter deltas over the span, zero deltas omitted *)
+  args : (string * string) list;
+  children : span list;  (** in completion order *)
+}
+
+type t
+
+val disabled : t
+(** The null sink: every call is a no-op and [f] runs undecorated. *)
+
+val create : unit -> t
+val is_enabled : t -> bool
+
+val with_span :
+  t ->
+  ?kind:kind ->
+  ?counters:(string * Util.Counters.t) list ->
+  ?args:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [with_span t name f] runs [f] inside a fresh span nested under the
+    innermost open span.  [counters] are snapshotted on entry and
+    diffed on exit.  The span is recorded even if [f] raises (covering
+    the time until the raise). *)
+
+val add_complete :
+  t ->
+  ?kind:kind ->
+  ?args:(string * string) list ->
+  name:string ->
+  start:float ->
+  dur:float ->
+  unit ->
+  unit
+(** Attach an already-timed span (e.g. a pool chunk) as a child of the
+    innermost open span.  [start] is a {!Util.Timer.counter} reading. *)
+
+val roots : t -> span list
+(** Completed top-level spans, in completion order. *)
+
+(** {1 Sinks} *)
+
+type format =
+  | Pretty  (** indented console tree *)
+  | Jsonl   (** one JSON object per span per line, pre-order with depth *)
+  | Chrome  (** Chrome [trace_event] JSON — load in Perfetto or chrome://tracing *)
+
+val format_of_string : string -> (format, string) result
+val write : t -> format -> out_channel -> unit
+val pp_tree : Format.formatter -> t -> unit

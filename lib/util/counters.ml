@@ -85,6 +85,38 @@ let absorb ~into b =
   into.round <- into.round + b.round;
   into.bytes <- into.bytes + b.bytes
 
+let copy t =
+  { encrypt = t.encrypt; decrypt = t.decrypt; hom_add = t.hom_add; hom_mul = t.hom_mul;
+    hom_mul_plain = t.hom_mul_plain; hom_modswitch = t.hom_modswitch;
+    hom_relin = t.hom_relin; round = t.round; bytes = t.bytes }
+
+let diff a b =
+  { encrypt = a.encrypt - b.encrypt;
+    decrypt = a.decrypt - b.decrypt;
+    hom_add = a.hom_add - b.hom_add;
+    hom_mul = a.hom_mul - b.hom_mul;
+    hom_mul_plain = a.hom_mul_plain - b.hom_mul_plain;
+    hom_modswitch = a.hom_modswitch - b.hom_modswitch;
+    hom_relin = a.hom_relin - b.hom_relin;
+    round = a.round - b.round;
+    bytes = a.bytes - b.bytes }
+
+let is_zero t =
+  t.encrypt = 0 && t.decrypt = 0 && t.hom_add = 0 && t.hom_mul = 0
+  && t.hom_mul_plain = 0 && t.hom_modswitch = 0 && t.hom_relin = 0
+  && t.round = 0 && t.bytes = 0
+
+let to_list t =
+  [ ("encryptions", t.encrypt);
+    ("decryptions", t.decrypt);
+    ("hom_adds", t.hom_add);
+    ("hom_muls", t.hom_mul);
+    ("hom_mul_plains", t.hom_mul_plain);
+    ("hom_modswitches", t.hom_modswitch);
+    ("hom_relins", t.hom_relin);
+    ("rounds", t.round);
+    ("bytes_sent", t.bytes) ]
+
 let merge a b =
   { encrypt = a.encrypt + b.encrypt;
     decrypt = a.decrypt + b.decrypt;

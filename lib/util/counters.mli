@@ -45,6 +45,20 @@ val record_n : t -> event -> int -> unit
 val merge : t -> t -> t
 (** [merge a b] is a fresh counter holding the component-wise sums. *)
 
+val copy : t -> t
+(** An independent snapshot.  {!Sknn_obs.Trace} snapshots a party's live
+    counter when a span opens and {!diff}s at close to get the span's
+    delta. *)
+
+val diff : t -> t -> t
+(** [diff a b] is the component-wise difference [a - b]. *)
+
+val is_zero : t -> bool
+
+val to_list : t -> (string * int) list
+(** Every field as a [(name, count)] pair, in a fixed order — the
+    generic view the observability sinks serialise. *)
+
 val absorb : into:t -> t -> unit
 (** [absorb ~into b] adds every count of [b] into [into].  This is how
     per-worker counters from {!Pool.map_local} are folded back into a

@@ -22,17 +22,66 @@ let resolve jobs n =
   if j < 1 then invalid_arg "Pool: jobs < 1";
   Stdlib.min (Stdlib.min j max_domains) (Stdlib.max 1 n)
 
+(* ------------------------------------------------------------------ *)
+(* Chunk observation.
+
+   The observer is *domain-local* on purpose: worker bodies themselves
+   call back into the pool (e.g. Bgv.mul_sum with jobs:1 inside
+   Compute-Distances), and those nested calls run in spawned domains
+   where the DLS slot is fresh — so only the orchestrating domain's
+   top-level pool call reports chunks, and it does so after the join,
+   in worker order, keeping the trace deterministic. *)
+(* ------------------------------------------------------------------ *)
+
+type chunk_stat = {
+  worker : int;
+  chunk_lo : int;
+  chunk_hi : int;
+  chunk_start : float;
+  chunk_seconds : float;
+}
+
+let observer_key : (chunk_stat -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_chunk_observer obs f =
+  let prev = Domain.DLS.get observer_key in
+  Domain.DLS.set observer_key (Some obs);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set observer_key prev) f
+
+(* Chunk bodies that run in the calling domain (the jobs=1 path and
+   worker 0 of the parallel path) would otherwise see the observer in
+   their DLS and report their own nested pool calls; masking it during
+   the body keeps reporting to the outermost call, matching what worker
+   domains (fresh DLS) naturally do. *)
+let unobserved f =
+  let prev = Domain.DLS.get observer_key in
+  match prev with
+  | None -> f ()
+  | Some _ ->
+    Domain.DLS.set observer_key None;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set observer_key prev) f
+
 type ('b, 'w) outcome =
-  | Done of 'b array * 'w
+  | Done of 'b array * 'w * (float * float)
   | Raised of exn * Printexc.raw_backtrace
 
 let map_local ?jobs ~make ~merge ~f a =
   let n = Array.length a in
   let j = resolve jobs n in
+  let observer = Domain.DLS.get observer_key in
+  let instrument = Option.is_some observer in
   if j = 1 then begin
     let w = make () in
-    let out = Array.mapi (fun i x -> f w i x) a in
+    let t0 = if instrument then Timer.counter () else 0.0 in
+    let out = unobserved (fun () -> Array.mapi (fun i x -> f w i x) a) in
+    let t1 = if instrument then Timer.counter () else 0.0 in
     merge w;
+    (match observer with
+     | Some obs when n > 0 ->
+       obs { worker = 0; chunk_lo = 0; chunk_hi = n; chunk_start = t0;
+             chunk_seconds = t1 -. t0 }
+     | _ -> ());
     out
   end
   else begin
@@ -43,24 +92,36 @@ let map_local ?jobs ~make ~merge ~f a =
       match
         let st = make () in
         let lo = start w and hi = start (w + 1) in
+        let t0 = if instrument then Timer.counter () else 0.0 in
         let res = Array.init (hi - lo) (fun i -> f st (lo + i) a.(lo + i)) in
-        (res, st)
+        let t1 = if instrument then Timer.counter () else 0.0 in
+        (res, st, (t0, t1))
       with
-      | res, st -> Done (res, st)
+      | res, st, ts -> Done (res, st, ts)
       | exception e -> Raised (e, Printexc.get_raw_backtrace ())
     in
     let spawned = Array.init (j - 1) (fun w -> Domain.spawn (fun () -> run (w + 1))) in
-    let first = run 0 in
+    let first = unobserved (fun () -> run 0) in
     let outcomes = Array.append [| first |] (Array.map Domain.join spawned) in
     (* Re-raise the lowest-indexed failure only after every domain joined. *)
     Array.iter
       (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | Done _ -> ())
       outcomes;
     let chunks =
-      Array.map (function Done (res, st) -> (res, st) | Raised _ -> assert false) outcomes
+      Array.map
+        (function Done (res, st, ts) -> (res, st, ts) | Raised _ -> assert false)
+        outcomes
     in
-    Array.iter (fun (_, st) -> merge st) chunks;
-    Array.concat (Array.to_list (Array.map fst chunks))
+    Array.iter (fun (_, st, _) -> merge st) chunks;
+    (match observer with
+     | Some obs ->
+       Array.iteri
+         (fun w (_, _, (t0, t1)) ->
+           obs { worker = w; chunk_lo = start w; chunk_hi = start (w + 1);
+                 chunk_start = t0; chunk_seconds = t1 -. t0 })
+         chunks
+     | None -> ());
+    Array.concat (Array.to_list (Array.map (fun (res, _, _) -> res) chunks))
   end
 
 let map ?jobs f a = map_local ?jobs ~make:(fun () -> ()) ~merge:ignore ~f:(fun () _ x -> f x) a

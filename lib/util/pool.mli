@@ -30,6 +30,31 @@ val default_jobs : unit -> int
     environment variable if set to a positive integer, otherwise
     [Domain.recommended_domain_count ()]. *)
 
+(** {1 Chunk observation (tracing hook)} *)
+
+type chunk_stat = {
+  worker : int;        (** worker index, [0 .. jobs-1] *)
+  chunk_lo : int;      (** first element index of the chunk *)
+  chunk_hi : int;      (** one past the last element index *)
+  chunk_start : float; (** {!Timer.counter} reading at chunk start *)
+  chunk_seconds : float;
+}
+
+val with_chunk_observer : (chunk_stat -> unit) -> (unit -> 'a) -> 'a
+(** [with_chunk_observer obs f] runs [f] with [obs] installed for pool
+    calls made {e by the current domain}.  For each such call, [obs] is
+    invoked once per chunk — after all workers have joined and their
+    states merged, in worker order, in the calling domain — so
+    observation can never race with workers or perturb result
+    determinism.  The observer is domain-local and reports only the
+    outermost pool call: nested pool calls made from inside worker
+    bodies do not report, whether the body runs in a spawned domain
+    (fresh DLS) or in the calling domain (the [jobs = 1] path and
+    worker 0, where the observer is masked for the duration of the
+    chunk).  Installations nest; the previous observer is restored on
+    exit, including on exceptions.  When no observer is installed,
+    workers skip timestamp collection entirely. *)
+
 val map_local :
   ?jobs:int ->
   make:(unit -> 'w) ->

@@ -6,8 +6,24 @@ let time f =
   let t1 = now () in
   (x, t1 -. t0)
 
+(* Wall-clock that never goes backwards, shared across domains: spans
+   started in different domains must still nest sensibly in one trace
+   even if the system clock steps.  A CAS loop keeps the high-water mark
+   without a lock. *)
+let counter =
+  let last = Atomic.make 0.0 in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    let rec clamp () =
+      let l = Atomic.get last in
+      if t > l then if Atomic.compare_and_set last l t then t else clamp ()
+      else l
+    in
+    clamp ()
+
 let pp_duration ppf s =
-  if s < 1.0 then Format.fprintf ppf "%.0f ms" (s *. 1000.0)
+  if s < 0.001 then Format.fprintf ppf "%.0f µs" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.0f ms" (s *. 1000.0)
   else if s < 60.0 then Format.fprintf ppf "%.1f s" s
   else
     let m = int_of_float (s /. 60.0) in

@@ -7,6 +7,14 @@ val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
     wall-clock seconds. *)
 
+val counter : unit -> float
+(** A monotonic-friendly reading of the wall clock: successive calls —
+    from any domain — never decrease, even if the system clock steps
+    backwards.  Span timestamps in {!Sknn_obs.Trace} are taken with
+    this. *)
+
 val pp_duration : Format.formatter -> float -> unit
 (** Pretty-prints a duration like the paper's prose: ["45 s"],
-    ["2 min 45 s"], ["373 ms"]. *)
+    ["2 min 45 s"], ["373 ms"], ["390 µs"].  Sub-millisecond phases
+    (e.g. [decrypt-result]) get the microsecond tier instead of
+    rendering as ["0 ms"]. *)

@@ -336,6 +336,44 @@ let test_permutation_hides_indices () =
       (Protocol.exact dep ~db ~query:q r)
   done
 
+let test_leakage_audit_channel () =
+  (* Mechanical check of the §4/§5 leakage profile via the audit
+     channel: Party B's recorded surface is exactly the admitted set
+     (and matches the Leakage extraction of the actual view); Party A's
+     entries are ciphertext counts and byte sizes only. *)
+  let module Audit = Sknn_obs.Audit in
+  let rng = Rng.of_int 171 in
+  let db = Synthetic.uniform rng ~n:20 ~d:3 ~max_value:100 in
+  let audit = Audit.create () in
+  let obs = Sknn_obs.Ctx.create ~audit () in
+  let dep = Protocol.deploy ~rng (Config.standard ()) ~db in
+  let q = Synthetic.query_like rng db in
+  let r = Protocol.query ~obs dep ~query:q ~k:4 in
+  Alcotest.(check (list string)) "party-b leakage surface"
+    [ "equidistant-group-sizes"; "k"; "masked-distance-multiset"; "n" ]
+    (Audit.labels_for audit ~party:"party-b");
+  (match Audit.value_of audit ~party:"party-b" ~label:"k" with
+   | Some (Audit.Int k) -> Alcotest.(check int) "k" 4 k
+   | _ -> Alcotest.fail "k not recorded as Int");
+  (match Audit.value_of audit ~party:"party-b" ~label:"masked-distance-multiset" with
+   | Some (Audit.Int64s a) ->
+     Alcotest.(check (array int64)) "multiset matches view"
+       (Leakage.view_multiset r.Protocol.view_b) a
+   | _ -> Alcotest.fail "multiset not recorded as Int64s");
+  (match Audit.value_of audit ~party:"party-b" ~label:"equidistant-group-sizes" with
+   | Some (Audit.Ints a) ->
+     Alcotest.(check (array int)) "groups match view"
+       (Leakage.equidistant_group_sizes r.Protocol.view_b) a
+   | _ -> Alcotest.fail "groups not recorded as Ints");
+  let a_entries = Audit.for_party audit ~party:"party-a" in
+  Alcotest.(check bool) "party-a observed" true (a_entries <> []);
+  List.iter
+    (fun (e : Audit.entry) ->
+      match e.Audit.value with
+      | Audit.Int _ -> ()
+      | _ -> Alcotest.failf "party-a entry %S is not a scalar count/size" e.Audit.label)
+    a_entries
+
 (* ------------------------------------------------------------------ *)
 (* Cost model (Table 1)                                                *)
 (* ------------------------------------------------------------------ *)
@@ -416,7 +454,8 @@ let () =
          Alcotest.test_case "equidistant groups" `Quick test_leakage_equidistant_groups;
          Alcotest.test_case "database independence" `Quick test_leakage_view_database_independent;
          Alcotest.test_case "fresh mask per query" `Quick test_leakage_fresh_mask_across_queries;
-         Alcotest.test_case "permutation plumbing" `Quick test_permutation_hides_indices ]);
+         Alcotest.test_case "permutation plumbing" `Quick test_permutation_hides_indices;
+         Alcotest.test_case "audit channel" `Quick test_leakage_audit_channel ]);
       ("cost",
        [ Alcotest.test_case "measured vs predicted" `Quick test_cost_measured_vs_predicted;
          Alcotest.test_case "ours beats yousef" `Quick test_cost_ours_beats_yousef ]);

@@ -60,6 +60,33 @@ let test_rounds_empty_and_oneway () =
   send t ~sender:Party_a ~receiver:Party_b ~label:"only" ~bytes:1;
   Alcotest.(check int) "unanswered counts as a round" 1 (rounds t Party_a Party_b)
 
+let test_rounds_trailing_run () =
+  (* A->B, B->A closes round one; the trailing unmatched A->B run still
+     counts as a round of its own. *)
+  let t = create () in
+  send t ~sender:Party_a ~receiver:Party_b ~label:"ping" ~bytes:1;
+  send t ~sender:Party_b ~receiver:Party_a ~label:"pong" ~bytes:1;
+  send t ~sender:Party_a ~receiver:Party_b ~label:"follow-up" ~bytes:1;
+  Alcotest.(check int) "trailing run counts" 2 (rounds t Party_a Party_b);
+  send t ~sender:Party_a ~receiver:Party_b ~label:"same run" ~bytes:1;
+  Alcotest.(check int) "same-direction message extends the run" 2
+    (rounds t Party_a Party_b);
+  send t ~sender:Party_b ~receiver:Party_a ~label:"reply" ~bytes:1;
+  Alcotest.(check int) "reply closes it" 2 (rounds t Party_a Party_b)
+
+let test_links () =
+  let t = create () in
+  Alcotest.(check int) "no links" 0 (List.length (links t));
+  send t ~sender:Party_a ~receiver:Party_b ~label:"x" ~bytes:100;
+  send t ~sender:Party_b ~receiver:Party_a ~label:"y" ~bytes:50;
+  send t ~sender:Data_owner ~receiver:Client ~label:"keys" ~bytes:7;
+  (* Both directions fold into one undirected link, keyed in declaration
+     order and sorted canonically. *)
+  Alcotest.(check (list (pair (pair string string) int)))
+    "aggregated undirected links"
+    [ (("data-owner", "client"), 7); (("party-A", "party-B"), 150) ]
+    (List.map (fun ((x, y), b) -> ((party_name x, party_name y), b)) (links t))
+
 let test_validation () =
   let t = create () in
   Alcotest.check_raises "self send" (Invalid_argument "Transcript.send: sender = receiver")
@@ -76,4 +103,6 @@ let () =
          Alcotest.test_case "batched run" `Quick test_rounds_batched_run;
          Alcotest.test_case "multi round" `Quick test_rounds_multi;
          Alcotest.test_case "empty/one-way" `Quick test_rounds_empty_and_oneway;
+         Alcotest.test_case "trailing run" `Quick test_rounds_trailing_run;
+         Alcotest.test_case "links" `Quick test_links;
          Alcotest.test_case "validation" `Quick test_validation ]) ]

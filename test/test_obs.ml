@@ -1,0 +1,427 @@
+(* Tests for the observability layer (Sknn_obs): span trees, counter
+   deltas, sink well-formedness, the metrics registry, the leakage-audit
+   channel — and the PR 1 determinism invariant extended to tracing:
+   the non-chunk span tree is bit-identical for every job count. *)
+
+module Rng = Util.Rng
+module Counters = Util.Counters
+module Trace = Sknn_obs.Trace
+module Metrics = Sknn_obs.Metrics
+module Audit = Sknn_obs.Audit
+module Ctx = Sknn_obs.Ctx
+
+(* ------------------------------------------------------------------ *)
+(* Trace core                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_passthrough () =
+  let t = Trace.disabled in
+  Alcotest.(check bool) "disabled" false (Trace.is_enabled t);
+  let x = Trace.with_span t "phase" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 x;
+  Trace.add_complete t ~name:"chunk" ~start:0.0 ~dur:1.0 ();
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Trace.roots t))
+
+let test_trace_nesting () =
+  let t = Trace.create () in
+  let v =
+    Trace.with_span t ~kind:Trace.Phase "outer" (fun () ->
+        let a = Trace.with_span t "inner-1" (fun () -> 1) in
+        let b = Trace.with_span t "inner-2" (fun () -> 2) in
+        Trace.add_complete t ~name:"leaf" ~args:[ ("worker", "0") ]
+          ~start:(Util.Timer.counter ()) ~dur:0.001 ();
+        a + b)
+  in
+  Alcotest.(check int) "value" 3 v;
+  match Trace.roots t with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "outer" root.Trace.name;
+    Alcotest.(check string) "root kind" "phase" (Trace.kind_name root.Trace.kind);
+    Alcotest.(check (list string)) "children in completion order"
+      [ "inner-1"; "inner-2"; "leaf" ]
+      (List.map (fun s -> s.Trace.name) root.Trace.children);
+    Alcotest.(check bool) "durations non-negative" true
+      (root.Trace.dur_s >= 0.0
+       && List.for_all (fun s -> s.Trace.dur_s >= 0.0) root.Trace.children)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_trace_counter_deltas () =
+  let t = Trace.create () in
+  let c = Counters.create () in
+  Counters.record c Counters.Encrypt; (* pre-span noise, must not leak in *)
+  Trace.with_span t ~counters:[ ("party", c) ] "work" (fun () ->
+      Counters.record c Counters.Hom_mul;
+      Counters.record c (Counters.Bytes_sent 10));
+  Trace.with_span t ~counters:[ ("party", c) ] "idle" (fun () -> ());
+  match Trace.roots t with
+  | [ work; idle ] ->
+    (match work.Trace.deltas with
+     | [ ("party", d) ] ->
+       Alcotest.(check int) "delta muls" 1 (Counters.hom_muls d);
+       Alcotest.(check int) "delta bytes" 10 (Counters.bytes_sent d);
+       Alcotest.(check int) "pre-span encrypt excluded" 0 (Counters.encryptions d)
+     | _ -> Alcotest.fail "expected one delta on work span");
+    Alcotest.(check int) "zero delta omitted" 0 (List.length idle.Trace.deltas)
+  | _ -> Alcotest.fail "expected two roots"
+
+let test_trace_span_survives_raise () =
+  let t = Trace.create () in
+  (try
+     Trace.with_span t "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  Alcotest.(check (list string)) "span recorded despite raise" [ "boom" ]
+    (List.map (fun s -> s.Trace.name) (Trace.roots t))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks: a tiny recursive-descent JSON well-formedness checker         *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+exception Bad_json of string
+
+let check_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else raise (Bad_json (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('t' | 'f' | 'n') -> keyword ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> raise (Bad_json (Printf.sprintf "unexpected input at %d" !pos))
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else
+      let rec members () =
+        skip_ws (); string_lit (); skip_ws (); expect ':'; value (); skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | Some '}' -> advance ()
+        | _ -> raise (Bad_json (Printf.sprintf "bad object at %d" !pos))
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else
+      let rec elements () =
+        value (); skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); elements ()
+        | Some ']' -> advance ()
+        | _ -> raise (Bad_json (Printf.sprintf "bad array at %d" !pos))
+      in
+      elements ()
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' -> advance (); advance (); go ()
+      | Some _ -> advance (); go ()
+      | None -> raise (Bad_json "unterminated string")
+    in
+    go ()
+  and keyword () =
+    let ok kw = String.length s - !pos >= String.length kw
+                && String.sub s !pos (String.length kw) = kw in
+    if ok "true" then pos := !pos + 4
+    else if ok "false" then pos := !pos + 5
+    else if ok "null" then pos := !pos + 4
+    else raise (Bad_json (Printf.sprintf "bad keyword at %d" !pos))
+  and number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let had = ref false in
+      while (match peek () with Some ('0' .. '9') -> true | _ -> false) do
+        had := true; advance ()
+      done;
+      if not !had then raise (Bad_json (Printf.sprintf "bad number at %d" !pos))
+    in
+    digits ();
+    if peek () = Some '.' then (advance (); digits ());
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ())
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then raise (Bad_json (Printf.sprintf "trailing input at %d" !pos))
+
+let assert_valid_json name s =
+  match check_json s with
+  | () -> ()
+  | exception Bad_json msg -> Alcotest.failf "%s: invalid JSON (%s)" name msg
+
+let traced_run ~jobs =
+  let db = Synthetic.uniform (Rng.of_int 77) ~n:18 ~d:3 ~max_value:100 in
+  let q = [| 10; 20; 30 |] in
+  let trace = Trace.create () in
+  let audit = Audit.create () in
+  let obs = Ctx.create ~trace ~audit () in
+  let dep = Protocol.deploy ~obs ~rng:(Rng.of_int 999) ~jobs (Config.standard ()) ~db in
+  let r = Protocol.query ~obs ~rng:(Rng.of_int 1000) dep ~query:q ~k:3 in
+  (trace, audit, r)
+
+let with_temp_file f =
+  let path = Filename.temp_file "sknn_obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+      f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let test_sink_chrome () =
+  let trace, _, _ = traced_run ~jobs:2 in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Trace.write trace Trace.Chrome oc;
+      close_out oc;
+      let s = read_file path in
+      assert_valid_json "chrome trace" s;
+      Alcotest.(check bool) "has traceEvents" true
+        (contains ~sub:"\"traceEvents\"" s))
+
+let test_sink_jsonl () =
+  let trace, _, _ = traced_run ~jobs:2 in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Trace.write trace Trace.Jsonl oc;
+      close_out oc;
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check bool) "several lines" true (List.length lines > 5);
+      List.iteri
+        (fun i line -> assert_valid_json (Printf.sprintf "jsonl line %d" i) line)
+        lines)
+
+let test_sink_pretty_and_format_names () =
+  let trace, _, _ = traced_run ~jobs:1 in
+  let s = Format.asprintf "%a" Trace.pp_tree trace in
+  Alcotest.(check bool) "mentions a phase" true
+    (contains ~sub:"compute-distances" s);
+  List.iter
+    (fun (name, ok) ->
+      Alcotest.(check bool) name ok
+        (match Trace.format_of_string name with Ok _ -> true | Error _ -> false))
+    [ ("chrome", true); ("jsonl", true); ("pretty", true); ("perfetto", true);
+      ("tree", true); ("bogus", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across job counts                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Render the span tree with Chunk spans removed and timings zeroed:
+   names, kinds, nesting, args and counter deltas — everything that must
+   be bit-identical across job counts. *)
+let shape trace =
+  let buf = Buffer.create 1024 in
+  let rec go depth (s : Trace.span) =
+    if s.Trace.kind <> Trace.Chunk then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%*s%s kind=%s args=[%s] deltas=[%s]\n" (2 * depth) ""
+           s.Trace.name
+           (Trace.kind_name s.Trace.kind)
+           (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) s.Trace.args))
+           (String.concat ";"
+              (List.map
+                 (fun (owner, d) ->
+                   owner ^ ":"
+                   ^ String.concat ","
+                       (List.filter_map
+                          (fun (k, v) ->
+                            if v = 0 then None else Some (Printf.sprintf "%s=%d" k v))
+                          (Counters.to_list d)))
+                 s.Trace.deltas)));
+      List.iter (go (depth + 1)) s.Trace.children
+    end
+  in
+  List.iter (go 0) (Trace.roots trace);
+  Buffer.contents buf
+
+let audit_s a =
+  Format.asprintf "%a" Audit.pp a
+
+let test_span_tree_jobs_determinism () =
+  let t1, a1, r1 = traced_run ~jobs:1 in
+  let t2, a2, r2 = traced_run ~jobs:2 in
+  let t4, a4, r4 = traced_run ~jobs:4 in
+  let s1 = shape t1 and s2 = shape t2 and s4 = shape t4 in
+  Alcotest.(check string) "span tree: jobs 1 = jobs 2" s1 s2;
+  Alcotest.(check string) "span tree: jobs 1 = jobs 4" s1 s4;
+  Alcotest.(check bool) "tree is non-trivial" true (String.length s1 > 100);
+  Alcotest.(check string) "audit: jobs 1 = jobs 2" (audit_s a1) (audit_s a2);
+  Alcotest.(check string) "audit: jobs 1 = jobs 4" (audit_s a1) (audit_s a4);
+  Alcotest.(check bool) "results identical" true
+    (r1.Protocol.neighbours = r2.Protocol.neighbours
+     && r1.Protocol.neighbours = r4.Protocol.neighbours);
+  let cs c = Format.asprintf "%a" Counters.pp c in
+  Alcotest.(check string) "counters identical (A)" (cs r1.Protocol.counters_a)
+    (cs r4.Protocol.counters_a);
+  Alcotest.(check string) "counters identical (B)" (cs r1.Protocol.counters_b)
+    (cs r4.Protocol.counters_b);
+  Alcotest.(check string) "counters identical (client)"
+    (cs r1.Protocol.counters_client) (cs r4.Protocol.counters_client)
+
+let test_chunk_spans_partition () =
+  (* At jobs=2 the "distance-batches" stage must carry exactly 2 chunk
+     spans partitioning [0, n). *)
+  let t2, _, _ = traced_run ~jobs:2 in
+  let chunks = ref [] in
+  let rec collect under (s : Trace.span) =
+    let here = under || s.Trace.name = "distance-batches" in
+    if here && s.Trace.kind = Trace.Chunk then chunks := s :: !chunks;
+    List.iter (collect here) s.Trace.children
+  in
+  List.iter (collect false) (Trace.roots t2);
+  let names = List.rev_map (fun s -> s.Trace.name) !chunks in
+  Alcotest.(check (list string)) "two chunks in worker order"
+    [ "distances[0,9)"; "distances[9,18)" ]
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counter_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "ops" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  Alcotest.(check int) "re-registration returns same instrument" 5
+    (Metrics.counter_value (Metrics.counter m "ops"));
+  let g = Metrics.gauge m "util" in
+  Alcotest.(check bool) "gauge starts unset" true (Metrics.gauge_value g = None);
+  Metrics.set g 0.75;
+  Alcotest.(check (option (float 0.0))) "gauge set" (Some 0.75) (Metrics.gauge_value g)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] m "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 100.0; 1000.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1106.5 (Metrics.hist_sum h);
+  (* le(1)=2 (0.5 and the boundary 1.0), le(10)=1, le(100)=1, overflow=1 *)
+  Alcotest.(check (array int)) "bucket counts" [| 2; 1; 1; 1 |] (Metrics.hist_counts h);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics.counter: \"lat\" registered with another kind")
+    (fun () -> ignore (Metrics.counter m "lat"));
+  Alcotest.(check bool) "non-increasing buckets rejected" true
+    (try ignore (Metrics.histogram ~buckets:[| 2.0; 2.0 |] m "bad"); false
+     with Invalid_argument _ -> true)
+
+let test_metrics_names_sorted () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "zeta");
+  ignore (Metrics.gauge m "alpha");
+  ignore (Metrics.histogram m "mid");
+  Alcotest.(check (list string)) "sorted" [ "alpha"; "mid"; "zeta" ] (Metrics.names m)
+
+(* ------------------------------------------------------------------ *)
+(* Audit                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_basics () =
+  let a = Audit.create () in
+  Audit.observe a ~party:"party-b" ~phase:"p" ~label:"k" (Audit.Int 3);
+  Audit.observe a ~party:"party-b" ~phase:"p" ~label:"ms" (Audit.Int64s [| 5L; 1L |]);
+  Audit.observe a ~party:"party-a" ~phase:"q" ~label:"bytes" (Audit.Int 100);
+  Audit.observe a ~party:"party-b" ~phase:"p2" ~label:"k" (Audit.Int 7);
+  Alcotest.(check int) "entry count" 4 (List.length (Audit.entries a));
+  Alcotest.(check (list string)) "labels sorted + deduped" [ "k"; "ms" ]
+    (Audit.labels_for a ~party:"party-b");
+  (match Audit.value_of a ~party:"party-b" ~label:"k" with
+   | Some (Audit.Int v) -> Alcotest.(check int) "latest wins" 7 v
+   | _ -> Alcotest.fail "expected Int");
+  Alcotest.(check bool) "missing is None" true
+    (Audit.value_of a ~party:"client" ~label:"k" = None);
+  Alcotest.(check int) "for_party filters" 1
+    (List.length (Audit.for_party a ~party:"party-a"))
+
+(* ------------------------------------------------------------------ *)
+(* Ctx                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_ctx_disabled () =
+  let obs = Ctx.disabled in
+  Alcotest.(check bool) "disabled" true (Ctx.is_disabled obs);
+  Alcotest.(check int) "with_span passthrough" 9 (Ctx.with_span obs "x" (fun () -> 9));
+  Alcotest.(check int) "with_pool_chunks passthrough" 8
+    (Ctx.with_pool_chunks obs (fun () -> 8));
+  Ctx.observe_phase obs "p" 1.0;
+  Ctx.audit obs ~party:"a" ~phase:"p" ~label:"l" (Audit.Int 1);
+  Alcotest.(check int) "no trace roots" 0 (List.length (Trace.roots (Ctx.trace obs)))
+
+let test_ctx_pool_chunks () =
+  let trace = Trace.create () in
+  let m = Metrics.create () in
+  let obs = Ctx.create ~trace ~metrics:m () in
+  let out =
+    Ctx.with_span obs "stage" (fun () ->
+        Ctx.with_pool_chunks obs ~label:"work" (fun () ->
+            Util.Pool.map ~jobs:3 (fun x -> x * 2) (Array.init 9 succ)))
+  in
+  Alcotest.(check (array int)) "result unchanged"
+    (Array.init 9 (fun i -> 2 * (i + 1))) out;
+  (match Trace.roots trace with
+   | [ stage ] ->
+     Alcotest.(check (list string)) "chunk spans in worker order"
+       [ "work[0,3)"; "work[3,6)"; "work[6,9)" ]
+       (List.map (fun s -> s.Trace.name) stage.Trace.children)
+   | _ -> Alcotest.fail "expected one root span");
+  Alcotest.(check int) "chunk latencies recorded" 3
+    (Metrics.hist_count (Metrics.histogram m "pool.work.chunk_seconds"));
+  (match Metrics.gauge_value (Metrics.gauge m "pool.work.utilization") with
+   | Some u -> Alcotest.(check bool) "utilization in (0, 1.5]" true (u > 0.0 && u <= 1.5)
+   | None -> Alcotest.fail "utilization gauge unset")
+
+let () =
+  Alcotest.run "obs"
+    [ ("trace",
+       [ Alcotest.test_case "disabled passthrough" `Quick test_trace_disabled_passthrough;
+         Alcotest.test_case "nesting" `Quick test_trace_nesting;
+         Alcotest.test_case "counter deltas" `Quick test_trace_counter_deltas;
+         Alcotest.test_case "span survives raise" `Quick test_trace_span_survives_raise ]);
+      ("sinks",
+       [ Alcotest.test_case "chrome JSON" `Quick test_sink_chrome;
+         Alcotest.test_case "jsonl lines" `Quick test_sink_jsonl;
+         Alcotest.test_case "pretty + formats" `Quick test_sink_pretty_and_format_names ]);
+      ("determinism",
+       [ Alcotest.test_case "span tree across jobs" `Quick test_span_tree_jobs_determinism;
+         Alcotest.test_case "chunk partition" `Quick test_chunk_spans_partition ]);
+      ("metrics",
+       [ Alcotest.test_case "counter + gauge" `Quick test_metrics_counter_gauge;
+         Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+         Alcotest.test_case "names sorted" `Quick test_metrics_names_sorted ]);
+      ("audit", [ Alcotest.test_case "basics" `Quick test_audit_basics ]);
+      ("ctx",
+       [ Alcotest.test_case "disabled" `Quick test_ctx_disabled;
+         Alcotest.test_case "pool chunks" `Quick test_ctx_pool_chunks ]) ]

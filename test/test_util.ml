@@ -219,6 +219,33 @@ let test_counters_record_and_merge () =
   Counters.reset c;
   Alcotest.(check int) "reset" 0 (Counters.hom_total c + Counters.encryptions c)
 
+let test_counters_copy_diff () =
+  let c = Counters.create () in
+  Counters.record c Counters.Encrypt;
+  Counters.record c (Counters.Bytes_sent 64);
+  let snap = Counters.copy c in
+  Counters.record c Counters.Encrypt;
+  Counters.record c Counters.Hom_mul;
+  Counters.record c (Counters.Bytes_sent 36);
+  Alcotest.(check int) "snapshot unaffected" 1 (Counters.encryptions snap);
+  let d = Counters.diff c snap in
+  Alcotest.(check int) "delta encryptions" 1 (Counters.encryptions d);
+  Alcotest.(check int) "delta muls" 1 (Counters.hom_muls d);
+  Alcotest.(check int) "delta bytes" 36 (Counters.bytes_sent d);
+  Alcotest.(check bool) "delta nonzero" false (Counters.is_zero d);
+  Alcotest.(check bool) "self-diff zero" true (Counters.is_zero (Counters.diff c c));
+  Alcotest.(check bool) "fresh is zero" true (Counters.is_zero (Counters.create ()))
+
+let test_counters_to_list () =
+  let c = Counters.create () in
+  Counters.record_n c Counters.Hom_add 3;
+  Counters.record c (Counters.Bytes_sent 9);
+  let l = Counters.to_list c in
+  Alcotest.(check int) "field count" 9 (List.length l);
+  Alcotest.(check int) "hom_adds" 3 (List.assoc "hom_adds" l);
+  Alcotest.(check int) "bytes_sent" 9 (List.assoc "bytes_sent" l);
+  Alcotest.(check int) "untouched field" 0 (List.assoc "decryptions" l)
+
 let test_timer () =
   let x, dt = Util.Timer.time (fun () -> 42) in
   Alcotest.(check int) "result" 42 x;
@@ -226,7 +253,18 @@ let test_timer () =
   let s d = Format.asprintf "%a" Util.Timer.pp_duration d in
   Alcotest.(check string) "ms" "500 ms" (s 0.5);
   Alcotest.(check string) "s" "45.0 s" (s 45.0);
-  Alcotest.(check string) "min" "2 min 45 s" (s 165.0)
+  Alcotest.(check string) "min" "2 min 45 s" (s 165.0);
+  (* Sub-millisecond durations get their own tier instead of "0 ms". *)
+  Alcotest.(check string) "µs" "390 µs" (s 0.00039);
+  Alcotest.(check string) "µs edge" "999 µs" (s 0.000999)
+
+let test_timer_counter_monotonic () =
+  let prev = ref (Util.Timer.counter ()) in
+  for _ = 1 to 1000 do
+    let t = Util.Timer.counter () in
+    Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+    prev := t
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Matf                                                                *)
@@ -291,7 +329,10 @@ let () =
          Alcotest.test_case "covers S_3" `Quick test_perm_uniformity ]);
       ("counters",
        [ Alcotest.test_case "record/merge/reset" `Quick test_counters_record_and_merge;
-         Alcotest.test_case "timer" `Quick test_timer ]);
+         Alcotest.test_case "copy/diff/is_zero" `Quick test_counters_copy_diff;
+         Alcotest.test_case "to_list" `Quick test_counters_to_list;
+         Alcotest.test_case "timer" `Quick test_timer;
+         Alcotest.test_case "timer counter" `Quick test_timer_counter_monotonic ]);
       ("topk",
        [ Alcotest.test_case "edge cases vs naive" `Quick test_topk_edges;
          Alcotest.test_case "validation" `Quick test_topk_validation ]);
