@@ -1,0 +1,188 @@
+(* Compare a fresh bench JSON against the committed baseline and fail
+   (exit 1) when the fig3 compute-distances phase mean regresses more
+   than the allowed percentage:
+
+     check_regress.exe BASELINE.json CURRENT.json [MAX_REGRESS_PCT]
+
+   The repo carries no JSON dependency, so this reads the bench writer's
+   output with a small recursive-descent parser covering exactly the
+   grammar `write_json` emits (objects, arrays, strings, numbers,
+   booleans, null). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 'b' -> Buffer.add_char buf '\b'; advance ()
+         | 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "bad \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           (* Bench output is ASCII; keep the low byte for anything else. *)
+           Buffer.add_char buf (Char.chr (code land 0xff))
+         | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do advance () done;
+    if !pos = start then fail "expected number";
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((key, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); Arr [])
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elems (v :: acc)
+          | ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elems []
+      end
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* Mean of the fig3 runs' compute-distances phase, in seconds. *)
+let mean_compute_distances path =
+  let doc = parse (read_file path) in
+  let runs =
+    match member "runs" doc with
+    | Some (Arr l) -> l
+    | _ -> failwith (path ^ ": no runs array")
+  in
+  let samples =
+    List.filter_map
+      (fun run ->
+        match member "experiment" run with
+        | Some (Str "fig3") ->
+          (match member "phases" run with
+           | Some phases ->
+             (match member "compute-distances" phases with
+              | Some (Num s) -> Some s
+              | _ -> None)
+           | None -> None)
+        | _ -> None)
+      runs
+  in
+  match samples with
+  | [] -> failwith (path ^ ": no fig3 compute-distances samples")
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let () =
+  let baseline_path, current_path, max_pct =
+    match Array.to_list Sys.argv with
+    | [ _; b; c ] -> (b, c, 25.0)
+    | [ _; b; c; pct ] -> (b, c, float_of_string pct)
+    | _ ->
+      prerr_endline "usage: check_regress BASELINE.json CURRENT.json [MAX_REGRESS_PCT]";
+      exit 2
+  in
+  let baseline = mean_compute_distances baseline_path in
+  let current = mean_compute_distances current_path in
+  let delta_pct = (current -. baseline) /. baseline *. 100.0 in
+  Printf.printf "compute-distances mean: baseline %.3fs, current %.3fs (%+.1f%%)\n"
+    baseline current delta_pct;
+  if delta_pct > max_pct then begin
+    Printf.printf "FAIL: regression exceeds %.0f%% budget\n" max_pct;
+    exit 1
+  end
+  else Printf.printf "OK: within %.0f%% budget\n" max_pct

@@ -1,0 +1,103 @@
+(* Microbenchmarks for the ring kernels: NTT forward/inverse, the
+   pointwise product kernels, Rq.mul and the fused Bgv.mul_sum.  Used
+   by the standalone [kernels] executable and embedded as the
+   ["kernels"] block of the protocol bench JSON, so kernel-level
+   regressions are visible without a full protocol run. *)
+
+type result = {
+  name : string;      (* kernel name, e.g. "ntt-forward" *)
+  ring_n : int;       (* transform size *)
+  prime_bits : int;   (* modulus size (0 when spanning a chain) *)
+  ns_per_op : float;  (* mean wall time per operation, nanoseconds *)
+  reps : int;         (* measured repetitions *)
+}
+
+(* Grow the repetition count until the timed loop runs for [target]
+   seconds, then report the mean.  Two untimed calls warm the code and
+   touch the working set first. *)
+let measure ~target f =
+  f ();
+  f ();
+  let rec go reps =
+    let t0 = Util.Timer.now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let elapsed = Util.Timer.now () -. t0 in
+    if elapsed >= target || reps >= 100_000_000 then
+      (elapsed /. float_of_int reps *. 1e9, reps)
+    else go (reps * 4)
+  in
+  go 1
+
+let deterministic_residues rng ~n ~p = Array.init n (fun _ -> Util.Rng.int_below rng p)
+
+let ntt_suite ~target rng ~n ~bits =
+  let p =
+    Int64.to_int
+      (Prime64.find_ntt_prime ~congruent_mod:(Int64.of_int (2 * n)) ~bits ())
+  in
+  let tbl = Ntt.make_table ~p ~n in
+  let a = deterministic_residues rng ~n ~p in
+  let b = deterministic_residues rng ~n ~p in
+  let dst = Array.make n 0 in
+  let acc = Array.make n 0 in
+  let bench name f =
+    let ns, reps = measure ~target f in
+    { name; ring_n = n; prime_bits = bits; ns_per_op = ns; reps }
+  in
+  [ bench "ntt-forward" (fun () -> Ntt.forward tbl a);
+    bench "ntt-inverse" (fun () -> Ntt.inverse tbl a);
+    bench "pointwise-mul" (fun () -> Ntt.pointwise_mul tbl dst a b);
+    bench "pointwise-mul-acc" (fun () -> Ntt.pointwise_mul_acc tbl acc a b) ]
+
+let rq_suite ~target rng ~n ~bits ~chain =
+  let moduli =
+    Prime64.ntt_primes ~congruent_mod:(Int64.of_int (2 * n)) ~bits ~count:chain
+    |> List.map Int64.to_int |> Array.of_list
+  in
+  let ctx = Rq.context ~n ~moduli in
+  let rand_rq () =
+    Rq.of_int64_coeffs ctx ~nprimes:chain Rq.Eval
+      (Array.init n (fun _ -> Util.Rng.int64_below rng 1024L))
+  in
+  let a = rand_rq () and b = rand_rq () in
+  let acc = Rq.zero ctx ~nprimes:chain Rq.Eval in
+  let bench name f =
+    let ns, reps = measure ~target f in
+    { name; ring_n = n; prime_bits = bits; ns_per_op = ns; reps }
+  in
+  [ bench "rq-mul" (fun () -> ignore (Rq.mul a b));
+    bench "rq-mul-add-into" (fun () -> Rq.mul_add_into acc a b) ]
+
+let mul_sum_suite ~target rng ~d =
+  let params = Params.toy () in
+  let keys = Bgv.keygen rng params in
+  let enc v =
+    Bgv.encrypt rng keys.Bgv.pk (Plaintext.constant params (Int64.of_int v))
+  in
+  let a = Array.init d (fun i -> enc (i + 1)) in
+  let b = Array.init d (fun i -> enc (2 * i)) in
+  let ns, reps = measure ~target (fun () -> ignore (Bgv.mul_sum ~jobs:1 a b)) in
+  [ { name = Printf.sprintf "bgv-mul-sum-d%d" d;
+      ring_n = params.Params.n;
+      prime_bits = 0;
+      ns_per_op = ns;
+      reps } ]
+
+let run ?(quick = false) () =
+  let target = if quick then 0.05 else 0.4 in
+  let rng = Util.Rng.create 42L in
+  let sizes = if quick then [ 64; 1024 ] else [ 64; 1024; 4096 ] in
+  List.concat_map (fun n -> ntt_suite ~target rng ~n ~bits:30) sizes
+  @ rq_suite ~target rng ~n:64 ~bits:30 ~chain:10
+  @ rq_suite ~target rng ~n:1024 ~bits:30 ~chain:4
+  @ mul_sum_suite ~target rng ~d:32
+
+let pp_results ppf results =
+  Format.fprintf ppf "%-20s %8s %6s %14s %10s@." "kernel" "n" "bits" "ns/op" "reps";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-20s %8d %6d %14.1f %10d@." r.name r.ring_n r.prime_bits
+        r.ns_per_op r.reps)
+    results

@@ -36,6 +36,7 @@ type opts = {
   json : string option;      (* machine-readable results file *)
   trace : string option;     (* span-trace output file *)
   trace_format : string;     (* chrome | jsonl | pretty *)
+  repeat : int;              (* steady-state queries in the amortized experiment *)
 }
 
 (* The observability context shared by every protocol run of the session;
@@ -44,11 +45,13 @@ let obs : Sknn_obs.Ctx.t ref = ref Sknn_obs.Ctx.disabled
 
 (* Run one query under a root span so each benchmark query shows up as
    its own top-level tree in the trace. *)
-let traced_query ?rng ~experiment dep ~query ~k =
+let traced_query ?(prepared = false) ?rng ~experiment dep ~query ~k =
   Sknn_obs.Ctx.with_span !obs ~kind:Sknn_obs.Trace.Root
     ~args:[ ("experiment", experiment); ("k", string_of_int k) ]
     experiment
-    (fun () -> Protocol.query ~obs:!obs ?rng dep ~query ~k)
+    (fun () ->
+      if prepared then Protocol.query_prepared ~obs:!obs ?rng dep ~query ~k
+      else Protocol.query ~obs:!obs ?rng dep ~query ~k)
 
 let effective_jobs opts =
   match opts.jobs with Some j -> j | None -> Util.Pool.default_jobs ()
@@ -163,10 +166,16 @@ let json_transcript tr =
 
 let json_runs : json list ref = ref []
 
-let record_run ~experiment ~n ~d ~k ~jobs ~seconds ~exact (r : Protocol.result) =
+(* Extra top-level JSON blocks filled in by individual experiments. *)
+let amortized_summary : json option ref = ref None
+let kernel_results : json option ref = ref None
+
+let record_run ?(extra = []) ~experiment ~n ~d ~k ~jobs ~seconds ~exact
+    (r : Protocol.result) =
   json_runs :=
     Obj
-      [ ("experiment", Str experiment);
+      (extra
+       @ [ ("experiment", Str experiment);
         ("n", Int n);
         ("d", Int d);
         ("k", Int k);
@@ -180,7 +189,7 @@ let record_run ~experiment ~n ~d ~k ~jobs ~seconds ~exact (r : Protocol.result) 
          Obj
            [ ("party_a", json_counters r.Protocol.counters_a);
              ("party_b", json_counters r.Protocol.counters_b);
-             ("client", json_counters r.Protocol.counters_client) ]) ]
+             ("client", json_counters r.Protocol.counters_client) ]) ])
     :: !json_runs
 
 let write_json opts path =
@@ -202,6 +211,13 @@ let write_json opts path =
              ("minor_words", Float gc.Gc.minor_words);
              ("promoted_words", Float gc.Gc.promoted_words) ]);
         ("runs", List (List.rev !json_runs)) ]
+  in
+  let doc =
+    match doc with
+    | Obj fields ->
+      let opt name v = match v with None -> [] | Some x -> [ (name, x) ] in
+      Obj (fields @ opt "amortized" !amortized_summary @ opt "kernels" !kernel_results)
+    | _ -> doc
   in
   let buf = Buffer.create 4096 in
   emit_json buf doc;
@@ -604,6 +620,88 @@ let scaling opts =
      && counters_eq r1.Protocol.counters_client rn.Protocol.counters_client)
 
 (* ------------------------------------------------------------------ *)
+(* Amortized multi-query: prepared database steady state               *)
+(* ------------------------------------------------------------------ *)
+
+let amortized opts =
+  hr "amortized — prepared database, repeated queries (--repeat)";
+  let rng = Rng.of_int (opts.seed + 14) in
+  let n = scaled opts ~default_scale:0.5 858 in
+  let db = Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng) in
+  let d = Array.length db.(0) and k = 2 in
+  (* The prepared path needs affine masking (the inner-product trick
+     leaves cross terms only a degree-1 mask keeps sound). *)
+  let config = Config.with_mask_degree 1 (Config.standard ()) in
+  let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
+  let reps = Stdlib.max 1 opts.repeat in
+  say "n=%d, d=%d, k=%d, 1 first + %d steady-state queries%s@." n d k reps
+    (if opts.full then "" else " (scaled)");
+  say "@.%8s %10s %12s %7s@." "query" "total" "prepare-db" "exact";
+  let times =
+    Array.init (reps + 1) (fun i ->
+        let q = Synthetic.query_like rng db in
+        (* Collect the previous query's floating garbage outside the
+           timed region so each measurement pays only for its own
+           allocation, not GC debt inherited from earlier queries. *)
+        Gc.full_major ();
+        let r, s =
+          Util.Timer.time (fun () ->
+              traced_query ~prepared:true ~experiment:"amortized" dep ~query:q ~k)
+        in
+        let ok = Protocol.exact dep ~db ~query:q r in
+        let prep_s =
+          match List.assoc_opt "prepare-db" r.Protocol.phase_seconds with
+          | Some t -> t
+          | None -> 0.0
+        in
+        record_run
+          ~extra:
+            [ ("query_index", Int i);
+              ("prepared", Bool true);
+              ("steady_state", Bool (i > 0)) ]
+          ~experiment:"amortized" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:s
+          ~exact:ok r;
+        say "%8s %9.2fs %11.2fs %7b@."
+          (if i = 0 then "first" else Printf.sprintf "#%d" i)
+          s prep_s ok;
+        s)
+  in
+  let first = times.(0) in
+  let steady =
+    Array.fold_left ( +. ) 0.0 (Array.sub times 1 reps) /. float_of_int reps
+  in
+  amortized_summary :=
+    Some
+      (Obj
+         [ ("n", Int n); ("d", Int d); ("k", Int k); ("repeats", Int reps);
+           ("first_query_s", Float first);
+           ("steady_state_mean_s", Float steady);
+           ("amortization_speedup", Float (first /. steady)) ]);
+  say "@.first query (incl. prepare-db): %.2fs; steady-state mean: %.2fs; speedup %.1fx@."
+    first steady (first /. steady)
+
+(* ------------------------------------------------------------------ *)
+(* Ring-kernel microbenchmarks (bench/kernels library)                 *)
+(* ------------------------------------------------------------------ *)
+
+let kernels opts =
+  hr "kernels — NTT / pointwise / mul_sum ring kernels";
+  let results = Kernel_bench.run ~quick:(not opts.full) () in
+  Format.printf "%a" Kernel_bench.pp_results results;
+  kernel_results :=
+    Some
+      (List
+         (List.map
+            (fun (r : Kernel_bench.result) ->
+              Obj
+                [ ("kernel", Str r.Kernel_bench.name);
+                  ("n", Int r.Kernel_bench.ring_n);
+                  ("prime_bits", Int r.Kernel_bench.prime_bits);
+                  ("ns_per_op", Float r.Kernel_bench.ns_per_op);
+                  ("reps", Int r.Kernel_bench.reps) ])
+            results))
+
+(* ------------------------------------------------------------------ *)
 (* Primitive micro-benchmarks (bechamel)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -661,7 +759,8 @@ let micro _opts =
 let experiments =
   [ ("table1", table1); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
     ("fig7", fig7); ("headtohead", headtohead); ("ablation", ablation);
-    ("scaling", scaling); ("extensions", extensions); ("micro", micro) ]
+    ("scaling", scaling); ("amortized", amortized); ("kernels", kernels);
+    ("extensions", extensions); ("micro", micro) ]
 
 let run opts =
   say "secure k-NN benchmark harness (seed %d, jobs %d, %s)@." opts.seed
@@ -702,7 +801,7 @@ let scale_t =
 let only_t =
   Arg.(value & opt (some string) None
        & info [ "only" ]
-           ~doc:"Comma-separated experiment ids (table1, fig3..fig7, headtohead, ablation, scaling, extensions, micro).")
+           ~doc:"Comma-separated experiment ids (table1, fig3..fig7, headtohead, ablation, scaling, amortized, kernels, extensions, micro).")
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
@@ -721,25 +820,34 @@ let trace_t =
        & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write a hierarchical span trace of every protocol run to $(docv).")
 
+let repeat_t =
+  Arg.(value & opt int 5
+       & info [ "repeat" ] ~docv:"N"
+           ~doc:"Steady-state queries after the first in the amortized experiment.")
+
 let trace_format_t =
   Arg.(value & opt string "chrome"
        & info [ "trace-format" ]
            ~doc:"Trace sink: chrome (Perfetto-loadable trace_event JSON), jsonl (one \
                  span per line) or pretty (indented tree).")
 
-let main full scale only seed jobs json trace trace_format =
+let main full scale only seed jobs json trace trace_format repeat =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
      exit 2
    | _ -> ());
+  if repeat < 1 then begin
+    Format.eprintf "--repeat must be at least 1 (got %d)@." repeat;
+    exit 2
+  end;
   let only = Option.map (String.split_on_char ',') only in
-  run { full; scale; only; seed; jobs; json; trace; trace_format }
+  run { full; scale; only; seed; jobs; json; trace; trace_format; repeat }
 
 let cmd =
   Cmd.v
     (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t $ trace_t
-          $ trace_format_t)
+          $ trace_format_t $ repeat_t)
 
 let () = exit (Cmd.eval cmd)

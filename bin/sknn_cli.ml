@@ -62,12 +62,17 @@ let gen_cmd =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let query_run data query_s k layout seed jobs verbose trace trace_format audit metrics =
+let query_run data query_s k layout seed jobs repeat verbose trace trace_format audit
+    metrics =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
      exit 2
    | _ -> ());
+  if repeat < 1 then begin
+    Format.eprintf "--repeat must be at least 1 (got %d)@." repeat;
+    exit 2
+  end;
   let trace_fmt =
     match Sknn_obs.Trace.format_of_string trace_format with
     | Ok f -> f
@@ -95,13 +100,37 @@ let query_run data query_s k layout seed jobs verbose trace trace_format audit m
   let dep, setup_s =
     Util.Timer.time (fun () -> Protocol.deploy ~obs ~rng ?jobs config ~db)
   in
-  let r, query_s' = Util.Timer.time (fun () -> Protocol.query ~obs dep ~query:q ~k) in
+  (* With --repeat, use the prepared multi-query path when the
+     configuration supports it (affine masking, d <= n); otherwise fall
+     back to independent queries and say so. *)
+  let use_prepared =
+    repeat > 1 && config.Config.mask_degree = 1
+    && Array.length q <= config.Config.bgv.Params.n
+  in
+  let run () =
+    if use_prepared then Protocol.query_prepared ~obs dep ~query:q ~k
+    else Protocol.query ~obs dep ~query:q ~k
+  in
+  let r, query_s' = Util.Timer.time run in
+  let steady_times =
+    List.init (repeat - 1) (fun _ ->
+        Gc.full_major ();
+        snd (Util.Timer.time run))
+  in
   if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
   Format.printf "neighbours:@.";
   Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
   Format.printf "exact: %b@." (Protocol.exact dep ~db ~query:q r);
   Format.printf "setup %a, query %a@." Util.Timer.pp_duration setup_s Util.Timer.pp_duration
     query_s';
+  if repeat > 1 then begin
+    let n_steady = List.length steady_times in
+    let mean = List.fold_left ( +. ) 0.0 steady_times /. float_of_int n_steady in
+    Format.printf "repeat %d (%s): first %a, steady-state mean %a (%.1fx)@." repeat
+      (if use_prepared then "prepared database"
+       else "independent queries — prepared path needs affine masking")
+      Util.Timer.pp_duration query_s' Util.Timer.pp_duration mean (query_s' /. mean)
+  end;
   if verbose then begin
     List.iter
       (fun (name, s) -> Format.printf "  %-20s %a@." name Util.Timer.pp_duration s)
@@ -167,9 +196,16 @@ let query_cmd =
              ~doc:"Print the metrics registry: phase latencies, BGV level / noise \
                    headroom samples, pool utilization, transcript bytes per link.")
   in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ]
+             ~doc:"Run the query $(docv) times and report first-query vs steady-state \
+                   latency; reuses the prepared database when the layout allows it."
+             ~docv:"N")
+  in
   Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
-    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ verbose_t
-          $ trace $ trace_format $ audit $ metrics)
+    Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ repeat
+          $ verbose_t $ trace $ trace_format $ audit $ metrics)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)

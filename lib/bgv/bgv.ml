@@ -129,6 +129,21 @@ let s_power sk i =
         sk.s_powers <- extend sk.s_powers;
         List.nth sk.s_powers (i - 1))
 
+(* c0 + c1·s + c2·s² + … — the decryption dot product, fused into one
+   owned accumulator.  Residue addition mod p is exact and commutative,
+   so the result is bit-identical to the mul-then-add fold. *)
+let sk_dot sk ct =
+  let k = level ct in
+  if degree ct = 0 then ct.comps.(0)
+  else begin
+    let acc = Rq.mul ct.comps.(1) (Rq.truncate (s_power sk 1) ~nprimes:k) in
+    Rq.add_into acc ct.comps.(0);
+    for i = 2 to degree ct do
+      Rq.mul_add_into acc ct.comps.(i) (Rq.truncate (s_power sk i) ~nprimes:k)
+    done;
+    acc
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Encrypt / decrypt                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -156,8 +171,12 @@ let encrypt ?counters ?level rng pk pt =
   in
   let m = Rq.of_int64_coeffs ring ~nprimes Rq.Eval (Plaintext.to_coeffs pt) in
   let b = Rq.truncate pk.pk_b ~nprimes and a = Rq.truncate pk.pk_a ~nprimes in
-  let c0 = Rq.add (Rq.add (Rq.mul b u) (noise ())) m in
-  let c1 = Rq.add (Rq.mul a u) (noise ()) in
+  (* The products are freshly owned, so the additions can be in-place. *)
+  let c0 = Rq.mul b u in
+  Rq.add_into c0 (noise ());
+  Rq.add_into c0 m;
+  let c1 = Rq.mul a u in
+  Rq.add_into c1 (noise ());
   { params = p; comps = [| c0; c1 |]; factor = 1L; log_noise = fresh_noise_bits p }
 
 let decrypt ?counters sk ct =
@@ -166,12 +185,7 @@ let decrypt ?counters sk ct =
   if noise_budget_bits ct <= 0.0 then
     failwith
       (Format.asprintf "Bgv.decrypt: noise budget exhausted (%a)" pp_ct ct);
-  let k = level ct in
-  let acc = ref ct.comps.(0) in
-  for i = 1 to degree ct do
-    let si = Rq.truncate (s_power sk i) ~nprimes:k in
-    acc := Rq.add !acc (Rq.mul ct.comps.(i) si)
-  done;
+  let acc = ref (sk_dot sk ct) in
   let t = p.Params.t_plain in
   let coeffs = Rq.to_zint_coeffs !acc in
   let zt = Z.of_int64 t in
@@ -191,15 +205,11 @@ let decrypt_coeff0 ?counters sk ct =
   if noise_budget_bits ct <= 0.0 then
     failwith
       (Format.asprintf "Bgv.decrypt_coeff0: noise budget exhausted (%a)" pp_ct ct);
-  let k = level ct in
-  let acc = ref ct.comps.(0) in
-  for i = 1 to degree ct do
-    let si = Rq.truncate (s_power sk i) ~nprimes:k in
-    acc := Rq.add !acc (Rq.mul ct.comps.(i) si)
-  done;
+  let acc = ref (sk_dot sk ct) in
   (* Constant coefficient of the negacyclic inverse transform:
      a_0 = n^{-1} * sum of the evaluation-domain values (the odd psi
      powers sum to zero except at j = 0). *)
+  let k = level ct in
   let n = p.Params.n in
   let moduli = p.Params.moduli in
   let residues =
@@ -337,25 +347,26 @@ let modswitch ?counters ct =
         Int64.to_int (Mod64.inv pi (Mod64.reduce pi drop64)))
   in
   let switch_component rq =
-    let rq = Rq.to_coeff rq in
-    let clast = Rq.unsafe_component rq (k - 1) in
-    (* w ≡ c·t^{-1} (mod drop), centered so that |t·w| stays small. *)
-    let w = Array.make n 0 in
-    for j = 0 to n - 1 do
-      let x = clast.(j) * t_inv_drop mod drop in
-      w.(j) <- (if x > half_drop then x - drop else x)
-    done;
-    let comps =
-      Array.init (k - 1) (fun i ->
-          let pi = moduli.(i) in
-          let ci = Rq.unsafe_component rq i in
-          let tm = t_mod.(i) and dinv = drop_inv.(i) in
-          Array.init n (fun j ->
-              let x = (ci.(j) - (tm * w.(j))) mod pi in
-              let x = if x < 0 then x + pi else x in
-              x * dinv mod pi))
-    in
-    Rq.to_eval (Rq.of_components p.Params.ring Rq.Coeff comps)
+    Rq.with_coeff_components rq (fun cc ->
+        let clast = cc.(k - 1) in
+        (* w ≡ c·t^{-1} (mod drop), centered so that |t·w| stays small. *)
+        Util.Arena.with_array n (fun w ->
+            for j = 0 to n - 1 do
+              let x = clast.(j) * t_inv_drop mod drop in
+              w.(j) <- (if x > half_drop then x - drop else x)
+            done;
+            let comps =
+              Array.init (k - 1) (fun i ->
+                  let pi = moduli.(i) in
+                  let ci = cc.(i) in
+                  let tm = t_mod.(i) and dinv = drop_inv.(i) in
+                  let br = Ntt.barrett (Rq.table (Rq.ctx rq) i) in
+                  Array.init n (fun j ->
+                      let x = (ci.(j) - (tm * w.(j))) mod pi in
+                      let x = if x < 0 then x + pi else x in
+                      Barrett.mul br x dinv))
+            in
+            Rq.to_eval_into (Rq.of_components p.Params.ring Rq.Coeff comps)))
   in
   let comps = Array.map switch_component ct.comps in
   let factor = Mod64.mul t ct.factor (Mod64.inv t (Mod64.reduce t drop64)) in
@@ -408,19 +419,18 @@ let key_switch_digits p ~w ~rows ~level:k target =
         in
         Rq.of_small_coeffs ring ~nprimes:k Rq.Eval digits)
   in
-  let d0 = ref None and d1 = ref None in
-  let accum r x = match !r with None -> r := Some x | Some acc -> r := Some (Rq.add acc x) in
+  let d0 = Rq.zero ring ~nprimes:k Rq.Eval and d1 = Rq.zero ring ~nprimes:k Rq.Eval in
   for j = 0 to ndigits - 1 do
     let b_j, a_j = rows.(j) in
-    accum d0 (Rq.mul digit_polys.(j) (Rq.truncate b_j ~nprimes:k));
-    accum d1 (Rq.mul digit_polys.(j) (Rq.truncate a_j ~nprimes:k))
+    Rq.mul_add_into d0 digit_polys.(j) (Rq.truncate b_j ~nprimes:k);
+    Rq.mul_add_into d1 digit_polys.(j) (Rq.truncate a_j ~nprimes:k)
   done;
   let added =
     (* t * ndigits * n * 2^w * eta *)
     log2_t p +. log2 (float_of_int ndigits) +. log2_n p
     +. float_of_int w +. log2 (float_of_int p.Params.eta)
   in
-  (Option.get !d0, Option.get !d1, added)
+  (d0, d1, added)
 
 let relinearize ?counters rlk ct =
   record counters Counters.Hom_relin;
@@ -440,18 +450,15 @@ let mul ?counters ?rlk ?(rescale = true) a b =
   let a, b = align a b in
   let da = Array.length a.comps and db = Array.length b.comps in
   let ring = a.params.Params.ring in
-  let out = Array.make (da + db - 1) None in
+  let lvl = level a in
+  (* Tensor straight into owned Eval accumulators: no intermediate
+     product or sum values, and the same exact residues as before. *)
+  let comps = Array.init (da + db - 1) (fun _ -> Rq.zero ring ~nprimes:lvl Rq.Eval) in
   for i = 0 to da - 1 do
     for j = 0 to db - 1 do
-      let prod = Rq.mul a.comps.(i) b.comps.(j) in
-      out.(i + j) <-
-        (match out.(i + j) with
-         | None -> Some prod
-         | Some acc -> Some (Rq.add acc prod))
+      Rq.mul_add_into comps.(i + j) a.comps.(i) b.comps.(j)
     done
   done;
-  ignore ring;
-  let comps = Array.map (function Some c -> c | None -> assert false) out in
   let t = a.params.Params.t_plain in
   let ct =
     { params = a.params;
@@ -804,12 +811,7 @@ let sum_slots ?counters gks ct =
 (* Debug oracle: the true noise magnitude, for validating the tracked
    bound (requires the secret key; never used by the protocols). *)
 let actual_noise_bits sk ct =
-  let k = level ct in
-  let acc = ref ct.comps.(0) in
-  for i = 1 to degree ct do
-    let si = Rq.truncate (s_power sk i) ~nprimes:k in
-    acc := Rq.add !acc (Rq.mul ct.comps.(i) si)
-  done;
+  let acc = ref (sk_dot sk ct) in
   let coeffs = Rq.to_zint_coeffs !acc in
   let worst =
     Array.fold_left (fun m v -> Stdlib.max m (Z.numbits (Z.abs v))) 0 coeffs

@@ -234,6 +234,145 @@ module Party_a = struct
   let return_level t =
     Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
 
+  (* ---- Prepared (multi-query) path ------------------------------- *)
+
+  (* Query-independent work hoisted out of the per-query loop: the
+     packed ciphertexts (already NTT/Eval-domain) and an encrypted
+     squared norm per point.  With ED = ||p||^2 - 2<p,q> + ||q||^2 the
+     per-query cost per point drops from d ciphertext products
+     (Per_coordinate) to one packed product against the reversed query,
+     amortising the d-fold work across the database lifetime. *)
+  type prepared = {
+    prep_packed : Bgv.ct array;
+    prep_norms : Bgv.ct array;
+    prep_return_packed : Bgv.ct array;
+        (* packed points already truncated to the return level, so
+           Return-kNN skips the per-query truncation pass *)
+  }
+
+  (* The inner-product trick leaves cross terms in the non-constant
+     coefficients, so only affine masking keeps the constant coefficient
+     sound — the same restriction Config.validate puts on Dot_product. *)
+  let prepared_supported config ~d =
+    if config.Config.mask_degree <> 1 then
+      Error "prepared queries need affine (degree-1) masking"
+    else if d > config.Config.bgv.Params.n then
+      Error "prepared queries need d <= ring degree"
+    else Ok ()
+
+  let prepare ?(obs = Obs.disabled) t =
+    (match prepared_supported t.config ~d:t.db.db_d with
+     | Ok () -> ()
+     | Error msg -> invalid_arg ("Party_a.prepare: " ^ msg));
+    let norms =
+      Obs.with_span obs
+        ~counters:[ ("party-a", t.counters) ]
+        ~args:[ ("points", string_of_int t.db.db_n) ]
+        "prepare-norms"
+        (fun () ->
+          Obs.with_pool_chunks obs ~label:"prepare-norms" (fun () ->
+              Pool.map_local ~jobs:t.jobs ~make:Counters.create
+                ~merge:(merge_into t.counters)
+                ~f:(fun counters _ point ->
+                  match point.norm, point.coords with
+                  | Some norm, _ -> norm
+                  | None, Some coords ->
+                    (* ||p||^2 homomorphically, once per database. *)
+                    Bgv.mul_sum ~counters ~jobs:1 ?rlk:(rlk_opt t) coords coords
+                  | None, None ->
+                    invalid_arg "Party_a.prepare: point carries no norm or coordinates")
+                t.db.points))
+    in
+    let lvl = return_level t in
+    { prep_packed = Array.map (fun p -> p.packed) t.db.points;
+      prep_norms = norms;
+      prep_return_packed =
+        Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points }
+
+  let compute_distances_prepared ?(obs = Obs.disabled) t prep rng query =
+    let config = t.config in
+    let d = t.db.db_d in
+    if query.q_dim <> d then
+      invalid_arg "Party_a.compute_distances_prepared: dimension mismatch";
+    let q_rev, q_norm =
+      match query.q_rev, query.q_norm with
+      | Some r, Some n -> (r, n)
+      | _ ->
+        invalid_arg
+          "Party_a.compute_distances_prepared: query lacks inner-product form \
+           (use Client.encrypt_query_ip)"
+    in
+    (match prepared_supported config ~d with
+     | Ok () -> ()
+     | Error msg -> invalid_arg ("Party_a.compute_distances_prepared: " ^ msg));
+    let mask =
+      Obs.with_span obs "draw-mask" (fun () ->
+          Masking.draw rng ~t_plain:config.Config.bgv.Params.t_plain
+            ~input_bits:(Config.max_distance_bits config ~d)
+            ~degree:config.Config.mask_degree
+            ~coeff_bits:config.Config.mask_coeff_bits ())
+    in
+    let coeffs = Masking.coeffs mask in
+    let rngs = split_streams rng t.db.db_n in
+    let masked =
+      Obs.with_span obs
+        ~counters:[ ("party-a", t.counters) ]
+        ~args:[ ("points", string_of_int t.db.db_n) ]
+        "distance-batches"
+        (fun () ->
+          Obs.with_pool_chunks obs ~label:"distances" (fun () ->
+              Pool.map_local ~jobs:t.jobs ~make:Counters.create
+                ~merge:(merge_into t.counters)
+                ~f:(fun counters i packed ->
+                  (* ED = ||p||^2 - 2<p,q> + ||q||^2 in the constant
+                     coefficient; one ciphertext product per point. *)
+                  let ip =
+                    Bgv.mul ~counters ?rlk:(rlk_opt t) ~rescale:false packed q_rev
+                  in
+                  let ed =
+                    Bgv.sub ~counters
+                      (Bgv.add ~counters prep.prep_norms.(i) q_norm)
+                      (Bgv.mul_scalar ~counters ip 2L)
+                  in
+                  (* ED is one multiplication deep, so its noise bound
+                     sits far below the full modulus: find the lowest
+                     level whose modulus still leaves headroom for the
+                     affine mask (coefficients < t) and drop the spare
+                     RNS components in one cheap truncation.  Masking,
+                     transport and B's decryption then all run on the
+                     small ciphertext, without the per-point modswitch
+                     chain a full rescale would cost.  If no level has
+                     the headroom, fall back to the configured rescale
+                     (which actually reduces the noise). *)
+                  let ed =
+                    let params = config.Config.bgv in
+                    let mask_bits =
+                      log (Int64.to_float params.Params.t_plain) /. log 2.
+                    in
+                    let need = Bgv.noise_bits ed +. mask_bits +. 17. in
+                    let lvl = ref 0 and bits = ref 0. in
+                    while !bits <= need && !lvl < Bgv.level ed do
+                      bits :=
+                        !bits
+                        +. (log (float_of_int params.Params.moduli.(!lvl)) /. log 2.);
+                      incr lvl
+                    done;
+                    let lvl = Stdlib.max !lvl (return_level t) in
+                    if !bits > need && lvl < Bgv.level ed then
+                      Bgv.truncate_to_level ed lvl
+                    else if config.Config.rescale_distances then
+                      Bgv.rescale_to_floor ~counters ed
+                    else ed
+                  in
+                  let m = Bgv.eval_poly ~counters ?rlk:(rlk_opt t) ~coeffs ed in
+                  Bgv.add_plain ~counters m
+                    (zero_constant_randomizer rngs.(i) config.Config.bgv))
+                prep.prep_packed))
+    in
+    Obs.with_span obs "permute" (fun () ->
+        let perm = Perm.random rng t.db.db_n in
+        ({ mask; perm }, Perm.apply perm masked))
+
   let select_row ?(obs = Obs.disabled) t permuted_packed row =
     (* T^j = Π(P')·B^j summed: one re-randomised encrypted point.  The
        inner product is fused and split across domains; return_knn keeps
@@ -245,6 +384,9 @@ module Party_a = struct
     let lvl = return_level t in
     Perm.apply state.perm
       (Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points)
+
+  let permuted_packed_prepared prep state =
+    Perm.apply state.perm prep.prep_return_packed
 
   let return_knn ?obs t state rows =
     let packed = permuted_packed t state in
@@ -328,6 +470,24 @@ module Client = struct
 
   let counters t = t.counters
 
+  (* Inner-product query form (reversed-packed query + encrypted norm):
+     what the Dot_product layout sends, and what the prepared multi-query
+     path consumes regardless of layout. *)
+  let encrypt_query_ip t rng query =
+    let config = t.config in
+    let params = config.Config.bgv in
+    let counters = t.counters in
+    let d = Array.length query in
+    Data_owner.validate_point config ~d query;
+    if d > params.Params.n then
+      invalid_arg "Client.encrypt_query_ip: dimension exceeds ring degree";
+    let q_rev = Bgv.encrypt ~counters rng t.pk (reversed_query_plaintext params query) in
+    let q_norm =
+      Bgv.encrypt ~counters rng t.pk
+        (Plaintext.constant params (Int64.of_int (squared_norm query)))
+    in
+    { q_coords = None; q_rev = Some q_rev; q_norm = Some q_norm; q_dim = d }
+
   let encrypt_query t rng query =
     let config = t.config in
     let params = config.Config.bgv in
@@ -342,13 +502,7 @@ module Client = struct
           query
       in
       { q_coords = Some q_coords; q_rev = None; q_norm = None; q_dim = d }
-    | Config.Dot_product ->
-      let q_rev = Bgv.encrypt ~counters rng t.pk (reversed_query_plaintext params query) in
-      let q_norm =
-        Bgv.encrypt ~counters rng t.pk
-          (Plaintext.constant params (Int64.of_int (squared_norm query)))
-      in
-      { q_coords = None; q_rev = Some q_rev; q_norm = Some q_norm; q_dim = d }
+    | Config.Dot_product -> encrypt_query_ip t rng query
 
   let decrypt_points ?(obs = Obs.disabled) t ~d cts =
     Obs.with_pool_chunks obs ~label:"decrypt-result" (fun () ->

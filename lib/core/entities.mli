@@ -94,6 +94,39 @@ module Party_a : sig
   val state_perm : query_state -> Util.Perm.t
   (** Exposed for the leakage-audit tests only — a deployed Party A
       would keep both secret and drop them after the query. *)
+
+  (** {2 Prepared multi-query state}
+
+      Query-independent work hoisted out of the per-query loop: the
+      packed (NTT-domain) database ciphertexts plus an encrypted
+      [‖p_i‖²] per point, computed homomorphically once when the layout
+      does not already ship norms.  With
+      [ED = ‖p‖² − 2⟨p,q⟩ + ‖q‖²] each subsequent query costs one
+      ciphertext product per point instead of [d]. *)
+
+  type prepared
+
+  val prepare : ?obs:Sknn_obs.Ctx.t -> t -> prepared
+  (** Computes the prepared state (norms in parallel over [jobs]
+      domains, counted against Party A).  Requires affine (degree-1)
+      masking and [d <= n] — the inner-product trick leaves cross terms
+      in the non-constant coefficients, so higher-degree masks would
+      corrupt the constant coefficient.
+      @raise Invalid_argument otherwise. *)
+
+  val compute_distances_prepared :
+    ?obs:Sknn_obs.Ctx.t -> t -> prepared -> Util.Rng.t -> encrypted_query ->
+    query_state * Bgv.ct array
+  (** Algorithm 1 against prepared state.  The query must be in
+      inner-product form ({!Client.encrypt_query_ip}).  Output
+      distribution, determinism and observability mirror
+      {!compute_distances}: results are bit-identical for every job
+      count. *)
+
+  val permuted_packed_prepared : prepared -> query_state -> Bgv.ct array
+  (** {!permuted_packed} from the prepared cache: the return-level
+      truncation was done once in {!prepare}, so this is just the
+      permutation. *)
 end
 
 (** {1 Party B — key holder, never sees the database} *)
@@ -146,6 +179,15 @@ module Client : sig
   val counters : t -> Util.Counters.t
 
   val encrypt_query : t -> Util.Rng.t -> int array -> encrypted_query
+  (** Layout-matched query form: [d] constants ([Per_coordinate]) or the
+      reversed-packed polynomial plus norm ([Dot_product]). *)
+
+  val encrypt_query_ip : t -> Util.Rng.t -> int array -> encrypted_query
+  (** Inner-product query form (reversed-packed query + encrypted
+      [‖q‖²]) regardless of layout — two ciphertexts instead of [d];
+      what {!Party_a.compute_distances_prepared} consumes.
+      @raise Invalid_argument when [d] exceeds the ring degree. *)
+
   val decrypt_points : ?obs:Sknn_obs.Ctx.t -> t -> d:int -> Bgv.ct array -> int array array
 end
 

@@ -80,6 +80,45 @@ val query :
     counts and byte sizes only).
     @raise Invalid_argument on dimension mismatch or k out of range. *)
 
+(** {1 Prepared multi-query path}
+
+    A deployment answers one query per protocol run, but the database —
+    and therefore the packed ciphertexts and the encrypted norms
+    [‖p_i‖²] the distance identity [ED = ‖p‖² − 2⟨p,q⟩ + ‖q‖²] needs —
+    is fixed at deploy time.  The prepared path hoists that work out of
+    the per-query loop: after a one-time ["prepare-db"] phase, each
+    query costs {e one} ciphertext product per point (against the
+    reversed-packed query) instead of [d], and the query message shrinks
+    from [d] ciphertexts to two.
+
+    Requires affine (degree-1) masking and [d ≤ n]
+    (see {!Entities.Party_a.prepare}).  Results remain exact and
+    bit-identical across job counts. *)
+
+val prepare : ?obs:Sknn_obs.Ctx.t -> deployment -> unit
+(** Builds the prepared state now (idempotent).  Otherwise the first
+    {!query_prepared} builds it lazily and records it as that query's
+    ["prepare-db"] phase. *)
+
+val is_prepared : deployment -> bool
+
+val query_prepared :
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> query:int array -> k:int ->
+  result
+(** Like {!query}, but against the prepared state, with the client
+    sending the inner-product query form
+    ({!Entities.Client.encrypt_query_ip}).  The first call on an
+    unprepared deployment additionally reports a ["prepare-db"] phase in
+    [phase_seconds]; subsequent calls are steady-state.
+    @raise Invalid_argument if the configuration does not admit the
+    prepared path. *)
+
+val run_queries :
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> queries:int array array ->
+  k:int -> result array
+(** [query_prepared] over a query batch, one independent RNG stream per
+    query split off [rng] (default: the deployment's query seed). *)
+
 val total_seconds : result -> float
 val exact : deployment -> db:int array array -> query:int array -> result -> bool
 (** Checks the result against plaintext k-NN ground truth

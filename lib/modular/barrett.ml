@@ -1,0 +1,37 @@
+(* Barrett reduction of a double-width product modulo p.
+
+   With b = bits(p) and mu = floor(2^(2b) / p), the quotient estimate
+   for m < 2^(2b) is
+
+     q = ((m >> (b-1)) * mu) >> (b+1)
+
+   which undershoots the true quotient by at most 2 (HAC 14.42), so two
+   conditional subtractions make the result exact.  Intermediate bound:
+   (m >> (b-1)) < 2^(b+1) and mu <= 2^(b+1), so the product stays below
+   2^(2b+2); for b <= 30 that fits OCaml's 63-bit int.  Larger primes
+   (none exist in practice — Params caps prime chains at 30 bits) fall
+   back to the hardware division. *)
+
+type t = { p : int; s1 : int; s2 : int; mu : int; fast : bool }
+
+let bits_of p =
+  let rec go b m = if m = 0 then b else go (b + 1) (m lsr 1) in
+  go 0 p
+
+let create ~p =
+  if p <= 1 || p >= 1 lsl 31 then invalid_arg "Barrett.create: p out of range";
+  let b = bits_of p in
+  if b <= 30 then
+    { p; s1 = b - 1; s2 = b + 1; mu = (1 lsl (2 * b)) / p; fast = true }
+  else { p; s1 = 0; s2 = 0; mu = 0; fast = false }
+
+let[@inline] reduce t m =
+  if t.fast then begin
+    let q = ((m lsr t.s1) * t.mu) lsr t.s2 in
+    let r = m - (q * t.p) in
+    let r = if r >= t.p then r - t.p else r in
+    if r >= t.p then r - t.p else r
+  end
+  else m mod t.p
+
+let[@inline] mul t x y = reduce t (x * y)

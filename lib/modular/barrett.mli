@@ -1,0 +1,29 @@
+(** Barrett reduction: division-free [mod p] for double-width products,
+    exact (never approximate) for any prime the parameter layer can
+    produce.
+
+    One reciprocal [mu = floor(2^(2b)/p)] is precomputed per modulus;
+    each reduction then costs two multiplications, two shifts and two
+    conditional subtractions.  The fast path requires [p < 2^30]
+    (all {!Params} chain primes qualify); larger moduli transparently
+    fall back to the hardware division, so results are always exact. *)
+
+type t = {
+  p : int;     (** the modulus *)
+  s1 : int;    (** first shift, [bits p - 1] *)
+  s2 : int;    (** second shift, [bits p + 1] *)
+  mu : int;    (** [floor (2^(2 bits p) / p)] *)
+  fast : bool; (** whether the division-free path applies ([p < 2^30]) *)
+}
+(** Fields are exposed (read-only by convention) so hot loops can hoist
+    them; construct only via {!create}. *)
+
+val create : p:int -> t
+(** Requires [1 < p < 2^31]. @raise Invalid_argument otherwise. *)
+
+val reduce : t -> int -> int
+(** [reduce t m] is [m mod t.p], bit-for-bit, for [0 <= m < 2^(2 bits p)]
+    on the fast path (any non-negative [m] on the fallback). *)
+
+val mul : t -> int -> int -> int
+(** [mul t x y] is [(x * y) mod t.p] for [0 <= x, y < t.p]. *)

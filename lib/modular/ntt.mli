@@ -6,6 +6,14 @@
     [p < 2^31] so that every butterfly product fits in the native 63-bit
     [int] — no boxed [int64] in the inner loop.
 
+    For [p < 2^30] (every prime {!Params} can emit) the transforms are
+    division-free: each twiddle carries a precomputed {!Shoup}
+    companion, butterflies run lazily over [[0, 2p)] with one
+    conditional subtraction instead of [mod], and the pointwise kernels
+    reduce with the table's {!Barrett} reciprocal.  Both reductions are
+    exact, so outputs are bit-identical to the naive [mod]-based
+    transform (which remains as the fallback for larger primes).
+
     The transform convention is the standard merged-psi one (Longa &
     Naehrig, 2016): [forward] consumes coefficients in natural order and
     produces the evaluation domain in bit-reversed order; [inverse]
@@ -23,6 +31,11 @@ val make_table : p:int -> n:int -> table
 
 val prime : table -> int
 val degree : table -> int
+
+val barrett : table -> Barrett.t
+(** The per-prime Barrett reciprocal used by the pointwise kernels,
+    exposed so the ring layer can reduce its own products without
+    recomputing it. *)
 
 val forward : table -> int array -> unit
 (** In-place forward negacyclic NTT; input in natural order, output in

@@ -1,0 +1,39 @@
+(* Shoup multiplication by a fixed operand w modulo p < 2^31.
+
+   The companion constant is w' = floor(w * 2^62 / p) < 2^62, stored as
+   a 31-bit split w' = hi * 2^31 + lo so that the quotient estimate
+
+     q = (hi*x + ((lo*x) >> 31)) >> 31
+
+   is computed with every intermediate below 2^62 (OCaml's native int is
+   63 bits).  q is *exactly* floor(w'*x / 2^62) for any x < 2^31: write
+   lo*x = c*2^31 + d with d < 2^31; then w'*x = (hi*x + c)*2^31 + d and
+   the discarded fraction (frac((hi*x+c)/2^31) + d/2^62) is < 1 because
+   the first term is at most (2^31-1)/2^31 and the second below 2^-31.
+   The classical Shoup bound then gives
+
+     w*x - q*p  in  [0, 2p)
+
+   so one conditional subtraction yields the exact product residue. *)
+
+type t = { w : int; hi : int; lo : int }
+
+let mask31 = (1 lsl 31) - 1
+
+let of_int ~p w =
+  if p <= 1 || p >= 1 lsl 31 then invalid_arg "Shoup.of_int: p out of range";
+  if w < 0 || w >= p then invalid_arg "Shoup.of_int: w out of range";
+  (* w' = floor(w * 2^62 / p) without exceeding 63 bits:
+     with a = w*2^31 (< 2^62), w' = (a/p)*2^31 + ((a mod p)*2^31)/p. *)
+  let a = w lsl 31 in
+  let q1 = a / p and r1 = a mod p in
+  let w' = (q1 lsl 31) lor ((r1 lsl 31) / p) in
+  { w; hi = w' lsr 31; lo = w' land mask31 }
+
+let[@inline] mul_lazy t ~p x =
+  let q = ((t.hi * x) + ((t.lo * x) lsr 31)) lsr 31 in
+  (t.w * x) - (q * p)
+
+let[@inline] mul t ~p x =
+  let r = mul_lazy t ~p x in
+  if r >= p then r - p else r

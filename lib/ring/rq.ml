@@ -37,6 +37,10 @@ let degree c = c.n
 let moduli c = Array.copy c.moduli
 let chain_length c = Array.length c.moduli
 
+let table c i =
+  if i < 0 || i >= Array.length c.tables then invalid_arg "Rq.table: bad index";
+  c.tables.(i)
+
 let basis c ~nprimes =
   if nprimes < 1 || nprimes > Array.length c.moduli then invalid_arg "Rq.basis: bad nprimes";
   c.bases.(nprimes - 1)
@@ -79,6 +83,13 @@ let to_coeff t =
     in
     { t with domain = Coeff; comps }
 
+let to_eval_into t =
+  match t.domain with
+  | Eval -> t
+  | Coeff ->
+    Array.iteri (fun i c -> Ntt.forward t.ctx.tables.(i) c) t.comps;
+    { t with domain = Eval }
+
 let of_small_coeffs ctx ~nprimes domain coeffs =
   if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_small_coeffs: wrong length";
   let embed p =
@@ -89,7 +100,7 @@ let of_small_coeffs ctx ~nprimes domain coeffs =
       coeffs
   in
   let t = { ctx; domain = Coeff; comps = Array.init nprimes (fun i -> embed ctx.moduli.(i)) } in
-  match domain with Coeff -> t | Eval -> to_eval t
+  match domain with Coeff -> t | Eval -> to_eval_into t
 
 let of_int64_coeffs ctx ~nprimes domain coeffs =
   if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_int64_coeffs: wrong length";
@@ -98,7 +109,7 @@ let of_int64_coeffs ctx ~nprimes domain coeffs =
     Array.map (fun c -> Int64.to_int (Mod64.reduce p64 c)) coeffs
   in
   let t = { ctx; domain = Coeff; comps = Array.init nprimes (fun i -> embed ctx.moduli.(i)) } in
-  match domain with Coeff -> t | Eval -> to_eval t
+  match domain with Coeff -> t | Eval -> to_eval_into t
 
 let of_zint_coeffs ctx ~nprimes domain coeffs =
   if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_zint_coeffs: wrong length";
@@ -107,7 +118,7 @@ let of_zint_coeffs ctx ~nprimes domain coeffs =
     Array.map (fun c -> Z.to_int_exn (Z.erem c zp)) coeffs
   in
   let t = { ctx; domain = Coeff; comps = Array.init nprimes (fun i -> embed ctx.moduli.(i)) } in
-  match domain with Coeff -> t | Eval -> to_eval t
+  match domain with Coeff -> t | Eval -> to_eval_into t
 
 let to_zint_coeffs t =
   let t = to_coeff t in
@@ -167,16 +178,27 @@ let neg a =
   in
   { a with comps }
 
+(* Borrow an Eval-domain view of one residue component: the live array
+   when already Eval, an arena-backed forward transform otherwise.  The
+   continuation must not let the borrowed array escape. *)
+let with_eval_comp t i f =
+  match t.domain with
+  | Eval -> f t.comps.(i)
+  | Coeff ->
+    let n = t.ctx.n in
+    Util.Arena.with_array n (fun s ->
+        Array.blit t.comps.(i) 0 s 0 n;
+        Ntt.forward t.ctx.tables.(i) s;
+        f s)
+
 let mul a b =
   check_compat a b "Rq.mul";
-  let a = to_eval a and b = to_eval b in
   let comps =
-    Array.mapi
-      (fun i ca ->
-        let p = a.ctx.moduli.(i) in
-        let cb = b.comps.(i) in
-        Array.mapi (fun j x -> x * cb.(j) mod p) ca)
-      a.comps
+    Array.init (Array.length a.comps) (fun i ->
+        let dst = Array.make a.ctx.n 0 in
+        with_eval_comp a i (fun ea ->
+            with_eval_comp b i (fun eb -> Ntt.pointwise_mul a.ctx.tables.(i) dst ea eb));
+        dst)
   in
   { ctx = a.ctx; domain = Eval; comps }
 
@@ -187,7 +209,8 @@ let mul_scalar a s =
         let p = a.ctx.moduli.(i) in
         let p64 = Int64.of_int p in
         let sp = Int64.to_int (Mod64.reduce p64 s) in
-        Array.map (fun x -> x * sp mod p) ca)
+        let sh = Shoup.of_int ~p sp in
+        Array.map (fun x -> Shoup.mul sh ~p x) ca)
       a.comps
   in
   { a with comps }
@@ -196,15 +219,49 @@ let mul_add_into acc a b =
   check_compat acc a "Rq.mul_add_into";
   check_compat a b "Rq.mul_add_into";
   if acc.domain <> Eval then invalid_arg "Rq.mul_add_into: accumulator must be Eval";
-  let a = to_eval a and b = to_eval b in
+  for i = 0 to Array.length acc.comps - 1 do
+    with_eval_comp a i (fun ea ->
+        with_eval_comp b i (fun eb ->
+            Ntt.pointwise_mul_acc acc.ctx.tables.(i) acc.comps.(i) ea eb))
+  done
+
+(* --- Destructive variants: the argument written to must be uniquely
+   owned by the caller (see the .mli); they exist so the hot loops can
+   run without allocating intermediates. --- *)
+
+let add_into acc b =
+  check_compat acc b "Rq.add_into";
+  if acc.domain <> b.domain then invalid_arg "Rq.add_into: domain mismatch";
   for i = 0 to Array.length acc.comps - 1 do
     let p = acc.ctx.moduli.(i) in
-    let ca = a.comps.(i) and cb = b.comps.(i) and cacc = acc.comps.(i) in
+    let cacc = acc.comps.(i) and cb = b.comps.(i) in
     for j = 0 to acc.ctx.n - 1 do
-      let v = cacc.(j) + (ca.(j) * cb.(j) mod p) in
-      cacc.(j) <- (if v >= p then v - p else v)
+      let s = cacc.(j) + cb.(j) in
+      cacc.(j) <- (if s >= p then s - p else s)
     done
   done
+
+let sub_into acc b =
+  check_compat acc b "Rq.sub_into";
+  if acc.domain <> b.domain then invalid_arg "Rq.sub_into: domain mismatch";
+  for i = 0 to Array.length acc.comps - 1 do
+    let p = acc.ctx.moduli.(i) in
+    let cacc = acc.comps.(i) and cb = b.comps.(i) in
+    for j = 0 to acc.ctx.n - 1 do
+      let d = cacc.(j) - cb.(j) in
+      cacc.(j) <- (if d < 0 then d + p else d)
+    done
+  done
+
+let mul_into dst a b =
+  check_compat dst a "Rq.mul_into";
+  check_compat a b "Rq.mul_into";
+  if dst.domain <> Eval then invalid_arg "Rq.mul_into: destination must be Eval";
+  for i = 0 to Array.length dst.comps - 1 do
+    with_eval_comp a i (fun ea ->
+        with_eval_comp b i (fun eb -> Ntt.pointwise_mul dst.ctx.tables.(i) dst.comps.(i) ea eb))
+  done
+
 
 let equal a b =
   a.ctx == b.ctx
@@ -234,7 +291,8 @@ let mul_scalar_zint a s =
       (fun i ca ->
         let p = a.ctx.moduli.(i) in
         let sp = Z.to_int_exn (Z.erem s (Z.of_int p)) in
-        Array.map (fun x -> x * sp mod p) ca)
+        let sh = Shoup.of_int ~p sp in
+        Array.map (fun x -> Shoup.mul sh ~p x) ca)
       a.comps
   in
   { a with comps }
@@ -259,6 +317,23 @@ let substitute t ~k =
       t.comps
   in
   { t with comps }
+
+let with_coeff_components t f =
+  match t.domain with
+  | Coeff -> f t.comps
+  | Eval ->
+    let k = Array.length t.comps in
+    let n = t.ctx.n in
+    let scratch =
+      Array.init k (fun i ->
+          let s = Util.Arena.acquire n in
+          Array.blit t.comps.(i) 0 s 0 n;
+          Ntt.inverse t.ctx.tables.(i) s;
+          s)
+    in
+    Fun.protect
+      ~finally:(fun () -> Array.iter Util.Arena.release scratch)
+      (fun () -> f scratch)
 
 let last_prime t = t.ctx.moduli.(Array.length t.comps - 1)
 

@@ -33,6 +33,10 @@ val chain_length : context -> int
 val basis : context -> nprimes:int -> Crt.basis
 (** CRT basis for the first [nprimes] primes of the chain (cached). *)
 
+val table : context -> int -> Ntt.table
+(** The NTT table of chain prime [i] — carries that prime's Shoup
+    twiddle companions and Barrett reciprocal (see {!Ntt.barrett}). *)
+
 val modulus : context -> nprimes:int -> Zint.t
 (** Product of the first [nprimes] primes. *)
 
@@ -81,8 +85,35 @@ val mul_add_into : t -> t -> t -> unit
     multiply-accumulate, allocating nothing — the inner-product
     primitive behind {!Bgv.mul_sum}.  [acc] must be in [Eval] domain,
     uniquely owned by the caller (create it with {!zero}), and at the
-    same level as [a] and [b]; this is the one sanctioned mutation of an
-    [Rq] value. *)
+    same level as [a] and [b].  [Coeff]-domain operands are transformed
+    through per-worker arena scratch, not materialised. *)
+
+(** {2 Destructive variants}
+
+    Each writes into a value that must be {e uniquely owned} by the
+    caller — created with {!zero} or the sole reference to a freshly
+    computed result — and never a value that was handed out or stored
+    elsewhere.  They keep the steady-state hot loop free of
+    intermediate allocations; all reductions are exact, so results are
+    bit-identical to the pure counterparts. *)
+
+val add_into : t -> t -> unit
+(** [add_into acc b] sets [acc <- acc + b].  Domains and levels must
+    already match (no implicit conversion). *)
+
+val sub_into : t -> t -> unit
+(** [sub_into acc b] sets [acc <- acc - b].  Same contract as
+    {!add_into}. *)
+
+val mul_into : t -> t -> t -> unit
+(** [mul_into dst a b] sets [dst <- a·b] (pointwise); [dst] must be
+    [Eval] at the operands' level.  [dst] may alias [a] or [b] when the
+    aliased operand is already [Eval]. *)
+
+val to_eval_into : t -> t
+(** [to_eval_into t] transforms [t]'s residue arrays to the evaluation
+    domain {e in place} and returns the [Eval]-tagged view (sharing the
+    arrays).  The caller must own [t] and drop its old binding. *)
 
 val equal : t -> t -> bool
 (** Structural equality at identical level; domains are reconciled. *)
@@ -116,6 +147,12 @@ val component : t -> int -> int array
 val unsafe_component : t -> int -> int array
 (** The live residue array mod prime [i]; callers must not mutate it.
     Exposed for the BGV layer's modulus-switch inner loop. *)
+
+val with_coeff_components : t -> (int array array -> 'a) -> 'a
+(** [with_coeff_components t f] calls [f] with [t]'s residue arrays in
+    [Coeff] domain — the live arrays when [t] is already [Coeff],
+    arena-backed inverse transforms otherwise.  The arrays are borrowed:
+    [f] must neither mutate them nor let them escape. *)
 
 val of_components : context -> domain -> int array array -> t
 (** Adopts the given residue arrays (takes ownership; do not reuse). *)

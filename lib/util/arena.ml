@@ -1,0 +1,34 @@
+(* Per-domain scratch arena for the ring kernels.
+
+   Free lists of int arrays, bucketed by exact length, live in
+   domain-local storage: the orchestrating domain keeps its arena for
+   the whole process, while Pool workers are spawned fresh per
+   map_local call, so a worker's arena lives exactly as long as its
+   chunk — scratch is per-worker by construction and never crosses a
+   domain boundary.  Arrays handed out contain stale data; callers must
+   fully overwrite before reading. *)
+
+let max_per_bucket = 64
+
+let buckets_key : (int, int array list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let acquire n =
+  if n < 0 then invalid_arg "Arena.acquire: negative length";
+  let buckets = Domain.DLS.get buckets_key in
+  match Hashtbl.find_opt buckets n with
+  | Some ({ contents = a :: rest } as l) ->
+    l := rest;
+    a
+  | Some { contents = [] } | None -> Array.make n 0
+
+let release a =
+  let n = Array.length a in
+  let buckets = Domain.DLS.get buckets_key in
+  match Hashtbl.find_opt buckets n with
+  | Some l -> if List.length !l < max_per_bucket then l := a :: !l
+  | None -> Hashtbl.add buckets n (ref [ a ])
+
+let with_array n f =
+  let a = acquire n in
+  Fun.protect ~finally:(fun () -> release a) (fun () -> f a)

@@ -1,0 +1,24 @@
+(** Per-domain scratch arena: recycled [int array]s for the ring-kernel
+    hot path, so steady-state NTT conversions and modulus switching
+    allocate no intermediate arrays.
+
+    The arena is domain-local ({!Domain.DLS}), hence per-worker and
+    never shared: {!Util.Pool} spawns fresh domains per call, so each
+    worker's arena is created with its chunk and dies with it, while the
+    orchestrating domain's arena persists and reaches a steady state
+    after the first query.  See ROADMAP "Kernel invariants (PR 3)".
+
+    Borrowed arrays contain stale contents — overwrite before reading.
+    Never {!release} an array that escaped into a long-lived value. *)
+
+val acquire : int -> int array
+(** [acquire n] returns an array of length [n], recycled if one is
+    available, freshly allocated otherwise.  Contents are arbitrary. *)
+
+val release : int array -> unit
+(** Returns an array to the current domain's arena for reuse.  The
+    caller must not touch it afterwards. *)
+
+val with_array : int -> (int array -> 'a) -> 'a
+(** [with_array n f] borrows an array for the duration of [f],
+    releasing it even on exception. *)

@@ -259,6 +259,125 @@ let test_jobs_determinism () =
     [ ("dot-product", Config.fast ()); ("per-coordinate", Config.standard ()) ]
 
 (* ------------------------------------------------------------------ *)
+(* Prepared multi-query path                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-coordinate preset with the affine mask the prepared path
+   requires; coordinates and dimensions in these tests stay within the
+   degree-1 masking envelope. *)
+let affine_config () = Config.with_mask_degree 1 (Config.standard ())
+
+let has_phase name r = List.mem_assoc name r.Protocol.phase_seconds
+
+let test_prepared_exactness () =
+  let rng = Rng.of_int 167 in
+  let db = small_db rng in
+  List.iter
+    (fun (name, config) ->
+      let dep = Protocol.deploy ~rng:(Rng.of_int 168) config ~db in
+      let queries = Array.init 3 (fun _ -> Synthetic.query_like rng db) in
+      Array.iteri
+        (fun i q ->
+          let r = Protocol.query_prepared dep ~query:q ~k:4 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: query %d exact" name i)
+            true
+            (Protocol.exact dep ~db ~query:q r);
+          (* Only the first prepared query pays (and reports) the
+             database preparation. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: query %d prepare-db phase" name i)
+            (i = 0) (has_phase "prepare-db" r))
+        queries)
+    [ ("per-coordinate+affine", affine_config ()); ("dot-product", Config.fast ()) ]
+
+let test_prepared_matches_unprepared () =
+  (* The prepared path changes the computation plan, not the answer:
+     against the same deployment both paths return the same neighbour
+     set. *)
+  let rng = Rng.of_int 169 in
+  let db = small_db rng in
+  let q = Synthetic.query_like rng db in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 170) (affine_config ()) ~db in
+  let r_plain = Protocol.query ~rng:(Rng.of_int 171) dep ~query:q ~k:5 in
+  let r_prep = Protocol.query_prepared ~rng:(Rng.of_int 172) dep ~query:q ~k:5 in
+  let sorted r =
+    let a = Array.map (Distance.squared_euclidean q) r.Protocol.neighbours in
+    Array.sort compare a;
+    a
+  in
+  Alcotest.(check (array int)) "same neighbour distances" (sorted r_plain)
+    (sorted r_prep);
+  (* Two ciphertexts instead of d: the prepared query message is
+     strictly smaller for d > 2. *)
+  let q_bytes r =
+    List.assoc "encrypted query"
+      (List.filter_map
+         (fun (e : Transcript.entry) -> Some (e.Transcript.label, e.Transcript.bytes))
+         (Transcript.entries r.Protocol.transcript))
+  in
+  Alcotest.(check bool) "smaller query message" true
+    (q_bytes r_prep < q_bytes r_plain)
+
+let test_prepared_jobs_determinism () =
+  (* Same scheduling-transparency contract as the unprepared path:
+     identical neighbours, views, transcripts and counters for every
+     job count. *)
+  let db = small_db (Rng.of_int 173) in
+  let q = [| 10; 20; 30 |] in
+  let run jobs config =
+    let dep = Protocol.deploy ~rng:(Rng.of_int 999) ~jobs config ~db in
+    Protocol.query_prepared ~rng:(Rng.of_int 1000) dep ~query:q ~k:3
+  in
+  let counters_s c = Format.asprintf "%a" Util.Counters.pp c in
+  List.iter
+    (fun (name, config) ->
+      let r1 = run 1 config and r2 = run 2 config and r4 = run 4 config in
+      List.iter
+        (fun (jn, r) ->
+          Alcotest.(check bool) (name ^ ": neighbours jobs 1=" ^ jn) true
+            (r1.Protocol.neighbours = r.Protocol.neighbours);
+          Alcotest.(check bool) (name ^ ": view jobs 1=" ^ jn) true
+            (r1.Protocol.view_b = r.Protocol.view_b);
+          Alcotest.(check int) (name ^ ": transcript bytes jobs 1=" ^ jn)
+            (Transcript.total_bytes r1.Protocol.transcript)
+            (Transcript.total_bytes r.Protocol.transcript);
+          Alcotest.(check string) (name ^ ": party A counters jobs 1=" ^ jn)
+            (counters_s r1.Protocol.counters_a) (counters_s r.Protocol.counters_a);
+          Alcotest.(check string) (name ^ ": party B counters jobs 1=" ^ jn)
+            (counters_s r1.Protocol.counters_b) (counters_s r.Protocol.counters_b))
+        [ ("2", r2); ("4", r4) ])
+    [ ("dot-product", Config.fast ()); ("per-coordinate+affine", affine_config ()) ]
+
+let test_prepared_rejects_nonaffine () =
+  (* Config.standard masks with degree 2; the inner-product trick leaves
+     cross terms that only an affine mask keeps sound, so the prepared
+     path must refuse. *)
+  let rng = Rng.of_int 179 in
+  let db = small_db rng in
+  let dep = Protocol.deploy ~rng (Config.standard ()) ~db in
+  Alcotest.check_raises "degree-2 mask rejected"
+    (Invalid_argument "Party_a.prepare: prepared queries need affine (degree-1) masking")
+    (fun () -> Protocol.prepare dep)
+
+let test_run_queries_batch () =
+  let rng = Rng.of_int 181 in
+  let db = small_db rng in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 182) (affine_config ()) ~db in
+  Alcotest.(check bool) "not prepared before" false (Protocol.is_prepared dep);
+  let queries = Array.init 4 (fun _ -> Synthetic.query_like rng db) in
+  let results = Protocol.run_queries ~rng:(Rng.of_int 183) dep ~queries ~k:3 in
+  Alcotest.(check bool) "prepared after" true (Protocol.is_prepared dep);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "batch query %d exact" i) true
+        (Protocol.exact dep ~db ~query:queries.(i) r))
+    results;
+  Alcotest.(check bool) "first pays prepare-db" true (has_phase "prepare-db" results.(0));
+  Alcotest.(check bool) "later queries steady-state" false
+    (Array.exists (has_phase "prepare-db") (Array.sub results 1 3))
+
+(* ------------------------------------------------------------------ *)
 (* Leakage profile (Theorems 4.1 / 4.2)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -449,6 +568,12 @@ let () =
          Alcotest.test_case "phase times" `Quick test_phase_times_present;
          Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
          Alcotest.test_case "identical across job counts" `Quick test_jobs_determinism ]);
+      ("prepared",
+       [ Alcotest.test_case "exact over repeated queries" `Quick test_prepared_exactness;
+         Alcotest.test_case "matches unprepared path" `Quick test_prepared_matches_unprepared;
+         Alcotest.test_case "identical across job counts" `Quick test_prepared_jobs_determinism;
+         Alcotest.test_case "rejects non-affine masking" `Quick test_prepared_rejects_nonaffine;
+         Alcotest.test_case "run_queries batch" `Quick test_run_queries_batch ]);
       ("leakage",
        [ Alcotest.test_case "order preserved" `Quick test_leakage_order_preserved;
          Alcotest.test_case "equidistant groups" `Quick test_leakage_equidistant_groups;

@@ -259,6 +259,94 @@ let test_ntt64_matches_ntt () =
   Alcotest.(check (array int64)) "same forward" (Array.map Int64.of_int c32) c64
 
 (* ------------------------------------------------------------------ *)
+(* Division-free kernels: Shoup and Barrett                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every distinct prime the parameter layer actually deploys, so the
+   kernels are tested against the exact moduli the protocol runs on. *)
+let params_chain_primes =
+  lazy
+    (List.concat_map
+       (fun (p : Params.t) -> Array.to_list p.Params.moduli)
+       [ Params.toy (); Params.bench_small (); Params.bench (); Params.secure () ]
+     |> List.sort_uniq compare)
+
+let edge_residues p = [ 0; 1; 2; p / 2; p - 2; p - 1 ]
+
+let test_shoup_vs_naive_chain_primes () =
+  let rng = Rng.of_int 59 in
+  List.iter
+    (fun p ->
+      let check w x =
+        let s = Shoup.of_int ~p w in
+        Alcotest.(check int)
+          (Printf.sprintf "shoup p=%d w=%d x=%d" p w x)
+          (w * x mod p) (Shoup.mul s ~p x);
+        let v = Shoup.mul_lazy s ~p x in
+        if not (v >= 0 && v < 2 * p && v mod p = w * x mod p) then
+          Alcotest.failf "mul_lazy out of [0,2p): p=%d w=%d x=%d -> %d" p w x v
+      in
+      let edges = edge_residues p in
+      List.iter (fun w -> List.iter (check w) edges) edges;
+      for _ = 1 to 100 do
+        check (Rng.int_below rng p) (Rng.int_below rng p)
+      done)
+    (Lazy.force params_chain_primes)
+
+let test_barrett_vs_naive_chain_primes () =
+  let rng = Rng.of_int 61 in
+  List.iter
+    (fun p ->
+      let br = Barrett.create ~p in
+      let check m =
+        Alcotest.(check int) (Printf.sprintf "reduce p=%d m=%d" p m) (m mod p)
+          (Barrett.reduce br m)
+      in
+      (* Double-width edges up to (p-1)^2 + p, the largest value the
+         ring layer's multiply-accumulate can feed in. *)
+      List.iter check
+        [ 0; 1; p - 1; p; p + 1; (2 * p) - 1; 2 * p;
+          (p - 1) * (p - 1); ((p - 1) * (p - 1)) + p ];
+      for _ = 1 to 100 do
+        let x = Rng.int_below rng p and y = Rng.int_below rng p in
+        check (x * y);
+        Alcotest.(check int) "barrett mul" (x * y mod p) (Barrett.mul br x y)
+      done)
+    (Lazy.force params_chain_primes)
+
+let test_barrett_fallback_wide () =
+  (* Moduli >= 2^30 take the hardware-division fallback; results must
+     stay exact there too. *)
+  let p = 2147483647 (* 2^31 - 1 *) in
+  let br = Barrett.create ~p in
+  Alcotest.(check bool) "fallback flagged" false br.Barrett.fast;
+  let rng = Rng.of_int 67 in
+  for _ = 1 to 100 do
+    let x = Rng.int_below rng p and y = Rng.int_below rng p in
+    Alcotest.(check int) "fallback mul" (x * y mod p) (Barrett.mul br x y)
+  done
+
+let test_ntt_roundtrip_chain_primes () =
+  (* inverse . forward = id at the deployed ring degrees, for every
+     prime of every parameter preset. *)
+  let rng = Rng.of_int 71 in
+  List.iter
+    (fun (params : Params.t) ->
+      let n = params.Params.n in
+      Array.iter
+        (fun p ->
+          let t = Ntt.make_table ~p ~n in
+          let a = Array.init n (fun _ -> Rng.int_below rng p) in
+          let c = Array.copy a in
+          Ntt.forward t c;
+          Ntt.inverse t c;
+          Alcotest.(check (array int))
+            (Printf.sprintf "%s n=%d p=%d" params.Params.name n p)
+            a c)
+        params.Params.moduli)
+    [ Params.toy (); Params.bench_small (); Params.bench (); Params.secure () ]
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -283,11 +371,23 @@ let prop_pow_homomorphic =
         (Mod64.pow m b (Int64.of_int (e1 + e2)))
         (Mod64.mul m (Mod64.pow m b (Int64.of_int e1)) (Mod64.pow m b (Int64.of_int e2))))
 
+let prop_shoup_barrett_vs_naive =
+  QCheck.Test.make ~count:300 ~name:"shoup & barrett = naive mod on chain primes"
+    (QCheck.triple
+       QCheck.(int_range 0 10000) QCheck.(int_range 0 max_int) QCheck.(int_range 0 max_int))
+    (fun (pi, wi, xi) ->
+      let primes = Lazy.force params_chain_primes in
+      let p = List.nth primes (pi mod List.length primes) in
+      let w = wi mod p and x = xi mod p in
+      Shoup.mul (Shoup.of_int ~p w) ~p x = w * x mod p
+      && Barrett.mul (Barrett.create ~p) w x = w * x mod p)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_mulmod 1099511627689L "mulmod vs zint (fast path, 2^40)";
       prop_mulmod 2305843009213693951L "mulmod vs zint (ladder, 2^61)";
-      prop_pow_homomorphic ]
+      prop_pow_homomorphic;
+      prop_shoup_barrett_vs_naive ]
 
 let () =
   Alcotest.run "modular"
@@ -312,4 +412,12 @@ let () =
       ("ntt64",
        [ Alcotest.test_case "roundtrip 2^40 prime" `Quick test_ntt64_roundtrip;
          Alcotest.test_case "agrees with int NTT" `Quick test_ntt64_matches_ntt ]);
+      ("kernels",
+       [ Alcotest.test_case "shoup vs naive (chain primes)" `Quick
+           test_shoup_vs_naive_chain_primes;
+         Alcotest.test_case "barrett vs naive (chain primes)" `Quick
+           test_barrett_vs_naive_chain_primes;
+         Alcotest.test_case "barrett wide fallback" `Quick test_barrett_fallback_wide;
+         Alcotest.test_case "ntt roundtrip (param chains)" `Quick
+           test_ntt_roundtrip_chain_primes ]);
       ("properties", qsuite) ]

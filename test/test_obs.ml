@@ -384,10 +384,21 @@ let test_ctx_pool_chunks () =
   let trace = Trace.create () in
   let m = Metrics.create () in
   let obs = Ctx.create ~trace ~metrics:m () in
+  (* Each element does enough arithmetic for its chunk's busy time to
+     register at the timer's microsecond resolution; instant chunks can
+     measure 0.0s and make the utilization gauge flaky. *)
+  let work x =
+    let acc = ref 0 in
+    for i = 1 to 50_000 do
+      acc := !acc lxor (i * x)
+    done;
+    ignore (Sys.opaque_identity !acc);
+    x * 2
+  in
   let out =
     Ctx.with_span obs "stage" (fun () ->
         Ctx.with_pool_chunks obs ~label:"work" (fun () ->
-            Util.Pool.map ~jobs:3 (fun x -> x * 2) (Array.init 9 succ)))
+            Util.Pool.map ~jobs:3 work (Array.init 9 succ)))
   in
   Alcotest.(check (array int)) "result unchanged"
     (Array.init 9 (fun i -> 2 * (i + 1))) out;

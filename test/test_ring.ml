@@ -138,6 +138,34 @@ let test_substitute () =
   Alcotest.check_raises "even k" (Invalid_argument "Rq.substitute: k must be odd")
     (fun () -> ignore (Rq.substitute a ~k:2))
 
+let test_into_variants_match_pure () =
+  (* The destructive variants promise bit-identical results to the pure
+     counterparts; they only drop the allocation. *)
+  let a = Rq.to_eval (random_rq 15) and b = Rq.to_eval (random_rq 16) in
+  let fresh x = Rq.add x (Rq.zero ctx ~nprimes:4 Rq.Eval) in
+  let acc = fresh a in
+  Rq.add_into acc b;
+  check_eq "add_into = add" (Rq.add a b) acc;
+  let acc = fresh a in
+  Rq.sub_into acc b;
+  check_eq "sub_into = sub" (Rq.sub a b) acc;
+  let dst = Rq.zero ctx ~nprimes:4 Rq.Eval in
+  Rq.mul_into dst a b;
+  check_eq "mul_into = mul" (Rq.mul a b) dst;
+  (* Documented aliasing case: dst may be an Eval operand. *)
+  let acc = fresh a in
+  Rq.mul_into acc acc b;
+  check_eq "mul_into aliased dst" (Rq.mul a b) acc;
+  let acc = Rq.zero ctx ~nprimes:4 Rq.Eval in
+  Rq.mul_add_into acc a b;
+  Rq.mul_add_into acc a b;
+  check_eq "mul_add_into accumulates"
+    (Rq.add (Rq.mul a b) (Rq.mul a b)) acc;
+  let c = Rq.to_coeff (fresh a) in
+  let e = Rq.to_eval_into c in
+  Alcotest.(check bool) "to_eval_into tags Eval" true (Rq.domain e = Rq.Eval);
+  check_eq "to_eval_into = to_eval" (Rq.to_eval a) e
+
 (* ------------------------------------------------------------------ *)
 (* Samplers                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -218,7 +246,8 @@ let () =
          Alcotest.test_case "coefficient embeddings" `Quick test_coeff_embeddings_agree;
          Alcotest.test_case "scalar ops" `Quick test_scalar_ops;
          Alcotest.test_case "truncate" `Quick test_truncate_level;
-         Alcotest.test_case "substitute" `Quick test_substitute ]);
+         Alcotest.test_case "substitute" `Quick test_substitute;
+         Alcotest.test_case "destructive variants" `Quick test_into_variants_match_pure ]);
       ("samplers",
        [ Alcotest.test_case "ternary" `Quick test_ternary_sampler;
          Alcotest.test_case "cbd" `Quick test_cbd_sampler;
