@@ -1,6 +1,8 @@
 (* Compare a fresh bench JSON against the committed baseline and fail
-   (exit 1) when the fig3 compute-distances phase mean regresses more
-   than the allowed percentage:
+   (exit 1) when the fig3 compute-distances phase mean — or, when both
+   files carry amortized steady-state samples, the prepared-path
+   steady-state compute-distances mean — regresses more than the
+   allowed percentage:
 
      check_regress.exe BASELINE.json CURRENT.json [MAX_REGRESS_PCT]
 
@@ -141,31 +143,61 @@ let member name = function
   | Obj fields -> List.assoc_opt name fields
   | _ -> None
 
+let runs_of path =
+  let doc = parse (read_file path) in
+  match member "runs" doc with
+  | Some (Arr l) -> l
+  | _ -> failwith (path ^ ": no runs array")
+
+let phase_seconds name run =
+  match member "phases" run with
+  | Some phases ->
+    (match member name phases with Some (Num s) -> Some s | _ -> None)
+  | None -> None
+
 (* Mean of the fig3 runs' compute-distances phase, in seconds. *)
 let mean_compute_distances path =
-  let doc = parse (read_file path) in
-  let runs =
-    match member "runs" doc with
-    | Some (Arr l) -> l
-    | _ -> failwith (path ^ ": no runs array")
-  in
   let samples =
     List.filter_map
       (fun run ->
         match member "experiment" run with
-        | Some (Str "fig3") ->
-          (match member "phases" run with
-           | Some phases ->
-             (match member "compute-distances" phases with
-              | Some (Num s) -> Some s
-              | _ -> None)
-           | None -> None)
+        | Some (Str "fig3") -> phase_seconds "compute-distances" run
         | _ -> None)
-      runs
+      (runs_of path)
   in
   match samples with
   | [] -> failwith (path ^ ": no fig3 compute-distances samples")
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* Mean compute-distances over the amortized experiment's steady-state
+   queries — the prepared multi-query hot path.  [None] when the file
+   carries no such samples (e.g. a bench run with --only fig3). *)
+let mean_steady_compute_distances path =
+  let samples =
+    List.filter_map
+      (fun run ->
+        match (member "experiment" run, member "steady_state" run) with
+        | Some (Str "amortized"), Some (Bool true) ->
+          phase_seconds "compute-distances" run
+        | _ -> None)
+      (runs_of path)
+  in
+  match samples with
+  | [] -> None
+  | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+
+let check ~label ~max_pct ~baseline ~current =
+  let delta_pct = (current -. baseline) /. baseline *. 100.0 in
+  Printf.printf "%s mean: baseline %.3fs, current %.3fs (%+.1f%%)\n" label baseline
+    current delta_pct;
+  if delta_pct > max_pct then begin
+    Printf.printf "FAIL: %s regression exceeds %.0f%% budget\n" label max_pct;
+    false
+  end
+  else begin
+    Printf.printf "OK: within %.0f%% budget\n" max_pct;
+    true
+  end
 
 let () =
   let baseline_path, current_path, max_pct =
@@ -176,13 +208,22 @@ let () =
       prerr_endline "usage: check_regress BASELINE.json CURRENT.json [MAX_REGRESS_PCT]";
       exit 2
   in
-  let baseline = mean_compute_distances baseline_path in
-  let current = mean_compute_distances current_path in
-  let delta_pct = (current -. baseline) /. baseline *. 100.0 in
-  Printf.printf "compute-distances mean: baseline %.3fs, current %.3fs (%+.1f%%)\n"
-    baseline current delta_pct;
-  if delta_pct > max_pct then begin
-    Printf.printf "FAIL: regression exceeds %.0f%% budget\n" max_pct;
-    exit 1
-  end
-  else Printf.printf "OK: within %.0f%% budget\n" max_pct
+  let ok_fig3 =
+    check ~label:"compute-distances" ~max_pct
+      ~baseline:(mean_compute_distances baseline_path)
+      ~current:(mean_compute_distances current_path)
+  in
+  let ok_steady =
+    match
+      ( mean_steady_compute_distances baseline_path,
+        mean_steady_compute_distances current_path )
+    with
+    | Some baseline, Some current ->
+      check ~label:"steady-state compute-distances" ~max_pct ~baseline ~current
+    | _ ->
+      Printf.printf
+        "note: no amortized steady-state samples in both files; skipping \
+         steady-state gate\n";
+      true
+  in
+  if not (ok_fig3 && ok_steady) then exit 1

@@ -37,6 +37,7 @@ type opts = {
   trace : string option;     (* span-trace output file *)
   trace_format : string;     (* chrome | jsonl | pretty *)
   repeat : int;              (* steady-state queries in the amortized experiment *)
+  prom : string option;      (* Prometheus text-exposition snapshot file *)
 }
 
 (* The observability context shared by every protocol run of the session;
@@ -777,9 +778,19 @@ let run opts =
     if Option.is_some opts.trace then Sknn_obs.Trace.create ()
     else Sknn_obs.Trace.disabled
   in
-  obs := Sknn_obs.Ctx.create ~trace:trace_sink ();
+  let metrics_reg =
+    if Option.is_some opts.prom then Some (Sknn_obs.Metrics.create ()) else None
+  in
+  obs := Sknn_obs.Ctx.create ~trace:trace_sink ?metrics:metrics_reg ();
   List.iter (fun (id, f) -> if wants opts id then f opts) experiments;
   Option.iter (write_json opts) opts.json;
+  (match opts.prom, metrics_reg with
+   | Some path, Some m ->
+     let oc = open_out path in
+     output_string oc (Sknn_obs.Metrics.to_prometheus m);
+     close_out oc;
+     say "wrote Prometheus snapshot to %s@." path
+   | _ -> ());
   (match opts.trace with
    | None -> ()
    | Some path ->
@@ -831,7 +842,13 @@ let trace_format_t =
            ~doc:"Trace sink: chrome (Perfetto-loadable trace_event JSON), jsonl (one \
                  span per line) or pretty (indented tree).")
 
-let main full scale only seed jobs json trace trace_format repeat =
+let prom_t =
+  Arg.(value & opt (some string) None
+       & info [ "prom" ] ~docv:"FILE"
+           ~doc:"Write the metrics registry as Prometheus text exposition to $(docv) \
+                 after all experiments.")
+
+let main full scale only seed jobs json trace trace_format repeat prom =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
@@ -842,12 +859,12 @@ let main full scale only seed jobs json trace trace_format repeat =
     exit 2
   end;
   let only = Option.map (String.split_on_char ',') only in
-  run { full; scale; only; seed; jobs; json; trace; trace_format; repeat }
+  run { full; scale; only; seed; jobs; json; trace; trace_format; repeat; prom }
 
 let cmd =
   Cmd.v
     (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t $ trace_t
-          $ trace_format_t $ repeat_t)
+          $ trace_format_t $ repeat_t $ prom_t)
 
 let () = exit (Cmd.eval cmd)

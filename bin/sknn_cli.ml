@@ -63,7 +63,7 @@ let gen_cmd =
 (* ------------------------------------------------------------------ *)
 
 let query_run data query_s k layout seed jobs repeat verbose trace trace_format audit
-    metrics =
+    metrics prom flight_out =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
@@ -80,13 +80,53 @@ let query_run data query_s k layout seed jobs repeat verbose trace trace_format 
       Format.eprintf "%s@." msg;
       exit 2
   in
-  let trace_sink =
+  (* --prom implies a registry even without --metrics (the flag controls
+     the console print, the option the exposition file). *)
+  let metrics_reg =
+    if metrics || Option.is_some prom then Some (Sknn_obs.Metrics.create ()) else None
+  in
+  let audit_log = if audit then Some (Sknn_obs.Audit.create ()) else None in
+  (* The flight recorder is always on (SKNN_FLIGHT=0 opts out): a fixed
+     ring buffer cheap enough to carry through every run, dumped on
+     demand or on decryption failure. *)
+  let flight = Sknn_obs.Flight.default () in
+  let make_ctx tr =
+    Sknn_obs.Ctx.create ~trace:tr ?metrics:metrics_reg ?audit:audit_log ?flight ()
+  in
+  let new_trace () =
     if Option.is_some trace then Sknn_obs.Trace.create () else Sknn_obs.Trace.disabled
   in
-  let metrics_reg = if metrics then Some (Sknn_obs.Metrics.create ()) else None in
-  let audit_log = if audit then Some (Sknn_obs.Audit.create ()) else None in
-  let obs =
-    Sknn_obs.Ctx.create ~trace:trace_sink ?metrics:metrics_reg ?audit:audit_log ()
+  (* One trace file per run: run 0 keeps FILE (and includes setup), run
+     i >= 1 goes to FILE with the index spliced before the extension —
+     --repeat no longer clobbers a single output. *)
+  let write_trace tr i =
+    match trace with
+    | None -> ()
+    | Some path ->
+      let path = Sknn_obs.Trace.indexed_path path i in
+      let oc = open_out path in
+      Sknn_obs.Trace.write tr trace_fmt oc;
+      close_out oc;
+      Format.printf "trace written to %s@." path
+  in
+  let dump_flight_to path ~run =
+    match flight with
+    | None -> ()
+    | Some fl ->
+      let oc = open_out path in
+      Sknn_obs.Flight.dump ~run fl oc;
+      close_out oc
+  in
+  let guarded f =
+    try f ()
+    with Bgv.Decryption_failure msg ->
+      Format.eprintf "decryption failure: %s@." msg;
+      if Option.is_some flight then begin
+        let path = Option.value flight_out ~default:"sknn-flight-crash.jsonl" in
+        dump_flight_to path ~run:[ ("reason", "decryption-failure"); ("error", msg) ];
+        Format.eprintf "flight recorder dumped to %s@." path
+      end;
+      exit 1
   in
   let db = read_db data in
   let q = parse_query query_s in
@@ -97,8 +137,10 @@ let query_run data query_s k layout seed jobs repeat verbose trace trace_format 
      Format.eprintf "configuration unsound for this data: %s@." e;
      exit 2);
   let rng = Util.Rng.of_int seed in
+  let trace0 = new_trace () in
+  let obs0 = make_ctx trace0 in
   let dep, setup_s =
-    Util.Timer.time (fun () -> Protocol.deploy ~obs ~rng ?jobs config ~db)
+    Util.Timer.time (fun () -> guarded (fun () -> Protocol.deploy ~obs:obs0 ~rng ?jobs config ~db))
   in
   (* With --repeat, use the prepared multi-query path when the
      configuration supports it (affine masking, d <= n); otherwise fall
@@ -107,15 +149,20 @@ let query_run data query_s k layout seed jobs repeat verbose trace trace_format 
     repeat > 1 && config.Config.mask_degree = 1
     && Array.length q <= config.Config.bgv.Params.n
   in
-  let run () =
+  let run obs () =
     if use_prepared then Protocol.query_prepared ~obs dep ~query:q ~k
     else Protocol.query ~obs dep ~query:q ~k
   in
-  let r, query_s' = Util.Timer.time run in
+  let r, query_s' = Util.Timer.time (fun () -> guarded (run obs0)) in
+  write_trace trace0 0;
   let steady_times =
-    List.init (repeat - 1) (fun _ ->
+    List.init (repeat - 1) (fun i ->
         Gc.full_major ();
-        snd (Util.Timer.time run))
+        let tr = new_trace () in
+        let obs = make_ctx tr in
+        let t = snd (Util.Timer.time (fun () -> guarded (run obs))) in
+        write_trace tr (i + 1);
+        t)
   in
   if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
   Format.printf "neighbours:@.";
@@ -139,19 +186,28 @@ let query_run data query_s k layout seed jobs repeat verbose trace trace_format 
     Format.printf "party B: %a@." Util.Counters.pp r.Protocol.counters_b;
     Format.printf "%a@." Transcript.pp r.Protocol.transcript
   end;
-  (match trace with
-   | None -> ()
-   | Some path ->
-     let oc = open_out path in
-     Sknn_obs.Trace.write trace_sink trace_fmt oc;
-     close_out oc;
-     Format.printf "trace written to %s@." path);
   (match audit_log with
    | None -> ()
    | Some a -> Format.printf "leakage audit:@.%a@." Sknn_obs.Audit.pp a);
   (match metrics_reg with
    | None -> ()
-   | Some m -> Format.printf "metrics:@.%a@." Sknn_obs.Metrics.pp m);
+   | Some m -> if metrics then Format.printf "metrics:@.%a@." Sknn_obs.Metrics.pp m);
+  (match prom, metrics_reg with
+   | Some path, Some m ->
+     let oc = open_out path in
+     output_string oc (Sknn_obs.Metrics.to_prometheus m);
+     close_out oc;
+     Format.printf "prometheus exposition written to %s@." path
+   | _ -> ());
+  (match flight_out with
+   | None -> ()
+   | Some path when Option.is_some flight ->
+     dump_flight_to path
+       ~run:
+         [ ("cmd", "query"); ("data", data); ("k", string_of_int k);
+           ("repeat", string_of_int repeat) ];
+     Format.printf "flight dump written to %s@." path
+   | Some _ -> Format.eprintf "--flight ignored: recorder disabled (SKNN_FLIGHT=0)@.");
   0
 
 let data_t = Arg.(required & opt (some file) None & info [ "data" ] ~doc:"Integer CSV database.")
@@ -200,12 +256,110 @@ let query_cmd =
     Arg.(value & opt int 1
          & info [ "repeat" ]
              ~doc:"Run the query $(docv) times and report first-query vs steady-state \
-                   latency; reuses the prepared database when the layout allows it."
+                   latency; reuses the prepared database when the layout allows it. \
+                   With --trace, run $(docv)'s spans go to FILE.$(docv).ext."
              ~docv:"N")
+  in
+  let prom =
+    Arg.(value & opt (some string) None
+         & info [ "prom" ] ~docv:"FILE"
+             ~doc:"Write the metrics registry in Prometheus text exposition format to \
+                   $(docv) (implies a registry even without --metrics).")
+  in
+  let flight_out =
+    Arg.(value & opt (some string) None
+         & info [ "flight" ] ~docv:"FILE"
+             ~doc:"Dump the flight recorder (JSONL ring-buffer events) to $(docv) after \
+                   the run.  On decryption failure the buffer is dumped to $(docv) — or \
+                   sknn-flight-crash.jsonl if unset — automatically.")
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
     Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ repeat
-          $ verbose_t $ trace $ trace_format $ audit $ metrics)
+          $ verbose_t $ trace $ trace_format $ audit $ metrics $ prom $ flight_out)
+
+(* ------------------------------------------------------------------ *)
+(* dump-flight                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let dump_flight_run data query_s k layout seed jobs out =
+  let flight =
+    match Sknn_obs.Flight.default () with
+    | Some f -> f
+    | None ->
+      Format.eprintf "flight recorder disabled (SKNN_FLIGHT=0)@.";
+      exit 2
+  in
+  let db = read_db data in
+  let q = parse_query query_s in
+  let config = config_of_layout layout in
+  (match Config.validate config ~d:(Array.length q) with
+   | Ok () -> ()
+   | Error e ->
+     Format.eprintf "configuration unsound for this data: %s@." e;
+     exit 2);
+  let rng = Util.Rng.of_int seed in
+  let obs = Sknn_obs.Ctx.create ~flight () in
+  let dump ~reason =
+    let oc = open_out out in
+    Sknn_obs.Flight.dump
+      ~run:[ ("cmd", "dump-flight"); ("data", data); ("k", string_of_int k); reason ]
+      flight oc;
+    close_out oc;
+    Format.printf "flight dump (%d events, %d dropped) written to %s@."
+      (Stdlib.min (Sknn_obs.Flight.total flight) (Sknn_obs.Flight.capacity flight))
+      (Sknn_obs.Flight.dropped flight) out
+  in
+  (try
+     let dep = Protocol.deploy ~obs ~rng ?jobs config ~db in
+     ignore (Protocol.query ~obs dep ~query:q ~k)
+   with Bgv.Decryption_failure msg ->
+     Format.eprintf "decryption failure: %s@." msg;
+     dump ~reason:("error", msg);
+     exit 1);
+  dump ~reason:("status", "ok");
+  0
+
+let dump_flight_cmd =
+  let out =
+    Arg.(value & opt string "flight.jsonl"
+         & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output path for the JSONL dump.")
+  in
+  Cmd.v
+    (Cmd.info "dump-flight"
+       ~doc:"Run one query with the flight recorder only and dump its ring buffer")
+    Term.(const dump_flight_run $ data_t $ query_t $ k_t
+          $ Arg.(value & opt string "per-coordinate"
+                 & info [ "layout" ] ~doc:"per-coordinate | dot-product | secure")
+          $ seed_t
+          $ Arg.(value & opt (some int) None & info [ "jobs" ] ~doc:"OCaml domains.")
+          $ out)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_run files =
+  let t = Sknn_obs.Report.create () in
+  List.iter
+    (fun f ->
+      try Sknn_obs.Report.add_file t f
+      with Sys_error e ->
+        Format.eprintf "%s@." e;
+        exit 2)
+    files;
+  Format.printf "%a@." Sknn_obs.Report.pp t;
+  0
+
+let report_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE"
+         ~doc:"jsonl trace files and/or flight dumps (any mix).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate recorded traces into per-phase p50/p95/p99 latency, \
+             bytes-per-link and noise-margin tables")
+    Term.(const report_run $ files)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
@@ -308,4 +462,8 @@ let info_cmd =
 
 let () =
   let doc = "Secure k-nearest neighbours over encrypted data (EDBT 2018 reproduction)" in
-  exit (Cmd.eval' (Cmd.group (Cmd.info "sknn" ~doc) [ gen_cmd; query_cmd; baseline_cmd; kmeans_cmd; apriori_cmd; info_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "sknn" ~doc)
+          [ gen_cmd; query_cmd; baseline_cmd; kmeans_cmd; apriori_cmd; info_cmd;
+            dump_flight_cmd; report_cmd ]))

@@ -224,6 +224,38 @@ let mul ?counters ?rlk a b =
   | Some rlk when degree ct = 2 -> relinearize ?counters rlk ct
   | Some _ | None -> ct
 
+(* Debug oracle (SEAL's "invariant noise budget"): with acc = Σ cᵢ·sⁱ,
+   the invariant noise is ν = acc·t/q − m (a rational polynomial) and
+   decryption stays correct while every coefficient has |ν| < 1/2, so
+   the remaining budget is −log2(2·max|ν|) = log2 q − 1 − log2 max
+   |acc·t − m·q|.  BFV tracks no per-ciphertext noise bound (the
+   rescale-by-t/q makes growth scale-invariant), so unlike
+   {!Bgv.noise_budget_bits} this needs the secret key — it exists for
+   tests and post-mortems, never for the protocols. *)
+let invariant_noise_budget_bits sk ct =
+  let p = sk.sk_params in
+  let ring = p.Params.ring in
+  let nprimes = full p in
+  let s = Rq.of_small_coeffs ring ~nprimes Rq.Eval sk.s_coeffs in
+  let acc = ref ct.comps.(0) in
+  let spow = ref s in
+  for i = 1 to degree ct do
+    if i > 1 then spow := Rq.mul !spow s;
+    acc := Rq.add !acc (Rq.mul ct.comps.(i) !spow)
+  done;
+  let q = big_q p in
+  let t = Z.of_int64 p.Params.t_plain in
+  let worst =
+    Array.fold_left
+      (fun w v ->
+        let m = scale_round ~t ~q v in
+        let num = Z.abs (Z.sub (Z.mul v t) (Z.mul m q)) in
+        Stdlib.max w (Z.numbits num))
+      0
+      (Rq.to_zint_coeffs !acc)
+  in
+  float_of_int (Z.numbits q - 1 - worst)
+
 let eval_poly ?counters ?rlk ~coeffs ct =
   let d = Array.length coeffs - 1 in
   if d < 0 then invalid_arg "Bfv.eval_poly: empty coefficient list";

@@ -51,3 +51,9 @@ val eval_poly :
 val degree : ct -> int
 val byte_size : ct -> int
 val pp_ct : Format.formatter -> ct -> unit
+
+val invariant_noise_budget_bits : secret_key -> ct -> float
+(** Debug oracle: the SEAL-style invariant noise budget
+    [log2 q − 1 − log2 max|acc·t − m·q|], positive while decryption is
+    guaranteed correct.  BFV carries no tracked per-ciphertext bound, so
+    this needs the secret key; tests and post-mortems only. *)

@@ -179,12 +179,18 @@ let encrypt ?counters ?level rng pk pt =
   Rq.add_into c1 (noise ());
   { params = p; comps = [| c0; c1 |]; factor = 1L; log_noise = fresh_noise_bits p }
 
+exception Decryption_failure of string
+
+let check_budget op ct =
+  if noise_budget_bits ct <= 0.0 then
+    raise
+      (Decryption_failure
+         (Format.asprintf "Bgv.%s: noise budget exhausted (%a)" op pp_ct ct))
+
 let decrypt ?counters sk ct =
   record counters Counters.Decrypt;
   let p = sk.sk_params in
-  if noise_budget_bits ct <= 0.0 then
-    failwith
-      (Format.asprintf "Bgv.decrypt: noise budget exhausted (%a)" pp_ct ct);
+  check_budget "decrypt" ct;
   let acc = ref (sk_dot sk ct) in
   let t = p.Params.t_plain in
   let coeffs = Rq.to_zint_coeffs !acc in
@@ -202,9 +208,7 @@ let decrypt ?counters sk ct =
 let decrypt_coeff0 ?counters sk ct =
   record counters Counters.Decrypt;
   let p = sk.sk_params in
-  if noise_budget_bits ct <= 0.0 then
-    failwith
-      (Format.asprintf "Bgv.decrypt_coeff0: noise budget exhausted (%a)" pp_ct ct);
+  check_budget "decrypt_coeff0" ct;
   let acc = ref (sk_dot sk ct) in
   (* Constant coefficient of the negacyclic inverse transform:
      a_0 = n^{-1} * sum of the evaluation-domain values (the odd psi

@@ -29,6 +29,12 @@ type galois_key
 type keys = { sk : secret_key; pk : public_key; rlk : relin_key }
 type ct
 
+exception Decryption_failure of string
+(** Raised by {!decrypt} / {!decrypt_coeff0} when the tracked noise
+    bound shows the ciphertext is undecryptable (budget exhausted).
+    Distinct from [Failure] so callers — the CLI dumps the flight
+    recorder on it — can catch exactly this condition. *)
+
 (** {1 Keys} *)
 
 val keygen : ?counters:Util.Counters.t -> Util.Rng.t -> Params.t -> keys
@@ -44,8 +50,8 @@ val params_of_pk : public_key -> Params.t
 val encrypt :
   ?counters:Util.Counters.t -> ?level:int -> Util.Rng.t -> public_key -> Plaintext.t -> ct
 val decrypt : ?counters:Util.Counters.t -> secret_key -> ct -> Plaintext.t
-(** @raise Failure if the tracked noise bound shows the ciphertext is
-    undecryptable (budget exhausted). *)
+(** @raise Decryption_failure if the tracked noise bound shows the
+    ciphertext is undecryptable (budget exhausted). *)
 
 val decrypt_coeff0 : ?counters:Util.Counters.t -> secret_key -> ct -> int64
 (** Decrypts only the constant coefficient of the plaintext polynomial.
@@ -160,6 +166,18 @@ val actual_noise_bits : secret_key -> ct -> float
 val noise_budget_bits : ct -> float
 (** [log2 (Q_level / 2) - noise_bits]; decryption is guaranteed while
     positive. *)
+
+val fresh_noise_bits : Params.t -> float
+(** The noise bound a fresh encryption starts with — exported so the
+    observability layer's forecaster ({!Sknn_obs.Noise_model}) can be
+    cross-checked against the scheme's own bookkeeping. *)
+
+val switch_floor_bits : Params.t -> int -> float
+(** [switch_floor_bits p d]: additive rounding term of one modulus
+    switch at ciphertext degree [d] (same export rationale). *)
+
+val log2_q_at_level : Params.t -> int -> float
+(** log2 of the ciphertext modulus with [k] active RNS primes. *)
 
 val byte_size : ct -> int
 (** Exact serialised size: [Bytes.length (ct_to_bytes ct)] without

@@ -4,6 +4,8 @@ module Perm = Util.Perm
 module Pool = Util.Pool
 module Obs = Sknn_obs.Ctx
 module Trace = Sknn_obs.Trace
+module Audit = Sknn_obs.Audit
+module NM = Sknn_obs.Noise_model
 
 (* Per-worker counters keep recording race-free under Pool.map_local;
    absorbing them in worker order makes the totals exact (and identical)
@@ -260,10 +262,85 @@ module Party_a = struct
       Error "prepared queries need d <= ring degree"
     else Ok ()
 
-  let prepare ?(obs = Obs.disabled) t =
+  (* ---- Noise forecast ------------------------------------------- *)
+
+  let noise_model_params (p : Params.t) : NM.params =
+    let lg x = log x /. log 2.0 in
+    { NM.n = p.Params.n;
+      t_bits = lg (Int64.to_float p.Params.t_plain);
+      moduli_bits = Array.map (fun m -> lg (float_of_int m)) p.Params.moduli;
+      eta = float_of_int p.Params.eta }
+
+  (* Worst-case end-of-circuit headroom for the prepared path, predicted
+     from the parameter chain alone: fresh encryptions through the
+     ED = ||p||^2 - 2<p,q> + ||q||^2 combine, the same level-drop rule
+     compute_distances_prepared applies, the affine mask, and the
+     Return-kNN row selection at the return level.  Every step mirrors
+     the scheme's tracked bound, so a negative forecast here means a
+     live query would raise Decryption_failure. *)
+  let forecast_noise ?(margin_bits = 4.0) t =
+    let config = t.config in
+    let nm = noise_model_params config.Config.bgv in
+    let tr = NM.start nm in
+    let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
+    let d = t.db.db_d in
+    let norm =
+      match config.Config.layout with
+      | Config.Dot_product -> fresh (* encrypted directly by the data owner *)
+      | Config.Per_coordinate ->
+        NM.step tr "prepare-norms" (NM.mul_sum nm fresh fresh ~terms:(Stdlib.max 1 d))
+    in
+    let ip = NM.step tr "inner-product" (NM.mul nm fresh fresh) in
+    let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
+    let ed = NM.step tr "ed-combine" (NM.sub (NM.add norm fresh) ip2) in
+    let mask_bits = nm.NM.t_bits in
+    let return_lvl = return_level t in
+    let ed =
+      (* The level-drop rule of compute_distances_prepared, verbatim. *)
+      let need = ed.NM.bits +. mask_bits +. 17.0 in
+      let lvl = ref 0 and bits = ref 0.0 in
+      while !bits <= need && !lvl < ed.NM.level do
+        bits := !bits +. nm.NM.moduli_bits.(!lvl);
+        incr lvl
+      done;
+      let lvl = Stdlib.max !lvl return_lvl in
+      if !bits > need && lvl < ed.NM.level then
+        NM.step tr "truncate" (NM.truncate ed ~level:lvl)
+      else if config.Config.rescale_distances then
+        NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
+      else ed
+    in
+    (* Affine mask (Horner degree 1: scalar < t, then the constant) plus
+       the zero-constant randomizer. *)
+    let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
+    let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
+    ignore (NM.step tr "randomizer" (NM.add_plain nm m));
+    (* Return-kNN: return-level packed points against fresh indicator
+       rows, summed across the database. *)
+    let packed_ret = NM.truncate fresh ~level:(Stdlib.min return_lvl fresh.NM.level) in
+    let row = NM.fresh_at nm ~level:return_lvl in
+    ignore
+      (NM.step tr "return-knn"
+         (NM.mul_sum nm packed_ret row ~terms:(Stdlib.max 1 t.db.db_n)));
+    NM.report ~margin_bits tr
+
+  let prepare ?(obs = Obs.disabled) ?(noise_margin_bits = 4.0) t =
     (match prepared_supported t.config ~d:t.db.db_d with
      | Ok () -> ()
      | Error msg -> invalid_arg ("Party_a.prepare: " ^ msg));
+    let forecast = forecast_noise ~margin_bits:noise_margin_bits t in
+    Obs.audit obs ~party:"party-a" ~phase:"prepare-db" ~label:"noise-min-headroom-bits"
+      (Audit.Float forecast.NM.min_headroom_bits);
+    if forecast.NM.below_margin then begin
+      Obs.audit obs ~party:"party-a" ~phase:"prepare-db"
+        ~label:"noise-low-headroom-warning"
+        (Audit.Str (Format.asprintf "%a" NM.pp_report forecast));
+      Obs.warn obs ~name:"noise-low-headroom" ~x:forecast.NM.min_headroom_bits ();
+      Format.eprintf
+        "[sknn] warning: noise forecast predicts %.1f bits minimum headroom (margin \
+         %.1f) — deepen the modulus chain or lower the circuit depth@."
+        forecast.NM.min_headroom_bits noise_margin_bits
+    end;
     let norms =
       Obs.with_span obs
         ~counters:[ ("party-a", t.counters) ]

@@ -106,13 +106,29 @@ module Party_a : sig
 
   type prepared
 
-  val prepare : ?obs:Sknn_obs.Ctx.t -> t -> prepared
+  val forecast_noise : ?margin_bits:float -> t -> Sknn_obs.Noise_model.report
+  (** Worst-case end-of-circuit noise headroom predicted from the
+      parameter chain alone (no ciphertexts touched): fresh encryptions
+      through the ED combine, the prepared path's level-drop rule, the
+      affine mask and the Return-kNN row selection.  A negative
+      [min_headroom_bits] means a live query would raise
+      {!Bgv.Decryption_failure}.  [margin_bits] defaults to 4. *)
+
+  val prepare : ?obs:Sknn_obs.Ctx.t -> ?noise_margin_bits:float -> t -> prepared
   (** Computes the prepared state (norms in parallel over [jobs]
       domains, counted against Party A).  Requires affine (degree-1)
       masking and [d <= n] — the inner-product trick leaves cross terms
       in the non-constant coefficients, so higher-degree masks would
       corrupt the constant coefficient.
-      @raise Invalid_argument otherwise. *)
+
+      Also runs {!forecast_noise} and, when the predicted minimum
+      headroom drops below [noise_margin_bits] (default 4), emits a
+      structured warning: an audit entry
+      [party-a/prepare-db/noise-low-headroom-warning], a [Warning]
+      flight event and a stderr line.  The forecast minimum is always
+      recorded as the audit entry
+      [party-a/prepare-db/noise-min-headroom-bits].
+      @raise Invalid_argument when the config is unsupported. *)
 
   val compute_distances_prepared :
     ?obs:Sknn_obs.Ctx.t -> t -> prepared -> Util.Rng.t -> encrypted_query ->

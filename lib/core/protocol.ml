@@ -56,6 +56,13 @@ let tally_transcript tr counter_of =
       add x; add y)
     (Transcript.links tr)
 
+(* Record a transcript entry and mirror it into the flight recorder, so
+   a post-mortem dump shows the link traffic leading up to a failure. *)
+let send_tracked obs tr ~sender ~receiver ~label ~bytes =
+  Transcript.send tr ~sender ~receiver ~label ~bytes;
+  Obs.record_send obs ~sender:(Transcript.party_name sender)
+    ~receiver:(Transcript.party_name receiver) ~bytes
+
 let deploy ?(obs = Obs.disabled) ?rng ?counters ?jobs config ~db =
   let rng = match rng with Some r -> r | None -> Rng.of_int 0x5ecdb in
   let jobs = match jobs with Some j -> j | None -> Util.Pool.default_jobs () in
@@ -72,12 +79,13 @@ let deploy ?(obs = Obs.disabled) ?rng ?counters ?jobs config ~db =
   let cl = Entities.Client.create ~jobs config keys.Bgv.sk keys.Bgv.pk in
   let tr = Transcript.create () in
   let open Transcript in
-  send tr ~sender:Data_owner ~receiver:Party_a ~label:"public key" ~bytes:(pk_bytes config);
-  send tr ~sender:Data_owner ~receiver:Party_a ~label:"encrypted database"
+  send_tracked obs tr ~sender:Data_owner ~receiver:Party_a ~label:"public key"
+    ~bytes:(pk_bytes config);
+  send_tracked obs tr ~sender:Data_owner ~receiver:Party_a ~label:"encrypted database"
     ~bytes:(Entities.db_bytes enc_db);
-  send tr ~sender:Data_owner ~receiver:Party_b ~label:"secret + public key"
+  send_tracked obs tr ~sender:Data_owner ~receiver:Party_b ~label:"secret + public key"
     ~bytes:(config.Config.bgv.Params.n + pk_bytes config);
-  send tr ~sender:Data_owner ~receiver:Client ~label:"secret + public key"
+  send_tracked obs tr ~sender:Data_owner ~receiver:Client ~label:"secret + public key"
     ~bytes:(config.Config.bgv.Params.n + pk_bytes config);
   tally_transcript tr (function
     | Transcript.Data_owner -> counters
@@ -116,23 +124,40 @@ let level_buckets = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 8.0 |]
 let noise_buckets = [| 0.0; 8.0; 16.0; 24.0; 32.0; 48.0; 64.0; 96.0; 128.0 |]
 
 let sample_cts obs ~name cts =
-  match Obs.metrics obs with
-  | None -> ()
-  | Some m ->
-    let n = Array.length cts in
-    if n > 0 then begin
-      let h_lvl = Metrics.histogram ~buckets:level_buckets m ("bgv." ^ name ^ ".level") in
-      let h_nb =
-        Metrics.histogram ~buckets:noise_buckets m ("bgv." ^ name ^ ".noise_budget_bits")
-      in
-      let stride = Stdlib.max 1 (n / 16) in
-      let i = ref 0 in
-      while !i < n do
-        Metrics.observe h_lvl (float_of_int (Bgv.level cts.(!i)));
-        Metrics.observe h_nb (Bgv.noise_budget_bits cts.(!i));
-        i := !i + stride
-      done
-    end
+  let m = Obs.metrics obs in
+  let flight_on = Option.is_some (Obs.flight obs) in
+  let n = Array.length cts in
+  if n > 0 && (Option.is_some m || flight_on) then begin
+    let hists =
+      Option.map
+        (fun m ->
+          ( Metrics.histogram ~buckets:level_buckets m ("bgv." ^ name ^ ".level"),
+            Metrics.histogram ~buckets:noise_buckets m ("bgv." ^ name ^ ".noise_budget_bits")
+          ))
+        m
+    in
+    let stride = Stdlib.max 1 (n / 16) in
+    let min_budget = ref infinity in
+    let i = ref 0 in
+    while !i < n do
+      let level = Bgv.level cts.(!i) in
+      let budget = Bgv.noise_budget_bits cts.(!i) in
+      if budget < !min_budget then min_budget := budget;
+      (match hists with
+       | None -> ()
+       | Some (h_lvl, h_nb) ->
+         Metrics.observe h_lvl (float_of_int level);
+         Metrics.observe h_nb budget);
+      Obs.observe_noise obs ~name ~level ~budget_bits:budget;
+      i := !i + stride
+    done;
+    match m with
+    | None -> ()
+    | Some m ->
+      (* Per-phase headroom gauge: the tightest sampled budget this
+         batch, the number a dashboard alerts on. *)
+      Metrics.set (Metrics.gauge m ("bgv." ^ name ^ ".min_noise_budget_bits")) !min_budget
+  end
 
 let query_ct_count (q : Entities.encrypted_query) =
   (match q.Entities.q_coords with None -> 0 | Some a -> Array.length a)
@@ -174,7 +199,7 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
         | None -> Entities.Client.encrypt_query d.cl rng query
         | Some _ -> Entities.Client.encrypt_query_ip d.cl rng query)
   in
-  Transcript.send tr ~sender:Transcript.Client ~receiver:Transcript.Party_a
+  send_tracked obs tr ~sender:Transcript.Client ~receiver:Transcript.Party_a
     ~label:"encrypted query" ~bytes:(Entities.query_bytes q_enc);
   Obs.audit obs ~party:"party-a" ~phase:"compute-distances" ~label:"query-ciphertexts"
     (Audit.Int (query_ct_count q_enc));
@@ -188,7 +213,7 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
         | Some p -> Entities.Party_a.compute_distances_prepared ~obs d.a p rng q_enc)
   in
   sample_cts obs ~name:"masked-distance" masked;
-  Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+  send_tracked obs tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
     ~label:"masked permuted distances"
     ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 masked);
   (* Party B: Find Neighbours (Algorithm 2), with the indicator vectors
@@ -226,7 +251,7 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
                 let row = Entities.Party_b.indicator_row ~obs d.b rng view ~n:d.db_n ~j in
                 let bytes = Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 row in
                 indicator_bytes := !indicator_bytes + bytes;
-                Transcript.send tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
+                send_tracked obs tr ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
                   ~label:(Printf.sprintf "indicator vector B^%d" (j + 1))
                   ~bytes;
                 Entities.Party_a.select_row ~obs d.a packed row)))
@@ -236,7 +261,7 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
     (Audit.Int (k * d.db_n));
   Obs.audit obs ~party:"party-a" ~phase:"return-knn" ~label:"indicator-bytes"
     (Audit.Int !indicator_bytes);
-  Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Client
+  send_tracked obs tr ~sender:Transcript.Party_a ~receiver:Transcript.Client
     ~label:"encrypted k-NN result"
     ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 results);
   let neighbours =

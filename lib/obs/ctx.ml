@@ -1,21 +1,40 @@
 module Pool = Util.Pool
 module Timer = Util.Timer
 
-type t = { trace : Trace.t; metrics : Metrics.t option; audit : Audit.t option }
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t option;
+  audit : Audit.t option;
+  flight : Flight.t option;
+}
 
-let disabled = { trace = Trace.disabled; metrics = None; audit = None }
+let disabled = { trace = Trace.disabled; metrics = None; audit = None; flight = None }
 
-let create ?(trace = Trace.disabled) ?metrics ?audit () = { trace; metrics; audit }
+let create ?(trace = Trace.disabled) ?metrics ?audit ?flight () =
+  { trace; metrics; audit; flight }
 
 let trace t = t.trace
 let metrics t = t.metrics
 let audit_channel t = t.audit
+let flight t = t.flight
 
 let is_disabled t =
-  (not (Trace.is_enabled t.trace)) && Option.is_none t.metrics && Option.is_none t.audit
+  (not (Trace.is_enabled t.trace))
+  && Option.is_none t.metrics && Option.is_none t.audit && Option.is_none t.flight
 
 let with_span t ?kind ?counters ?args name f =
-  Trace.with_span t.trace ?kind ?counters ?args name f
+  match t.flight, kind with
+  | Some fl, Some (Trace.Phase | Trace.Root) ->
+    (* Protocol phases land in the flight recorder too, so a post-mortem
+       dump shows where the run was even when tracing was off.  The exit
+       event is recorded on raise as well — that is the whole point. *)
+    Flight.record fl Flight.Phase_enter ~name ();
+    let t0 = Timer.counter () in
+    Fun.protect
+      ~finally:(fun () ->
+        Flight.record fl Flight.Phase_exit ~name ~x:(Timer.counter () -. t0) ())
+      (fun () -> Trace.with_span t.trace ?kind ?counters ?args name f)
+  | _ -> Trace.with_span t.trace ?kind ?counters ?args name f
 
 let observe_phase t name seconds =
   match t.metrics with
@@ -27,12 +46,32 @@ let audit t ~party ~phase ~label value =
   | None -> ()
   | Some a -> Audit.observe a ~party ~phase ~label value
 
+let observe_noise t ~name ~level ~budget_bits =
+  match t.flight with
+  | None -> ()
+  | Some fl -> Flight.record fl Flight.Noise ~name ~i:level ~x:budget_bits ()
+
+let record_send t ~sender ~receiver ~bytes =
+  match t.flight with
+  | None -> ()
+  | Some fl -> Flight.record fl Flight.Send ~name:(sender ^ "->" ^ receiver) ~i:bytes ()
+
+let warn t ~name ?(x = 0.0) () =
+  match t.flight with
+  | None -> ()
+  | Some fl -> Flight.record fl Flight.Warning ~name ~x ()
+
 (* Observe one pool call: chunk executions become child spans of the
    innermost open span, and — when a registry is attached — feed a
    per-label chunk-latency histogram and a worker-utilization gauge
-   (busy time / (wall time × workers)). *)
+   (busy time / (wall time × workers)).  Chunk stats also land in the
+   flight recorder (replayed post-join in worker order, so still
+   orchestrator-only). *)
 let with_pool_chunks t ?(label = "pool") f =
-  if (not (Trace.is_enabled t.trace)) && Option.is_none t.metrics then f ()
+  if
+    (not (Trace.is_enabled t.trace))
+    && Option.is_none t.metrics && Option.is_none t.flight
+  then f ()
   else begin
     let stats = ref [] in
     let t0 = Timer.counter () in
@@ -43,7 +82,12 @@ let with_pool_chunks t ?(label = "pool") f =
           Trace.add_complete t.trace
             ~name:(Printf.sprintf "%s[%d,%d)" label st.Pool.chunk_lo st.Pool.chunk_hi)
             ~args:[ ("worker", string_of_int st.Pool.worker) ]
-            ~start:st.Pool.chunk_start ~dur:st.Pool.chunk_seconds ())
+            ~start:st.Pool.chunk_start ~dur:st.Pool.chunk_seconds ();
+          match t.flight with
+          | None -> ()
+          | Some fl ->
+            Flight.record fl Flight.Chunk ~name:label ~i:st.Pool.chunk_lo
+              ~j:st.Pool.chunk_hi ~x:st.Pool.chunk_seconds ())
         f
     in
     let wall = Timer.counter () -. t0 in

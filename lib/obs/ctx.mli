@@ -1,7 +1,8 @@
 (** Observability context: the bundle the protocol threads through the
-    stack.  One value carries the three channels — {!Trace} spans,
-    a {!Metrics} registry and a {!Audit} leakage log — each optional,
-    so callers pass [?obs] once instead of three arguments.
+    stack.  One value carries the four channels — {!Trace} spans,
+    a {!Metrics} registry, an {!Audit} leakage log and a {!Flight}
+    recorder — each optional, so callers pass [?obs] once instead of
+    four arguments.
 
     {!disabled} (the default everywhere) short-circuits every helper to
     a branch or two; the hot path pays nothing when observability is
@@ -10,13 +11,15 @@
 type t
 
 val disabled : t
-(** No trace, no metrics, no audit: every helper is a no-op. *)
+(** No trace, no metrics, no audit, no flight: every helper is a no-op. *)
 
-val create : ?trace:Trace.t -> ?metrics:Metrics.t -> ?audit:Audit.t -> unit -> t
+val create :
+  ?trace:Trace.t -> ?metrics:Metrics.t -> ?audit:Audit.t -> ?flight:Flight.t -> unit -> t
 
 val trace : t -> Trace.t
 val metrics : t -> Metrics.t option
 val audit_channel : t -> Audit.t option
+val flight : t -> Flight.t option
 val is_disabled : t -> bool
 
 val with_span :
@@ -27,7 +30,9 @@ val with_span :
   string ->
   (unit -> 'a) ->
   'a
-(** {!Trace.with_span} on the context's trace. *)
+(** {!Trace.with_span} on the context's trace.  [Phase]/[Root] spans
+    additionally record [Phase_enter]/[Phase_exit] flight events (the
+    exit carries the duration, and is recorded even on raise). *)
 
 val observe_phase : t -> string -> float -> unit
 (** Record a phase latency into the histogram [phase.<name>.seconds]
@@ -36,11 +41,23 @@ val observe_phase : t -> string -> float -> unit
 val audit : t -> party:string -> phase:string -> label:string -> Audit.value -> unit
 (** Append to the leakage-audit channel (no-op without one). *)
 
+val observe_noise : t -> name:string -> level:int -> budget_bits:float -> unit
+(** Record a BGV headroom sample as a [Noise] flight event (no-op
+    without a flight recorder). *)
+
+val record_send : t -> sender:string -> receiver:string -> bytes:int -> unit
+(** Record a transcript send as a ["sender->receiver"] [Send] flight
+    event (no-op without a flight recorder). *)
+
+val warn : t -> name:string -> ?x:float -> unit -> unit
+(** Record a [Warning] flight event (no-op without a flight recorder). *)
+
 val with_pool_chunks : t -> ?label:string -> (unit -> 'a) -> 'a
 (** Run [f] with a {!Util.Pool.with_chunk_observer} installed: each
     chunk of each pool call inside [f] becomes a [Chunk] span named
-    ["<label>[lo,hi)"], and — when metrics are attached — feeds the
-    histogram [pool.<label>.chunk_seconds] and the utilization gauge
-    [pool.<label>.utilization].  Chunk stats are replayed after the
-    pool join in worker order, so installation is safe on the hot
-    path.  No-op when both trace and metrics are absent. *)
+    ["<label>[lo,hi)"] and a [Chunk] flight event, and — when metrics
+    are attached — feeds the histogram [pool.<label>.chunk_seconds] and
+    the utilization gauge [pool.<label>.utilization].  Chunk stats are
+    replayed after the pool join in worker order, so installation is
+    safe on the hot path.  No-op when trace, metrics and flight are all
+    absent. *)

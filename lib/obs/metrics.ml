@@ -89,6 +89,59 @@ let find t name =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () ->
       Hashtbl.find_opt t.tbl name)
 
+(* Prometheus text exposition.  Dotted registry names are sanitized to
+   [a-zA-Z0-9_] under an "sknn_" prefix; counters gain the conventional
+   "_total" suffix; histograms emit cumulative [_bucket{le=...}] lines
+   plus [_sum]/[_count].  Rendering follows [names], so the output is
+   byte-deterministic for a given registry state. *)
+let prom_name name =
+  let buf = Buffer.create (String.length name + 5) in
+  Buffer.add_string buf "sknn_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match find t name with
+      | None -> ()
+      | Some (Counter c) ->
+        let pn = prom_name name ^ "_total" in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" pn pn c.c_value)
+      | Some (Gauge g) -> (
+        match g.g_value with
+        | None -> () (* an unset gauge has no value to expose *)
+        | Some v ->
+          let pn = prom_name name in
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pn pn (prom_float v)))
+      | Some (Histogram h) ->
+        let pn = prom_name name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" pn);
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            cum := !cum + c;
+            let le =
+              if i < Array.length h.buckets then prom_float h.buckets.(i) else "+Inf"
+            in
+            Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" pn le !cum))
+          h.counts;
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" pn (prom_float h.sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" pn h.count))
+    (names t);
+  Buffer.contents buf
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

@@ -50,3 +50,11 @@ val names : t -> string list
     deterministic. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format.  Names are sanitized to
+    [[a-zA-Z0-9_]] under an [sknn_] prefix; counters gain [_total];
+    histograms render cumulative [_bucket{le="..."}] lines (including
+    the [+Inf] overflow bucket) plus [_sum] and [_count]; unset gauges
+    are omitted.  Metrics appear in {!names} order, so two renders of
+    the same registry state are byte-identical. *)

@@ -1,0 +1,76 @@
+(** Log2-domain noise-growth forecaster for the BGV chain.
+
+    A pure replica of the scheme's tracked noise bound over plain
+    numeric parameters, so worst-case end-of-circuit headroom can be
+    predicted {e before} any ciphertext exists — at [Party_a.prepare]
+    time — and a deployment whose parameter chain is too shallow for its
+    circuit warns instead of failing mid-query.  Every formula mirrors
+    [lib/bgv/bgv.ml]'s bookkeeping (the test suite cross-checks the two
+    against live ciphertexts). *)
+
+type params = {
+  n : int;  (** ring degree *)
+  t_bits : float;  (** log2 of the plaintext modulus *)
+  moduli_bits : float array;  (** log2 of each RNS chain prime, in order *)
+  eta : float;  (** CBD noise parameter *)
+}
+
+type state = {
+  level : int;  (** active RNS primes *)
+  degree : int;  (** ciphertext degree (components − 1) *)
+  bits : float;  (** log2 bound on the decryption noise term *)
+}
+
+val log2_add : float -> float -> float
+val fresh_noise_bits : params -> float
+val switch_floor_bits : params -> degree:int -> float
+val log2_q : params -> level:int -> float
+val chain_length : params -> int
+
+val headroom : params -> state -> float
+(** [log2(Q_level/2) − bits]; decryption is guaranteed while positive. *)
+
+val fresh : params -> state
+val fresh_at : params -> level:int -> state
+val add : state -> state -> state
+val sub : state -> state -> state
+val add_plain : params -> state -> state
+val mul_plain : params -> state -> state
+
+val mul_scalar : state -> bits:float -> state
+(** Scalar of magnitude ≤ [2^bits]. *)
+
+val mul : params -> state -> state -> state
+
+val mul_sum : params -> state -> state -> terms:int -> state
+(** Inner product of [terms] uniform worst-case pairs.
+    @raise Invalid_argument if [terms < 1]. *)
+
+val relinearize : params -> digit_bits:int -> state -> state
+val modswitch : params -> state -> state
+val rescale_to_floor : params -> state -> state
+val truncate : state -> level:int -> state
+
+(** {1 Forecast traces} *)
+
+type step = { op : string; s_level : int; s_bits : float; s_headroom : float }
+
+type report = {
+  steps : step list;  (** in circuit order *)
+  min_headroom_bits : float;
+  margin_bits : float;
+  below_margin : bool;
+}
+
+type trace
+
+val start : params -> trace
+
+val step : trace -> string -> state -> state
+(** Record the state after [op] and return it unchanged, so circuit
+    composition reads as a pipeline. *)
+
+val report : ?margin_bits:float -> trace -> report
+(** [margin_bits] defaults to 4. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,290 @@
+(* Offline aggregation of recorded observability output: jsonl traces
+   (Trace.write Jsonl) and flight-recorder dumps (Flight.dump) go in,
+   per-phase latency percentiles, bytes-per-link and noise-margin tables
+   come out.  The repo carries no JSON dependency, so lines are read
+   with a minimal recursive-descent parser covering exactly the grammar
+   our own writers emit. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '\000' -> fail "unterminated string"
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'; advance ()
+         | '\\' -> Buffer.add_char buf '\\'; advance ()
+         | '/' -> Buffer.add_char buf '/'; advance ()
+         | 'n' -> Buffer.add_char buf '\n'; advance ()
+         | 't' -> Buffer.add_char buf '\t'; advance ()
+         | 'r' -> Buffer.add_char buf '\r'; advance ()
+         | 'b' -> Buffer.add_char buf '\b'; advance ()
+         | 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "bad \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           Buffer.add_char buf (Char.chr (code land 0xff))
+         | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do advance () done;
+    if !pos = start then fail "expected number";
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((key, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); Arr [])
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elems (v :: acc)
+          | ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elems []
+      end
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let str_member name j = match member name j with Some (Str s) -> Some s | _ -> None
+let num_member name j = match member name j with Some (Num v) -> Some v | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Accumulator                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  phase_durs : (string, float list ref) Hashtbl.t;
+  link_bytes : (string, int ref * int ref) Hashtbl.t; (* sends, bytes *)
+  noise : (string, float list ref) Hashtbl.t; (* label -> headroom samples *)
+  mutable lines : int;
+  mutable skipped : int;
+}
+
+let create () =
+  { phase_durs = Hashtbl.create 16;
+    link_bytes = Hashtbl.create 16;
+    noise = Hashtbl.create 16;
+    lines = 0;
+    skipped = 0 }
+
+let push tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add tbl key (ref [ v ])
+
+let add_line t line =
+  let line = String.trim line in
+  if line = "" then ()
+  else begin
+    t.lines <- t.lines + 1;
+    match parse_json line with
+    | exception Parse _ -> t.skipped <- t.skipped + 1
+    | j -> (
+      match str_member "rec" j with
+      | Some "flight" -> (
+        let name = Option.value ~default:"" (str_member "name" j) in
+        match str_member "kind" j with
+        | Some "phase-exit" ->
+          Option.iter (fun x -> push t.phase_durs name x) (num_member "x" j)
+        | Some "send" ->
+          Option.iter
+            (fun bytes ->
+              let sends, total =
+                match Hashtbl.find_opt t.link_bytes name with
+                | Some p -> p
+                | None ->
+                  let p = (ref 0, ref 0) in
+                  Hashtbl.add t.link_bytes name p;
+                  p
+              in
+              incr sends;
+              total := !total + int_of_float bytes)
+            (num_member "i" j)
+        | Some "noise" ->
+          Option.iter (fun x -> push t.noise name x) (num_member "x" j)
+        | _ -> () (* header, chunk, marks: nothing to aggregate *))
+      | Some "flight-header" -> ()
+      | _ -> (
+        (* jsonl trace line: every phase-kind span contributes. *)
+        match str_member "kind" j, str_member "name" j, num_member "dur_s" j with
+        | Some "phase", Some name, Some dur -> push t.phase_durs name dur
+        | Some _, _, _ -> ()
+        | None, _, _ -> t.skipped <- t.skipped + 1))
+  end
+
+let add_channel t ic =
+  try
+    while true do
+      add_line t (input_line ic)
+    done
+  with End_of_file -> ()
+
+let add_file t path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> add_channel t ic)
+
+let lines t = t.lines
+let skipped t = t.skipped
+
+(* Nearest-rank percentile over a sorted sample array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Report.percentile: empty sample";
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+type phase_row = {
+  phase : string;
+  samples : int;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
+type link_row = { link : string; sends : int; bytes : int }
+type noise_row = { noise_label : string; noise_samples : int; min_bits : float; mean_bits : float }
+
+let sorted_rows tbl f =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map f
+
+let phases t =
+  sorted_rows t.phase_durs (fun (phase, durs) ->
+      let a = Array.of_list !durs in
+      Array.sort compare a;
+      { phase;
+        samples = Array.length a;
+        p50_s = percentile a 50.0;
+        p95_s = percentile a 95.0;
+        p99_s = percentile a 99.0;
+        max_s = a.(Array.length a - 1) })
+
+let links t =
+  sorted_rows t.link_bytes (fun (link, (sends, bytes)) ->
+      { link; sends = !sends; bytes = !bytes })
+
+let noise_margins t =
+  sorted_rows t.noise (fun (noise_label, samples) ->
+      let l = !samples in
+      let n = List.length l in
+      { noise_label;
+        noise_samples = n;
+        min_bits = List.fold_left Float.min infinity l;
+        mean_bits = List.fold_left ( +. ) 0.0 l /. float_of_int n })
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "parsed %d lines (%d skipped)@," t.lines t.skipped;
+  (match phases t with
+   | [] -> Format.fprintf ppf "no phase samples@,"
+   | rows ->
+     Format.fprintf ppf "@,%-22s %8s %12s %12s %12s %12s@," "phase" "samples" "p50" "p95"
+       "p99" "max";
+     List.iter
+       (fun r ->
+         Format.fprintf ppf "%-22s %8d %11.6fs %11.6fs %11.6fs %11.6fs@," r.phase
+           r.samples r.p50_s r.p95_s r.p99_s r.max_s)
+       rows);
+  (match links t with
+   | [] -> ()
+   | rows ->
+     Format.fprintf ppf "@,%-28s %8s %14s@," "link" "sends" "bytes";
+     List.iter
+       (fun r -> Format.fprintf ppf "%-28s %8d %14d@," r.link r.sends r.bytes)
+       rows);
+  (match noise_margins t with
+   | [] -> ()
+   | rows ->
+     Format.fprintf ppf "@,%-28s %8s %10s %10s@," "noise headroom" "samples" "min" "mean";
+     List.iter
+       (fun r ->
+         Format.fprintf ppf "%-28s %8d %9.1fb %9.1fb@," r.noise_label r.noise_samples
+           r.min_bits r.mean_bits)
+       rows);
+  Format.fprintf ppf "@]"

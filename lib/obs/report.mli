@@ -1,0 +1,52 @@
+(** Offline aggregation of recorded observability output.
+
+    Feed it jsonl trace files ({!Trace.write} with [Jsonl]) and
+    flight-recorder dumps ({!Flight.dump}) — any mix, even in one file —
+    and read back per-phase latency percentiles (nearest-rank
+    p50/p95/p99), bytes per transcript link and noise-margin summaries.
+    Backs [sknn report].
+
+    Unparseable lines are counted ({!skipped}) rather than fatal, so a
+    report survives a truncated dump. *)
+
+type t
+
+val create : unit -> t
+val add_line : t -> string -> unit
+val add_channel : t -> in_channel -> unit
+val add_file : t -> string -> unit
+
+val lines : t -> int
+(** Non-blank lines seen. *)
+
+val skipped : t -> int
+(** Lines that parsed to nothing usable. *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile over a {e sorted} sample array.
+    @raise Invalid_argument on an empty array. *)
+
+type phase_row = {
+  phase : string;
+  samples : int;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
+type link_row = { link : string; sends : int; bytes : int }
+
+type noise_row = {
+  noise_label : string;
+  noise_samples : int;
+  min_bits : float;
+  mean_bits : float;
+}
+
+val phases : t -> phase_row list
+(** Sorted by phase name. *)
+
+val links : t -> link_row list
+val noise_margins : t -> noise_row list
+val pp : Format.formatter -> t -> unit

@@ -215,6 +215,26 @@ let pp_tree ppf t =
   List.iter (pp 0) (roots t);
   Format.fprintf ppf "@]"
 
+(* "trace.json" → "trace.3.json" (the index lands before the extension
+   when the basename has one, after the path otherwise).  Repeated runs
+   write one file each instead of clobbering the first. *)
+let indexed_path path i =
+  if i = 0 then path
+  else
+    let ext_dot =
+      match String.rindex_opt path '.' with
+      | None -> None
+      | Some d -> (
+        match String.rindex_opt path '/' with
+        | Some s when s > d -> None
+        | _ -> Some d)
+    in
+    match ext_dot with
+    | Some d ->
+      Printf.sprintf "%s.%d%s" (String.sub path 0 d) i
+        (String.sub path d (String.length path - d))
+    | None -> Printf.sprintf "%s.%d" path i
+
 let write t format oc =
   match format with
   | Jsonl -> write_jsonl t oc

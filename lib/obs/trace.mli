@@ -80,3 +80,9 @@ type format =
 val format_of_string : string -> (format, string) result
 val write : t -> format -> out_channel -> unit
 val pp_tree : Format.formatter -> t -> unit
+
+val indexed_path : string -> int -> string
+(** [indexed_path path i] is [path] for [i = 0]; otherwise the index is
+    inserted before the basename's extension (["t.json"] → ["t.3.json"];
+    extensionless paths get [".3"] appended).  [sknn query --repeat N]
+    writes run [i]'s trace to [indexed_path file i]. *)

@@ -122,6 +122,21 @@ let test_ct_metadata () =
   Alcotest.(check bool) "byte size positive" true (Bfv.byte_size ct > 0);
   Alcotest.(check string) "pp" "<bfv ct deg=1 n=64>" (Format.asprintf "%a" Bfv.pp_ct ct)
 
+let test_invariant_noise_budget () =
+  (* The SEAL-style budget oracle: comfortably positive on a fresh
+     ciphertext, strictly smaller after a multiplication, and still
+     positive while decryption stays correct. *)
+  let a = random_slots 11 and b = random_slots 12 in
+  let ca = enc a in
+  let fresh_budget = Bfv.invariant_noise_budget_bits keys.Bfv.sk ca in
+  Alcotest.(check bool) "fresh budget well positive" true (fresh_budget > 20.0);
+  let prod = Bfv.mul ~rlk:keys.Bfv.rlk ca (enc b) in
+  let prod_budget = Bfv.invariant_noise_budget_bits keys.Bfv.sk prod in
+  Alcotest.(check bool) "mul consumes budget" true (prod_budget < fresh_budget);
+  Alcotest.(check bool) "still decryptable, still positive" true (prod_budget > 0.0);
+  check_slots "decryption agrees with the positive budget"
+    (map2 (Mod64.mul tp) a b) (dec prod)
+
 let prop_add_homomorphic =
   QCheck.Test.make ~count:15 ~name:"bfv: Dec(Enc a + Enc b) = a + b"
     QCheck.(pair (int_range 0 100000) (int_range 100001 200000))
@@ -145,7 +160,9 @@ let () =
          Alcotest.test_case "mul" `Quick test_mul;
          Alcotest.test_case "scale invariance" `Quick test_scale_invariance;
          Alcotest.test_case "eval_poly" `Quick test_eval_poly;
-         Alcotest.test_case "metadata" `Quick test_ct_metadata ]);
+         Alcotest.test_case "metadata" `Quick test_ct_metadata;
+         Alcotest.test_case "invariant noise budget" `Quick
+           test_invariant_noise_budget ]);
       ("black box",
        [ Alcotest.test_case "distance + mask pipeline" `Quick
            test_black_box_distance_pipeline ]);

@@ -327,7 +327,7 @@ let test_noise_exhaustion_raises () =
        ct := Bgv.mul ~rescale:false !ct !ct;
        ignore (Bgv.decrypt keys.Bgv.sk !ct)
      done
-   with Failure msg ->
+   with Bgv.Decryption_failure msg ->
      blew_up := true;
      let contains hay needle =
        let lh = String.length hay and ln = String.length needle in

@@ -9,6 +9,9 @@ module Trace = Sknn_obs.Trace
 module Metrics = Sknn_obs.Metrics
 module Audit = Sknn_obs.Audit
 module Ctx = Sknn_obs.Ctx
+module Flight = Sknn_obs.Flight
+module NM = Sknn_obs.Noise_model
+module Report = Sknn_obs.Report
 
 (* ------------------------------------------------------------------ *)
 (* Trace core                                                          *)
@@ -181,10 +184,11 @@ let traced_run ~jobs =
   let q = [| 10; 20; 30 |] in
   let trace = Trace.create () in
   let audit = Audit.create () in
-  let obs = Ctx.create ~trace ~audit () in
+  let flight = Flight.create () in
+  let obs = Ctx.create ~trace ~audit ~flight () in
   let dep = Protocol.deploy ~obs ~rng:(Rng.of_int 999) ~jobs (Config.standard ()) ~db in
   let r = Protocol.query ~obs ~rng:(Rng.of_int 1000) dep ~query:q ~k:3 in
-  (trace, audit, r)
+  (trace, audit, flight, r)
 
 let with_temp_file f =
   let path = Filename.temp_file "sknn_obs_test" ".json" in
@@ -197,7 +201,7 @@ let read_file path =
       really_input_string ic (in_channel_length ic))
 
 let test_sink_chrome () =
-  let trace, _, _ = traced_run ~jobs:2 in
+  let trace, _, _, _ = traced_run ~jobs:2 in
   with_temp_file (fun path ->
       let oc = open_out path in
       Trace.write trace Trace.Chrome oc;
@@ -208,7 +212,7 @@ let test_sink_chrome () =
         (contains ~sub:"\"traceEvents\"" s))
 
 let test_sink_jsonl () =
-  let trace, _, _ = traced_run ~jobs:2 in
+  let trace, _, _, _ = traced_run ~jobs:2 in
   with_temp_file (fun path ->
       let oc = open_out path in
       Trace.write trace Trace.Jsonl oc;
@@ -223,7 +227,7 @@ let test_sink_jsonl () =
         lines)
 
 let test_sink_pretty_and_format_names () =
-  let trace, _, _ = traced_run ~jobs:1 in
+  let trace, _, _, _ = traced_run ~jobs:1 in
   let s = Format.asprintf "%a" Trace.pp_tree trace in
   Alcotest.(check bool) "mentions a phase" true
     (contains ~sub:"compute-distances" s);
@@ -270,9 +274,9 @@ let audit_s a =
   Format.asprintf "%a" Audit.pp a
 
 let test_span_tree_jobs_determinism () =
-  let t1, a1, r1 = traced_run ~jobs:1 in
-  let t2, a2, r2 = traced_run ~jobs:2 in
-  let t4, a4, r4 = traced_run ~jobs:4 in
+  let t1, a1, _, r1 = traced_run ~jobs:1 in
+  let t2, a2, _, r2 = traced_run ~jobs:2 in
+  let t4, a4, _, r4 = traced_run ~jobs:4 in
   let s1 = shape t1 and s2 = shape t2 and s4 = shape t4 in
   Alcotest.(check string) "span tree: jobs 1 = jobs 2" s1 s2;
   Alcotest.(check string) "span tree: jobs 1 = jobs 4" s1 s4;
@@ -293,7 +297,7 @@ let test_span_tree_jobs_determinism () =
 let test_chunk_spans_partition () =
   (* At jobs=2 the "distance-batches" stage must carry exactly 2 chunk
      spans partitioning [0, n). *)
-  let t2, _, _ = traced_run ~jobs:2 in
+  let t2, _, _, _ = traced_run ~jobs:2 in
   let chunks = ref [] in
   let rec collect under (s : Trace.span) =
     let here = under || s.Trace.name = "distance-batches" in
@@ -414,6 +418,439 @@ let test_ctx_pool_chunks () =
    | Some u -> Alcotest.(check bool) "utilization in (0, 1.5]" true (u > 0.0 && u <= 1.5)
    | None -> Alcotest.fail "utilization gauge unset")
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flight_ring () =
+  let f = Flight.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Flight.capacity f);
+  for i = 1 to 5 do
+    Flight.record f Flight.Mark ~name:(Printf.sprintf "e%d" i) ~i ()
+  done;
+  Alcotest.(check int) "total counts every record" 5 (Flight.total f);
+  Alcotest.(check int) "dropped = total - capacity" 2 (Flight.dropped f);
+  Alcotest.(check (list string)) "oldest first, survivors only" [ "e3"; "e4"; "e5" ]
+    (List.map (fun e -> e.Flight.name) (Flight.events f));
+  Alcotest.(check bool) "timestamps monotone" true
+    (let ts = List.map (fun e -> e.Flight.ts) (Flight.events f) in
+     List.sort compare ts = ts);
+  Flight.clear f;
+  Alcotest.(check int) "clear resets total" 0 (Flight.total f);
+  Alcotest.(check int) "clear empties events" 0 (List.length (Flight.events f));
+  Alcotest.(check bool) "capacity must be positive" true
+    (try ignore (Flight.create ~capacity:0 ()); false with Invalid_argument _ -> true)
+
+let test_flight_dump () =
+  let f = Flight.create ~capacity:8 () in
+  Flight.record f Flight.Phase_enter ~name:"compute-distances" ();
+  Flight.record f Flight.Noise ~name:"masked \"dists\"" ~i:7 ~x:35.5 ();
+  Flight.record f Flight.Send ~name:"party-A->party-B" ~i:4096 ();
+  Flight.record f Flight.Phase_exit ~name:"compute-distances" ~x:0.25 ();
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Flight.dump ~run:[ ("cmd", "test"); ("weird", "a\"b\\c") ] f oc;
+      close_out oc;
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "header + one line per event" 5 (List.length lines);
+      List.iteri
+        (fun i line -> assert_valid_json (Printf.sprintf "flight line %d" i) line)
+        lines;
+      Alcotest.(check bool) "header first" true
+        (contains ~sub:"\"rec\":\"flight-header\"" (List.hd lines));
+      Alcotest.(check bool) "run kvs in header" true
+        (contains ~sub:"\"cmd\":\"test\"" (List.hd lines));
+      Alcotest.(check bool) "events tagged" true
+        (List.for_all (contains ~sub:"\"rec\":\"flight\"") (List.tl lines));
+      Alcotest.(check bool) "kind names symbolic" true
+        (contains ~sub:"\"kind\":\"phase-exit\"" (read_file path)))
+
+(* The non-Chunk flight-event stream with timestamps (and phase
+   durations) stripped: everything that must be bit-identical across
+   job counts. *)
+let flight_shape f =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      if e.Flight.kind <> Flight.Chunk then begin
+        let x =
+          match e.Flight.kind with
+          | Flight.Phase_enter | Flight.Phase_exit -> 0.0 (* wall time varies *)
+          | _ -> e.Flight.x
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s name=%s i=%d j=%d x=%.9g\n"
+             (Flight.kind_name e.Flight.kind) e.Flight.name e.Flight.i e.Flight.j x)
+      end)
+    (Flight.events f);
+  Buffer.contents buf
+
+let test_flight_stream_jobs_determinism () =
+  let _, _, f1, _ = traced_run ~jobs:1 in
+  let _, _, f2, _ = traced_run ~jobs:2 in
+  let _, _, f4, _ = traced_run ~jobs:4 in
+  let s1 = flight_shape f1 and s2 = flight_shape f2 and s4 = flight_shape f4 in
+  Alcotest.(check string) "flight stream: jobs 1 = jobs 2" s1 s2;
+  Alcotest.(check string) "flight stream: jobs 1 = jobs 4" s1 s4;
+  Alcotest.(check bool) "stream is non-trivial" true (String.length s1 > 200);
+  Alcotest.(check bool) "carries phase events" true
+    (contains ~sub:"phase-exit name=compute-distances" s1);
+  Alcotest.(check bool) "carries noise samples" true (contains ~sub:"noise name=" s1);
+  Alcotest.(check bool) "carries transcript sends" true
+    (contains ~sub:"send name=party-A->party-B" s1);
+  (* Chunk events exist but are excluded from the invariant. *)
+  let chunks f =
+    List.length (List.filter (fun e -> e.Flight.kind = Flight.Chunk) (Flight.events f))
+  in
+  Alcotest.(check bool) "chunk events recorded" true (chunks f2 > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics edge cases + Prometheus exposition                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_empty_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "lat" in
+  Alcotest.(check int) "count 0" 0 (Metrics.hist_count h);
+  Alcotest.(check (float 0.0)) "sum 0" 0.0 (Metrics.hist_sum h);
+  let rendered = Format.asprintf "%a" Metrics.pp m in
+  Alcotest.(check bool) "pp survives empty histogram" true
+    (contains ~sub:"count=0" rendered);
+  let prom = Metrics.to_prometheus m in
+  Alcotest.(check bool) "exposition has zero count" true
+    (contains ~sub:"sknn_lat_count 0" prom);
+  Alcotest.(check bool) "exposition has zero sum" true
+    (contains ~sub:"sknn_lat_sum 0" prom);
+  Alcotest.(check bool) "overflow bucket present" true
+    (contains ~sub:"sknn_lat_bucket{le=\"+Inf\"} 0" prom)
+
+let test_metrics_bucket_boundary_and_overflow () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 5.0 |] m "b" in
+  Metrics.observe h 5.0; (* exactly on the boundary: counts as <= 5 *)
+  Alcotest.(check (array int)) "boundary lands in its bucket" [| 1; 0 |]
+    (Metrics.hist_counts h);
+  Metrics.observe h 5.000001;
+  Metrics.observe h 1e12;
+  Alcotest.(check (array int)) "everything above goes to overflow" [| 1; 2 |]
+    (Metrics.hist_counts h);
+  Alcotest.(check int) "count includes overflow" 3 (Metrics.hist_count h)
+
+let test_metrics_kind_mismatch () =
+  let m = Metrics.create () in
+  ignore (Metrics.gauge m "g");
+  List.iter
+    (fun (label, f) ->
+      Alcotest.(check bool) label true
+        (try f (); false with Invalid_argument _ -> true))
+    [ ("gauge as counter", fun () -> ignore (Metrics.counter m "g"));
+      ("gauge as histogram", fun () -> ignore (Metrics.histogram m "g"));
+      ("counter as gauge",
+       fun () ->
+         ignore (Metrics.counter m "c");
+         ignore (Metrics.gauge m "c")) ]
+
+let test_metrics_prometheus_golden () =
+  let build () =
+    let m = Metrics.create () in
+    Metrics.inc ~by:3 (Metrics.counter m "queries");
+    Metrics.set (Metrics.gauge m "pool/work.utilization") 0.75;
+    ignore (Metrics.gauge m "unset"); (* unset gauges are omitted *)
+    let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "lat" in
+    List.iter (Metrics.observe h) [ 0.5; 10.0; 99.0 ];
+    m
+  in
+  let expected =
+    String.concat "\n"
+      [ "# TYPE sknn_lat histogram";
+        "sknn_lat_bucket{le=\"1\"} 1";
+        "sknn_lat_bucket{le=\"10\"} 2";
+        "sknn_lat_bucket{le=\"+Inf\"} 3";
+        "sknn_lat_sum 109.5";
+        "sknn_lat_count 3";
+        "# TYPE sknn_pool_work_utilization gauge";
+        "sknn_pool_work_utilization 0.75";
+        "# TYPE sknn_queries_total counter";
+        "sknn_queries_total 3";
+        "" ]
+  in
+  Alcotest.(check string) "golden exposition" expected
+    (Metrics.to_prometheus (build ()));
+  (* Deterministic: registration order does not matter, repeated export
+     is stable. *)
+  let m2 = Metrics.create () in
+  let h2 = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m2 "lat" in
+  Metrics.set (Metrics.gauge m2 "pool/work.utilization") 0.75;
+  ignore (Metrics.gauge m2 "unset");
+  Metrics.inc ~by:3 (Metrics.counter m2 "queries");
+  List.iter (Metrics.observe h2) [ 99.0; 0.5; 10.0 ];
+  Alcotest.(check string) "order-independent" expected (Metrics.to_prometheus m2);
+  Alcotest.(check string) "repeat export identical" (Metrics.to_prometheus m2)
+    (Metrics.to_prometheus m2)
+
+(* Every exposition line is `# TYPE <name> <kind>` or `<name>[{...}] <num>`
+   with names in [a-zA-Z0-9_] — the subset of the Prometheus text format
+   we emit. *)
+let test_metrics_prometheus_grammar () =
+  let m = Metrics.create () in
+  Metrics.inc (Metrics.counter m "bgv.mul/total");
+  Metrics.set (Metrics.gauge m "noise min headroom") 35.75;
+  let h = Metrics.histogram m "phase.compute-distances.seconds" in
+  Metrics.observe h 0.123;
+  let name_ok name =
+    name <> ""
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+         name
+  in
+  let check_line line =
+    if line = "" then ()
+    else if String.length line > 7 && String.sub line 0 7 = "# TYPE " then begin
+      match String.split_on_char ' ' line with
+      | [ "#"; "TYPE"; name; kind ] ->
+        Alcotest.(check bool) ("type name ok: " ^ name) true (name_ok name);
+        Alcotest.(check bool) ("kind ok: " ^ kind) true
+          (List.mem kind [ "counter"; "gauge"; "histogram" ])
+      | _ -> Alcotest.failf "bad TYPE line: %s" line
+    end
+    else
+      match String.index_opt line ' ' with
+      | None -> Alcotest.failf "sample line without value: %s" line
+      | Some sp ->
+        let name_part = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        let bare =
+          match String.index_opt name_part '{' with
+          | Some b ->
+            Alcotest.(check bool) ("labels closed: " ^ name_part) true
+              (name_part.[String.length name_part - 1] = '}');
+            String.sub name_part 0 b
+          | None -> name_part
+        in
+        Alcotest.(check bool) ("metric name ok: " ^ bare) true (name_ok bare);
+        Alcotest.(check bool) ("numeric value: " ^ value) true
+          (match float_of_string_opt value with Some _ -> true | None -> false)
+  in
+  let prom = Metrics.to_prometheus m in
+  List.iter check_line (String.split_on_char '\n' prom);
+  Alcotest.(check bool) "sanitized counter name" true
+    (contains ~sub:"sknn_bgv_mul_total_total 1" prom)
+
+(* ------------------------------------------------------------------ *)
+(* Trace indexed paths (--trace under --repeat)                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_indexed_path () =
+  List.iter
+    (fun (path, i, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "indexed_path %S %d" path i)
+        expected
+        (Trace.indexed_path path i))
+    [ ("trace.json", 0, "trace.json");
+      ("trace.json", 2, "trace.2.json");
+      ("out/run.jsonl", 3, "out/run.3.jsonl");
+      ("noext", 1, "noext.1");
+      ("dir.d/noext", 1, "dir.d/noext.1");
+      ("a.b.c", 4, "a.b.4.c") ]
+
+(* ------------------------------------------------------------------ *)
+(* Noise model: forecaster vs the live scheme                          *)
+(* ------------------------------------------------------------------ *)
+
+let nm_of_params (p : Params.t) =
+  let lg x = log x /. log 2.0 in
+  { NM.n = p.Params.n;
+    t_bits = lg (Int64.to_float p.Params.t_plain);
+    moduli_bits = Array.map (fun m -> lg (float_of_int m)) p.Params.moduli;
+    eta = float_of_int p.Params.eta }
+
+let test_noise_model_matches_bgv () =
+  List.iter
+    (fun (label, p) ->
+      let nm = nm_of_params p in
+      let close msg a b =
+        Alcotest.(check (float 1e-6)) (label ^ ": " ^ msg) a b
+      in
+      close "fresh noise" (Bgv.fresh_noise_bits p) (NM.fresh_noise_bits nm);
+      for d = 1 to 2 do
+        close
+          (Printf.sprintf "switch floor (degree %d)" d)
+          (Bgv.switch_floor_bits p d)
+          (NM.switch_floor_bits nm ~degree:d)
+      done;
+      for lvl = 1 to Params.chain_length p do
+        close
+          (Printf.sprintf "log2 q at level %d" lvl)
+          (Bgv.log2_q_at_level p lvl)
+          (NM.log2_q nm ~level:lvl)
+      done)
+    [ ("standard", (Config.standard ()).Config.bgv);
+      ("fast", (Config.fast ()).Config.bgv);
+      ("toy", Params.toy ()) ]
+
+let test_noise_model_ops () =
+  let nm = nm_of_params (Config.standard ()).Config.bgv in
+  let fresh = NM.fresh nm in
+  Alcotest.(check int) "fresh at top level" (NM.chain_length nm) fresh.NM.level;
+  Alcotest.(check bool) "fresh headroom positive" true (NM.headroom nm fresh > 0.0);
+  let sum = NM.add fresh fresh in
+  Alcotest.(check bool) "add grows noise" true (sum.NM.bits > fresh.NM.bits);
+  Alcotest.(check bool) "add is one bit at equal operands" true
+    (abs_float (sum.NM.bits -. (fresh.NM.bits +. 1.0)) < 1e-9);
+  let prod = NM.mul nm fresh fresh in
+  Alcotest.(check bool) "mul grows fast" true (prod.NM.bits > sum.NM.bits);
+  Alcotest.(check int) "mul raises degree" 2 prod.NM.degree;
+  let ip = NM.mul_sum nm fresh fresh ~terms:8 in
+  Alcotest.(check bool) "mul_sum ~ one product + log2 terms" true
+    (abs_float (ip.NM.bits -. (prod.NM.bits +. 3.0)) < 1e-9);
+  let tr = NM.truncate prod ~level:2 in
+  Alcotest.(check int) "truncate drops level" 2 tr.NM.level;
+  Alcotest.(check (float 1e-9)) "truncate keeps noise" prod.NM.bits tr.NM.bits;
+  let rs = NM.rescale_to_floor nm prod in
+  Alcotest.(check bool) "rescale reduces noise" true (rs.NM.bits < prod.NM.bits);
+  Alcotest.(check bool) "percentile guard" true
+    (try ignore (Report.percentile [||] 50.0); false with Invalid_argument _ -> true)
+
+let test_forecast_default_is_quiet () =
+  let db = Synthetic.uniform (Rng.of_int 5) ~n:8 ~d:3 ~max_value:50 in
+  let audit = Audit.create () in
+  let flight = Flight.create () in
+  let obs = Ctx.create ~audit ~flight () in
+  let dep = Protocol.deploy ~obs ~rng:(Rng.of_int 7) ~jobs:1 (Config.fast ()) ~db in
+  let report = Entities.Party_a.forecast_noise (Protocol.party_a dep) in
+  Alcotest.(check bool) "steps recorded" true (List.length report.NM.steps > 5);
+  Alcotest.(check bool) "default preset clears the margin" false
+    report.NM.below_margin;
+  Alcotest.(check bool) "positive minimum headroom" true
+    (report.NM.min_headroom_bits > report.NM.margin_bits);
+  Protocol.prepare ~obs dep;
+  (match
+     Audit.value_of audit ~party:"party-a" ~label:"noise-min-headroom-bits"
+   with
+   | Some (Audit.Float v) ->
+     Alcotest.(check (float 1e-6)) "audit records the forecast minimum"
+       report.NM.min_headroom_bits v
+   | _ -> Alcotest.fail "expected the noise-min-headroom-bits audit entry");
+  Alcotest.(check bool) "no warning entry" true
+    (Audit.value_of audit ~party:"party-a" ~label:"noise-low-headroom-warning" = None);
+  Alcotest.(check bool) "no warning flight event" true
+    (List.for_all (fun e -> e.Flight.kind <> Flight.Warning) (Flight.events flight));
+  (* A live prepared query agrees with the positive forecast. *)
+  let r = Protocol.query_prepared ~obs ~rng:(Rng.of_int 8) dep ~query:[| 1; 2; 3 |] ~k:2 in
+  Alcotest.(check int) "query succeeds" 2 (Array.length r.Protocol.neighbours)
+
+let test_forecast_shallow_chain_warns () =
+  (* Three 30-bit primes cannot absorb the prepared circuit: the
+     forecaster must warn at prepare time instead of letting the query
+     die mid-flight. *)
+  let shallow =
+    let bgv =
+      Params.create ~name:"shallow-obs-test" ~n:64 ~plain_bits:50 ~prime_bits:30
+        ~chain_len:3 ()
+    in
+    { (Config.fast ()) with Config.bgv; return_level = 2 }
+  in
+  (match Config.validate shallow ~d:3 with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "shallow config should be structurally valid: %s" e);
+  let db = Synthetic.uniform (Rng.of_int 5) ~n:8 ~d:3 ~max_value:50 in
+  let audit = Audit.create () in
+  let flight = Flight.create () in
+  let obs = Ctx.create ~audit ~flight () in
+  let dep = Protocol.deploy ~obs ~rng:(Rng.of_int 7) ~jobs:1 shallow ~db in
+  let report = Entities.Party_a.forecast_noise (Protocol.party_a dep) in
+  Alcotest.(check bool) "below margin" true report.NM.below_margin;
+  Alcotest.(check bool) "headroom below margin" true
+    (report.NM.min_headroom_bits < report.NM.margin_bits);
+  let rendered = Format.asprintf "%a" NM.pp_report report in
+  Alcotest.(check bool) "report renders the verdict" true
+    (contains ~sub:"BELOW MARGIN" rendered);
+  Protocol.prepare ~obs dep;
+  (match
+     Audit.value_of audit ~party:"party-a" ~label:"noise-low-headroom-warning"
+   with
+   | Some (Audit.Str s) ->
+     Alcotest.(check bool) "warning carries the forecast" true
+       (contains ~sub:"min headroom" s)
+   | _ -> Alcotest.fail "expected the noise-low-headroom-warning audit entry");
+  Alcotest.(check bool) "warning flight event recorded" true
+    (List.exists
+       (fun e ->
+         e.Flight.kind = Flight.Warning && e.Flight.name = "noise-low-headroom")
+       (Flight.events flight))
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_percentiles () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 0.0)) "p50 of 4" 2.0 (Report.percentile a 50.0);
+  Alcotest.(check (float 0.0)) "p95 of 4" 4.0 (Report.percentile a 95.0);
+  Alcotest.(check (float 0.0)) "p25 of 4" 1.0 (Report.percentile a 25.0);
+  let one = [| 7.5 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0)) (Printf.sprintf "p%.0f of singleton" p) 7.5
+        (Report.percentile one p))
+    [ 50.0; 95.0; 99.0 ]
+
+let test_report_tables () =
+  let trace, _, flight, _ = traced_run ~jobs:2 in
+  let t = Report.create () in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Trace.write trace Trace.Jsonl oc;
+      close_out oc;
+      Report.add_file t path);
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Flight.dump ~run:[ ("cmd", "test") ] flight oc;
+      close_out oc;
+      Report.add_file t path);
+  Alcotest.(check bool) "lines read" true (Report.lines t > 10);
+  Alcotest.(check int) "nothing skipped" 0 (Report.skipped t);
+  let phases = Report.phases t in
+  let phase r = r.Report.phase in
+  Alcotest.(check bool) "compute-distances aggregated" true
+    (List.exists (fun r -> phase r = "compute-distances") phases);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (phase r ^ ": percentiles ordered") true
+        (r.Report.p50_s <= r.Report.p95_s
+         && r.Report.p95_s <= r.Report.p99_s
+         && r.Report.p99_s <= r.Report.max_s);
+      (* jsonl trace + flight dump both carry the phase: 2+ samples *)
+      Alcotest.(check bool) (phase r ^ ": both sources merged") true
+        (r.Report.samples >= 2))
+    phases;
+  let links = Report.links t in
+  (match List.find_opt (fun l -> l.Report.link = "party-A->party-B") links with
+   | Some l ->
+     Alcotest.(check bool) "A->B sends counted" true (l.Report.sends >= 1);
+     Alcotest.(check bool) "A->B bytes positive" true (l.Report.bytes > 0)
+   | None -> Alcotest.fail "expected a party-A->party-B link row");
+  Alcotest.(check bool) "noise table populated" true
+    (List.length (Report.noise_margins t) > 0);
+  List.iter
+    (fun r -> Alcotest.(check bool) "noise min <= mean" true
+        (r.Report.min_bits <= r.Report.mean_bits +. 1e-9))
+    (Report.noise_margins t);
+  let rendered = Format.asprintf "%a" Report.pp t in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("report mentions " ^ sub) true (contains ~sub rendered))
+    [ "phase"; "p50"; "p95"; "p99"; "compute-distances"; "party-A->party-B";
+      "noise headroom" ];
+  (* Garbage lines are counted, not fatal. *)
+  Report.add_line t "not json at all {";
+  Alcotest.(check int) "garbage skipped" 1 (Report.skipped t)
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -427,12 +864,34 @@ let () =
          Alcotest.test_case "pretty + formats" `Quick test_sink_pretty_and_format_names ]);
       ("determinism",
        [ Alcotest.test_case "span tree across jobs" `Quick test_span_tree_jobs_determinism;
+         Alcotest.test_case "flight stream across jobs" `Quick
+           test_flight_stream_jobs_determinism;
          Alcotest.test_case "chunk partition" `Quick test_chunk_spans_partition ]);
+      ("flight",
+       [ Alcotest.test_case "ring buffer" `Quick test_flight_ring;
+         Alcotest.test_case "dump" `Quick test_flight_dump ]);
       ("metrics",
        [ Alcotest.test_case "counter + gauge" `Quick test_metrics_counter_gauge;
          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+         Alcotest.test_case "empty histogram" `Quick test_metrics_empty_histogram;
+         Alcotest.test_case "bucket boundary + overflow" `Quick
+           test_metrics_bucket_boundary_and_overflow;
+         Alcotest.test_case "kind mismatch" `Quick test_metrics_kind_mismatch;
+         Alcotest.test_case "prometheus golden" `Quick test_metrics_prometheus_golden;
+         Alcotest.test_case "prometheus grammar" `Quick test_metrics_prometheus_grammar;
          Alcotest.test_case "names sorted" `Quick test_metrics_names_sorted ]);
+      ("noise model",
+       [ Alcotest.test_case "matches the live scheme" `Quick
+           test_noise_model_matches_bgv;
+         Alcotest.test_case "operation algebra" `Quick test_noise_model_ops;
+         Alcotest.test_case "default preset quiet" `Quick test_forecast_default_is_quiet;
+         Alcotest.test_case "shallow chain warns" `Quick
+           test_forecast_shallow_chain_warns ]);
+      ("report",
+       [ Alcotest.test_case "percentiles" `Quick test_report_percentiles;
+         Alcotest.test_case "tables" `Quick test_report_tables ]);
       ("audit", [ Alcotest.test_case "basics" `Quick test_audit_basics ]);
       ("ctx",
        [ Alcotest.test_case "disabled" `Quick test_ctx_disabled;
-         Alcotest.test_case "pool chunks" `Quick test_ctx_pool_chunks ]) ]
+         Alcotest.test_case "pool chunks" `Quick test_ctx_pool_chunks;
+         Alcotest.test_case "indexed trace paths" `Quick test_trace_indexed_path ]) ]
