@@ -1,0 +1,40 @@
+(* sknn-lint: enforce the secure-kNN codebase invariants at build time.
+
+     sknn_lint [--list-rules] [PATH ...]
+
+   Each PATH is a file or a directory (walked recursively; every
+   directory is governed by its own sknn-lint.conf, falling back to the
+   built-in base profile).  With no PATH, lints ./lib.  Exit status is
+   non-zero when any diagnostic or parse error is produced, so
+   `dune build @lint` fails the build on a rule violation. *)
+
+let usage () =
+  prerr_endline "usage: sknn_lint [--list-rules] [PATH ...]";
+  exit 2
+
+let list_rules () =
+  List.iter
+    (fun r -> print_endline (Lint_config.rule_name r))
+    Lint_config.all_rules
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then usage ();
+  if List.mem "--list-rules" args then list_rules ()
+  else begin
+    let paths = match args with [] -> [ "lib" ] | ps -> ps in
+    List.iter
+      (fun p ->
+        if not (Sys.file_exists p) then begin
+          Printf.eprintf "sknn_lint: no such path: %s\n" p;
+          exit 2
+        end)
+      paths;
+    match Lint_driver.run_paths paths with
+    | outcome ->
+      Format.printf "%a@?" Lint_driver.pp_outcome outcome;
+      if not (Lint_driver.ok outcome) then exit 1
+    | exception Lint_config.Bad_config msg ->
+      Printf.eprintf "sknn_lint: bad configuration: %s\n" msg;
+      exit 2
+  end

@@ -1,0 +1,143 @@
+(* Configuration for the sknn-lint invariant rules.
+
+   Rules are enabled per directory: a built-in base profile (the checks
+   that are sound everywhere) refined by an optional [sknn-lint.conf]
+   file in the linted directory.  The file is line-oriented:
+
+     # comment
+     enable no-division
+     disable into-aliasing
+     allow-label masked-distance-multiset
+     taint-root s_powers
+     declassify Leakage.
+     obs-module Otrace
+     check-poly-compare
+
+   Every knob is additive and order-independent, so configuration stays
+   reviewable next to the code it governs.  The escape hatch for single
+   sites is the [@sknn.allow "<rule>"] attribute, handled by the rule
+   walkers themselves (see {!Lint_rules}). *)
+
+type rule =
+  | No_division
+  | Secret_taint
+  | Orchestrator_only_obs
+  | No_ambient_nondeterminism
+  | Into_aliasing
+
+let all_rules =
+  [ No_division;
+    Secret_taint;
+    Orchestrator_only_obs;
+    No_ambient_nondeterminism;
+    Into_aliasing ]
+
+let rule_name = function
+  | No_division -> "no-division"
+  | Secret_taint -> "secret-taint"
+  | Orchestrator_only_obs -> "orchestrator-only-obs"
+  | No_ambient_nondeterminism -> "no-ambient-nondeterminism"
+  | Into_aliasing -> "into-aliasing"
+
+let rule_of_name = function
+  | "no-division" -> Some No_division
+  | "secret-taint" -> Some Secret_taint
+  | "orchestrator-only-obs" -> Some Orchestrator_only_obs
+  | "no-ambient-nondeterminism" -> Some No_ambient_nondeterminism
+  | "into-aliasing" -> Some Into_aliasing
+  | _ -> None
+
+type t = {
+  enabled : rule list;
+  (* secret-taint: identifier and record-field names that carry secret
+     material (BGV secret key, decrypted distances, Perm, masking
+     coefficients). *)
+  taint_roots : string list;
+  (* secret-taint: sink calls whose ~label is a string literal in this
+     set are the admitted §5 leakage surface — kept in lockstep with
+     test_core's audit assertion. *)
+  allowed_labels : string list;
+  (* secret-taint: module prefixes whose results are considered
+     declassified (e.g. "Leakage." — the §5 extraction functions). *)
+  declassifiers : string list;
+  (* orchestrator-only-obs: module heads whose calls are observability
+     and must stay out of pool chunk closures. *)
+  obs_modules : string list;
+  (* no-ambient-nondeterminism: also flag polymorphic compare /
+     Hashtbl.hash (ciphertext-bearing directories only). *)
+  check_poly_compare : bool;
+}
+
+let base =
+  { enabled = [ Orchestrator_only_obs; No_ambient_nondeterminism; Into_aliasing ];
+    taint_roots =
+      [ "sk"; "secret_key"; "s_coeffs"; "s_powers"; "perm"; "mask"; "masked";
+        "masked_distances"; "view" ];
+    allowed_labels = [];
+    declassifiers = [ "Leakage." ];
+    obs_modules =
+      [ "Obs"; "Ctx"; "Trace"; "Otrace"; "Flight"; "Metrics"; "Audit"; "Sknn_obs" ];
+    check_poly_compare = false }
+
+let enable r t = if List.mem r t.enabled then t else { t with enabled = r :: t.enabled }
+let disable r t = { t with enabled = List.filter (fun r' -> r' <> r) t.enabled }
+let is_enabled t r = List.mem r t.enabled
+
+exception Bad_config of string
+
+let apply_line t line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then t
+  else
+    let directive, arg =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line i (String.length line - i)) )
+    in
+    let rule_arg () =
+      match rule_of_name arg with
+      | Some r -> r
+      | None -> raise (Bad_config (Printf.sprintf "unknown rule %S" arg))
+    in
+    let need_arg () =
+      if arg = "" then
+        raise (Bad_config (Printf.sprintf "%s needs an argument" directive))
+    in
+    match directive with
+    | "enable" -> enable (rule_arg ()) t
+    | "disable" -> disable (rule_arg ()) t
+    | "taint-root" -> need_arg (); { t with taint_roots = arg :: t.taint_roots }
+    | "allow-label" -> need_arg (); { t with allowed_labels = arg :: t.allowed_labels }
+    | "declassify" -> need_arg (); { t with declassifiers = arg :: t.declassifiers }
+    | "obs-module" -> need_arg (); { t with obs_modules = arg :: t.obs_modules }
+    | "check-poly-compare" -> { t with check_poly_compare = true }
+    | d -> raise (Bad_config (Printf.sprintf "unknown directive %S" d))
+
+let of_lines ?(base = base) lines = List.fold_left apply_line base lines
+
+let config_file_name = "sknn-lint.conf"
+
+(* The directory's configuration: [base] refined by [sknn-lint.conf]
+   when present.  Raises [Bad_config] on malformed directives so a typo
+   fails the lint run instead of silently disabling a rule. *)
+let for_dir dir =
+  let path = Filename.concat dir config_file_name in
+  if not (Sys.file_exists path) then base
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    try of_lines (List.rev !lines)
+    with Bad_config msg -> raise (Bad_config (Printf.sprintf "%s: %s" path msg))
+  end

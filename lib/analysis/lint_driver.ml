@@ -1,0 +1,93 @@
+(* File and directory driver for sknn-lint: parse every .ml with
+   ppxlib's pinned-AST parser (so the linter behaves identically on
+   every host compiler), resolve the per-directory configuration and
+   run the invariant pass.  All listings are sorted, so the output is
+   byte-stable across runs and machines — test_lint asserts this. *)
+
+type outcome = {
+  files : int;
+  diagnostics : Lint_rules.diagnostic list;
+  errors : string list; (* unparsable files: reported and counted as failures *)
+}
+
+let empty = { files = 0; diagnostics = []; errors = [] }
+
+let merge a b =
+  { files = a.files + b.files;
+    diagnostics = a.diagnostics @ b.diagnostics;
+    errors = a.errors @ b.errors }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Lexing.set_filename lexbuf path;
+      Ppxlib.Parse.implementation lexbuf)
+
+let run_file ~config path =
+  match parse_file path with
+  | str ->
+    { files = 1;
+      diagnostics = Lint_rules.run_structure ~config ~file:path str;
+      errors = [] }
+  | exception exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    { files = 1;
+      diagnostics = [];
+      errors = [ Printf.sprintf "%s: parse error: %s" path (String.trim msg) ] }
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+(* One directory, non-recursive: its own sknn-lint.conf (or the base
+   profile) governs every .ml directly inside it. *)
+let run_dir dir =
+  let config = Lint_config.for_dir dir in
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.fold_left
+    (fun acc name ->
+      let path = Filename.concat dir name in
+      if (not (Sys.is_directory path)) && is_ml name then
+        merge acc (run_file ~config path)
+      else acc)
+    empty entries
+
+let rec subdirs_of dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  dir
+  :: Array.fold_left
+       (fun acc name ->
+         let path = Filename.concat dir name in
+         if Sys.is_directory path && name <> "_build" && name.[0] <> '.' then
+           acc @ subdirs_of path
+         else acc)
+       [] entries
+
+let run_path path =
+  if Sys.is_directory path then
+    List.fold_left (fun acc d -> merge acc (run_dir d)) empty (subdirs_of path)
+  else run_file ~config:(Lint_config.for_dir (Filename.dirname path)) path
+
+let run_paths paths = List.fold_left (fun acc p -> merge acc (run_path p)) empty paths
+
+let pp_outcome ppf o =
+  List.iter (fun e -> Format.fprintf ppf "%s@." e) (List.sort compare o.errors);
+  List.iter
+    (fun d -> Format.fprintf ppf "%a@." Lint_rules.pp_diagnostic d)
+    (List.sort Lint_rules.compare_diagnostic o.diagnostics);
+  Format.fprintf ppf "sknn-lint: %d file%s, %d diagnostic%s%s@." o.files
+    (if o.files = 1 then "" else "s")
+    (List.length o.diagnostics)
+    (if List.length o.diagnostics = 1 then "" else "s")
+    (match o.errors with
+     | [] -> ""
+     | es -> Printf.sprintf ", %d parse error(s)" (List.length es))
+
+let ok o = o.diagnostics = [] && o.errors = []

@@ -1,0 +1,405 @@
+(* The five secure-kNN invariant rules as one syntactic pass over a
+   parsed implementation.  Everything here is deliberately *syntactic*:
+   the linter runs at `dune build @lint` time on source files, without
+   type information, so each rule over-approximates and the
+   [@sknn.allow "<rule>"] attribute (on an expression, a value binding
+   or floating at module level) is the reviewed escape hatch for sites
+   the over-approximation catches legitimately.
+
+   Rule <-> invariant map (see DESIGN.md "Static analysis"):
+   - no-division            ROADMAP "Kernel invariants (PR 3)"
+   - secret-taint           §5 leakage surface / ROADMAP PR 2 audit set
+   - orchestrator-only-obs  ROADMAP PR 2/PR 4 orchestrator-only spans
+   - no-ambient-nondeterminism  bit-identical across --jobs (PR 1)
+   - into-aliasing          PR 3 "destructive targets uniquely owned" *)
+
+open Ppxlib
+
+type diagnostic = {
+  rule : Lint_config.rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let compare_diagnostic a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = compare (Lint_config.rule_name a.rule) (Lint_config.rule_name b.rule) in
+        if c <> 0 then c else compare a.message b.message
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col
+    (Lint_config.rule_name d.rule) d.message
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let flatten_lident l = String.concat "." (Longident.flatten_exn l)
+
+let last_lident l =
+  match Longident.flatten_exn l with
+  | [] -> ""
+  | parts -> List.nth parts (List.length parts - 1)
+
+let head_lident l = match Longident.flatten_exn l with [] -> "" | h :: _ -> h
+
+(* [@sknn.allow "rule"] payloads attached to an attribute list. *)
+let allows_of_attributes attrs =
+  List.filter_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "sknn.allow" then None
+      else
+        match a.attr_payload with
+        | PStr
+            [ { pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _ }
+            ] ->
+          Some s
+        | _ -> None)
+    attrs
+
+(* Normalised one-line rendering, used for syntactic equality of
+   aliasing checks and for quoting expressions in messages. *)
+let expr_to_string e =
+  let s = Pprintast.string_of_expression e in
+  String.concat " "
+    (List.filter (fun w -> w <> "") (String.split_on_char ' '
+       (String.map (function '\n' | '\t' -> ' ' | c -> c) s)))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern tables                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let division_idents =
+  [ "/"; "mod"; "/."; "Stdlib./"; "Stdlib.mod"; "Stdlib./."; "Int64.div";
+    "Int64.rem"; "Int64.unsigned_div"; "Int64.unsigned_rem"; "Float.div";
+    "Float.rem"; "Int32.div"; "Int32.rem"; "Nativeint.div"; "Nativeint.rem" ]
+
+let wall_clock_idents =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime";
+    "Sys.time" ]
+
+let poly_compare_idents =
+  [ "compare"; "Stdlib.compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
+
+let pool_call_names = [ "map"; "mapi"; "map_local"; "init" ]
+
+let is_pool_call lid =
+  List.mem (last_lident lid) pool_call_names
+  &&
+  match Longident.flatten_exn lid with
+  | [ "Pool"; _ ] | [ "Util"; "Pool"; _ ] -> true
+  | _ -> false
+
+let is_arena_fn name lid =
+  match Longident.flatten_exn lid with
+  | [ "Arena"; f ] | [ "Util"; "Arena"; f ] -> f = name
+  | _ -> false
+
+(* Sinks for the secret-taint rule.  [`All] checks every argument,
+   [`Labelled l] only the given labelled arguments; a string-literal
+   [~label] in the configured allowlist exempts the whole call (the
+   admitted §5 surface). *)
+let sink_of_application config lid =
+  let last = last_lident lid in
+  let head = head_lident lid in
+  let obs_head = List.mem head config.Lint_config.obs_modules in
+  if (obs_head && (last = "audit" || last = "observe" || last = "warn"))
+     || flatten_lident lid = "Audit.observe"
+  then Some `All
+  else if last = "send" && (head = "Transcript" || head = "Netsim") then Some `All
+  else if last = "send_tracked" || last = "record_send" then Some `All
+  else if obs_head && last = "with_span" then Some (`Labelled [ "args" ])
+  else if
+    (head = "Printf" || head = "Format")
+    (* sprintf-style builders only *construct* strings; if the result
+       reaches an output sink, taint propagation through the binding
+       catches it there. *)
+    && not (List.mem last [ "sprintf"; "asprintf"; "ksprintf"; "kasprintf" ])
+  then Some `All
+  else if head = "Metrics" && (last = "set" || last = "observe") then Some `All
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_structure ~(config : Lint_config.t) ~file str =
+  let diags = ref [] in
+  let file_allows = ref [] in
+  let enabled r = Lint_config.is_enabled config r in
+  (* Scoped [@sknn.allow] context, restored around each subtree. *)
+  let allows = ref [] in
+  let allowed rule = List.mem (Lint_config.rule_name rule) (!allows @ !file_allows) in
+  let report rule loc fmt =
+    Format.kasprintf
+      (fun message ->
+        if enabled rule && not (allowed rule) then
+          diags :=
+            { rule;
+              file;
+              line = loc.loc_start.pos_lnum;
+              col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+              message }
+            :: !diags)
+      fmt
+  in
+  (* secret-taint state: names bound (directly or via record fields) to
+     secret material.  Monotone over the file — a deliberate
+     over-approximation that keeps the pass single-scan. *)
+  let tainted = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace tainted r ()) config.Lint_config.taint_roots;
+  let is_declassifier lid =
+    let s = flatten_lident lid in
+    List.exists
+      (fun prefix ->
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix)
+      config.Lint_config.declassifiers
+  in
+  (* First tainted identifier/field mentioned in [e], skipping
+     declassifier applications. *)
+  let taint_mention e =
+    let found = ref None in
+    let scan =
+      object (self)
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          if !found <> None then ()
+          else
+            match e.pexp_desc with
+            | Pexp_ident { txt; _ } when Hashtbl.mem tainted (last_lident txt) ->
+              found := Some (flatten_lident txt)
+            | Pexp_field (inner, { txt; _ })
+              when Hashtbl.mem tainted (last_lident txt) ->
+              found := Some ("." ^ last_lident txt);
+              self#expression inner
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+              when is_declassifier txt ->
+              () (* declassified: the §5 extraction surface *)
+            | _ -> super#expression e
+      end
+    in
+    scan#expression e;
+    !found
+  in
+  let pattern_names p =
+    let names = ref [] in
+    let scan =
+      object
+        inherit Ast_traverse.iter as super
+
+        method! pattern p =
+          (match p.ppat_desc with
+           | Ppat_var { txt; _ } -> names := txt :: !names
+           | _ -> ());
+          super#pattern p
+      end
+    in
+    scan#pattern p;
+    !names
+  in
+  let is_function e = match e.pexp_desc with Pexp_function _ -> true | _ -> false in
+  let propagate_taint vb =
+    if enabled Lint_config.Secret_taint && not (is_function vb.pvb_expr) then
+      match taint_mention vb.pvb_expr with
+      | Some _ -> List.iter (fun n -> Hashtbl.replace tainted n ()) (pattern_names vb.pvb_pat)
+      | None -> ()
+  in
+  (* A [~label] argument that is a string literal, or a sprintf whose
+     format string is a literal: the format string stands for the label
+     in the allowlist ("iteration %d: masked distance rows"), since the
+     varying hole is a public message index. *)
+  let string_of_label_expr e =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt; _ }; _ },
+          (Nolabel, { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ })
+          :: _ )
+      when List.mem (flatten_lident txt)
+             [ "Printf.sprintf"; "Format.sprintf"; "Format.asprintf"; "sprintf" ]
+      ->
+      Some s
+    | _ -> None
+  in
+  let literal_label args =
+    List.find_map
+      (function Labelled "label", e -> string_of_label_expr e | _ -> None)
+      args
+  in
+  (* orchestrator-only-obs: > 0 while inside a function argument of a
+     pool call, i.e. syntactically inside a chunk closure. *)
+  let pool_depth = ref 0 in
+  let walker =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method! value_binding vb =
+        let saved = !allows in
+        allows := allows_of_attributes vb.pvb_attributes @ saved;
+        propagate_taint vb;
+        super#value_binding vb;
+        allows := saved
+
+      method! expression e =
+        let saved = !allows in
+        allows := allows_of_attributes e.pexp_attributes @ saved;
+        (match e.pexp_desc with
+         | Pexp_ident { txt; loc } ->
+           let name = flatten_lident txt in
+           if List.mem name division_idents then
+             report Lint_config.No_division loc
+               "division operator %s in a ring-kernel directory (kernels are \
+                division-free; whitelist precompute/fallback sites with \
+                [@sknn.allow \"no-division\"])"
+               name;
+           if head_lident txt = "Random" then
+             report Lint_config.No_ambient_nondeterminism loc
+               "stdlib Random (%s) breaks bit-identical results across --jobs; \
+                use Util.Rng streams"
+               name;
+           if List.mem name wall_clock_idents then
+             report Lint_config.No_ambient_nondeterminism loc
+               "wall-clock read %s outside Util.Timer/lib/obs" name;
+           if config.Lint_config.check_poly_compare
+              && List.mem name poly_compare_idents
+           then
+             report Lint_config.No_ambient_nondeterminism loc
+               "polymorphic %s in a ciphertext-bearing directory; use a \
+                monomorphic comparison (Int.compare, Int64.compare, ...)"
+               name;
+           if !pool_depth > 0
+              && List.mem (head_lident txt) config.Lint_config.obs_modules
+           then
+             report Lint_config.Orchestrator_only_obs loc
+               "observability call %s inside a Pool chunk closure — spans, \
+                flight events and metrics are orchestrator-only (replayed \
+                post-join via with_chunk_observer)"
+               name
+         | _ -> ());
+        (match e.pexp_desc with
+         | Pexp_apply (({ pexp_desc = Pexp_ident { txt = fn; loc = fn_loc }; _ } as f), args) ->
+           (* into-aliasing: Rq destructive variants with dst = src. *)
+           (if String.length (last_lident fn) > 5
+               && Filename.check_suffix (last_lident fn) "_into"
+               && (head_lident fn = "Rq" || head_lident fn = "Ring")
+            then
+              match List.filter_map (function Nolabel, a -> Some a | _ -> None) args with
+              | dst :: srcs when srcs <> [] ->
+                let dst_s = expr_to_string dst in
+                List.iter
+                  (fun src ->
+                    if expr_to_string src = dst_s then
+                      report Lint_config.Into_aliasing fn_loc
+                        "%s called with syntactically identical destination and \
+                         source (%s): destructive targets must be uniquely owned"
+                        (flatten_lident fn) dst_s)
+                  srcs
+              | _ -> ());
+           (* secret-taint sinks. *)
+           (match sink_of_application config fn with
+            | None -> ()
+            | Some mode ->
+              let exempt =
+                match literal_label args with
+                | Some l -> List.mem l config.Lint_config.allowed_labels
+                | None -> false
+              in
+              if not exempt then begin
+                let checked =
+                  match mode with
+                  | `All -> List.map snd args
+                  | `Labelled names ->
+                    List.filter_map
+                      (function
+                        | Labelled l, a when List.mem l names -> Some a
+                        | _ -> None)
+                      args
+                in
+                List.iter
+                  (fun a ->
+                    match taint_mention a with
+                    | Some who ->
+                      report Lint_config.Secret_taint fn_loc
+                        "secret-carrying identifier %s flows into sink %s outside \
+                         the §5-allowlisted surface (allow-label the admitted \
+                         observable or declassify via Leakage)"
+                        who (flatten_lident fn)
+                    | None -> ())
+                  checked
+              end);
+           (* orchestrator-only-obs: descend into pool chunk closures
+              with the flag raised; other arguments descend normally. *)
+           if is_pool_call fn then begin
+             self#expression f;
+             List.iter
+               (fun (_, a) ->
+                 if is_function a then begin
+                   incr pool_depth;
+                   self#expression a;
+                   decr pool_depth
+                 end
+                 else self#expression a)
+               args
+           end
+           else super#expression e
+         | Pexp_let (_, vbs, _) ->
+           List.iter propagate_taint vbs;
+           super#expression e
+         | _ -> super#expression e);
+        allows := saved
+
+      method! structure_item si =
+        match si.pstr_desc with
+        | Pstr_attribute a ->
+          (* [@@@sknn.allow "rule"]: applies to the rest of the file. *)
+          file_allows := allows_of_attributes [ a ] @ !file_allows;
+          super#structure_item si
+        | Pstr_value (_, vbs) ->
+          (* into-aliasing, arena half: an Arena.acquire whose top-level
+             binding never releases is a handle escaping its scope. *)
+          if enabled Lint_config.Into_aliasing then begin
+            let acquires = ref [] and releases = ref 0 in
+            let scan =
+              object
+                inherit Ast_traverse.iter as super
+
+                method! expression e =
+                  (match e.pexp_desc with
+                   | Pexp_ident { txt; loc } ->
+                     if is_arena_fn "acquire" txt then acquires := loc :: !acquires;
+                     if is_arena_fn "release" txt then incr releases
+                   | _ -> ());
+                  super#expression e
+              end
+            in
+            List.iter (fun vb -> scan#expression vb.pvb_expr) vbs;
+            if !releases = 0 then
+              List.iter
+                (fun loc ->
+                  report Lint_config.Into_aliasing loc
+                    "Arena.acquire without a matching Arena.release in the same \
+                     top-level binding — scratch handles must not escape their \
+                     scope (prefer Arena.with_array)")
+                (List.rev !acquires)
+          end;
+          super#structure_item si
+        | _ -> super#structure_item si
+    end
+  in
+  walker#structure str;
+  List.sort compare_diagnostic !diags

@@ -143,7 +143,9 @@ end
 module Party_a = struct
   type t = {
     config : Config.t;
-    pk : Bgv.public_key;
+    (* Party A holds the public key in the paper's setup even though
+       the current pipeline never re-encrypts on its side. *)
+    pk : Bgv.public_key; [@warning "-69"]
     rlk : Bgv.relin_key;
     db : encrypted_db;
     counters : Counters.t;

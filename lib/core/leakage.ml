@@ -23,7 +23,7 @@ let equidistant_pairs v =
 let recovers_true_order v true_dists =
   let masked = view_multiset v in
   let dists = Array.copy true_dists in
-  Array.sort compare dists;
+  Array.sort Int.compare dists;
   Array.length masked = Array.length dists
   &&
   (* Order-preservation: equal true distances <-> equal masked values,

@@ -317,5 +317,5 @@ let exact d ~db ~query:q r =
   ignore d;
   let expected = Plain_knn.kth_smallest_distances ~k:r.k ~query:q db in
   let got = Array.map (fun p -> Distance.squared_euclidean q p) r.neighbours in
-  Array.sort compare got;
+  Array.sort Int.compare got;
   expected = got

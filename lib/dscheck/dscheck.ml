@@ -1,0 +1,286 @@
+(* A small DSCheck-style systematic concurrency checker.
+
+   The real dscheck package is not vendored into this tree; this module
+   reimplements the part the repo needs: exhaustive exploration of all
+   interleavings of a handful of model processes over traced atomic
+   operations, with *blocking* mutex/join semantics so that models of
+   Util.Pool (spawn / join / merge) and Bgv.s_power (double-checked
+   init under a mutex) terminate instead of spinning.
+
+   Model of execution: sequential consistency.  Exactly one process
+   runs at a time; a process yields to the scheduler immediately
+   *before* every traced operation (Atomic get/set/exchange/cas/faa,
+   Mutex lock/unlock, join), and everything between two yields runs
+   atomically.  The scheduler explores the schedule tree by stateless
+   depth-first search: each execution re-runs the test body from
+   scratch under a forced schedule prefix, and every scheduling point
+   past the prefix records the not-yet-tried alternatives for
+   backtracking.  This is exponential — no partial-order reduction —
+   which is fine for the protocol's models (2–3 processes, < 10 traced
+   ops each) and keeps the checker auditable.
+
+   Blocking semantics: a process attempting [Mutex.lock] on a held
+   mutex, or [join] on an unfinished process, leaves the enabled set
+   until the guard becomes true.  If no process is enabled while some
+   are unfinished, the schedule is reported as a deadlock. *)
+
+type _ Effect.t += Yield : (unit -> bool) option -> unit Effect.t
+
+(* [Yield None] is a plain scheduling point; [Yield (Some ready)]
+   blocks the process until [ready ()] holds.  The scheduler resumes a
+   blocked process only when its guard is true, and the resumed
+   process re-establishes the guarded fact atomically (nothing else
+   runs in between). *)
+
+type proc_state =
+  | Not_started of (unit -> unit)
+  | Runnable of (unit, unit) Effect.Deep.continuation
+  | Blocked of (unit -> bool) * (unit, unit) Effect.Deep.continuation
+  | Finished
+
+type proc = { pid : int; mutable state : proc_state }
+
+type handle = proc
+
+type ctx = {
+  mutable procs : proc list; (* in spawn order *)
+  mutable current : proc option;
+  mutable next_pid : int;
+}
+
+let ctx : ctx option ref = ref None
+
+let the_ctx () =
+  match !ctx with
+  | Some c -> c
+  | None -> failwith "Dscheck: traced operation outside Dscheck.trace"
+
+let current_pid () =
+  match (the_ctx ()).current with
+  | Some p -> p.pid
+  | None -> failwith "Dscheck: no current process"
+
+let point () = Effect.perform (Yield None)
+let block_until ready = Effect.perform (Yield (Some ready))
+
+(* ------------------------------------------------------------------ *)
+(* Traced primitives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Single OS thread: a plain ref is a faithful sequentially-consistent
+   atomic once every access is a scheduling point. *)
+type 'a t = 'a ref
+
+let atomic v = ref v
+
+let get r =
+  point ();
+  !r
+
+let set r v =
+  point ();
+  r := v
+
+let exchange r v =
+  point ();
+  let old = !r in
+  r := v;
+  old
+
+let compare_and_set r seen v =
+  point ();
+  if !r == seen then begin
+    r := v;
+    true
+  end
+  else false
+
+let fetch_and_add r n =
+  point ();
+  let old = !r in
+  r := old + n;
+  old
+
+(* Non-traced read for use in final assertions (after all joins): does
+   not create a scheduling point, so invariant checks don't blow up the
+   schedule tree. *)
+let unsafe_peek r = !r
+
+module Mutex = struct
+  type mu = { mutable owner : int option }
+
+  let create () = { owner = None }
+
+  let lock m =
+    block_until (fun () -> m.owner = None);
+    (* Atomic with the guard: nothing ran since it held. *)
+    m.owner <- Some (current_pid ())
+
+  let unlock m =
+    point ();
+    (match m.owner with
+     | Some p when p = current_pid () -> ()
+     | _ -> failwith "Dscheck.Mutex.unlock: not the owner");
+    m.owner <- None
+
+  let protect m f =
+    lock m;
+    match f () with
+    | v ->
+      unlock m;
+      v
+    | exception e ->
+      unlock m;
+      raise e
+end
+
+let is_finished p = match p.state with Finished -> true | _ -> false
+
+let spawn f =
+  let c = the_ctx () in
+  let p = { pid = c.next_pid; state = Not_started f } in
+  c.next_pid <- c.next_pid + 1;
+  c.procs <- c.procs @ [ p ];
+  p
+
+let join h = block_until (fun () -> is_finished h)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Replay_divergence
+
+type error = Deadlock | Exception of exn
+
+type failure = { schedule : int list; error : error }
+
+type stats = { schedules : int; max_steps_seen : int }
+
+let pp_failure ppf f =
+  Format.fprintf ppf "schedule [%s]: %s"
+    (String.concat "; " (List.map string_of_int f.schedule))
+    (match f.error with
+     | Deadlock -> "deadlock (no enabled process)"
+     | Exception e -> Printexc.to_string e)
+
+let is_enabled p =
+  match p.state with
+  | Not_started _ | Runnable _ -> true
+  | Blocked (ready, _) -> ready ()
+  | Finished -> false
+
+let resume c p =
+  c.current <- Some p;
+  let handler =
+    { Effect.Deep.retc = (fun () -> p.state <- Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ready ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                match ready with
+                | None -> p.state <- Runnable k
+                | Some r ->
+                  (* Keep the guard even if it holds right now: another
+                     process may run before this one is resumed and
+                     falsify it (e.g. steal the mutex).  [is_enabled]
+                     re-evaluates it at every scheduling decision. *)
+                  p.state <- Blocked (r, k))
+          | _ -> None);
+    }
+  in
+  (match p.state with
+   | Not_started f -> Effect.Deep.match_with f () handler
+   | Runnable k | Blocked (_, k) ->
+     (* Re-wrapping is unnecessary: the continuation still runs under
+        the handler installed at start. *)
+     Effect.Deep.continue k ()
+   | Finished -> assert false);
+  c.current <- None
+
+(* One execution under [prefix].  Each prefix entry is the forced pid
+   plus the alternatives still to try at that point; choices past the
+   prefix record the first enabled pid and the untried rest.  Returns
+   the (reversed-back) choice log, or the failing schedule. *)
+let run_once ~max_steps prefix body =
+  let c = { procs = []; current = None; next_pid = 0 } in
+  ctx := Some c;
+  ignore (spawn body);
+  let choices = ref [] in
+  let steps = ref 0 in
+  let schedule_so_far () = List.rev_map fst !choices in
+  let result =
+    let rec sched forced =
+      if List.for_all is_finished c.procs then Ok (List.rev !choices)
+      else begin
+        let enabled = List.filter is_enabled c.procs in
+        match enabled with
+        | [] -> Error { schedule = schedule_so_far (); error = Deadlock }
+        | first :: rest -> begin
+          incr steps;
+          if !steps > max_steps then
+            failwith "Dscheck: max_steps exceeded (unbounded model?)";
+          let chosen, alts, forced' =
+            match forced with
+            | (pid, rem) :: tl -> begin
+              match List.find_opt (fun p -> p.pid = pid) enabled with
+              | Some p -> (p, rem, tl)
+              | None -> raise Replay_divergence
+            end
+            | [] -> (first, List.map (fun p -> p.pid) rest, [])
+          in
+          choices := (chosen.pid, alts) :: !choices;
+          match resume c chosen with
+          | () -> sched forced'
+          | exception e ->
+            Error { schedule = schedule_so_far (); error = Exception e }
+        end
+      end
+    in
+    sched prefix
+  in
+  ctx := None;
+  (result, !steps)
+
+(* Stateless DFS over the schedule tree. *)
+let trace ?(max_steps = 20_000) ?(max_schedules = 1_000_000) body =
+  let schedules = ref 0 in
+  let deepest = ref 0 in
+  let rec explore prefix =
+    incr schedules;
+    if !schedules > max_schedules then
+      failwith "Dscheck: max_schedules exceeded (state explosion?)";
+    let outcome, steps = run_once ~max_steps prefix body in
+    if steps > !deepest then deepest := steps;
+    match outcome with
+    | Error f -> Some f
+    | Ok log -> begin
+      (* Backtrack to the deepest choice with untried alternatives. *)
+      let rec split_last_alt acc = function
+        | [] -> None
+        | (pid, alts) :: rest -> begin
+          match split_last_alt ((pid, alts) :: acc) rest with
+          | Some _ as deeper -> deeper
+          | None -> begin
+            match alts with
+            | [] -> None
+            | a :: more -> Some (List.rev acc @ [ (a, more) ])
+          end
+        end
+      in
+      match split_last_alt [] log with
+      | None -> None
+      | Some next_prefix -> explore next_prefix
+    end
+  in
+  match explore [] with
+  | Some f -> Error f
+  | None -> Ok { schedules = !schedules; max_steps_seen = !deepest }
+
+let check ?max_steps ?max_schedules body =
+  match trace ?max_steps ?max_schedules body with
+  | Ok s -> s
+  | Error f -> Format.kasprintf failwith "Dscheck: %a" pp_failure f

@@ -1,0 +1,72 @@
+(** DSCheck-style exhaustive interleaving checker for small concurrency
+    models (sequential consistency, stateless DFS over schedules,
+    blocking mutex/join semantics).  See dscheck.ml for the model. *)
+
+(** {1 Traced state}
+
+    All operations below are scheduling points: the checker explores
+    every interleaving of them across processes.  They must only be
+    called from inside a process running under {!trace}. *)
+
+type 'a t
+(** A traced atomic cell.  Create cells inside the test body so each
+    explored execution starts from fresh state. *)
+
+val atomic : 'a -> 'a t
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+val exchange : 'a t -> 'a -> 'a
+val compare_and_set : 'a t -> 'a -> 'a -> bool
+val fetch_and_add : int t -> int -> int
+
+val unsafe_peek : 'a t -> 'a
+(** Read without a scheduling point — for final invariant assertions
+    (e.g. after every [join]), where an extra interleaving point would
+    only inflate the schedule tree. *)
+
+module Mutex : sig
+  type mu
+
+  val create : unit -> mu
+
+  val lock : mu -> unit
+  (** Blocks (leaves the enabled set) until the mutex is free. *)
+
+  val unlock : mu -> unit
+  (** Fails the schedule if the caller is not the owner. *)
+
+  val protect : mu -> (unit -> 'a) -> 'a
+end
+
+type handle
+
+val spawn : (unit -> unit) -> handle
+(** Register a new process, enabled immediately. *)
+
+val join : handle -> unit
+(** Blocks until the process has finished. *)
+
+(** {1 Exploration} *)
+
+type error = Deadlock | Exception of exn
+
+type failure = { schedule : int list; error : error }
+(** [schedule] is the pid sequence that exhibits the error (pid 0 is
+    the test body itself). *)
+
+type stats = { schedules : int; max_steps_seen : int }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val trace :
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  (unit -> unit) ->
+  (stats, failure) result
+(** Explore every interleaving of [body]'s processes.  The first
+    schedule that deadlocks or raises (assertion failures included) is
+    returned as [Error]; [Ok] means all schedules completed cleanly. *)
+
+val check : ?max_steps:int -> ?max_schedules:int -> (unit -> unit) -> stats
+(** Like {!trace} but fails (raises) with a formatted counterexample
+    schedule on the first erroneous interleaving. *)

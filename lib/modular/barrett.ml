@@ -18,7 +18,8 @@ let bits_of p =
   let rec go b m = if m = 0 then b else go (b + 1) (m lsr 1) in
   go 0 p
 
-let create ~p =
+(* mu precompute: one hardware division per modulus at table time. *)
+let[@sknn.allow "no-division"] create ~p =
   if p <= 1 || p >= 1 lsl 31 then invalid_arg "Barrett.create: p out of range";
   let b = bits_of p in
   if b <= 30 then
@@ -32,6 +33,6 @@ let[@inline] reduce t m =
     let r = if r >= t.p then r - t.p else r in
     if r >= t.p then r - t.p else r
   end
-  else m mod t.p
+  else (m mod t.p) [@sknn.allow "no-division" (* slow-path fallback, p > 2^30 *)]
 
 let[@inline] mul t x y = reduce t (x * y)

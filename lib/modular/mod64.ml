@@ -1,4 +1,8 @@
-let reduce m x =
+(* Mod64 is the generic 64-bit layer behind precompute (prime search,
+   twiddle powers, inverses); the hot path runs on the Shoup/Barrett
+   int kernels.  Its three genuinely dividing entry points carry the
+   no-division allow. *)
+let[@sknn.allow "no-division"] reduce m x =
   let r = Int64.rem x m in
   if Int64.compare r 0L < 0 then Int64.add r m else r
 
@@ -19,7 +23,7 @@ let fast_threshold = Int64.shift_left 1L 50
    the true one by a small multiple of m, fixed by at most three
    correction steps (valid because m < 2^50 keeps the estimate within 2
    of the true quotient and the residual within int64 range). *)
-let mul_fast m a b =
+let[@sknn.allow "no-division"] mul_fast m a b =
   let q = Int64.of_float (Int64.to_float a *. Int64.to_float b /. Int64.to_float m) in
   let r = ref (Int64.sub (Int64.mul a b) (Int64.mul q m)) in
   while Int64.compare !r 0L < 0 do
@@ -53,7 +57,7 @@ let pow m b e =
   done;
   !result
 
-let inv m a =
+let[@sknn.allow "no-division"] inv m a =
   (* Extended Euclid; all intermediates stay below m < 2^62. *)
   let rec go r0 r1 s0 s1 =
     if Int64.compare r1 0L = 0 then

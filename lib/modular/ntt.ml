@@ -28,7 +28,10 @@ let bit_reverse ~bits i =
   done;
   !r
 
-let make_table ~p ~n =
+(* Table construction runs once per modulus, never on the hot path:
+   the mod-based twiddle powers here are the documented whitelisted
+   site of the no-division rule. *)
+let[@sknn.allow "no-division"] make_table ~p ~n =
   if not (is_pow2 n) then invalid_arg "Ntt.make_table: n not a power of two";
   if p >= 1 lsl 31 then invalid_arg "Ntt.make_table: p >= 2^31";
   let p64 = Int64.of_int p in
@@ -169,7 +172,7 @@ let inverse_lazy t a =
   end;
   let len = ref 2 and m = ref (n lsr 1) in
   while !m > 1 do
-    let h = !m / 2 in
+    let h = !m lsr 1 in
     let ll = !len in
     let j1 = ref 0 in
     for i = 0 to h - 1 do
@@ -204,7 +207,7 @@ let inverse_lazy t a =
 (* Fallback for p >= 2^30 (never produced by Params, but make_table's
    documented domain is p < 2^31): the original mod-based loops. *)
 
-let forward_generic t a =
+let[@sknn.allow "no-division"] forward_generic t a =
   let p = t.p and n = t.n and w = t.psi_rev in
   let len = ref n and m = ref 1 in
   while !m < n do
@@ -224,7 +227,7 @@ let forward_generic t a =
     m := !m * 2
   done
 
-let inverse_generic t a =
+let[@sknn.allow "no-division"] inverse_generic t a =
   let p = t.p and n = t.n and w = t.psi_inv_rev in
   let len = ref 1 and m = ref n in
   while !m > 1 do
@@ -277,9 +280,10 @@ let pointwise_mul t dst a b =
     done
   end
   else
-    for i = 0 to n - 1 do
-      dst.(i) <- a.(i) * b.(i) mod p
-    done
+    (for i = 0 to n - 1 do
+       dst.(i) <- a.(i) * b.(i) mod p
+     done)
+    [@sknn.allow "no-division" (* generic fallback branch, p >= 2^30 *)]
 
 let pointwise_mul_acc t acc a b =
   check3 t "Ntt.pointwise_mul_acc: wrong length" acc a b;
@@ -297,9 +301,10 @@ let pointwise_mul_acc t acc a b =
     done
   end
   else
-    for i = 0 to n - 1 do
-      acc.(i) <- (acc.(i) + (a.(i) * b.(i) mod p)) mod p
-    done
+    (for i = 0 to n - 1 do
+       acc.(i) <- (acc.(i) + (a.(i) * b.(i) mod p)) mod p
+     done)
+    [@sknn.allow "no-division" (* generic fallback branch, p >= 2^30 *)]
 
 let negacyclic_mul t a b =
   let fa = Array.copy a in

@@ -9,7 +9,8 @@ type table = {
 let prime t = t.p
 let degree t = t.n
 
-let make_table ~p ~n =
+(* Table construction only; see Ntt.make_table. *)
+let[@sknn.allow "no-division"] make_table ~p ~n =
   if not (n > 0 && n land (n - 1) = 0) then invalid_arg "Ntt64.make_table: n not a power of two";
   if not (Prime64.is_prime p) then invalid_arg "Ntt64.make_table: p not prime";
   if not (Int64.equal (Int64.rem (Int64.pred p) (Int64.of_int (2 * n))) 0L) then
@@ -43,7 +44,7 @@ let forward t a =
   let p = t.p and n = t.n and w = t.psi_rev in
   let len = ref n and m = ref 1 in
   while !m < n do
-    len := !len / 2;
+    len := !len lsr 1;
     for i = 0 to !m - 1 do
       let j1 = 2 * i * !len in
       let s = w.(!m + i) in
@@ -62,7 +63,7 @@ let inverse t a =
   let p = t.p and n = t.n and w = t.psi_inv_rev in
   let len = ref 1 and m = ref n in
   while !m > 1 do
-    let h = !m / 2 in
+    let h = !m lsr 1 in
     let j1 = ref 0 in
     for i = 0 to h - 1 do
       let s = w.(h + i) in

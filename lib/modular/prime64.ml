@@ -1,3 +1,8 @@
+(* Number theory for parameter/table construction (primality, factoring,
+   primitive roots): never on the encrypted hot path, so the whole file
+   is a whitelisted division site. *)
+[@@@sknn.allow "no-division"]
+
 (* Deterministic Miller–Rabin: the witness set {2,3,5,7,11,13,17,19,23,
    29,31,37} is known to be correct for all n < 3.3 * 10^24, which covers
    the full int64 range. *)

@@ -20,7 +20,9 @@ type t = { w : int; hi : int; lo : int }
 
 let mask31 = (1 lsl 31) - 1
 
-let of_int ~p w =
+(* Companion-constant precompute: divides once per fixed operand, at
+   table-construction time only. *)
+let[@sknn.allow "no-division"] of_int ~p w =
   if p <= 1 || p >= 1 lsl 31 then invalid_arg "Shoup.of_int: p out of range";
   if w < 0 || w >= p then invalid_arg "Shoup.of_int: w out of range";
   (* w' = floor(w * 2^62 / p) without exceeding 63 bits:

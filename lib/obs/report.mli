@@ -23,8 +23,11 @@ val skipped : t -> int
 (** Lines that parsed to nothing usable. *)
 
 val percentile : float array -> float -> float
-(** Nearest-rank percentile over a {e sorted} sample array.
-    @raise Invalid_argument on an empty array. *)
+(** Nearest-rank percentile over a {e sorted} sample array.  The rank
+    is clamped into the sample, so p <= 0 returns the minimum and
+    p >= 100 the maximum even for out-of-range p.
+    @raise Invalid_argument on an empty array (unreachable through
+    {!phases}/{!noise_margins}, which only build non-empty rows). *)
 
 type phase_row = {
   phase : string;

@@ -3,7 +3,6 @@ module Z = Zint
 type basis = {
   primes : int array;
   q : Z.t;                  (* product of all primes *)
-  q_over_p : Z.t array;     (* Q / p_i *)
   recomb : Z.t array;       (* (Q/p_i) * ((Q/p_i)^{-1} mod p_i), ready to scale *)
 }
 
@@ -22,7 +21,7 @@ let make primes =
         Z.mul qi inv)
       primes
   in
-  { primes = Array.copy primes; q; q_over_p; recomb }
+  { primes = Array.copy primes; q; recomb }
 
 let primes b = Array.copy b.primes
 let modulus b = b.q

@@ -90,7 +90,9 @@ let to_eval_into t =
     Array.iteri (fun i c -> Ntt.forward t.ctx.tables.(i) c) t.comps;
     { t with domain = Eval }
 
-let of_small_coeffs ctx ~nprimes domain coeffs =
+(* Input canonicalisation at the encryption boundary: one mod per
+   coefficient on entry, not on the transform hot path. *)
+let[@sknn.allow "no-division"] of_small_coeffs ctx ~nprimes domain coeffs =
   if Array.length coeffs <> ctx.n then invalid_arg "Rq.of_small_coeffs: wrong length";
   let embed p =
     Array.map
@@ -297,7 +299,9 @@ let mul_scalar_zint a s =
   in
   { a with comps }
 
-let substitute t ~k =
+(* Exponent folding mod 2n on a per-call Galois substitution (key
+   switching prep), not a per-coefficient reduction. *)
+let[@sknn.allow "no-division"] substitute t ~k =
   let n = t.ctx.n in
   let k = ((k mod (2 * n)) + (2 * n)) mod (2 * n) in
   if k land 1 = 0 then invalid_arg "Rq.substitute: k must be odd";

@@ -1,3 +1,8 @@
+(* This module IS the sanctioned wall-clock: everything else reads time
+   through it (sknn-lint's no-ambient-nondeterminism rule enforces
+   that), so timestamps can be stripped or replayed in one place. *)
+[@@@sknn.allow "no-ambient-nondeterminism"]
+
 let now () = Unix.gettimeofday ()
 
 let time f =

@@ -1,0 +1,18 @@
+(* Fixture: the same shapes as the bad_*.ml files, each silenced by one
+   of the three allow granularities — floating file attribute, binding
+   attribute, expression attribute — plus the allow-label surface.
+   This file must produce zero diagnostics. *)
+
+[@@@sknn.allow "into-aliasing"]
+
+let squared_in_place a = Rq.mul_into a a a
+
+let[@sknn.allow "no-division"] residue x = x mod 7
+
+let half x = (x / 2) [@sknn.allow "no-division"]
+
+let[@sknn.allow "no-ambient-nondeterminism"] noise () = Random.int 100
+
+let audited obs n = Obs.audit obs ~label:"n" n
+
+let[@sknn.allow "secret-taint"] debug_secret sk = Printf.printf "%d\n" sk

@@ -1,0 +1,11 @@
+(* Fixture: no-division must flag every operator below. *)
+
+let quotient x = x / 3
+
+let residue x = x mod 7
+
+let half x = x /. 2.0
+
+let wide x = Int64.div x 3L
+
+let wide_rem x = Int64.rem x 3L

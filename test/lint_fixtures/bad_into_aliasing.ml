@@ -1,0 +1,8 @@
+(* Fixture: into-aliasing must flag the aliased destructive call and
+   the arena handle that escapes its binding without a release. *)
+
+let squared_in_place a = Rq.mul_into a a a
+
+let doubled_in_place acc = Rq.add_into acc acc acc
+
+let escaping_scratch n = Util.Arena.acquire n

@@ -1,0 +1,13 @@
+(* Fixture: no-ambient-nondeterminism must flag stdlib Random, raw
+   wall-clock reads, and (with check-poly-compare) polymorphic
+   compare / Hashtbl.hash. *)
+
+let noise () = Random.int 100
+
+let stamp () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let order xs = List.sort compare xs
+
+let bucket x = Hashtbl.hash x

@@ -1,0 +1,13 @@
+(* Fixture: orchestrator-only-obs must flag the observability calls
+   inside the Pool chunk closures. *)
+
+let traced ctx xs =
+  Util.Pool.map_local ~jobs:2
+    ~make:(fun () -> ())
+    ~merge:(fun a _ -> a)
+    ~f:(fun x ->
+      Trace.observe ctx "chunk";
+      x + 1)
+    xs
+
+let metred m xs = Pool.map (fun x -> Metrics.incr m; x) xs

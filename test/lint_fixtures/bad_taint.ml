@@ -1,0 +1,12 @@
+(* Fixture: secret-taint must flag each sink below — a configured root
+   reaching Printf, a Transcript send, and propagated taint through a
+   let binding into an audit sink. *)
+
+let print_secret sk = Printf.printf "sk head %d\n" sk
+
+let ship tr perm =
+  Transcript.send tr ~label:"permutation order" ~bytes:(List.length perm)
+
+let propagated obs masked_distances =
+  let digest = List.fold_left ( + ) 0 masked_distances in
+  Obs.audit obs ~label:"digest" digest

@@ -1,0 +1,188 @@
+(* Model-checked concurrency invariants.
+
+   Each test builds a small model of a real synchronisation pattern in
+   the tree and asks the vendored Dscheck checker to explore *every*
+   interleaving of its traced operations:
+
+   - the Util.Pool shape (spawn workers, per-worker outcome slots,
+     join-all, merge in worker order), whose invariant is the PR 1
+     bit-identical-across---jobs guarantee;
+   - the Bgv.s_power shape (lock-free fast path over a cached table,
+     mutex-protected double-checked extension), whose invariant is
+     that concurrent queries always observe a table at least as long
+     as they need.
+
+   Each positive model is paired with a deliberately racy variant that
+   the checker must *refute* — that's the test that the exploration is
+   actually exhaustive rather than vacuously passing. *)
+
+let sched_count = function
+  | Ok (s : Dscheck.stats) -> s.Dscheck.schedules
+  | Error f -> Alcotest.failf "unexpected counterexample: %a" Dscheck.pp_failure f
+
+let expect_assert name = function
+  | Ok (_ : Dscheck.stats) ->
+    Alcotest.failf "%s: checker failed to refute the racy variant" name
+  | Error { Dscheck.error = Dscheck.Exception (Assert_failure _); _ } -> ()
+  | Error f -> Alcotest.failf "%s: wrong failure kind: %a" name Dscheck.pp_failure f
+
+(* ------------------------------------------------------------------ *)
+(* Util.Pool model: join-then-merge in worker order                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Workers write disjoint outcome slots; the orchestrator merges only
+   after joining every worker, in worker (not completion) order.  The
+   merged value must be the same on every schedule. *)
+let test_pool_merge_deterministic () =
+  let result =
+    Dscheck.trace (fun () ->
+        let slots = [| Dscheck.atomic 0; Dscheck.atomic 0; Dscheck.atomic 0 |] in
+        let worker i = Dscheck.set slots.(i) (10 * (i + 1)) in
+        let hs = Array.init 3 (fun i -> Dscheck.spawn (fun () -> worker i)) in
+        Array.iter Dscheck.join hs;
+        let merged =
+          Array.fold_left (fun acc s -> (acc * 100) + Dscheck.unsafe_peek s) 0 slots
+        in
+        assert (merged = 102030))
+  in
+  let n = sched_count result in
+  (* Three independent single-op workers: the checker must actually
+     branch (3! completion orders at minimum), not run one schedule. *)
+  Alcotest.(check bool) "explored more than one schedule" true (n >= 6)
+
+(* Racy variant: workers fold into one shared accumulator with a
+   non-atomic read-modify-write instead of private slots — the classic
+   lost update.  The checker must find a schedule where an update
+   vanishes. *)
+let test_pool_shared_accumulator_refuted () =
+  let result =
+    Dscheck.trace (fun () ->
+        let acc = Dscheck.atomic 0 in
+        let worker i =
+          let v = Dscheck.get acc in
+          Dscheck.set acc (v + (10 * (i + 1)))
+        in
+        let hs = Array.init 2 (fun i -> Dscheck.spawn (fun () -> worker i)) in
+        Array.iter Dscheck.join hs;
+        assert (Dscheck.unsafe_peek acc = 30))
+  in
+  expect_assert "pool-shared-accumulator" result
+
+(* fetch_and_add is the correct shared-counter primitive: same shape as
+   the racy variant, but the read-modify-write is one traced op. *)
+let test_pool_faa_accumulator_ok () =
+  let result =
+    Dscheck.trace (fun () ->
+        let acc = Dscheck.atomic 0 in
+        let worker i = ignore (Dscheck.fetch_and_add acc (10 * (i + 1))) in
+        let hs = Array.init 2 (fun i -> Dscheck.spawn (fun () -> worker i)) in
+        Array.iter Dscheck.join hs;
+        assert (Dscheck.unsafe_peek acc = 30))
+  in
+  ignore (sched_count result)
+
+(* ------------------------------------------------------------------ *)
+(* Bgv.s_power model: double-checked table extension under a mutex     *)
+(* ------------------------------------------------------------------ *)
+
+(* [len] models the length of the cached secret-key power table
+   (starts at 1 = s^1, as in Bgv.key_gen).  The fast path reads it
+   without the lock; the slow path re-checks under the lock before
+   extending, exactly like Bgv.s_power. *)
+let s_power_model ~racy () =
+  let mu = Dscheck.Mutex.create () in
+  let len = Dscheck.atomic 1 in
+  let extensions = Dscheck.atomic 0 in
+  let s_power need =
+    if Dscheck.get len >= need then ()
+    else if racy then begin
+      (* No lock, no double check: get-then-set races. *)
+      ignore (Dscheck.fetch_and_add extensions 1);
+      Dscheck.set len need
+    end
+    else
+      Dscheck.Mutex.protect mu (fun () ->
+          if Dscheck.get len < need then begin
+            ignore (Dscheck.fetch_and_add extensions 1);
+            Dscheck.set len need
+          end)
+  in
+  let a = Dscheck.spawn (fun () -> s_power 3) in
+  let b = Dscheck.spawn (fun () -> s_power 2) in
+  Dscheck.join a;
+  Dscheck.join b;
+  (* Every query must observe a table long enough for its own need —
+     after both finish, the table covers the larger request. *)
+  assert (Dscheck.unsafe_peek len = 3)
+
+let test_s_power_double_checked_ok () =
+  ignore (sched_count (Dscheck.trace (s_power_model ~racy:false)))
+
+let test_s_power_unlocked_refuted () =
+  expect_assert "s-power-unlocked" (Dscheck.trace (s_power_model ~racy:true))
+
+(* ------------------------------------------------------------------ *)
+(* Checker self-tests: mutual exclusion and deadlock detection         *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutex_excludes () =
+  let result =
+    Dscheck.trace (fun () ->
+        let mu = Dscheck.Mutex.create () in
+        let x = Dscheck.atomic 0 in
+        let bump () =
+          Dscheck.Mutex.protect mu (fun () ->
+              let v = Dscheck.get x in
+              Dscheck.set x (v + 1))
+        in
+        let a = Dscheck.spawn bump and b = Dscheck.spawn bump in
+        Dscheck.join a;
+        Dscheck.join b;
+        (* The same read-modify-write that loses updates unlocked is
+           exact under the mutex. *)
+        assert (Dscheck.unsafe_peek x = 2))
+  in
+  ignore (sched_count result)
+
+let test_deadlock_detected () =
+  let result =
+    Dscheck.trace (fun () ->
+        let m1 = Dscheck.Mutex.create () and m2 = Dscheck.Mutex.create () in
+        let locker a b () =
+          Dscheck.Mutex.lock a;
+          Dscheck.Mutex.lock b;
+          Dscheck.Mutex.unlock b;
+          Dscheck.Mutex.unlock a
+        in
+        let p = Dscheck.spawn (locker m1 m2) and q = Dscheck.spawn (locker m2 m1) in
+        Dscheck.join p;
+        Dscheck.join q)
+  in
+  match result with
+  | Ok _ -> Alcotest.fail "opposite-order locking: deadlock not detected"
+  | Error { Dscheck.error = Dscheck.Deadlock; _ } -> ()
+  | Error f -> Alcotest.failf "wrong failure kind: %a" Dscheck.pp_failure f
+
+let () =
+  Alcotest.run "dscheck"
+    [ ( "pool-model",
+        [ Alcotest.test_case "merge in worker order is schedule-independent" `Quick
+            test_pool_merge_deterministic;
+          Alcotest.test_case "shared-accumulator race is refuted" `Quick
+            test_pool_shared_accumulator_refuted;
+          Alcotest.test_case "fetch_and_add accumulator verified" `Quick
+            test_pool_faa_accumulator_ok
+        ] );
+      ( "s-power-model",
+        [ Alcotest.test_case "double-checked extension verified" `Quick
+            test_s_power_double_checked_ok;
+          Alcotest.test_case "unlocked extension race is refuted" `Quick
+            test_s_power_unlocked_refuted
+        ] );
+      ( "checker",
+        [ Alcotest.test_case "mutex enforces mutual exclusion" `Quick
+            test_mutex_excludes;
+          Alcotest.test_case "opposite-order locking deadlocks" `Quick
+            test_deadlock_detected
+        ] )
+    ]

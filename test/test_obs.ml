@@ -799,6 +799,50 @@ let test_report_percentiles () =
         (Report.percentile one p))
     [ 50.0; 95.0; 99.0 ]
 
+let test_report_degenerate_inputs () =
+  (* Nearest-rank at the extremes of p: the rank clamp keeps every
+     request inside the sample, including out-of-range p. *)
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 0.0)) "p0 clamps to min" 1.0 (Report.percentile a 0.0);
+  Alcotest.(check (float 0.0)) "p100 is max" 4.0 (Report.percentile a 100.0);
+  Alcotest.(check (float 0.0)) "p>100 clamps to max" 4.0 (Report.percentile a 150.0);
+  Alcotest.(check (float 0.0)) "negative p clamps to min" 1.0
+    (Report.percentile a (-5.0));
+  (* An empty jsonl file: no rows anywhere, rendering still succeeds. *)
+  let t = Report.create () in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      close_out oc;
+      Report.add_file t path);
+  Alcotest.(check int) "no lines in empty file" 0 (Report.lines t);
+  Alcotest.(check int) "nothing skipped" 0 (Report.skipped t);
+  Alcotest.(check int) "no phase rows" 0 (List.length (Report.phases t));
+  Alcotest.(check int) "no link rows" 0 (List.length (Report.links t));
+  Alcotest.(check int) "no noise rows" 0 (List.length (Report.noise_margins t));
+  Alcotest.(check bool) "empty report still renders" true
+    (String.length (Format.asprintf "%a" Report.pp t) > 0);
+  (* Garbage is counted and skipped, never fatal; blanks are ignored. *)
+  Report.add_line t "";
+  Report.add_line t "   ";
+  Report.add_line t "not json at all";
+  Report.add_line t "{\"weird\": true}";
+  Alcotest.(check int) "blank lines not counted" 2 (Report.lines t);
+  Alcotest.(check int) "garbage skipped" 2 (Report.skipped t);
+  Alcotest.(check int) "still no phase rows" 0 (List.length (Report.phases t));
+  (* A single sample: every percentile is that sample, and the row is
+     still rendered (push never creates an empty list, so the
+     percentile empty-sample guard is unreachable from the tables). *)
+  Report.add_line t {|{"kind":"phase","name":"solo","dur_s":0.25}|};
+  (match Report.phases t with
+   | [ r ] ->
+     Alcotest.(check string) "phase name" "solo" r.Report.phase;
+     Alcotest.(check int) "one sample" 1 r.Report.samples;
+     Alcotest.(check (float 0.0)) "p50 = sample" 0.25 r.Report.p50_s;
+     Alcotest.(check (float 0.0)) "p95 = sample" 0.25 r.Report.p95_s;
+     Alcotest.(check (float 0.0)) "p99 = sample" 0.25 r.Report.p99_s;
+     Alcotest.(check (float 0.0)) "max = sample" 0.25 r.Report.max_s
+   | rows -> Alcotest.failf "expected one phase row, got %d" (List.length rows))
+
 let test_report_tables () =
   let trace, _, flight, _ = traced_run ~jobs:2 in
   let t = Report.create () in
@@ -889,6 +933,7 @@ let () =
            test_forecast_shallow_chain_warns ]);
       ("report",
        [ Alcotest.test_case "percentiles" `Quick test_report_percentiles;
+         Alcotest.test_case "degenerate inputs" `Quick test_report_degenerate_inputs;
          Alcotest.test_case "tables" `Quick test_report_tables ]);
       ("audit", [ Alcotest.test_case "basics" `Quick test_audit_basics ]);
       ("ctx",
