@@ -170,14 +170,18 @@ let mean_compute_distances path =
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
 (* Mean compute-distances over the amortized experiment's steady-state
-   queries — the prepared multi-query hot path.  [None] when the file
-   carries no such samples (e.g. a bench run with --only fig3). *)
-let mean_steady_compute_distances path =
+   queries on one computation plan: the prepared hot path
+   ([packed = false]; runs written before the packed field existed count
+   as prepared) or the slot-packed one ([packed = true]).  [None] when
+   the file carries no such samples (e.g. a bench run with --only fig3,
+   or a pre-packing baseline asked for packed samples). *)
+let mean_steady_compute_distances ~packed path =
   let samples =
     List.filter_map
       (fun run ->
+        let is_packed = member "packed" run = Some (Bool true) in
         match (member "experiment" run, member "steady_state" run) with
-        | Some (Str "amortized"), Some (Bool true) ->
+        | Some (Str "amortized"), Some (Bool true) when is_packed = packed ->
           phase_seconds "compute-distances" run
         | _ -> None)
       (runs_of path)
@@ -213,17 +217,20 @@ let () =
       ~baseline:(mean_compute_distances baseline_path)
       ~current:(mean_compute_distances current_path)
   in
-  let ok_steady =
+  let steady_gate ~packed ~label =
     match
-      ( mean_steady_compute_distances baseline_path,
-        mean_steady_compute_distances current_path )
+      ( mean_steady_compute_distances ~packed baseline_path,
+        mean_steady_compute_distances ~packed current_path )
     with
-    | Some baseline, Some current ->
-      check ~label:"steady-state compute-distances" ~max_pct ~baseline ~current
+    | Some baseline, Some current -> check ~label ~max_pct ~baseline ~current
     | _ ->
-      Printf.printf
-        "note: no amortized steady-state samples in both files; skipping \
-         steady-state gate\n";
+      Printf.printf "note: no %s samples in both files; skipping that gate\n" label;
       true
   in
-  if not (ok_fig3 && ok_steady) then exit 1
+  let ok_steady =
+    steady_gate ~packed:false ~label:"steady-state compute-distances"
+  in
+  let ok_packed =
+    steady_gate ~packed:true ~label:"packed steady-state compute-distances"
+  in
+  if not (ok_fig3 && ok_steady && ok_packed) then exit 1

@@ -85,6 +85,29 @@ let mul_sum_suite ~target rng ~d =
       ns_per_op = ns;
       reps } ]
 
+(* Slot-packing kernels behind the SIMD protocol path: CRT packing and
+   unpacking (one NTT over t each way) and the Galois machinery whose
+   key-switch cost dominates any rotation-based variant. *)
+let slot_suite ~target rng =
+  let params = Params.toy () in
+  let keys = Bgv.keygen rng params in
+  let tp = params.Params.t_plain in
+  let slots =
+    Array.init (Params.slot_count params) (fun _ -> Util.Rng.int64_below rng tp)
+  in
+  let pt = Plaintext.of_slots params slots in
+  let ct = Bgv.encrypt rng keys.Bgv.pk pt in
+  let gk = Bgv.galois_keygen rng keys.Bgv.sk ~elt:3 in
+  let gks = Bgv.slot_sum_keys rng keys.Bgv.sk in
+  let bench name f =
+    let ns, reps = measure ~target f in
+    { name; ring_n = params.Params.n; prime_bits = 0; ns_per_op = ns; reps }
+  in
+  [ bench "plaintext-of-slots" (fun () -> ignore (Plaintext.of_slots params slots));
+    bench "plaintext-to-slots" (fun () -> ignore (Plaintext.to_slots pt));
+    bench "apply-galois" (fun () -> ignore (Bgv.apply_galois gk ct));
+    bench "sum-slots" (fun () -> ignore (Bgv.sum_slots gks ct)) ]
+
 let run ?(quick = false) () =
   let target = if quick then 0.05 else 0.4 in
   let rng = Util.Rng.create 42L in
@@ -93,6 +116,7 @@ let run ?(quick = false) () =
   @ rq_suite ~target rng ~n:64 ~bits:30 ~chain:10
   @ rq_suite ~target rng ~n:1024 ~bits:30 ~chain:4
   @ mul_sum_suite ~target rng ~d:32
+  @ slot_suite ~target rng
 
 let pp_results ppf results =
   Format.fprintf ppf "%-20s %8s %6s %14s %10s@." "kernel" "n" "bits" "ns/op" "reps";

@@ -37,6 +37,7 @@ type opts = {
   trace : string option;     (* span-trace output file *)
   trace_format : string;     (* chrome | jsonl | pretty *)
   repeat : int;              (* steady-state queries in the amortized experiment *)
+  batch : int;               (* slot-dimension query batch in the amortized experiment *)
   prom : string option;      (* Prometheus text-exposition snapshot file *)
 }
 
@@ -46,12 +47,13 @@ let obs : Sknn_obs.Ctx.t ref = ref Sknn_obs.Ctx.disabled
 
 (* Run one query under a root span so each benchmark query shows up as
    its own top-level tree in the trace. *)
-let traced_query ?(prepared = false) ?rng ~experiment dep ~query ~k =
+let traced_query ?(prepared = false) ?(packed = false) ?rng ~experiment dep ~query ~k =
   Sknn_obs.Ctx.with_span !obs ~kind:Sknn_obs.Trace.Root
     ~args:[ ("experiment", experiment); ("k", string_of_int k) ]
     experiment
     (fun () ->
-      if prepared then Protocol.query_prepared ~obs:!obs ?rng dep ~query ~k
+      if packed then Protocol.query_packed ~obs:!obs ?rng dep ~query ~k
+      else if prepared then Protocol.query_prepared ~obs:!obs ?rng dep ~query ~k
       else Protocol.query ~obs:!obs ?rng dep ~query ~k)
 
 let effective_jobs opts =
@@ -232,14 +234,17 @@ let write_json opts path =
 (* Figure runners                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_query_series ~opts ~experiment ~config ~db ~queries_k ~rng =
+let run_query_series ?(packed = false) ~opts ~experiment ~config ~db ~queries_k ~rng () =
   let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
+  let extra = if packed then [ ("packed", Bool true) ] else [] in
   List.map
     (fun k ->
       let q = Synthetic.query_like rng db in
-      let r, s = Util.Timer.time (fun () -> traced_query ~experiment dep ~query:q ~k) in
+      let r, s =
+        Util.Timer.time (fun () -> traced_query ~packed ~experiment dep ~query:q ~k)
+      in
       let ok = Protocol.exact dep ~db ~query:q r in
-      record_run ~experiment ~n:(Array.length db) ~d:(Array.length db.(0)) ~k
+      record_run ~extra ~experiment ~n:(Array.length db) ~d:(Array.length db.(0)) ~k
         ~jobs:(Protocol.jobs dep) ~seconds:s ~exact:ok r;
       (k, s, ok, r))
     queries_k
@@ -270,15 +275,19 @@ let k_dependent_seconds (r : Protocol.result) =
       | _ -> acc)
     0.0 r.Protocol.phase_seconds
 
-let fig_k_sweep ~id ~title ~dataset_name ~db ~config ~paper_anchors opts =
+let fig_k_sweep ?(packed = false) ~id ~title ~dataset_name ~db ~config ~paper_anchors
+    opts =
   hr (Printf.sprintf "%s — %s" id title);
   let n = Array.length db and d = Array.length db.(0) in
-  say "dataset: %s, n=%d, d=%d, layout=%s%s@." dataset_name n d
+  say "dataset: %s, n=%d, d=%d, layout=%s%s%s@." dataset_name n d
     (Config.layout_name config.Config.layout)
+    (if packed then " (slot-packed path)" else "")
     (if opts.full then "" else " (scaled; --full for paper scale)");
   let ks = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
   let rng = Rng.of_int opts.seed in
-  let rows = run_query_series ~opts ~experiment:id ~config ~db ~queries_k:ks ~rng in
+  let rows =
+    run_query_series ~packed ~opts ~experiment:id ~config ~db ~queries_k:ks ~rng ()
+  in
   say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
   List.iter
     (fun (k, s, ok, r) ->
@@ -298,6 +307,23 @@ let fig3 opts =
   in
   fig_k_sweep ~id:"fig3" ~title:"running time vs k, cervical-cancer data (858 x 32)"
     ~dataset_name:"cervical-cancer (UCI-shaped)" ~db ~config:(Config.standard ())
+    ~paper_anchors:[ (2, 45.0); (8, 165.0); (16, 328.0); (20, 410.0) ]
+    opts
+
+(* The fig3 workload on the slot-packed path: same dataset and k sweep,
+   affine mask (the packed requirement), ~n/N ciphertext ops in the
+   Compute-Distances phase.  The paper anchors are fig3's — the gap
+   between the measured columns is the packing win. *)
+let fig3p opts =
+  let rng = Rng.of_int (opts.seed + 3) in
+  let n = scaled opts ~default_scale:0.5 858 in
+  let db =
+    Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng)
+  in
+  fig_k_sweep ~packed:true ~id:"fig3p"
+    ~title:"fig3 workload, slot-packed path (858 x 32, affine mask)"
+    ~dataset_name:"cervical-cancer (UCI-shaped)" ~db
+    ~config:(Config.with_mask_degree 1 (Config.standard ()))
     ~paper_anchors:[ (2, 45.0); (8, 165.0); (16, 328.0); (20, 410.0) ]
     opts
 
@@ -389,7 +415,9 @@ let fig7 opts =
   let db = Synthetic.uniform rng ~n ~d:2 ~max_value:255 in
   let paper = [ (1, 115.0); (20, 480.0) ] in
   let ks = [ 1; 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
-  let rows = run_query_series ~opts ~experiment:"fig7" ~config ~db ~queries_k:ks ~rng in
+  let rows =
+    run_query_series ~opts ~experiment:"fig7" ~config ~db ~queries_k:ks ~rng ()
+  in
   say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
   List.iter
     (fun (k, s, ok, r) ->
@@ -631,14 +659,19 @@ let amortized opts =
   let db = Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng) in
   let d = Array.length db.(0) and k = 2 in
   (* The prepared path needs affine masking (the inner-product trick
-     leaves cross terms only a degree-1 mask keeps sound). *)
+     leaves cross terms only a degree-1 mask keeps sound); the packed
+     path shares the requirement. *)
   let config = Config.with_mask_degree 1 (Config.standard ()) in
   let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
   let reps = Stdlib.max 1 opts.repeat in
   say "n=%d, d=%d, k=%d, 1 first + %d steady-state queries%s@." n d k reps
     (if opts.full then "" else " (scaled)");
-  say "@.%8s %10s %12s %7s@." "query" "total" "prepare-db" "exact";
-  let times =
+  (* One pass per computation plan over the same deployment: the PR-3
+     prepared path, then the slot-packed path.  Each pass pays its own
+     one-time prepare-db on the first query. *)
+  let pass ~packed name =
+    say "@.%s:@." name;
+    say "%8s %10s %12s %7s@." "query" "total" "prepare-db" "exact";
     Array.init (reps + 1) (fun i ->
         let q = Synthetic.query_like rng db in
         (* Collect the previous query's floating garbage outside the
@@ -647,7 +680,8 @@ let amortized opts =
         Gc.full_major ();
         let r, s =
           Util.Timer.time (fun () ->
-              traced_query ~prepared:true ~experiment:"amortized" dep ~query:q ~k)
+              traced_query ~prepared:(not packed) ~packed ~experiment:"amortized" dep
+                ~query:q ~k)
         in
         let ok = Protocol.exact dep ~db ~query:q r in
         let prep_s =
@@ -659,27 +693,80 @@ let amortized opts =
           ~extra:
             [ ("query_index", Int i);
               ("prepared", Bool true);
+              ("packed", Bool packed);
               ("steady_state", Bool (i > 0)) ]
           ~experiment:"amortized" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:s
           ~exact:ok r;
+        let cd_s =
+          match List.assoc_opt "compute-distances" r.Protocol.phase_seconds with
+          | Some t -> t
+          | None -> 0.0
+        in
         say "%8s %9.2fs %11.2fs %7b@."
           (if i = 0 then "first" else Printf.sprintf "#%d" i)
           s prep_s ok;
-        s)
+        (s, cd_s))
   in
-  let first = times.(0) in
-  let steady =
+  let steady times =
     Array.fold_left ( +. ) 0.0 (Array.sub times 1 reps) /. float_of_int reps
+  in
+  let times = pass ~packed:false "prepared path (PR-3, one ct-mul per point)" in
+  let times_p = pass ~packed:true "slot-packed path (d plain products per batch)" in
+  let first = fst times.(0) and steady_prep = steady (Array.map fst times) in
+  let first_p = fst times_p.(0) and steady_packed = steady (Array.map fst times_p) in
+  (* The acceptance gate is on the phase the packing accelerates:
+     compute-distances, steady state (prepare-db and the unchanged
+     return-knn phase would otherwise dominate the ratio). *)
+  let steady_cd_prep = steady (Array.map snd times) in
+  let steady_cd_packed = steady (Array.map snd times_p) in
+  (* Slot-dimension multi-query batching (--batch M): M queries in one
+     protocol round, amortizing even the per-round fixed costs. *)
+  let batch_fields =
+    if opts.batch < 2 then []
+    else begin
+      let m = opts.batch in
+      let queries = Array.init m (fun _ -> Synthetic.query_like rng db) in
+      Gc.full_major ();
+      let results, s =
+        Util.Timer.time (fun () -> Protocol.query_batch ~obs:!obs dep ~queries ~k)
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i r -> ok := !ok && Protocol.exact dep ~db ~query:queries.(i) r)
+        results;
+      record_run
+        ~extra:[ ("packed", Bool true); ("batch", Int m) ]
+        ~experiment:"amortized" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:s
+        ~exact:!ok results.(0);
+      say "@.batched round (--batch %d): %.2fs total, %.3fs per query, exact=%b@." m s
+        (s /. float_of_int m)
+        !ok;
+      [ ("batch_m", Int m); ("batch_round_s", Float s);
+        ("batch_per_query_s", Float (s /. float_of_int m)) ]
+    end
   in
   amortized_summary :=
     Some
       (Obj
-         [ ("n", Int n); ("d", Int d); ("k", Int k); ("repeats", Int reps);
-           ("first_query_s", Float first);
-           ("steady_state_mean_s", Float steady);
-           ("amortization_speedup", Float (first /. steady)) ]);
-  say "@.first query (incl. prepare-db): %.2fs; steady-state mean: %.2fs; speedup %.1fx@."
-    first steady (first /. steady)
+         ([ ("n", Int n); ("d", Int d); ("k", Int k); ("repeats", Int reps);
+            ("first_query_s", Float first);
+            ("steady_state_mean_s", Float steady_prep);
+            ("amortization_speedup", Float (first /. steady_prep));
+            ("packed_first_query_s", Float first_p);
+            ("packed_steady_state_mean_s", Float steady_packed);
+            ("packed_vs_prepared_speedup", Float (steady_prep /. steady_packed));
+            ("steady_state_compute_distances_s", Float steady_cd_prep);
+            ("packed_steady_state_compute_distances_s", Float steady_cd_packed);
+            ( "packed_compute_distances_speedup",
+              Float (steady_cd_prep /. steady_cd_packed) ) ]
+          @ batch_fields));
+  say "@.prepared: first %.2fs, steady-state mean %.2fs (amortization %.1fx)@." first
+    steady_prep (first /. steady_prep);
+  say "packed:   first %.2fs, steady-state mean %.2fs — %.1fx vs prepared steady state@."
+    first_p steady_packed (steady_prep /. steady_packed);
+  say "packed compute-distances phase: %.3fs vs %.3fs prepared — %.1fx@." steady_cd_packed
+    steady_cd_prep
+    (steady_cd_prep /. steady_cd_packed)
 
 (* ------------------------------------------------------------------ *)
 (* Ring-kernel microbenchmarks (bench/kernels library)                 *)
@@ -758,10 +845,10 @@ let micro _opts =
 (* ------------------------------------------------------------------ *)
 
 let experiments =
-  [ ("table1", table1); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5); ("fig6", fig6);
-    ("fig7", fig7); ("headtohead", headtohead); ("ablation", ablation);
-    ("scaling", scaling); ("amortized", amortized); ("kernels", kernels);
-    ("extensions", extensions); ("micro", micro) ]
+  [ ("table1", table1); ("fig3", fig3); ("fig3p", fig3p); ("fig4", fig4);
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("headtohead", headtohead);
+    ("ablation", ablation); ("scaling", scaling); ("amortized", amortized);
+    ("kernels", kernels); ("extensions", extensions); ("micro", micro) ]
 
 let run opts =
   say "secure k-NN benchmark harness (seed %d, jobs %d, %s)@." opts.seed
@@ -812,7 +899,7 @@ let scale_t =
 let only_t =
   Arg.(value & opt (some string) None
        & info [ "only" ]
-           ~doc:"Comma-separated experiment ids (table1, fig3..fig7, headtohead, ablation, scaling, amortized, kernels, extensions, micro).")
+           ~doc:"Comma-separated experiment ids (table1, fig3, fig3p, fig4..fig7, headtohead, ablation, scaling, amortized, kernels, extensions, micro).")
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
@@ -836,6 +923,12 @@ let repeat_t =
        & info [ "repeat" ] ~docv:"N"
            ~doc:"Steady-state queries after the first in the amortized experiment.")
 
+let batch_t =
+  Arg.(value & opt int 1
+       & info [ "batch" ] ~docv:"M"
+           ~doc:"Also run M queries through the slot-dimension batch round in the \
+                 amortized experiment (1 disables; M must fit the slot count).")
+
 let trace_format_t =
   Arg.(value & opt string "chrome"
        & info [ "trace-format" ]
@@ -848,7 +941,7 @@ let prom_t =
            ~doc:"Write the metrics registry as Prometheus text exposition to $(docv) \
                  after all experiments.")
 
-let main full scale only seed jobs json trace trace_format repeat prom =
+let main full scale only seed jobs json trace trace_format repeat batch prom =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
@@ -858,13 +951,17 @@ let main full scale only seed jobs json trace trace_format repeat prom =
     Format.eprintf "--repeat must be at least 1 (got %d)@." repeat;
     exit 2
   end;
+  if batch < 1 then begin
+    Format.eprintf "--batch must be at least 1 (got %d)@." batch;
+    exit 2
+  end;
   let only = Option.map (String.split_on_char ',') only in
-  run { full; scale; only; seed; jobs; json; trace; trace_format; repeat; prom }
+  run { full; scale; only; seed; jobs; json; trace; trace_format; repeat; batch; prom }
 
 let cmd =
   Cmd.v
     (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t $ trace_t
-          $ trace_format_t $ repeat_t $ prom_t)
+          $ trace_format_t $ repeat_t $ batch_t $ prom_t)
 
 let () = exit (Cmd.eval cmd)

@@ -62,8 +62,8 @@ let gen_cmd =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let query_run data query_s k layout seed jobs repeat verbose trace trace_format audit
-    metrics prom flight_out =
+let query_run data query_s k layout seed jobs repeat packed batch verbose trace
+    trace_format audit metrics prom flight_out =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
@@ -129,62 +129,109 @@ let query_run data query_s k layout seed jobs repeat verbose trace trace_format 
       exit 1
   in
   let db = read_db data in
-  let q = parse_query query_s in
+  (* --batch runs every ';'-separated query of --query in one
+     slot-dimension protocol round; otherwise --query is one query. *)
+  let queries =
+    String.split_on_char ';' query_s |> List.map parse_query |> Array.of_list
+  in
+  if (not batch) && Array.length queries > 1 then begin
+    Format.eprintf "multiple ';'-separated queries need --batch@.";
+    exit 2
+  end;
+  let q = queries.(0) in
   let config = config_of_layout layout in
   (match Config.validate config ~d:(Array.length q) with
    | Ok () -> ()
    | Error e ->
      Format.eprintf "configuration unsound for this data: %s@." e;
      exit 2);
+  let packed_ok =
+    config.Config.mask_degree = 1 && Array.length q <= config.Config.bgv.Params.n
+  in
+  if (packed || batch) && not packed_ok then begin
+    Format.eprintf
+      "the slot-packed path needs affine (degree-1) masking and d <= ring degree \
+       (try --layout dot-product)@.";
+    exit 2
+  end;
   let rng = Util.Rng.of_int seed in
   let trace0 = new_trace () in
   let obs0 = make_ctx trace0 in
   let dep, setup_s =
     Util.Timer.time (fun () -> guarded (fun () -> Protocol.deploy ~obs:obs0 ~rng ?jobs config ~db))
   in
-  (* With --repeat, use the prepared multi-query path when the
-     configuration supports it (affine masking, d <= n); otherwise fall
-     back to independent queries and say so. *)
-  let use_prepared =
-    repeat > 1 && config.Config.mask_degree = 1
-    && Array.length q <= config.Config.bgv.Params.n
-  in
-  let run obs () =
-    if use_prepared then Protocol.query_prepared ~obs dep ~query:q ~k
-    else Protocol.query ~obs dep ~query:q ~k
-  in
-  let r, query_s' = Util.Timer.time (fun () -> guarded (run obs0)) in
-  write_trace trace0 0;
-  let steady_times =
-    List.init (repeat - 1) (fun i ->
-        Gc.full_major ();
-        let tr = new_trace () in
-        let obs = make_ctx tr in
-        let t = snd (Util.Timer.time (fun () -> guarded (run obs))) in
-        write_trace tr (i + 1);
-        t)
-  in
-  if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
-  Format.printf "neighbours:@.";
-  Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
-  Format.printf "exact: %b@." (Protocol.exact dep ~db ~query:q r);
-  Format.printf "setup %a, query %a@." Util.Timer.pp_duration setup_s Util.Timer.pp_duration
-    query_s';
-  if repeat > 1 then begin
-    let n_steady = List.length steady_times in
-    let mean = List.fold_left ( +. ) 0.0 steady_times /. float_of_int n_steady in
-    Format.printf "repeat %d (%s): first %a, steady-state mean %a (%.1fx)@." repeat
-      (if use_prepared then "prepared database"
-       else "independent queries — prepared path needs affine masking")
-      Util.Timer.pp_duration query_s' Util.Timer.pp_duration mean (query_s' /. mean)
-  end;
-  if verbose then begin
-    List.iter
-      (fun (name, s) -> Format.printf "  %-20s %a@." name Util.Timer.pp_duration s)
-      r.Protocol.phase_seconds;
-    Format.printf "party A: %a@." Util.Counters.pp r.Protocol.counters_a;
-    Format.printf "party B: %a@." Util.Counters.pp r.Protocol.counters_b;
-    Format.printf "%a@." Transcript.pp r.Protocol.transcript
+  if batch then begin
+    let m = Array.length queries in
+    let results, round_s =
+      Util.Timer.time (fun () ->
+          guarded (fun () -> Protocol.query_batch ~obs:obs0 dep ~queries ~k))
+    in
+    write_trace trace0 0;
+    if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
+    Array.iteri
+      (fun i r ->
+        Format.printf "query %d neighbours:@." i;
+        Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
+        Format.printf "  exact: %b@." (Protocol.exact dep ~db ~query:queries.(i) r))
+      results;
+    Format.printf "setup %a, batched round %a (%d queries, %a per query)@."
+      Util.Timer.pp_duration setup_s Util.Timer.pp_duration round_s m
+      Util.Timer.pp_duration
+      (round_s /. float_of_int m);
+    if verbose then begin
+      List.iter
+        (fun (name, s) -> Format.printf "  %-20s %a@." name Util.Timer.pp_duration s)
+        results.(0).Protocol.phase_seconds;
+      Format.printf "party A: %a@." Util.Counters.pp results.(0).Protocol.counters_a;
+      Format.printf "party B: %a@." Util.Counters.pp results.(0).Protocol.counters_b;
+      Format.printf "%a@." Transcript.pp results.(0).Protocol.transcript
+    end
+  end
+  else begin
+    (* With --repeat, use the packed path when asked (--packed), else the
+       prepared multi-query path when the configuration supports it
+       (affine masking, d <= n); otherwise fall back to independent
+       queries and say so. *)
+    let use_prepared = repeat > 1 && packed_ok in
+    let run obs () =
+      if packed then Protocol.query_packed ~obs dep ~query:q ~k
+      else if use_prepared then Protocol.query_prepared ~obs dep ~query:q ~k
+      else Protocol.query ~obs dep ~query:q ~k
+    in
+    let r, query_s' = Util.Timer.time (fun () -> guarded (run obs0)) in
+    write_trace trace0 0;
+    let steady_times =
+      List.init (repeat - 1) (fun i ->
+          Gc.full_major ();
+          let tr = new_trace () in
+          let obs = make_ctx tr in
+          let t = snd (Util.Timer.time (fun () -> guarded (run obs))) in
+          write_trace tr (i + 1);
+          t)
+    in
+    if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
+    Format.printf "neighbours:@.";
+    Array.iter (fun p -> Format.printf "  %a@." Point.pp p) r.Protocol.neighbours;
+    Format.printf "exact: %b@." (Protocol.exact dep ~db ~query:q r);
+    Format.printf "setup %a, query %a@." Util.Timer.pp_duration setup_s Util.Timer.pp_duration
+      query_s';
+    if repeat > 1 then begin
+      let n_steady = List.length steady_times in
+      let mean = List.fold_left ( +. ) 0.0 steady_times /. float_of_int n_steady in
+      Format.printf "repeat %d (%s): first %a, steady-state mean %a (%.1fx)@." repeat
+        (if packed then "slot-packed database"
+         else if use_prepared then "prepared database"
+         else "independent queries — prepared path needs affine masking")
+        Util.Timer.pp_duration query_s' Util.Timer.pp_duration mean (query_s' /. mean)
+    end;
+    if verbose then begin
+      List.iter
+        (fun (name, s) -> Format.printf "  %-20s %a@." name Util.Timer.pp_duration s)
+        r.Protocol.phase_seconds;
+      Format.printf "party A: %a@." Util.Counters.pp r.Protocol.counters_a;
+      Format.printf "party B: %a@." Util.Counters.pp r.Protocol.counters_b;
+      Format.printf "%a@." Transcript.pp r.Protocol.transcript
+    end
   end;
   (match audit_log with
    | None -> ()
@@ -260,6 +307,19 @@ let query_cmd =
                    With --trace, run $(docv)'s spans go to FILE.$(docv).ext."
              ~docv:"N")
   in
+  let packed =
+    Arg.(value & flag
+         & info [ "packed" ]
+             ~doc:"Use the slot-packed (SIMD) database layout: one ciphertext per \
+                   $(b,N) points in the distance phase.  Needs affine masking and \
+                   d <= ring degree.")
+  in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:"Treat --query as ';'-separated queries and answer them all in one \
+                   slot-dimension protocol round (implies the packed layout).")
+  in
   let prom =
     Arg.(value & opt (some string) None
          & info [ "prom" ] ~docv:"FILE"
@@ -275,7 +335,8 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
     Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ repeat
-          $ verbose_t $ trace $ trace_format $ audit $ metrics $ prom $ flight_out)
+          $ packed $ batch $ verbose_t $ trace $ trace_format $ audit $ metrics $ prom
+          $ flight_out)
 
 (* ------------------------------------------------------------------ *)
 (* dump-flight                                                         *)

@@ -7,10 +7,13 @@
     view via a negacyclic NTT mod [t]; all homomorphic operations then act
     slot-wise.  The Apriori extension packs one transaction per slot,
     which is what makes a candidate's support cost [|S| - 1] ciphertext
-    multiplications in total; the k-NN protocol itself uses the
-    coefficient view (one point per ciphertext), because Party A's
-    per-query permutation must reorder values it cannot rotate without
-    additional key material. *)
+    multiplications in total.  The k-NN protocol uses both views: the
+    per-point layouts put one point per ciphertext in the coefficient
+    view, while the slot-packed prepared path (DESIGN §2 "Packing
+    layout") packs one database point per slot, dimension-major —
+    Party A's per-query permutation needs no Galois key material there
+    because it is applied to the plaintext columns at pack time, and
+    Party B slot-unpacks decrypted batches with [to_slots]. *)
 
 type t
 (** Immutable plaintext polynomial attached to a parameter set. *)

@@ -32,6 +32,15 @@ type encrypted_query = {
   q_dim : int;
 }
 
+(* Slot-batched multi-query form: ciphertext j carries query m's j-th
+   coordinate in slot m, so M queries ride one set of d+1 ciphertexts. *)
+type batched_query = {
+  bq_coords : Bgv.ct array;
+  bq_norm : Bgv.ct;
+  bq_count : int;
+  bq_dim : int;
+}
+
 let ct_bytes = Bgv.byte_size
 
 let point_bytes p =
@@ -45,6 +54,9 @@ let query_bytes q =
   (match q.q_coords with None -> 0 | Some a -> Array.fold_left (fun s c -> s + ct_bytes c) 0 a)
   + (match q.q_rev with None -> 0 | Some c -> ct_bytes c)
   + (match q.q_norm with None -> 0 | Some c -> ct_bytes c)
+
+let batched_query_bytes bq =
+  Array.fold_left (fun s c -> s + ct_bytes c) (ct_bytes bq.bq_norm) bq.bq_coords
 
 (* Coefficient-packed plaintext for a point: p_j at coefficient j. *)
 let packed_plaintext params point =
@@ -467,6 +479,373 @@ module Party_a = struct
   let permuted_packed_prepared prep state =
     Perm.apply state.perm prep.prep_return_packed
 
+  (* ---- Slot-packed (SIMD) path ----------------------------------- *)
+
+  (* The packed path models the outsourced-query setting (SANNS-style):
+     Party A acts for the data owner and holds the database in the
+     clear, dimension-major — column j is the n-vector of j-th
+     coordinates, one slot per point — while the client's query stays
+     encrypted.  A batch of N = slot_count points then costs d plain
+     products plus adds instead of N ciphertext products, and Party B
+     decrypts ceil(n/N) ciphertexts instead of n.  B's §5 view (masked
+     permuted distance multiset, n, k) is unchanged. *)
+  type prepared_packed = {
+    pp_cols : int64 array array;  (* pp_cols.(j).(i) = p_i(j) mod t *)
+    pp_norms : int64 array;       (* ‖p_i‖² mod t *)
+    pp_return_packed : Bgv.ct array;
+        (* return-level packed points, as in [prepared] *)
+  }
+
+  let packed_supported config ~d =
+    if config.Config.mask_degree <> 1 then
+      Error "packed queries need affine (degree-1) masking"
+    else if d > config.Config.bgv.Params.n then
+      Error "packed queries need d <= ring degree"
+    else Ok ()
+
+  let lg2 x = log x /. log 2.0
+
+  let log2_add a b =
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. lg2 (1.0 +. (2.0 ** (lo -. hi)))
+
+  (* Worst-case headroom for the packed SIMD circuit.  Strictly
+     shallower than the prepared path: the inner product is d plain
+     products summed slot-wise, so no tensor term ever appears and the
+     level-drop rule of [compute_distances_prepared] applies verbatim to
+     a smaller bound. *)
+  let forecast_noise_packed ?(margin_bits = 4.0) t =
+    let config = t.config in
+    let nm = noise_model_params config.Config.bgv in
+    let tr = NM.start nm in
+    let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
+    let d = Stdlib.max 1 t.db.db_d in
+    let ip = NM.step tr "coordinate-products" (NM.mul_plain nm fresh) in
+    let ip =
+      NM.step tr "coordinate-sum" { ip with NM.bits = ip.NM.bits +. lg2 (float_of_int d) }
+    in
+    let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
+    let ed = NM.step tr "ed-combine" (NM.sub (NM.add_plain nm fresh) ip2) in
+    let mask_bits = nm.NM.t_bits in
+    let return_lvl = return_level t in
+    let ed =
+      (* The level-drop rule of compute_distances_prepared, verbatim. *)
+      let need = ed.NM.bits +. mask_bits +. 17.0 in
+      let lvl = ref 0 and bits = ref 0.0 in
+      while !bits <= need && !lvl < ed.NM.level do
+        bits := !bits +. nm.NM.moduli_bits.(!lvl);
+        incr lvl
+      done;
+      let lvl = Stdlib.max !lvl return_lvl in
+      if !bits > need && lvl < ed.NM.level then
+        NM.step tr "truncate" (NM.truncate ed ~level:lvl)
+      else if config.Config.rescale_distances then
+        NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
+      else ed
+    in
+    let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
+    let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
+    ignore (NM.step tr "tail-randomizer" (NM.add_plain nm m));
+    let packed_ret = NM.truncate fresh ~level:(Stdlib.min return_lvl fresh.NM.level) in
+    let row = NM.fresh_at nm ~level:return_lvl in
+    ignore
+      (NM.step tr "return-knn"
+         (NM.mul_sum nm packed_ret row ~terms:(Stdlib.max 1 t.db.db_n)));
+    NM.report ~margin_bits tr
+
+  let prepare_packed ?(obs = Obs.disabled) ?(noise_margin_bits = 4.0) t ~db =
+    let config = t.config in
+    let d = t.db.db_d and n = t.db.db_n in
+    (match packed_supported config ~d with
+     | Ok () -> ()
+     | Error msg -> invalid_arg ("Party_a.prepare_packed: " ^ msg));
+    if Array.length db <> n then
+      invalid_arg "Party_a.prepare_packed: plaintext database size mismatch";
+    Array.iter (Data_owner.validate_point config ~d) db;
+    let forecast = forecast_noise_packed ~margin_bits:noise_margin_bits t in
+    Obs.audit obs ~party:"party-a" ~phase:"prepare-db" ~label:"noise-min-headroom-bits"
+      (Audit.Float forecast.NM.min_headroom_bits);
+    if forecast.NM.below_margin then begin
+      Obs.audit obs ~party:"party-a" ~phase:"prepare-db"
+        ~label:"noise-low-headroom-warning"
+        (Audit.Str (Format.asprintf "%a" NM.pp_report forecast));
+      Obs.warn obs ~name:"noise-low-headroom" ~x:forecast.NM.min_headroom_bits ();
+      Format.eprintf
+        "[sknn] warning: noise forecast predicts %.1f bits minimum headroom (margin \
+         %.1f) — deepen the modulus chain or lower the circuit depth@."
+        forecast.NM.min_headroom_bits noise_margin_bits
+    end;
+    let tp = config.Config.bgv.Params.t_plain in
+    let lvl = return_level t in
+    { pp_cols =
+        Array.init d (fun j ->
+            Array.init n (fun i -> Mod64.reduce tp (Int64.of_int db.(i).(j))));
+      pp_norms =
+        Array.init n (fun i -> Mod64.reduce tp (Int64.of_int (squared_norm db.(i))));
+      pp_return_packed =
+        Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points }
+
+  (* Walk the RNS chain for the lowest level whose modulus clears [need]
+     bits — the prepared level-drop rule, applied predictively to the
+     query ciphertexts before the products.  Every packed op's noise
+     increment is level-independent, so truncating up front reaches the
+     same end-of-circuit bound while all the per-batch work runs on the
+     short chain.  [None] when even the full chain lacks the headroom
+     (callers then fall back to the configured rescale). *)
+  let level_for_need t ~need =
+    let params = t.config.Config.bgv in
+    let chain = Params.chain_length params in
+    let lvl = ref 0 and bits = ref 0.0 in
+    while !bits <= need && !lvl < chain do
+      bits := !bits +. lg2 (float_of_int params.Params.moduli.(!lvl));
+      incr lvl
+    done;
+    let lvl = Stdlib.max !lvl (return_level t) in
+    if !bits > need then Some lvl else None
+
+  let packed_query_level t ~q_noise_bits ~d =
+    let params = t.config.Config.bgv in
+    let t_bits = lg2 (Int64.to_float params.Params.t_plain) in
+    let ip =
+      q_noise_bits +. lg2 (float_of_int params.Params.n) +. t_bits -. 1.0
+      +. lg2 (float_of_int (Stdlib.max 1 d))
+    in
+    let ed = log2_add (log2_add q_noise_bits (t_bits -. 1.0)) (ip +. 1.0) in
+    level_for_need t ~need:(ed +. t_bits +. 17.0)
+
+  let compute_distances_packed ?(obs = Obs.disabled) t pp rng query =
+    let config = t.config in
+    let params = config.Config.bgv in
+    let d = t.db.db_d and n = t.db.db_n in
+    if query.q_dim <> d then
+      invalid_arg "Party_a.compute_distances_packed: dimension mismatch";
+    let q_coords, q_norm =
+      match query.q_coords, query.q_norm with
+      | Some c, Some nr when Array.length c = d -> (c, nr)
+      | _ ->
+        invalid_arg
+          "Party_a.compute_distances_packed: query lacks broadcast-slot form (use \
+           Client.encrypt_query_packed)"
+    in
+    (match packed_supported config ~d with
+     | Ok () -> ()
+     | Error msg -> invalid_arg ("Party_a.compute_distances_packed: " ^ msg));
+    if Array.length pp.pp_norms <> n || Array.length pp.pp_cols <> d then
+      invalid_arg "Party_a.compute_distances_packed: prepared state mismatch";
+    let slots = Params.slot_count params in
+    let nbatches = (n + slots - 1) / slots in
+    let mask =
+      Obs.with_span obs "draw-mask" (fun () ->
+          Masking.draw rng ~t_plain:params.Params.t_plain
+            ~input_bits:(Config.max_distance_bits config ~d)
+            ~degree:config.Config.mask_degree
+            ~coeff_bits:config.Config.mask_coeff_bits ())
+    in
+    let coeffs = Masking.coeffs mask in
+    let rngs = split_streams rng nbatches in
+    (* The permutation is drawn before the homomorphic loop: the slot
+       layout must already be in permuted order when the batches are
+       packed.  Party A repacks its plaintext columns per query — d+1
+       cheap slot NTTs per batch — so Π needs no Galois machinery and
+       stays uniform over all n! choices exactly as in Algorithm 1. *)
+    let perm = Obs.with_span obs "permute" (fun () -> Perm.random rng n) in
+    let q_noise =
+      Array.fold_left
+        (fun m c -> Float.max m (Bgv.noise_bits c))
+        (Bgv.noise_bits q_norm) q_coords
+    in
+    let drop = packed_query_level t ~q_noise_bits:q_noise ~d in
+    let q_coords, q_norm =
+      match drop with
+      | Some lvl when lvl < Bgv.level q_norm ->
+        ( Array.map (fun c -> Bgv.truncate_to_level c lvl) q_coords,
+          Bgv.truncate_to_level q_norm lvl )
+      | _ -> (q_coords, q_norm)
+    in
+    let cols_p = Array.map (Perm.apply perm) pp.pp_cols in
+    let norms_p = Perm.apply perm pp.pp_norms in
+    let slice src base len =
+      let a = Array.make slots 0L in
+      Array.blit src base a 0 len;
+      a
+    in
+    let masked =
+      Obs.with_span obs
+        ~counters:[ ("party-a", t.counters) ]
+        ~args:[ ("points", string_of_int n); ("batches", string_of_int nbatches) ]
+        "distance-batches"
+        (fun () ->
+          Obs.with_pool_chunks obs ~label:"packed-distances" (fun () ->
+              Pool.map_local ~jobs:t.jobs ~make:Counters.create
+                ~merge:(merge_into t.counters)
+                ~f:(fun counters b rng_b ->
+                  let base = b * slots in
+                  let len = Stdlib.min slots (n - base) in
+                  (* Slot s of batch b holds point Π⁻¹(b·N + s); ED and
+                     the affine mask act slot-wise, so one ciphertext
+                     carries N masked distances. *)
+                  let ip = ref None in
+                  for j = 0 to d - 1 do
+                    let col = Plaintext.of_slots params (slice cols_p.(j) base len) in
+                    let p = Bgv.mul_plain ~counters q_coords.(j) col in
+                    ip :=
+                      Some (match !ip with None -> p | Some s -> Bgv.add ~counters s p)
+                  done;
+                  let ip = Option.get !ip in
+                  let norms = Plaintext.of_slots params (slice norms_p base len) in
+                  let ed =
+                    Bgv.sub ~counters
+                      (Bgv.add_plain ~counters q_norm norms)
+                      (Bgv.mul_scalar ~counters ip 2L)
+                  in
+                  let ed =
+                    if drop = None && config.Config.rescale_distances then
+                      Bgv.rescale_to_floor ~counters ed
+                    else ed
+                  in
+                  let m = Bgv.eval_poly ~counters ?rlk:(rlk_opt t) ~coeffs ed in
+                  if len < slots then
+                    (* Ragged tail: slots past the database carry phantom
+                       points whose masked values would order against the
+                       real ones; one uniform value per dead slot makes
+                       them carry no information before B discards them. *)
+                    let tail =
+                      Array.init slots (fun s ->
+                          if s < len then 0L
+                          else Rng.int64_below rng_b params.Params.t_plain)
+                    in
+                    Bgv.add_plain ~counters m (Plaintext.of_slots params tail)
+                  else m)
+                rngs))
+    in
+    ({ mask; perm }, masked)
+
+  let permuted_return_packed pp state = Perm.apply state.perm pp.pp_return_packed
+
+  (* ---- Slot-batched multi-query evaluation ------------------------ *)
+
+  type batch_state = { b_masks : Masking.t array; b_perm : Perm.t }
+
+  let batch_state_masks s = s.b_masks
+  let batch_state_perm s = s.b_perm
+
+  let batch_query_level t ~q_noise_bits ~d =
+    let params = t.config.Config.bgv in
+    let t_bits = lg2 (Int64.to_float params.Params.t_plain) in
+    let ip =
+      q_noise_bits
+      +. float_of_int t.config.Config.max_coord_bits
+      +. lg2 (float_of_int (Stdlib.max 1 d))
+      +. 1.0
+    in
+    let ed = log2_add (log2_add q_noise_bits (t_bits -. 1.0)) ip in
+    let masked = ed +. lg2 (float_of_int params.Params.n) +. t_bits -. 1.0 in
+    let masked = log2_add masked (t_bits -. 1.0) in
+    level_for_need t ~need:(masked +. 17.0)
+
+  (* M queries in the slot dimension: per point the inner products of
+     all M queries cost d scalar products on the slot-packed query
+     ciphertexts, and one plain product + plain add applies every
+     query's own affine mask (slot q carries query q's coefficients).
+     The n output ciphertexts share one permutation, which is the extra
+     declared leakage of the batch mode: Party B can align positions
+     across the M views of a batch (audited as "batch-query-count"). *)
+  let compute_distances_batch ?(obs = Obs.disabled) t pp rng bq =
+    let config = t.config in
+    let params = config.Config.bgv in
+    let d = t.db.db_d and n = t.db.db_n in
+    if bq.bq_dim <> d then
+      invalid_arg "Party_a.compute_distances_batch: dimension mismatch";
+    (match packed_supported config ~d with
+     | Ok () -> ()
+     | Error msg -> invalid_arg ("Party_a.compute_distances_batch: " ^ msg));
+    if Array.length pp.pp_norms <> n || Array.length pp.pp_cols <> d then
+      invalid_arg "Party_a.compute_distances_batch: prepared state mismatch";
+    let slots = Params.slot_count params in
+    let nqueries = bq.bq_count in
+    if nqueries < 1 || nqueries > slots then
+      invalid_arg "Party_a.compute_distances_batch: batch size out of range";
+    let masks =
+      Obs.with_span obs "draw-mask" (fun () ->
+          Array.init nqueries (fun _ ->
+              Masking.draw rng ~t_plain:params.Params.t_plain
+                ~input_bits:(Config.max_distance_bits config ~d)
+                ~degree:config.Config.mask_degree
+                ~coeff_bits:config.Config.mask_coeff_bits ()))
+    in
+    let a1 = Array.make slots 1L and a0 = Array.make slots 0L in
+    Array.iteri
+      (fun q mq ->
+        let c = Masking.coeffs mq in
+        a0.(q) <- c.(0);
+        a1.(q) <- c.(1))
+      masks;
+    let a1_pt = Plaintext.of_slots params a1 in
+    let a0_shared =
+      if nqueries = slots then Some (Plaintext.of_slots params a0) else None
+    in
+    let rngs = split_streams rng n in
+    let perm = Obs.with_span obs "permute" (fun () -> Perm.random rng n) in
+    let q_noise =
+      Array.fold_left
+        (fun x c -> Float.max x (Bgv.noise_bits c))
+        (Bgv.noise_bits bq.bq_norm) bq.bq_coords
+    in
+    let drop = batch_query_level t ~q_noise_bits:q_noise ~d in
+    let bq_coords, bq_norm =
+      match drop with
+      | Some lvl when lvl < Bgv.level bq.bq_norm ->
+        ( Array.map (fun c -> Bgv.truncate_to_level c lvl) bq.bq_coords,
+          Bgv.truncate_to_level bq.bq_norm lvl )
+      | _ -> (bq.bq_coords, bq.bq_norm)
+    in
+    let masked =
+      Obs.with_span obs
+        ~counters:[ ("party-a", t.counters) ]
+        ~args:[ ("points", string_of_int n); ("queries", string_of_int nqueries) ]
+        "distance-batches"
+        (fun () ->
+          Obs.with_pool_chunks obs ~label:"batched-distances" (fun () ->
+              Pool.map_local ~jobs:t.jobs ~make:Counters.create
+                ~merge:(merge_into t.counters)
+                ~f:(fun counters i rng_i ->
+                  let ip = ref None in
+                  for j = 0 to d - 1 do
+                    let p = Bgv.mul_scalar ~counters bq_coords.(j) pp.pp_cols.(j).(i) in
+                    ip :=
+                      Some (match !ip with None -> p | Some s -> Bgv.add ~counters s p)
+                  done;
+                  let ip = Option.get !ip in
+                  let ed =
+                    Bgv.add_const ~counters
+                      (Bgv.sub ~counters bq_norm (Bgv.mul_scalar ~counters ip 2L))
+                      pp.pp_norms.(i)
+                  in
+                  let ed =
+                    if drop = None && config.Config.rescale_distances then
+                      Bgv.rescale_to_floor ~counters ed
+                    else ed
+                  in
+                  let md = Bgv.mul_plain ~counters ed a1_pt in
+                  let a0_pt =
+                    match a0_shared with
+                    | Some pt -> pt
+                    | None ->
+                      (* Dead slots (no query) get a fresh uniform value
+                         per point, killing the cross-point order their
+                         unit-slope masking would otherwise expose. *)
+                      Plaintext.of_slots params
+                        (Array.init slots (fun q ->
+                             if q < nqueries then a0.(q)
+                             else Rng.int64_below rng_i params.Params.t_plain))
+                  in
+                  Bgv.add_plain ~counters md a0_pt)
+                rngs))
+    in
+    ({ b_masks = masks; b_perm = perm }, Perm.apply perm masked)
+
+  let permuted_return_packed_batch pp bstate = Perm.apply bstate.b_perm pp.pp_return_packed
+
   let return_knn ?obs t state rows =
     let packed = permuted_packed t state in
     Array.map (fun row -> select_row ?obs t packed row) rows
@@ -509,6 +888,58 @@ module Party_b = struct
     in
     Obs.with_span obs ~args:[ ("k", string_of_int k) ] "select-top-k" (fun () ->
         { masked_distances = masked; selected = Util.Topk.smallest ~k masked })
+
+  let select_neighbours_packed ?(obs = Obs.disabled) t cts ~n ~k =
+    let params = t.config.Config.bgv in
+    let slots = Params.slot_count params in
+    if n < 1 then invalid_arg "Party_b.select_neighbours_packed: empty database";
+    if Array.length cts <> (n + slots - 1) / slots then
+      invalid_arg "Party_b.select_neighbours_packed: ciphertext count mismatch";
+    if k < 1 || k > n then invalid_arg "Party_b: k out of range";
+    let masked =
+      Obs.with_span obs
+        ~counters:[ ("party-b", t.counters) ]
+        ~args:
+          [ ("points", string_of_int n); ("ciphertexts", string_of_int (Array.length cts)) ]
+        "decrypt-distances"
+        (fun () ->
+          (* Slot-unpack before any accounting: every downstream consumer
+             (Topk, Leakage, the audit channel) must see the n per-point
+             masked distances, never per-ciphertext aggregates. *)
+          let out = Array.make n 0L in
+          Array.iteri
+            (fun b ct ->
+              let s = Plaintext.to_slots (Bgv.decrypt ~counters:t.counters t.sk ct) in
+              let base = b * slots in
+              Array.blit s 0 out base (Stdlib.min slots (n - base)))
+            cts;
+          out)
+    in
+    Obs.with_span obs ~args:[ ("k", string_of_int k) ] "select-top-k" (fun () ->
+        { masked_distances = masked; selected = Util.Topk.smallest ~k masked })
+
+  let select_views_batch ?(obs = Obs.disabled) t cts ~m:nqueries ~k =
+    let params = t.config.Config.bgv in
+    let slots = Params.slot_count params in
+    let n = Array.length cts in
+    if n < 1 then invalid_arg "Party_b.select_views_batch: empty database";
+    if nqueries < 1 || nqueries > slots then
+      invalid_arg "Party_b.select_views_batch: batch size out of range";
+    if k < 1 || k > n then invalid_arg "Party_b: k out of range";
+    let slot_rows =
+      Obs.with_span obs
+        ~counters:[ ("party-b", t.counters) ]
+        ~args:[ ("points", string_of_int n); ("queries", string_of_int nqueries) ]
+        "decrypt-distances"
+        (fun () ->
+          Array.map
+            (fun ct -> Plaintext.to_slots (Bgv.decrypt ~counters:t.counters t.sk ct))
+            cts)
+    in
+    Obs.with_span obs ~args:[ ("k", string_of_int k) ] "select-top-k" (fun () ->
+        Array.init nqueries (fun q ->
+            let masked = Array.init n (fun i -> slot_rows.(i).(q)) in
+            { masked_distances = masked; selected = Util.Topk.smallest ~k masked }))
 
   let return_level t =
     Stdlib.min t.config.Config.return_level (Params.chain_length t.config.Config.bgv)
@@ -582,6 +1013,53 @@ module Client = struct
       in
       { q_coords = Some q_coords; q_rev = None; q_norm = None; q_dim = d }
     | Config.Dot_product -> encrypt_query_ip t rng query
+
+  (* Broadcast-slot query form for the packed path: d coordinate
+     ciphertexts with the same value in every slot, plus ‖q‖²
+     broadcast — still O(d) ciphertexts whatever the batch count. *)
+  let encrypt_query_packed t rng query =
+    let config = t.config in
+    let params = config.Config.bgv in
+    let counters = t.counters in
+    let d = Array.length query in
+    Data_owner.validate_point config ~d query;
+    if d > params.Params.n then
+      invalid_arg "Client.encrypt_query_packed: dimension exceeds ring degree";
+    let q_coords =
+      Array.map
+        (fun v -> Bgv.encrypt ~counters rng t.pk (Plaintext.constant params (Int64.of_int v)))
+        query
+    in
+    let q_norm =
+      Bgv.encrypt ~counters rng t.pk
+        (Plaintext.constant params (Int64.of_int (squared_norm query)))
+    in
+    { q_coords = Some q_coords; q_rev = None; q_norm = Some q_norm; q_dim = d }
+
+  let encrypt_query_batch t rng queries =
+    let config = t.config in
+    let params = config.Config.bgv in
+    let counters = t.counters in
+    let m = Array.length queries in
+    let slots = Params.slot_count params in
+    if m = 0 then invalid_arg "Client.encrypt_query_batch: empty batch";
+    if m > slots then
+      invalid_arg "Client.encrypt_query_batch: batch exceeds the slot count";
+    let d = Array.length queries.(0) in
+    Array.iter
+      (fun q ->
+        if Array.length q <> d then invalid_arg "Client.encrypt_query_batch: ragged batch";
+        Data_owner.validate_point config ~d q)
+      queries;
+    let enc slot_of =
+      let s = Array.make slots 0L in
+      Array.iteri (fun q query -> s.(q) <- Int64.of_int (slot_of query)) queries;
+      Bgv.encrypt ~counters rng t.pk (Plaintext.of_slots params s)
+    in
+    { bq_coords = Array.init d (fun j -> enc (fun query -> query.(j)));
+      bq_norm = enc squared_norm;
+      bq_count = m;
+      bq_dim = d }
 
   let decrypt_points ?(obs = Obs.disabled) t ~d cts =
     Obs.with_pool_chunks obs ~label:"decrypt-result" (fun () ->

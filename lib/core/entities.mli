@@ -22,11 +22,23 @@ type encrypted_point = {
 type encrypted_db = { db_n : int; db_d : int; points : encrypted_point array }
 
 type encrypted_query = {
-  q_coords : Bgv.ct array option;  (** [Per_coordinate]: d constants *)
+  q_coords : Bgv.ct array option;
+      (** [Per_coordinate]: d constants; packed form: d broadcast-slot
+          coordinates *)
   q_rev : Bgv.ct option;           (** [Dot_product]: reversed query *)
-  q_norm : Bgv.ct option;          (** [Dot_product]: [‖q‖²] *)
+  q_norm : Bgv.ct option;          (** [Dot_product] and packed: [‖q‖²] *)
   q_dim : int;
 }
+
+type batched_query = {
+  bq_coords : Bgv.ct array;
+      (** ciphertext [j] carries query [m]'s coordinate [j] in slot [m] *)
+  bq_norm : Bgv.ct;  (** slot [m] = [‖q_m‖²] *)
+  bq_count : int;  (** M, the number of queries packed in the slots *)
+  bq_dim : int;
+}
+(** Slot-batched multi-query form: M queries ride one set of [d + 1]
+    ciphertexts through the packed pipeline. *)
 
 (** {1 Data owner} *)
 
@@ -143,6 +155,77 @@ module Party_a : sig
   (** {!permuted_packed} from the prepared cache: the return-level
       truncation was done once in {!prepare}, so this is just the
       permutation. *)
+
+  (** {2 Slot-packed (SIMD) prepared state}
+
+      The packed path models the outsourced-query setting (SANNS-style):
+      Party A acts for the data owner and holds the database in the
+      clear, laid out dimension-major — for coordinate [j] one
+      [n]-vector whose entry [i] is [p_i(j)], packed into plaintext
+      slots per batch — while the client's query stays encrypted.  A
+      batch of [N = slot_count] points then costs [d] plain products
+      plus adds instead of [N] ciphertext products, and Party B decrypts
+      [⌈n/N⌉] ciphertexts instead of [n].  Party B's §5 view (the masked
+      permuted distance multiset, [n] and [k]) is unchanged. *)
+
+  type prepared_packed
+
+  val forecast_noise_packed : ?margin_bits:float -> t -> Sknn_obs.Noise_model.report
+  (** {!forecast_noise} for the packed circuit, which is strictly
+      shallower (plain products only, no tensor term); the prepared
+      level-drop rule is replayed verbatim on the smaller bound. *)
+
+  val prepare_packed :
+    ?obs:Sknn_obs.Ctx.t -> ?noise_margin_bits:float -> t -> db:int array array ->
+    prepared_packed
+  (** Lays [db] (the plaintext database, dimension-major) out for the
+      packed path and caches the return-level packed ciphertexts.  Emits
+      the same [prepare-db] audit entries and low-headroom warning as
+      {!prepare}, driven by {!forecast_noise_packed}.  Requires affine
+      masking and [d <= n].
+      @raise Invalid_argument when the config is unsupported or [db]
+      does not match the encrypted database's dimensions. *)
+
+  val compute_distances_packed :
+    ?obs:Sknn_obs.Ctx.t -> t -> prepared_packed -> Util.Rng.t -> encrypted_query ->
+    query_state * Bgv.ct array
+  (** Algorithm 1 on the packed layout: returns [⌈n/N⌉] ciphertexts
+      whose slot [s] of batch [b] holds the masked distance of point
+      [Π⁻¹(b·N + s)] — the permutation is applied when the plaintext
+      columns are repacked, so it stays uniform and per-query.  The
+      query must be in broadcast-slot form
+      ({!Client.encrypt_query_packed}).  Dead slots of the ragged tail
+      batch are overwritten with uniform randomness.  The query
+      ciphertexts are truncated up front by the prepared level-drop
+      rule, applied predictively (every later op's noise increment is
+      level-independent).  Batches run pool-parallel with per-batch RNG
+      streams: results, counters and transcripts are bit-identical for
+      every job count. *)
+
+  val permuted_return_packed : prepared_packed -> query_state -> Bgv.ct array
+  (** {!permuted_packed_prepared} for the packed state. *)
+
+  (** {2 Slot-batched multi-query evaluation} *)
+
+  type batch_state
+  (** Per-batch secrets: one fresh affine mask per query and the shared
+      permutation Π. *)
+
+  val compute_distances_batch :
+    ?obs:Sknn_obs.Ctx.t -> t -> prepared_packed -> Util.Rng.t -> batched_query ->
+    batch_state * Bgv.ct array
+  (** M queries at once: returns [n] ciphertexts (in permuted point
+      order) whose slot [m] holds query [m]'s masked distance to the
+      point.  Each query gets its own fresh affine mask (slot-wise
+      coefficients); dead slots are overwritten with per-point uniform
+      randomness.  The M views share one permutation — the batch mode's
+      extra declared leakage (audited as ["batch-query-count"]). *)
+
+  val permuted_return_packed_batch : prepared_packed -> batch_state -> Bgv.ct array
+
+  val batch_state_masks : batch_state -> Masking.t array
+  val batch_state_perm : batch_state -> Util.Perm.t
+  (** Exposed for the leakage-audit tests only, like {!state_mask}. *)
 end
 
 (** {1 Party B — key holder, never sees the database} *)
@@ -177,6 +260,20 @@ module Party_b : sig
   (** The decrypt-and-select half of Algorithm 2 without materialising
       the indicator vectors. *)
 
+  val select_neighbours_packed :
+    ?obs:Sknn_obs.Ctx.t -> t -> Bgv.ct array -> n:int -> k:int -> view
+  (** {!select_neighbours} over slot-packed distances: decrypts the
+      [⌈n/N⌉] ciphertexts, unpacks the slots ({!Plaintext.to_slots}) and
+      discards the dead tail slots, so the view carries exactly the [n]
+      per-point masked distances — Leakage accounting (equidistant
+      groups, multiset) is computed on the same surface as the unpacked
+      path, never on per-ciphertext aggregates. *)
+
+  val select_views_batch :
+    ?obs:Sknn_obs.Ctx.t -> t -> Bgv.ct array -> m:int -> k:int -> view array
+  (** Batched-query selection: one {!view} per packed query, unpacked
+      from slot [m] of each of the [n] ciphertexts. *)
+
   val indicator_row :
     ?obs:Sknn_obs.Ctx.t -> t -> Util.Rng.t -> view -> n:int -> j:int -> Bgv.ct array
   (** The j-th indicator vector [B^j] (n encryptions of 0 with a single
@@ -204,10 +301,22 @@ module Client : sig
       what {!Party_a.compute_distances_prepared} consumes.
       @raise Invalid_argument when [d] exceeds the ring degree. *)
 
+  val encrypt_query_packed : t -> Util.Rng.t -> int array -> encrypted_query
+  (** Broadcast-slot query form for the packed path: [d] coordinate
+      ciphertexts with the same value in every slot plus [‖q‖²]
+      broadcast; what {!Party_a.compute_distances_packed} consumes.
+      @raise Invalid_argument when [d] exceeds the ring degree. *)
+
+  val encrypt_query_batch : t -> Util.Rng.t -> int array array -> batched_query
+  (** M queries packed in the slot dimension, M ≤ {!Params.slot_count};
+      what {!Party_a.compute_distances_batch} consumes.
+      @raise Invalid_argument on an empty, ragged or oversized batch. *)
+
   val decrypt_points : ?obs:Sknn_obs.Ctx.t -> t -> d:int -> Bgv.ct array -> int array array
 end
 
 (** {1 Serialised sizes} *)
 
 val query_bytes : encrypted_query -> int
+val batched_query_bytes : batched_query -> int
 val db_bytes : encrypted_db -> int

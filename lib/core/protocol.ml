@@ -9,6 +9,10 @@ type deployment = {
   config : Config.t;
   db_n : int;
   db_d : int;
+  db : int array array;
+      (* the plaintext database — retained for the slot-packed path,
+         which models Party A as the data owner's delegate (SANNS-style
+         outsourced queries; see Entities.Party_a.prepare_packed) *)
   a : Entities.Party_a.t;
   b : Entities.Party_b.t;
   cl : Entities.Client.t;
@@ -19,6 +23,7 @@ type deployment = {
       (* query-independent state for the multi-query path, built lazily
          on the first prepared query and reused for the rest of the
          deployment's lifetime *)
+  mutable prepared_packed : Entities.Party_a.prepared_packed option;
 }
 
 let config d = d.config
@@ -93,11 +98,13 @@ let deploy ?(obs = Obs.disabled) ?rng ?counters ?jobs config ~db =
   { config;
     db_n = Array.length db;
     db_d = Array.length db.(0);
+    db;
     a; b; cl;
     setup_transcript = tr;
     query_seed = Rng.split rng;
     jobs;
-    prepared = None }
+    prepared = None;
+    prepared_packed = None }
 
 type result = {
   neighbours : int array array;
@@ -164,7 +171,18 @@ let query_ct_count (q : Entities.encrypted_query) =
   + (match q.Entities.q_rev with None -> 0 | Some _ -> 1)
   + (match q.Entities.q_norm with None -> 0 | Some _ -> 1)
 
-let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
+(* How a single query runs: the per-query path of the paper, the
+   PR-3 prepared (inner-product) path, or the slot-packed SIMD path. *)
+type path = Path_plain | Path_prepared | Path_packed
+
+(* Per-query state, tagged by path so the driver below can dispatch the
+   four path-dependent stages without duplicating the pipeline. *)
+type prep_state =
+  | Prep_none
+  | Prep_ip of Entities.Party_a.prepared
+  | Prep_packed of Entities.Party_a.prepared_packed
+
+let query_gen ~path ?(obs = Obs.disabled) ?rng d ~query ~k =
   let rng = match rng with Some r -> r | None -> Rng.split d.query_seed in
   if Array.length query <> d.db_d then invalid_arg "Protocol.query: dimension mismatch";
   if k < 1 || k > d.db_n then invalid_arg "Protocol.query: k out of range";
@@ -176,28 +194,40 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
   Counters.reset cc;
   let tr = Transcript.create () in
   let phases = ref [] in
-  (* Prepared path: build the query-independent state once per
-     deployment; only the first prepared query pays (and records) the
+  (* Prepared/packed paths: build the query-independent state once per
+     deployment; only the first such query pays (and records) the
      "prepare-db" phase. *)
   let prep =
-    if not prepared then None
-    else
-      match d.prepared with
-      | Some p -> Some p
-      | None ->
-        let p =
-          timed obs phases ~counters:[ ("party-a", ca) ] "prepare-db" (fun () ->
-              Entities.Party_a.prepare ~obs d.a)
-        in
-        d.prepared <- Some p;
-        Some p
+    match path with
+    | Path_plain -> Prep_none
+    | Path_prepared ->
+      (match d.prepared with
+       | Some p -> Prep_ip p
+       | None ->
+         let p =
+           timed obs phases ~counters:[ ("party-a", ca) ] "prepare-db" (fun () ->
+               Entities.Party_a.prepare ~obs d.a)
+         in
+         d.prepared <- Some p;
+         Prep_ip p)
+    | Path_packed ->
+      (match d.prepared_packed with
+       | Some p -> Prep_packed p
+       | None ->
+         let p =
+           timed obs phases ~counters:[ ("party-a", ca) ] "prepare-db" (fun () ->
+               Entities.Party_a.prepare_packed ~obs d.a ~db:d.db)
+         in
+         d.prepared_packed <- Some p;
+         Prep_packed p)
   in
   (* Client: encrypt the query and send it to Party A (label 4, Fig. 2). *)
   let q_enc =
     timed obs phases ~counters:[ ("client", cc) ] "encrypt-query" (fun () ->
         match prep with
-        | None -> Entities.Client.encrypt_query d.cl rng query
-        | Some _ -> Entities.Client.encrypt_query_ip d.cl rng query)
+        | Prep_none -> Entities.Client.encrypt_query d.cl rng query
+        | Prep_ip _ -> Entities.Client.encrypt_query_ip d.cl rng query
+        | Prep_packed _ -> Entities.Client.encrypt_query_packed d.cl rng query)
   in
   send_tracked obs tr ~sender:Transcript.Client ~receiver:Transcript.Party_a
     ~label:"encrypted query" ~bytes:(Entities.query_bytes q_enc);
@@ -209,8 +239,9 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
   let state, masked =
     timed obs phases ~counters:[ ("party-a", ca) ] "compute-distances" (fun () ->
         match prep with
-        | None -> Entities.Party_a.compute_distances ~obs d.a rng q_enc
-        | Some p -> Entities.Party_a.compute_distances_prepared ~obs d.a p rng q_enc)
+        | Prep_none -> Entities.Party_a.compute_distances ~obs d.a rng q_enc
+        | Prep_ip p -> Entities.Party_a.compute_distances_prepared ~obs d.a p rng q_enc
+        | Prep_packed p -> Entities.Party_a.compute_distances_packed ~obs d.a p rng q_enc)
   in
   sample_cts obs ~name:"masked-distance" masked;
   send_tracked obs tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
@@ -221,7 +252,10 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
      (Algorithm 3) as it arrives. *)
   let view =
     timed obs phases ~counters:[ ("party-b", cb) ] "find-neighbours" (fun () ->
-        Entities.Party_b.select_neighbours ~obs d.b masked ~k)
+        match prep with
+        | Prep_packed _ ->
+          Entities.Party_b.select_neighbours_packed ~obs d.b masked ~n:d.db_n ~k
+        | Prep_none | Prep_ip _ -> Entities.Party_b.select_neighbours ~obs d.b masked ~k)
   in
   Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"n" (Audit.Int d.db_n);
   Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"k" (Audit.Int k);
@@ -239,8 +273,9 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
       (fun () ->
         let packed =
           match prep with
-          | Some p -> Entities.Party_a.permuted_packed_prepared p state
-          | None -> Entities.Party_a.permuted_packed d.a state
+          | Prep_ip p -> Entities.Party_a.permuted_packed_prepared p state
+          | Prep_packed p -> Entities.Party_a.permuted_return_packed p state
+          | Prep_none -> Entities.Party_a.permuted_packed d.a state
         in
         Array.init k (fun j ->
             Obs.with_span obs
@@ -295,10 +330,13 @@ let query_gen ~prepared ?(obs = Obs.disabled) ?rng d ~query ~k =
     counters_client = cc;
     view_b = view }
 
-let query ?obs ?rng d ~query ~k = query_gen ~prepared:false ?obs ?rng d ~query ~k
+let query ?obs ?rng d ~query ~k = query_gen ~path:Path_plain ?obs ?rng d ~query ~k
 
 let query_prepared ?obs ?rng d ~query ~k =
-  query_gen ~prepared:true ?obs ?rng d ~query ~k
+  query_gen ~path:Path_prepared ?obs ?rng d ~query ~k
+
+let query_packed ?obs ?rng d ~query ~k =
+  query_gen ~path:Path_packed ?obs ?rng d ~query ~k
 
 let prepare ?(obs = Obs.disabled) d =
   match d.prepared with
@@ -307,9 +345,153 @@ let prepare ?(obs = Obs.disabled) d =
 
 let is_prepared d = Option.is_some d.prepared
 
+let prepare_packed ?(obs = Obs.disabled) d =
+  match d.prepared_packed with
+  | Some _ -> ()
+  | None -> d.prepared_packed <- Some (Entities.Party_a.prepare_packed ~obs d.a ~db:d.db)
+
+let is_packed_prepared d = Option.is_some d.prepared_packed
+
 let run_queries ?obs ?rng d ~queries ~k =
   let rng = match rng with Some r -> r | None -> d.query_seed in
   Array.map (fun q -> query_prepared ?obs ~rng:(Rng.split rng) d ~query:q ~k) queries
+
+let run_queries_packed ?obs ?rng d ~queries ~k =
+  let rng = match rng with Some r -> r | None -> d.query_seed in
+  Array.map (fun q -> query_packed ?obs ~rng:(Rng.split rng) d ~query:q ~k) queries
+
+(* M queries in one protocol round through the slot dimension.  The
+   phase list, transcript and counters describe the whole round and are
+   shared by the M results; neighbours and views are per query. *)
+let query_batch ?(obs = Obs.disabled) ?rng d ~queries ~k =
+  let rng = match rng with Some r -> r | None -> Rng.split d.query_seed in
+  let m = Array.length queries in
+  if m = 0 then invalid_arg "Protocol.query_batch: empty batch";
+  Array.iter
+    (fun q ->
+      if Array.length q <> d.db_d then
+        invalid_arg "Protocol.query_batch: dimension mismatch")
+    queries;
+  if k < 1 || k > d.db_n then invalid_arg "Protocol.query_batch: k out of range";
+  let ca = Entities.Party_a.counters d.a in
+  let cb = Entities.Party_b.counters d.b in
+  let cc = Entities.Client.counters d.cl in
+  Counters.reset ca;
+  Counters.reset cb;
+  Counters.reset cc;
+  let tr = Transcript.create () in
+  let phases = ref [] in
+  let pp =
+    match d.prepared_packed with
+    | Some p -> p
+    | None ->
+      let p =
+        timed obs phases ~counters:[ ("party-a", ca) ] "prepare-db" (fun () ->
+            Entities.Party_a.prepare_packed ~obs d.a ~db:d.db)
+      in
+      d.prepared_packed <- Some p;
+      p
+  in
+  let bq =
+    timed obs phases ~counters:[ ("client", cc) ] "encrypt-query" (fun () ->
+        Entities.Client.encrypt_query_batch d.cl rng queries)
+  in
+  send_tracked obs tr ~sender:Transcript.Client ~receiver:Transcript.Party_a
+    ~label:"encrypted query" ~bytes:(Entities.batched_query_bytes bq);
+  Obs.audit obs ~party:"party-a" ~phase:"compute-distances" ~label:"query-ciphertexts"
+    (Audit.Int (Array.length bq.Entities.bq_coords + 1));
+  Obs.audit obs ~party:"party-a" ~phase:"compute-distances" ~label:"query-bytes"
+    (Audit.Int (Entities.batched_query_bytes bq));
+  let bstate, masked =
+    timed obs phases ~counters:[ ("party-a", ca) ] "compute-distances" (fun () ->
+        Entities.Party_a.compute_distances_batch ~obs d.a pp rng bq)
+  in
+  sample_cts obs ~name:"masked-distance" masked;
+  send_tracked obs tr ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+    ~label:"masked permuted distances"
+    ~bytes:(Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 masked);
+  let views =
+    timed obs phases ~counters:[ ("party-b", cb) ] "find-neighbours" (fun () ->
+        Entities.Party_b.select_views_batch ~obs d.b masked ~m ~k)
+  in
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"n" (Audit.Int d.db_n);
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"k" (Audit.Int k);
+  (* The one leakage the batch mode adds: B learns how many queries
+     share the round's permutation, and can align positions across
+     their views. *)
+  Obs.audit obs ~party:"party-b" ~phase:"find-neighbours" ~label:"batch-query-count"
+    (Audit.Int m);
+  Array.iter
+    (fun view ->
+      Obs.audit obs ~party:"party-b" ~phase:"find-neighbours"
+        ~label:"masked-distance-multiset"
+        (Audit.Int64s (Leakage.view_multiset view));
+      Obs.audit obs ~party:"party-b" ~phase:"find-neighbours"
+        ~label:"equidistant-group-sizes"
+        (Audit.Ints (Leakage.equidistant_group_sizes view)))
+    views;
+  let indicator_bytes = ref 0 in
+  let result_cts =
+    timed obs phases
+      ~counters:[ ("party-a", ca); ("party-b", cb) ]
+      "return-knn"
+      (fun () ->
+        let packed = Entities.Party_a.permuted_return_packed_batch pp bstate in
+        Array.map
+          (fun view ->
+            Array.init k (fun j ->
+                Obs.with_span obs
+                  ~counters:[ ("party-a", ca); ("party-b", cb) ]
+                  ~args:[ ("j", string_of_int j) ]
+                  "indicator-row"
+                  (fun () ->
+                    let row =
+                      Entities.Party_b.indicator_row ~obs d.b rng view ~n:d.db_n ~j
+                    in
+                    let bytes =
+                      Array.fold_left (fun s ct -> s + Bgv.byte_size ct) 0 row
+                    in
+                    indicator_bytes := !indicator_bytes + bytes;
+                    send_tracked obs tr ~sender:Transcript.Party_b
+                      ~receiver:Transcript.Party_a
+                      ~label:(Printf.sprintf "indicator vector B^%d" (j + 1))
+                      ~bytes;
+                    Entities.Party_a.select_row ~obs d.a packed row)))
+          views)
+  in
+  Array.iter (fun cts -> sample_cts obs ~name:"result" cts) result_cts;
+  Obs.audit obs ~party:"party-a" ~phase:"return-knn" ~label:"indicator-ciphertexts"
+    (Audit.Int (m * k * d.db_n));
+  Obs.audit obs ~party:"party-a" ~phase:"return-knn" ~label:"indicator-bytes"
+    (Audit.Int !indicator_bytes);
+  send_tracked obs tr ~sender:Transcript.Party_a ~receiver:Transcript.Client
+    ~label:"encrypted k-NN result"
+    ~bytes:
+      (Array.fold_left
+         (fun s cts -> Array.fold_left (fun s ct -> s + Bgv.byte_size ct) s cts)
+         0 result_cts);
+  let neighbours =
+    timed obs phases ~counters:[ ("client", cc) ] "decrypt-result" (fun () ->
+        Array.map (fun cts -> Entities.Client.decrypt_points ~obs d.cl ~d:d.db_d cts)
+          result_cts)
+  in
+  Obs.audit obs ~party:"client" ~phase:"decrypt-result" ~label:"neighbour-count"
+    (Audit.Int k);
+  tally_transcript tr (function
+    | Transcript.Party_a -> Some ca
+    | Transcript.Party_b -> Some cb
+    | Transcript.Client -> Some cc
+    | Transcript.Data_owner -> None);
+  let phase_seconds = List.rev !phases in
+  Array.init m (fun q ->
+      { neighbours = neighbours.(q);
+        k;
+        phase_seconds;
+        transcript = tr;
+        counters_a = ca;
+        counters_b = cb;
+        counters_client = cc;
+        view_b = views.(q) })
 
 let total_seconds r = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.phase_seconds
 

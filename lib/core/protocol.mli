@@ -119,6 +119,60 @@ val run_queries :
 (** [query_prepared] over a query batch, one independent RNG stream per
     query split off [rng] (default: the deployment's query seed). *)
 
+(** {1 Slot-packed (SIMD) path}
+
+    The packed path lays the database out dimension-major across the
+    [N = Params.slot_count] plaintext slots, so Party A computes a batch
+    of [N] masked distances with [d] plain products plus adds, and
+    Party B decrypts [⌈n/N⌉] ciphertexts instead of [n], slot-unpacking
+    them before the top-k scan.  Party B's §5 leakage surface (masked
+    distance multiset, [n], [k], equidistant groups) is identical to the
+    unpacked paths.  The trust model differs on Party A's side: A holds
+    the plaintext database as the data owner's delegate
+    (see {!Entities.Party_a.prepare_packed}).
+
+    Requires affine (degree-1) masking and [d ≤ n].  Results remain
+    exact and bit-identical across job counts. *)
+
+val prepare_packed : ?obs:Sknn_obs.Ctx.t -> deployment -> unit
+(** Builds the packed prepared state now (idempotent); otherwise the
+    first {!query_packed} builds it lazily as its ["prepare-db"] phase. *)
+
+val is_packed_prepared : deployment -> bool
+
+val query_packed :
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> query:int array -> k:int ->
+  result
+(** Like {!query_prepared} on the packed layout, with the client sending
+    the broadcast-slot query form
+    ({!Entities.Client.encrypt_query_packed}): d+1 ciphertexts in,
+    [⌈n/N⌉] masked-distance ciphertexts A→B.
+    @raise Invalid_argument if the configuration does not admit the
+    packed path. *)
+
+val run_queries_packed :
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> queries:int array array ->
+  k:int -> result array
+(** {!query_packed} over a query batch, one independent RNG stream per
+    query (each query still runs its own protocol round; see
+    {!query_batch} for slot-dimension batching). *)
+
+val query_batch :
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> queries:int array array ->
+  k:int -> result array
+(** M ≤ [Params.slot_count] queries in {e one} protocol round: the
+    queries ride the slot dimension of d+1 ciphertexts
+    ({!Entities.Client.encrypt_query_batch}), Party A masks each query's
+    distances with its own fresh affine polynomial in one slot-wise
+    pass, and Party B unpacks one view per query from the [n] returned
+    ciphertexts.  The M views share one permutation — the batch mode's
+    extra declared leakage, audited as
+    [party-b/find-neighbours/batch-query-count].  The returned results
+    share the round's transcript, counters and phase times; neighbours
+    and views are per query.
+    @raise Invalid_argument on an empty or oversized batch, dimension
+    mismatch, or k out of range. *)
+
 val total_seconds : result -> float
 val exact : deployment -> db:int array array -> query:int array -> result -> bool
 (** Checks the result against plaintext k-NN ground truth

@@ -524,10 +524,92 @@ let prop_distributivity =
       let rhs = Bgv.add (Bgv.mul ~rlk:keys.Bgv.rlk ca cc) (Bgv.mul ~rlk:keys.Bgv.rlk cb cc) in
       dec lhs = dec rhs)
 
+(* ------------------------------------------------------------------ *)
+(* Slot algebra (the packed protocol path's contract)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Keyed slot-algebra checks run on the presets the keyed suite already
+   uses (toy, bench_small); the pure plaintext roundtrip covers every
+   preset, bench and secure included. *)
+let keyed_presets =
+  let tbl = Hashtbl.create 4 in
+  fun () ->
+    List.map
+      (fun p ->
+        let name = p.Params.name in
+        match Hashtbl.find_opt tbl name with
+        | Some kp -> kp
+        | None ->
+          let kp = (p, Bgv.keygen (Rng.of_int 4242) p) in
+          Hashtbl.add tbl name kp;
+          kp)
+      [ Params.toy (); Params.bench_small () ]
+
+let random_slots_for p seed =
+  let r = Rng.of_int seed in
+  Array.init (Params.slot_count p) (fun _ -> Rng.int64_below r p.Params.t_plain)
+
+let prop_slots_roundtrip_all_presets =
+  QCheck.Test.make ~count:6 ~name:"of_slots/to_slots roundtrip (all presets)"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun p ->
+          let slots = random_slots_for p seed in
+          Plaintext.to_slots (Plaintext.of_slots p slots) = slots)
+        [ Params.toy (); Params.bench_small (); Params.bench (); Params.secure () ])
+
+let prop_mul_plain_slotwise =
+  (* mul_plain against the packed plaintext acts independently per slot —
+     exactly the scalar model the packed distance circuit assumes. *)
+  QCheck.Test.make ~count:6 ~name:"mul_plain = slot-wise scalar model (keyed presets)"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      List.for_all
+        (fun (p, k) ->
+          let tp = p.Params.t_plain in
+          let a = random_slots_for p seed and b = random_slots_for p (seed + 1) in
+          let ct = Bgv.encrypt (Rng.of_int (seed + 2)) k.Bgv.pk (Plaintext.of_slots p a) in
+          let prod = Bgv.mul_plain ct (Plaintext.of_slots p b) in
+          Plaintext.to_slots (Bgv.decrypt k.Bgv.sk prod)
+          = Array.init (Params.slot_count p) (fun i -> Mod64.mul tp a.(i) b.(i)))
+        (keyed_presets ()))
+
+let test_sum_slots_every_level () =
+  (* The rotate-and-sum reduction leaves the total slot sum in every
+     slot at whichever chain level the input sits — walked from the
+     fresh top of the chain down as far as the noise budget admits
+     (key-switching noise eventually exhausts the last prime). *)
+  List.iter
+    (fun ((p : Params.t), k) ->
+      let tp = p.Params.t_plain in
+      let slots = random_slots_for p 881 in
+      let expected = Array.fold_left (Mod64.add tp) 0L slots in
+      let gks = Bgv.slot_sum_keys (Rng.of_int 883) k.Bgv.sk in
+      let fresh = Bgv.encrypt (Rng.of_int 884) k.Bgv.pk (Plaintext.of_slots p slots) in
+      let verified = ref 0 in
+      for lvl = Bgv.level fresh downto 1 do
+        let summed = Bgv.sum_slots gks (Bgv.truncate_to_level fresh lvl) in
+        if Bgv.noise_budget_bits summed > 0.0 then begin
+          incr verified;
+          Array.iter
+            (fun v ->
+              Alcotest.(check int64)
+                (Printf.sprintf "%s level %d: slot holds total" p.Params.name lvl)
+                expected v)
+            (Plaintext.to_slots (Bgv.decrypt k.Bgv.sk summed))
+        end
+      done;
+      Alcotest.(check bool)
+        (p.Params.name ^ ": sum sound at several levels")
+        true (!verified >= 2))
+    (keyed_presets ())
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_add_homomorphic; prop_mul_homomorphic; prop_distributivity;
-      prop_noise_bound_sound ]
+      prop_noise_bound_sound; prop_slots_roundtrip_all_presets;
+      prop_mul_plain_slotwise ]
 
 let () =
   Alcotest.run "bgv"
@@ -569,7 +651,9 @@ let () =
          Alcotest.test_case "composes" `Quick test_apply_galois_composes;
          Alcotest.test_case "commutes with add" `Quick test_apply_galois_after_ops;
          Alcotest.test_case "validation" `Quick test_apply_galois_validation;
-         Alcotest.test_case "rotate-and-sum" `Quick test_sum_slots ]);
+         Alcotest.test_case "rotate-and-sum" `Quick test_sum_slots;
+         Alcotest.test_case "rotate-and-sum at every level" `Quick
+           test_sum_slots_every_level ]);
       ("serialisation",
        [ Alcotest.test_case "ct roundtrip" `Quick test_ct_serialisation_roundtrip;
          Alcotest.test_case "ct after ops" `Quick test_ct_serialisation_after_ops;

@@ -378,6 +378,222 @@ let test_run_queries_batch () =
     (Array.exists (has_phase "prepare-db") (Array.sub results 1 3))
 
 (* ------------------------------------------------------------------ *)
+(* Slot-packed (SIMD) path                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_dists q r =
+  let a = Array.map (Distance.squared_euclidean q) r.Protocol.neighbours in
+  Array.sort compare a;
+  a
+
+let test_packed_exactness () =
+  let rng = Rng.of_int 401 in
+  let db = small_db rng in
+  List.iter
+    (fun (name, config) ->
+      let dep = Protocol.deploy ~rng:(Rng.of_int 402) config ~db in
+      let queries = Array.init 3 (fun _ -> Synthetic.query_like rng db) in
+      Array.iteri
+        (fun i q ->
+          let r = Protocol.query_packed dep ~query:q ~k:4 in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: query %d exact" name i)
+            true
+            (Protocol.exact dep ~db ~query:q r);
+          (* Only the first packed query pays (and reports) the packing. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: query %d prepare-db phase" name i)
+            (i = 0) (has_phase "prepare-db" r))
+        queries)
+    [ ("per-coordinate+affine", affine_config ()); ("dot-product", Config.fast ()) ]
+
+let test_packed_matches_unpacked () =
+  (* The packed path changes the ciphertext layout, not the answer:
+     against the same deployment, the plain, prepared and packed paths
+     return the same neighbour set — and Party B sees the same
+     equidistant structure (slot-unpacked, never per-ciphertext). *)
+  let rng = Rng.of_int 403 in
+  let db = small_db rng in
+  let q = Synthetic.query_like rng db in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 404) (affine_config ()) ~db in
+  let r_plain = Protocol.query ~rng:(Rng.of_int 405) dep ~query:q ~k:5 in
+  let r_prep = Protocol.query_prepared ~rng:(Rng.of_int 406) dep ~query:q ~k:5 in
+  let r_packed = Protocol.query_packed ~rng:(Rng.of_int 407) dep ~query:q ~k:5 in
+  Alcotest.(check (array int)) "packed = plain neighbour distances"
+    (sorted_dists q r_plain) (sorted_dists q r_packed);
+  Alcotest.(check (array int)) "packed = prepared neighbour distances"
+    (sorted_dists q r_prep) (sorted_dists q r_packed);
+  Alcotest.(check (array int)) "same equidistant groups as plain path"
+    (Leakage.equidistant_group_sizes r_plain.Protocol.view_b)
+    (Leakage.equidistant_group_sizes r_packed.Protocol.view_b);
+  (* n masked distances, not ⌈n/N⌉ per-ciphertext aggregates. *)
+  Alcotest.(check int) "view has one masked distance per point"
+    (Array.length db)
+    (Array.length (Leakage.view_multiset r_packed.Protocol.view_b))
+
+let test_packed_batch_shapes () =
+  (* Exactness across batch geometries: a single ragged batch
+     (n < slots), an exact multiple of the slot count, and a multi-batch
+     ragged tail (n mod slots ≠ 0), at several dimensions d > 1. *)
+  let slots = Params.slot_count (Config.fast ()).Config.bgv in
+  List.iter
+    (fun (n, d) ->
+      let rng = Rng.of_int (409 + n + d) in
+      let db = Synthetic.uniform rng ~n ~d ~max_value:250 in
+      let dep = Protocol.deploy ~rng:(Rng.of_int 410) (Config.fast ()) ~db in
+      let q = Synthetic.query_like rng db in
+      let r = Protocol.query_packed ~rng:(Rng.of_int 411) dep ~query:q ~k:4 in
+      let label = Printf.sprintf "n=%d d=%d" n d in
+      Alcotest.(check bool) (label ^ " exact") true
+        (Protocol.exact dep ~db ~query:q r);
+      let r_plain = Protocol.query ~rng:(Rng.of_int 412) dep ~query:q ~k:4 in
+      Alcotest.(check (array int)) (label ^ " matches plain path")
+        (sorted_dists q r_plain) (sorted_dists q r))
+    [ (40, 3); (slots, 2); ((2 * slots) + 2, 5) ]
+
+let test_packed_jobs_determinism () =
+  (* Same scheduling-transparency contract as the other paths: identical
+     neighbours, views, transcripts and counters for every job count. *)
+  let db = small_db (Rng.of_int 413) in
+  let q = [| 10; 20; 30 |] in
+  let run jobs config =
+    let dep = Protocol.deploy ~rng:(Rng.of_int 999) ~jobs config ~db in
+    Protocol.query_packed ~rng:(Rng.of_int 1000) dep ~query:q ~k:3
+  in
+  let counters_s c = Format.asprintf "%a" Util.Counters.pp c in
+  List.iter
+    (fun (name, config) ->
+      let r1 = run 1 config and r2 = run 2 config and r4 = run 4 config in
+      List.iter
+        (fun (jn, r) ->
+          Alcotest.(check bool) (name ^ ": neighbours jobs 1=" ^ jn) true
+            (r1.Protocol.neighbours = r.Protocol.neighbours);
+          Alcotest.(check bool) (name ^ ": view jobs 1=" ^ jn) true
+            (r1.Protocol.view_b = r.Protocol.view_b);
+          Alcotest.(check int) (name ^ ": transcript bytes jobs 1=" ^ jn)
+            (Transcript.total_bytes r1.Protocol.transcript)
+            (Transcript.total_bytes r.Protocol.transcript);
+          Alcotest.(check string) (name ^ ": party A counters jobs 1=" ^ jn)
+            (counters_s r1.Protocol.counters_a) (counters_s r.Protocol.counters_a);
+          Alcotest.(check string) (name ^ ": party B counters jobs 1=" ^ jn)
+            (counters_s r1.Protocol.counters_b) (counters_s r.Protocol.counters_b))
+        [ ("2", r2); ("4", r4) ])
+    [ ("dot-product", Config.fast ()); ("per-coordinate+affine", affine_config ()) ]
+
+let test_packed_rejects_nonaffine () =
+  (* Slot-wise masking is one plain product + one plain add per batch —
+     only sound for an affine (degree-1) polynomial, so the packed path
+     must refuse a degree-2 config just as the prepared path does. *)
+  let rng = Rng.of_int 419 in
+  let db = small_db rng in
+  let dep = Protocol.deploy ~rng (Config.standard ()) ~db in
+  Alcotest.check_raises "degree-2 mask rejected"
+    (Invalid_argument "Party_a.prepare_packed: packed queries need affine (degree-1) masking")
+    (fun () -> Protocol.prepare_packed dep)
+
+let test_run_queries_packed () =
+  let rng = Rng.of_int 421 in
+  let db = small_db rng in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 422) (affine_config ()) ~db in
+  Alcotest.(check bool) "not packed-prepared before" false
+    (Protocol.is_packed_prepared dep);
+  let queries = Array.init 4 (fun _ -> Synthetic.query_like rng db) in
+  let results = Protocol.run_queries_packed ~rng:(Rng.of_int 423) dep ~queries ~k:3 in
+  Alcotest.(check bool) "packed-prepared after" true (Protocol.is_packed_prepared dep);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "packed query %d exact" i) true
+        (Protocol.exact dep ~db ~query:queries.(i) r))
+    results;
+  Alcotest.(check bool) "first pays prepare-db" true (has_phase "prepare-db" results.(0));
+  Alcotest.(check bool) "later queries steady-state" false
+    (Array.exists (has_phase "prepare-db") (Array.sub results 1 3))
+
+let test_packed_leakage_groups () =
+  (* Regression for the equidistant-group accounting: the tie database
+     occupies 6 slots of a 64-slot ciphertext, so Party B's Leakage
+     extraction must run on the 6 slot-unpacked distances — never on the
+     single per-ciphertext aggregate, and never on the randomized dead
+     slots of the ragged tail. *)
+  let tie_dep rng_seed =
+    Protocol.deploy ~rng:(Rng.of_int rng_seed) (affine_config ())
+      ~db:[| [| 0; 0 |]; [| 0; 4 |]; [| 4; 0 |]; [| 4; 4 |]; [| 9; 9 |]; [| 2; 1 |] |]
+  in
+  let q = [| 2; 2 |] in
+  let r_packed = Protocol.query_packed (tie_dep 425) ~query:q ~k:2 in
+  Alcotest.(check (array int)) "group of four equidistant points" [| 4 |]
+    (Leakage.equidistant_group_sizes r_packed.Protocol.view_b);
+  Alcotest.(check int) "pairs" 6 (Leakage.equidistant_pairs r_packed.Protocol.view_b);
+  Alcotest.(check int) "view sees n distances, not ciphertext aggregates" 6
+    (Array.length (Leakage.view_multiset r_packed.Protocol.view_b));
+  let r_plain = Protocol.query (tie_dep 426) ~query:q ~k:2 in
+  Alcotest.(check (array int)) "identical group sizes to unpacked run"
+    (Leakage.equidistant_group_sizes r_plain.Protocol.view_b)
+    (Leakage.equidistant_group_sizes r_packed.Protocol.view_b)
+
+let test_packed_audit_surface () =
+  (* §5 leakage surface through the audit channel: the packed path must
+     record exactly the same Party B labels as the unpacked paths. *)
+  let module Audit = Sknn_obs.Audit in
+  let rng = Rng.of_int 427 in
+  let db = Synthetic.uniform rng ~n:20 ~d:3 ~max_value:100 in
+  let audit = Audit.create () in
+  let obs = Sknn_obs.Ctx.create ~audit () in
+  let dep = Protocol.deploy ~rng (affine_config ()) ~db in
+  let q = Synthetic.query_like rng db in
+  let r = Protocol.query_packed ~obs dep ~query:q ~k:4 in
+  Alcotest.(check (list string)) "party-b leakage surface unchanged"
+    [ "equidistant-group-sizes"; "k"; "masked-distance-multiset"; "n" ]
+    (Audit.labels_for audit ~party:"party-b");
+  (match Audit.value_of audit ~party:"party-b" ~label:"masked-distance-multiset" with
+   | Some (Audit.Int64s a) ->
+     Alcotest.(check (array int64)) "multiset matches view"
+       (Leakage.view_multiset r.Protocol.view_b) a;
+     Alcotest.(check int) "multiset is slot-unpacked (n entries)" 20 (Array.length a)
+   | _ -> Alcotest.fail "multiset not recorded as Int64s");
+  (match Audit.value_of audit ~party:"party-b" ~label:"equidistant-group-sizes" with
+   | Some (Audit.Ints a) ->
+     Alcotest.(check (array int)) "groups match view"
+       (Leakage.equidistant_group_sizes r.Protocol.view_b) a
+   | _ -> Alcotest.fail "groups not recorded as Ints")
+
+let test_query_batch () =
+  (* M queries ride the slot dimension of one protocol round.  Each
+     result must be exact, and the batch's one extra declared leakage —
+     the shared permutation, audited as batch-query-count — must be the
+     only new Party B label (lockstep with sknn-lint.conf). *)
+  let module Audit = Sknn_obs.Audit in
+  let rng = Rng.of_int 431 in
+  let db = small_db rng in
+  let audit = Audit.create () in
+  let obs = Sknn_obs.Ctx.create ~audit () in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 432) (affine_config ()) ~db in
+  let queries = Array.init 3 (fun _ -> Synthetic.query_like rng db) in
+  let results = Protocol.query_batch ~obs ~rng:(Rng.of_int 433) dep ~queries ~k:3 in
+  Alcotest.(check int) "one result per query" 3 (Array.length results);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool) (Printf.sprintf "batched query %d exact" i) true
+        (Protocol.exact dep ~db ~query:queries.(i) r);
+      (* Per-query views over a shared round. *)
+      Alcotest.(check int) "view sees n distances"
+        (Array.length db)
+        (Array.length (Leakage.view_multiset r.Protocol.view_b)))
+    results;
+  Alcotest.(check (list string)) "batch adds exactly batch-query-count"
+    [ "batch-query-count"; "equidistant-group-sizes"; "k"; "masked-distance-multiset";
+      "n" ]
+    (Audit.labels_for audit ~party:"party-b");
+  (match Audit.value_of audit ~party:"party-b" ~label:"batch-query-count" with
+   | Some (Audit.Int m) -> Alcotest.(check int) "batch count" 3 m
+   | _ -> Alcotest.fail "batch-query-count not recorded as Int");
+  (* Distinct queries in the same round stay independent: masked views
+     differ even though they share one permutation. *)
+  Alcotest.(check bool) "per-query masks differ" true
+    (Leakage.view_multiset results.(0).Protocol.view_b
+     <> Leakage.view_multiset results.(1).Protocol.view_b)
+
+(* ------------------------------------------------------------------ *)
 (* Leakage profile (Theorems 4.1 / 4.2)                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -574,6 +790,17 @@ let () =
          Alcotest.test_case "identical across job counts" `Quick test_prepared_jobs_determinism;
          Alcotest.test_case "rejects non-affine masking" `Quick test_prepared_rejects_nonaffine;
          Alcotest.test_case "run_queries batch" `Quick test_run_queries_batch ]);
+      ("packed",
+       [ Alcotest.test_case "exact over repeated queries" `Quick test_packed_exactness;
+         Alcotest.test_case "matches unpacked paths" `Quick test_packed_matches_unpacked;
+         Alcotest.test_case "ragged and full batch shapes" `Quick test_packed_batch_shapes;
+         Alcotest.test_case "identical across job counts" `Quick test_packed_jobs_determinism;
+         Alcotest.test_case "rejects non-affine masking" `Quick test_packed_rejects_nonaffine;
+         Alcotest.test_case "run_queries batch" `Quick test_run_queries_packed;
+         Alcotest.test_case "equidistant groups slot-unpacked" `Quick
+           test_packed_leakage_groups;
+         Alcotest.test_case "audit surface unchanged" `Quick test_packed_audit_surface;
+         Alcotest.test_case "slot-dimension query batch" `Quick test_query_batch ]);
       ("leakage",
        [ Alcotest.test_case "order preserved" `Quick test_leakage_order_preserved;
          Alcotest.test_case "equidistant groups" `Quick test_leakage_equidistant_groups;
