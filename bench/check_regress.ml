@@ -6,6 +6,14 @@
 
      check_regress.exe BASELINE.json CURRENT.json [MAX_REGRESS_PCT]
 
+   Runs that carry [predicted_phases] (fig3/fig3p since schema 3) are
+   additionally held to an attribution-drift gate: the mean
+   measured/predicted time ratio per phase must stay within slack of
+   the committed baseline's ratio — in either direction, since both
+   an optimisation the cost model missed and a slowdown it did not
+   predict mean the attribution story has drifted.  The gate skips
+   (with a note) when either file predates the predicted fields.
+
    The repo carries no JSON dependency, so this reads the bench writer's
    output with a small recursive-descent parser covering exactly the
    grammar `write_json` emits (objects, arrays, strings, numbers,
@@ -190,6 +198,55 @@ let mean_steady_compute_distances ~packed path =
   | [] -> None
   | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
 
+(* Mean measured/predicted seconds per phase over an experiment's runs
+   that carry [predicted_phases].  Phases whose measured time is below
+   [floor_s] in a given run are folded only into the "total" row: a
+   sub-millisecond encrypt-query ratio is all scheduler noise, while the
+   total keeps every phase accountable. *)
+let floor_s = 0.005
+
+let attribution_ratios ~experiment path =
+  let acc : (string, (float * int) ref) Hashtbl.t = Hashtbl.create 8 in
+  let add phase ratio =
+    match Hashtbl.find_opt acc phase with
+    | Some r -> r := (fst !r +. ratio, snd !r + 1)
+    | None -> Hashtbl.add acc phase (ref (ratio, 1))
+  in
+  List.iter
+    (fun run ->
+      if member "experiment" run = Some (Str experiment) then
+        match (member "predicted_phases" run, member "phases" run) with
+        | Some (Obj predicted), Some (Obj measured) ->
+          let tot_p = ref 0.0 and tot_m = ref 0.0 in
+          List.iter
+            (fun (phase, pv) ->
+              match (pv, List.assoc_opt phase measured) with
+              | Num p, Some (Num m) when p > 0.0 ->
+                tot_p := !tot_p +. p;
+                tot_m := !tot_m +. m;
+                if m >= floor_s then add phase (m /. p)
+              | _ -> ())
+            predicted;
+          if !tot_p > 0.0 then add "total" (!tot_m /. !tot_p)
+        | _ -> ())
+    (runs_of path);
+  Hashtbl.fold (fun phase r rows -> (phase, fst !r /. float_of_int (snd !r)) :: rows)
+    acc []
+  |> List.sort compare
+
+let check_drift ~label ~max_pct ~baseline ~current =
+  let drift_pct = (current -. baseline) /. baseline *. 100.0 in
+  Printf.printf "%s measured/predicted: baseline %.2fx, current %.2fx (%+.1f%%)\n" label
+    baseline current drift_pct;
+  if Float.abs drift_pct > max_pct then begin
+    Printf.printf "FAIL: %s attribution drift exceeds %.0f%% budget\n" label max_pct;
+    false
+  end
+  else begin
+    Printf.printf "OK: within %.0f%% drift budget\n" max_pct;
+    true
+  end
+
 let check ~label ~max_pct ~baseline ~current =
   let delta_pct = (current -. baseline) /. baseline *. 100.0 in
   Printf.printf "%s mean: baseline %.3fs, current %.3fs (%+.1f%%)\n" label baseline
@@ -233,4 +290,30 @@ let () =
   let ok_packed =
     steady_gate ~packed:true ~label:"packed steady-state compute-distances"
   in
-  if not (ok_fig3 && ok_steady && ok_packed) then exit 1
+  (* Attribution drift: wider budget than the raw-time gates (2x) —
+     the ratio divides out machine speed, but small phases still jitter. *)
+  let attr_pct = 2.0 *. max_pct in
+  let attribution_gate experiment =
+    match
+      ( attribution_ratios ~experiment baseline_path,
+        attribution_ratios ~experiment current_path )
+    with
+    | [], _ | _, [] ->
+      Printf.printf
+        "note: no %s predicted_phases samples in both files; skipping attribution gate\n"
+        experiment;
+      true
+    | base, cur ->
+      List.fold_left
+        (fun ok (phase, rc) ->
+          match List.assoc_opt phase base with
+          | None -> ok (* phase new since the baseline: nothing to drift from *)
+          | Some rb ->
+            check_drift ~label:(experiment ^ " " ^ phase) ~max_pct:attr_pct ~baseline:rb
+              ~current:rc
+            && ok)
+        true cur
+  in
+  let ok_attr3 = attribution_gate "fig3" in
+  let ok_attr3p = attribution_gate "fig3p" in
+  if not (ok_fig3 && ok_steady && ok_packed && ok_attr3 && ok_attr3p) then exit 1

@@ -1,0 +1,151 @@
+(* Per-op unit-cost calibration for the cost ledger.
+
+   The ledger (Util.Counters) attributes every ciphertext operation to
+   an (op kind, BGV level) cell; this pass measures how many seconds one
+   operation of each kind costs at each level of a parameter set's
+   modulus chain, producing the unit-cost table the analytic replica
+   (Sknn_obs.Cost_model.predict_seconds) prices ledgers with:
+
+     predicted_time = sum over cells of count * unit_cost.
+
+   Measurements use the same adaptive-repetition loop as Kernel_bench
+   (not shared: Kernel_bench is the library's main module, so it cannot
+   be a dependency of this one).  The NTT census rows (ntt_fwd/ntt_inv)
+   stay at zero on purpose: each composite op is measured end to end,
+   NTT passes included, so pricing the census too would double-count
+   them. *)
+
+module C = Util.Counters
+
+(* [costs.(C.op_index op).(level)] = seconds per op; row 0 of the
+   level axis holds the level-free slot ops. *)
+type t = float array array
+
+(* Grow the repetition count until the timed loop runs for [target]
+   seconds, then report the mean; two untimed calls warm the code and
+   working set first. *)
+let seconds ~target f =
+  f ();
+  f ();
+  let rec go reps =
+    let t0 = Util.Timer.now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let elapsed = Util.Timer.now () -. t0 in
+    if elapsed >= target || reps >= 100_000_000 then elapsed /. float_of_int reps
+    else go (reps * 4)
+  in
+  go 1
+
+(* Measurement window per op.  Quick mode keeps a full-chain calibration
+   under a couple of seconds for CI; the default gives ~1% stable means
+   on a quiet machine. *)
+let target ~quick = if quick then 0.01 else 0.1
+
+let measure ?(quick = false) ?rng (params : Params.t) : t =
+  let rng = match rng with Some r -> r | None -> Util.Rng.create 1907L in
+  let target = target ~quick in
+  let sec f = seconds ~target f in
+  let chain = Params.chain_length params in
+  let costs = Array.make_matrix C.num_ops (Stdlib.max 1 chain + 1) 0.0 in
+  let set op level s = costs.(C.op_index op).(level) <- s in
+  let keys = Bgv.keygen rng params in
+  let pt = Plaintext.constant params 123L in
+  let fresh = Bgv.encrypt rng keys.Bgv.pk pt in
+  (* Fresh encryption lands at the full chain level, but the protocol
+     also encrypts directly at lower levels (Party B's Return-kNN
+     indicators at return_level), so every level gets its own cell. *)
+  for lvl = 1 to chain do
+    set C.Op_encrypt lvl
+      (sec (fun () -> ignore (Bgv.encrypt ~level:lvl rng keys.Bgv.pk pt)))
+  done;
+  (* Slot packing/unpacking is plaintext-side and level-free (row 0).
+     to_slots caches its answer per plaintext, so the unpack measurement
+     rebuilds an uncached (coefficient-born) plaintext each rep and
+     subtracts the rebuild cost. *)
+  let slots =
+    Array.init (Params.slot_count params) (fun i -> Int64.of_int ((i mod 251) + 1))
+  in
+  set C.Op_slot_pack 0 (sec (fun () -> ignore (Plaintext.of_slots params slots)));
+  let coeffs = Array.init params.Params.n (fun i -> Int64.of_int (i mod 5)) in
+  let rebuild = sec (fun () -> ignore (Plaintext.of_coeffs params coeffs)) in
+  let both =
+    sec (fun () -> ignore (Plaintext.to_slots (Plaintext.of_coeffs params coeffs)))
+  in
+  set C.Op_slot_unpack 0 (Float.max 0.0 (both -. rebuild));
+  (* Per-level ciphertexts come from repeated modulus switching, like
+     the live pipeline, so their noise shrinks with the modulus.  The
+     decrypt measurement is additionally guarded: levels whose modulus
+     cannot hold the plaintext at all (the live path never decrypts
+     there, so their ledger cells are always zero) stay at zero cost. *)
+  let ladder = Array.make (chain + 1) fresh in
+  for lvl = chain - 1 downto 1 do
+    ladder.(lvl) <- Bgv.modswitch ladder.(lvl + 1)
+  done;
+  for lvl = 1 to chain do
+    let ct = ladder.(lvl) in
+    (try set C.Op_decrypt lvl (sec (fun () -> ignore (Bgv.decrypt keys.Bgv.sk ct)))
+     with Bgv.Decryption_failure _ -> ());
+    set C.Op_ct_add lvl (sec (fun () -> ignore (Bgv.add ct ct)));
+    set C.Op_mul_plain lvl (sec (fun () -> ignore (Bgv.mul_plain ct pt)));
+    set C.Op_ct_mul lvl (sec (fun () -> ignore (Bgv.mul ~rescale:false ct ct)));
+    let deg2 = Bgv.mul ~rescale:false ct ct in
+    set C.Op_key_switch lvl
+      (sec (fun () -> ignore (Bgv.relinearize keys.Bgv.rlk deg2)));
+    if lvl >= 2 then
+      set C.Op_modswitch lvl (sec (fun () -> ignore (Bgv.modswitch ct)));
+    (* A level drop records at its target level; dropping to the current
+       level is a no-op the live path never records. *)
+    if lvl < chain then
+      set C.Op_level_drop lvl (sec (fun () -> ignore (Bgv.truncate_to_level fresh lvl)))
+  done;
+  costs
+
+(* The census rows stay zero; everything else is worth printing. *)
+let priced_ops =
+  List.filter
+    (fun op -> op <> C.Op_ntt_fwd && op <> C.Op_ntt_inv)
+    (Array.to_list C.all_ops)
+
+let pp ppf (costs : t) =
+  let levels = Array.length costs.(0) - 1 in
+  Format.fprintf ppf "%-12s" "op \\ level";
+  for lvl = 0 to levels do
+    Format.fprintf ppf " %9s" (if lvl = 0 then "slots" else Printf.sprintf "L%d" lvl)
+  done;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun op ->
+      let row = costs.(C.op_index op) in
+      if Array.exists (fun s -> s > 0.0) row then begin
+        Format.fprintf ppf "%-12s" (C.op_name op);
+        Array.iter
+          (fun s ->
+            if s > 0.0 then Format.fprintf ppf " %8.2fus" (s *. 1e6)
+            else Format.fprintf ppf " %9s" "-")
+          row;
+        Format.fprintf ppf "@."
+      end)
+    priced_ops
+
+(* One JSON line per table, parseable by Report/check_regress's minimal
+   readers: {"rec":"calibration","ops":[{"op":...,"level":...,"s":...}]} *)
+let to_json_line (costs : t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"rec\":\"calibration\",\"ops\":[";
+  let first = ref true in
+  List.iter
+    (fun op ->
+      Array.iteri
+        (fun lvl s ->
+          if s > 0.0 then begin
+            if not !first then Buffer.add_char buf ',';
+            first := false;
+            Buffer.add_string buf
+              (Printf.sprintf "{\"op\":%S,\"level\":%d,\"s\":%.9g}" (C.op_name op) lvl s)
+          end)
+        costs.(C.op_index op))
+    priced_ops;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

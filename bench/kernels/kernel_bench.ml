@@ -125,3 +125,7 @@ let pp_results ppf results =
       Format.fprintf ppf "%-20s %8d %6d %14.1f %10d@." r.name r.ring_n r.prime_bits
         r.ns_per_op r.reps)
     results
+
+(* Re-export: the library name matches this main module, so siblings are
+   only reachable through it. *)
+module Calibration = Calibration

@@ -153,7 +153,16 @@ let json_counters c =
       ("hom_relins", Int (Util.Counters.hom_relins c));
       ("hom_total", Int (Util.Counters.hom_total c));
       ("rounds", Int (Util.Counters.rounds c));
-      ("bytes_sent", Int (Util.Counters.bytes_sent c)) ]
+      ("bytes_sent", Int (Util.Counters.bytes_sent c));
+      ("ledger",
+       List
+         (List.map
+            (fun (op, level, count) ->
+              Obj
+                [ ("op", Str (Util.Counters.op_name op));
+                  ("level", Int level);
+                  ("count", Int count) ])
+            (Util.Counters.ledger_entries c))) ]
 
 let json_transcript tr =
   Obj
@@ -199,7 +208,7 @@ let write_json opts path =
   let gc = Gc.quick_stat () in
   let doc =
     Obj
-      [ ("schema_version", Int 2);
+      [ ("schema_version", Int 3);
         ("generator", Str "sknn-bench");
         ("git_rev", Str (git_rev ()));
         ("seed", Int opts.seed);
@@ -234,16 +243,39 @@ let write_json opts path =
 (* Figure runners                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_query_series ?(packed = false) ~opts ~experiment ~config ~db ~queries_k ~rng () =
+(* Per-op unit costs for the predicted-phase annotations, calibrated at
+   most once per parameter set (quick pass: CI runs this). *)
+let calibrations : (string, Kernel_bench.Calibration.t) Hashtbl.t = Hashtbl.create 4
+
+let calibration_for (params : Params.t) =
+  match Hashtbl.find_opt calibrations params.Params.name with
+  | Some c -> c
+  | None ->
+    say "calibrating per-op unit costs for %s (quick pass)...@." params.Params.name;
+    let c = Kernel_bench.Calibration.measure ~quick:true params in
+    Hashtbl.add calibrations params.Params.name c;
+    c
+
+let run_query_series ?(packed = false) ?predict ~opts ~experiment ~config ~db ~queries_k
+    ~rng () =
   let dep = Protocol.deploy ~obs:!obs ~rng ?jobs:opts.jobs config ~db in
-  let extra = if packed then [ ("packed", Bool true) ] else [] in
-  List.map
-    (fun k ->
+  let base_extra = if packed then [ ("packed", Bool true) ] else [] in
+  List.mapi
+    (fun i k ->
       let q = Synthetic.query_like rng db in
       let r, s =
         Util.Timer.time (fun () -> traced_query ~packed ~experiment dep ~query:q ~k)
       in
       let ok = Protocol.exact dep ~db ~query:q r in
+      let extra =
+        base_extra
+        @
+        match predict with
+        | None -> []
+        | Some f ->
+          let phases : (string * float) list = f ~first:(i = 0) ~k in
+          [ ("predicted_phases", Obj (List.map (fun (nm, ps) -> (nm, Float ps)) phases)) ]
+      in
       record_run ~extra ~experiment ~n:(Array.length db) ~d:(Array.length db.(0)) ~k
         ~jobs:(Protocol.jobs dep) ~seconds:s ~exact:ok r;
       (k, s, ok, r))
@@ -275,8 +307,8 @@ let k_dependent_seconds (r : Protocol.result) =
       | _ -> acc)
     0.0 r.Protocol.phase_seconds
 
-let fig_k_sweep ?(packed = false) ~id ~title ~dataset_name ~db ~config ~paper_anchors
-    opts =
+let fig_k_sweep ?(packed = false) ?(attribute = false) ~id ~title ~dataset_name ~db
+    ~config ~paper_anchors opts =
   hr (Printf.sprintf "%s — %s" id title);
   let n = Array.length db and d = Array.length db.(0) in
   say "dataset: %s, n=%d, d=%d, layout=%s%s%s@." dataset_name n d
@@ -285,8 +317,29 @@ let fig_k_sweep ?(packed = false) ~id ~title ~dataset_name ~db ~config ~paper_an
     (if opts.full then "" else " (scaled; --full for paper scale)");
   let ks = [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ] in
   let rng = Rng.of_int opts.seed in
+  (* Attribution annotations: price each run's analytic op-count replica
+     with the calibrated unit costs, so the JSON carries a predicted
+     figure next to every measured phase (check_regress gates the
+     drift).  Only the first query of the packed sweep pays prepare-db —
+     the deployment is shared down the k sweep. *)
+  let predict =
+    if not attribute then None
+    else begin
+      let unit_costs = calibration_for config.Config.bgv in
+      let path =
+        if packed then Sknn_obs.Cost_model.Packed else Sknn_obs.Cost_model.Plain
+      in
+      Some
+        (fun ~first ~k ->
+          let pred =
+            Attribution.predict ~include_prepare:(packed && first) config ~n ~d ~k path
+          in
+          Attribution.predicted_phase_seconds ~unit_costs pred)
+    end
+  in
   let rows =
-    run_query_series ~packed ~opts ~experiment:id ~config ~db ~queries_k:ks ~rng ()
+    run_query_series ~packed ?predict ~opts ~experiment:id ~config ~db ~queries_k:ks
+      ~rng ()
   in
   say "@.%6s %10s %10s %10s %7s@." "k" "paper" "measured" "k-dep" "exact";
   List.iter
@@ -305,7 +358,8 @@ let fig3 opts =
   let db =
     Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng)
   in
-  fig_k_sweep ~id:"fig3" ~title:"running time vs k, cervical-cancer data (858 x 32)"
+  fig_k_sweep ~attribute:true ~id:"fig3"
+    ~title:"running time vs k, cervical-cancer data (858 x 32)"
     ~dataset_name:"cervical-cancer (UCI-shaped)" ~db ~config:(Config.standard ())
     ~paper_anchors:[ (2, 45.0); (8, 165.0); (16, 328.0); (20, 410.0) ]
     opts
@@ -320,7 +374,7 @@ let fig3p opts =
   let db =
     Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng)
   in
-  fig_k_sweep ~packed:true ~id:"fig3p"
+  fig_k_sweep ~packed:true ~attribute:true ~id:"fig3p"
     ~title:"fig3 workload, slot-packed path (858 x 32, affine mask)"
     ~dataset_name:"cervical-cancer (UCI-shaped)" ~db
     ~config:(Config.with_mask_degree 1 (Config.standard ()))
@@ -447,7 +501,12 @@ let table1 opts =
   record_run ~experiment:"table1" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:r_s
     ~exact:(Protocol.exact dep ~db ~query:q r) r;
   let ours_measured = Cost.measured r in
-  let ours_predicted = Cost.ours ~n ~d ~k ~mask_degree:config.Config.mask_degree in
+  let ours_predicted =
+    let pred = Attribution.predict ~include_prepare:false config ~n ~d ~k
+        Sknn_obs.Cost_model.Plain in
+    Cost.ours ~bytes:pred.Sknn_obs.Cost_model.ab_bytes ~n ~d ~k
+      ~mask_degree:config.Config.mask_degree ()
+  in
   (* Baseline, measured on a further-scaled instance (it is the slow
      one). *)
   let nb = Stdlib.max 8 (n / 5) in
@@ -482,7 +541,8 @@ let table1 opts =
     (string_of_int ours_measured.Cost.rounds)
     (Printf.sprintf "O(k)=%d+" k)
     (string_of_int rb.Sknn_m.interactions);
-  row "bytes A<->B" "-"
+  row "bytes A<->B"
+    (string_of_int ours_predicted.Cost.bytes)
     (string_of_int ours_measured.Cost.bytes)
     "-"
     (string_of_int

@@ -3,6 +3,7 @@
    Subcommands:
      gen       generate a synthetic or UCI-shaped integer CSV dataset
      query     run the full secure protocol on a CSV database
+     cost      attribute a query's time op by op against the analytic cost model
      baseline  run the Yousef et al. Paillier baseline on a CSV database
      kmeans    secure k-means clustering (§7 extension)
      apriori   secure frequent-itemset mining (§7 extension)
@@ -423,6 +424,176 @@ let report_cmd =
     Term.(const report_run $ files)
 
 (* ------------------------------------------------------------------ *)
+(* cost                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Op-level cost attribution (DESIGN §5a): calibrate per-op unit costs
+   on this machine, predict the query's ledger and phase times with the
+   analytic replica, run the live query, and print both side by side.
+   This subsumes the bench harness's Table 1 printout — the paper-style
+   op-count rows land next to the calibrated microsecond attribution. *)
+
+module CM = Sknn_obs.Cost_model
+
+let cost_run data query_s k layout path_s seed jobs quick verbose json =
+  let db = read_db data in
+  let queries =
+    String.split_on_char ';' query_s |> List.map parse_query |> Array.of_list
+  in
+  let q = queries.(0) in
+  let m = Array.length queries in
+  let config = config_of_layout layout in
+  (match Config.validate config ~d:(Array.length q) with
+   | Ok () -> ()
+   | Error e ->
+     Format.eprintf "configuration unsound for this data: %s@." e;
+     exit 2);
+  if path_s <> "batch" && m > 1 then begin
+    Format.eprintf "multiple ';'-separated queries need --path batch@.";
+    exit 2
+  end;
+  let packed_ok =
+    config.Config.mask_degree = 1 && Array.length q <= config.Config.bgv.Params.n
+  in
+  if path_s <> "plain" && not packed_ok then begin
+    Format.eprintf
+      "the %s path needs affine (degree-1) masking and d <= ring degree (try \
+       --layout dot-product)@."
+      path_s;
+    exit 2
+  end;
+  let n = Array.length db and d = Array.length db.(0) in
+  let rng = Util.Rng.of_int seed in
+  Format.printf "calibrating per-op unit costs (%s pass)...@."
+    (if quick then "quick" else "full");
+  let unit_costs = Kernel_bench.Calibration.measure ~quick config.Config.bgv in
+  if verbose then Format.printf "@.%a@." Kernel_bench.Calibration.pp unit_costs;
+  let dep = Protocol.deploy ~rng ?jobs config ~db in
+  let r =
+    match path_s with
+    | "plain" -> Protocol.query dep ~query:q ~k
+    | "prepared" -> Protocol.query_prepared dep ~query:q ~k
+    | "packed" -> Protocol.query_packed dep ~query:q ~k
+    | "batch" -> (Protocol.query_batch dep ~queries ~k).(0)
+    | other ->
+      Format.eprintf "unknown path %S (plain | prepared | packed | batch)@." other;
+      exit 2
+  in
+  let cm_path =
+    match path_s with
+    | "plain" -> CM.Plain
+    | "prepared" -> CM.Prepared
+    | "packed" -> CM.Packed
+    | _ -> CM.Batch m
+  in
+  (* The one query above pays any prepare-db phase, so predict it too. *)
+  let pred = Attribution.predict ~include_prepare:true config ~n ~d ~k cm_path in
+  let ledger_exact =
+    Util.Counters.equal_ledger pred.CM.party_a r.Protocol.counters_a
+    && Util.Counters.equal_ledger pred.CM.party_b r.Protocol.counters_b
+    && Util.Counters.equal_ledger pred.CM.client r.Protocol.counters_client
+  in
+  let predicted = Attribution.predicted_phase_seconds ~unit_costs pred in
+  Format.printf "@.instance: n=%d d=%d k=%d layout=%s path=%s@." n d k
+    (Config.layout_name config.Config.layout)
+    path_s;
+  Format.printf "ledger: analytic replica %s the measured op ledger@."
+    (if ledger_exact then "exactly matches" else "DIVERGES from");
+  Format.printf "@.%-22s %12s %12s %8s@." "phase" "predicted" "measured" "ratio";
+  let rows =
+    List.map
+      (fun (phase, measured_s) ->
+        let predicted_s =
+          match List.assoc_opt phase predicted with Some s -> s | None -> 0.0
+        in
+        (phase, predicted_s, measured_s))
+      r.Protocol.phase_seconds
+  in
+  List.iter
+    (fun (phase, p, ms) ->
+      Format.printf "%-22s %11.6fs %11.6fs %7s@." phase p ms
+        (if p > 0.0 then Printf.sprintf "%.2fx" (ms /. p) else "-"))
+    rows;
+  let tot f = List.fold_left (fun acc (_, p, ms) -> acc +. f p ms) 0.0 rows in
+  let tot_p = tot (fun p _ -> p) and tot_m = tot (fun _ ms -> ms) in
+  Format.printf "%-22s %11.6fs %11.6fs %7s@." "total" tot_p tot_m
+    (if tot_p > 0.0 then Printf.sprintf "%.2fx" (tot_m /. tot_p) else "-");
+  (* The paper's Table 1 rows, predicted (closed form, plus the exact
+     serialized-bytes prediction) vs measured. *)
+  let t1p =
+    Cost.ours ~bytes:pred.CM.ab_bytes ~n ~d ~k
+      ~mask_degree:config.Config.mask_degree ()
+  in
+  let t1m = Cost.measured r in
+  Format.printf "@.Table 1 (ours): predicted %a@.                measured  %a@." Cost.pp
+    t1p Cost.pp t1m;
+  (* Mirror the attribution into the flight recorder, so post-mortem
+     dumps carry it next to the phase/noise stream. *)
+  (match Sknn_obs.Flight.default () with
+   | None -> ()
+   | Some fl ->
+     List.iter
+       (fun (phase, p, ms) ->
+         Sknn_obs.Flight.record fl Sknn_obs.Flight.Mark ~name:("cost:" ^ phase) ~x:p ();
+         ignore ms)
+       rows);
+  (match json with
+   | None -> ()
+   | Some path ->
+     let buf = Buffer.create 1024 in
+     Buffer.add_string buf (Kernel_bench.Calibration.to_json_line unit_costs);
+     Buffer.add_char buf '\n';
+     Buffer.add_string buf
+       (Printf.sprintf
+          "{\"rec\":\"cost\",\"path\":%S,\"n\":%d,\"d\":%d,\"k\":%d,\"ledger_exact\":%b,\"phases\":["
+          path_s n d k ledger_exact);
+     List.iteri
+       (fun i (phase, p, ms) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_string buf
+           (Printf.sprintf "{\"phase\":%S,\"predicted_s\":%.9g,\"measured_s\":%.9g}"
+              phase p ms))
+       rows;
+     Buffer.add_string buf "]}\n";
+     let oc = open_out path in
+     Buffer.output_buffer oc buf;
+     close_out oc;
+     Format.printf "@.cost report written to %s@." path);
+  if not ledger_exact then 1 else 0
+
+let cost_cmd =
+  let layout =
+    Arg.(value & opt string "per-coordinate"
+         & info [ "layout" ] ~doc:"per-coordinate | dot-product | secure")
+  in
+  let path =
+    Arg.(value & opt string "plain"
+         & info [ "path" ]
+             ~doc:"Query pipeline to attribute: plain | prepared | packed | batch \
+                   (batch answers the ';'-separated --query list in one round).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~doc:"OCaml domains.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Shorter calibration windows (CI smoke).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the calibration table and per-phase attribution as JSON \
+                   lines to $(docv); feed it to sknn report to see the attribution \
+                   next to recorded latencies.")
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:"Attribute a query's time op by op: calibrated analytic prediction vs \
+             measured phases")
+    Term.(const cost_run $ data_t $ query_t $ k_t $ layout $ path $ seed_t $ jobs
+          $ quick $ verbose_t $ json)
+
+(* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -526,5 +697,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sknn" ~doc)
-          [ gen_cmd; query_cmd; baseline_cmd; kmeans_cmd; apriori_cmd; info_cmd;
-            dump_flight_cmd; report_cmd ]))
+          [ gen_cmd; query_cmd; cost_cmd; baseline_cmd; kmeans_cmd; apriori_cmd;
+            info_cmd; dump_flight_cmd; report_cmd ]))

@@ -24,13 +24,15 @@ type rule =
   | Orchestrator_only_obs
   | No_ambient_nondeterminism
   | Into_aliasing
+  | Ledger_at_op_site
 
 let all_rules =
   [ No_division;
     Secret_taint;
     Orchestrator_only_obs;
     No_ambient_nondeterminism;
-    Into_aliasing ]
+    Into_aliasing;
+    Ledger_at_op_site ]
 
 let rule_name = function
   | No_division -> "no-division"
@@ -38,6 +40,7 @@ let rule_name = function
   | Orchestrator_only_obs -> "orchestrator-only-obs"
   | No_ambient_nondeterminism -> "no-ambient-nondeterminism"
   | Into_aliasing -> "into-aliasing"
+  | Ledger_at_op_site -> "ledger-at-op-site"
 
 let rule_of_name = function
   | "no-division" -> Some No_division
@@ -45,6 +48,7 @@ let rule_of_name = function
   | "orchestrator-only-obs" -> Some Orchestrator_only_obs
   | "no-ambient-nondeterminism" -> Some No_ambient_nondeterminism
   | "into-aliasing" -> Some Into_aliasing
+  | "ledger-at-op-site" -> Some Ledger_at_op_site
   | _ -> None
 
 type t = {

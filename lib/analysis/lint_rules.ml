@@ -11,7 +11,10 @@
    - secret-taint           §5 leakage surface / ROADMAP PR 2 audit set
    - orchestrator-only-obs  ROADMAP PR 2/PR 4 orchestrator-only spans
    - no-ambient-nondeterminism  bit-identical across --jobs (PR 1)
-   - into-aliasing          PR 3 "destructive targets uniquely owned" *)
+   - into-aliasing          PR 3 "destructive targets uniquely owned"
+   - ledger-at-op-site      PR 7 op-level cost ledger: every qualified
+                            Bgv/Plaintext ciphertext op in a protocol
+                            directory threads a ~counters ledger *)
 
 open Ppxlib
 
@@ -93,6 +96,19 @@ let wall_clock_idents =
 
 let poly_compare_idents =
   [ "compare"; "Stdlib.compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
+
+(* ledger-at-op-site: the Bgv entry points that record into the op-level
+   cost ledger when given [?counters] — every qualified call in a
+   protocol directory must thread one, or the analytic Cost_model
+   cross-check silently under-counts.  Key generation is excluded: it is
+   one-time setup outside the per-query ledger. *)
+let bgv_ledger_ops =
+  [ "encrypt"; "decrypt"; "decrypt_coeff0"; "add"; "sub"; "add_plain";
+    "add_const"; "mul"; "mul_plain"; "mul_scalar"; "mul_sum"; "modswitch";
+    "rescale_to_floor"; "relinearize"; "truncate_to_level"; "eval_poly";
+    "apply_galois"; "sum_slots" ]
+
+let plaintext_ledger_ops = [ "of_slots"; "to_slots" ]
 
 let pool_call_names = [ "map"; "mapi"; "map_local"; "init" ]
 
@@ -310,6 +326,29 @@ let run_structure ~(config : Lint_config.t) ~file str =
                         (flatten_lident fn) dst_s)
                   srcs
               | _ -> ());
+           (* ledger-at-op-site: ciphertext ops without a counters
+              ledger.  Unqualified internal calls (inside Bgv itself)
+              have no module head and are not checked. *)
+           (let last = last_lident fn and head = head_lident fn in
+            let is_ledger_op =
+              (head = "Bgv" && List.mem last bgv_ledger_ops)
+              || (head = "Plaintext" && List.mem last plaintext_ledger_ops)
+            in
+            let threads_counters =
+              List.exists
+                (function
+                  | (Labelled "counters" | Optional "counters"), _ -> true
+                  | _ -> false)
+                args
+            in
+            if is_ledger_op && not threads_counters then
+              report Lint_config.Ledger_at_op_site fn_loc
+                "%s without a ~counters argument: every ciphertext op must \
+                 land in the op-level cost ledger or the Cost_model \
+                 cross-check under-counts (thread the party's counters, or \
+                 whitelist setup-time sites with [@sknn.allow \
+                 \"ledger-at-op-site\"])"
+                (flatten_lident fn));
            (* secret-taint sinks. *)
            (match sink_of_application config fn with
             | None -> ()

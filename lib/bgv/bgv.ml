@@ -35,6 +35,21 @@ type ct = {
 
 let record c e = match c with None -> () | Some c -> Counters.record c e
 
+(* Ledger recording: one op-kind × level cell per primary operation,
+   plus the whole-polynomial NTT passes it triggers.  Where the number
+   of passes depends on a value's current domain, the census uses
+   [Rq.needs_transform] so counts stay exact by construction rather
+   than by convention. *)
+let record_op c op ~level =
+  match c with None -> () | Some c -> Counters.record_op c op ~level
+
+let record_op_n c op ~level k =
+  match c with None -> () | Some c -> Counters.record_op_n c op ~level k
+
+(* Count the Eval→Coeff pass [rq] would need to present coefficients. *)
+let record_inv_census c rq ~level =
+  if Rq.needs_transform rq Rq.Coeff then record_op c Counters.Op_ntt_inv ~level
+
 let log2 x = log x /. log 2.0
 let log2_add a b =
   let hi = Float.max a b and lo = Float.min a b in
@@ -161,6 +176,9 @@ let encrypt ?counters ?level rng pk pt =
       if l < 1 || l > full then invalid_arg "Bgv.encrypt: level out of range";
       l
   in
+  record_op counters Counters.Op_encrypt ~level:nprimes;
+  (* u, two noise polynomials and m are each embedded Coeff→Eval. *)
+  record_op_n counters Counters.Op_ntt_fwd ~level:nprimes 4;
   let n = p.Params.n in
   let t = p.Params.t_plain in
   let u = Rq.of_small_coeffs ring ~nprimes Rq.Eval (Sampler.ternary_coeffs rng ~n) in
@@ -189,9 +207,11 @@ let check_budget op ct =
 
 let decrypt ?counters sk ct =
   record counters Counters.Decrypt;
+  record_op counters Counters.Op_decrypt ~level:(level ct);
   let p = sk.sk_params in
   check_budget "decrypt" ct;
   let acc = ref (sk_dot sk ct) in
+  record_inv_census counters !acc ~level:(level ct);
   let t = p.Params.t_plain in
   let coeffs = Rq.to_zint_coeffs !acc in
   let zt = Z.of_int64 t in
@@ -207,6 +227,8 @@ let decrypt ?counters sk ct =
 
 let decrypt_coeff0 ?counters sk ct =
   record counters Counters.Decrypt;
+  (* Reads the evaluation-domain residues directly: no NTT pass. *)
+  record_op counters Counters.Op_decrypt ~level:(level ct);
   let p = sk.sk_params in
   check_budget "decrypt_coeff0" ct;
   let acc = ref (sk_dot sk ct) in
@@ -239,10 +261,13 @@ let decrypt_coeff0 ?counters sk ct =
 (* Level and factor management                                         *)
 (* ------------------------------------------------------------------ *)
 
-let truncate_to_level ct k =
+let truncate_to_level ?counters ct k =
   if k > level ct then invalid_arg "Bgv.truncate_to_level: cannot raise level";
   if k = level ct then ct
-  else { ct with comps = Array.map (fun c -> Rq.truncate c ~nprimes:k) ct.comps }
+  else begin
+    record_op counters Counters.Op_level_drop ~level:k;
+    { ct with comps = Array.map (fun c -> Rq.truncate c ~nprimes:k) ct.comps }
+  end
 
 let align a b =
   let k = Stdlib.min (level a) (level b) in
@@ -292,10 +317,12 @@ let add2 op f a b =
 
 let add ?counters a b =
   record counters Counters.Hom_add;
+  record_op counters Counters.Op_ct_add ~level:(Stdlib.min (level a) (level b));
   add2 "Bgv.add" Rq.add a b
 
 let sub ?counters a b =
   record counters Counters.Hom_add;
+  record_op counters Counters.Op_ct_add ~level:(Stdlib.min (level a) (level b));
   add2 "Bgv.sub" Rq.sub a b
 
 let neg ct = { ct with comps = Array.map Rq.neg ct.comps }
@@ -306,6 +333,9 @@ let plain_to_rq ct pt =
 
 let add_plain ?counters ct pt =
   record counters Counters.Hom_add;
+  record_op counters Counters.Op_ct_add ~level:(level ct);
+  (* plain_to_rq embeds the addend Coeff→Eval at the ciphertext level. *)
+  record_op counters Counters.Op_ntt_fwd ~level:(level ct);
   if Plaintext.params pt != ct.params then invalid_arg "Bgv.add_plain: parameter mismatch";
   (* The stored raw plaintext is factor·m, so scale the addend too. *)
   let pt = Plaintext.scale pt ct.factor in
@@ -318,6 +348,8 @@ let add_const ?counters ct v =
 
 let mul_plain ?counters ct pt =
   record counters Counters.Hom_mul_plain;
+  record_op counters Counters.Op_mul_plain ~level:(level ct);
+  record_op counters Counters.Op_ntt_fwd ~level:(level ct);
   if Plaintext.params pt != ct.params then invalid_arg "Bgv.mul_plain: parameter mismatch";
   let m = plain_to_rq ct pt in
   { ct with
@@ -326,6 +358,8 @@ let mul_plain ?counters ct pt =
 
 let mul_scalar ?counters ct v =
   record counters Counters.Hom_mul_plain;
+  (* Pointwise scalar pass over the residues: no plaintext embed. *)
+  record_op counters Counters.Op_mul_plain ~level:(level ct);
   scale_raw ct v
 
 (* ------------------------------------------------------------------ *)
@@ -336,6 +370,12 @@ let modswitch ?counters ct =
   record counters Counters.Hom_modswitch;
   let k = level ct in
   if k <= 1 then invalid_arg "Bgv.modswitch: already at the last level";
+  record_op counters Counters.Op_modswitch ~level:k;
+  (* Each component round-trips through the coefficient domain: one
+     inverse pass at the source level (when it is not already Coeff)
+     and one forward pass at the target level. *)
+  Array.iter (fun c -> record_inv_census counters c ~level:k) ct.comps;
+  record_op_n counters Counters.Op_ntt_fwd ~level:(k - 1) (Array.length ct.comps);
   let p = ct.params in
   let moduli = p.Params.moduli in
   let drop = moduli.(k - 1) in
@@ -404,11 +444,13 @@ let rescale_to_floor ?counters ct =
    Galois automorphisms: given a target polynomial and gadget rows with
    b_j + a_j·s = t·e_j + 2^{jw}·S, returns (delta0, delta1, noise_bits)
    such that delta0 + delta1·s = target·S + (t · small). *)
-let key_switch_digits p ~w ~rows ~level:k target =
+let key_switch_digits ?counters p ~w ~rows ~level:k target =
   let ring = p.Params.ring in
   let n = p.Params.n in
   let q_bits = Z.numbits (Rq.modulus ring ~nprimes:k) in
   let ndigits = Stdlib.min (Array.length rows) ((q_bits + w - 1) / w) in
+  record_inv_census counters target ~level:k;
+  record_op_n counters Counters.Op_ntt_fwd ~level:k ndigits;
   let coeffs = Rq.to_zint_coeffs target in
   (* Signed base-2^w digits of the centered coefficients. *)
   let digit_mask = Z.pred (Z.shift_left Z.one w) in
@@ -440,9 +482,11 @@ let relinearize ?counters rlk ct =
   record counters Counters.Hom_relin;
   if degree ct <> 2 then invalid_arg "Bgv.relinearize: degree <> 2";
   if rlk.rk_params != ct.params then invalid_arg "Bgv.relinearize: parameter mismatch";
+  record_op counters Counters.Op_key_switch ~level:(level ct);
   let p = ct.params in
   let d0, d1, added =
-    key_switch_digits p ~w:rlk.rk_digit_bits ~rows:rlk.rk_rows ~level:(level ct) ct.comps.(2)
+    key_switch_digits ?counters p ~w:rlk.rk_digit_bits ~rows:rlk.rk_rows ~level:(level ct)
+      ct.comps.(2)
   in
   { ct with
     comps = [| Rq.add ct.comps.(0) d0; Rq.add ct.comps.(1) d1 |];
@@ -450,6 +494,7 @@ let relinearize ?counters rlk ct =
 
 let mul ?counters ?rlk ?(rescale = true) a b =
   record counters Counters.Hom_mul;
+  record_op counters Counters.Op_ct_mul ~level:(Stdlib.min (level a) (level b));
   if a.params != b.params then invalid_arg "Bgv.mul: parameter mismatch";
   let a, b = align a b in
   let da = Array.length a.comps and db = Array.length b.comps in
@@ -526,6 +571,8 @@ let mul_sum ?counters ?jobs ?rlk a b =
   else begin
     record_n counters Counters.Hom_mul m;
     record_n counters Counters.Hom_add (m - 1);
+    record_op_n counters Counters.Op_ct_mul ~level:lvl m;
+    record_op_n counters Counters.Op_ct_add ~level:lvl (m - 1);
     let ring = p.Params.ring in
     let width =
       let w = ref 0 in
@@ -778,11 +825,16 @@ let apply_galois ?counters gk ct =
   if gk.gk_params != ct.params then invalid_arg "Bgv.apply_galois: parameter mismatch";
   if degree ct <> 1 then invalid_arg "Bgv.apply_galois: degree <> 1 (relinearise first)";
   let k = level ct in
-  (* (c0(x^e), c1(x^e)) decrypts under s(x^e); key-switch back to s. *)
+  record_op counters Counters.Op_key_switch ~level:k;
+  (* (c0(x^e), c1(x^e)) decrypts under s(x^e); key-switch back to s.
+     Each substitution works in the coefficient domain, so every
+     component pays an inverse pass (when Eval) and a forward pass. *)
+  Array.iter (fun c -> record_inv_census counters c ~level:k) ct.comps;
+  record_op_n counters Counters.Op_ntt_fwd ~level:k 2;
   let c0s = Rq.to_eval (Rq.substitute ct.comps.(0) ~k:gk.gk_elt) in
   let c1s = Rq.to_eval (Rq.substitute ct.comps.(1) ~k:gk.gk_elt) in
   let d0, d1, added =
-    key_switch_digits ct.params ~w:gk.gk_digit_bits ~rows:gk.gk_rows ~level:k c1s
+    key_switch_digits ?counters ct.params ~w:gk.gk_digit_bits ~rows:gk.gk_rows ~level:k c1s
   in
   { ct with
     comps = [| Rq.add c0s d0; d1 |];

@@ -19,8 +19,12 @@
     plaintext scale factor accumulated by modulus switching; [decrypt]
     undoes the factor, so callers never see it.
 
-    Every operation optionally records into a {!Util.Counters.t}; the
-    Table 1 reproduction measures those counts on live protocol runs. *)
+    Every operation optionally records into a {!Util.Counters.t} — both
+    the coarse Table 1 event classes and the op-kind × level cost
+    ledger ({!Util.Counters.op}), including the whole-polynomial NTT
+    passes each composite operation triggers.  The Table 1 reproduction
+    measures those counts on live protocol runs, and
+    {!Sknn_obs.Cost_model} replays the same accounting analytically. *)
 
 type secret_key
 type public_key
@@ -137,9 +141,12 @@ val modswitch : ?counters:Util.Counters.t -> ct -> ct
 val rescale_to_floor : ?counters:Util.Counters.t -> ct -> ct
 (** Apply {!modswitch} while it strictly reduces the noise bound. *)
 
-val truncate_to_level : ct -> int -> ct
+val truncate_to_level : ?counters:Util.Counters.t -> ct -> int -> ct
 (** Cheap level alignment: drop RNS components without rescaling (valid
-    because the represented value is far below the smaller modulus). *)
+    because the represented value is far below the smaller modulus).
+    With [counters], an actual drop is recorded in the cost ledger as
+    {!Util.Counters.Op_level_drop} at the target level; the implicit
+    alignments inside {!add}/{!mul}/{!mul_sum} stay unrecorded. *)
 
 val eval_poly :
   ?counters:Util.Counters.t -> ?rlk:relin_key -> coeffs:int64 array -> ct -> ct

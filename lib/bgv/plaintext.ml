@@ -14,18 +14,25 @@ let of_coeffs params coeffs =
 
 let to_coeffs t = Array.copy t.coeffs
 
-let of_slots params slots =
+let record_slot_op counters op =
+  match counters with
+  | None -> ()
+  | Some c -> Util.Counters.record_op c op ~level:0
+
+let of_slots ?counters params slots =
   if Array.length slots <> params.Params.n then invalid_arg "Plaintext.of_slots: wrong length";
+  record_slot_op counters Util.Counters.Op_slot_pack;
   let tp = params.Params.t_plain in
   let coeffs = Array.map (Mod64.reduce tp) slots in
   (* Slot view = evaluation domain of the negacyclic NTT mod t. *)
   Ntt64.inverse params.Params.batching coeffs;
   { params; coeffs; slots = Some (Array.map (Mod64.reduce tp) slots) }
 
-let to_slots t =
+let to_slots ?counters t =
   match t.slots with
   | Some s -> Array.copy s
   | None ->
+    record_slot_op counters Util.Counters.Op_slot_unpack;
     let s = Array.copy t.coeffs in
     Ntt64.forward t.params.Params.batching s;
     t.slots <- Some s;

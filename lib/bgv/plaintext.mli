@@ -26,10 +26,15 @@ val of_coeffs : Params.t -> int64 array -> t
 
 val to_coeffs : t -> int64 array
 
-val of_slots : Params.t -> int64 array -> t
-(** Packs [n] slot values (reduced mod [t]). *)
+val of_slots : ?counters:Util.Counters.t -> Params.t -> int64 array -> t
+(** Packs [n] slot values (reduced mod [t]) — one negacyclic inverse
+    NTT mod [t], recorded in the cost ledger as
+    {!Util.Counters.Op_slot_pack} when [counters] is given. *)
 
-val to_slots : t -> int64 array
+val to_slots : ?counters:Util.Counters.t -> t -> int64 array
+(** Slot view of the plaintext.  The forward NTT mod [t] runs (and is
+    recorded as {!Util.Counters.Op_slot_unpack}) only when the slot view
+    is not already cached; repeated calls are free and unrecorded. *)
 
 val constant : Params.t -> int64 -> t
 (** The constant polynomial, i.e. the same value in every slot. *)

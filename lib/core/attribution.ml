@@ -1,0 +1,82 @@
+(* Bridge from a protocol configuration to the observability layer's
+   analytic cost replica (Sknn_obs.Cost_model).  lib/obs deliberately
+   knows nothing about Params/Config/Masking, so the scheme-specific
+   numbers — exact modulus bit lengths, the sound mask-coefficient
+   width, the centered scalar magnitudes — are derived here, with the
+   same arithmetic the live circuit uses (Bgv.centered_magnitude,
+   Masking.max_coeff_bits), and handed over as plain floats/ints. *)
+
+module CM = Sknn_obs.Cost_model
+module NM = Sknn_obs.Noise_model
+
+let lg x = log x /. log 2.0
+
+(* Bgv's centered_magnitude, applied to the worst (largest) value the
+   scalar can take: the live branch decisions are stable across the
+   drawn range, which the ledger-equality tests witness. *)
+let centered_bits ~t_plain v =
+  let c = Mod64.centered t_plain (Mod64.reduce t_plain v) in
+  lg (Float.max 1.0 (Int64.to_float (Int64.abs c)))
+
+let noise_model_params (p : Params.t) : NM.params =
+  { NM.n = p.Params.n;
+    t_bits = lg (Int64.to_float p.Params.t_plain);
+    moduli_bits = Array.map (fun m -> lg (float_of_int m)) p.Params.moduli;
+    eta = float_of_int p.Params.eta }
+
+let model_params (config : Config.t) ~n ~d ~k : CM.params =
+  let p = config.Config.bgv in
+  let chain = Params.chain_length p in
+  let t_plain = p.Params.t_plain in
+  let q_ibits =
+    Array.init chain (fun i -> Zint.numbits (Rq.modulus p.Params.ring ~nprimes:(i + 1)))
+  in
+  let w = p.Params.relin_digit_bits in
+  let mask_leading_bits =
+    let sound =
+      Masking.max_coeff_bits ~t_plain
+        ~input_bits:(Config.max_distance_bits config ~d)
+        ~degree:config.Config.mask_degree
+    in
+    let c = Stdlib.max 1 (Stdlib.min config.Config.mask_coeff_bits sound) in
+    (* Masking.draw samples coefficients uniformly from [1, 2^c − 1]. *)
+    centered_bits ~t_plain (Int64.pred (Int64.shift_left 1L c))
+  in
+  let coord_bits =
+    centered_bits ~t_plain (Int64.of_int ((1 lsl config.Config.max_coord_bits) - 1))
+  in
+  { CM.nm = noise_model_params p;
+    q_ibits;
+    n_points = n;
+    d;
+    k;
+    per_coordinate = (config.Config.layout = Config.Per_coordinate);
+    mask_degree = config.Config.mask_degree;
+    mask_leading_bits;
+    coord_bits;
+    rescale_distances = config.Config.rescale_distances;
+    return_level = config.Config.return_level;
+    use_relin = config.Config.use_relin;
+    relin_digit_bits = w;
+    relin_rows = (q_ibits.(chain - 1) + w - 1) / w;
+    slots = Params.slot_count p }
+
+let predict ?include_prepare config ~n ~d ~k path =
+  CM.predict ?include_prepare (model_params config ~n ~d ~k) path
+
+(* Predicted wall-clock per protocol phase: the per-party phase ledgers
+   priced by the calibration table, summed per phase name in protocol
+   order — directly comparable to [Protocol.result.phase_seconds]. *)
+let predicted_phase_seconds ~unit_costs (pred : CM.prediction) =
+  let order = ref [] in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (ph : CM.phase) ->
+      let s = CM.predict_seconds ~unit_costs ph.CM.counters in
+      match Hashtbl.find_opt totals ph.CM.phase with
+      | Some acc -> Hashtbl.replace totals ph.CM.phase (acc +. s)
+      | None ->
+        order := ph.CM.phase :: !order;
+        Hashtbl.add totals ph.CM.phase s)
+    pred.CM.phases;
+  List.rev_map (fun name -> (name, Hashtbl.find totals name)) !order

@@ -1,0 +1,32 @@
+(** Config → {!Sknn_obs.Cost_model} bridge.
+
+    Derives the analytic cost replica's parameters from a protocol
+    configuration — exact modulus bit lengths for the key-switch digit
+    count, the sound mask-coefficient width, centered worst-case scalar
+    magnitudes — using the same arithmetic the live circuit uses, so
+    the replica's branch decisions match the instrumented run's.
+    See DESIGN.md §5a for the invariant this upholds. *)
+
+val noise_model_params : Params.t -> Sknn_obs.Noise_model.params
+
+val model_params :
+  Config.t -> n:int -> d:int -> k:int -> Sknn_obs.Cost_model.params
+(** [n] is the database size, [d] the dimension, [k] the neighbour
+    count — the three run-time numbers a [Config.t] does not carry. *)
+
+val predict :
+  ?include_prepare:bool ->
+  Config.t ->
+  n:int ->
+  d:int ->
+  k:int ->
+  Sknn_obs.Cost_model.path ->
+  Sknn_obs.Cost_model.prediction
+(** One-stop [model_params] + [Cost_model.predict]. *)
+
+val predicted_phase_seconds :
+  unit_costs:Sknn_obs.Cost_model.unit_costs ->
+  Sknn_obs.Cost_model.prediction ->
+  (string * float) list
+(** Predicted seconds per protocol phase (parties merged), in protocol
+    order — the analytic counterpart of [Protocol.result.phase_seconds]. *)

@@ -6,16 +6,19 @@ type row = {
   bytes : int;
 }
 
-let ours ~n ~d ~k ~mask_degree =
+let ours ?(bytes = 0) ~n ~d ~k ~mask_degree () =
   (* Party A: per point, d squared-difference multiplications (+ d-1
      additions), one EvalPoly of degree D (D multiplications via Horner
      counting the scalar one), and k inner-product accumulations in
-     Return kNN; Party B contributes no homomorphic evaluation. *)
+     Return kNN; Party B contributes no homomorphic evaluation.
+     [bytes] is the A<->B traffic from actual serialized ciphertext
+     sizes — Cost_model.prediction.ab_bytes when the caller has one
+     (the event counts here are asymptotic, byte counts are not). *)
   { hom_ops = n * ((2 * d) + mask_degree + (2 * k));
     encryptions = n * k;
     decryptions = n;
     rounds = 1;
-    bytes = 0 }
+    bytes }
 
 let yousef ~n ~d ~k ~l =
   { hom_ops = n * ((2 * k * l) + d);

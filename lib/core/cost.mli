@@ -15,10 +15,14 @@ type row = {
   bytes : int;          (** total A↔B payload *)
 }
 
-val ours : n:int -> d:int -> k:int -> mask_degree:int -> row
+val ours : ?bytes:int -> n:int -> d:int -> k:int -> mask_degree:int -> unit -> row
 (** O(n(k + d + D)) homomorphic ops, O(nk) encryptions, O(n)
     decryptions, 1 round — instantiated with this implementation's exact
-    constants ([bytes] left 0; it depends on ciphertext sizes). *)
+    constants.  [bytes] is the predicted A<->B payload from serialized
+    ciphertext sizes ({!Sknn_obs.Cost_model.prediction}[.ab_bytes] via
+    [Attribution.predict]); it defaults to 0 for callers without a
+    parameter set in hand, since unlike the event counts it cannot be
+    derived from (n, d, k, D) alone. *)
 
 val yousef : n:int -> d:int -> k:int -> l:int -> row
 (** O(n(2kl + d)) homomorphic ops, O(nkl) encryptions, O(n(kl + d))

@@ -378,7 +378,9 @@ module Party_a = struct
     { prep_packed = Array.map (fun p -> p.packed) t.db.points;
       prep_norms = norms;
       prep_return_packed =
-        Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points }
+        Array.map
+          (fun p -> Bgv.truncate_to_level ~counters:t.counters p.packed lvl)
+          t.db.points }
 
   let compute_distances_prepared ?(obs = Obs.disabled) t prep rng query =
     let config = t.config in
@@ -450,7 +452,7 @@ module Party_a = struct
                     done;
                     let lvl = Stdlib.max !lvl (return_level t) in
                     if !bits > need && lvl < Bgv.level ed then
-                      Bgv.truncate_to_level ed lvl
+                      Bgv.truncate_to_level ~counters ed lvl
                     else if config.Config.rescale_distances then
                       Bgv.rescale_to_floor ~counters ed
                     else ed
@@ -474,7 +476,9 @@ module Party_a = struct
   let permuted_packed t state =
     let lvl = return_level t in
     Perm.apply state.perm
-      (Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points)
+      (Array.map
+         (fun p -> Bgv.truncate_to_level ~counters:t.counters p.packed lvl)
+         t.db.points)
 
   let permuted_packed_prepared prep state =
     Perm.apply state.perm prep.prep_return_packed
@@ -583,7 +587,9 @@ module Party_a = struct
       pp_norms =
         Array.init n (fun i -> Mod64.reduce tp (Int64.of_int (squared_norm db.(i))));
       pp_return_packed =
-        Array.map (fun p -> Bgv.truncate_to_level p.packed lvl) t.db.points }
+        Array.map
+          (fun p -> Bgv.truncate_to_level ~counters:t.counters p.packed lvl)
+          t.db.points }
 
   (* Walk the RNS chain for the lowest level whose modulus clears [need]
      bits — the prepared level-drop rule, applied predictively to the
@@ -658,8 +664,8 @@ module Party_a = struct
     let q_coords, q_norm =
       match drop with
       | Some lvl when lvl < Bgv.level q_norm ->
-        ( Array.map (fun c -> Bgv.truncate_to_level c lvl) q_coords,
-          Bgv.truncate_to_level q_norm lvl )
+        ( Array.map (fun c -> Bgv.truncate_to_level ~counters:t.counters c lvl) q_coords,
+          Bgv.truncate_to_level ~counters:t.counters q_norm lvl )
       | _ -> (q_coords, q_norm)
     in
     let cols_p = Array.map (Perm.apply perm) pp.pp_cols in
@@ -686,13 +692,15 @@ module Party_a = struct
                      carries N masked distances. *)
                   let ip = ref None in
                   for j = 0 to d - 1 do
-                    let col = Plaintext.of_slots params (slice cols_p.(j) base len) in
+                    let col =
+                      Plaintext.of_slots ~counters params (slice cols_p.(j) base len)
+                    in
                     let p = Bgv.mul_plain ~counters q_coords.(j) col in
                     ip :=
                       Some (match !ip with None -> p | Some s -> Bgv.add ~counters s p)
                   done;
                   let ip = Option.get !ip in
-                  let norms = Plaintext.of_slots params (slice norms_p base len) in
+                  let norms = Plaintext.of_slots ~counters params (slice norms_p base len) in
                   let ed =
                     Bgv.sub ~counters
                       (Bgv.add_plain ~counters q_norm norms)
@@ -714,7 +722,7 @@ module Party_a = struct
                           if s < len then 0L
                           else Rng.int64_below rng_b params.Params.t_plain)
                     in
-                    Bgv.add_plain ~counters m (Plaintext.of_slots params tail)
+                    Bgv.add_plain ~counters m (Plaintext.of_slots ~counters params tail)
                   else m)
                 rngs))
     in
@@ -780,9 +788,10 @@ module Party_a = struct
         a0.(q) <- c.(0);
         a1.(q) <- c.(1))
       masks;
-    let a1_pt = Plaintext.of_slots params a1 in
+    let a1_pt = Plaintext.of_slots ~counters:t.counters params a1 in
     let a0_shared =
-      if nqueries = slots then Some (Plaintext.of_slots params a0) else None
+      if nqueries = slots then Some (Plaintext.of_slots ~counters:t.counters params a0)
+      else None
     in
     let rngs = split_streams rng n in
     let perm = Obs.with_span obs "permute" (fun () -> Perm.random rng n) in
@@ -795,8 +804,10 @@ module Party_a = struct
     let bq_coords, bq_norm =
       match drop with
       | Some lvl when lvl < Bgv.level bq.bq_norm ->
-        ( Array.map (fun c -> Bgv.truncate_to_level c lvl) bq.bq_coords,
-          Bgv.truncate_to_level bq.bq_norm lvl )
+        ( Array.map
+            (fun c -> Bgv.truncate_to_level ~counters:t.counters c lvl)
+            bq.bq_coords,
+          Bgv.truncate_to_level ~counters:t.counters bq.bq_norm lvl )
       | _ -> (bq.bq_coords, bq.bq_norm)
     in
     let masked =
@@ -834,7 +845,7 @@ module Party_a = struct
                       (* Dead slots (no query) get a fresh uniform value
                          per point, killing the cross-point order their
                          unit-slope masking would otherwise expose. *)
-                      Plaintext.of_slots params
+                      Plaintext.of_slots ~counters params
                         (Array.init slots (fun q ->
                              if q < nqueries then a0.(q)
                              else Rng.int64_below rng_i params.Params.t_plain))
@@ -909,7 +920,10 @@ module Party_b = struct
           let out = Array.make n 0L in
           Array.iteri
             (fun b ct ->
-              let s = Plaintext.to_slots (Bgv.decrypt ~counters:t.counters t.sk ct) in
+              let s =
+                Plaintext.to_slots ~counters:t.counters
+                  (Bgv.decrypt ~counters:t.counters t.sk ct)
+              in
               let base = b * slots in
               Array.blit s 0 out base (Stdlib.min slots (n - base)))
             cts;
@@ -933,7 +947,9 @@ module Party_b = struct
         "decrypt-distances"
         (fun () ->
           Array.map
-            (fun ct -> Plaintext.to_slots (Bgv.decrypt ~counters:t.counters t.sk ct))
+            (fun ct ->
+              Plaintext.to_slots ~counters:t.counters
+                (Bgv.decrypt ~counters:t.counters t.sk ct))
             cts)
     in
     Obs.with_span obs ~args:[ ("k", string_of_int k) ] "select-top-k" (fun () ->
@@ -1054,7 +1070,7 @@ module Client = struct
     let enc slot_of =
       let s = Array.make slots 0L in
       Array.iteri (fun q query -> s.(q) <- Int64.of_int (slot_of query)) queries;
-      Bgv.encrypt ~counters rng t.pk (Plaintext.of_slots params s)
+      Bgv.encrypt ~counters rng t.pk (Plaintext.of_slots ~counters params s)
     in
     { bq_coords = Array.init d (fun j -> enc (fun query -> query.(j)));
       bq_norm = enc squared_norm;

@@ -133,7 +133,8 @@ let run ?rng ?(max_iters = 25) t ~init =
     Array.iteri
       (fun i row ->
         let packed =
-          Bgv.truncate_to_level t.enc_db.Entities.points.(i).Entities.packed return_level
+          Bgv.truncate_to_level ~counters:t.counters_a
+            t.enc_db.Entities.points.(i).Entities.packed return_level
         in
         for c = 0 to k - 1 do
           let ind = row.(Perm.apply_index perms.(i) c) in
@@ -154,15 +155,23 @@ let run ?rng ?(max_iters = 25) t ~init =
     Transcript.send tr ~sender:Transcript.Party_a ~receiver:Transcript.Client
       ~label:(Printf.sprintf "iteration %d: cluster aggregates" !iterations)
       ~bytes:(Array.fold_left (fun s (a, b) -> s + Bgv.byte_size a + Bgv.byte_size b) 0 aggregates);
-    (* Client: decrypt and recompute centroids (rounded integer mean). *)
+    (* Client: decrypt and recompute centroids (rounded integer mean).
+       Client-side decryptions live outside the two-party A/B cost
+       ledger, so they carry no counters. *)
     let next =
       Array.mapi
         (fun c (sum_ct, count_ct) ->
-          let count = Int64.to_int (Bgv.decrypt_coeff0 t.sk count_ct) in
+          let count =
+            Int64.to_int
+              ((Bgv.decrypt_coeff0 t.sk count_ct) [@sknn.allow "ledger-at-op-site"])
+          in
           (!sizes).(c) <- count;
           if count = 0 then Array.copy !centroids.(c)
           else begin
-            let coeffs = Plaintext.to_coeffs (Bgv.decrypt t.sk sum_ct) in
+            let coeffs =
+              Plaintext.to_coeffs
+                ((Bgv.decrypt t.sk sum_ct) [@sknn.allow "ledger-at-op-site"])
+            in
             Array.init t.d (fun j ->
                 let s = Int64.to_int coeffs.(j) in
                 (s + (count / 2)) / count)

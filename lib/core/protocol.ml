@@ -320,7 +320,10 @@ let query_gen ~path ?(obs = Obs.disabled) ?rng d ~query ~k =
               (Printf.sprintf "transcript.%s-%s.bytes" (Transcript.party_name x)
                  (Transcript.party_name y)))
            (float_of_int bytes))
-       (Transcript.links tr));
+       (Transcript.links tr);
+     List.iter
+       (fun (party, c) -> Metrics.record_ledger m ~party c)
+       [ ("party-a", ca); ("party-b", cb); ("client", cc) ]);
   { neighbours;
     k;
     phase_seconds = List.rev !phases;
@@ -482,6 +485,12 @@ let query_batch ?(obs = Obs.disabled) ?rng d ~queries ~k =
     | Transcript.Party_b -> Some cb
     | Transcript.Client -> Some cc
     | Transcript.Data_owner -> None);
+  (match Obs.metrics obs with
+   | None -> ()
+   | Some m ->
+     List.iter
+       (fun (party, c) -> Metrics.record_ledger m ~party c)
+       [ ("party-a", ca); ("party-b", cb); ("client", cc) ]);
   let phase_seconds = List.rev !phases in
   Array.init m (fun q ->
       { neighbours = neighbours.(q);

@@ -1,0 +1,90 @@
+(** Analytic replica of the protocol's op-kind × BGV-level cost ledger.
+
+    Where {!Noise_model} forecasts how much {e noise} a circuit accrues,
+    this module forecasts how many {e ciphertext operations} it runs —
+    by symbolically executing the exact per-path circuits of
+    [lib/core/entities.ml]/[protocol.ml] and recording into fresh
+    {!Util.Counters.t} values the same ledger cells the instrumented
+    scheme records on live ciphertexts.  The test suite asserts
+    {!Util.Counters.equal_ledger} between a prediction and a measured
+    query on every preset: the model is cross-checked against the
+    ledger exactly the way the noise forecaster is cross-checked
+    against [Bgv]'s tracked bound.
+
+    Every count that depends on a noise bound (rescale loop trips, the
+    prepared level-drop rule, the packed/batched up-front query
+    truncation) is replayed with bit-identical float arithmetic, so the
+    predicted branch decisions match the live ones.
+
+    Combined with per-op unit costs measured by the calibration bench
+    ([bench/kernels]), {!predict_seconds} turns a ledger — predicted or
+    measured — into seconds, which is what [sknn cost] and the
+    regression gate compare against measured phase times. *)
+
+type params = {
+  nm : Noise_model.params;  (** ring/modulus/noise numbers, shared with the forecaster *)
+  q_ibits : int array;
+      (** exact bit length of the RNS modulus product with [i+1] active
+          primes (index [level − 1]) — [Zint.numbits], not a float
+          ceiling, because the relinearisation digit count divides it *)
+  n_points : int;  (** database size n *)
+  d : int;  (** dimension *)
+  k : int;  (** neighbours returned *)
+  per_coordinate : bool;  (** layout: per-coordinate vs dot-product *)
+  mask_degree : int;
+  mask_leading_bits : float;
+      (** log2 bound on the centered magnitude of the mask's leading
+          coefficient (the one Horner applies as a scalar) *)
+  coord_bits : float;
+      (** log2 bound on a centered plaintext coordinate — the batch
+          path's scalar products *)
+  rescale_distances : bool;
+  return_level : int;
+  use_relin : bool;
+  relin_digit_bits : int;
+  relin_rows : int;  (** gadget rows in the relinearisation key *)
+  slots : int;  (** SIMD slot count (= ring degree here) *)
+}
+
+(** Which query pipeline to predict; [Batch m] is [Protocol.query_batch]
+    with [m] queries sharing the round. *)
+type path = Plain | Prepared | Packed | Batch of int
+
+type phase = {
+  phase : string;  (** protocol phase name, as [Protocol] times it *)
+  party : string;  (** ["party-a"] / ["party-b"] / ["client"] *)
+  counters : Util.Counters.t;
+}
+
+type prediction = {
+  phases : phase list;  (** in protocol order; return-knn appears once per party *)
+  party_a : Util.Counters.t;  (** merged totals, comparable to live query counters *)
+  party_b : Util.Counters.t;
+  client : Util.Counters.t;
+  ab_bytes : int;
+      (** serialized bytes crossing the A<->B link (both directions),
+          computed with the exact [Bgv.byte_size] formula on the
+          symbolic ciphertexts at their send-time degree and level —
+          comparable to [Transcript.bytes_between] on a measured run *)
+}
+
+val predict : ?include_prepare:bool -> params -> path -> prediction
+(** Symbolically run one query (or one batch round) and return its
+    predicted ledger.  [include_prepare] (default [true]) adds the
+    prepare-db phase the first prepared/packed query of a deployment
+    pays; steady-state queries drop it.  Ignored for [Plain].
+    @raise Invalid_argument on nonsensical sizes. *)
+
+(** {1 Calibrated time} *)
+
+type unit_costs = float array array
+(** [unit_costs.(Util.Counters.op_index op).(level)] = measured seconds
+    per operation of that kind at that chain level (row 0 holds the
+    level-free slot ops).  Produced by the calibration pass in
+    [bench/kernels]; missing cells read as zero. *)
+
+val predict_seconds : unit_costs:unit_costs -> Util.Counters.t -> float
+(** [Σ count × unit_cost] over the ledger's {e primary} operations.
+    The NTT census rows ([Op_ntt_fwd]/[Op_ntt_inv]) are excluded: each
+    composite op's measured unit cost already contains its NTT passes,
+    so adding the census would double-count them. *)

@@ -79,6 +79,19 @@ let hist_sum h = h.sum
 let hist_counts h = Array.copy h.counts
 let hist_buckets h = Array.copy h.buckets
 
+(* Mirror a finished per-party op ledger into the registry: one
+   monotonic counter per (party, op kind, level) cell.  The
+   "ledger.<party>.<op>.l<level>" names render sorted under the
+   Prometheus sknn_ prefix, so scrapes carry the same attribution the
+   cost model prices. *)
+let record_ledger t ~party c =
+  List.iter
+    (fun (op, level, count) ->
+      inc ~by:count
+        (counter t
+           (Printf.sprintf "ledger.%s.%s.l%d" party (Util.Counters.op_name op) level)))
+    (Util.Counters.ledger_entries c)
+
 let names t =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () ->

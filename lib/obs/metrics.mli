@@ -45,6 +45,13 @@ val hist_counts : histogram -> int array
 
 val hist_buckets : histogram -> float array
 
+val record_ledger : t -> party:string -> Util.Counters.t -> unit
+(** Mirror a per-party op-kind × level ledger into the registry: each
+    {!Util.Counters.ledger_entries} cell increments a monotonic counter
+    named [ledger.<party>.<op>.l<level>], so repeated queries accumulate
+    and {!to_prometheus} exports the attribution sorted under the
+    [sknn_] prefix. *)
+
 val names : t -> string list
 (** Registered names, sorted — [pp] renders in this order, so output is
     deterministic. *)

@@ -140,6 +140,8 @@ type t = {
   phase_durs : (string, float list ref) Hashtbl.t;
   link_bytes : (string, int ref * int ref) Hashtbl.t; (* sends, bytes *)
   noise : (string, float list ref) Hashtbl.t; (* label -> headroom samples *)
+  cost : (string, (float * float) list ref) Hashtbl.t;
+      (* phase -> (predicted_s, measured_s) samples from sknn-cost lines *)
   mutable lines : int;
   mutable skipped : int;
 }
@@ -148,6 +150,7 @@ let create () =
   { phase_durs = Hashtbl.create 16;
     link_bytes = Hashtbl.create 16;
     noise = Hashtbl.create 16;
+    cost = Hashtbl.create 16;
     lines = 0;
     skipped = 0 }
 
@@ -188,6 +191,21 @@ let add_line t line =
           Option.iter (fun x -> push t.noise name x) (num_member "x" j)
         | _ -> () (* header, chunk, marks: nothing to aggregate *))
       | Some "flight-header" -> ()
+      | Some "calibration" -> () (* unit-cost table: context, nothing to aggregate *)
+      | Some "cost" -> (
+        (* sknn-cost attribution line: predicted vs measured seconds per
+           protocol phase, one sample each. *)
+        match member "phases" j with
+        | Some (Arr entries) ->
+          List.iter
+            (fun e ->
+              match
+                (str_member "phase" e, num_member "predicted_s" e, num_member "measured_s" e)
+              with
+              | Some phase, Some p, Some m -> push t.cost phase (p, m)
+              | _ -> ())
+            entries
+        | _ -> ())
       | _ -> (
         (* jsonl trace line: every phase-kind span contributes. *)
         match str_member "kind" j, str_member "name" j, num_member "dur_s" j with
@@ -227,6 +245,13 @@ type phase_row = {
 }
 
 type link_row = { link : string; sends : int; bytes : int }
+
+type cost_row = {
+  cost_phase : string;
+  cost_samples : int;
+  predicted_s : float; (* mean *)
+  measured_s : float; (* mean *)
+}
 type noise_row = { noise_label : string; noise_samples : int; min_bits : float; mean_bits : float }
 
 let sorted_rows tbl f =
@@ -248,6 +273,16 @@ let phases t =
 let links t =
   sorted_rows t.link_bytes (fun (link, (sends, bytes)) ->
       { link; sends = !sends; bytes = !bytes })
+
+let attribution t =
+  sorted_rows t.cost (fun (cost_phase, samples) ->
+      let l = !samples in
+      let n = List.length l in
+      let mean f = List.fold_left (fun a x -> a +. f x) 0.0 l /. float_of_int n in
+      { cost_phase;
+        cost_samples = n;
+        predicted_s = mean fst;
+        measured_s = mean snd })
 
 let noise_margins t =
   sorted_rows t.noise (fun (noise_label, samples) ->
@@ -277,6 +312,19 @@ let pp ppf t =
      Format.fprintf ppf "@,%-28s %8s %14s@," "link" "sends" "bytes";
      List.iter
        (fun r -> Format.fprintf ppf "%-28s %8d %14d@," r.link r.sends r.bytes)
+       rows);
+  (match attribution t with
+   | [] -> ()
+   | rows ->
+     Format.fprintf ppf "@,%-22s %8s %12s %12s %8s@," "cost attribution" "samples"
+       "predicted" "measured" "ratio";
+     List.iter
+       (fun r ->
+         Format.fprintf ppf "%-22s %8d %11.6fs %11.6fs " r.cost_phase r.cost_samples
+           r.predicted_s r.measured_s;
+         if r.predicted_s > 0.0 then
+           Format.fprintf ppf "%7.2fx@," (r.measured_s /. r.predicted_s)
+         else Format.fprintf ppf "%8s@," "-")
        rows);
   (match noise_margins t with
    | [] -> ()

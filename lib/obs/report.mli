@@ -40,6 +40,13 @@ type phase_row = {
 
 type link_row = { link : string; sends : int; bytes : int }
 
+type cost_row = {
+  cost_phase : string;
+  cost_samples : int;
+  predicted_s : float;  (** mean of the samples' model-predicted seconds *)
+  measured_s : float;  (** mean of the samples' measured seconds *)
+}
+
 type noise_row = {
   noise_label : string;
   noise_samples : int;
@@ -51,5 +58,11 @@ val phases : t -> phase_row list
 (** Sorted by phase name. *)
 
 val links : t -> link_row list
+
+val attribution : t -> cost_row list
+(** Predicted-vs-measured phase seconds from [sknn cost] JSON lines
+    ([{"rec":"cost",...}]), sorted by phase name; empty when no cost
+    lines were fed in. *)
+
 val noise_margins : t -> noise_row list
 val pp : Format.formatter -> t -> unit

@@ -54,6 +54,7 @@ let zero ctx ~nprimes domain =
 let nprimes t = Array.length t.comps
 let domain t = t.domain
 let ctx t = t.ctx
+let needs_transform t d = t.domain <> d
 
 let to_eval t =
   match t.domain with

@@ -69,6 +69,13 @@ val constant : context -> nprimes:int -> domain -> int64 -> t
 val to_eval : t -> t
 val to_coeff : t -> t
 
+val needs_transform : t -> domain -> bool
+(** Whether presenting [t] in [domain] requires an NTT pass over its
+    residues (false when the stored domain already matches).  The BGV
+    layer's cost ledger uses this census so its [ntt_fwd]/[ntt_inv]
+    counts stay exact even at call sites where a value's domain is
+    data-dependent. *)
+
 (** {1 Arithmetic} *)
 
 val add : t -> t -> t

@@ -1,14 +1,32 @@
-(** Operation counters for reproducing Table 1.
+(** Operation counters for reproducing Table 1, plus the op-level cost
+    ledger.
 
     The paper's Table 1 compares protocols by the number of homomorphic
     operations, encryptions, decryptions, communication rounds and bytes
     per round.  Every crypto substrate in this repository reports into a
     [Counters.t] so that benchmark runs measure these quantities on real
-    executions instead of quoting the asymptotic formulas. *)
+    executions instead of quoting the asymptotic formulas.
+
+    Two granularities coexist in one counter:
+
+    - {e events} ({!event}) — the coarse Table 1 classes, unchanged
+      since PR 1;
+    - the {e ledger} ({!op}) — op-kind × BGV-level counts, recorded at
+      every [Bgv]/[Rq] call site.  [ct_mul@L6=858] means 858
+      ciphertext–ciphertext multiplications were performed on
+      ciphertexts with 6 active RNS primes.  Because the unit cost of a
+      ring operation is proportional to its active-prime count, the
+      ledger is what a calibrated time model
+      ({!Sknn_obs.Cost_model.predict_seconds}) can price.
+
+    Ledger updates are plain field increments with no synchronisation;
+    per-worker counters from {!Pool.map_local} are folded back with
+    {!absorb} in worker order, so totals are bit-identical for every
+    job count. *)
 
 type t
 
-(** The event classes tracked. *)
+(** The coarse event classes tracked (Table 1 rows). *)
 type event =
   | Encrypt          (** public-key encryption of one value *)
   | Decrypt          (** secret-key decryption of one value *)
@@ -20,9 +38,67 @@ type event =
   | Round            (** one protocol communication round *)
   | Bytes_sent of int (** payload bytes placed on the wire *)
 
+(** The ledger's op kinds.  Composite BGV operations record one primary
+    op plus the NTT passes they trigger; {!Op_ntt_fwd}/{!Op_ntt_inv}
+    count whole-polynomial conversions at the recorded level (each is
+    [level] per-prime butterfly passes). *)
+type op =
+  | Op_encrypt       (** public-key encryption (4 fresh Coeff→Eval embeds) *)
+  | Op_decrypt       (** full or coeff0-only decryption *)
+  | Op_ct_add        (** ciphertext ± ciphertext *)
+  | Op_ct_mul        (** ciphertext tensor product *)
+  | Op_mul_plain     (** ciphertext × plaintext / scalar *)
+  | Op_modswitch     (** modulus switch (recorded at the source level) *)
+  | Op_level_drop    (** RNS truncation without rescaling (target level) *)
+  | Op_key_switch    (** relinearisation or Galois key switch *)
+  | Op_ntt_fwd       (** Coeff→Eval conversion of one polynomial *)
+  | Op_ntt_inv       (** Eval→Coeff conversion of one polynomial *)
+  | Op_slot_pack     (** Plaintext.of_slots mod-t inverse NTT (level 0) *)
+  | Op_slot_unpack   (** Plaintext.to_slots mod-t forward NTT (level 0) *)
+
+val all_ops : op array
+(** Every op kind once, in {!op_index} order. *)
+
+val num_ops : int
+val op_index : op -> int
+(** Dense index in [0 .. num_ops - 1], stable across runs. *)
+
+val op_name : op -> string
+(** Snake-case wire name ([ct_mul], [ntt_fwd], …) used by the metrics
+    exposition and the bench JSON ledger fields. *)
+
+val max_level : int
+(** Highest level the ledger can record (inclusive); {!record_op}
+    rejects levels outside [0 .. max_level].  Level 0 is reserved for
+    level-less plaintext-side ops (slot pack/unpack). *)
+
 val create : unit -> t
 val reset : t -> unit
 val record : t -> event -> unit
+
+val record_op : t -> op -> level:int -> unit
+(** Add one ledger entry for [op] at [level].
+    @raise Invalid_argument when [level] is out of range. *)
+
+val record_op_n : t -> op -> level:int -> int -> unit
+(** [record_op_n t op ~level k] records [op] [k] times ([k >= 0]). *)
+
+val op_count : t -> op -> level:int -> int
+val op_total : t -> op -> int
+(** Ledger count of [op] summed over all levels. *)
+
+val ops_total : t -> int
+(** Every ledger entry summed — the single-number "ciphertext work"
+    aggregate. *)
+
+val ledger_entries : t -> (op * int * int) list
+(** Nonzero ledger cells as [(op, level, count)], ordered by
+    {!op_index} then ascending level — deterministic, so two counters
+    with equal ledgers render identically. *)
+
+val equal_ledger : t -> t -> bool
+(** Cell-wise equality of the two ledgers (events are not compared) —
+    what the Cost_model cross-check tests assert. *)
 
 val encryptions : t -> int
 val decryptions : t -> int
@@ -43,7 +119,8 @@ val record_n : t -> event -> int -> unit
     [Bytes_sent n] this adds [n * k] bytes. *)
 
 val merge : t -> t -> t
-(** [merge a b] is a fresh counter holding the component-wise sums. *)
+(** [merge a b] is a fresh counter holding the component-wise sums
+    (events and ledger). *)
 
 val copy : t -> t
 (** An independent snapshot.  {!Sknn_obs.Trace} snapshots a party's live
@@ -56,12 +133,17 @@ val diff : t -> t -> t
 val is_zero : t -> bool
 
 val to_list : t -> (string * int) list
-(** Every field as a [(name, count)] pair, in a fixed order — the
-    generic view the observability sinks serialise. *)
+(** Every {e event} field as a [(name, count)] pair, in a fixed order —
+    the generic view the observability sinks serialise.  The ledger is
+    not included here; use {!ledger_entries}. *)
 
 val absorb : into:t -> t -> unit
-(** [absorb ~into b] adds every count of [b] into [into].  This is how
-    per-worker counters from {!Pool.map_local} are folded back into a
-    party's counter, keeping totals exact under any job count. *)
+(** [absorb ~into b] adds every count of [b] (events and ledger) into
+    [into].  This is how per-worker counters from {!Pool.map_local} are
+    folded back into a party's counter, keeping totals exact under any
+    job count. *)
 
 val pp : Format.formatter -> t -> unit
+(** Renders events and, when nonempty, the ledger
+    ([ledger(ct_mul@L6=858 …)]) — the jobs-determinism tests compare
+    this rendering across worker counts. *)

@@ -16,3 +16,5 @@ let[@sknn.allow "no-ambient-nondeterminism"] noise () = Random.int 100
 let audited obs n = Obs.audit obs ~label:"n" n
 
 let[@sknn.allow "secret-taint"] debug_secret sk = Printf.printf "%d\n" sk
+
+let setup_encrypt rng pk pt = (Bgv.encrypt rng pk pt) [@sknn.allow "ledger-at-op-site"]

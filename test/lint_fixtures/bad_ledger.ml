@@ -1,0 +1,23 @@
+(* Fixture: ledger-at-op-site must flag every qualified ciphertext op
+   below — none threads a ~counters ledger, so the op-level cost ledger
+   (and the Cost_model cross-check) would silently under-count. *)
+
+let masked ct pt = Bgv.mul_plain ct pt
+
+let total a b = Bgv.add a b
+
+let opened sk ct = Bgv.decrypt sk ct
+
+let dropped ct lvl = Bgv.truncate_to_level ct lvl
+
+let packed params slots = Plaintext.of_slots params slots
+
+(* Internal-style unqualified calls have no module head and are out of
+   scope: the implementation threads ?counters itself. *)
+let internal ct pt = mul_plain ct pt
+
+(* A call that does thread the ledger is clean. *)
+let counted counters a b = Bgv.add ~counters a b
+
+(* Forwarding an optional ledger is also threading it. *)
+let forwarded ?counters a b = Bgv.sub ?counters a b

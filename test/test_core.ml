@@ -721,7 +721,7 @@ let test_cost_measured_vs_predicted () =
   let dep = Protocol.deploy ~rng config ~db in
   let r = Protocol.query dep ~query:(Synthetic.query_like rng db) ~k in
   let measured = Cost.measured r in
-  let predicted = Cost.ours ~n ~d ~k ~mask_degree:config.Config.mask_degree in
+  let predicted = Cost.ours ~n ~d ~k ~mask_degree:config.Config.mask_degree () in
   Alcotest.(check int) "one round measured" 1 measured.Cost.rounds;
   Alcotest.(check int) "decryptions = n" n measured.Cost.decryptions;
   Alcotest.(check int) "encryptions = nk" (n * k) measured.Cost.encryptions;
@@ -735,13 +735,95 @@ let test_cost_ours_beats_yousef () =
   (* The Table 1 comparison: for 32-bit values, every row of ours is
      asymptotically below Yousef et al. *)
   let n = 1000 and d = 10 and k = 10 and l = 32 in
-  let ours = Cost.ours ~n ~d ~k ~mask_degree:2 in
+  let ours = Cost.ours ~n ~d ~k ~mask_degree:2 () in
   let yousef = Cost.yousef ~n ~d ~k ~l in
   Alcotest.(check bool) "hom ops" true (ours.Cost.hom_ops < yousef.Cost.hom_ops);
   Alcotest.(check bool) "encryptions" true (ours.Cost.encryptions < yousef.Cost.encryptions);
   Alcotest.(check bool) "decryptions" true (ours.Cost.decryptions < yousef.Cost.decryptions);
   Alcotest.(check int) "rounds: ours constant" 1 ours.Cost.rounds;
   Alcotest.(check int) "rounds: yousef O(k)" k yousef.Cost.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Cost ledger vs analytic replica (DESIGN §5a)                        *)
+(* ------------------------------------------------------------------ *)
+
+module CM = Sknn_obs.Cost_model
+
+let check_ledger name predicted measured =
+  if not (Util.Counters.equal_ledger predicted measured) then
+    Alcotest.failf "%s: ledger mismatch@.predicted: %a@.measured:  %a" name
+      Util.Counters.pp predicted Util.Counters.pp measured
+
+let check_prediction name config ~n ~d ~k ~include_prepare path (r : Protocol.result) =
+  let pred = Attribution.predict ~include_prepare config ~n ~d ~k path in
+  check_ledger (name ^ " / party-a") pred.CM.party_a r.Protocol.counters_a;
+  check_ledger (name ^ " / party-b") pred.CM.party_b r.Protocol.counters_b;
+  check_ledger (name ^ " / client") pred.CM.client r.Protocol.counters_client;
+  (* Serialized A<->B traffic, predicted from symbolic ciphertext sizes,
+     against the transcript tally (Cost.measured reads the same entries
+     tally_transcript folds into bytes_sent). *)
+  Alcotest.(check int)
+    (name ^ " / A<->B bytes")
+    (Cost.measured r).Cost.bytes pred.CM.ab_bytes
+
+let test_cost_model_plain () =
+  let db = small_db (Rng.of_int 611) in
+  let n = Array.length db and d = Array.length db.(0) in
+  let k = 4 in
+  List.iter
+    (fun (name, config) ->
+      let dep = Protocol.deploy ~rng:(Rng.of_int 612) config ~db in
+      let q = Synthetic.query_like (Rng.of_int 613) db in
+      let r = Protocol.query dep ~query:q ~k in
+      check_prediction name config ~n ~d ~k ~include_prepare:false CM.Plain r)
+    [ ("plain/standard", Config.standard ()); ("plain/fast", Config.fast ()) ]
+
+let test_cost_model_prepared () =
+  let db = small_db (Rng.of_int 621) in
+  let n = Array.length db and d = Array.length db.(0) in
+  let k = 4 in
+  List.iter
+    (fun (name, config) ->
+      let dep = Protocol.deploy ~rng:(Rng.of_int 622) config ~db in
+      let q = Synthetic.query_like (Rng.of_int 623) db in
+      let first = Protocol.query_prepared dep ~query:q ~k in
+      check_prediction (name ^ "/first") config ~n ~d ~k ~include_prepare:true
+        CM.Prepared first;
+      let steady = Protocol.query_prepared dep ~query:q ~k in
+      check_prediction (name ^ "/steady") config ~n ~d ~k ~include_prepare:false
+        CM.Prepared steady)
+    [ ("prepared/affine", affine_config ()); ("prepared/fast", Config.fast ()) ]
+
+let test_cost_model_packed () =
+  let db = small_db (Rng.of_int 631) in
+  let n = Array.length db and d = Array.length db.(0) in
+  let k = 4 in
+  List.iter
+    (fun (name, config) ->
+      let dep = Protocol.deploy ~rng:(Rng.of_int 632) config ~db in
+      let q = Synthetic.query_like (Rng.of_int 633) db in
+      let first = Protocol.query_packed dep ~query:q ~k in
+      check_prediction (name ^ "/first") config ~n ~d ~k ~include_prepare:true
+        CM.Packed first;
+      let steady = Protocol.query_packed dep ~query:q ~k in
+      check_prediction (name ^ "/steady") config ~n ~d ~k ~include_prepare:false
+        CM.Packed steady)
+    [ ("packed/affine", affine_config ()); ("packed/fast", Config.fast ()) ]
+
+let test_cost_model_batch () =
+  let db = small_db (Rng.of_int 641) in
+  let n = Array.length db and d = Array.length db.(0) in
+  let k = 3 in
+  let config = Config.fast () in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 642) config ~db in
+  let rng = Rng.of_int 643 in
+  let queries = Array.init 3 (fun _ -> Synthetic.query_like rng db) in
+  let first = Protocol.query_batch dep ~queries ~k in
+  check_prediction "batch/first" config ~n ~d ~k ~include_prepare:true
+    (CM.Batch 3) first.(0);
+  let steady = Protocol.query_batch dep ~queries ~k in
+  check_prediction "batch/steady" config ~n ~d ~k ~include_prepare:false
+    (CM.Batch 3) steady.(0)
 
 (* ------------------------------------------------------------------ *)
 (* Property: random end-to-end instances                               *)
@@ -810,7 +892,11 @@ let () =
          Alcotest.test_case "audit channel" `Quick test_leakage_audit_channel ]);
       ("cost",
        [ Alcotest.test_case "measured vs predicted" `Quick test_cost_measured_vs_predicted;
-         Alcotest.test_case "ours beats yousef" `Quick test_cost_ours_beats_yousef ]);
+         Alcotest.test_case "ours beats yousef" `Quick test_cost_ours_beats_yousef;
+         Alcotest.test_case "ledger exact (plain)" `Quick test_cost_model_plain;
+         Alcotest.test_case "ledger exact (prepared)" `Quick test_cost_model_prepared;
+         Alcotest.test_case "ledger exact (packed)" `Quick test_cost_model_packed;
+         Alcotest.test_case "ledger exact (batch)" `Quick test_cost_model_batch ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_masking_order_preserving; prop_masking_fresh_each_draw; prop_end_to_end_exact ]) ]

@@ -553,6 +553,13 @@ let test_metrics_kind_mismatch () =
          ignore (Metrics.counter m "c");
          ignore (Metrics.gauge m "c")) ]
 
+let golden_ledger () =
+  let c = Counters.create () in
+  Counters.record_op c Counters.Op_ct_mul ~level:5;
+  Counters.record_op_n c Counters.Op_encrypt ~level:10 2;
+  Counters.record_op c Counters.Op_slot_pack ~level:0;
+  c
+
 let test_metrics_prometheus_golden () =
   let build () =
     let m = Metrics.create () in
@@ -561,6 +568,7 @@ let test_metrics_prometheus_golden () =
     ignore (Metrics.gauge m "unset"); (* unset gauges are omitted *)
     let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "lat" in
     List.iter (Metrics.observe h) [ 0.5; 10.0; 99.0 ];
+    Metrics.record_ledger m ~party:"party-a" (golden_ledger ());
     m
   in
   let expected =
@@ -571,6 +579,12 @@ let test_metrics_prometheus_golden () =
         "sknn_lat_bucket{le=\"+Inf\"} 3";
         "sknn_lat_sum 109.5";
         "sknn_lat_count 3";
+        "# TYPE sknn_ledger_party_a_ct_mul_l5_total counter";
+        "sknn_ledger_party_a_ct_mul_l5_total 1";
+        "# TYPE sknn_ledger_party_a_encrypt_l10_total counter";
+        "sknn_ledger_party_a_encrypt_l10_total 2";
+        "# TYPE sknn_ledger_party_a_slot_pack_l0_total counter";
+        "sknn_ledger_party_a_slot_pack_l0_total 1";
         "# TYPE sknn_pool_work_utilization gauge";
         "sknn_pool_work_utilization 0.75";
         "# TYPE sknn_queries_total counter";
@@ -583,6 +597,7 @@ let test_metrics_prometheus_golden () =
      is stable. *)
   let m2 = Metrics.create () in
   let h2 = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m2 "lat" in
+  Metrics.record_ledger m2 ~party:"party-a" (golden_ledger ());
   Metrics.set (Metrics.gauge m2 "pool/work.utilization") 0.75;
   ignore (Metrics.gauge m2 "unset");
   Metrics.inc ~by:3 (Metrics.counter m2 "queries");
@@ -895,6 +910,155 @@ let test_report_tables () =
   Report.add_line t "not json at all {";
   Alcotest.(check int) "garbage skipped" 1 (Report.skipped t)
 
+(* ------------------------------------------------------------------ *)
+(* Cost_model: the analytic op-ledger replica + calibrated time        *)
+(* ------------------------------------------------------------------ *)
+
+module CM = Sknn_obs.Cost_model
+
+(* Exact ledger equality against live queries is asserted per preset in
+   test_core; here we pin the model's own structural contract. *)
+
+let cm_predict ?include_prepare path =
+  Attribution.predict ?include_prepare (Config.fast ()) ~n:16 ~d:3 ~k:2 path
+
+let protocol_phase_order =
+  [ "prepare-db"; "encrypt-query"; "compute-distances"; "find-neighbours";
+    "return-knn"; "decrypt-result" ]
+
+let test_cost_model_phase_structure () =
+  List.iter
+    (fun (label, path) ->
+      let pred = cm_predict path in
+      let names = List.map (fun ph -> ph.CM.phase) pred.CM.phases in
+      List.iter
+        (fun nm ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s is a protocol phase" label nm)
+            true (List.mem nm protocol_phase_order))
+        names;
+      (* Phase order matches Protocol's: the phase list, deduplicated,
+         is a subsequence of the canonical order. *)
+      let dedup =
+        List.fold_left (fun acc nm -> if List.mem nm acc then acc else nm :: acc)
+          [] names
+        |> List.rev
+      in
+      let rec subseq xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' -> if x = y then subseq xs' ys' else subseq xs ys'
+      in
+      Alcotest.(check bool) (label ^ ": phases in protocol order") true
+        (subseq dedup protocol_phase_order);
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s party tag" label ph.CM.phase)
+            true
+            (List.mem ph.CM.party [ "party-a"; "party-b"; "client" ]))
+        pred.CM.phases;
+      Alcotest.(check bool) (label ^ ": A<->B traffic predicted") true
+        (pred.CM.ab_bytes > 0))
+    [ ("plain", CM.Plain); ("prepared", CM.Prepared); ("packed", CM.Packed);
+      ("batch", CM.Batch 3) ]
+
+let test_cost_model_party_merge () =
+  (* The merged per-party totals are exactly the fold of the per-phase
+     ledgers — sknn cost compares the totals against live counters, the
+     phase table against live phase times; they must be the same ops. *)
+  List.iter
+    (fun (label, path) ->
+      let pred = cm_predict path in
+      let fold party =
+        List.fold_left
+          (fun acc ph ->
+            if ph.CM.party = party then Counters.merge acc ph.CM.counters else acc)
+          (Counters.create ()) pred.CM.phases
+      in
+      Alcotest.(check bool) (label ^ ": party-a merge") true
+        (Counters.equal_ledger (fold "party-a") pred.CM.party_a);
+      Alcotest.(check bool) (label ^ ": party-b merge") true
+        (Counters.equal_ledger (fold "party-b") pred.CM.party_b);
+      Alcotest.(check bool) (label ^ ": client merge") true
+        (Counters.equal_ledger (fold "client") pred.CM.client))
+    [ ("plain", CM.Plain); ("prepared", CM.Prepared); ("packed", CM.Packed);
+      ("batch", CM.Batch 2) ]
+
+let test_cost_model_steady_state () =
+  (* include_prepare:false models a steady-state query: the prepare-db
+     phase disappears and with it some work, but the A<->B traffic of
+     the query round itself is unchanged. *)
+  List.iter
+    (fun (label, path) ->
+      let first = cm_predict ~include_prepare:true path in
+      let steady = cm_predict ~include_prepare:false path in
+      Alcotest.(check bool) (label ^ ": first query prepares") true
+        (List.exists (fun ph -> ph.CM.phase = "prepare-db") first.CM.phases);
+      Alcotest.(check bool) (label ^ ": steady query does not") false
+        (List.exists (fun ph -> ph.CM.phase = "prepare-db") steady.CM.phases);
+      Alcotest.(check int) (label ^ ": traffic unchanged") first.CM.ab_bytes
+        steady.CM.ab_bytes)
+    [ ("prepared", CM.Prepared); ("packed", CM.Packed) ]
+
+let test_predict_seconds_algebra () =
+  (* predict_seconds is Σ count × unit_cost over the primary ops, with
+     the NTT census rows excluded (each composite op's measured unit
+     cost already contains its transforms) and missing cells read as
+     zero. *)
+  let c = Counters.create () in
+  Counters.record_op_n c Counters.Op_ct_add ~level:2 10;
+  Counters.record_op_n c Counters.Op_ct_mul ~level:3 4;
+  Counters.record_op_n c Counters.Op_slot_pack ~level:0 5;
+  Counters.record_op_n c Counters.Op_ntt_fwd ~level:2 1000;
+  Counters.record_op_n c Counters.Op_ntt_inv ~level:2 1000;
+  Counters.record_op_n c Counters.Op_decrypt ~level:4 7;
+  let unit_costs =
+    Array.make_matrix Counters.num_ops 8 0.0
+  in
+  unit_costs.(Counters.op_index Counters.Op_ct_add).(2) <- 1e-3;
+  unit_costs.(Counters.op_index Counters.Op_ct_mul).(3) <- 1e-2;
+  unit_costs.(Counters.op_index Counters.Op_slot_pack).(0) <- 1e-4;
+  unit_costs.(Counters.op_index Counters.Op_ntt_fwd).(2) <- 1.0;
+  unit_costs.(Counters.op_index Counters.Op_ntt_inv).(2) <- 1.0;
+  (* Op_decrypt's cell stays 0.0: an uncalibrated cell contributes 0. *)
+  let expected = (10.0 *. 1e-3) +. (4.0 *. 1e-2) +. (5.0 *. 1e-4) in
+  Alcotest.(check (float 1e-12)) "sum excludes NTT census and zero cells"
+    expected
+    (CM.predict_seconds ~unit_costs c);
+  Alcotest.(check (float 0.0)) "empty ledger is free" 0.0
+    (CM.predict_seconds ~unit_costs (Counters.create ()))
+
+let test_report_cost_attribution () =
+  (* sknn cost writes {"rec":"cost",...} lines; Report aggregates them
+     into the attribution table, averaging repeated samples per phase. *)
+  let t = Report.create () in
+  Report.add_line t
+    {|{"rec":"cost","path":"plain","ledger_exact":true,"phases":[{"phase":"compute-distances","predicted_s":0.5,"measured_s":1.0},{"phase":"return-knn","predicted_s":0.0,"measured_s":0.25}]}|};
+  Report.add_line t
+    {|{"rec":"cost","path":"plain","ledger_exact":true,"phases":[{"phase":"compute-distances","predicted_s":1.5,"measured_s":3.0}]}|};
+  (match Report.attribution t with
+   | [ cd; rk ] ->
+     Alcotest.(check string) "phase sorted first" "compute-distances"
+       cd.Report.cost_phase;
+     Alcotest.(check int) "two samples merged" 2 cd.Report.cost_samples;
+     Alcotest.(check (float 1e-12)) "predicted mean" 1.0 cd.Report.predicted_s;
+     Alcotest.(check (float 1e-12)) "measured mean" 2.0 cd.Report.measured_s;
+     Alcotest.(check string) "second phase" "return-knn" rk.Report.cost_phase;
+     Alcotest.(check (float 1e-12)) "zero predicted preserved" 0.0
+       rk.Report.predicted_s
+   | rows -> Alcotest.failf "expected 2 attribution rows, got %d" (List.length rows));
+  let rendered = Format.asprintf "%a" Report.pp t in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) ("attribution mentions " ^ sub) true
+        (contains ~sub rendered))
+    [ "cost attribution"; "compute-distances"; "return-knn" ];
+  (* The zero-predicted row renders "-" for its ratio, never nan/inf. *)
+  Alcotest.(check bool) "no nan ratio" false (contains ~sub:"nan" rendered);
+  Alcotest.(check bool) "no inf ratio" false (contains ~sub:"inf" rendered)
+
 let () =
   Alcotest.run "obs"
     [ ("trace",
@@ -934,7 +1098,14 @@ let () =
       ("report",
        [ Alcotest.test_case "percentiles" `Quick test_report_percentiles;
          Alcotest.test_case "degenerate inputs" `Quick test_report_degenerate_inputs;
-         Alcotest.test_case "tables" `Quick test_report_tables ]);
+         Alcotest.test_case "tables" `Quick test_report_tables;
+         Alcotest.test_case "cost attribution" `Quick test_report_cost_attribution ]);
+      ("cost model",
+       [ Alcotest.test_case "phase structure" `Quick test_cost_model_phase_structure;
+         Alcotest.test_case "party merge" `Quick test_cost_model_party_merge;
+         Alcotest.test_case "steady state" `Quick test_cost_model_steady_state;
+         Alcotest.test_case "predict_seconds algebra" `Quick
+           test_predict_seconds_algebra ]);
       ("audit", [ Alcotest.test_case "basics" `Quick test_audit_basics ]);
       ("ctx",
        [ Alcotest.test_case "disabled" `Quick test_ctx_disabled;
