@@ -198,6 +198,28 @@ let mean_steady_compute_distances ~packed path =
   | [] -> None
   | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
 
+(* Mean total seconds of the planned experiment's steady-state queries
+   on one variant ("preset" or "planned"); [None] when the file has no
+   such samples (pre-planner baselines, or a bench run without the
+   planned experiment). *)
+let mean_planned_steady ~variant path =
+  let samples =
+    List.filter_map
+      (fun run ->
+        match
+          ( member "experiment" run,
+            member "variant" run,
+            member "steady_state" run )
+        with
+        | Some (Str "planned"), Some (Str v), Some (Bool true) when v = variant ->
+          (match member "seconds" run with Some (Num s) -> Some s | _ -> None)
+        | _ -> None)
+      (runs_of path)
+  in
+  match samples with
+  | [] -> None
+  | l -> Some (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+
 (* Mean measured/predicted seconds per phase over an experiment's runs
    that carry [predicted_phases].  Phases whose measured time is below
    [floor_s] in a given run are folded only into the "total" row: a
@@ -316,4 +338,30 @@ let () =
   in
   let ok_attr3 = attribution_gate "fig3" in
   let ok_attr3p = attribution_gate "fig3p" in
-  if not (ok_fig3 && ok_steady && ok_packed && ok_attr3 && ok_attr3p) then exit 1
+  (* Planner gate: within the current file, the planner's pick must not
+     be slower than the preset at the same workload (the planned
+     experiment runs both over identical queries).  Skips gracefully
+     when the file predates the experiment. *)
+  let ok_planned =
+    match
+      ( mean_planned_steady ~variant:"planned" current_path,
+        mean_planned_steady ~variant:"preset" current_path )
+    with
+    | Some planned, Some preset ->
+      Printf.printf
+        "planned-vs-preset steady mean: planned %.3fs, preset %.3fs (%.2fx)\n" planned
+        preset (preset /. planned);
+      if planned <= preset then begin
+        Printf.printf "OK: planner pick is no slower than the preset\n";
+        true
+      end
+      else begin
+        Printf.printf "FAIL: planner pick is slower than the preset\n";
+        false
+      end
+    | _ ->
+      Printf.printf "note: no planned-experiment samples; skipping planner gate\n";
+      true
+  in
+  if not (ok_fig3 && ok_steady && ok_packed && ok_attr3 && ok_attr3p && ok_planned)
+  then exit 1

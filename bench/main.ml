@@ -39,6 +39,7 @@ type opts = {
   repeat : int;              (* steady-state queries in the amortized experiment *)
   batch : int;               (* slot-dimension query batch in the amortized experiment *)
   prom : string option;      (* Prometheus text-exposition snapshot file *)
+  calib : string option;     (* calibration cache file shared with sknn cost/plan *)
 }
 
 (* The observability context shared by every protocol run of the session;
@@ -247,12 +248,16 @@ let write_json opts path =
    most once per parameter set (quick pass: CI runs this). *)
 let calibrations : (string, Kernel_bench.Calibration.t) Hashtbl.t = Hashtbl.create 4
 
-let calibration_for (params : Params.t) =
+let calibration_for ?cache (params : Params.t) =
   match Hashtbl.find_opt calibrations params.Params.name with
   | Some c -> c
   | None ->
-    say "calibrating per-op unit costs for %s (quick pass)...@." params.Params.name;
-    let c = Kernel_bench.Calibration.measure ~quick:true params in
+    say "calibrating per-op unit costs for %s (quick pass%s)...@." params.Params.name
+      (match cache with Some f -> ", cache " ^ f | None -> "");
+    let c, warnings =
+      Kernel_bench.Calibration.measure_cached ~quick:true ?file:cache params
+    in
+    List.iter (fun w -> say "warning: %s@." w) warnings;
     Hashtbl.add calibrations params.Params.name c;
     c
 
@@ -325,7 +330,7 @@ let fig_k_sweep ?(packed = false) ?(attribute = false) ~id ~title ~dataset_name 
   let predict =
     if not attribute then None
     else begin
-      let unit_costs = calibration_for config.Config.bgv in
+      let unit_costs = calibration_for ?cache:opts.calib config.Config.bgv in
       let path =
         if packed then Sknn_obs.Cost_model.Packed else Sknn_obs.Cost_model.Plain
       in
@@ -829,6 +834,112 @@ let amortized opts =
     (steady_cd_prep /. steady_cd_packed)
 
 (* ------------------------------------------------------------------ *)
+(* Planned: Params.plan winner vs preset at the fig3p workload         *)
+(* ------------------------------------------------------------------ *)
+
+(* The planner's acceptance experiment: the fig3p workload (cervical
+   858 x 32, slot-packed path, affine mask), run twice over the same
+   data and queries — once on the preset parameter set, once on the
+   parameter set [Planner.plan] picks under the preset's own security
+   as the floor — so the measured steady-state gap is exactly the
+   planner's win.  check_regress gates planned <= preset. *)
+let planned opts =
+  hr "planned — Params.plan winner vs preset (fig3p workload, packed path)";
+  let rng = Rng.of_int (opts.seed + 3) in
+  let n = scaled opts ~default_scale:0.5 858 in
+  let db =
+    Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng)
+  in
+  let d = Array.length db.(0) and k = 2 in
+  let preset = Config.with_mask_degree 1 (Config.standard ()) in
+  let costs = calibration_for ?cache:opts.calib preset.Config.bgv in
+  let unit_model =
+    Sknn_obs.Cost_model.fit_unit_model ~n:preset.Config.bgv.Params.n costs
+  in
+  let w =
+    Planner.workload ~layout:preset.Config.layout ~path:Sknn_obs.Cost_model.Packed
+      ~mask_degree:preset.Config.mask_degree
+      ~mask_coeff_bits:preset.Config.mask_coeff_bits ~points:n ~dim:d ~k
+      ~coord_bits:preset.Config.max_coord_bits ()
+  in
+  let limits =
+    { Planner.default_constraints with
+      Planner.min_security_bits = Params.security_bits preset.Config.bgv }
+  in
+  let outcome = Planner.plan ~unit_model w limits in
+  say "planner: %d candidates considered, %d ranked, %d noise-pruned@."
+    outcome.Planner.considered
+    (List.length outcome.Planner.ranked)
+    outcome.Planner.pruned_noise;
+  match Planner.best outcome with
+  | None -> say "no feasible candidate at this workload; skipping@."
+  | Some best ->
+    let s = best.Planner.spec in
+    say "planned params: n=%d chain=%dx%d-bit t_bits=%d rl=%d (%.1f bits headroom, \
+         %.1f bits security)@."
+      s.Planner.sp_n s.Planner.sp_chain_len s.Planner.sp_prime_bits
+      s.Planner.sp_plain_bits s.Planner.sp_return_level
+      best.Planner.min_headroom_bits best.Planner.security_bits;
+    let planned_config = Planner.realize w best in
+    let preset_steady_pred =
+      let bgv = preset.Config.bgv in
+      let unit_costs =
+        Sknn_obs.Cost_model.unit_costs_for unit_model ~n:bgv.Params.n
+          ~levels:(Params.chain_length bgv)
+      in
+      let pred =
+        Attribution.predict ~include_prepare:false preset ~n ~d ~k
+          Sknn_obs.Cost_model.Packed
+      in
+      List.fold_left (fun acc (_, ps) -> acc +. ps) 0.0
+        (Attribution.predicted_phase_seconds ~unit_costs pred)
+    in
+    let reps = Stdlib.max 1 opts.repeat in
+    say "n=%d, d=%d, k=%d, 1 first + %d steady-state queries per variant%s@." n d k reps
+      (if opts.full then "" else " (scaled)");
+    (* Identical query streams per variant: any timing gap is the
+       parameters, not the data. *)
+    let pass variant config predicted_steady =
+      say "@.%s:@." variant;
+      say "%8s %10s %7s@." "query" "total" "exact";
+      let dep =
+        Protocol.deploy ~obs:!obs ~rng:(Rng.of_int (opts.seed + 31)) ?jobs:opts.jobs
+          config ~db
+      in
+      let qrng = Rng.of_int (opts.seed + 32) in
+      Array.init (reps + 1) (fun i ->
+          let q = Synthetic.query_like qrng db in
+          Gc.full_major ();
+          let r, secs =
+            Util.Timer.time (fun () ->
+                traced_query ~packed:true ~experiment:"planned" dep ~query:q ~k)
+          in
+          let ok = Protocol.exact dep ~db ~query:q r in
+          record_run
+            ~extra:
+              [ ("variant", Str variant);
+                ("packed", Bool true);
+                ("steady_state", Bool (i > 0));
+                ("predicted_steady_s", Float predicted_steady) ]
+            ~experiment:"planned" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:secs
+            ~exact:ok r;
+          say "%8s %9.3fs %7b@."
+            (if i = 0 then "first" else Printf.sprintf "#%d" i)
+            secs ok;
+          secs)
+    in
+    let times_preset = pass "preset" preset preset_steady_pred in
+    let times_planned = pass "planned" planned_config best.Planner.steady_seconds in
+    let steady times =
+      Array.fold_left ( +. ) 0.0 (Array.sub times 1 reps) /. float_of_int reps
+    in
+    let sp = steady times_preset and spl = steady times_planned in
+    say "@.steady-state mean: preset %.3fs (predicted %.3fs), planned %.3fs \
+         (predicted %.3fs)@."
+      sp preset_steady_pred spl best.Planner.steady_seconds;
+    say "measured planner win: %.2fx@." (sp /. spl)
+
+(* ------------------------------------------------------------------ *)
 (* Ring-kernel microbenchmarks (bench/kernels library)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -908,7 +1019,8 @@ let experiments =
   [ ("table1", table1); ("fig3", fig3); ("fig3p", fig3p); ("fig4", fig4);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("headtohead", headtohead);
     ("ablation", ablation); ("scaling", scaling); ("amortized", amortized);
-    ("kernels", kernels); ("extensions", extensions); ("micro", micro) ]
+    ("planned", planned); ("kernels", kernels); ("extensions", extensions);
+    ("micro", micro) ]
 
 let run opts =
   say "secure k-NN benchmark harness (seed %d, jobs %d, %s)@." opts.seed
@@ -959,7 +1071,7 @@ let scale_t =
 let only_t =
   Arg.(value & opt (some string) None
        & info [ "only" ]
-           ~doc:"Comma-separated experiment ids (table1, fig3, fig3p, fig4..fig7, headtohead, ablation, scaling, amortized, kernels, extensions, micro).")
+           ~doc:"Comma-separated experiment ids (table1, fig3, fig3p, fig4..fig7, headtohead, ablation, scaling, amortized, planned, kernels, extensions, micro).")
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 
@@ -1001,7 +1113,14 @@ let prom_t =
            ~doc:"Write the metrics registry as Prometheus text exposition to $(docv) \
                  after all experiments.")
 
-let main full scale only seed jobs json trace trace_format repeat batch prom =
+let calib_t =
+  Arg.(value & opt (some string) None
+       & info [ "calib" ] ~docv:"FILE"
+           ~doc:"Calibration cache (JSON lines keyed by parameter set) shared with \
+                 sknn cost and sknn plan; hits skip the per-op measurement pass, \
+                 stale entries warn.")
+
+let main full scale only seed jobs json trace trace_format repeat batch prom calib =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
@@ -1016,12 +1135,14 @@ let main full scale only seed jobs json trace trace_format repeat batch prom =
     exit 2
   end;
   let only = Option.map (String.split_on_char ',') only in
-  run { full; scale; only; seed; jobs; json; trace; trace_format; repeat; batch; prom }
+  run
+    { full; scale; only; seed; jobs; json; trace; trace_format; repeat; batch; prom;
+      calib }
 
 let cmd =
   Cmd.v
     (Cmd.info "sknn-bench" ~doc:"Regenerate the paper's tables and figures")
     Term.(const main $ full_t $ scale_t $ only_t $ seed_t $ jobs_t $ json_t $ trace_t
-          $ trace_format_t $ repeat_t $ batch_t $ prom_t)
+          $ trace_format_t $ repeat_t $ batch_t $ prom_t $ calib_t)
 
 let () = exit (Cmd.eval cmd)

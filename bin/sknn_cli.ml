@@ -4,6 +4,7 @@
      gen       generate a synthetic or UCI-shaped integer CSV dataset
      query     run the full secure protocol on a CSV database
      cost      attribute a query's time op by op against the analytic cost model
+     plan      search the (ring, chain, prime) space for the cheapest safe params
      baseline  run the Yousef et al. Paillier baseline on a CSV database
      kmeans    secure k-means clustering (§7 extension)
      apriori   secure frequent-itemset mining (§7 extension)
@@ -435,7 +436,15 @@ let report_cmd =
 
 module CM = Sknn_obs.Cost_model
 
-let cost_run data query_s k layout path_s seed jobs quick verbose json =
+let calib_t =
+  Arg.(value & opt (some string) None
+       & info [ "calib" ] ~docv:"FILE"
+           ~doc:"Calibration cache: JSON lines keyed by (parameter set, quick). A \
+                 hit skips the measurement pass; an entry measured at another git \
+                 revision or on another machine still hits but prints a staleness \
+                 warning. Shared by sknn cost, sknn plan and the bench harness.")
+
+let cost_run data query_s k layout path_s seed jobs quick calib verbose json =
   let db = read_db data in
   let queries =
     String.split_on_char ';' query_s |> List.map parse_query |> Array.of_list
@@ -464,9 +473,13 @@ let cost_run data query_s k layout path_s seed jobs quick verbose json =
   end;
   let n = Array.length db and d = Array.length db.(0) in
   let rng = Util.Rng.of_int seed in
-  Format.printf "calibrating per-op unit costs (%s pass)...@."
-    (if quick then "quick" else "full");
-  let unit_costs = Kernel_bench.Calibration.measure ~quick config.Config.bgv in
+  Format.printf "calibrating per-op unit costs (%s pass%s)...@."
+    (if quick then "quick" else "full")
+    (match calib with Some f -> Printf.sprintf ", cache %s" f | None -> "");
+  let unit_costs, calib_warnings =
+    Kernel_bench.Calibration.measure_cached ~quick ?file:calib config.Config.bgv
+  in
+  List.iter (fun w -> Format.printf "warning: %s@." w) calib_warnings;
   if verbose then Format.printf "@.%a@." Kernel_bench.Calibration.pp unit_costs;
   let dep = Protocol.deploy ~rng ?jobs config ~db in
   let r =
@@ -591,7 +604,274 @@ let cost_cmd =
        ~doc:"Attribute a query's time op by op: calibrated analytic prediction vs \
              measured phases")
     Term.(const cost_run $ data_t $ query_t $ k_t $ layout $ path $ seed_t $ jobs
-          $ quick $ verbose_t $ json)
+          $ quick $ calib_t $ verbose_t $ json)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Automatic parameter planning (DESIGN §6): describe the workload, let
+   Planner.plan search the (ring degree, chain, plaintext prime) space
+   for the cheapest parameter set that clears the noise margin and the
+   security floor, and print the ranked survivors next to what the
+   matching preset would cost at the same workload under the same
+   calibrated unit model. *)
+
+let plan_run points dims k coord_bits layout_s path_s batch_m mask_degree
+    mask_coeff_bits min_security noise_margin objective_s keep preset_s quick
+    calib json_path apply seed jobs =
+  let layout =
+    match layout_s with
+    | "per-coordinate" -> Config.Per_coordinate
+    | "dot-product" -> Config.Dot_product
+    | other ->
+      Format.eprintf "unknown layout %S (per-coordinate | dot-product)@." other;
+      exit 2
+  in
+  let path =
+    match path_s with
+    | "plain" -> CM.Plain
+    | "prepared" -> CM.Prepared
+    | "packed" -> CM.Packed
+    | "batch" ->
+      if batch_m < 2 then begin
+        Format.eprintf "--path batch needs --batch at least 2 (got %d)@." batch_m;
+        exit 2
+      end;
+      CM.Batch batch_m
+    | other ->
+      Format.eprintf "unknown path %S (plain | prepared | packed | batch)@." other;
+      exit 2
+  in
+  let objective =
+    match objective_s with
+    | "first" -> Planner.First_query
+    | "steady" -> Planner.Steady_state
+    | s ->
+      (match float_of_string_opt s with
+       | Some alpha -> Planner.Weighted alpha
+       | None ->
+         Format.eprintf
+           "unknown objective %S (first | steady | a first-query weight in [0,1])@." s;
+         exit 2)
+  in
+  let ref_params =
+    match preset_s with
+    | "toy" -> Params.toy ()
+    | "bench-small" -> Params.bench_small ()
+    | "bench" -> Params.bench ()
+    | "secure" -> Params.secure ()
+    | other ->
+      Format.eprintf "unknown preset %S (toy | bench-small | bench | secure)@." other;
+      exit 2
+  in
+  let w =
+    try
+      Planner.workload ~layout ~path ~mask_degree ~mask_coeff_bits ~points ~dim:dims
+        ~k ~coord_bits ()
+    with Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  Format.printf "calibrating per-op unit costs on %s (%s pass%s)...@."
+    ref_params.Params.name
+    (if quick then "quick" else "full")
+    (match calib with Some f -> Printf.sprintf ", cache %s" f | None -> "");
+  let costs, calib_warnings =
+    Kernel_bench.Calibration.measure_cached ~quick ?file:calib ref_params
+  in
+  List.iter (fun w -> Format.printf "warning: %s@." w) calib_warnings;
+  let unit_model = CM.fit_unit_model ~n:ref_params.Params.n costs in
+  let limits =
+    { Planner.min_security_bits = min_security;
+      noise_margin_bits = noise_margin;
+      objective }
+  in
+  let outcome =
+    try Planner.plan ~keep ~unit_model w limits
+    with Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+  in
+  Format.printf "@.%a@." Planner.pp_outcome outcome;
+  (* What the matching preset costs at this workload under the same unit
+     model — the number the planner's winner has to beat. *)
+  let preset_config =
+    let base =
+      match layout with
+      | Config.Per_coordinate -> Config.standard ()
+      | Config.Dot_product -> Config.fast ()
+    in
+    if path = CM.Plain then base else Config.with_mask_degree 1 base
+  in
+  let comparison =
+    match Config.validate preset_config ~d:dims with
+    | Error e ->
+      Format.printf "preset comparison skipped (%s)@." e;
+      None
+    | Ok () ->
+      let bgv = preset_config.Config.bgv in
+      let unit_costs =
+        CM.unit_costs_for unit_model ~n:bgv.Params.n ~levels:(Params.chain_length bgv)
+      in
+      let total ~include_prepare =
+        let pred =
+          Attribution.predict ~include_prepare preset_config ~n:points ~d:dims ~k path
+        in
+        List.fold_left
+          (fun acc (_, s) -> acc +. s)
+          0.0
+          (Attribution.predicted_phase_seconds ~unit_costs pred)
+      in
+      Some (bgv.Params.name, total ~include_prepare:true, total ~include_prepare:false)
+  in
+  (match comparison, Planner.best outcome with
+   | Some (pname, pfirst, psteady), Some best ->
+     Format.printf "@.vs preset %s at the same workload (same unit model):@." pname;
+     Format.printf "  preset:  first %.6fs, steady %.6fs@." pfirst psteady;
+     Format.printf "  planned: first %.6fs, steady %.6fs  (steady speedup %.2fx)@."
+       best.Planner.first_seconds best.Planner.steady_seconds
+       (if best.Planner.steady_seconds > 0.0 then
+          psteady /. best.Planner.steady_seconds
+        else 0.0)
+   | _ -> ());
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (Planner.json_of_outcome outcome);
+     output_char oc '\n';
+     (match comparison, Planner.best outcome with
+      | Some (pname, pfirst, psteady), Some best ->
+        output_string oc
+          (Printf.sprintf
+             "{\"rec\":\"plan-compare\",\"preset\":%S,\"preset_first_s\":%.9g,\"preset_steady_s\":%.9g,\"planned_first_s\":%.9g,\"planned_steady_s\":%.9g}\n"
+             pname pfirst psteady best.Planner.first_seconds
+             best.Planner.steady_seconds)
+      | _ -> ());
+     close_out oc;
+     Format.printf "plan written to %s@." path);
+  if not apply then
+    if outcome.Planner.ranked = [] then 1 else 0
+  else
+    match Planner.best outcome with
+    | None ->
+      Format.eprintf "no feasible plan to apply@.";
+      1
+    | Some best ->
+      let s = best.Planner.spec in
+      Format.printf
+        "@.applying plan n=%d chain=%dx%d-bit t_bits=%d: live query at the workload \
+         shape@."
+        s.Planner.sp_n s.Planner.sp_chain_len s.Planner.sp_prime_bits
+        s.Planner.sp_plain_bits;
+      let config = Planner.realize w best in
+      let rng = Util.Rng.of_int seed in
+      let max_value = (1 lsl coord_bits) - 1 in
+      let db = Synthetic.uniform rng ~n:points ~d:dims ~max_value in
+      let q = Synthetic.query_like rng db in
+      let queries =
+        match path with
+        | CM.Batch m ->
+          Array.init m (fun i -> if i = 0 then q else Synthetic.query_like rng db)
+        | _ -> [| q |]
+      in
+      let dep = Protocol.deploy ~rng ?jobs config ~db in
+      let r, secs =
+        Util.Timer.time (fun () ->
+            match path with
+            | CM.Plain -> Protocol.query dep ~query:q ~k
+            | CM.Prepared -> Protocol.query_prepared dep ~query:q ~k
+            | CM.Packed -> Protocol.query_packed dep ~query:q ~k
+            | CM.Batch _ -> (Protocol.query_batch dep ~queries ~k).(0))
+      in
+      let ok = Protocol.exact dep ~db ~query:q r in
+      Format.printf "live query: %a, exact=%b@." Util.Timer.pp_duration secs ok;
+      if ok then 0 else 1
+
+let plan_cmd =
+  let points =
+    Arg.(value & opt int 858 & info [ "points"; "n" ] ~doc:"Database size n.")
+  in
+  let dims = Arg.(value & opt int 32 & info [ "dims"; "d" ] ~doc:"Dimension d.") in
+  let coord_bits =
+    Arg.(value & opt int 8
+         & info [ "coord-bits" ] ~doc:"Coordinates fit in this many bits.")
+  in
+  let layout =
+    Arg.(value & opt string "per-coordinate"
+         & info [ "layout" ] ~doc:"per-coordinate | dot-product")
+  in
+  let path =
+    Arg.(value & opt string "plain"
+         & info [ "path" ]
+             ~doc:"Query pipeline to plan for: plain | prepared | packed | batch.")
+  in
+  let batch_m =
+    Arg.(value & opt int 4
+         & info [ "batch" ] ~docv:"M" ~doc:"Batch size when --path batch.")
+  in
+  let mask_degree =
+    Arg.(value & opt int 1 & info [ "mask-degree" ] ~doc:"Masking-polynomial degree.")
+  in
+  let mask_coeff_bits =
+    Arg.(value & opt int 8
+         & info [ "mask-coeff-bits" ]
+             ~doc:"Required sound mask-coefficient width in bits.")
+  in
+  let min_security =
+    Arg.(value & opt float 0.0
+         & info [ "min-security" ] ~docv:"BITS"
+             ~doc:"RLWE security floor in bits (0 disables the prune).")
+  in
+  let noise_margin =
+    Arg.(value & opt float 4.0
+         & info [ "noise-margin" ] ~docv:"BITS"
+             ~doc:"Forecast noise headroom every phase must keep.")
+  in
+  let objective =
+    Arg.(value & opt string "steady"
+         & info [ "objective" ]
+             ~doc:"Ranking objective: first | steady | a first-query weight in \
+                   [0,1] (alpha*first + (1-alpha)*steady).")
+  in
+  let keep =
+    Arg.(value & opt int 10 & info [ "keep" ] ~doc:"Ranked candidates to report.")
+  in
+  let preset =
+    Arg.(value & opt string "bench-small"
+         & info [ "preset" ]
+             ~doc:"Parameter set the unit model is calibrated on: toy | \
+                   bench-small | bench | secure.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Shorter calibration windows (CI smoke).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the ranked plan and the preset comparison as JSON lines \
+                   to $(docv).")
+  in
+  let apply =
+    Arg.(value & flag
+         & info [ "apply" ]
+             ~doc:"Realize the winning candidate (build its NTT/CRT tables) and \
+                   run one live query on synthetic data of the workload shape; \
+                   exit nonzero unless it returns the exact neighbours.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~doc:"OCaml domains.")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Search the (ring degree, chain, plaintext prime) space for the \
+             cheapest parameter set a workload can prove safe")
+    Term.(const plan_run $ points $ dims $ k_t $ coord_bits $ layout $ path
+          $ batch_m $ mask_degree $ mask_coeff_bits $ min_security $ noise_margin
+          $ objective $ keep $ preset $ quick $ calib_t $ json $ apply $ seed_t
+          $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)
@@ -697,5 +977,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "sknn" ~doc)
-          [ gen_cmd; query_cmd; cost_cmd; baseline_cmd; kmeans_cmd; apriori_cmd;
-            info_cmd; dump_flight_cmd; report_cmd ]))
+          [ gen_cmd; query_cmd; cost_cmd; plan_cmd; baseline_cmd; kmeans_cmd;
+            apriori_cmd; info_cmd; dump_flight_cmd; report_cmd ]))

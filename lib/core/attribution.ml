@@ -24,42 +24,80 @@ let noise_model_params (p : Params.t) : NM.params =
     moduli_bits = Array.map (fun m -> lg (float_of_int m)) p.Params.moduli;
     eta = float_of_int p.Params.eta }
 
-let model_params (config : Config.t) ~n ~d ~k : CM.params =
-  let p = config.Config.bgv in
-  let chain = Params.chain_length p in
-  let t_plain = p.Params.t_plain in
-  let q_ibits =
-    Array.init chain (fun i -> Zint.numbits (Rq.modulus p.Params.ring ~nprimes:(i + 1)))
-  in
-  let w = p.Params.relin_digit_bits in
+(* Exact bit length of the modulus product with i+1 active primes —
+   the prefix-product definition of Rq.modulus ~nprimes, but computable
+   from the chain alone, so the planner can bridge an unrealized
+   Params.probe without paying for the ring context. *)
+let q_ibits_of_moduli moduli =
+  let acc = ref Zint.one in
+  Array.map
+    (fun m ->
+      acc := Zint.mul !acc (Zint.of_int64 (Int64.of_int m));
+      Zint.numbits !acc)
+    moduli
+
+let bits_of v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let max_distance_bits ~max_coord_bits ~d =
+  let max_coord = (1 lsl max_coord_bits) - 1 in
+  bits_of (Distance.max_squared_euclidean ~d ~max_value:max_coord)
+
+(* The probe-level bridge: everything [model_params] derives, from the
+   prime-search result plus the protocol knobs — no ring context, no
+   Config record.  [model_params] is this applied to [Params.probe_of_t],
+   so planner candidates and realized configurations price identically. *)
+let model_params_probe (pr : Params.probe) ~layout ~mask_degree ~mask_coeff_bits
+    ~max_coord_bits ~use_relin ~rescale_distances ~return_level ~n ~d ~k :
+    CM.params =
+  let t_plain = pr.Params.pr_t_plain in
+  let moduli = pr.Params.pr_moduli in
+  let chain = Array.length moduli in
+  let q_ibits = q_ibits_of_moduli moduli in
+  let w = pr.Params.pr_relin_digit_bits in
   let mask_leading_bits =
     let sound =
       Masking.max_coeff_bits ~t_plain
-        ~input_bits:(Config.max_distance_bits config ~d)
-        ~degree:config.Config.mask_degree
+        ~input_bits:(max_distance_bits ~max_coord_bits ~d)
+        ~degree:mask_degree
     in
-    let c = Stdlib.max 1 (Stdlib.min config.Config.mask_coeff_bits sound) in
+    let c = Stdlib.max 1 (Stdlib.min mask_coeff_bits sound) in
     (* Masking.draw samples coefficients uniformly from [1, 2^c − 1]. *)
     centered_bits ~t_plain (Int64.pred (Int64.shift_left 1L c))
   in
   let coord_bits =
-    centered_bits ~t_plain (Int64.of_int ((1 lsl config.Config.max_coord_bits) - 1))
+    centered_bits ~t_plain (Int64.of_int ((1 lsl max_coord_bits) - 1))
   in
-  { CM.nm = noise_model_params p;
+  { CM.nm =
+      { NM.n = pr.Params.pr_n;
+        t_bits = lg (Int64.to_float t_plain);
+        moduli_bits = Array.map (fun m -> lg (float_of_int m)) moduli;
+        eta = float_of_int pr.Params.pr_eta };
     q_ibits;
     n_points = n;
     d;
     k;
-    per_coordinate = (config.Config.layout = Config.Per_coordinate);
-    mask_degree = config.Config.mask_degree;
+    per_coordinate = (layout = Config.Per_coordinate);
+    mask_degree;
     mask_leading_bits;
     coord_bits;
-    rescale_distances = config.Config.rescale_distances;
-    return_level = config.Config.return_level;
-    use_relin = config.Config.use_relin;
+    rescale_distances;
+    return_level;
+    use_relin;
     relin_digit_bits = w;
     relin_rows = (q_ibits.(chain - 1) + w - 1) / w;
-    slots = Params.slot_count p }
+    slots = pr.Params.pr_n }
+
+let model_params (config : Config.t) ~n ~d ~k : CM.params =
+  model_params_probe
+    (Params.probe_of_t config.Config.bgv)
+    ~layout:config.Config.layout ~mask_degree:config.Config.mask_degree
+    ~mask_coeff_bits:config.Config.mask_coeff_bits
+    ~max_coord_bits:config.Config.max_coord_bits
+    ~use_relin:config.Config.use_relin
+    ~rescale_distances:config.Config.rescale_distances
+    ~return_level:config.Config.return_level ~n ~d ~k
 
 let predict ?include_prepare config ~n ~d ~k path =
   CM.predict ?include_prepare (model_params config ~n ~d ~k) path

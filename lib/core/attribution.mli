@@ -9,6 +9,33 @@
 
 val noise_model_params : Params.t -> Sknn_obs.Noise_model.params
 
+val q_ibits_of_moduli : int array -> int array
+(** Exact bit length of the prefix modulus products (index [i] =
+    [i + 1] active primes) — [Zint.numbits] of the same products
+    [Rq.modulus ~nprimes] returns, without needing a ring context. *)
+
+val max_distance_bits : max_coord_bits:int -> d:int -> int
+(** Bits of the largest squared distance for [d]-dimensional data under
+    [max_coord_bits] — [Config.max_distance_bits] from raw knobs. *)
+
+val model_params_probe :
+  Params.probe ->
+  layout:Config.layout ->
+  mask_degree:int ->
+  mask_coeff_bits:int ->
+  max_coord_bits:int ->
+  use_relin:bool ->
+  rescale_distances:bool ->
+  return_level:int ->
+  n:int ->
+  d:int ->
+  k:int ->
+  Sknn_obs.Cost_model.params
+(** The bridge from an {e unrealized} [Params.probe] plus the protocol
+    knobs a [Config.t] would carry: what the planner prices candidates
+    with.  [model_params] is this applied to [Params.probe_of_t], so a
+    candidate and its realized configuration price identically. *)
+
 val model_params :
   Config.t -> n:int -> d:int -> k:int -> Sknn_obs.Cost_model.params
 (** [n] is the database size, [d] the dimension, [k] the neighbour

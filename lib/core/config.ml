@@ -49,6 +49,8 @@ let secure =
         return_level = 6 })
 
 let with_layout layout t = { t with layout }
+let with_bgv bgv t = { t with bgv }
+let with_return_level return_level t = { t with return_level }
 let with_rescale_distances rescale_distances t = { t with rescale_distances }
 let with_mask_degree mask_degree t = { t with mask_degree }
 let with_relin use_relin t = { t with use_relin }

@@ -49,6 +49,13 @@ val secure : unit -> t
     demonstration example). *)
 
 val with_layout : layout -> t -> t
+
+val with_bgv : Params.t -> t -> t
+(** Swap the BGV parameter set — how a planner pick ([Planner.realize],
+    [sknn plan --apply]) threads into an existing configuration.
+    Re-run {!validate}: the masking envelope depends on [bgv.t_plain]. *)
+
+val with_return_level : int -> t -> t
 val with_mask_degree : int -> t -> t
 val with_relin : bool -> t -> t
 val with_rescale_distances : bool -> t -> t

@@ -278,65 +278,16 @@ module Party_a = struct
 
   (* ---- Noise forecast ------------------------------------------- *)
 
-  let noise_model_params (p : Params.t) : NM.params =
-    let lg x = log x /. log 2.0 in
-    { NM.n = p.Params.n;
-      t_bits = lg (Int64.to_float p.Params.t_plain);
-      moduli_bits = Array.map (fun m -> lg (float_of_int m)) p.Params.moduli;
-      eta = float_of_int p.Params.eta }
-
   (* Worst-case end-of-circuit headroom for the prepared path, predicted
-     from the parameter chain alone: fresh encryptions through the
-     ED = ||p||^2 - 2<p,q> + ||q||^2 combine, the same level-drop rule
-     compute_distances_prepared applies, the affine mask, and the
-     Return-kNN row selection at the return level.  Every step mirrors
-     the scheme's tracked bound, so a negative forecast here means a
-     live query would raise Decryption_failure. *)
+     from the parameter chain alone — the planner's forecast trace
+     ([Planner.forecast], which the parameter search also prunes with),
+     over the same Config→model bridge the cost replica uses.  A
+     negative forecast here means a live query would raise
+     Decryption_failure. *)
   let forecast_noise ?(margin_bits = 4.0) t =
-    let config = t.config in
-    let nm = noise_model_params config.Config.bgv in
-    let tr = NM.start nm in
-    let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
-    let d = t.db.db_d in
-    let norm =
-      match config.Config.layout with
-      | Config.Dot_product -> fresh (* encrypted directly by the data owner *)
-      | Config.Per_coordinate ->
-        NM.step tr "prepare-norms" (NM.mul_sum nm fresh fresh ~terms:(Stdlib.max 1 d))
-    in
-    let ip = NM.step tr "inner-product" (NM.mul nm fresh fresh) in
-    let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
-    let ed = NM.step tr "ed-combine" (NM.sub (NM.add norm fresh) ip2) in
-    let mask_bits = nm.NM.t_bits in
-    let return_lvl = return_level t in
-    let ed =
-      (* The level-drop rule of compute_distances_prepared, verbatim. *)
-      let need = ed.NM.bits +. mask_bits +. 17.0 in
-      let lvl = ref 0 and bits = ref 0.0 in
-      while !bits <= need && !lvl < ed.NM.level do
-        bits := !bits +. nm.NM.moduli_bits.(!lvl);
-        incr lvl
-      done;
-      let lvl = Stdlib.max !lvl return_lvl in
-      if !bits > need && lvl < ed.NM.level then
-        NM.step tr "truncate" (NM.truncate ed ~level:lvl)
-      else if config.Config.rescale_distances then
-        NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
-      else ed
-    in
-    (* Affine mask (Horner degree 1: scalar < t, then the constant) plus
-       the zero-constant randomizer. *)
-    let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
-    let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
-    ignore (NM.step tr "randomizer" (NM.add_plain nm m));
-    (* Return-kNN: return-level packed points against fresh indicator
-       rows, summed across the database. *)
-    let packed_ret = NM.truncate fresh ~level:(Stdlib.min return_lvl fresh.NM.level) in
-    let row = NM.fresh_at nm ~level:return_lvl in
-    ignore
-      (NM.step tr "return-knn"
-         (NM.mul_sum nm packed_ret row ~terms:(Stdlib.max 1 t.db.db_n)));
-    NM.report ~margin_bits tr
+    Planner.forecast ~margin_bits
+      (Attribution.model_params t.config ~n:t.db.db_n ~d:t.db.db_d ~k:1)
+      Sknn_obs.Cost_model.Prepared
 
   let prepare ?(obs = Obs.disabled) ?(noise_margin_bits = 4.0) t =
     (match prepared_supported t.config ~d:t.db.db_d with
@@ -513,49 +464,14 @@ module Party_a = struct
     let hi = Float.max a b and lo = Float.min a b in
     hi +. lg2 (1.0 +. (2.0 ** (lo -. hi)))
 
-  (* Worst-case headroom for the packed SIMD circuit.  Strictly
-     shallower than the prepared path: the inner product is d plain
-     products summed slot-wise, so no tensor term ever appears and the
-     level-drop rule of [compute_distances_prepared] applies verbatim to
-     a smaller bound. *)
+  (* Worst-case headroom for the packed SIMD circuit — strictly
+     shallower than the prepared path (d plain products summed
+     slot-wise, so no tensor term ever appears).  Delegated to the
+     planner's trace for the same reason as [forecast_noise]. *)
   let forecast_noise_packed ?(margin_bits = 4.0) t =
-    let config = t.config in
-    let nm = noise_model_params config.Config.bgv in
-    let tr = NM.start nm in
-    let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
-    let d = Stdlib.max 1 t.db.db_d in
-    let ip = NM.step tr "coordinate-products" (NM.mul_plain nm fresh) in
-    let ip =
-      NM.step tr "coordinate-sum" { ip with NM.bits = ip.NM.bits +. lg2 (float_of_int d) }
-    in
-    let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
-    let ed = NM.step tr "ed-combine" (NM.sub (NM.add_plain nm fresh) ip2) in
-    let mask_bits = nm.NM.t_bits in
-    let return_lvl = return_level t in
-    let ed =
-      (* The level-drop rule of compute_distances_prepared, verbatim. *)
-      let need = ed.NM.bits +. mask_bits +. 17.0 in
-      let lvl = ref 0 and bits = ref 0.0 in
-      while !bits <= need && !lvl < ed.NM.level do
-        bits := !bits +. nm.NM.moduli_bits.(!lvl);
-        incr lvl
-      done;
-      let lvl = Stdlib.max !lvl return_lvl in
-      if !bits > need && lvl < ed.NM.level then
-        NM.step tr "truncate" (NM.truncate ed ~level:lvl)
-      else if config.Config.rescale_distances then
-        NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
-      else ed
-    in
-    let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
-    let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
-    ignore (NM.step tr "tail-randomizer" (NM.add_plain nm m));
-    let packed_ret = NM.truncate fresh ~level:(Stdlib.min return_lvl fresh.NM.level) in
-    let row = NM.fresh_at nm ~level:return_lvl in
-    ignore
-      (NM.step tr "return-knn"
-         (NM.mul_sum nm packed_ret row ~terms:(Stdlib.max 1 t.db.db_n)));
-    NM.report ~margin_bits tr
+    Planner.forecast ~margin_bits
+      (Attribution.model_params t.config ~n:t.db.db_n ~d:t.db.db_d ~k:1)
+      Sknn_obs.Cost_model.Packed
 
   let prepare_packed ?(obs = Obs.disabled) ?(noise_margin_bits = 4.0) t ~db =
     let config = t.config in

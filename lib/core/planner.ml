@@ -1,0 +1,590 @@
+(* Automatic BGV parameter planning: search the (ring degree, modulus
+   chain, plaintext prime) space for the cheapest parameter set a given
+   workload can prove safe.
+
+   The two halves of the objective already exist:
+
+   - feasibility — Noise_model traces replicate the worst-case noise walk
+     of every query path (the prepared/packed walks are the ones
+     Party_a.prepare/prepare_packed audit; entities.ml delegates here so
+     the planner and the live guard can never diverge), and
+     Params.security_bits_for prices the RLWE floor;
+   - cost — Cost_model.predict symbolically executes the candidate's
+     circuit and a fitted unit model (Cost_model.fit_unit_model) prices
+     the ledger at any (n, chain) shape from one measured calibration.
+
+   This module is the search loop over both.  It deliberately depends
+   only on Params probes (prime search, no ring context): the expensive
+   NTT/CRT tables are built once, for the winning candidate, by
+   [realize].  Everything is pure given the unit model, so the same spec
+   always yields the byte-identical plan (tested). *)
+
+module NM = Sknn_obs.Noise_model
+module CM = Sknn_obs.Cost_model
+
+let lg2 x = log x /. log 2.0
+
+(* ------------------------------------------------------------------ *)
+(* Worst-case noise forecasts per query path                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared Return-kNN tail: return-level packed points against fresh
+   indicator rows, summed across the database. *)
+let return_tail nm tr ~return_level ~n_points fresh =
+  let packed_ret = NM.truncate fresh ~level:(Stdlib.min return_level fresh.NM.level) in
+  let row = NM.fresh_at nm ~level:return_level in
+  ignore
+    (NM.step tr "return-knn"
+       (NM.mul_sum nm packed_ret row ~terms:(Stdlib.max 1 n_points)))
+
+(* The level-drop rule of compute_distances_prepared, verbatim. *)
+let drop_rule nm tr ~rescale_distances ~return_level (ed : NM.state) =
+  let need = ed.NM.bits +. nm.NM.t_bits +. 17.0 in
+  let lvl = ref 0 and bits = ref 0.0 in
+  while !bits <= need && !lvl < ed.NM.level do
+    bits := !bits +. nm.NM.moduli_bits.(!lvl);
+    incr lvl
+  done;
+  let lvl = Stdlib.max !lvl return_level in
+  if !bits > need && lvl < ed.NM.level then
+    NM.step tr "truncate" (NM.truncate ed ~level:lvl)
+  else if rescale_distances then
+    NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
+  else ed
+
+(* Worst-case end-of-circuit headroom for the prepared dot-product path
+   (the walk Party_a.prepare runs before any ciphertext exists): fresh
+   encryptions through ED = ||p||^2 - 2<p,q> + ||q||^2, the same
+   level-drop rule compute_distances_prepared applies, the affine mask
+   with worst-case (< t) coefficients, and the Return-kNN row selection
+   at the return level.  A negative forecast means a live query would
+   raise Decryption_failure. *)
+let forecast_prepared ?(margin_bits = 4.0) (p : CM.params) =
+  let nm = p.CM.nm in
+  let tr = NM.start nm in
+  let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
+  let norm =
+    if p.CM.per_coordinate then
+      NM.step tr "prepare-norms"
+        (NM.mul_sum nm fresh fresh ~terms:(Stdlib.max 1 p.CM.d))
+    else fresh (* encrypted directly by the data owner *)
+  in
+  let ip = NM.step tr "inner-product" (NM.mul nm fresh fresh) in
+  let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
+  let ed = NM.step tr "ed-combine" (NM.sub (NM.add norm fresh) ip2) in
+  let mask_bits = nm.NM.t_bits in
+  let return_level = Stdlib.min p.CM.return_level (NM.chain_length nm) in
+  let ed = drop_rule nm tr ~rescale_distances:p.CM.rescale_distances ~return_level ed in
+  let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
+  let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
+  ignore (NM.step tr "randomizer" (NM.add_plain nm m));
+  return_tail nm tr ~return_level ~n_points:p.CM.n_points fresh;
+  NM.report ~margin_bits tr
+
+(* The packed SIMD circuit: strictly shallower than the prepared path —
+   the inner product is d plain products summed slot-wise, so no tensor
+   term ever appears and the level-drop rule applies to a smaller
+   bound. *)
+let forecast_packed ?(margin_bits = 4.0) (p : CM.params) =
+  let nm = p.CM.nm in
+  let tr = NM.start nm in
+  let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
+  let d = Stdlib.max 1 p.CM.d in
+  let ip = NM.step tr "coordinate-products" (NM.mul_plain nm fresh) in
+  let ip =
+    NM.step tr "coordinate-sum" { ip with NM.bits = ip.NM.bits +. lg2 (float_of_int d) }
+  in
+  let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
+  let ed = NM.step tr "ed-combine" (NM.sub (NM.add_plain nm fresh) ip2) in
+  let mask_bits = nm.NM.t_bits in
+  let return_level = Stdlib.min p.CM.return_level (NM.chain_length nm) in
+  let ed = drop_rule nm tr ~rescale_distances:p.CM.rescale_distances ~return_level ed in
+  let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
+  let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
+  ignore (NM.step tr "tail-randomizer" (NM.add_plain nm m));
+  return_tail nm tr ~return_level ~n_points:p.CM.n_points fresh;
+  NM.report ~margin_bits tr
+
+(* The plain (unprepared) path of Protocol.query: per-coordinate squared
+   differences (or the dot-product trick) followed by the masking
+   polynomial of the configured degree with worst-case (< t)
+   coefficients in Horner form — the noise walk of
+   Cost_model.predict_plain. *)
+let forecast_plain ?(margin_bits = 4.0) (p : CM.params) =
+  let nm = p.CM.nm in
+  let tr = NM.start nm in
+  let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
+  let mask_bits = nm.NM.t_bits in
+  let return_level = Stdlib.min p.CM.return_level (NM.chain_length nm) in
+  if p.CM.per_coordinate then begin
+    let diff = NM.step tr "coordinate-diff" (NM.sub fresh fresh) in
+    let ed =
+      NM.step tr "square-sum" (NM.mul_sum nm diff diff ~terms:(Stdlib.max 1 p.CM.d))
+    in
+    let ed =
+      if p.CM.rescale_distances then
+        NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
+      else ed
+    in
+    let degree = Stdlib.max 1 p.CM.mask_degree in
+    let acc = ref (NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0))) in
+    for i = degree - 1 downto 0 do
+      if i < degree - 1 then begin
+        let x = NM.truncate ed ~level:(Stdlib.min ed.NM.level (!acc).NM.level) in
+        let m = NM.mul nm !acc x in
+        let m =
+          if p.CM.use_relin && m.NM.degree = 2 then
+            NM.relinearize nm ~digit_bits:p.CM.relin_digit_bits m
+          else m
+        in
+        acc := NM.step tr "mask-horner-mul" m
+      end;
+      acc := NM.step tr "mask-shift" (NM.add_plain nm !acc)
+    done
+  end
+  else begin
+    let ip = NM.step tr "inner-product" (NM.mul nm fresh fresh) in
+    let ip2 = NM.step tr "scale-by-2" (NM.mul_scalar ip ~bits:1.0) in
+    let ed = NM.step tr "ed-combine" (NM.sub (NM.add fresh fresh) ip2) in
+    let m = NM.step tr "mask-scale" (NM.mul_scalar ed ~bits:(mask_bits -. 1.0)) in
+    let m = NM.step tr "mask-shift" (NM.add_plain nm m) in
+    ignore (NM.step tr "randomizer" (NM.add_plain nm m))
+  end;
+  return_tail nm tr ~return_level ~n_points:p.CM.n_points fresh;
+  NM.report ~margin_bits tr
+
+(* Party_a.batch_query_level, on model parameters (as in Cost_model). *)
+let batch_query_level (p : CM.params) ~q_noise_bits =
+  let nm = p.CM.nm in
+  let t_bits = nm.NM.t_bits in
+  let ip =
+    q_noise_bits +. p.CM.coord_bits
+    +. lg2 (float_of_int (Stdlib.max 1 p.CM.d))
+    +. 1.0
+  in
+  let ed = NM.log2_add (NM.log2_add q_noise_bits (t_bits -. 1.0)) ip in
+  let masked = ed +. lg2 (float_of_int nm.NM.n) +. t_bits -. 1.0 in
+  let masked = NM.log2_add masked (t_bits -. 1.0) in
+  let need = masked +. 17.0 in
+  let return_level = Stdlib.min p.CM.return_level (NM.chain_length nm) in
+  let lvl = ref 0 and bits = ref 0.0 in
+  while !bits <= need && !lvl < NM.chain_length nm do
+    bits := !bits +. nm.NM.moduli_bits.(!lvl);
+    incr lvl
+  done;
+  let lvl = Stdlib.max !lvl return_level in
+  if !bits > need then Some lvl else None
+
+(* The slot-dimension multi-query round: scalar coordinate products on
+   the (predictively truncated) packed query ciphertexts, the per-query
+   affine masks applied as packed plaintexts — Cost_model.predict_batch's
+   noise walk. *)
+let forecast_batch ?(margin_bits = 4.0) (p : CM.params) =
+  let nm = p.CM.nm in
+  let tr = NM.start nm in
+  let fresh = NM.step tr "fresh-encrypt" (NM.fresh nm) in
+  let return_level = Stdlib.min p.CM.return_level (NM.chain_length nm) in
+  let drop = batch_query_level p ~q_noise_bits:fresh.NM.bits in
+  let q =
+    match drop with
+    | Some lvl when lvl < fresh.NM.level ->
+      NM.step tr "query-truncate" (NM.truncate fresh ~level:lvl)
+    | _ -> fresh
+  in
+  let d = Stdlib.max 1 p.CM.d in
+  let ip = ref (NM.mul_scalar q ~bits:p.CM.coord_bits) in
+  for _ = 2 to d do
+    ip := NM.add !ip (NM.mul_scalar q ~bits:p.CM.coord_bits)
+  done;
+  let ip = NM.step tr "coordinate-sum" !ip in
+  let ed =
+    NM.step tr "ed-combine" (NM.add_plain nm (NM.sub q (NM.mul_scalar ip ~bits:1.0)))
+  in
+  let ed =
+    if drop = None && p.CM.rescale_distances then
+      NM.step tr "rescale-to-floor" (NM.rescale_to_floor nm ed)
+    else ed
+  in
+  let md = NM.step tr "mask-scale" (NM.mul_plain nm ed) in
+  ignore (NM.step tr "mask-shift" (NM.add_plain nm md));
+  return_tail nm tr ~return_level ~n_points:p.CM.n_points fresh;
+  NM.report ~margin_bits tr
+
+let forecast ?margin_bits (p : CM.params) = function
+  | CM.Plain -> forecast_plain ?margin_bits p
+  | CM.Prepared -> forecast_prepared ?margin_bits p
+  | CM.Packed -> forecast_packed ?margin_bits p
+  | CM.Batch _ -> forecast_batch ?margin_bits p
+
+(* ------------------------------------------------------------------ *)
+(* The search                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type workload = {
+  points : int;
+  dim : int;
+  k : int;
+  coord_bits : int;
+  layout : Config.layout;
+  path : CM.path;
+  mask_degree : int;
+  mask_coeff_bits : int;
+}
+
+let workload ?(layout = Config.Dot_product) ?(path = CM.Packed) ?(mask_degree = 1)
+    ?(mask_coeff_bits = 8) ~points ~dim ~k ~coord_bits () =
+  { points; dim; k; coord_bits; layout; path; mask_degree; mask_coeff_bits }
+
+type objective = First_query | Steady_state | Weighted of float
+
+type constraints = {
+  min_security_bits : float;
+  noise_margin_bits : float;
+  objective : objective;
+}
+
+let default_constraints =
+  { min_security_bits = 0.0; noise_margin_bits = 4.0; objective = Steady_state }
+
+type spec = {
+  sp_n : int;
+  sp_plain_bits : int;
+  sp_prime_bits : int;
+  sp_chain_len : int;
+  sp_return_level : int;
+}
+
+type entry = {
+  spec : spec;
+  probe : Params.probe;
+  log2_q : float;
+  security_bits : float;
+  min_headroom_bits : float;
+  first_seconds : float;
+  steady_seconds : float;
+  objective_seconds : float;
+  phase_seconds : (string * float) list;
+}
+
+type outcome = {
+  load : workload;
+  limits : constraints;
+  ranked : entry list;
+  considered : int;
+  infeasible : (string * int) list;
+  pruned_noise : int;
+  pruned_security : int;
+}
+
+(* The candidate axes.  Ring degrees 2^6 .. 2^13 — the low end is where
+   the protocol presets live (correctness never needs a large ring; only
+   a security floor pushes the degree up); prime widths under the
+   Barrett (< 2^30) fast-path bound, which also satisfies Shoup
+   (< 2^31); chains from the shallowest that can carry a circuit to the
+   deepest preset's. *)
+let ring_degrees = [ 64; 128; 256; 512; 1024; 2048; 4096; 8192 ]
+let prime_bit_choices = [ 26; 28; 30 ]
+let chain_lengths = [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ]
+
+(* The planner's candidates always rescale only on the plain
+   per-coordinate path (where the masking polynomial consumes further
+   depth); every other path relies on the level-drop rule, as the fast
+   preset does. *)
+let rescale_for w = w.path = CM.Plain && w.layout = Config.Per_coordinate
+
+(* Minimal plaintext width: the masking envelope needs
+   [coeffs + degree·input + log2 (degree+1) < log2 t] with the workload's
+   requested coefficient width, and [probe] returns the largest prime
+   below 2^plain_bits, so start just above the bound and bump if the
+   prime found lands under it. *)
+let min_plain_bits w =
+  let input_bits = Attribution.max_distance_bits ~max_coord_bits:w.coord_bits ~d:w.dim in
+  let need =
+    float_of_int w.mask_coeff_bits
+    +. (float_of_int w.mask_degree *. float_of_int input_bits)
+    +. lg2 (float_of_int (w.mask_degree + 1))
+  in
+  (int_of_float (ceil need)) + 1
+
+let objective_seconds limits ~first ~steady =
+  match limits.objective with
+  | First_query -> first
+  | Steady_state -> steady
+  | Weighted alpha ->
+    let a = Float.max 0.0 (Float.min 1.0 alpha) in
+    (a *. first) +. ((1.0 -. a) *. steady)
+
+let price ~unit_costs (pred : CM.prediction) =
+  List.fold_left
+    (fun acc (ph : CM.phase) -> acc +. CM.predict_seconds ~unit_costs ph.CM.counters)
+    0.0 pred.CM.phases
+
+let compare_entries a b =
+  let c = Float.compare a.objective_seconds b.objective_seconds in
+  if c <> 0 then c
+  else
+    let c = Float.compare a.steady_seconds b.steady_seconds in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.spec.sp_n b.spec.sp_n in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.spec.sp_chain_len b.spec.sp_chain_len in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.spec.sp_prime_bits b.spec.sp_prime_bits in
+          if c <> 0 then c
+          else Int.compare a.spec.sp_return_level b.spec.sp_return_level
+
+let plan ?(keep = 10) ~unit_model (w : workload) (limits : constraints) : outcome =
+  if w.points < 1 then invalid_arg "Planner.plan: empty database";
+  if w.dim < 1 then invalid_arg "Planner.plan: dimension < 1";
+  if w.k < 1 || w.k > w.points then invalid_arg "Planner.plan: k out of range";
+  if w.coord_bits < 1 || w.coord_bits > 20 then
+    invalid_arg "Planner.plan: coord_bits out of range";
+  if w.mask_degree < 1 then invalid_arg "Planner.plan: mask_degree < 1";
+  if w.mask_degree > 1 && (w.layout = Config.Dot_product || w.path <> CM.Plain) then
+    invalid_arg "Planner.plan: only the plain per-coordinate path supports mask_degree > 1";
+  (match w.path with
+   | CM.Batch m when m < 1 -> invalid_arg "Planner.plan: empty batch"
+   | _ -> ());
+  let infeasible = Hashtbl.create 8 in
+  let count_infeasible reason =
+    Hashtbl.replace infeasible reason
+      (1 + Option.value ~default:0 (Hashtbl.find_opt infeasible reason))
+  in
+  let considered = ref 0 in
+  let pruned_noise = ref 0 and pruned_security = ref 0 in
+  let plain_bits0 = min_plain_bits w in
+  let entries = ref [] in
+  let rescale_distances = rescale_for w in
+  List.iter
+    (fun n ->
+      (* The dot-product coefficient embedding and the packed slot layout
+         both need d within the ring. *)
+      if w.layout = Config.Dot_product && w.dim > n then count_infeasible "dim-exceeds-ring"
+      else
+        List.iter
+          (fun prime_bits ->
+            List.iter
+              (fun chain_len ->
+                incr considered;
+                match
+                  (* The largest prime below 2^plain_bits can land under
+                     the envelope bound; widen until the width is sound
+                     at the workload's requested coefficient width. *)
+                  let rec probe_sound plain_bits =
+                    if plain_bits > 50 then None
+                    else
+                      let pr =
+                        Params.probe
+                          ~name:
+                            (Printf.sprintf "plan-n%d-q%dx%d" n chain_len prime_bits)
+                          ~n ~plain_bits ~prime_bits ~chain_len ()
+                      in
+                      let sound =
+                        Masking.max_coeff_bits ~t_plain:pr.Params.pr_t_plain
+                          ~input_bits:
+                            (Attribution.max_distance_bits
+                               ~max_coord_bits:w.coord_bits ~d:w.dim)
+                          ~degree:w.mask_degree
+                      in
+                      if sound >= w.mask_coeff_bits then Some (plain_bits, pr)
+                      else probe_sound (plain_bits + 1)
+                  in
+                  probe_sound plain_bits0
+                with
+                | exception Params.Infeasible reason ->
+                  count_infeasible
+                    (match reason with
+                     | Params.No_plain_prime _ -> "no-plain-prime"
+                     | Params.Prime_bits_too_large _ -> "prime-bits"
+                     | Params.Chain_exhausted _ -> "chain-exhausted")
+                | None -> count_infeasible "mask-envelope"
+                | Some (plain_bits, pr) ->
+                  let log2_q = Params.probe_log2_q pr in
+                  let security = Params.security_bits_for ~n ~log2_q in
+                  if security < limits.min_security_bits then incr pruned_security
+                  else begin
+                    (* Lowest return level whose forecast clears the
+                       margin: lower is cheaper (Return-kNN encrypts at
+                       it, and the level-drop rule floors at it). *)
+                    let model rl =
+                      Attribution.model_params_probe pr ~layout:w.layout
+                        ~mask_degree:w.mask_degree ~mask_coeff_bits:w.mask_coeff_bits
+                        ~max_coord_bits:w.coord_bits ~use_relin:false
+                        ~rescale_distances ~return_level:rl ~n:w.points ~d:w.dim
+                        ~k:w.k
+                    in
+                    let rec first_feasible rl =
+                      if rl > chain_len then None
+                      else
+                        let report =
+                          forecast ~margin_bits:limits.noise_margin_bits (model rl)
+                            w.path
+                        in
+                        if report.NM.below_margin then first_feasible (rl + 1)
+                        else Some (rl, report)
+                    in
+                    match first_feasible 1 with
+                    | None -> incr pruned_noise
+                    | Some (rl, report) ->
+                      let p = model rl in
+                      let unit_costs =
+                        CM.unit_costs_for unit_model ~n ~levels:chain_len
+                      in
+                      let pred_first = CM.predict ~include_prepare:true p w.path in
+                      let pred_steady = CM.predict ~include_prepare:false p w.path in
+                      let first = price ~unit_costs pred_first in
+                      let steady = price ~unit_costs pred_steady in
+                      let entry =
+                        { spec =
+                            { sp_n = n; sp_plain_bits = plain_bits;
+                              sp_prime_bits = prime_bits; sp_chain_len = chain_len;
+                              sp_return_level = rl };
+                          probe = pr;
+                          log2_q;
+                          security_bits = security;
+                          min_headroom_bits = report.NM.min_headroom_bits;
+                          first_seconds = first;
+                          steady_seconds = steady;
+                          objective_seconds =
+                            objective_seconds limits ~first ~steady;
+                          phase_seconds =
+                            Attribution.predicted_phase_seconds ~unit_costs
+                              pred_steady }
+                      in
+                      entries := entry :: !entries
+                  end)
+              chain_lengths)
+          prime_bit_choices)
+    ring_degrees;
+  let ranked =
+    List.sort compare_entries !entries
+    |> List.filteri (fun i _ -> i < Stdlib.max 1 keep)
+  in
+  { load = w;
+    limits;
+    ranked;
+    considered = !considered;
+    infeasible =
+      Hashtbl.fold (fun r c acc -> (r, c) :: acc) infeasible []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    pruned_noise = !pruned_noise;
+    pruned_security = !pruned_security }
+
+let best outcome =
+  match outcome.ranked with [] -> None | e :: _ -> Some e
+
+(* ------------------------------------------------------------------ *)
+(* Realization                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let realize (w : workload) (e : entry) : Config.t =
+  let bgv = Params.of_probe e.probe in
+  let config =
+    { Config.bgv;
+      layout = w.layout;
+      mask_degree = w.mask_degree;
+      mask_coeff_bits = w.mask_coeff_bits;
+      max_coord_bits = w.coord_bits;
+      use_relin = false;
+      rescale_distances = rescale_for w;
+      return_level = e.spec.sp_return_level }
+  in
+  (match Config.validate config ~d:w.dim with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Planner.realize: " ^ msg));
+  config
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let path_name = function
+  | CM.Plain -> "plain"
+  | CM.Prepared -> "prepared"
+  | CM.Packed -> "packed"
+  | CM.Batch m -> Printf.sprintf "batch-%d" m
+
+let json_of_entry buf e =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"n\":%d,\"plain_bits\":%d,\"prime_bits\":%d,\"chain_len\":%d,\
+        \"return_level\":%d,\"t_plain\":%Ld,\"log2_q\":%.6g,\
+        \"security_bits\":%.6g,\"min_headroom_bits\":%.6g,\
+        \"first_seconds\":%.9g,\"steady_seconds\":%.9g,\
+        \"objective_seconds\":%.9g,\"phases\":["
+       e.spec.sp_n e.spec.sp_plain_bits e.spec.sp_prime_bits e.spec.sp_chain_len
+       e.spec.sp_return_level e.probe.Params.pr_t_plain e.log2_q e.security_bits
+       e.min_headroom_bits e.first_seconds e.steady_seconds e.objective_seconds);
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"phase\":%S,\"s\":%.9g}" name s))
+    e.phase_seconds;
+  Buffer.add_string buf "]}"
+
+let json_of_outcome o =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"rec\":\"plan\",\"workload\":{\"points\":%d,\"dim\":%d,\"k\":%d,\
+        \"coord_bits\":%d,\"layout\":%S,\"path\":%S,\"mask_degree\":%d,\
+        \"mask_coeff_bits\":%d},\"constraints\":{\"min_security_bits\":%.6g,\
+        \"noise_margin_bits\":%.6g},\"considered\":%d,\"pruned_noise\":%d,\
+        \"pruned_security\":%d,\"infeasible\":["
+       o.load.points o.load.dim o.load.k o.load.coord_bits
+       (Config.layout_name o.load.layout)
+       (path_name o.load.path) o.load.mask_degree o.load.mask_coeff_bits
+       o.limits.min_security_bits o.limits.noise_margin_bits o.considered
+       o.pruned_noise o.pruned_security);
+  List.iteri
+    (fun i (reason, count) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "{\"reason\":%S,\"count\":%d}" reason count))
+    o.infeasible;
+  Buffer.add_string buf "],\"ranked\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_of_entry buf e)
+    o.ranked;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Table rendering (shared by the CLI verb and tests)                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_seconds ppf s =
+  if s < 1e-3 then Format.fprintf ppf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Format.fprintf ppf "%.2fms" (s *. 1e3)
+  else Format.fprintf ppf "%.2fs" s
+
+let pp_entry ppf (i, e) =
+  Format.fprintf ppf "%2d. n=%-5d chain=%2d x %2d-bit t=2^%-2d rl=%d  %a steady"
+    (i + 1) e.spec.sp_n e.spec.sp_chain_len e.spec.sp_prime_bits e.spec.sp_plain_bits
+    e.spec.sp_return_level pp_seconds e.steady_seconds;
+  Format.fprintf ppf "  %a first  %5.1f bits headroom  %5.1f bits security@,"
+    pp_seconds e.first_seconds e.min_headroom_bits e.security_bits
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>plan: %s path, %d points x %d dims, k=%d, coords<=%d bits@,"
+    (path_name o.load.path) o.load.points o.load.dim o.load.k o.load.coord_bits;
+  Format.fprintf ppf
+    "searched %d candidates: %d ranked, %d noise-pruned, %d security-pruned"
+    o.considered (List.length o.ranked) o.pruned_noise o.pruned_security;
+  List.iter
+    (fun (reason, count) -> Format.fprintf ppf ", %d %s" count reason)
+    o.infeasible;
+  Format.fprintf ppf "@,";
+  List.iteri (fun i e -> pp_entry ppf (i, e)) o.ranked;
+  (match best o with
+   | None -> Format.fprintf ppf "no feasible parameter set@,"
+   | Some e ->
+     Format.fprintf ppf "@,winner phase forecast (steady state):@,";
+     List.iter
+       (fun (name, s) -> Format.fprintf ppf "  %-20s %a@," name pp_seconds s)
+       e.phase_seconds);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,137 @@
+(** Automatic BGV parameter planning.
+
+    [plan] searches the (ring degree, chain length × prime width,
+    plaintext prime) space for the cheapest parameter set a workload can
+    prove safe:
+
+    - candidates are enumerated as cheap {!Params.probe}s (prime search
+      only; structured {!Params.Infeasible} specs are counted, not
+      fatal), with the plaintext width sized to the masking envelope via
+      {!Masking.max_coeff_bits};
+    - feasibility pruning runs the worst-case {!Sknn_obs.Noise_model}
+      trace of the workload's query path ({!forecast} — the same walks
+      [Party_a.prepare]/[prepare_packed] audit) against the noise
+      margin, and {!Params.security_bits_for} against the security
+      floor; the return level is the lowest that clears the margin;
+    - survivors are ranked by {!Sknn_obs.Cost_model.predict_seconds}
+      of the symbolically-executed circuit, priced by a
+      {!Sknn_obs.Cost_model.unit_model} fitted from one measured
+      calibration — both the first-query (prepare included) and
+      steady-state objectives are computed.
+
+    Everything is pure given the unit model: the same spec yields the
+    byte-identical plan.  Only {!realize} builds the expensive NTT/CRT
+    tables, for the candidate actually chosen. *)
+
+(** {1 Noise forecasts}
+
+    Worst-case end-of-circuit noise walks per query path, over
+    {!Sknn_obs.Cost_model.params} (see {!Attribution} for the bridge).
+    [Party_a.forecast_noise]/[forecast_noise_packed] delegate here, so
+    the planner's feasibility rule and the live prepare-time guard are
+    the same code.  A negative minimum headroom means a live query
+    would raise [Bgv.Decryption_failure]. *)
+
+val forecast :
+  ?margin_bits:float ->
+  Sknn_obs.Cost_model.params ->
+  Sknn_obs.Cost_model.path ->
+  Sknn_obs.Noise_model.report
+(** [margin_bits] defaults to 4. *)
+
+(** {1 Workload and constraints} *)
+
+type workload = {
+  points : int;  (** database size n *)
+  dim : int;  (** dimension d *)
+  k : int;  (** neighbours returned *)
+  coord_bits : int;  (** coordinates fit in this many bits *)
+  layout : Config.layout;
+  path : Sknn_obs.Cost_model.path;  (** pipeline the plan optimises *)
+  mask_degree : int;
+  mask_coeff_bits : int;  (** required sound mask-coefficient width *)
+}
+
+val workload :
+  ?layout:Config.layout ->
+  ?path:Sknn_obs.Cost_model.path ->
+  ?mask_degree:int ->
+  ?mask_coeff_bits:int ->
+  points:int ->
+  dim:int ->
+  k:int ->
+  coord_bits:int ->
+  unit ->
+  workload
+(** Defaults: [Dot_product] layout, [Packed] path, affine mask with
+    8-bit coefficients (the presets' request). *)
+
+type objective =
+  | First_query  (** prepare + one query *)
+  | Steady_state  (** marginal query of a deployed database *)
+  | Weighted of float  (** [alpha·first + (1−alpha)·steady], clamped *)
+
+type constraints = {
+  min_security_bits : float;  (** RLWE floor; 0 disables the prune *)
+  noise_margin_bits : float;  (** forecast headroom the plan must keep *)
+  objective : objective;
+}
+
+val default_constraints : constraints
+(** No security floor, 4-bit margin, steady-state objective. *)
+
+(** {1 Planning} *)
+
+type spec = {
+  sp_n : int;
+  sp_plain_bits : int;
+  sp_prime_bits : int;
+  sp_chain_len : int;
+  sp_return_level : int;
+}
+
+type entry = {
+  spec : spec;
+  probe : Params.probe;
+  log2_q : float;
+  security_bits : float;
+  min_headroom_bits : float;  (** at the chosen return level *)
+  first_seconds : float;
+  steady_seconds : float;
+  objective_seconds : float;  (** the ranking key *)
+  phase_seconds : (string * float) list;  (** steady state, protocol order *)
+}
+
+type outcome = {
+  load : workload;
+  limits : constraints;
+  ranked : entry list;  (** best first, at most [keep] *)
+  considered : int;  (** (n, prime_bits, chain_len) tuples examined *)
+  infeasible : (string * int) list;  (** reason → count, sorted *)
+  pruned_noise : int;  (** feasible specs failing the margin *)
+  pruned_security : int;  (** feasible specs under the floor *)
+}
+
+val plan :
+  ?keep:int ->
+  unit_model:Sknn_obs.Cost_model.unit_model ->
+  workload ->
+  constraints ->
+  outcome
+(** Search the candidate space; [keep] (default 10) bounds the ranked
+    list.  Pure given [unit_model] — the same inputs always produce the
+    identical outcome.  @raise Invalid_argument on nonsensical
+    workloads (and on [mask_degree > 1] anywhere but the plain
+    per-coordinate path, the only pipeline that supports it). *)
+
+val best : outcome -> entry option
+
+val realize : workload -> entry -> Config.t
+(** Build the winning candidate's full parameter set (NTT/CRT tables)
+    and wrap it in a validated protocol configuration. *)
+
+(** {1 Rendering} *)
+
+val path_name : Sknn_obs.Cost_model.path -> string
+val json_of_outcome : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit

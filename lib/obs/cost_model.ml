@@ -603,3 +603,66 @@ let predict_seconds ~unit_costs counters =
         else acc)
     0.0
     (C.ledger_entries counters)
+
+(* ------------------------------------------------------------------ *)
+(* Unit-cost model: extrapolating one calibration across (n, chain)    *)
+(* ------------------------------------------------------------------ *)
+
+(* The planner prices candidate parameter sets at ring degrees and chain
+   lengths that were never calibrated.  Each op kind has a known analytic
+   work shape in (ring degree, active primes) — NTT-bound ops scale as
+   level·n·lg n, pointwise ops as level·n, key switching as level²·n·lg n
+   because the digit count grows with the modulus — so one measured table
+   pins a single seconds-per-work-unit scale per op, and any other shape
+   is priced by re-evaluating the basis. *)
+
+type unit_model = { scales : float array }
+
+let op_basis ~n ~level op =
+  let fn = float_of_int n in
+  let lg = log2 fn in
+  let lvl = float_of_int (Stdlib.max 1 level) in
+  match op with
+  | C.Op_ct_add | C.Op_ct_mul | C.Op_level_drop -> lvl *. fn
+  | C.Op_encrypt | C.Op_decrypt | C.Op_mul_plain | C.Op_modswitch
+  | C.Op_ntt_fwd | C.Op_ntt_inv ->
+    lvl *. fn *. lg
+  | C.Op_key_switch -> lvl *. lvl *. fn *. lg
+  | C.Op_slot_pack | C.Op_slot_unpack -> fn *. lg
+
+let fit_unit_model ~n (costs : unit_costs) =
+  let scales = Array.make C.num_ops 0.0 in
+  Array.iter
+    (fun op ->
+      let i = C.op_index op in
+      if i < Array.length costs then begin
+        let num = ref 0.0 and den = ref 0.0 in
+        Array.iteri
+          (fun level c ->
+            if c > 0.0 then begin
+              let b = op_basis ~n ~level op in
+              num := !num +. (c *. b);
+              den := !den +. (b *. b)
+            end)
+          costs.(i);
+        if !den > 0.0 then scales.(i) <- !num /. !den
+      end)
+    C.all_ops;
+  { scales }
+
+let unit_costs_for model ~n ~levels =
+  let costs = Array.make_matrix C.num_ops (Stdlib.max 1 levels + 1) 0.0 in
+  Array.iter
+    (fun op ->
+      let i = C.op_index op in
+      let s = model.scales.(i) in
+      if s > 0.0 then
+        match op with
+        | C.Op_slot_pack | C.Op_slot_unpack ->
+          costs.(i).(0) <- s *. op_basis ~n ~level:0 op
+        | _ ->
+          for level = 1 to levels do
+            costs.(i).(level) <- s *. op_basis ~n ~level op
+          done)
+    C.all_ops;
+  costs

@@ -88,3 +88,31 @@ val predict_seconds : unit_costs:unit_costs -> Util.Counters.t -> float
     The NTT census rows ([Op_ntt_fwd]/[Op_ntt_inv]) are excluded: each
     composite op's measured unit cost already contains its NTT passes,
     so adding the census would double-count them. *)
+
+(** {1 Unit-cost model}
+
+    One calibration table is measured at a single parameter set, but the
+    planner prices candidates at other ring degrees and chain lengths.
+    Each op kind has a known analytic work shape in (ring degree [n],
+    active primes [level]) — see {!op_basis} — so a measured table pins a
+    seconds-per-work-unit scale per op ({!fit_unit_model}, least squares
+    through the origin over the table's populated cells), and
+    {!unit_costs_for} re-evaluates the basis at any target shape. *)
+
+type unit_model = { scales : float array }
+(** Seconds per work unit, indexed by [Util.Counters.op_index]. *)
+
+val op_basis : n:int -> level:int -> Util.Counters.op -> float
+(** Analytic work of one op: [level·n] for pointwise ops
+    (add/mul/level-drop), [level·n·lg n] for NTT-bound ops
+    (encrypt/decrypt/mul_plain/modswitch), [level²·n·lg n] for key
+    switching (the digit count grows with the modulus), [n·lg n] for the
+    level-free slot ops (level 0 reads as 1). *)
+
+val fit_unit_model : n:int -> unit_costs -> unit_model
+(** Fit per-op scales to a table measured at ring degree [n]. Ops with
+    no populated cells get scale 0 (their synthesized costs read 0). *)
+
+val unit_costs_for : unit_model -> n:int -> levels:int -> unit_costs
+(** Synthesize a full table for a chain of [levels] primes at ring
+    degree [n]: cell [(op, level)] = scale × basis. *)

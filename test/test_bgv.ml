@@ -66,6 +66,97 @@ let test_params_validation () =
     (fun () ->
       ignore (Params.create ~name:"x" ~n:100 ~plain_bits:20 ~prime_bits:30 ~chain_len:2 ()))
 
+let test_params_infeasible () =
+  (* Structured infeasibility, distinct from programmer errors: these
+     are legitimate empty points of a parameter search. *)
+  let probe ~n ~plain_bits ~prime_bits ~chain_len =
+    Params.probe ~name:"inf" ~n ~plain_bits ~prime_bits ~chain_len ()
+  in
+  (* Any prime = 1 mod 2n exceeds 2^plain_bits when plain_bits is
+     smaller than log2(2n). *)
+  (match probe ~n:4096 ~plain_bits:10 ~prime_bits:30 ~chain_len:2 with
+   | exception Params.Infeasible (Params.No_plain_prime { n = 4096; plain_bits = 10 })
+     -> ()
+   | exception e -> Alcotest.failf "expected No_plain_prime, got %s" (Printexc.to_string e)
+   | _ -> Alcotest.fail "expected No_plain_prime");
+  (match probe ~n:256 ~plain_bits:20 ~prime_bits:31 ~chain_len:2 with
+   | exception Params.Infeasible (Params.Prime_bits_too_large { prime_bits = 31; _ })
+     -> ()
+   | exception e ->
+     Alcotest.failf "expected Prime_bits_too_large, got %s" (Printexc.to_string e)
+   | _ -> Alcotest.fail "expected Prime_bits_too_large");
+  (* The (prime_bits, 2n) window holds only finitely many NTT primes;
+     ask for more than it can contain. *)
+  (match probe ~n:8192 ~plain_bits:20 ~prime_bits:16 ~chain_len:8 with
+   | exception Params.Infeasible (Params.Chain_exhausted { n = 8192; _ }) -> ()
+   | exception e ->
+     Alcotest.failf "expected Chain_exhausted, got %s" (Printexc.to_string e)
+   | _ -> Alcotest.fail "expected Chain_exhausted");
+  (* describe_infeasibility renders each reason. *)
+  List.iter
+    (fun reason ->
+      Alcotest.(check bool) "description nonempty" true
+        (String.length (Params.describe_infeasibility reason) > 0))
+    [ Params.No_plain_prime { n = 4096; plain_bits = 10 };
+      Params.Prime_bits_too_large { prime_bits = 31; limit = 30 };
+      Params.Chain_exhausted { n = 8192; prime_bits = 16; chain_len = 8 } ]
+
+let test_security_bits_monotone () =
+  (* At fixed n: more modulus, fewer bits.  At fixed modulus: a larger
+     ring, more bits.  Strict in-table, non-strict at the clamps. *)
+  List.iter
+    (fun n ->
+      let prev = ref infinity in
+      for q10 = 2 to 60 do
+        let log2_q = float_of_int (q10 * 10) in
+        let s = Params.security_bits_for ~n ~log2_q in
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d decreasing in q (log2 q=%g)" n log2_q)
+          true
+          (s <= !prev +. 1e-9);
+        prev := s
+      done)
+    [ 256; 1024; 4096; 32768 ];
+  List.iter
+    (fun log2_q ->
+      let prev = ref 0.0 in
+      List.iter
+        (fun n ->
+          let s = Params.security_bits_for ~n ~log2_q in
+          Alcotest.(check bool)
+            (Printf.sprintf "log2 q=%g increasing in n (n=%d)" log2_q n)
+            true
+            (s >= !prev -. 1e-9);
+          prev := s)
+        [ 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ])
+    [ 60.0; 109.0; 218.0 ];
+  (* The homomorphicencryption.org anchors: at the table's (n, log2 q)
+     rows the estimate is exactly 128 bits. *)
+  List.iter
+    (fun (n, log2_q) ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "anchor n=%d" n)
+        128.0
+        (Params.security_bits_for ~n ~log2_q))
+    [ (1024, 27.0); (2048, 54.0); (4096, 109.0); (8192, 218.0); (16384, 438.0);
+      (32768, 881.0) ]
+
+let test_probe_matches_create () =
+  (* of_probe (probe ...) = create ..., and probe_of_t inverts it. *)
+  let spec = (256, 18, 28, 3) in
+  let n, plain_bits, prime_bits, chain_len = spec in
+  let p = Params.create ~name:"rt" ~n ~plain_bits ~prime_bits ~chain_len () in
+  let pr = Params.probe ~name:"rt" ~n ~plain_bits ~prime_bits ~chain_len () in
+  Alcotest.(check int64) "same plaintext prime" p.Params.t_plain pr.Params.pr_t_plain;
+  Alcotest.(check (array int)) "same chain" p.Params.moduli pr.Params.pr_moduli;
+  let back = Params.probe_of_t p in
+  Alcotest.(check int64) "probe_of_t plaintext prime" pr.Params.pr_t_plain
+    back.Params.pr_t_plain;
+  Alcotest.(check (array int)) "probe_of_t chain" pr.Params.pr_moduli
+    back.Params.pr_moduli;
+  Alcotest.(check (float 1e-9)) "probe_log2_q matches" (Params.log2_q p)
+    (Params.probe_log2_q pr)
+
 (* ------------------------------------------------------------------ *)
 (* Plaintext                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -616,7 +707,10 @@ let () =
     [ ("params",
        [ Alcotest.test_case "presets valid" `Quick test_params_presets;
          Alcotest.test_case "security estimate" `Slow test_params_security_estimate;
-         Alcotest.test_case "validation" `Quick test_params_validation ]);
+         Alcotest.test_case "validation" `Quick test_params_validation;
+         Alcotest.test_case "structured infeasibility" `Quick test_params_infeasible;
+         Alcotest.test_case "security monotone" `Quick test_security_bits_monotone;
+         Alcotest.test_case "probe matches create" `Quick test_probe_matches_create ]);
       ("plaintext",
        [ Alcotest.test_case "roundtrips" `Quick test_plaintext_roundtrips;
          Alcotest.test_case "constant" `Quick test_plaintext_constant;
