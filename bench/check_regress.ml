@@ -256,6 +256,37 @@ let attribution_ratios ~experiment path =
     acc []
   |> List.sort compare
 
+(* The network experiment's runs: (shape, profile, n, predicted wire,
+   replayed wire, transcript_exact).  Wire seconds are pure functions of
+   (transcript, profile) — machine-independent — so they are gated on
+   equality, not a drift budget. *)
+let network_runs path =
+  List.filter_map
+    (fun run ->
+      if member "experiment" run = Some (Str "network") then
+        match
+          ( member "shape" run,
+            member "profile" run,
+            member "n" run,
+            member "predicted_wire_s" run,
+            member "replayed_wire_s" run,
+            member "transcript_exact" run )
+        with
+        | ( Some (Str shape),
+            Some (Str profile),
+            Some (Num n),
+            Some (Num pw),
+            Some (Num rw),
+            Some (Bool exact) ) ->
+          Some (shape, profile, n, pw, rw, exact)
+        | _ -> None
+      else None)
+    (runs_of path)
+
+let same_wire a b =
+  (* Exact up to the %.9g JSON round-trip. *)
+  Float.abs (a -. b) <= 1e-8 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
 let check_drift ~label ~max_pct ~baseline ~current =
   let drift_pct = (current -. baseline) /. baseline *. 100.0 in
   Printf.printf "%s measured/predicted: baseline %.2fx, current %.2fx (%+.1f%%)\n" label
@@ -363,5 +394,60 @@ let () =
       Printf.printf "note: no planned-experiment samples; skipping planner gate\n";
       true
   in
-  if not (ok_fig3 && ok_steady && ok_packed && ok_attr3 && ok_attr3p && ok_planned)
+  (* Network gate: every network run of the current file must carry an
+     exactly-matching predicted transcript and identical predicted vs
+     replayed wire time (both come from the same pure replay); against a
+     baseline that has the same (shape, profile, n) rows, the replayed
+     wire seconds must be equal — there is no machine to blame a
+     difference on.  Skips when the current file carries no network runs
+     (e.g. --only fig3). *)
+  let ok_network =
+    match network_runs current_path with
+    | [] ->
+      Printf.printf "note: no network-experiment samples; skipping network gate\n";
+      true
+    | cur ->
+      let base = network_runs baseline_path in
+      List.fold_left
+        (fun ok (shape, profile, n, pw, rw, exact) ->
+          let label = Printf.sprintf "network %s/%s" shape profile in
+          let ok_run =
+            if not exact then begin
+              Printf.printf "FAIL: %s predicted transcript diverges from the live one\n"
+                label;
+              false
+            end
+            else if not (same_wire pw rw) then begin
+              Printf.printf "FAIL: %s predicted wire %.9gs <> replayed wire %.9gs\n"
+                label pw rw;
+              false
+            end
+            else
+              match
+                List.find_opt
+                  (fun (s, p, n', _, _, _) -> s = shape && p = profile && n' = n)
+                  base
+              with
+              | Some (_, _, _, _, rw_base, _) when not (same_wire rw rw_base) ->
+                Printf.printf
+                  "FAIL: %s replayed wire %.9gs <> baseline %.9gs (same n=%g)\n" label
+                  rw rw_base n;
+                false
+              | Some (_, _, _, _, rw_base, _) ->
+                Printf.printf "OK: %s wire %.9gs (exact: prediction, replay%s)\n" label
+                  rw
+                  (if rw_base = rw then ", baseline" else ", baseline to 9 digits");
+                true
+              | None ->
+                Printf.printf "OK: %s wire %.9gs (exact: prediction, replay; no \
+                               baseline row)\n"
+                  label rw;
+                true
+          in
+          ok_run && ok)
+        true cur
+  in
+  if not
+       (ok_fig3 && ok_steady && ok_packed && ok_attr3 && ok_attr3p && ok_planned
+        && ok_network)
   then exit 1

@@ -940,6 +940,101 @@ let planned opts =
     say "measured planner win: %.2fx@." (sp /. spl)
 
 (* ------------------------------------------------------------------ *)
+(* Network: virtual-clock end-to-end, predicted vs replayed            *)
+(* ------------------------------------------------------------------ *)
+
+(* The comms-aware acceptance experiment: the fig3 (plain), fig3p
+   (slot-packed) and batch-8 shapes, each run live under the lan and wan
+   profiles.  The virtual wire time is a pure function of (transcript,
+   profile), so the predicted transcript's replay and the live
+   transcript's replay must agree to the last bit on rounds, bytes and
+   wire seconds — only the compute term depends on the calibration.
+   check_regress gates the within-run agreement and, against the
+   committed baseline, the machine-independent wire numbers. *)
+let network opts =
+  hr "network — virtual clock: predicted vs replayed end-to-end (lan/wan)";
+  let rng = Rng.of_int (opts.seed + 3) in
+  let n = scaled opts ~default_scale:0.5 858 in
+  let db =
+    Preprocess.scale_to_max ~max_value:255 (Uci_like.cervical_cancer ~n rng)
+  in
+  let d = Array.length db.(0) and k = 2 in
+  let m = 8 in
+  let plain_config = Config.standard () in
+  let packed_config = Config.with_mask_degree 1 (Config.standard ()) in
+  let unit_costs = calibration_for ?cache:opts.calib plain_config.Config.bgv in
+  let profiles = [ Profile.lan; Profile.wan ] in
+  say "n=%d, d=%d, k=%d, batch m=%d@." n d k m;
+  say "@.%-7s %-9s %7s %10s %13s %12s %12s %12s %6s@." "shape" "profile" "rounds"
+    "bytes" "pred compute" "pred wire" "pred e2e" "replayed" "match";
+  let link_sig (tl : Clock.timeline) =
+    List.map
+      (fun (l : Clock.link) ->
+        (l.Clock.link_a, l.Clock.link_b, l.Clock.link_messages,
+         l.Clock.link_bytes, l.Clock.link_rounds))
+      tl.Clock.links
+  in
+  let all_exact = ref true in
+  let shape ~id ~config ~path ~prepare run_live =
+    let dep =
+      Protocol.deploy ~obs:!obs ~rng:(Rng.of_int (opts.seed + 91)) ?jobs:opts.jobs
+        config ~db
+    in
+    (* Pay prepare-db up front so every profile's run is steady state and
+       the prediction can price the query alone. *)
+    if prepare then Protocol.prepare_packed ~obs:!obs dep;
+    let qrng = Rng.of_int (opts.seed + 92) in
+    let queries = Array.init m (fun _ -> Synthetic.query_like qrng db) in
+    List.iter
+      (fun profile ->
+        let r, s = Util.Timer.time (fun () -> run_live dep ~net:profile ~queries) in
+        let ok = Protocol.exact dep ~db ~query:queries.(0) r in
+        let tl =
+          match r.Protocol.net with
+          | Some tl -> tl
+          | None -> failwith "network run returned no timeline"
+        in
+        let e2e =
+          Attribution.predict_end_to_end ~include_prepare:false config ~n ~d ~k
+            ~unit_costs ~profile path
+        in
+        let exact_tr =
+          link_sig e2e.Sknn_obs.Cost_model.timeline = link_sig tl
+        in
+        all_exact := !all_exact && exact_tr;
+        let tr = r.Protocol.transcript in
+        record_run
+          ~extra:
+            [ ("shape", Str id);
+              ("profile", Str (Profile.to_string profile));
+              ("predicted_compute_s", Float e2e.Sknn_obs.Cost_model.compute_s);
+              ("predicted_wire_s", Float e2e.Sknn_obs.Cost_model.wire_s);
+              ("predicted_total_s", Float e2e.Sknn_obs.Cost_model.total_s);
+              ("replayed_wire_s", Float tl.Clock.end_to_end_s);
+              ("transcript_exact", Bool exact_tr) ]
+          ~experiment:"network" ~n ~d ~k ~jobs:(Protocol.jobs dep) ~seconds:s
+          ~exact:ok r;
+        say "%-7s %-9s %7d %10d %12.6fs %11.6fs %11.6fs %11.6fs %6b@." id
+          (Profile.to_string profile)
+          (Transcript.rounds tr Transcript.Party_a Transcript.Party_b)
+          (Transcript.total_bytes tr) e2e.Sknn_obs.Cost_model.compute_s
+          e2e.Sknn_obs.Cost_model.wire_s e2e.Sknn_obs.Cost_model.total_s
+          tl.Clock.end_to_end_s exact_tr)
+      profiles
+  in
+  shape ~id:"fig3" ~config:plain_config ~path:Sknn_obs.Cost_model.Plain
+    ~prepare:false (fun dep ~net ~queries ->
+      Protocol.query ~obs:!obs ~net dep ~query:queries.(0) ~k);
+  shape ~id:"fig3p" ~config:packed_config ~path:Sknn_obs.Cost_model.Packed
+    ~prepare:true (fun dep ~net ~queries ->
+      Protocol.query_packed ~obs:!obs ~net dep ~query:queries.(0) ~k);
+  shape ~id:"batch8" ~config:packed_config ~path:(Sknn_obs.Cost_model.Batch m)
+    ~prepare:true (fun dep ~net ~queries ->
+      (Protocol.query_batch ~obs:!obs ~net dep ~queries ~k).(0));
+  say "@.predicted transcripts %s the live replays on every shape x profile@."
+    (if !all_exact then "exactly match" else "DIVERGE from")
+
+(* ------------------------------------------------------------------ *)
 (* Ring-kernel microbenchmarks (bench/kernels library)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1019,8 +1114,8 @@ let experiments =
   [ ("table1", table1); ("fig3", fig3); ("fig3p", fig3p); ("fig4", fig4);
     ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("headtohead", headtohead);
     ("ablation", ablation); ("scaling", scaling); ("amortized", amortized);
-    ("planned", planned); ("kernels", kernels); ("extensions", extensions);
-    ("micro", micro) ]
+    ("planned", planned); ("network", network); ("kernels", kernels);
+    ("extensions", extensions); ("micro", micro) ]
 
 let run opts =
   say "secure k-NN benchmark harness (seed %d, jobs %d, %s)@." opts.seed
@@ -1071,7 +1166,7 @@ let scale_t =
 let only_t =
   Arg.(value & opt (some string) None
        & info [ "only" ]
-           ~doc:"Comma-separated experiment ids (table1, fig3, fig3p, fig4..fig7, headtohead, ablation, scaling, amortized, planned, kernels, extensions, micro).")
+           ~doc:"Comma-separated experiment ids (table1, fig3, fig3p, fig4..fig7, headtohead, ablation, scaling, amortized, planned, network, kernels, extensions, micro).")
 
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic RNG seed.")
 

@@ -64,8 +64,45 @@ let gen_cmd =
 (* query                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let query_run data query_s k layout seed jobs repeat packed batch verbose trace
-    trace_format audit metrics prom flight_out =
+(* The virtual-network timeline table: one row per link with the busy /
+   idle split and the per-round latency envelope quantiles, then the
+   critical-path end-to-end.  All virtual seconds — a pure function of
+   (transcript, profile), identical across --jobs. *)
+let print_timeline ppf (tl : Clock.timeline) =
+  Format.fprintf ppf "virtual network (%s):@." (Profile.to_string tl.Clock.profile);
+  Format.fprintf ppf "  %-24s %5s %10s %7s %12s %12s %10s %10s@." "link" "msgs"
+    "bytes" "rounds" "busy" "idle" "round p50" "round p95";
+  List.iter
+    (fun (l : Clock.link) ->
+      Format.fprintf ppf "  %-24s %5d %10d %7d %11.6fs %11.6fs %9.6fs %9.6fs@."
+        (Clock.link_name l) l.Clock.link_messages l.Clock.link_bytes
+        l.Clock.link_rounds l.Clock.busy_s l.Clock.idle_s
+        (Clock.quantile l.Clock.round_latency_s 0.5)
+        (Clock.quantile l.Clock.round_latency_s 0.95))
+    tl.Clock.links;
+  Format.fprintf ppf "  end-to-end: %.6f s (virtual)@." tl.Clock.end_to_end_s
+
+(* JSONL records for sknn report: one "net" line for the run, one
+   "net-link" line per link, appended after the flight dump so one file
+   carries both streams. *)
+let append_net_records path (tl : Clock.timeline) =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Printf.fprintf oc "{\"rec\":\"net\",\"profile\":%S,\"end_to_end_s\":%.9g}\n"
+    (Profile.to_string tl.Clock.profile)
+    tl.Clock.end_to_end_s;
+  List.iter
+    (fun (l : Clock.link) ->
+      Printf.fprintf oc
+        "{\"rec\":\"net-link\",\"link\":%S,\"messages\":%d,\"bytes\":%d,\"rounds\":%d,\"busy_s\":%.9g,\"idle_s\":%.9g,\"round_p50_s\":%.9g,\"round_p95_s\":%.9g}\n"
+        (Clock.link_name l) l.Clock.link_messages l.Clock.link_bytes
+        l.Clock.link_rounds l.Clock.busy_s l.Clock.idle_s
+        (Clock.quantile l.Clock.round_latency_s 0.5)
+        (Clock.quantile l.Clock.round_latency_s 0.95))
+    tl.Clock.links;
+  close_out oc
+
+let query_run data query_s k layout seed jobs repeat packed batch net verbose
+    trace trace_format audit metrics prom flight_out =
   (match jobs with
    | Some j when j < 1 ->
      Format.eprintf "--jobs must be at least 1 (got %d)@." j;
@@ -162,12 +199,14 @@ let query_run data query_s k layout seed jobs repeat packed batch verbose trace
   let dep, setup_s =
     Util.Timer.time (fun () -> guarded (fun () -> Protocol.deploy ~obs:obs0 ~rng ?jobs config ~db))
   in
+  let net_timeline = ref None in
   if batch then begin
     let m = Array.length queries in
     let results, round_s =
       Util.Timer.time (fun () ->
-          guarded (fun () -> Protocol.query_batch ~obs:obs0 dep ~queries ~k))
+          guarded (fun () -> Protocol.query_batch ~obs:obs0 ?net dep ~queries ~k))
     in
+    net_timeline := results.(0).Protocol.net;
     write_trace trace0 0;
     if verbose then Format.printf "domains: %d@." (Protocol.jobs dep);
     Array.iteri
@@ -196,11 +235,12 @@ let query_run data query_s k layout seed jobs repeat packed batch verbose trace
        queries and say so. *)
     let use_prepared = repeat > 1 && packed_ok in
     let run obs () =
-      if packed then Protocol.query_packed ~obs dep ~query:q ~k
-      else if use_prepared then Protocol.query_prepared ~obs dep ~query:q ~k
-      else Protocol.query ~obs dep ~query:q ~k
+      if packed then Protocol.query_packed ~obs ?net dep ~query:q ~k
+      else if use_prepared then Protocol.query_prepared ~obs ?net dep ~query:q ~k
+      else Protocol.query ~obs ?net dep ~query:q ~k
     in
     let r, query_s' = Util.Timer.time (fun () -> guarded (run obs0)) in
+    net_timeline := r.Protocol.net;
     write_trace trace0 0;
     let steady_times =
       List.init (repeat - 1) (fun i ->
@@ -235,6 +275,9 @@ let query_run data query_s k layout seed jobs repeat packed batch verbose trace
       Format.printf "%a@." Transcript.pp r.Protocol.transcript
     end
   end;
+  (match !net_timeline with
+   | None -> ()
+   | Some tl -> Format.printf "@.%a" print_timeline tl);
   (match audit_log with
    | None -> ()
    | Some a -> Format.printf "leakage audit:@.%a@." Sknn_obs.Audit.pp a);
@@ -255,6 +298,7 @@ let query_run data query_s k layout seed jobs repeat packed batch verbose trace
        ~run:
          [ ("cmd", "query"); ("data", data); ("k", string_of_int k);
            ("repeat", string_of_int repeat) ];
+     Option.iter (append_net_records path) !net_timeline;
      Format.printf "flight dump written to %s@." path
    | Some _ -> Format.eprintf "--flight ignored: recorder disabled (SKNN_FLIGHT=0)@.");
   0
@@ -265,6 +309,20 @@ let query_t =
        & info [ "query" ] ~doc:"Comma-separated query coordinates.")
 let k_t = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Number of neighbours.")
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.")
+
+let profile_conv =
+  Arg.conv
+    ( (fun s ->
+        match Profile.of_string s with Ok p -> Ok p | Error e -> Error (`Msg e)),
+      fun ppf p -> Format.pp_print_string ppf (Profile.to_string p) )
+
+let net_t =
+  Arg.(value & opt (some profile_conv) None
+       & info [ "net" ] ~docv:"PROFILE"
+           ~doc:"Replay the communication under a virtual network profile: loopback \
+                 | lan | wan | rtt_ms:bw_mbps (e.g. 40:100).  Timing derives only \
+                 from the transcript's bytes and rounds — the already-audited \u{00a7}5 \
+                 surface — so the timeline is identical for every --jobs count.")
 let verbose_t = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print counters and transcript.")
 
 let query_cmd =
@@ -337,8 +395,8 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Run a secure k-NN query over an encrypted CSV database")
     Term.(const query_run $ data_t $ query_t $ k_t $ layout $ seed_t $ jobs $ repeat
-          $ packed $ batch $ verbose_t $ trace $ trace_format $ audit $ metrics $ prom
-          $ flight_out)
+          $ packed $ batch $ net_t $ verbose_t $ trace $ trace_format $ audit
+          $ metrics $ prom $ flight_out)
 
 (* ------------------------------------------------------------------ *)
 (* dump-flight                                                         *)
@@ -444,7 +502,7 @@ let calib_t =
                  revision or on another machine still hits but prints a staleness \
                  warning. Shared by sknn cost, sknn plan and the bench harness.")
 
-let cost_run data query_s k layout path_s seed jobs quick calib verbose json =
+let cost_run data query_s k layout path_s seed jobs net quick calib verbose json =
   let db = read_db data in
   let queries =
     String.split_on_char ';' query_s |> List.map parse_query |> Array.of_list
@@ -484,10 +542,10 @@ let cost_run data query_s k layout path_s seed jobs quick calib verbose json =
   let dep = Protocol.deploy ~rng ?jobs config ~db in
   let r =
     match path_s with
-    | "plain" -> Protocol.query dep ~query:q ~k
-    | "prepared" -> Protocol.query_prepared dep ~query:q ~k
-    | "packed" -> Protocol.query_packed dep ~query:q ~k
-    | "batch" -> (Protocol.query_batch dep ~queries ~k).(0)
+    | "plain" -> Protocol.query ?net dep ~query:q ~k
+    | "prepared" -> Protocol.query_prepared ?net dep ~query:q ~k
+    | "packed" -> Protocol.query_packed ?net dep ~query:q ~k
+    | "batch" -> (Protocol.query_batch ?net dep ~queries ~k).(0)
     | other ->
       Format.eprintf "unknown path %S (plain | prepared | packed | batch)@." other;
       exit 2
@@ -540,6 +598,41 @@ let cost_run data query_s k layout path_s seed jobs quick calib verbose json =
   let t1m = Cost.measured r in
   Format.printf "@.Table 1 (ours): predicted %a@.                measured  %a@." Cost.pp
     t1p Cost.pp t1m;
+  (* Comms-aware end-to-end: the analytic compute critical path plus the
+     virtual clock's replay of the predicted transcript, cross-checked
+     against the replay of the transcript the live query just recorded.
+     Rounds and bytes must agree exactly (the model emits the same
+     messages the protocol sends); only the compute term is calibrated. *)
+  let net_report =
+    match net with
+    | None -> None
+    | Some profile ->
+      let e2e = CM.predict_end_to_end ~unit_costs ~profile pred in
+      let live = Clock.replay profile r.Protocol.transcript in
+      let link_sig (tl : Clock.timeline) =
+        List.map
+          (fun (l : Clock.link) ->
+            (l.Clock.link_a, l.Clock.link_b, l.Clock.link_messages,
+             l.Clock.link_bytes, l.Clock.link_rounds))
+          tl.Clock.links
+      in
+      let exact = link_sig e2e.CM.timeline = link_sig live in
+      Format.printf
+        "@.network (%s): predicted end-to-end %.6fs = compute %.6fs + wire %.6fs@."
+        (Profile.to_string profile) e2e.CM.total_s e2e.CM.compute_s e2e.CM.wire_s;
+      List.iter
+        (fun (party, s) -> Format.printf "  compute %-12s %11.6fs@." party s)
+        e2e.CM.compute_party_s;
+      Format.printf "  live transcript replayed: wire %.6fs; rounds/bytes %s the \
+                     prediction@."
+        live.Clock.end_to_end_s
+        (if exact then "exactly match" else "DIVERGE from");
+      Format.printf "%a" print_timeline live;
+      Some (profile, e2e, live, exact)
+  in
+  let transcript_exact =
+    match net_report with None -> true | Some (_, _, _, exact) -> exact
+  in
   (* Mirror the attribution into the flight recorder, so post-mortem
      dumps carry it next to the phase/noise stream. *)
   (match Sknn_obs.Flight.default () with
@@ -568,11 +661,19 @@ let cost_run data query_s k layout path_s seed jobs quick calib verbose json =
               phase p ms))
        rows;
      Buffer.add_string buf "]}\n";
+     (match net_report with
+      | None -> ()
+      | Some (profile, e2e, live, exact) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"rec\":\"cost-net\",\"profile\":%S,\"predicted_total_s\":%.9g,\"predicted_compute_s\":%.9g,\"predicted_wire_s\":%.9g,\"replayed_wire_s\":%.9g,\"transcript_exact\":%b}\n"
+             (Profile.to_string profile) e2e.CM.total_s e2e.CM.compute_s
+             e2e.CM.wire_s live.Clock.end_to_end_s exact));
      let oc = open_out path in
      Buffer.output_buffer oc buf;
      close_out oc;
      Format.printf "@.cost report written to %s@." path);
-  if not ledger_exact then 1 else 0
+  if not (ledger_exact && transcript_exact) then 1 else 0
 
 let cost_cmd =
   let layout =
@@ -604,7 +705,7 @@ let cost_cmd =
        ~doc:"Attribute a query's time op by op: calibrated analytic prediction vs \
              measured phases")
     Term.(const cost_run $ data_t $ query_t $ k_t $ layout $ path $ seed_t $ jobs
-          $ quick $ calib_t $ verbose_t $ json)
+          $ net_t $ quick $ calib_t $ verbose_t $ json)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -618,7 +719,7 @@ let cost_cmd =
    calibrated unit model. *)
 
 let plan_run points dims k coord_bits layout_s path_s batch_m mask_degree
-    mask_coeff_bits min_security noise_margin objective_s keep preset_s quick
+    mask_coeff_bits min_security noise_margin objective_s net keep preset_s quick
     calib json_path apply seed jobs =
   let layout =
     match layout_s with
@@ -685,7 +786,8 @@ let plan_run points dims k coord_bits layout_s path_s batch_m mask_degree
   let limits =
     { Planner.min_security_bits = min_security;
       noise_margin_bits = noise_margin;
-      objective }
+      objective;
+      net }
   in
   let outcome =
     try Planner.plan ~keep ~unit_model w limits
@@ -718,10 +820,18 @@ let plan_run points dims k coord_bits layout_s path_s batch_m mask_degree
         let pred =
           Attribution.predict ~include_prepare preset_config ~n:points ~d:dims ~k path
         in
-        List.fold_left
-          (fun acc (_, s) -> acc +. s)
-          0.0
-          (Attribution.predicted_phase_seconds ~unit_costs pred)
+        let compute =
+          List.fold_left
+            (fun acc (_, s) -> acc +. s)
+            0.0
+            (Attribution.predicted_phase_seconds ~unit_costs pred)
+        in
+        (* Price the preset under the same network term as the planner's
+           objective, or the comparison is apples to oranges. *)
+        match net with
+        | None -> compute
+        | Some profile ->
+          compute +. (Clock.replay profile pred.CM.transcript).Clock.end_to_end_s
       in
       Some (bgv.Params.name, total ~include_prepare:true, total ~include_prepare:false)
   in
@@ -870,8 +980,8 @@ let plan_cmd =
              cheapest parameter set a workload can prove safe")
     Term.(const plan_run $ points $ dims $ k_t $ coord_bits $ layout $ path
           $ batch_m $ mask_degree $ mask_coeff_bits $ min_security $ noise_margin
-          $ objective $ keep $ preset $ quick $ calib_t $ json $ apply $ seed_t
-          $ jobs)
+          $ objective $ net_t $ keep $ preset $ quick $ calib_t $ json $ apply
+          $ seed_t $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* baseline                                                            *)

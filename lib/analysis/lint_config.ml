@@ -12,6 +12,7 @@
      declassify Leakage.
      obs-module Otrace
      check-poly-compare
+     check-wall-clock
 
    Every knob is additive and order-independent, so configuration stays
    reviewable next to the code it governs.  The escape hatch for single
@@ -70,6 +71,10 @@ type t = {
   (* no-ambient-nondeterminism: also flag polymorphic compare /
      Hashtbl.hash (ciphertext-bearing directories only). *)
   check_poly_compare : bool;
+  (* no-ambient-nondeterminism: also flag Util.Timer reads — even the
+     sanctioned wall-clock wrapper is banned where every timestamp must
+     be a pure function of recorded data (lib/netsim's virtual clock). *)
+  check_wall_clock : bool;
 }
 
 let base =
@@ -81,7 +86,8 @@ let base =
     declassifiers = [ "Leakage." ];
     obs_modules =
       [ "Obs"; "Ctx"; "Trace"; "Otrace"; "Flight"; "Metrics"; "Audit"; "Sknn_obs" ];
-    check_poly_compare = false }
+    check_poly_compare = false;
+    check_wall_clock = false }
 
 let enable r t = if List.mem r t.enabled then t else { t with enabled = r :: t.enabled }
 let disable r t = { t with enabled = List.filter (fun r' -> r' <> r) t.enabled }
@@ -122,6 +128,7 @@ let apply_line t line =
     | "declassify" -> need_arg (); { t with declassifiers = arg :: t.declassifiers }
     | "obs-module" -> need_arg (); { t with obs_modules = arg :: t.obs_modules }
     | "check-poly-compare" -> { t with check_poly_compare = true }
+    | "check-wall-clock" -> { t with check_wall_clock = true }
     | d -> raise (Bad_config (Printf.sprintf "unknown directive %S" d))
 
 let of_lines ?(base = base) lines = List.fold_left apply_line base lines

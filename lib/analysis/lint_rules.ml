@@ -94,6 +94,13 @@ let wall_clock_idents =
   [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime";
     "Sys.time" ]
 
+(* The sanctioned wrapper's reads, banned only under [check-wall-clock]:
+   directories whose timestamps must be pure functions of recorded data
+   (the virtual network clock) may not fall back to the wall. *)
+let timer_idents =
+  [ "Timer.now"; "Timer.time"; "Timer.counter"; "Util.Timer.now";
+    "Util.Timer.time"; "Util.Timer.counter" ]
+
 let poly_compare_idents =
   [ "compare"; "Stdlib.compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
 
@@ -291,6 +298,12 @@ let run_structure ~(config : Lint_config.t) ~file str =
            if List.mem name wall_clock_idents then
              report Lint_config.No_ambient_nondeterminism loc
                "wall-clock read %s outside Util.Timer/lib/obs" name;
+           if config.Lint_config.check_wall_clock && List.mem name timer_idents
+           then
+             report Lint_config.No_ambient_nondeterminism loc
+               "Timer read %s in a virtual-clock directory; every timestamp \
+                here must be a pure function of the transcript and profile"
+               name;
            if config.Lint_config.check_poly_compare
               && List.mem name poly_compare_idents
            then

@@ -102,6 +102,10 @@ let model_params (config : Config.t) ~n ~d ~k : CM.params =
 let predict ?include_prepare config ~n ~d ~k path =
   CM.predict ?include_prepare (model_params config ~n ~d ~k) path
 
+let predict_end_to_end ?include_prepare config ~n ~d ~k ~unit_costs ~profile path =
+  CM.predict_end_to_end ~unit_costs ~profile
+    (predict ?include_prepare config ~n ~d ~k path)
+
 (* Predicted wall-clock per protocol phase: the per-party phase ledgers
    priced by the calibration table, summed per phase name in protocol
    order — directly comparable to [Protocol.result.phase_seconds]. *)

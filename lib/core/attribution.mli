@@ -51,6 +51,20 @@ val predict :
   Sknn_obs.Cost_model.prediction
 (** One-stop [model_params] + [Cost_model.predict]. *)
 
+val predict_end_to_end :
+  ?include_prepare:bool ->
+  Config.t ->
+  n:int ->
+  d:int ->
+  k:int ->
+  unit_costs:Sknn_obs.Cost_model.unit_costs ->
+  profile:Profile.t ->
+  Sknn_obs.Cost_model.path ->
+  Sknn_obs.Cost_model.end_to_end
+(** [predict] priced end-to-end under a network profile: compute critical
+    path from the calibration table plus the {!Netsim.Clock} replay of
+    the predicted transcript. *)
+
 val predicted_phase_seconds :
   unit_costs:Sknn_obs.Cost_model.unit_costs ->
   Sknn_obs.Cost_model.prediction ->

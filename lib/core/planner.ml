@@ -241,10 +241,14 @@ type constraints = {
   min_security_bits : float;
   noise_margin_bits : float;
   objective : objective;
+  net : Profile.t option;
 }
 
 let default_constraints =
-  { min_security_bits = 0.0; noise_margin_bits = 4.0; objective = Steady_state }
+  { min_security_bits = 0.0;
+    noise_margin_bits = 4.0;
+    objective = Steady_state;
+    net = None }
 
 type spec = {
   sp_n : int;
@@ -314,10 +318,20 @@ let objective_seconds limits ~first ~steady =
     let a = Float.max 0.0 (Float.min 1.0 alpha) in
     (a *. first) +. ((1.0 -. a) *. steady)
 
-let price ~unit_costs (pred : CM.prediction) =
-  List.fold_left
-    (fun acc (ph : CM.phase) -> acc +. CM.predict_seconds ~unit_costs ph.CM.counters)
-    0.0 pred.CM.phases
+(* Compute cost of one query, plus — under a network profile — the
+   virtual wire time of its predicted transcript.  The wire term is what
+   lets a WAN objective reward the packed/batched paths' fewer, larger
+   messages end-to-end, not just in compute. *)
+let price ~unit_costs ?net (pred : CM.prediction) =
+  let compute =
+    List.fold_left
+      (fun acc (ph : CM.phase) -> acc +. CM.predict_seconds ~unit_costs ph.CM.counters)
+      0.0 pred.CM.phases
+  in
+  match net with
+  | None -> compute
+  | Some prof ->
+    compute +. (Clock.replay prof pred.CM.transcript).Clock.end_to_end_s
 
 let compare_entries a b =
   let c = Float.compare a.objective_seconds b.objective_seconds in
@@ -435,8 +449,8 @@ let plan ?(keep = 10) ~unit_model (w : workload) (limits : constraints) : outcom
                       in
                       let pred_first = CM.predict ~include_prepare:true p w.path in
                       let pred_steady = CM.predict ~include_prepare:false p w.path in
-                      let first = price ~unit_costs pred_first in
-                      let steady = price ~unit_costs pred_steady in
+                      let first = price ~unit_costs ?net:limits.net pred_first in
+                      let steady = price ~unit_costs ?net:limits.net pred_steady in
                       let entry =
                         { spec =
                             { sp_n = n; sp_plain_bits = plain_bits;
@@ -532,13 +546,14 @@ let json_of_outcome o =
        "{\"rec\":\"plan\",\"workload\":{\"points\":%d,\"dim\":%d,\"k\":%d,\
         \"coord_bits\":%d,\"layout\":%S,\"path\":%S,\"mask_degree\":%d,\
         \"mask_coeff_bits\":%d},\"constraints\":{\"min_security_bits\":%.6g,\
-        \"noise_margin_bits\":%.6g},\"considered\":%d,\"pruned_noise\":%d,\
-        \"pruned_security\":%d,\"infeasible\":["
+        \"noise_margin_bits\":%.6g,\"net\":%S},\"considered\":%d,\
+        \"pruned_noise\":%d,\"pruned_security\":%d,\"infeasible\":["
        o.load.points o.load.dim o.load.k o.load.coord_bits
        (Config.layout_name o.load.layout)
        (path_name o.load.path) o.load.mask_degree o.load.mask_coeff_bits
-       o.limits.min_security_bits o.limits.noise_margin_bits o.considered
-       o.pruned_noise o.pruned_security);
+       o.limits.min_security_bits o.limits.noise_margin_bits
+       (match o.limits.net with None -> "none" | Some p -> Profile.to_string p)
+       o.considered o.pruned_noise o.pruned_security);
   List.iteri
     (fun i (reason, count) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -572,6 +587,9 @@ let pp_entry ppf (i, e) =
 let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>plan: %s path, %d points x %d dims, k=%d, coords<=%d bits@,"
     (path_name o.load.path) o.load.points o.load.dim o.load.k o.load.coord_bits;
+  (match o.limits.net with
+   | None -> ()
+   | Some p -> Format.fprintf ppf "objective priced end-to-end over %a@," Profile.pp p);
   Format.fprintf ppf
     "searched %d candidates: %d ranked, %d noise-pruned, %d security-pruned"
     o.considered (List.length o.ranked) o.pruned_noise o.pruned_security;

@@ -75,10 +75,17 @@ type constraints = {
   min_security_bits : float;  (** RLWE floor; 0 disables the prune *)
   noise_margin_bits : float;  (** forecast headroom the plan must keep *)
   objective : objective;
+  net : Profile.t option;
+      (** price candidates end-to-end under this network profile: each
+          entry's first/steady seconds gain the virtual wire time of its
+          predicted transcript (rounds × RTT + bytes/bandwidth), so a
+          WAN objective weights rounds and message sizes, not just
+          compute *)
 }
 
 val default_constraints : constraints
-(** No security floor, 4-bit margin, steady-state objective. *)
+(** No security floor, 4-bit margin, steady-state objective, no network
+    term. *)
 
 (** {1 Planning} *)
 

@@ -62,11 +62,22 @@ let tally_transcript tr counter_of =
     (Transcript.links tr)
 
 (* Record a transcript entry and mirror it into the flight recorder, so
-   a post-mortem dump shows the link traffic leading up to a failure. *)
-let send_tracked obs tr ~sender ~receiver ~label ~bytes =
+   a post-mortem dump shows the link traffic leading up to a failure.
+   With a clock cursor (a --net run) the flight event also carries the
+   message's transcript seq and virtual arrival time; stepping the
+   cursor in send order reproduces Clock.replay of the final transcript
+   exactly. *)
+let send_tracked ?clock obs tr ~sender ~receiver ~label ~bytes =
   Transcript.send tr ~sender ~receiver ~label ~bytes;
-  Obs.record_send obs ~sender:(Transcript.party_name sender)
-    ~receiver:(Transcript.party_name receiver) ~bytes
+  let sender_n = Transcript.party_name sender in
+  let receiver_n = Transcript.party_name receiver in
+  match clock with
+  | None -> Obs.record_send obs ~sender:sender_n ~receiver:receiver_n ~bytes ()
+  | Some c ->
+    let _departure, arrival = Clock.step c ~sender ~receiver ~bytes in
+    Obs.record_send obs
+      ~seq:(Transcript.messages tr - 1)
+      ~arrival_s:arrival ~sender:sender_n ~receiver:receiver_n ~bytes ()
 
 let deploy ?(obs = Obs.disabled) ?rng ?counters ?jobs config ~db =
   let rng = match rng with Some r -> r | None -> Rng.of_int 0x5ecdb in
@@ -115,10 +126,63 @@ type result = {
   counters_b : Util.Counters.t;
   counters_client : Util.Counters.t;
   view_b : Entities.Party_b.view;
+  net : Clock.timeline option;
 }
 
+(* Post-query network accounting for a --net run: replay the finished
+   transcript into a virtual timeline, export the per-link figures as
+   sknn_link_* metric families, and hand the trace one wire event per
+   message for the virtual-network lanes. *)
+let observe_net obs tr = function
+  | None -> None
+  | Some prof ->
+    let tl = Clock.replay prof tr in
+    (match Obs.metrics obs with
+     | None -> ()
+     | Some m ->
+       List.iter
+         (fun (l : Clock.link) ->
+           let key =
+             Printf.sprintf "link.%s-%s" (Transcript.party_name l.Clock.link_a)
+               (Transcript.party_name l.Clock.link_b)
+           in
+           Metrics.set (Metrics.gauge m (key ^ ".busy_seconds")) l.Clock.busy_s;
+           Metrics.inc ~by:l.Clock.link_rounds (Metrics.counter m (key ^ ".rounds")))
+         tl.Clock.links;
+       Metrics.set (Metrics.gauge m "net.end_to_end_seconds") tl.Clock.end_to_end_s);
+    let trace = Obs.trace obs in
+    if Otrace.is_enabled trace then
+      List.iter
+        (fun (msg : Clock.message) ->
+          let e = msg.Clock.entry in
+          let x, y =
+            if e.Transcript.sender < e.Transcript.receiver then
+              (e.Transcript.sender, e.Transcript.receiver)
+            else (e.Transcript.receiver, e.Transcript.sender)
+          in
+          Otrace.add_wire trace
+            ~link:(Transcript.party_name x ^ "<->" ^ Transcript.party_name y)
+            ~label:e.Transcript.label
+            ~args:
+              [ ("seq", string_of_int e.Transcript.seq);
+                ("from", Transcript.party_name e.Transcript.sender);
+                ("to", Transcript.party_name e.Transcript.receiver);
+                ("bytes", string_of_int e.Transcript.bytes) ]
+            ~start:msg.Clock.departure_s
+            ~dur:(msg.Clock.arrival_s -. msg.Clock.departure_s)
+            ())
+        tl.Clock.messages;
+    Some tl
+
 let timed obs phases ?counters name f =
-  Obs.with_span obs ~kind:Otrace.Phase ?counters name (fun () ->
+  (* The watched counters name the parties at work, which the chrome
+     trace sink turns into per-party lanes. *)
+  let args =
+    match counters with
+    | None | Some [] -> []
+    | Some cs -> [ ("party", String.concat "+" (List.map fst cs)) ]
+  in
+  Obs.with_span obs ~kind:Otrace.Phase ?counters ~args name (fun () ->
       let x, dt = Util.Timer.time f in
       phases := (name, dt) :: !phases;
       Obs.observe_phase obs name dt;
@@ -182,7 +246,7 @@ type prep_state =
   | Prep_ip of Entities.Party_a.prepared
   | Prep_packed of Entities.Party_a.prepared_packed
 
-let query_gen ~path ?(obs = Obs.disabled) ?rng d ~query ~k =
+let query_gen ~path ?(obs = Obs.disabled) ?rng ?net d ~query ~k =
   let rng = match rng with Some r -> r | None -> Rng.split d.query_seed in
   if Array.length query <> d.db_d then invalid_arg "Protocol.query: dimension mismatch";
   if k < 1 || k > d.db_n then invalid_arg "Protocol.query: k out of range";
@@ -193,6 +257,8 @@ let query_gen ~path ?(obs = Obs.disabled) ?rng d ~query ~k =
   Counters.reset cb;
   Counters.reset cc;
   let tr = Transcript.create () in
+  let clock = Option.map Clock.cursor net in
+  let send_tracked = send_tracked ?clock in
   let phases = ref [] in
   (* Prepared/packed paths: build the query-independent state once per
      deployment; only the first such query pays (and records) the
@@ -324,6 +390,7 @@ let query_gen ~path ?(obs = Obs.disabled) ?rng d ~query ~k =
      List.iter
        (fun (party, c) -> Metrics.record_ledger m ~party c)
        [ ("party-a", ca); ("party-b", cb); ("client", cc) ]);
+  let net_timeline = observe_net obs tr net in
   { neighbours;
     k;
     phase_seconds = List.rev !phases;
@@ -331,15 +398,17 @@ let query_gen ~path ?(obs = Obs.disabled) ?rng d ~query ~k =
     counters_a = ca;
     counters_b = cb;
     counters_client = cc;
-    view_b = view }
+    view_b = view;
+    net = net_timeline }
 
-let query ?obs ?rng d ~query ~k = query_gen ~path:Path_plain ?obs ?rng d ~query ~k
+let query ?obs ?rng ?net d ~query ~k =
+  query_gen ~path:Path_plain ?obs ?rng ?net d ~query ~k
 
-let query_prepared ?obs ?rng d ~query ~k =
-  query_gen ~path:Path_prepared ?obs ?rng d ~query ~k
+let query_prepared ?obs ?rng ?net d ~query ~k =
+  query_gen ~path:Path_prepared ?obs ?rng ?net d ~query ~k
 
-let query_packed ?obs ?rng d ~query ~k =
-  query_gen ~path:Path_packed ?obs ?rng d ~query ~k
+let query_packed ?obs ?rng ?net d ~query ~k =
+  query_gen ~path:Path_packed ?obs ?rng ?net d ~query ~k
 
 let prepare ?(obs = Obs.disabled) d =
   match d.prepared with
@@ -355,18 +424,22 @@ let prepare_packed ?(obs = Obs.disabled) d =
 
 let is_packed_prepared d = Option.is_some d.prepared_packed
 
-let run_queries ?obs ?rng d ~queries ~k =
+let run_queries ?obs ?rng ?net d ~queries ~k =
   let rng = match rng with Some r -> r | None -> d.query_seed in
-  Array.map (fun q -> query_prepared ?obs ~rng:(Rng.split rng) d ~query:q ~k) queries
+  Array.map
+    (fun q -> query_prepared ?obs ~rng:(Rng.split rng) ?net d ~query:q ~k)
+    queries
 
-let run_queries_packed ?obs ?rng d ~queries ~k =
+let run_queries_packed ?obs ?rng ?net d ~queries ~k =
   let rng = match rng with Some r -> r | None -> d.query_seed in
-  Array.map (fun q -> query_packed ?obs ~rng:(Rng.split rng) d ~query:q ~k) queries
+  Array.map
+    (fun q -> query_packed ?obs ~rng:(Rng.split rng) ?net d ~query:q ~k)
+    queries
 
 (* M queries in one protocol round through the slot dimension.  The
    phase list, transcript and counters describe the whole round and are
    shared by the M results; neighbours and views are per query. *)
-let query_batch ?(obs = Obs.disabled) ?rng d ~queries ~k =
+let query_batch ?(obs = Obs.disabled) ?rng ?net d ~queries ~k =
   let rng = match rng with Some r -> r | None -> Rng.split d.query_seed in
   let m = Array.length queries in
   if m = 0 then invalid_arg "Protocol.query_batch: empty batch";
@@ -383,6 +456,8 @@ let query_batch ?(obs = Obs.disabled) ?rng d ~queries ~k =
   Counters.reset cb;
   Counters.reset cc;
   let tr = Transcript.create () in
+  let clock = Option.map Clock.cursor net in
+  let send_tracked = send_tracked ?clock in
   let phases = ref [] in
   let pp =
     match d.prepared_packed with
@@ -491,6 +566,7 @@ let query_batch ?(obs = Obs.disabled) ?rng d ~queries ~k =
      List.iter
        (fun (party, c) -> Metrics.record_ledger m ~party c)
        [ ("party-a", ca); ("party-b", cb); ("client", cc) ]);
+  let net_timeline = observe_net obs tr net in
   let phase_seconds = List.rev !phases in
   Array.init m (fun q ->
       { neighbours = neighbours.(q);
@@ -500,7 +576,8 @@ let query_batch ?(obs = Obs.disabled) ?rng d ~queries ~k =
         counters_a = ca;
         counters_b = cb;
         counters_client = cc;
-        view_b = views.(q) })
+        view_b = views.(q);
+        net = net_timeline })
 
 let total_seconds r = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.phase_seconds
 

@@ -60,11 +60,14 @@ type result = {
   counters_b : Util.Counters.t;
   counters_client : Util.Counters.t;
   view_b : Entities.Party_b.view; (** Party B's view, for leakage audits *)
+  net : Clock.timeline option;
+      (** virtual-network replay of [transcript] when the query ran with
+          [?net]; [None] otherwise *)
 }
 
 val query :
-  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> query:int array -> k:int ->
-  result
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?net:Profile.t -> deployment ->
+  query:int array -> k:int -> result
 (** Runs one complete query.  Counters are reset at the start so each
     result reports per-query costs; when the query finishes, the
     transcript is folded back into them, so [Counters.rounds] and
@@ -78,6 +81,15 @@ val query :
     appended to the leakage-audit channel ([party-b]: masked distance
     multiset, [k], equidistant group sizes; [party-a]: ciphertext
     counts and byte sizes only).
+
+    With a network profile [net], a virtual clock cursor runs alongside
+    the transcript (flight [Send] events gain seq + virtual arrival),
+    the finished transcript is replayed into [result.net], per-link
+    busy/rounds land in the metrics registry as [sknn_link_*] families,
+    and the trace gains one wire event per message.  The timeline is a
+    pure function of (transcript, profile) — timing derives only from
+    the already-audited §5 byte/round surface, and stays byte-identical
+    across job counts.
     @raise Invalid_argument on dimension mismatch or k out of range. *)
 
 (** {1 Prepared multi-query path}
@@ -103,8 +115,8 @@ val prepare : ?obs:Sknn_obs.Ctx.t -> deployment -> unit
 val is_prepared : deployment -> bool
 
 val query_prepared :
-  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> query:int array -> k:int ->
-  result
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?net:Profile.t -> deployment ->
+  query:int array -> k:int -> result
 (** Like {!query}, but against the prepared state, with the client
     sending the inner-product query form
     ({!Entities.Client.encrypt_query_ip}).  The first call on an
@@ -114,8 +126,8 @@ val query_prepared :
     prepared path. *)
 
 val run_queries :
-  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> queries:int array array ->
-  k:int -> result array
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?net:Profile.t -> deployment ->
+  queries:int array array -> k:int -> result array
 (** [query_prepared] over a query batch, one independent RNG stream per
     query split off [rng] (default: the deployment's query seed). *)
 
@@ -141,8 +153,8 @@ val prepare_packed : ?obs:Sknn_obs.Ctx.t -> deployment -> unit
 val is_packed_prepared : deployment -> bool
 
 val query_packed :
-  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> query:int array -> k:int ->
-  result
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?net:Profile.t -> deployment ->
+  query:int array -> k:int -> result
 (** Like {!query_prepared} on the packed layout, with the client sending
     the broadcast-slot query form
     ({!Entities.Client.encrypt_query_packed}): d+1 ciphertexts in,
@@ -151,15 +163,15 @@ val query_packed :
     packed path. *)
 
 val run_queries_packed :
-  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> queries:int array array ->
-  k:int -> result array
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?net:Profile.t -> deployment ->
+  queries:int array array -> k:int -> result array
 (** {!query_packed} over a query batch, one independent RNG stream per
     query (each query still runs its own protocol round; see
     {!query_batch} for slot-dimension batching). *)
 
 val query_batch :
-  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> deployment -> queries:int array array ->
-  k:int -> result array
+  ?obs:Sknn_obs.Ctx.t -> ?rng:Util.Rng.t -> ?net:Profile.t -> deployment ->
+  queries:int array array -> k:int -> result array
 (** M ≤ [Params.slot_count] queries in {e one} protocol round: the
     queries ride the slot dimension of d+1 ciphertexts
     ({!Entities.Client.encrypt_query_batch}), Party A masks each query's

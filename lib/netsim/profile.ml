@@ -1,0 +1,49 @@
+type t = { name : string; rtt_s : float; bytes_per_s : float }
+
+let loopback = { name = "loopback"; rtt_s = 0.0; bytes_per_s = infinity }
+
+(* ~0.25 ms RTT, 1 Gbps — a switched LAN, the paper's §6 setting. *)
+let lan = { name = "lan"; rtt_s = 0.25e-3; bytes_per_s = 1e9 /. 8.0 }
+
+(* ~40 ms RTT, 100 Mbps — the cross-region WAN shape SANNS reports. *)
+let wan = { name = "wan"; rtt_s = 40e-3; bytes_per_s = 100e6 /. 8.0 }
+
+let presets = [ loopback; lan; wan ]
+
+let to_string t = t.name
+
+let of_string s =
+  let s = String.trim s in
+  match List.find_opt (fun p -> p.name = s) presets with
+  | Some p -> Ok p
+  | None -> (
+    (* Custom form: "rtt_ms:bw_mbps", e.g. "40:100" = 40 ms RTT at 100 Mbps. *)
+    match String.split_on_char ':' s with
+    | [ rtt_str; bw_str ] -> (
+      match (float_of_string_opt rtt_str, float_of_string_opt bw_str) with
+      | Some rtt_ms, Some bw_mbps
+        when rtt_ms >= 0.0 && bw_mbps > 0.0 && Float.is_finite rtt_ms
+             && Float.is_finite bw_mbps ->
+        Ok { name = s; rtt_s = rtt_ms /. 1e3; bytes_per_s = bw_mbps *. 1e6 /. 8.0 }
+      | _ ->
+        Error
+          (Printf.sprintf
+             "bad network profile %S: rtt_ms must be >= 0 and bw_mbps > 0" s))
+    | _ ->
+      Error
+        (Printf.sprintf
+           "unknown network profile %S (expected loopback|lan|wan or \
+            rtt_ms:bw_mbps)"
+           s))
+
+let one_way_s t = t.rtt_s /. 2.0
+
+let serialize_s t bytes =
+  if Float.is_finite t.bytes_per_s then float_of_int bytes /. t.bytes_per_s
+  else 0.0
+
+let pp ppf t =
+  if Float.is_finite t.bytes_per_s then
+    Format.fprintf ppf "%s (rtt %g ms, %g Mbit/s)" t.name (t.rtt_s *. 1e3)
+      (t.bytes_per_s *. 8.0 /. 1e6)
+  else Format.fprintf ppf "%s (rtt %g ms, unbounded bandwidth)" t.name (t.rtt_s *. 1e3)

@@ -1,0 +1,39 @@
+(** Deterministic network profiles for the virtual clock.
+
+    A profile is two numbers — round-trip time and link bandwidth — fixed
+    by name, never measured: the replayed timeline must be a pure function
+    of (transcript, profile) so it is byte-identical across worker counts,
+    the same discipline the span tree follows. *)
+
+type t = {
+  name : string;
+  rtt_s : float;  (** round-trip time in seconds; one-way latency is half *)
+  bytes_per_s : float;
+      (** serialization bandwidth; [infinity] (loopback) makes
+          serialization free *)
+}
+
+val loopback : t
+(** Zero latency, unbounded bandwidth: the in-process baseline. *)
+
+val lan : t
+(** ~0.25 ms RTT, 1 Gbit/s — the paper's single-site §6 setting. *)
+
+val wan : t
+(** ~40 ms RTT, 100 Mbit/s — the cross-region shape SANNS reports. *)
+
+val presets : t list
+
+val of_string : string -> (t, string) result
+(** A preset name ([loopback]/[lan]/[wan]) or a custom ["rtt_ms:bw_mbps"]
+    pair, e.g. ["40:100"] = 40 ms RTT at 100 Mbit/s. *)
+
+val to_string : t -> string
+
+val one_way_s : t -> float
+(** Propagation delay of one message: RTT / 2. *)
+
+val serialize_s : t -> int -> float
+(** Time to push [bytes] onto the wire: bytes / bandwidth. *)
+
+val pp : Format.formatter -> t -> unit

@@ -66,10 +66,34 @@ let rounds t a b =
   (runs + 1) / 2
 
 let pp ppf t =
+  (* Column widths are computed from the content (headers included), so
+     rows stay aligned however long the party names, byte counts or seq
+     numbers grow — the old fixed widths sheared once a column outgrew
+     its header. *)
+  let es = entries t in
+  let width header get =
+    List.fold_left (fun acc e -> Stdlib.max acc (String.length (get e)))
+      (String.length header) es
+  in
+  let wseq = width "seq" (fun e -> string_of_int e.seq) in
+  let wparty =
+    Stdlib.max
+      (width "from" (fun e -> party_name e.sender))
+      (width "to" (fun e -> party_name e.receiver))
+  in
+  let wbytes = width "bytes" (fun e -> string_of_int e.bytes) in
   Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%*s %-*s    %-*s %*s    %s@ " wseq "seq" wparty "from"
+    wparty "to" wbytes "bytes" "label";
   List.iter
     (fun e ->
-      Format.fprintf ppf "%3d %-10s -> %-10s %8d B  %s@ " e.seq (party_name e.sender)
-        (party_name e.receiver) e.bytes e.label)
-    (entries t);
+      Format.fprintf ppf "%*d %-*s -> %-*s %*d B  %s@ " wseq e.seq wparty
+        (party_name e.sender) wparty (party_name e.receiver) wbytes e.bytes
+        e.label)
+    es;
+  List.iter
+    (fun ((a, b), bytes) ->
+      Format.fprintf ppf "link %s <-> %s: %d bytes, %d rounds@ " (party_name a)
+        (party_name b) bytes (rounds t a b))
+    (links t);
   Format.fprintf ppf "total: %d messages, %d bytes@]" (messages t) (total_bytes t)

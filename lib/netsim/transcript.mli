@@ -42,3 +42,6 @@ val rounds : t -> party -> party -> int
     (so A→B then B→A is one round; A→B, B→A, A→B, B→A is two). *)
 
 val pp : Format.formatter -> t -> unit
+(** Aligned per-message rows (column widths sized to the content), then
+    one [link a <-> b: bytes, rounds] summary per link, then the totals
+    line. *)

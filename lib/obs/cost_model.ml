@@ -56,6 +56,7 @@ type prediction = {
   party_b : C.t;
   client : C.t;
   ab_bytes : int;
+  transcript : Transcript.t;
 }
 
 let log2 x = log x /. log 2.0
@@ -292,7 +293,7 @@ let batch_query_level p ~q_noise_bits =
    state (the op counts are scalar-blind unless the no-drop rescale
    branch fires, which the presets never reach). *)
 
-type sim = { p : params; mutable rev_phases : phase list; mutable ab_bytes : int }
+type sim = { p : params; mutable rev_phases : phase list; tr : Transcript.t }
 
 (* Serialized size of a ciphertext in the symbolic state: the exact
    Bgv.byte_size formula, (degree+1) residue polynomials per remaining
@@ -300,10 +301,13 @@ type sim = { p : params; mutable rev_phases : phase list; mutable ab_bytes : int
 let st_bytes p (st : NM.state) =
   ((st.NM.degree + 1) * st.NM.level * p.nm.NM.n * 4) + 40
 
-(* A transcript send on the A<->B link (either direction — the measured
-   figure, Transcript.bytes_between, sums both). *)
-let send_ab sim ~count st =
-  sim.ab_bytes <- sim.ab_bytes + (count * st_bytes sim.p st)
+(* A symbolic transcript message of [count] ciphertexts in state [st],
+   with the same granularity and labels as the live [Protocol] sends —
+   what makes the predicted transcript structurally comparable (and the
+   Clock replay byte-exact) against a measured run. *)
+let send sim ~sender ~receiver ~label ~count st =
+  Transcript.send sim.tr ~sender ~receiver ~label
+    ~bytes:(count * st_bytes sim.p st)
 
 let phase_counter sim ~phase ~party =
   let c = C.create () in
@@ -323,22 +327,29 @@ let return_and_decrypt sim ~views ~plain_truncations =
     done;
   let packed_ret = truncate_silent (NM.fresh p.nm) ~level:rl in
   let result = ref None in
-  for _ = 1 to views * p.k do
-    let row =
-      let st = ref None in
-      for _ = 1 to p.n_points do
-        st := Some (enc p cb ~level:rl)
-      done;
-      Option.get !st
-    in
-    (* Each indicator row crosses B->A as n fresh return-level cts. *)
-    send_ab sim ~count:p.n_points row;
-    result := Some (mul_sum p ca ~terms:p.n_points ~relin:false packed_ret row)
+  for _ = 1 to views do
+    for j = 0 to p.k - 1 do
+      let row =
+        let st = ref None in
+        for _ = 1 to p.n_points do
+          st := Some (enc p cb ~level:rl)
+        done;
+        Option.get !st
+      in
+      (* Each indicator row crosses B->A as n fresh return-level cts, one
+         message per row, labelled as the live protocol labels them. *)
+      send sim ~sender:Transcript.Party_b ~receiver:Transcript.Party_a
+        ~label:(Printf.sprintf "indicator vector B^%d" (j + 1))
+        ~count:p.n_points row;
+      result := Some (mul_sum p ca ~terms:p.n_points ~relin:false packed_ret row)
+    done
   done;
   let cc = phase_counter sim ~phase:"decrypt-result" ~party:"client" in
   match !result with
   | None -> ()
   | Some r ->
+    send sim ~sender:Transcript.Party_a ~receiver:Transcript.Client
+      ~label:"encrypted k-NN result" ~count:(views * p.k) r;
     for _ = 1 to views * p.k do
       dec cc r
     done
@@ -353,6 +364,8 @@ let predict_plain sim =
     fresh := enc p cc ~level:full
   done;
   let fresh = !fresh in
+  send sim ~sender:Transcript.Client ~receiver:Transcript.Party_a
+    ~label:"encrypted query" ~count:n_query_cts fresh;
   let ca = phase_counter sim ~phase:"compute-distances" ~party:"party-a" in
   let masked = ref fresh in
   for _ = 1 to p.n_points do
@@ -379,7 +392,8 @@ let predict_plain sim =
     in
     masked := m
   done;
-  send_ab sim ~count:p.n_points !masked;
+  send sim ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+    ~label:"masked permuted distances" ~count:p.n_points !masked;
   let cb = phase_counter sim ~phase:"find-neighbours" ~party:"party-b" in
   for _ = 1 to p.n_points do
     dec0 cb !masked
@@ -413,8 +427,10 @@ let predict_prepared sim ~include_prepare =
     else norm_of scratch
   in
   let cc = phase_counter sim ~phase:"encrypt-query" ~party:"client" in
+  let qct = enc p cc ~level:full in
   ignore (enc p cc ~level:full);
-  ignore (enc p cc ~level:full);
+  send sim ~sender:Transcript.Client ~receiver:Transcript.Party_a
+    ~label:"encrypted query" ~count:2 qct;
   let ca = phase_counter sim ~phase:"compute-distances" ~party:"party-a" in
   let masked = ref fresh in
   for _ = 1 to p.n_points do
@@ -429,7 +445,8 @@ let predict_prepared sim ~include_prepare =
     let m = eval_poly p ca ~leading_bits:p.mask_leading_bits ed in
     masked := add_plain p ca m
   done;
-  send_ab sim ~count:p.n_points !masked;
+  send sim ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+    ~label:"masked permuted distances" ~count:p.n_points !masked;
   let cb = phase_counter sim ~phase:"find-neighbours" ~party:"party-b" in
   for _ = 1 to p.n_points do
     dec0 cb !masked
@@ -454,6 +471,8 @@ let predict_packed sim ~include_prepare =
     fresh := enc p cc ~level:full
   done;
   let fresh = !fresh in
+  send sim ~sender:Transcript.Client ~receiver:Transcript.Party_a
+    ~label:"encrypted query" ~count:(p.d + 1) fresh;
   let ca = phase_counter sim ~phase:"compute-distances" ~party:"party-a" in
   (* Up-front query truncation: the level-drop rule applied predictively
      to the fresh query ciphertexts. *)
@@ -493,7 +512,8 @@ let predict_packed sim ~include_prepare =
     in
     masked := m
   done;
-  send_ab sim ~count:nbatches !masked;
+  send sim ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+    ~label:"masked permuted distances" ~count:nbatches !masked;
   let cb = phase_counter sim ~phase:"find-neighbours" ~party:"party-b" in
   for _ = 1 to nbatches do
     dec cb !masked;
@@ -514,6 +534,8 @@ let predict_batch sim ~include_prepare ~queries =
     fresh := enc p cc ~level:full
   done;
   let fresh = !fresh in
+  send sim ~sender:Transcript.Client ~receiver:Transcript.Party_a
+    ~label:"encrypted query" ~count:(p.d + 1) fresh;
   let ca = phase_counter sim ~phase:"compute-distances" ~party:"party-a" in
   (* Per-query affine masks, slot-aligned: one packed slope plaintext,
      and a shared intercept only when every slot carries a query. *)
@@ -546,7 +568,8 @@ let predict_batch sim ~include_prepare ~queries =
     if not shared_intercept then slot_pack ca;
     masked := add_plain p ca md
   done;
-  send_ab sim ~count:p.n_points !masked;
+  send sim ~sender:Transcript.Party_a ~receiver:Transcript.Party_b
+    ~label:"masked permuted distances" ~count:p.n_points !masked;
   let cb = phase_counter sim ~phase:"find-neighbours" ~party:"party-b" in
   for _ = 1 to p.n_points do
     dec cb !masked;
@@ -558,7 +581,7 @@ let predict ?(include_prepare = true) p path =
   if p.n_points < 1 then invalid_arg "Cost_model.predict: empty database";
   if p.d < 1 then invalid_arg "Cost_model.predict: dimension < 1";
   if p.k < 1 || p.k > p.n_points then invalid_arg "Cost_model.predict: k out of range";
-  let sim = { p; rev_phases = []; ab_bytes = 0 } in
+  let sim = { p; rev_phases = []; tr = Transcript.create () } in
   (match path with
    | Plain -> predict_plain sim
    | Prepared -> predict_prepared sim ~include_prepare
@@ -576,7 +599,8 @@ let predict ?(include_prepare = true) p path =
     party_a = total "party-a";
     party_b = total "party-b";
     client = total "client";
-    ab_bytes = sim.ab_bytes }
+    ab_bytes = Transcript.bytes_between sim.tr Transcript.Party_a Transcript.Party_b;
+    transcript = sim.tr }
 
 (* ------------------------------------------------------------------ *)
 (* Calibrated time prediction                                          *)
@@ -603,6 +627,52 @@ let predict_seconds ~unit_costs counters =
         else acc)
     0.0
     (C.ledger_entries counters)
+
+(* ------------------------------------------------------------------ *)
+(* Comms-aware end-to-end time                                         *)
+(* ------------------------------------------------------------------ *)
+
+type end_to_end = {
+  e2e_profile : Profile.t;
+  compute_party_s : (string * float) list;
+  compute_s : float;
+  wire_s : float;
+  total_s : float;
+  timeline : Clock.timeline;
+}
+
+(* The protocol is a strict sequential exchange — every phase waits for
+   the previous phase's message — so the compute critical path is the sum
+   of all phases, attributed per party for the breakdown; the wire term
+   is the Clock replay of the predicted transcript (serialization + the
+   causal chain of RTT/2 hops, i.e. rounds × RTT + bytes/bandwidth).
+   Rounds and bytes agree exactly with a live run's replay because the
+   symbolic transcript reproduces the live message structure; the time
+   split only disagrees through the calibrated unit costs. *)
+let predict_end_to_end ~unit_costs ~profile pred =
+  let order = ref [] in
+  let totals = Hashtbl.create 4 in
+  List.iter
+    (fun ph ->
+      let s = predict_seconds ~unit_costs ph.counters in
+      match Hashtbl.find_opt totals ph.party with
+      | Some acc -> Hashtbl.replace totals ph.party (acc +. s)
+      | None ->
+        order := ph.party :: !order;
+        Hashtbl.add totals ph.party s)
+    pred.phases;
+  let compute_party_s =
+    List.rev_map (fun party -> (party, Hashtbl.find totals party)) !order
+  in
+  let compute_s = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 compute_party_s in
+  let timeline = Clock.replay profile pred.transcript in
+  let wire_s = timeline.Clock.end_to_end_s in
+  { e2e_profile = profile;
+    compute_party_s;
+    compute_s;
+    wire_s;
+    total_s = compute_s +. wire_s;
+    timeline }
 
 (* ------------------------------------------------------------------ *)
 (* Unit-cost model: extrapolating one calibration across (n, chain)    *)

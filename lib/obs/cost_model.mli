@@ -66,6 +66,12 @@ type prediction = {
           computed with the exact [Bgv.byte_size] formula on the
           symbolic ciphertexts at their send-time degree and level —
           comparable to [Transcript.bytes_between] on a measured run *)
+  transcript : Transcript.t;
+      (** the predicted communication transcript, message for message:
+          same senders, labels and granularity as the live [Protocol]
+          run, with bytes from the symbolic send-time states — so
+          per-link bytes and rounds (and any {!Netsim.Clock} replay of
+          it) agree exactly with a measured query *)
 }
 
 val predict : ?include_prepare:bool -> params -> path -> prediction
@@ -88,6 +94,29 @@ val predict_seconds : unit_costs:unit_costs -> Util.Counters.t -> float
     The NTT census rows ([Op_ntt_fwd]/[Op_ntt_inv]) are excluded: each
     composite op's measured unit cost already contains its NTT passes,
     so adding the census would double-count them. *)
+
+(** {1 Comms-aware end-to-end time} *)
+
+type end_to_end = {
+  e2e_profile : Profile.t;
+  compute_party_s : (string * float) list;
+      (** priced compute seconds per party, in phase order *)
+  compute_s : float;
+      (** compute critical path: the protocol is a strict sequential
+          exchange, so this is the sum over all phases *)
+  wire_s : float;  (** [timeline.end_to_end_s] of the predicted transcript *)
+  total_s : float;  (** [compute_s + wire_s] *)
+  timeline : Clock.timeline;
+}
+
+val predict_end_to_end :
+  unit_costs:unit_costs -> profile:Profile.t -> prediction -> end_to_end
+(** Price a prediction's compute with the calibration table and replay
+    its symbolic transcript under a network profile.  Rounds and bytes
+    agree {e exactly} with the {!Netsim.Clock} replay of a live run's
+    transcript (the symbolic transcript mirrors the live message
+    structure); only the time split depends on the calibrated unit
+    costs. *)
 
 (** {1 Unit-cost model}
 

@@ -51,10 +51,12 @@ let observe_noise t ~name ~level ~budget_bits =
   | None -> ()
   | Some fl -> Flight.record fl Flight.Noise ~name ~i:level ~x:budget_bits ()
 
-let record_send t ~sender ~receiver ~bytes =
+let record_send t ?(seq = 0) ?(arrival_s = 0.0) ~sender ~receiver ~bytes () =
   match t.flight with
   | None -> ()
-  | Some fl -> Flight.record fl Flight.Send ~name:(sender ^ "->" ^ receiver) ~i:bytes ()
+  | Some fl ->
+    Flight.record fl Flight.Send ~name:(sender ^ "->" ^ receiver) ~i:bytes ~j:seq
+      ~x:arrival_s ()
 
 let warn t ~name ?(x = 0.0) () =
   match t.flight with

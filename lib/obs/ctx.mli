@@ -45,9 +45,13 @@ val observe_noise : t -> name:string -> level:int -> budget_bits:float -> unit
 (** Record a BGV headroom sample as a [Noise] flight event (no-op
     without a flight recorder). *)
 
-val record_send : t -> sender:string -> receiver:string -> bytes:int -> unit
+val record_send :
+  t -> ?seq:int -> ?arrival_s:float -> sender:string -> receiver:string ->
+  bytes:int -> unit -> unit
 (** Record a transcript send as a ["sender->receiver"] [Send] flight
-    event (no-op without a flight recorder). *)
+    event (no-op without a flight recorder).  [seq] is the transcript
+    sequence number and [arrival_s] the virtual arrival time when a
+    network profile drives a clock cursor alongside the run. *)
 
 val warn : t -> name:string -> ?x:float -> unit -> unit
 (** Record a [Warning] flight event (no-op without a flight recorder). *)

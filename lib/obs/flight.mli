@@ -17,7 +17,12 @@ type kind =
   | Phase_enter  (** protocol phase opened; [name] = phase *)
   | Phase_exit   (** phase closed; [name] = phase, [x] = duration (s) *)
   | Noise        (** BGV headroom sample; [name] = batch label, [i] = level, [x] = noise-budget bits *)
-  | Send         (** transcript send; [name] = "sender->receiver", [i] = bytes *)
+  | Send
+      (** transcript send; [name] = "sender->receiver", [i] = bytes.
+          When a network profile is attached, [j] = transcript seq and
+          [x] = virtual arrival time (seconds) from the clock replay —
+          deterministic, so the wall-stripped stream stays bit-identical
+          across job counts. *)
   | Chunk        (** pool chunk replayed post-join; [name] = label, [i]=[lo], [j]=[hi], [x] = seconds *)
   | Warning      (** structured warning, e.g. the noise forecaster; [name] = label, [x] = value *)
   | Mark         (** free-form marker *)

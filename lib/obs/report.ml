@@ -136,12 +136,31 @@ let num_member name j = match member name j with Some (Num v) -> Some v | _ -> N
 (* Accumulator                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* One parsed {"rec":"net-link"} record: the virtual-clock per-link
+   numbers of one replayed run. *)
+type net_sample = {
+  ns_messages : int;
+  ns_bytes : int;
+  ns_rounds : int;
+  ns_busy_s : float;
+  ns_idle_s : float;
+  ns_p50_s : float;
+  ns_p95_s : float;
+}
+
 type t = {
   phase_durs : (string, float list ref) Hashtbl.t;
   link_bytes : (string, int ref * int ref) Hashtbl.t; (* sends, bytes *)
   noise : (string, float list ref) Hashtbl.t; (* label -> headroom samples *)
   cost : (string, (float * float) list ref) Hashtbl.t;
       (* phase -> (predicted_s, measured_s) samples from sknn-cost lines *)
+  net_e2e : (string, float list ref) Hashtbl.t;
+      (* profile -> end-to-end samples from net lines *)
+  net_links : (string * string, net_sample list ref) Hashtbl.t;
+      (* (profile, link) -> per-run virtual-clock link rows *)
+  mutable cur_profile : string;
+      (* net-link lines don't repeat the profile; the preceding net line
+         of the same stream sets it *)
   mutable lines : int;
   mutable skipped : int;
 }
@@ -151,6 +170,9 @@ let create () =
     link_bytes = Hashtbl.create 16;
     noise = Hashtbl.create 16;
     cost = Hashtbl.create 16;
+    net_e2e = Hashtbl.create 4;
+    net_links = Hashtbl.create 8;
+    cur_profile = "";
     lines = 0;
     skipped = 0 }
 
@@ -192,6 +214,29 @@ let add_line t line =
         | _ -> () (* header, chunk, marks: nothing to aggregate *))
       | Some "flight-header" -> ()
       | Some "calibration" -> () (* unit-cost table: context, nothing to aggregate *)
+      | Some "net" -> (
+        match (str_member "profile" j, num_member "end_to_end_s" j) with
+        | Some profile, Some e2e ->
+          t.cur_profile <- profile;
+          push t.net_e2e profile e2e
+        | _ -> t.skipped <- t.skipped + 1)
+      | Some "net-link" -> (
+        let num name = num_member name j in
+        match
+          (str_member "link" j, num "messages", num "bytes", num "rounds",
+           num "busy_s", num "idle_s", num "round_p50_s", num "round_p95_s")
+        with
+        | Some link, Some msgs, Some bytes, Some rounds, Some busy, Some idle,
+          Some p50, Some p95 ->
+          push t.net_links (t.cur_profile, link)
+            { ns_messages = int_of_float msgs;
+              ns_bytes = int_of_float bytes;
+              ns_rounds = int_of_float rounds;
+              ns_busy_s = busy;
+              ns_idle_s = idle;
+              ns_p50_s = p50;
+              ns_p95_s = p95 }
+        | _ -> t.skipped <- t.skipped + 1)
       | Some "cost" -> (
         (* sknn-cost attribution line: predicted vs measured seconds per
            protocol phase, one sample each. *)
@@ -206,6 +251,7 @@ let add_line t line =
               | _ -> ())
             entries
         | _ -> ())
+      | Some "cost-net" -> () (* one-line summary; the net records carry the data *)
       | _ -> (
         (* jsonl trace line: every phase-kind span contributes. *)
         match str_member "kind" j, str_member "name" j, num_member "dur_s" j with
@@ -254,6 +300,26 @@ type cost_row = {
 }
 type noise_row = { noise_label : string; noise_samples : int; min_bits : float; mean_bits : float }
 
+type net_link_row = {
+  net_profile : string;
+  net_link : string;
+  net_runs : int;
+  net_messages : int; (* per run; constant across runs of one shape *)
+  net_bytes : int;
+  net_rounds : int;
+  net_busy_s : float; (* means over runs *)
+  net_idle_s : float;
+  net_round_p50_s : float;
+  net_round_p95_s : float;
+}
+
+type net_e2e_row = {
+  e2e_profile : string;
+  e2e_samples : int;
+  e2e_p50_s : float;
+  e2e_p95_s : float;
+}
+
 let sorted_rows tbl f =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -283,6 +349,32 @@ let attribution t =
         cost_samples = n;
         predicted_s = mean fst;
         measured_s = mean snd })
+
+let net_timeline t =
+  sorted_rows t.net_links (fun ((net_profile, net_link), samples) ->
+      let l = !samples in
+      let n = List.length l in
+      let mean f = List.fold_left (fun a x -> a +. f x) 0.0 l /. float_of_int n in
+      let last = List.hd l in
+      { net_profile;
+        net_link;
+        net_runs = n;
+        net_messages = last.ns_messages;
+        net_bytes = last.ns_bytes;
+        net_rounds = last.ns_rounds;
+        net_busy_s = mean (fun x -> x.ns_busy_s);
+        net_idle_s = mean (fun x -> x.ns_idle_s);
+        net_round_p50_s = mean (fun x -> x.ns_p50_s);
+        net_round_p95_s = mean (fun x -> x.ns_p95_s) })
+
+let net_end_to_end t =
+  sorted_rows t.net_e2e (fun (e2e_profile, samples) ->
+      let a = Array.of_list !samples in
+      Array.sort compare a;
+      { e2e_profile;
+        e2e_samples = Array.length a;
+        e2e_p50_s = percentile a 50.0;
+        e2e_p95_s = percentile a 95.0 })
 
 let noise_margins t =
   sorted_rows t.noise (fun (noise_label, samples) ->
@@ -326,6 +418,27 @@ let pp ppf t =
            Format.fprintf ppf "%7.2fx@," (r.measured_s /. r.predicted_s)
          else Format.fprintf ppf "%8s@," "-")
        rows);
+  (match net_timeline t with
+   | [] -> ()
+   | rows ->
+     Format.fprintf ppf "@,%-10s %-24s %5s %5s %10s %7s %12s %12s %11s %11s@,"
+       "network" "link" "runs" "msgs" "bytes" "rounds" "busy" "idle" "round p50"
+       "round p95";
+     List.iter
+       (fun r ->
+         Format.fprintf ppf
+           "%-10s %-24s %5d %5d %10d %7d %11.6fs %11.6fs %10.6fs %10.6fs@,"
+           r.net_profile r.net_link r.net_runs r.net_messages r.net_bytes
+           r.net_rounds r.net_busy_s r.net_idle_s r.net_round_p50_s
+           r.net_round_p95_s)
+       rows;
+     List.iter
+       (fun r ->
+         Format.fprintf ppf "%-10s end-to-end: %d run%s, p50 %.6fs, p95 %.6fs@,"
+           r.e2e_profile r.e2e_samples
+           (if r.e2e_samples = 1 then "" else "s")
+           r.e2e_p50_s r.e2e_p95_s)
+       (net_end_to_end t));
   (match noise_margins t with
    | [] -> ()
    | rows ->

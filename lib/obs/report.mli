@@ -54,6 +54,26 @@ type noise_row = {
   mean_bits : float;
 }
 
+type net_link_row = {
+  net_profile : string;
+  net_link : string;  (** ["party-A<->party-B"]-style key *)
+  net_runs : int;
+  net_messages : int;  (** per run — constant across runs of one shape *)
+  net_bytes : int;
+  net_rounds : int;
+  net_busy_s : float;  (** means over the runs *)
+  net_idle_s : float;
+  net_round_p50_s : float;
+  net_round_p95_s : float;
+}
+
+type net_e2e_row = {
+  e2e_profile : string;
+  e2e_samples : int;
+  e2e_p50_s : float;
+  e2e_p95_s : float;
+}
+
 val phases : t -> phase_row list
 (** Sorted by phase name. *)
 
@@ -65,4 +85,14 @@ val attribution : t -> cost_row list
     lines were fed in. *)
 
 val noise_margins : t -> noise_row list
+
+val net_timeline : t -> net_link_row list
+(** Virtual-network per-link rows from [sknn query --net] dumps
+    ([{"rec":"net-link",...}]), keyed (profile, link), sorted; the
+    profile is carried by the preceding [{"rec":"net",...}] line of the
+    same stream.  Empty when no net lines were fed in. *)
+
+val net_end_to_end : t -> net_e2e_row list
+(** Virtual end-to-end latency percentiles per profile. *)
+
 val pp : Format.formatter -> t -> unit

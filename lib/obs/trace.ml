@@ -28,15 +28,33 @@ type frame = {
   mutable f_children : span list; (* reversed *)
 }
 
+(* A wire event: one transcript message on the virtual-time axis, as
+   replayed by Netsim.Clock.  Start/duration are virtual seconds, not
+   wall time — the chrome sink renders them on their own process so the
+   two axes are never mistaken for one. *)
+type wire = {
+  w_link : string;
+  w_label : string;
+  w_start_s : float;
+  w_dur_s : float;
+  w_args : (string * string) list;
+}
+
 type t = {
   enabled : bool;
   epoch : float;
   mutable stack : frame list;
   mutable rev_roots : span list;
+  mutable rev_wire : wire list;
 }
 
-let disabled = { enabled = false; epoch = 0.0; stack = []; rev_roots = [] }
-let create () = { enabled = true; epoch = Timer.counter (); stack = []; rev_roots = [] }
+let disabled =
+  { enabled = false; epoch = 0.0; stack = []; rev_roots = []; rev_wire = [] }
+
+let create () =
+  { enabled = true; epoch = Timer.counter (); stack = []; rev_roots = [];
+    rev_wire = [] }
+
 let is_enabled t = t.enabled
 
 let attach t span =
@@ -82,6 +100,15 @@ let add_complete t ?(kind = Chunk) ?(args = []) ~name ~start ~dur () =
         children = [] }
 
 let roots t = List.rev t.rev_roots
+
+let add_wire t ~link ~label ?(args = []) ~start ~dur () =
+  if t.enabled then
+    t.rev_wire <-
+      { w_link = link; w_label = label; w_start_s = start; w_dur_s = dur;
+        w_args = args }
+      :: t.rev_wire
+
+let wire t = List.rev t.rev_wire
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
@@ -158,14 +185,59 @@ let write_jsonl t oc =
 
 (* Chrome trace_event JSON (complete "X" events), loadable in Perfetto
    and chrome://tracing.  Timestamps are microseconds from the trace
-   epoch; every span lives on one synthetic thread so nesting comes out
-   of the ts/dur containment. *)
+   epoch.  Spans with a ["party"] arg (the protocol phases) get their own
+   thread lane, children inherit their parent's lane, and everything else
+   runs on the orchestrator lane — so the timeline reads as client /
+   A-compute / B-compute tracks.  Wire events recorded via [add_wire]
+   render as a separate "virtual network" process (their time axis is the
+   Clock's virtual seconds, not wall time). *)
+let orchestrator_lane = "orchestrator"
+
+let span_lanes t =
+  let rev_lanes = ref [ orchestrator_lane ] in
+  let rec collect inherited s =
+    let lane =
+      match List.assoc_opt "party" s.args with Some p -> p | None -> inherited
+    in
+    if not (List.mem lane !rev_lanes) then rev_lanes := lane :: !rev_lanes;
+    List.iter (collect lane) s.children
+  in
+  List.iter (collect orchestrator_lane) (roots t);
+  List.rev !rev_lanes
+
 let write_chrome t oc =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   let first = ref true in
-  let rec event s =
+  let emit fields =
     if !first then first := false else Buffer.add_char buf ',';
+    buf_fields buf fields
+  in
+  let meta ~pid ~tid ~event ~name =
+    emit
+      [ ("name", fun b -> buf_json_string b event);
+        ("ph", fun b -> buf_json_string b "M");
+        ("pid", fun b -> Buffer.add_string b (string_of_int pid));
+        ("tid", fun b -> Buffer.add_string b (string_of_int tid));
+        ("args", fun b -> buf_args b [ ("name", name) ]) ]
+  in
+  let lanes = span_lanes t in
+  let tid_of lane =
+    let rec go i = function
+      | [] -> 1
+      | l :: _ when String.equal l lane -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 1 lanes
+  in
+  meta ~pid:1 ~tid:0 ~event:"process_name" ~name:"sknn";
+  List.iteri
+    (fun i lane -> meta ~pid:1 ~tid:(i + 1) ~event:"thread_name" ~name:lane)
+    lanes;
+  let rec event inherited s =
+    let lane =
+      match List.assoc_opt "party" s.args with Some p -> p | None -> inherited
+    in
     let args =
       s.args
       @ List.concat_map
@@ -176,18 +248,53 @@ let write_chrome t oc =
               (Counters.to_list d))
           s.deltas
     in
-    buf_fields buf
+    emit
       [ ("name", fun b -> buf_json_string b s.name);
         ("cat", fun b -> buf_json_string b (kind_name s.kind));
         ("ph", fun b -> buf_json_string b "X");
         ("ts", fun b -> Buffer.add_string b (Printf.sprintf "%.3f" (s.start_s *. 1e6)));
         ("dur", fun b -> Buffer.add_string b (Printf.sprintf "%.3f" (s.dur_s *. 1e6)));
         ("pid", fun b -> Buffer.add_string b "1");
-        ("tid", fun b -> Buffer.add_string b "1");
+        ("tid", fun b -> Buffer.add_string b (string_of_int (tid_of lane)));
         ("args", fun b -> buf_args b args) ];
-    List.iter event s.children
+    List.iter (event lane) s.children
   in
-  List.iter event (roots t);
+  List.iter (event orchestrator_lane) (roots t);
+  (match wire t with
+   | [] -> ()
+   | ws ->
+     let rev_links = ref [] in
+     List.iter
+       (fun w -> if not (List.mem w.w_link !rev_links) then rev_links := w.w_link :: !rev_links)
+       ws;
+     let links = List.rev !rev_links in
+     let wire_tid link =
+       let rec go i = function
+         | [] -> 1
+         | l :: _ when String.equal l link -> i
+         | _ :: rest -> go (i + 1) rest
+       in
+       go 1 links
+     in
+     meta ~pid:2 ~tid:0 ~event:"process_name" ~name:"virtual network";
+     List.iteri
+       (fun i link ->
+         meta ~pid:2 ~tid:(i + 1) ~event:"thread_name" ~name:("wire " ^ link))
+       links;
+     List.iter
+       (fun w ->
+         emit
+           [ ("name", fun b -> buf_json_string b w.w_label);
+             ("cat", fun b -> buf_json_string b "wire");
+             ("ph", fun b -> buf_json_string b "X");
+             ( "ts",
+               fun b -> Buffer.add_string b (Printf.sprintf "%.3f" (w.w_start_s *. 1e6)) );
+             ( "dur",
+               fun b -> Buffer.add_string b (Printf.sprintf "%.3f" (w.w_dur_s *. 1e6)) );
+             ("pid", fun b -> Buffer.add_string b "2");
+             ("tid", fun b -> Buffer.add_string b (string_of_int (wire_tid w.w_link)));
+             ("args", fun b -> buf_args b w.w_args) ])
+       ws);
   Buffer.add_string buf "]}\n";
   Buffer.output_buffer oc buf
 

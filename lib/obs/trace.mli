@@ -70,12 +70,45 @@ val add_complete :
 val roots : t -> span list
 (** Completed top-level spans, in completion order. *)
 
+(** {1 Wire events}
+
+    The virtual-time track: one event per transcript message, stamped by
+    a [Netsim.Clock] replay.  Start/duration are {e virtual} seconds —
+    the chrome sink renders them as a separate "virtual network" process
+    with one lane per link, beside the per-party compute lanes. *)
+
+type wire = {
+  w_link : string;  (** display key, e.g. ["party-A<->party-B"] *)
+  w_label : string;  (** the transcript message label *)
+  w_start_s : float;  (** virtual departure *)
+  w_dur_s : float;  (** departure → arrival *)
+  w_args : (string * string) list;
+}
+
+val add_wire :
+  t ->
+  link:string ->
+  label:string ->
+  ?args:(string * string) list ->
+  start:float ->
+  dur:float ->
+  unit ->
+  unit
+
+val wire : t -> wire list
+(** Recorded wire events, oldest first. *)
+
 (** {1 Sinks} *)
 
 type format =
   | Pretty  (** indented console tree *)
   | Jsonl   (** one JSON object per span per line, pre-order with depth *)
-  | Chrome  (** Chrome [trace_event] JSON — load in Perfetto or chrome://tracing *)
+  | Chrome
+      (** Chrome [trace_event] JSON — load in Perfetto or chrome://tracing.
+          Spans with a ["party"] arg get their own thread lane (children
+          inherit), so phases read as client / A-compute / B-compute
+          tracks; wire events render as a separate "virtual network"
+          process with one lane per link. *)
 
 val format_of_string : string -> (format, string) result
 val write : t -> format -> out_channel -> unit

@@ -1,0 +1,10 @@
+(* Fixture: with check-wall-clock, even the sanctioned Util.Timer
+   wrapper counts as ambient nondeterminism — a virtual-clock
+   directory must derive every timestamp from the transcript and
+   profile, never from the machine. *)
+
+let t0 () = Util.Timer.now ()
+
+let measured f = Util.Timer.time f
+
+let ticks () = Timer.counter ()

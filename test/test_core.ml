@@ -764,7 +764,29 @@ let check_prediction name config ~n ~d ~k ~include_prepare path (r : Protocol.re
      tally_transcript folds into bytes_sent). *)
   Alcotest.(check int)
     (name ^ " / A<->B bytes")
-    (Cost.measured r).Cost.bytes pred.CM.ab_bytes
+    (Cost.measured r).Cost.bytes pred.CM.ab_bytes;
+  (* The symbolic transcript must mirror the live exchange message for
+     message — same senders, labels and byte sizes in the same order —
+     so its virtual-clock replay (what [predict_end_to_end] prices) is
+     structurally identical to replaying the live run, per-round
+     latencies and all, under every profile. *)
+  let entry_key (e : Transcript.entry) =
+    ( e.Transcript.seq, e.Transcript.sender, e.Transcript.receiver,
+      e.Transcript.label, e.Transcript.bytes )
+  in
+  if
+    List.map entry_key (Transcript.entries pred.CM.transcript)
+    <> List.map entry_key (Transcript.entries r.Protocol.transcript)
+  then
+    Alcotest.failf "%s: symbolic transcript diverges@.predicted:@.%a@.live:@.%a"
+      name Transcript.pp pred.CM.transcript Transcript.pp r.Protocol.transcript;
+  List.iter
+    (fun prof ->
+      Alcotest.(check string)
+        (name ^ " / identical replay under " ^ Profile.to_string prof)
+        (Marshal.to_string (Clock.replay prof pred.CM.transcript) [])
+        (Marshal.to_string (Clock.replay prof r.Protocol.transcript) []))
+    Profile.presets
 
 let test_cost_model_plain () =
   let db = small_db (Rng.of_int 611) in
@@ -824,6 +846,55 @@ let test_cost_model_batch () =
   let steady = Protocol.query_batch dep ~queries ~k in
   check_prediction "batch/steady" config ~n ~d ~k ~include_prepare:false
     (CM.Batch 3) steady.(0)
+
+let test_predict_end_to_end_consistency () =
+  (* predict_end_to_end = priced compute + replayed symbolic wire; with
+     an empty calibration table the compute term is zero, so the total
+     must equal the virtual-clock replay of the live transcript — the
+     same timeline the query itself recorded under [?net]. *)
+  let db = small_db (Rng.of_int 651) in
+  let k = 3 in
+  let n = Array.length db and d = Array.length db.(0) in
+  let config = Config.fast () in
+  let dep = Protocol.deploy ~rng:(Rng.of_int 652) config ~db in
+  let q = Synthetic.query_like (Rng.of_int 653) db in
+  let r = Protocol.query ~net:Profile.wan dep ~query:q ~k in
+  let pred = Attribution.predict ~include_prepare:false config ~n ~d ~k CM.Plain in
+  let e2e = CM.predict_end_to_end ~unit_costs:[||] ~profile:Profile.wan pred in
+  Alcotest.(check (float 0.0)) "empty table prices zero compute" 0.0 e2e.CM.compute_s;
+  Alcotest.(check (float 0.0)) "total = compute + wire"
+    (e2e.CM.compute_s +. e2e.CM.wire_s) e2e.CM.total_s;
+  let live =
+    match r.Protocol.net with
+    | Some tl -> tl
+    | None -> Alcotest.fail "query ran with ?net but recorded no timeline"
+  in
+  Alcotest.(check (float 0.0)) "wire = live end-to-end" live.Clock.end_to_end_s
+    e2e.CM.wire_s;
+  Alcotest.(check string) "predicted timeline = live timeline"
+    (Marshal.to_string live []) (Marshal.to_string e2e.CM.timeline []);
+  Alcotest.(check string) "live timeline = replaying the live transcript"
+    (Marshal.to_string (Clock.replay Profile.wan r.Protocol.transcript) [])
+    (Marshal.to_string live [])
+
+let test_net_timeline_jobs_determinism () =
+  (* The replayed timeline is a pure function of (transcript, profile),
+     and the transcript is jobs-invariant — so the whole virtual
+     timeline must be byte-identical across worker counts. *)
+  let db = small_db (Rng.of_int 661) in
+  let q = [| 10; 20; 30 |] in
+  let run jobs =
+    let dep = Protocol.deploy ~rng:(Rng.of_int 999) ~jobs (Config.fast ()) ~db in
+    let r = Protocol.query ~rng:(Rng.of_int 1000) ~net:Profile.wan dep ~query:q ~k:3 in
+    match r.Protocol.net with
+    | Some tl -> Marshal.to_string tl []
+    | None -> Alcotest.fail "no timeline recorded"
+  in
+  let t1 = run 1 in
+  List.iter
+    (fun j ->
+      Alcotest.(check string) (Printf.sprintf "jobs 1 = jobs %d" j) t1 (run j))
+    [ 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Property: random end-to-end instances                               *)
@@ -896,7 +967,11 @@ let () =
          Alcotest.test_case "ledger exact (plain)" `Quick test_cost_model_plain;
          Alcotest.test_case "ledger exact (prepared)" `Quick test_cost_model_prepared;
          Alcotest.test_case "ledger exact (packed)" `Quick test_cost_model_packed;
-         Alcotest.test_case "ledger exact (batch)" `Quick test_cost_model_batch ]);
+         Alcotest.test_case "ledger exact (batch)" `Quick test_cost_model_batch;
+         Alcotest.test_case "end-to-end prediction consistent" `Quick
+           test_predict_end_to_end_consistency;
+         Alcotest.test_case "net timeline jobs-invariant" `Quick
+           test_net_timeline_jobs_determinism ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
          [ prop_masking_order_preserving; prop_masking_fresh_each_draw; prop_end_to_end_exact ]) ]

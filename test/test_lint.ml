@@ -22,6 +22,7 @@ let expected =
     (Lint_config.Secret_taint, "bad_taint.ml", 3);
     (Lint_config.Orchestrator_only_obs, "bad_obs_in_pool.ml", 2);
     (Lint_config.No_ambient_nondeterminism, "bad_nondeterminism.ml", 5);
+    (Lint_config.No_ambient_nondeterminism, "bad_wallclock.ml", 3);
     (Lint_config.Into_aliasing, "bad_into_aliasing.ml", 5);
     (Lint_config.Ledger_at_op_site, "bad_ledger.ml", 5) ]
 

@@ -569,6 +569,10 @@ let test_metrics_prometheus_golden () =
     let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "lat" in
     List.iter (Metrics.observe h) [ 0.5; 10.0; 99.0 ];
     Metrics.record_ledger m ~party:"party-a" (golden_ledger ());
+    (* The virtual-network families the protocol exports under --net. *)
+    Metrics.set (Metrics.gauge m "link.party-A-party-B.busy_seconds") 0.0025;
+    Metrics.inc ~by:2 (Metrics.counter m "link.party-A-party-B.rounds");
+    Metrics.set (Metrics.gauge m "net.end_to_end_seconds") 0.085;
     m
   in
   let expected =
@@ -585,6 +589,12 @@ let test_metrics_prometheus_golden () =
         "sknn_ledger_party_a_encrypt_l10_total 2";
         "# TYPE sknn_ledger_party_a_slot_pack_l0_total counter";
         "sknn_ledger_party_a_slot_pack_l0_total 1";
+        "# TYPE sknn_link_party_A_party_B_busy_seconds gauge";
+        "sknn_link_party_A_party_B_busy_seconds 0.0025";
+        "# TYPE sknn_link_party_A_party_B_rounds_total counter";
+        "sknn_link_party_A_party_B_rounds_total 2";
+        "# TYPE sknn_net_end_to_end_seconds gauge";
+        "sknn_net_end_to_end_seconds 0.085";
         "# TYPE sknn_pool_work_utilization gauge";
         "sknn_pool_work_utilization 0.75";
         "# TYPE sknn_queries_total counter";
@@ -597,10 +607,13 @@ let test_metrics_prometheus_golden () =
      is stable. *)
   let m2 = Metrics.create () in
   let h2 = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m2 "lat" in
+  Metrics.set (Metrics.gauge m2 "net.end_to_end_seconds") 0.085;
   Metrics.record_ledger m2 ~party:"party-a" (golden_ledger ());
   Metrics.set (Metrics.gauge m2 "pool/work.utilization") 0.75;
   ignore (Metrics.gauge m2 "unset");
+  Metrics.inc ~by:2 (Metrics.counter m2 "link.party-A-party-B.rounds");
   Metrics.inc ~by:3 (Metrics.counter m2 "queries");
+  Metrics.set (Metrics.gauge m2 "link.party-A-party-B.busy_seconds") 0.0025;
   List.iter (Metrics.observe h2) [ 99.0; 0.5; 10.0 ];
   Alcotest.(check string) "order-independent" expected (Metrics.to_prometheus m2);
   Alcotest.(check string) "repeat export identical" (Metrics.to_prometheus m2)

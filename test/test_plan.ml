@@ -38,7 +38,7 @@ let best_exn outcome =
 let test_entries_clear_limits () =
   let limits =
     { Planner.min_security_bits = 10.0; noise_margin_bits = 6.0;
-      objective = Planner.Steady_state }
+      objective = Planner.Steady_state; net = None }
   in
   let o = plan_toy ~limits () in
   Alcotest.(check bool) "found candidates" true (o.Planner.ranked <> []);
@@ -174,6 +174,34 @@ let test_plan_deterministic () =
     domains
 
 (* ------------------------------------------------------------------ *)
+(* Network-aware objective                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_objective () =
+  let no_net = plan_toy () in
+  let wan_limits =
+    { Planner.default_constraints with Planner.net = Some Profile.wan }
+  in
+  let wan = plan_toy ~limits:wan_limits () in
+  let b0 = best_exn no_net and bw = best_exn wan in
+  (* The feasible set is pricing-independent, so the WAN winner's compute
+     term alone is >= the compute-only optimum; the wire term on top is at
+     least one full round trip (the protocol always exchanges messages in
+     both directions on some link). *)
+  Alcotest.(check bool) "wan objective >= compute optimum + one RTT" true
+    (bw.Planner.objective_seconds
+     >= b0.Planner.objective_seconds +. Profile.wan.Profile.rtt_s);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "every wan entry carries a positive wire term" true
+        (e.Planner.objective_seconds > Profile.wan.Profile.rtt_s))
+    wan.Planner.ranked;
+  (* Net pricing stays deterministic. *)
+  Alcotest.(check string) "byte-identical wan plans"
+    (Planner.json_of_outcome wan)
+    (Planner.json_of_outcome (plan_toy ~limits:wan_limits ()))
+
+(* ------------------------------------------------------------------ *)
 (* Attribution bridge: probe pricing = realized pricing                *)
 (* ------------------------------------------------------------------ *)
 
@@ -217,6 +245,9 @@ let () =
            test_forecast_conservative ]);
       ("determinism",
        [ Alcotest.test_case "byte-identical plans" `Quick test_plan_deterministic ]);
+      ("network",
+       [ Alcotest.test_case "wan objective prices the wire" `Quick
+           test_net_objective ]);
       ("attribution",
        [ Alcotest.test_case "q_ibits matches ring" `Quick test_q_ibits_matches_ring;
          Alcotest.test_case "probe prices like config" `Quick
