@@ -1,15 +1,21 @@
 (* sknn-lint: enforce the secure-kNN codebase invariants at build time.
 
-     sknn_lint [--list-rules] [PATH ...]
+     sknn_lint [--list-rules] [--jobs N] [--sarif FILE] [PATH ...]
 
    Each PATH is a file or a directory (walked recursively; every
    directory is governed by its own sknn-lint.conf, falling back to the
    built-in base profile).  With no PATH, lints ./lib.  Exit status is
    non-zero when any diagnostic or parse error is produced, so
-   `dune build @lint` fails the build on a rule violation. *)
+   `dune build @lint` fails the build on a rule violation.
+
+   --jobs N     parse sequentially, walk N files in parallel; the
+                report is byte-identical for every N.
+   --sarif FILE additionally write the findings as SARIF 2.1.0 (for
+                GitHub code-scanning upload).  Written even when there
+                are findings, so CI can upload before failing. *)
 
 let usage () =
-  prerr_endline "usage: sknn_lint [--list-rules] [PATH ...]";
+  prerr_endline "usage: sknn_lint [--list-rules] [--jobs N] [--sarif FILE] [PATH ...]";
   exit 2
 
 let list_rules () =
@@ -22,7 +28,21 @@ let () =
   if List.mem "--help" args || List.mem "-h" args then usage ();
   if List.mem "--list-rules" args then list_rules ()
   else begin
-    let paths = match args with [] -> [ "lib" ] | ps -> ps in
+    let jobs = ref 1 in
+    let sarif_out = ref None in
+    let rec parse_args acc = function
+      | [] -> List.rev acc
+      | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j; parse_args acc rest
+        | _ -> usage ())
+      | [ "--jobs" ] -> usage ()
+      | "--sarif" :: f :: rest -> sarif_out := Some f; parse_args acc rest
+      | [ "--sarif" ] -> usage ()
+      | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
+      | p :: rest -> parse_args (p :: acc) rest
+    in
+    let paths = match parse_args [] args with [] -> [ "lib" ] | ps -> ps in
     List.iter
       (fun p ->
         if not (Sys.file_exists p) then begin
@@ -30,8 +50,15 @@ let () =
           exit 2
         end)
       paths;
-    match Lint_driver.run_paths paths with
+    match Lint_driver.run_paths ~jobs:!jobs paths with
     | outcome ->
+      (match !sarif_out with
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Lint_driver.sarif outcome);
+         output_char oc '\n';
+         close_out oc
+       | None -> ());
       Format.printf "%a@?" Lint_driver.pp_outcome outcome;
       if not (Lint_driver.ok outcome) then exit 1
     | exception Lint_config.Bad_config msg ->

@@ -1,0 +1,94 @@
+(* Whole-program function index for phase 2.
+
+   Callee resolution is name-based (the linter has no type information)
+   and deliberately conservative: a dotted call path matches a function
+   whose qualified name ends with it (call [Party_b.create] from
+   outside entities.ml matches [Entities.Party_b.create]) or is a
+   suffix of it (call [Util.Topk.smallest] matches [Topk.smallest] — the
+   [Util] head is the wrapping library, not a file module).  A bare
+   single-component call only resolves within the calling file, where
+   it cannot cross a module boundary silently.  All matches are kept;
+   the fixpoints union over them. *)
+
+module T = Taint_summary
+
+type t = {
+  funcs : T.func list;              (* sorted by (file, pos): determinism *)
+  by_name : (string, T.func list) Hashtbl.t;
+  by_last : (string, T.func list) Hashtbl.t;
+  config_of_file : string -> Lint_config.t;
+}
+
+let build (facts : T.file_facts list) =
+  let funcs =
+    List.concat_map (fun ff -> ff.T.ff_funcs) facts
+    |> List.sort (fun a b ->
+         let c = T.compare_pos a.T.f_pos b.T.f_pos in
+         if c <> 0 then c else compare a.T.f_name b.T.f_name)
+  in
+  let by_name = Hashtbl.create 64 and by_last = Hashtbl.create 64 in
+  let add tbl k f =
+    Hashtbl.replace tbl k (f :: (try Hashtbl.find tbl k with Not_found -> []))
+  in
+  List.iter
+    (fun f ->
+      add by_name f.T.f_name f;
+      match List.rev (T.split_path f.T.f_name) with
+      | last :: _ -> add by_last last f
+      | [] -> ())
+    (List.rev funcs);
+  let configs = Hashtbl.create 16 in
+  List.iter (fun ff -> Hashtbl.replace configs ff.T.ff_file ff.T.ff_config) facts;
+  { funcs;
+    by_name;
+    by_last;
+    config_of_file =
+      (fun file ->
+        try Hashtbl.find configs file with Not_found -> Lint_config.base) }
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l > ls && String.sub s (l - ls - 1) (ls + 1) = "." ^ suffix
+
+(* All functions a call to [path] (alias-expanded, as written) from
+   [caller_file] may reach. *)
+let resolve t ~caller_file path =
+  match T.split_path path with
+  | [] -> []
+  | [ single ] ->
+    List.filter
+      (fun f -> f.T.f_file = caller_file)
+      (try Hashtbl.find t.by_last single with Not_found -> [])
+  | comps ->
+    let last = List.nth comps (List.length comps - 1) in
+    let candidates = try Hashtbl.find t.by_last last with Not_found -> [] in
+    List.filter
+      (fun f ->
+        f.T.f_name = path
+        || ends_with ~suffix:path f.T.f_name
+        || ends_with ~suffix:f.T.f_name path)
+      candidates
+
+(* Match call arguments against a callee's parameters: labelled args by
+   label, positional args in order against label-less params.  Returns
+   (param, arg) pairs for the args that found a home. *)
+let match_args (params : T.param list) (args : ('a * string option) list) =
+  let positional_params =
+    List.filter (fun p -> p.T.p_label = None) params
+  in
+  let matched = ref [] in
+  let pos_idx = ref 0 in
+  List.iter
+    (fun (arg, lbl) ->
+      match lbl with
+      | Some l -> (
+        match List.find_opt (fun p -> p.T.p_label = Some l) params with
+        | Some p -> matched := (p, arg) :: !matched
+        | None -> ())
+      | None ->
+        (match List.nth_opt positional_params !pos_idx with
+         | Some p -> matched := (p, arg) :: !matched
+         | None -> ());
+        incr pos_idx)
+    args;
+  List.rev !matched

@@ -1,0 +1,93 @@
+(* Phase 2, constant-time domain: Party B's secret-key TCB discipline.
+
+   Reuses the flow engine's secrecy resolution with a narrower root set
+   (key material only — [ct-root]) and its own declassification
+   boundary ([ct-declassify]: decryption outputs are masked plaintexts,
+   out of the key-material domain).  Events — secret-dependent
+   branches, secret-indexed loads, variable-time integer ops — were
+   collected in phase 1 for functions matched by [ct-scope]; here we
+   decide which guarded values are actually key-derived once the
+   whole-program parameter marks are known.
+
+   Escape hatches must cite a rationale: [@sknn.allow "constant-time:
+   <why>"].  A bare "constant-time" allow suppresses the event but is
+   itself reported, so every exception to the discipline carries its
+   justification in the source. *)
+
+module T = Taint_summary
+module F = Flow_rules
+
+let ct_domain (facts : T.file_facts list) cg =
+  let roots =
+    List.sort_uniq compare
+      (List.concat_map (fun ff -> ff.T.ff_config.Lint_config.ct_roots) facts)
+  in
+  let declass =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun ff -> ff.T.ff_config.Lint_config.ct_declassifiers)
+         facts)
+  in
+  { F.d_cg = cg;
+    d_roots = roots;
+    d_declass = (fun path -> T.declassified ~prefixes:declass path);
+    d_binds = F.bindings cg;
+    d_memo = Hashtbl.create 64 }
+
+let describe = function
+  | T.Ct_branch c ->
+    Printf.sprintf
+      "secret-dependent %s in the constant-time TCB: the condition derives \
+       from key material — use branchless arithmetic (masks, land/asr \
+       selects)"
+      c
+  | T.Ct_index ->
+    "secret-indexed array access in the constant-time TCB: the load address \
+     derives from key material — access every element or use an oblivious \
+     select"
+  | T.Ct_vartime op ->
+    Printf.sprintf
+      "variable-time op %s on a key-derived value in the constant-time TCB \
+       — division, remainder and polymorphic compare have data-dependent \
+       latency"
+      op
+
+let run (facts : T.file_facts list) (cg : Call_graph.t) :
+    (Lint_config.rule * T.pos * string) list =
+  let dom = ct_domain facts cg in
+  let out = ref [] in
+  List.iter
+    (fun f ->
+      let cfg = cg.Call_graph.config_of_file f.T.f_file in
+      if Lint_config.is_enabled cfg Lint_config.Constant_time then
+        List.iter
+          (fun (ev : T.ct_event) ->
+            match F.secret dom (F.empty_ctx f) ev.T.ct_origins with
+            | None -> ()
+            | Some trace -> (
+              match
+                List.find_opt
+                  (fun a -> a.T.al_rule = "constant-time")
+                  ev.T.ct_allows
+              with
+              | Some site ->
+                site.T.al_used <- true;
+                if site.T.al_rationale = None then
+                  out :=
+                    ( Lint_config.Constant_time,
+                      site.T.al_pos,
+                      "constant-time escape hatch must cite a rationale: \
+                       [@sknn.allow \"constant-time: <why this site is safe>\"]"
+                    )
+                    :: !out
+              | None ->
+                out :=
+                  ( Lint_config.Constant_time,
+                    ev.T.ct_pos,
+                    Printf.sprintf "%s (%s; in %s)" (describe ev.T.ct_kind)
+                      (String.concat " -> " trace)
+                      f.T.f_name )
+                  :: !out))
+          f.T.f_ct_events)
+    cg.Call_graph.funcs;
+  List.rev !out

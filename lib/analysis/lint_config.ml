@@ -13,9 +13,15 @@
      obs-module Otrace
      check-poly-compare
      check-wall-clock
+     ct-scope Party_b
+     ct-root s_coeffs
+     ct-declassify Bgv.decrypt
 
    Every knob is additive and order-independent, so configuration stays
-   reviewable next to the code it governs.  The escape hatch for single
+   reviewable next to the code it governs.  Unknown directives, unknown
+   rule names and missing arguments are hard errors carrying the
+   file:line of the offending directive — a typo must fail the lint
+   run, never silently disable a rule.  The escape hatch for single
    sites is the [@sknn.allow "<rule>"] attribute, handled by the rule
    walkers themselves (see {!Lint_rules}). *)
 
@@ -26,6 +32,9 @@ type rule =
   | No_ambient_nondeterminism
   | Into_aliasing
   | Ledger_at_op_site
+  | Secret_flow
+  | Constant_time
+  | Unused_allow
 
 let all_rules =
   [ No_division;
@@ -33,7 +42,10 @@ let all_rules =
     Orchestrator_only_obs;
     No_ambient_nondeterminism;
     Into_aliasing;
-    Ledger_at_op_site ]
+    Ledger_at_op_site;
+    Secret_flow;
+    Constant_time;
+    Unused_allow ]
 
 let rule_name = function
   | No_division -> "no-division"
@@ -42,28 +54,30 @@ let rule_name = function
   | No_ambient_nondeterminism -> "no-ambient-nondeterminism"
   | Into_aliasing -> "into-aliasing"
   | Ledger_at_op_site -> "ledger-at-op-site"
+  | Secret_flow -> "secret-flow"
+  | Constant_time -> "constant-time"
+  | Unused_allow -> "unused-allow"
 
-let rule_of_name = function
-  | "no-division" -> Some No_division
-  | "secret-taint" -> Some Secret_taint
-  | "orchestrator-only-obs" -> Some Orchestrator_only_obs
-  | "no-ambient-nondeterminism" -> Some No_ambient_nondeterminism
-  | "into-aliasing" -> Some Into_aliasing
-  | "ledger-at-op-site" -> Some Ledger_at_op_site
-  | _ -> None
+let rule_of_name n = List.find_opt (fun r -> rule_name r = n) all_rules
+
+let valid_rule_names () = String.concat ", " (List.map rule_name all_rules)
 
 type t = {
   enabled : rule list;
-  (* secret-taint: identifier and record-field names that carry secret
-     material (BGV secret key, decrypted distances, Perm, masking
-     coefficients). *)
+  (* secret-taint / secret-flow: identifier and record-field names that
+     carry secret material (BGV secret key, decrypted distances, Perm,
+     masking coefficients). *)
   taint_roots : string list;
-  (* secret-taint: sink calls whose ~label is a string literal in this
-     set are the admitted §5 leakage surface — kept in lockstep with
-     test_core's audit assertion. *)
+  (* secret-taint / secret-flow: sink calls whose ~label is a string
+     literal in this set are the admitted §5 leakage surface — kept in
+     lockstep with test_core's audit assertion. *)
   allowed_labels : string list;
-  (* secret-taint: module prefixes whose results are considered
-     declassified (e.g. "Leakage." — the §5 extraction functions). *)
+  (* secret-taint / secret-flow: function prefixes whose results are
+     considered declassified.  Two kinds of entry: reviewed §5
+     extraction surfaces (e.g. "Leakage.") and reviewed provenance
+     boundaries (e.g. "Bgv.keygen": the interprocedural engine stops
+     tracking provenance through the call and re-classifies the result
+     by field name — the sk/s_coeffs/s_powers taint roots). *)
   declassifiers : string list;
   (* orchestrator-only-obs: module heads whose calls are observability
      and must stay out of pool chunk closures. *)
@@ -75,10 +89,27 @@ type t = {
      sanctioned wall-clock wrapper is banned where every timestamp must
      be a pure function of recorded data (lib/netsim's virtual clock). *)
   check_wall_clock : bool;
+  (* constant-time: identifier and field names that carry secret-KEY
+     material.  Deliberately narrower than [taint_roots]: Party B may
+     branch on masked plaintexts (that multiset is the declared §5
+     surface), never on key material. *)
+  ct_roots : string list;
+  (* constant-time: dotted paths selecting the functions inside the
+     secret-key TCB.  A scope matches a function whose fully qualified
+     name (File_module.Submodule.fn) contains the scope's components as
+     a contiguous run — "Party_b" covers every function of that module,
+     "Bgv.decrypt" exactly that function.  Empty = rule inert. *)
+  ct_scopes : string list;
+  (* constant-time: calls whose results leave the key-material domain —
+     decryption outputs are masked plaintexts, governed by secret-flow
+     and the masking argument rather than the CT discipline. *)
+  ct_declassifiers : string list;
 }
 
 let base =
-  { enabled = [ Orchestrator_only_obs; No_ambient_nondeterminism; Into_aliasing ];
+  { enabled =
+      [ Orchestrator_only_obs; No_ambient_nondeterminism; Into_aliasing;
+        Unused_allow ];
     taint_roots =
       [ "sk"; "secret_key"; "s_coeffs"; "s_powers"; "perm"; "mask"; "masked";
         "masked_distances"; "view" ];
@@ -87,7 +118,10 @@ let base =
     obs_modules =
       [ "Obs"; "Ctx"; "Trace"; "Otrace"; "Flight"; "Metrics"; "Audit"; "Sknn_obs" ];
     check_poly_compare = false;
-    check_wall_clock = false }
+    check_wall_clock = false;
+    ct_roots = [ "sk"; "secret_key"; "s_coeffs"; "s_powers" ];
+    ct_scopes = [];
+    ct_declassifiers = [ "Bgv.decrypt"; "Bgv.decrypt_coeff0" ] }
 
 let enable r t = if List.mem r t.enabled then t else { t with enabled = r :: t.enabled }
 let disable r t = { t with enabled = List.filter (fun r' -> r' <> r) t.enabled }
@@ -95,7 +129,10 @@ let is_enabled t r = List.mem r t.enabled
 
 exception Bad_config of string
 
-let apply_line t line =
+let apply_line t ~lnum line =
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Bad_config (Printf.sprintf "line %d: %s" lnum m))) fmt
+  in
   let line =
     match String.index_opt line '#' with
     | Some i -> String.sub line 0 i
@@ -114,11 +151,10 @@ let apply_line t line =
     let rule_arg () =
       match rule_of_name arg with
       | Some r -> r
-      | None -> raise (Bad_config (Printf.sprintf "unknown rule %S" arg))
+      | None -> fail "unknown rule %S (valid rules: %s)" arg (valid_rule_names ())
     in
     let need_arg () =
-      if arg = "" then
-        raise (Bad_config (Printf.sprintf "%s needs an argument" directive))
+      if arg = "" then fail "%s needs an argument" directive
     in
     match directive with
     | "enable" -> enable (rule_arg ()) t
@@ -129,15 +165,30 @@ let apply_line t line =
     | "obs-module" -> need_arg (); { t with obs_modules = arg :: t.obs_modules }
     | "check-poly-compare" -> { t with check_poly_compare = true }
     | "check-wall-clock" -> { t with check_wall_clock = true }
-    | d -> raise (Bad_config (Printf.sprintf "unknown directive %S" d))
+    | "ct-root" -> need_arg (); { t with ct_roots = arg :: t.ct_roots }
+    | "ct-scope" -> need_arg (); { t with ct_scopes = arg :: t.ct_scopes }
+    | "ct-declassify" -> need_arg (); { t with ct_declassifiers = arg :: t.ct_declassifiers }
+    | d ->
+      fail
+        "unknown directive %S (directives: enable, disable, taint-root, \
+         allow-label, declassify, obs-module, check-poly-compare, \
+         check-wall-clock, ct-root, ct-scope, ct-declassify)"
+        d
 
-let of_lines ?(base = base) lines = List.fold_left apply_line base lines
+let of_lines ?(base = base) lines =
+  let _, t =
+    List.fold_left
+      (fun (lnum, t) line -> (lnum + 1, apply_line t ~lnum line))
+      (1, base) lines
+  in
+  t
 
 let config_file_name = "sknn-lint.conf"
 
 (* The directory's configuration: [base] refined by [sknn-lint.conf]
-   when present.  Raises [Bad_config] on malformed directives so a typo
-   fails the lint run instead of silently disabling a rule. *)
+   when present.  Raises [Bad_config] with file:line on malformed
+   directives so a typo fails the lint run instead of silently
+   disabling a rule. *)
 let for_dir dir =
   let path = Filename.concat dir config_file_name in
   if not (Sys.file_exists path) then base
@@ -150,5 +201,5 @@ let for_dir dir =
        done
      with End_of_file -> close_in ic);
     try of_lines (List.rev !lines)
-    with Bad_config msg -> raise (Bad_config (Printf.sprintf "%s: %s" path msg))
+    with Bad_config msg -> raise (Bad_config (Printf.sprintf "%s:%s" path msg))
   end

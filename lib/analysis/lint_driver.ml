@@ -1,8 +1,18 @@
-(* File and directory driver for sknn-lint: parse every .ml with
-   ppxlib's pinned-AST parser (so the linter behaves identically on
-   every host compiler), resolve the per-directory configuration and
-   run the invariant pass.  All listings are sorted, so the output is
-   byte-stable across runs and machines — test_lint asserts this. *)
+(* Two-phase driver for sknn-lint.
+
+   Phase 1 parses every .ml with ppxlib's pinned-AST parser (so the
+   linter behaves identically on every host compiler), resolves the
+   per-directory configuration and runs the syntactic pass, which also
+   collects per-function taint summaries.  Phase 2 builds the
+   whole-program call graph over those summaries and runs the
+   interprocedural rules (secret-flow, constant-time) plus the
+   unused-allow sweep.
+
+   All listings are sorted and phase-1 results are merged in file
+   order regardless of [--jobs], so the output is byte-stable across
+   runs and machines — test_lint asserts this.  Parsing is serialised
+   under a mutex (the compiler lexer keeps global state); the AST walk,
+   which dominates, runs in parallel. *)
 
 type outcome = {
   files : int;
@@ -17,46 +27,43 @@ let merge a b =
     diagnostics = a.diagnostics @ b.diagnostics;
     errors = a.errors @ b.errors }
 
+let parse_mutex = Mutex.create ()
+
 let parse_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let lexbuf = Lexing.from_channel ic in
-      Lexing.set_filename lexbuf path;
-      Ppxlib.Parse.implementation lexbuf)
+      Mutex.lock parse_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock parse_mutex)
+        (fun () ->
+          let lexbuf = Lexing.from_channel ic in
+          Lexing.set_filename lexbuf path;
+          Ppxlib.Parse.implementation lexbuf))
 
-let run_file ~config path =
+(* Phase 1 for one file.  [run_file] below is the public single-file
+   entry point and deliberately stops here: the interprocedural rules
+   only make sense over a whole tree. *)
+let collect_file ~config path =
   match parse_file path with
   | str ->
-    { files = 1;
-      diagnostics = Lint_rules.run_structure ~config ~file:path str;
-      errors = [] }
+    let diags, facts = Lint_rules.run ~config ~file:path str in
+    ({ files = 1; diagnostics = diags; errors = [] }, Some facts)
   | exception exn ->
     let msg =
       match Location.error_of_exn exn with
       | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
       | _ -> Printexc.to_string exn
     in
-    { files = 1;
-      diagnostics = [];
-      errors = [ Printf.sprintf "%s: parse error: %s" path (String.trim msg) ] }
+    ( { files = 1;
+        diagnostics = [];
+        errors = [ Printf.sprintf "%s: parse error: %s" path (String.trim msg) ] },
+      None )
+
+let run_file ~config path = fst (collect_file ~config path)
 
 let is_ml path = Filename.check_suffix path ".ml"
-
-(* One directory, non-recursive: its own sknn-lint.conf (or the base
-   profile) governs every .ml directly inside it. *)
-let run_dir dir =
-  let config = Lint_config.for_dir dir in
-  let entries = Sys.readdir dir in
-  Array.sort compare entries;
-  Array.fold_left
-    (fun acc name ->
-      let path = Filename.concat dir name in
-      if (not (Sys.is_directory path)) && is_ml name then
-        merge acc (run_file ~config path)
-      else acc)
-    empty entries
 
 let rec subdirs_of dir =
   let entries = Sys.readdir dir in
@@ -70,18 +77,100 @@ let rec subdirs_of dir =
          else acc)
        [] entries
 
-let run_path path =
+(* The (file, config) work list for a path, in deterministic order.
+   Resolving configs eagerly here means a malformed sknn-lint.conf
+   fails the whole run up front. *)
+let work_of_path path =
   if Sys.is_directory path then
-    List.fold_left (fun acc d -> merge acc (run_dir d)) empty (subdirs_of path)
-  else run_file ~config:(Lint_config.for_dir (Filename.dirname path)) path
+    List.concat_map
+      (fun dir ->
+        let config = Lint_config.for_dir dir in
+        let entries = Sys.readdir dir in
+        Array.sort compare entries;
+        Array.to_list entries
+        |> List.filter_map (fun name ->
+             let p = Filename.concat dir name in
+             if (not (Sys.is_directory p)) && is_ml name then Some (p, config)
+             else None))
+      (subdirs_of path)
+  else [ (path, Lint_config.for_dir (Filename.dirname path)) ]
 
-let run_paths paths = List.fold_left (fun acc p -> merge acc (run_path p)) empty paths
+let map_jobs ~jobs f work =
+  let work = Array.of_list work in
+  let n = Array.length work in
+  if jobs <= 1 || n <= 1 then Array.to_list (Array.map f work)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f work.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let doms = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let diag_of (rule, (pos : Taint_summary.pos), message) =
+  { Lint_rules.rule; file = pos.file; line = pos.line; col = pos.col; message }
+
+(* unused-allow: every [@sknn.allow] must have suppressed at least one
+   diagnostic across both phases. *)
+let unused_allow_sweep (facts : Taint_summary.file_facts list) =
+  List.concat_map
+    (fun ff ->
+      if not (Lint_config.is_enabled ff.Taint_summary.ff_config Lint_config.Unused_allow)
+      then []
+      else
+        List.filter_map
+          (fun (a : Taint_summary.allow_site) ->
+            if a.al_used then None
+            else
+              let extra =
+                match Lint_config.rule_of_name a.al_rule with
+                | Some _ -> ""
+                | None ->
+                  Printf.sprintf " (unknown rule; valid rules: %s)"
+                    (Lint_config.valid_rule_names ())
+              in
+              Some
+                (diag_of
+                   ( Lint_config.Unused_allow,
+                     a.al_pos,
+                     Printf.sprintf
+                       "[@sknn.allow %S] suppresses no diagnostics%s — delete \
+                        the stale escape hatch"
+                       a.al_rule extra )))
+          ff.Taint_summary.ff_allows)
+    facts
+
+let run_paths ?(jobs = 1) paths =
+  let work = List.concat_map work_of_path paths in
+  let results = map_jobs ~jobs (fun (p, config) -> collect_file ~config p) work in
+  let outcome = List.fold_left (fun acc (o, _) -> merge acc o) empty results in
+  let facts = List.filter_map snd results in
+  let cg = Call_graph.build facts in
+  let interproc =
+    List.map diag_of (Flow_rules.run facts cg @ Ct_rules.run facts cg)
+  in
+  let unused = unused_allow_sweep facts in
+  { outcome with diagnostics = outcome.diagnostics @ interproc @ unused }
+
+let run_path ?jobs path = run_paths ?jobs [ path ]
+
+let sorted_diagnostics o = List.sort Lint_rules.compare_diagnostic o.diagnostics
 
 let pp_outcome ppf o =
   List.iter (fun e -> Format.fprintf ppf "%s@." e) (List.sort compare o.errors);
   List.iter
     (fun d -> Format.fprintf ppf "%a@." Lint_rules.pp_diagnostic d)
-    (List.sort Lint_rules.compare_diagnostic o.diagnostics);
+    (sorted_diagnostics o);
   Format.fprintf ppf "sknn-lint: %d file%s, %d diagnostic%s%s@." o.files
     (if o.files = 1 then "" else "s")
     (List.length o.diagnostics)
@@ -89,5 +178,7 @@ let pp_outcome ppf o =
     (match o.errors with
      | [] -> ""
      | es -> Printf.sprintf ", %d parse error(s)" (List.length es))
+
+let sarif o = Sarif.render (sorted_diagnostics o)
 
 let ok o = o.diagnostics = [] && o.errors = []

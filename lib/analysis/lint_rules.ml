@@ -1,10 +1,14 @@
-(* The five secure-kNN invariant rules as one syntactic pass over a
-   parsed implementation.  Everything here is deliberately *syntactic*:
-   the linter runs at `dune build @lint` time on source files, without
-   type information, so each rule over-approximates and the
-   [@sknn.allow "<rule>"] attribute (on an expression, a value binding
-   or floating at module level) is the reviewed escape hatch for sites
-   the over-approximation catches legitimately.
+(* Phase 1 of the lint engine: the syntactic invariant rules as one
+   pass over a parsed implementation, which now also collects the
+   per-function taint summaries consumed by the interprocedural phase
+   (see {!Taint_summary}, {!Flow_rules}, {!Ct_rules}).
+
+   Everything here is deliberately *syntactic*: the linter runs at
+   `dune build @lint` time on source files, without type information,
+   so each rule over-approximates and the [@sknn.allow "<rule>"]
+   attribute (on an expression, a value binding or floating at module
+   level) is the reviewed escape hatch for sites the over-approximation
+   catches legitimately.
 
    Rule <-> invariant map (see DESIGN.md "Static analysis"):
    - no-division            ROADMAP "Kernel invariants (PR 3)"
@@ -14,9 +18,13 @@
    - into-aliasing          PR 3 "destructive targets uniquely owned"
    - ledger-at-op-site      PR 7 op-level cost ledger: every qualified
                             Bgv/Plaintext ciphertext op in a protocol
-                            directory threads a ~counters ledger *)
+                            directory threads a ~counters ledger
+   - secret-flow            §5 whole-protocol leakage claim (phase 2)
+   - constant-time          Party B secret-key TCB discipline (phase 2)
+   - unused-allow           escape hatches must not outlive their code *)
 
 open Ppxlib
+module T = Taint_summary
 
 type diagnostic = {
   rule : Lint_config.rule;
@@ -56,8 +64,15 @@ let last_lident l =
 
 let head_lident l = match Longident.flatten_exn l with [] -> "" | h :: _ -> h
 
-(* [@sknn.allow "rule"] payloads attached to an attribute list. *)
-let allows_of_attributes attrs =
+let pos_of_loc file (loc : location) =
+  { T.file;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol }
+
+(* [@sknn.allow "rule"] / [@sknn.allow "rule: rationale"] sites attached
+   to an attribute list, as shared mutable records so the phase-2 rules
+   and the unused-allow sweep see suppressions recorded here. *)
+let allow_sites_of_attributes ~file attrs =
   List.filter_map
     (fun (a : attribute) ->
       if a.attr_name.txt <> "sknn.allow" then None
@@ -69,14 +84,22 @@ let allows_of_attributes attrs =
                     ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
                 _ }
             ] ->
-          Some s
+          let rule, rationale = T.parse_allow_payload s in
+          Some
+            { T.al_rule = rule;
+              al_rationale = rationale;
+              al_pos = pos_of_loc file a.attr_loc;
+              al_used = false }
         | _ -> None)
     attrs
 
 (* Normalised one-line rendering, used for syntactic equality of
    aliasing checks and for quoting expressions in messages. *)
 let expr_to_string e =
-  let s = Pprintast.string_of_expression e in
+  (* asprintf rather than string_of_expression: the latter goes through
+     the shared str_formatter in some compiler lineages, and this runs
+     from worker domains under --jobs. *)
+  let s = Format.asprintf "%a" Pprintast.expression e in
   String.concat " "
     (List.filter (fun w -> w <> "") (String.split_on_char ' '
        (String.map (function '\n' | '\t' -> ' ' | c -> c) s)))
@@ -103,6 +126,15 @@ let timer_idents =
 
 let poly_compare_idents =
   [ "compare"; "Stdlib.compare"; "Hashtbl.hash"; "Hashtbl.seeded_hash" ]
+
+(* Variable-time integer ops for the constant-time rule: data-dependent
+   latency on every mainstream core (division/remainder), plus
+   polymorphic structural comparison (walks the value). *)
+let ct_vartime_idents =
+  division_idents @ poly_compare_idents
+  @ [ "Z.div"; "Z.rem"; "Z.ediv"; "Z.erem"; "Z.divexact" ]
+
+let indexed_get_heads = [ "Array"; "String"; "Bytes"; "Bigarray" ]
 
 (* ledger-at-op-site: the Bgv entry points that record into the op-level
    cost ledger when given [?counters] — every qualified call in a
@@ -131,10 +163,11 @@ let is_arena_fn name lid =
   | [ "Arena"; f ] | [ "Util"; "Arena"; f ] -> f = name
   | _ -> false
 
-(* Sinks for the secret-taint rule.  [`All] checks every argument,
-   [`Labelled l] only the given labelled arguments; a string-literal
-   [~label] in the configured allowlist exempts the whole call (the
-   admitted §5 surface). *)
+(* Sinks for the secret-taint / secret-flow rules.  [`All] checks every
+   argument, [`Labelled l] only the given labelled arguments; a
+   string-literal [~label] in the configured allowlist exempts the whole
+   call (the admitted §5 surface).  Phase 2 only follows [`All] sinks:
+   span ~args are orchestrator-side strings already covered locally. *)
 let sink_of_application config lid =
   let last = last_lident lid in
   let head = head_lident lid in
@@ -159,13 +192,43 @@ let sink_of_application config lid =
 (* The pass                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run_structure ~(config : Lint_config.t) ~file str =
+(* Context of the top-level function currently being summarised. *)
+type fctx = {
+  fx_name : string;
+  fx_pos : T.pos;
+  fx_params : T.param list;
+  fx_env : (string, T.origin list) Hashtbl.t;
+  fx_in_ct : bool;
+  mutable fx_sinks : T.sink list;
+  mutable fx_calls : T.call list;
+  mutable fx_cts : T.ct_event list;
+}
+
+let run ~(config : Lint_config.t) ~file str =
   let diags = ref [] in
-  let file_allows = ref [] in
   let enabled r = Lint_config.is_enabled config r in
-  (* Scoped [@sknn.allow] context, restored around each subtree. *)
+  (* Scoped [@sknn.allow] context, restored around each subtree;
+     [file_allows] holds floating [@@@sknn.allow] sites (rest of file);
+     [all_allows] accumulates every site for the unused-allow sweep. *)
   let allows = ref [] in
-  let allowed rule = List.mem (Lint_config.rule_name rule) (!allows @ !file_allows) in
+  let file_allows = ref [] in
+  let all_allows = ref [] in
+  let scope_allows () = !allows @ !file_allows in
+  let register sites =
+    all_allows := !all_allows @ sites;
+    sites
+  in
+  let allowed rule =
+    match
+      List.find_opt
+        (fun a -> a.T.al_rule = Lint_config.rule_name rule)
+        (scope_allows ())
+    with
+    | Some site ->
+      site.T.al_used <- true;
+      true
+    | None -> false
+  in
   let report rule loc fmt =
     Format.kasprintf
       (fun message ->
@@ -180,8 +243,10 @@ let run_structure ~(config : Lint_config.t) ~file str =
       fmt
   in
   (* secret-taint state: names bound (directly or via record fields) to
-     secret material.  Monotone over the file — a deliberate
-     over-approximation that keeps the pass single-scan. *)
+     secret material.  Monotone per function — snapshotting around each
+     function body keeps one function's bindings from spilling into its
+     siblings, which is what made the old whole-file table need
+     allowlist entries for unrelated code. *)
   let tainted = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace tainted r ()) config.Lint_config.taint_roots;
   let is_declassifier lid =
@@ -264,23 +329,306 @@ let run_structure ~(config : Lint_config.t) ~file str =
       (function Labelled "label", e -> string_of_label_expr e | _ -> None)
       args
   in
+  (* ---------------------------------------------------------------- *)
+  (* Phase-1 fact collection                                           *)
+  (* ---------------------------------------------------------------- *)
+  let file_module =
+    String.capitalize_ascii (Filename.remove_extension (Filename.basename file))
+  in
+  (* Submodule nesting (outer-first) and `module X = Path` aliases. *)
+  let module_path = ref [ file_module ] in
+  let aliases : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let expand_path s =
+    match String.split_on_char '.' s with
+    | head :: tl when Hashtbl.mem aliases head ->
+      String.concat "." (Hashtbl.find aliases head @ tl)
+    | _ -> s
+  in
+  let funcs = ref [] in
+  let cur : fctx option ref = ref None in
+  let file_env : (string, T.origin list) Hashtbl.t = Hashtbl.create 16 in
+  (* Root names are shared between the flow and CT domains at collection
+     time; phase 2 interprets them against the relevant root set. *)
+  let root_names =
+    List.sort_uniq compare
+      (config.Lint_config.taint_roots @ config.Lint_config.ct_roots)
+  in
+  let root n = if List.mem n root_names then [ T.Root n ] else [] in
+  let union_origins ls =
+    let out = ref [] in
+    List.iter
+      (List.iter (fun o -> if not (List.mem o !out) then out := o :: !out))
+      ls;
+    List.rev !out
+  in
+  let env_add env n os =
+    if os <> [] then
+      Hashtbl.replace env n
+        (union_origins [ (try Hashtbl.find env n with Not_found -> []); os ])
+  in
+  let lookup n =
+    let from tbl = try Hashtbl.find tbl n with Not_found -> [] in
+    let local = match !cur with Some c -> from c.fx_env | None -> [] in
+    union_origins [ local; from file_env; root n ]
+  in
+  let project f os =
+    union_origins
+      (List.map
+         (function
+           | T.Rec fields -> ( try List.assoc f fields with Not_found -> [])
+           (* Shape not known yet (parameter, call result, nested
+              projection): defer to phase 2, which can see through the
+              call graph to the record literal. *)
+           | (T.Param _ | T.Ret _ | T.Field _) as o -> [ T.Field (f, o) ]
+           | o -> [ o ])
+         os)
+  in
+  let rec origins_of e : T.origin list =
+    match e.pexp_desc with
+    | Pexp_constant _ -> []
+    | Pexp_ident { txt = Lident x; _ } -> lookup x
+    | Pexp_ident { txt; _ } -> root (last_lident txt)
+    | Pexp_field (e0, { txt; _ }) ->
+      let f = last_lident txt in
+      union_origins [ root f; project f (origins_of e0) ]
+    | Pexp_record (fields, base) ->
+      let fs =
+        List.map (fun ({ txt; _ }, v) -> (last_lident txt, origins_of v)) fields
+      in
+      union_origins
+        [ [ T.Rec fs ]; (match base with Some b -> origins_of b | None -> []) ]
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+      let path = expand_path (flatten_lident txt) in
+      if is_declassifier txt || T.declassified ~prefixes:config.Lint_config.declassifiers path
+      then []
+      else if path = ":=" then []
+      else
+        [ T.Ret
+            ( path,
+              List.map
+                (fun (lbl, a) ->
+                  let l =
+                    match lbl with
+                    | Labelled l | Optional l -> Some l
+                    | Nolabel -> None
+                  in
+                  (l, origins_of a))
+                args ) ]
+    | Pexp_apply (f, args) ->
+      union_origins (origins_of f :: List.map (fun (_, a) -> origins_of a) args)
+    | Pexp_function (_, _, Pfunction_body b) -> origins_of b
+    | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+      union_origins (List.map (fun c -> origins_of c.pc_rhs) cases)
+    | Pexp_let (_, vbs, b) ->
+      (* Make inner bindings visible before evaluating the body: the
+         same monotone over-approximation the taint table uses. *)
+      List.iter
+        (fun vb ->
+          let os = origins_of vb.pvb_expr in
+          let env =
+            match !cur with Some c -> c.fx_env | None -> file_env
+          in
+          List.iter (fun n -> env_add env n os) (pattern_names vb.pvb_pat))
+        vbs;
+      origins_of b
+    | Pexp_sequence (_, b) -> origins_of b
+    | Pexp_ifthenelse (_, t, f) ->
+      union_origins
+        [ origins_of t; (match f with Some f -> origins_of f | None -> []) ]
+    | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      union_origins (List.map (fun c -> origins_of c.pc_rhs) cases)
+    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> origins_of e
+    | Pexp_construct (_, None) | Pexp_variant (_, None) -> []
+    | Pexp_tuple es | Pexp_array es -> union_origins (List.map origins_of es)
+    | Pexp_constraint (e, _)
+    | Pexp_coerce (e, _, _)
+    | Pexp_lazy e
+    | Pexp_open (_, e)
+    | Pexp_letmodule (_, _, e)
+    | Pexp_letexception (_, e)
+    | Pexp_newtype (_, e) -> origins_of e
+    | Pexp_send (e, _) -> origins_of e
+    | _ -> []
+  in
+  let rec tail_origins e =
+    match e.pexp_desc with
+    | Pexp_let (_, _, b)
+    | Pexp_sequence (_, b)
+    | Pexp_letmodule (_, _, b)
+    | Pexp_letexception (_, b)
+    | Pexp_open (_, b)
+    | Pexp_constraint (b, _) -> tail_origins b
+    | Pexp_ifthenelse (_, t, f) ->
+      union_origins
+        [ tail_origins t; (match f with Some f -> tail_origins f | None -> []) ]
+    | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      union_origins (List.map (fun c -> tail_origins c.pc_rhs) cases)
+    | _ -> origins_of e
+  in
+  (* Collapse `let f x = fun y -> ...` currying into one parameter list
+     and return the innermost body. *)
+  let rec collect_params acc e =
+    match e.pexp_desc with
+    | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> collect_params acc e
+    | Pexp_function (params, _, body) ->
+      let ps =
+        List.filter_map
+          (fun p ->
+            match p.pparam_desc with
+            | Pparam_val (lbl, _, pat) ->
+              let label =
+                match lbl with
+                | Labelled l | Optional l -> Some l
+                | Nolabel -> None
+              in
+              let rec name p =
+                match p.ppat_desc with
+                | Ppat_var { txt; _ } -> Some txt
+                | Ppat_constraint (p, _) | Ppat_alias (p, _) -> name p
+                | _ -> None
+              in
+              Some (label, name pat, pattern_names pat)
+            | Pparam_newtype _ -> None)
+          params
+      in
+      (match body with
+       | Pfunction_body b -> collect_params (acc @ ps) b
+       | Pfunction_cases _ ->
+         (acc @ ps @ [ (None, Some "__scrutinee", []) ], None))
+    | _ -> (acc, Some e)
+  in
+  let function_binding vb =
+    let rec binder p =
+      match p.ppat_desc with
+      | Ppat_var { txt; _ } -> Some txt
+      | Ppat_constraint (p, _) -> binder p
+      | _ -> None
+    in
+    match binder vb.pvb_pat with
+    | Some name when is_function vb.pvb_expr -> Some name
+    | _ -> None
+  in
+  let passthrough_of c e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Lident x; _ }
+      when List.exists (fun p -> p.T.p_name = x) c.fx_params ->
+      Some x
+    | _ -> None
+  in
+  let mk_call_arg c (lbl, a) =
+    { T.ca_label =
+        (match lbl with Labelled l | Optional l -> Some l | Nolabel -> None);
+      ca_origins = origins_of a;
+      ca_literal = string_of_label_expr a;
+      ca_passthrough = passthrough_of c a }
+  in
+  let record_ct c kind loc os =
+    if os <> [] then
+      c.fx_cts <-
+        { T.ct_kind = kind;
+          ct_pos = pos_of_loc file loc;
+          ct_origins = os;
+          ct_allows = scope_allows () }
+        :: c.fx_cts
+  in
   (* orchestrator-only-obs: > 0 while inside a function argument of a
      pool call, i.e. syntactically inside a chunk closure. *)
   let pool_depth = ref 0 in
+  let with_snapshot f =
+    let snap = Hashtbl.copy tainted in
+    f ();
+    Hashtbl.reset tainted;
+    Hashtbl.iter (fun k v -> Hashtbl.replace tainted k v) snap
+  in
   let walker =
     object (self)
       inherit Ast_traverse.iter as super
 
       method! value_binding vb =
         let saved = !allows in
-        allows := allows_of_attributes vb.pvb_attributes @ saved;
-        propagate_taint vb;
-        super#value_binding vb;
+        allows := register (allow_sites_of_attributes ~file vb.pvb_attributes) @ saved;
+        (match (function_binding vb, !cur) with
+         | Some name, None ->
+           (* Top-level (or submodule-level) function: open a summary
+              context, walk the body under it, then finalise. *)
+           let params, body = collect_params [] vb.pvb_expr in
+           let qname = String.concat "." (!module_path @ [ name ]) in
+           let fx =
+             { fx_name = qname;
+               fx_pos = pos_of_loc file vb.pvb_loc;
+               fx_params =
+                 List.map
+                   (fun (label, n, _) ->
+                     { T.p_name = (match n with Some n -> n | None -> "_");
+                       p_label = label })
+                   params;
+               fx_env = Hashtbl.create 16;
+               fx_in_ct = T.in_ct_scope config qname;
+               fx_sinks = [];
+               fx_calls = [];
+               fx_cts = [] }
+           in
+           List.iteri
+             (fun i (_, n, all_names) ->
+               let pname =
+                 match n with Some n -> n | None -> Printf.sprintf "arg%d" i
+               in
+               env_add fx.fx_env pname [ T.Param pname ];
+               List.iter
+                 (fun bound -> env_add fx.fx_env bound [ T.Param pname ])
+                 all_names)
+             params;
+           cur := Some fx;
+           with_snapshot (fun () ->
+             propagate_taint vb;
+             super#value_binding vb);
+           let returns =
+             match body with Some b -> tail_origins b | None -> []
+           in
+           funcs :=
+             { T.f_name = fx.fx_name;
+               f_file = file;
+               f_pos = fx.fx_pos;
+               f_params = fx.fx_params;
+               f_returns = returns;
+               f_sinks = List.rev fx.fx_sinks;
+               f_calls = List.rev fx.fx_calls;
+               f_ct_events = List.rev fx.fx_cts;
+               f_in_ct_scope = fx.fx_in_ct }
+             :: !funcs;
+           cur := None
+         | Some name, Some c ->
+           (* Local closure: its captures are the closure's origins. *)
+           let _, body = collect_params [] vb.pvb_expr in
+           (match body with
+            | Some b -> env_add c.fx_env name (origins_of b)
+            | None -> ());
+           with_snapshot (fun () ->
+             propagate_taint vb;
+             super#value_binding vb)
+         | None, _ ->
+           propagate_taint vb;
+           let env = match !cur with Some c -> c.fx_env | None -> file_env in
+           let os = origins_of vb.pvb_expr in
+           List.iter (fun n -> env_add env n os) (pattern_names vb.pvb_pat);
+           super#value_binding vb);
         allows := saved
+
+      method! module_binding mb =
+        match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+        | Some name, Pmod_ident { txt; _ } ->
+          Hashtbl.replace aliases name (Longident.flatten_exn txt);
+          super#module_binding mb
+        | Some name, Pmod_structure _ ->
+          module_path := !module_path @ [ name ];
+          super#module_binding mb;
+          module_path :=
+            List.filteri (fun i _ -> i < List.length !module_path - 1) !module_path
+        | _ -> super#module_binding mb
 
       method! expression e =
         let saved = !allows in
-        allows := allows_of_attributes e.pexp_attributes @ saved;
+        allows := register (allow_sites_of_attributes ~file e.pexp_attributes) @ saved;
         (match e.pexp_desc with
          | Pexp_ident { txt; loc } ->
            let name = flatten_lident txt in
@@ -362,7 +710,15 @@ let run_structure ~(config : Lint_config.t) ~file str =
                  whitelist setup-time sites with [@sknn.allow \
                  \"ledger-at-op-site\"])"
                 (flatten_lident fn));
-           (* secret-taint sinks. *)
+           (* Reference-cell writes feed the flow environment so that
+              accumulator-style secrets stay tracked. *)
+           (match (flatten_lident fn, args) with
+            | ":=", [ (Nolabel, { pexp_desc = Pexp_ident { txt = Lident x; _ }; _ });
+                      (Nolabel, rhs) ] ->
+              let env = match !cur with Some c -> c.fx_env | None -> file_env in
+              env_add env x (origins_of rhs)
+            | _ -> ());
+           (* secret-taint sinks (phase 1) + sink summaries (phase 2). *)
            (match sink_of_application config fn with
             | None -> ()
             | Some mode ->
@@ -371,6 +727,7 @@ let run_structure ~(config : Lint_config.t) ~file str =
                 | Some l -> List.mem l config.Lint_config.allowed_labels
                 | None -> false
               in
+              let local_hit = ref false in
               if not exempt then begin
                 let checked =
                   match mode with
@@ -386,6 +743,7 @@ let run_structure ~(config : Lint_config.t) ~file str =
                   (fun a ->
                     match taint_mention a with
                     | Some who ->
+                      if enabled Lint_config.Secret_taint then local_hit := true;
                       report Lint_config.Secret_taint fn_loc
                         "secret-carrying identifier %s flows into sink %s outside \
                          the §5-allowlisted surface (allow-label the admitted \
@@ -393,7 +751,59 @@ let run_structure ~(config : Lint_config.t) ~file str =
                         who (flatten_lident fn)
                     | None -> ())
                   checked
-              end);
+              end;
+              (match (mode, !cur) with
+               | `All, Some c ->
+                 let label_form =
+                   match
+                     List.find_opt (function Labelled "label", _ -> true | _ -> false) args
+                   with
+                   | Some (_, le) -> (
+                     match string_of_label_expr le with
+                     | Some l -> T.Label_literal l
+                     | None -> (
+                       match passthrough_of c le with
+                       | Some p -> T.Label_param p
+                       | None -> T.Label_opaque))
+                   | None ->
+                     if List.exists (fun p -> p.T.p_name = "label") c.fx_params
+                     then T.Label_param "label"
+                     else T.Label_none
+                 in
+                 c.fx_sinks <-
+                   { T.sk_callee = flatten_lident fn;
+                     sk_pos = pos_of_loc file fn_loc;
+                     sk_label = label_form;
+                     sk_origins =
+                       union_origins (List.map (fun (_, a) -> origins_of a) args);
+                     sk_allows = scope_allows ();
+                     sk_local = !local_hit || exempt }
+                   :: c.fx_sinks
+               | _ -> ()));
+           (* Call-graph edges for phase 2. *)
+           (match !cur with
+            | Some c when flatten_lident fn <> ":=" ->
+              c.fx_calls <-
+                { T.c_callee = expand_path (flatten_lident fn);
+                  c_pos = pos_of_loc file fn_loc;
+                  c_args = List.map (mk_call_arg c) args }
+                :: c.fx_calls
+            | _ -> ());
+           (* constant-time: secret-indexed loads and variable-time ops
+              inside ct-scope functions. *)
+           (match !cur with
+            | Some c when c.fx_in_ct && enabled Lint_config.Constant_time ->
+              let last = last_lident fn and head = head_lident fn in
+              if List.mem head indexed_get_heads
+                 && List.mem last [ "get"; "unsafe_get" ]
+              then (
+                match List.filter_map (function Nolabel, a -> Some a | _ -> None) args with
+                | _ :: idx :: _ -> record_ct c T.Ct_index fn_loc (origins_of idx)
+                | _ -> ());
+              if List.mem (flatten_lident fn) ct_vartime_idents then
+                record_ct c (T.Ct_vartime (flatten_lident fn)) fn_loc
+                  (union_origins (List.map (fun (_, a) -> origins_of a) args))
+            | _ -> ());
            (* orchestrator-only-obs: descend into pool chunk closures
               with the flag raised; other arguments descend normally. *)
            if is_pool_call fn then begin
@@ -412,6 +822,24 @@ let run_structure ~(config : Lint_config.t) ~file str =
          | Pexp_let (_, vbs, _) ->
            List.iter propagate_taint vbs;
            super#expression e
+         | Pexp_ifthenelse (c0, _, _) ->
+           (match !cur with
+            | Some c when c.fx_in_ct && enabled Lint_config.Constant_time ->
+              record_ct c (T.Ct_branch "if") e.pexp_loc (origins_of c0)
+            | _ -> ());
+           super#expression e
+         | Pexp_match (scrut, _) ->
+           (match !cur with
+            | Some c when c.fx_in_ct && enabled Lint_config.Constant_time ->
+              record_ct c (T.Ct_branch "match") e.pexp_loc (origins_of scrut)
+            | _ -> ());
+           super#expression e
+         | Pexp_while (c0, _) ->
+           (match !cur with
+            | Some c when c.fx_in_ct && enabled Lint_config.Constant_time ->
+              record_ct c (T.Ct_branch "while") e.pexp_loc (origins_of c0)
+            | _ -> ());
+           super#expression e
          | _ -> super#expression e);
         allows := saved
 
@@ -419,7 +847,7 @@ let run_structure ~(config : Lint_config.t) ~file str =
         match si.pstr_desc with
         | Pstr_attribute a ->
           (* [@@@sknn.allow "rule"]: applies to the rest of the file. *)
-          file_allows := allows_of_attributes [ a ] @ !file_allows;
+          file_allows := register (allow_sites_of_attributes ~file [ a ]) @ !file_allows;
           super#structure_item si
         | Pstr_value (_, vbs) ->
           (* into-aliasing, arena half: an Arena.acquire whose top-level
@@ -454,4 +882,10 @@ let run_structure ~(config : Lint_config.t) ~file str =
     end
   in
   walker#structure str;
-  List.sort compare_diagnostic !diags
+  ( List.sort compare_diagnostic !diags,
+    { T.ff_file = file;
+      ff_config = config;
+      ff_funcs = List.rev !funcs;
+      ff_allows = !all_allows } )
+
+let run_structure ~config ~file str = fst (run ~config ~file str)

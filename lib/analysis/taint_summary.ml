@@ -1,0 +1,185 @@
+(* Per-function taint summaries — the phase-1 output of the
+   two-phase lint engine.
+
+   Phase 1 (Lint_rules with a [collector]) walks each file once and
+   records, for every top-level function, a summary that is *local*: it
+   names origins symbolically (parameters, configured taint roots,
+   results of calls) without looking at any other file.  Phase 2
+   (Flow_rules / Ct_rules) resolves the symbolic parts against the
+   whole-program call graph and runs the fixpoints.
+
+   Origins form a tiny provenance algebra:
+
+   - [Root r]      — a configured taint root name was mentioned
+                     (identifier or record-field access named [r]).
+   - [Param p]     — the value derives from the enclosing function's
+                     parameter [p].
+   - [Ret (f, a)]  — the value is the result of calling [f] with
+                     argument origins [a]; resolved lazily in phase 2
+                     against [f]'s summary (or conservatively as the
+                     union of [a] when [f] is not in the program).
+   - [Rec fields]  — a record literal, kept one level field-sensitive
+                     so that e.g. a deployment record carrying Party B
+                     does not taint its public transcript field.
+
+   Everything here is plain data with deterministic orderings; the
+   analysis never consults the wall clock or hash order. *)
+
+type pos = { file : string; line : int; col : int }
+
+let compare_pos a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c else compare a.col b.col
+
+(* One [@sknn.allow "<rule>"] site.  The payload may carry a rationale
+   after a colon — "constant-time: heap arity is public" — which the
+   constant-time rule requires.  [used] is flipped by whichever rule the
+   site suppresses; the unused-allow rule reports sites still cold after
+   both phases. *)
+type allow_site = {
+  al_rule : string;
+  al_rationale : string option;
+  al_pos : pos;
+  mutable al_used : bool;
+}
+
+(* Split "rule: rationale" payloads. *)
+let parse_allow_payload s =
+  match String.index_opt s ':' with
+  | None -> (String.trim s, None)
+  | Some i ->
+    let rule = String.trim (String.sub s 0 i) in
+    let rat = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    (rule, if rat = "" then None else Some rat)
+
+type origin =
+  | Root of string
+  | Param of string
+  | Ret of string * (string option * origin list) list
+      (* callee path, arguments as (Labelled/Optional name, origins) *)
+  | Rec of (string * origin list) list
+  | Field of string * origin
+      (* deferred projection: [e.f] where [e]'s shape is not yet known
+         (a parameter or a call result).  Phase 2 normalises the inner
+         origin to the record literals it can evaluate to and projects
+         the field there, so e.g. a deployment record's public count
+         field does not inherit the taint of its sibling key field. *)
+
+(* How a sink call names its ~label: a string literal, a pass-through of
+   the enclosing function's parameter (resolved up the call chain), or
+   nothing resolvable (never exemptable). *)
+type label_form =
+  | Label_literal of string
+  | Label_param of string
+  | Label_opaque
+  | Label_none
+
+type sink = {
+  sk_callee : string;           (* printed callee path, e.g. "Transcript.send" *)
+  sk_pos : pos;
+  sk_label : label_form;
+  sk_origins : origin list;     (* union over the checked argument positions *)
+  sk_allows : allow_site list;  (* allow sites covering this expression *)
+  sk_local : bool;              (* already reported by the phase-1 secret-taint
+                                   rule at this site — phase 2 must not
+                                   double-report it *)
+}
+
+(* One argument of a call site, with enough structure to match it to the
+   callee's parameter list and to resolve label pass-through chains. *)
+type call_arg = {
+  ca_label : string option;     (* Labelled/Optional name, None if positional *)
+  ca_origins : origin list;
+  ca_literal : string option;   (* Some s when the argument is the string
+                                   literal s (label chain resolution) *)
+  ca_passthrough : string option; (* Some p when the argument is exactly the
+                                     enclosing function's parameter p *)
+}
+
+type call = {
+  c_callee : string;            (* alias-expanded dotted path as written *)
+  c_pos : pos;
+  c_args : call_arg list;
+}
+
+(* Constant-time discipline events, collected only inside ct-scope
+   functions. *)
+type ct_kind =
+  | Ct_branch of string         (* if / match / while on a secret-derived
+                                   condition; payload names the construct *)
+  | Ct_index                    (* secret-indexed array/string/bytes access *)
+  | Ct_vartime of string        (* variable-time op (/, mod, poly compare, …) *)
+
+type ct_event = {
+  ct_kind : ct_kind;
+  ct_pos : pos;
+  ct_origins : origin list;     (* origins of the guarded value *)
+  ct_allows : allow_site list;
+}
+
+type param = {
+  p_name : string;              (* binder name, or "_" when unnamed *)
+  p_label : string option;      (* Labelled/Optional name *)
+}
+
+type func = {
+  f_name : string;              (* fully qualified: File_module.Sub.fn *)
+  f_file : string;
+  f_pos : pos;
+  f_params : param list;
+  f_returns : origin list;      (* origins of the function's result *)
+  f_sinks : sink list;
+  f_calls : call list;
+  f_ct_events : ct_event list;
+  f_in_ct_scope : bool;
+}
+
+type file_facts = {
+  ff_file : string;
+  ff_config : Lint_config.t;
+  ff_funcs : func list;
+  ff_allows : allow_site list;  (* every allow site in the file, for
+                                   unused-allow *)
+}
+
+(* Does a dotted callee path start with one of the configured
+   declassifier prefixes?  "Leakage." matches the whole module;
+   "Bgv.keygen" matches that one function. *)
+let declassified ~prefixes path =
+  List.exists
+    (fun p ->
+      String.length path >= String.length p
+      && String.sub path 0 (String.length p) = p
+      && (String.length path = String.length p
+          || path.[String.length p - 1] = '.'
+          || path.[String.length p] = '.'))
+    prefixes
+
+(* A ct-scope (or declassifier path) matches a qualified function name
+   when its dot-components appear as a contiguous run of the name's
+   components: scope "Party_b" matches "Entities.Party_b.select", scope
+   "Bgv.decrypt" matches exactly Bgv.decrypt. *)
+let split_path s = String.split_on_char '.' s
+
+let components_match ~scope name_comps =
+  let sc = split_path scope in
+  let n = List.length sc in
+  let rec windows = function
+    | [] -> false
+    | _ :: tl as l ->
+      let rec take k = function
+        | _ when k = 0 -> Some []
+        | [] -> None
+        | x :: r -> ( match take (k - 1) r with Some w -> Some (x :: w) | None -> None)
+      in
+      (match take n l with Some w when w = sc -> true | _ -> windows tl)
+  in
+  windows name_comps
+
+let in_ct_scope config qualified_name =
+  List.exists
+    (fun scope -> components_match ~scope (split_path qualified_name))
+    config.Lint_config.ct_scopes

@@ -219,7 +219,15 @@ let decrypt ?counters sk ct =
   let out =
     Array.map
       (fun v ->
-        let m = Z.to_int_exn (Z.erem v zt) in
+        let m =
+          Z.to_int_exn
+            ((Z.erem v zt)
+             [@sknn.allow
+               "constant-time: arbitrary-precision reduction mod t is \
+                variable-time in the magnitude of the lifted coefficient \
+                (plaintext + t*noise); a production port would use a \
+                constant-time Barrett reduction here"])
+        in
         Mod64.mul t (Int64.of_int m) f_inv)
       coeffs
   in
@@ -244,8 +252,13 @@ let decrypt_coeff0 ?counters sk ct =
         let comp = Rq.unsafe_component !acc i in
         let s = ref 0 in
         for j = 0 to n - 1 do
+          (* Branchless conditional subtract: after the add, s is in
+             [0, 2*pi); pi - 1 - s is negative exactly when s >= pi, so
+             the arithmetic shift yields an all-ones mask selecting pi.
+             Keeps the accumulation loop free of secret-dependent
+             branches (pi < 2^31, so no overflow on 63-bit ints). *)
           s := !s + comp.(j);
-          if !s >= pi then s := !s - pi
+          s := !s - (pi land ((pi - 1 - !s) asr 62))
         done;
         let pi64 = Int64.of_int pi in
         let n_inv = Mod64.inv pi64 (Int64.of_int n) in
@@ -254,7 +267,15 @@ let decrypt_coeff0 ?counters sk ct =
   let b = Rq.basis p.Params.ring ~nprimes:k in
   let v = Crt.lift_centered b residues in
   let t = p.Params.t_plain in
-  let m = Z.to_int_exn (Z.erem v (Z.of_int64 t)) in
+  let m =
+    Z.to_int_exn
+      ((Z.erem v (Z.of_int64 t))
+       [@sknn.allow
+         "constant-time: arbitrary-precision reduction mod t is \
+          variable-time in the magnitude of the lifted coefficient; same \
+          accepted site as Bgv.decrypt, fixed by a constant-time Barrett \
+          reduction in a production port"])
+  in
   Mod64.mul t (Int64.of_int m) (Mod64.inv t ct.factor)
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,7 @@
+(* Fixture: secret-dependent control flow inside the constant-time TCB
+   (this directory's conf puts Bad_ct_branch in ct-scope).  Branching
+   on key material leaks it through the timing side channel. *)
+
+let select sk a b = if sk land 1 = 1 then a else b
+
+let classify t = match t.s_coeffs with [] -> 0 | _ :: _ -> 1

@@ -1,0 +1,8 @@
+(* Fixture: secret-indexed table load and a variable-time op on a
+   key-derived value inside the constant-time TCB (ct-scope
+   Bad_ct_index).  Cache-line addressing and data-dependent latency
+   both leak the index/operand. *)
+
+let probe table sk = table.(sk land 7)
+
+let residue sk = Z.erem (Z.of_int sk) (Z.of_int 97)

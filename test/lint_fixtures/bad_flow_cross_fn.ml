@@ -1,0 +1,11 @@
+(* Fixture: interprocedural leak — the secret key flows through two
+   helpers' parameters into a Printf sink.  The sink expression never
+   mentions a tainted name, so the per-file secret-taint rule cannot
+   see it; only the phase-2 secret-flow engine connects the path
+   main -> reveal -> emit -> printf. *)
+
+let emit x = Printf.printf "b=%d\n" x
+
+let reveal x = emit x
+
+let main sk = reveal sk

@@ -1,0 +1,12 @@
+(* Fixture: field-mediated leak — one function packs the secret into a
+   record field, another sends that field on the transcript.  Only the
+   field-sensitive interprocedural pass connects construction site and
+   sink. *)
+
+type packet = { tag : int; payload : int }
+
+let pack sk = { tag = 0; payload = sk }
+
+let out tr p = Transcript.send tr ~label:"packet" ~bytes:p.payload
+
+let go tr sk = out tr (pack sk)

@@ -1,0 +1,7 @@
+(* Fixture: an escape hatch that suppresses nothing — the division it
+   once excused is gone, so unused-allow must flag the attribute for
+   deletion. *)
+
+let[@sknn.allow "no-division"] doubled x = x * 2
+
+let total xs = List.fold_left ( + ) 0 xs

@@ -24,7 +24,12 @@ let expected =
     (Lint_config.No_ambient_nondeterminism, "bad_nondeterminism.ml", 5);
     (Lint_config.No_ambient_nondeterminism, "bad_wallclock.ml", 3);
     (Lint_config.Into_aliasing, "bad_into_aliasing.ml", 5);
-    (Lint_config.Ledger_at_op_site, "bad_ledger.ml", 5) ]
+    (Lint_config.Ledger_at_op_site, "bad_ledger.ml", 5);
+    (Lint_config.Secret_flow, "bad_flow_cross_fn.ml", 1);
+    (Lint_config.Secret_flow, "bad_flow_field.ml", 1);
+    (Lint_config.Constant_time, "bad_ct_branch.ml", 2);
+    (Lint_config.Constant_time, "bad_ct_index.ml", 2);
+    (Lint_config.Unused_allow, "bad_stale_allow.ml", 1) ]
 
 let test_every_rule_fires () =
   let outcome = run_fixtures () in
@@ -64,6 +69,36 @@ let test_allow_granularities () =
     "allowed_ok.ml diagnostics (floating/binding/expression allows + allow-label)"
     0 (List.length in_allowed)
 
+let test_flow_reports_full_path () =
+  (* The acceptance bar for the interprocedural engine: a finding names
+     the whole source→sink chain, not just the sink. *)
+  let outcome = run_fixtures () in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let msg_of file rule =
+    match
+      List.find_opt
+        (fun (d : Lint_rules.diagnostic) ->
+          base_file d = file && d.Lint_rules.rule = rule)
+        outcome.Lint_driver.diagnostics
+    with
+    | Some d -> d.Lint_rules.message
+    | None -> Alcotest.failf "no %s diagnostic in %s" (Lint_config.rule_name rule) file
+  in
+  let cross = msg_of "bad_flow_cross_fn.ml" Lint_config.Secret_flow in
+  List.iter
+    (fun hop -> Alcotest.(check bool) ("cross-fn trace has " ^ hop) true (contains cross hop))
+    [ "secret root \"sk\""; "Bad_flow_cross_fn.reveal"; "Bad_flow_cross_fn.emit";
+      "sink Printf.printf" ];
+  let field = msg_of "bad_flow_field.ml" Lint_config.Secret_flow in
+  List.iter
+    (fun hop -> Alcotest.(check bool) ("field trace has " ^ hop) true (contains field hop))
+    [ "secret root \"sk\""; "field payload"; "Bad_flow_field.pack";
+      "Bad_flow_field.out"; "sink Transcript.send" ]
+
 let render outcome = Format.asprintf "%a" Lint_driver.pp_outcome outcome
 
 let test_output_byte_stable () =
@@ -84,6 +119,26 @@ let test_output_byte_stable () =
        (fun a b -> a <= b)
        (List.filteri (fun i _ -> i < List.length keys - 1) keys)
        (List.tl keys))
+
+let test_sarif_valid_and_stable () =
+  (* SARIF is the CI upload format: it must be well-formed JSON and
+     byte-identical across repeated runs and across --jobs levels. *)
+  let sarif_at jobs = Lint_driver.sarif (Lint_driver.run_paths ~jobs [ fixture_dir ]) in
+  let s1 = sarif_at 1 in
+  Alcotest.(check bool) "sarif parses as JSON" true (Sarif.json_valid s1);
+  Alcotest.(check bool) "sarif mentions a ruleId" true
+    (let needle = "\"ruleId\":\"secret-flow\"" in
+     let lh = String.length s1 and ln = String.length needle in
+     let rec go i = i + ln <= lh && (String.sub s1 i ln = needle || go (i + 1)) in
+     go 0);
+  Alcotest.(check string) "identical across runs" s1 (sarif_at 1);
+  Alcotest.(check string) "identical under --jobs 2" s1 (sarif_at 2);
+  Alcotest.(check string) "identical under --jobs 4" s1 (sarif_at 4);
+  let report_at jobs =
+    Format.asprintf "%a" Lint_driver.pp_outcome
+      (Lint_driver.run_paths ~jobs [ fixture_dir ])
+  in
+  Alcotest.(check string) "text report identical under --jobs" (report_at 1) (report_at 3)
 
 let test_clean_file_is_ok () =
   let outcome =
@@ -124,6 +179,20 @@ let test_config_rejects_typos () =
   Alcotest.(check bool) "unknown rule" true (raises [ "enable not-a-rule" ]);
   Alcotest.(check bool) "unknown directive" true (raises [ "frobnicate" ]);
   Alcotest.(check bool) "missing argument" true (raises [ "allow-label" ]);
+  (* Hard errors carry the offending line number and the set of valid
+     rule names, so a conf typo is diagnosable from the CI log alone. *)
+  (match Lint_config.of_lines [ "# preamble"; "enable not-a-rule" ] with
+   | (_ : Lint_config.t) -> Alcotest.fail "typo accepted"
+   | exception Lint_config.Bad_config msg ->
+     let contains needle =
+       let lh = String.length msg and ln = String.length needle in
+       let rec go i = i + ln <= lh && (String.sub msg i ln = needle || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "message carries line number" true (contains "line 2");
+     Alcotest.(check bool) "message lists valid rules" true (contains "secret-flow");
+     Alcotest.(check bool) "message lists valid rules (ct)" true
+       (contains "constant-time"));
   (* Comments and blanks are inert; knobs land in the profile. *)
   let c =
     Lint_config.of_lines
@@ -154,10 +223,14 @@ let () =
           Alcotest.test_case "rules fire only on their own fixture" `Quick
             test_cross_contamination;
           Alcotest.test_case "allow granularities silence everything" `Quick
-            test_allow_granularities
+            test_allow_granularities;
+          Alcotest.test_case "flow findings carry the full path" `Quick
+            test_flow_reports_full_path
         ] );
       ( "driver",
         [ Alcotest.test_case "report is byte-stable" `Quick test_output_byte_stable;
+          Alcotest.test_case "sarif is valid JSON and jobs-stable" `Quick
+            test_sarif_valid_and_stable;
           Alcotest.test_case "clean file is ok" `Quick test_clean_file_is_ok;
           Alcotest.test_case "parse errors are reported" `Quick
             test_parse_error_reported
